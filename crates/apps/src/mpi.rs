@@ -1,0 +1,176 @@
+//! A minimal message-passing layer over TCP sockets.
+//!
+//! The paper's LSS case study uses LAM/MPI over IPOP. Rather than reproduce an MPI
+//! implementation, this module provides the piece LSS actually exercises: reliable,
+//! ordered, tagged messages between a master and its workers over TCP connections
+//! on the virtual network. Messages are framed as `(length, tag)` headers followed
+//! by the payload, exactly the kind of traffic a rendezvous-protocol MPI generates
+//! for medium-sized messages.
+
+use ipop_netstack::{NetStack, SocketHandle};
+
+/// A tagged message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Application-defined tag (like an MPI tag).
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A bidirectional message channel over one TCP connection.
+#[derive(Debug)]
+pub struct Channel {
+    socket: SocketHandle,
+    rx: Vec<u8>,
+    tx_backlog: Vec<u8>,
+}
+
+impl Channel {
+    /// Wrap an (already connecting or established) TCP socket.
+    pub fn new(socket: SocketHandle) -> Self {
+        Channel { socket, rx: Vec::new(), tx_backlog: Vec::new() }
+    }
+
+    /// The underlying socket handle.
+    pub fn socket(&self) -> SocketHandle {
+        self.socket
+    }
+
+    /// True once the underlying connection is established.
+    pub fn ready(&self, stack: &NetStack) -> bool {
+        stack.tcp_is_established(self.socket)
+    }
+
+    /// True when the connection is gone.
+    pub fn closed(&self, stack: &NetStack) -> bool {
+        stack.tcp_is_closed(self.socket)
+    }
+
+    /// Queue a message for sending (bytes are pushed into the socket as buffer
+    /// space allows; call [`Channel::pump`] from the application's poll).
+    pub fn send(&mut self, stack: &mut NetStack, tag: u32, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&tag.to_be_bytes());
+        frame.extend_from_slice(payload);
+        self.tx_backlog.extend_from_slice(&frame);
+        self.pump(stack);
+    }
+
+    /// Push backlog into the socket and pull received bytes out of it.
+    pub fn pump(&mut self, stack: &mut NetStack) {
+        if !self.tx_backlog.is_empty() {
+            if let Ok(n) = stack.tcp_send(self.socket, &self.tx_backlog) {
+                self.tx_backlog.drain(..n);
+            }
+        }
+        loop {
+            let chunk = stack.tcp_recv(self.socket, 1 << 20).unwrap_or_default();
+            if chunk.is_empty() {
+                break;
+            }
+            self.rx.extend_from_slice(&chunk);
+        }
+    }
+
+    /// Bytes still waiting to enter the socket's send buffer.
+    pub fn backlog(&self) -> usize {
+        self.tx_backlog.len()
+    }
+
+    /// Extract the next complete message, if one has arrived.
+    pub fn recv(&mut self, stack: &mut NetStack) -> Option<Message> {
+        self.pump(stack);
+        if self.rx.len() < 8 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.rx[0], self.rx[1], self.rx[2], self.rx[3]]) as usize;
+        if self.rx.len() < 8 + len {
+            return None;
+        }
+        let tag = u32::from_be_bytes([self.rx[4], self.rx[5], self.rx[6], self.rx[7]]);
+        let payload = self.rx[8..8 + len].to_vec();
+        self.rx.drain(..8 + len);
+        Some(Message { tag, payload })
+    }
+}
+
+/// Well-known tags used by the LSS application.
+pub mod tags {
+    /// Master → worker: analyse this work unit.
+    pub const WORK: u32 = 1;
+    /// Worker → master: partial least-squares result.
+    pub const RESULT: u32 = 2;
+    /// Master → worker: all images done, shut down.
+    pub const SHUTDOWN: u32 = 3;
+    /// Worker → master: hello / registration.
+    pub const REGISTER: u32 = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipop_netstack::StackConfig;
+    use ipop_simcore::{Duration, SimTime};
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn pump_stacks(a: &mut NetStack, b: &mut NetStack, now: &mut SimTime) {
+        for _ in 0..10_000 {
+            a.poll(*now);
+            b.poll(*now);
+            let fa = a.take_packets();
+            let fb = b.take_packets();
+            if fa.is_empty() && fb.is_empty() {
+                break;
+            }
+            *now += Duration::from_micros(200);
+            for p in fa {
+                b.handle_packet(*now, p);
+            }
+            for p in fb {
+                a.handle_packet(*now, p);
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_messages_round_trip_in_order() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let listener = sb.tcp_listen(5555).unwrap();
+        let mut now = SimTime::ZERO;
+        let ca = sa.tcp_connect(B, 5555, now).unwrap();
+        let mut chan_a = Channel::new(ca);
+        pump_stacks(&mut sa, &mut sb, &mut now);
+        let cb = sb.tcp_accept(listener).unwrap().unwrap();
+        let mut chan_b = Channel::new(cb);
+        assert!(chan_a.ready(&sa));
+
+        chan_a.send(&mut sa, tags::WORK, b"image-1:db-2");
+        chan_a.send(&mut sa, tags::WORK, b"image-1:db-3");
+        pump_stacks(&mut sa, &mut sb, &mut now);
+        let m1 = chan_b.recv(&mut sb).expect("first message");
+        let m2 = chan_b.recv(&mut sb).expect("second message");
+        assert_eq!(m1, Message { tag: tags::WORK, payload: b"image-1:db-2".to_vec() });
+        assert_eq!(m2.payload, b"image-1:db-3");
+        assert!(chan_b.recv(&mut sb).is_none());
+
+        // Reply direction, with a large payload spanning several segments.
+        let big = vec![7u8; 50_000];
+        chan_b.send(&mut sb, tags::RESULT, &big);
+        for _ in 0..100 {
+            pump_stacks(&mut sa, &mut sb, &mut now);
+            chan_b.pump(&mut sb);
+            if let Some(reply) = chan_a.recv(&mut sa) {
+                assert_eq!(reply.tag, tags::RESULT);
+                assert_eq!(reply.payload, big);
+                return;
+            }
+        }
+        panic!("large reply never arrived");
+    }
+}

@@ -1,0 +1,183 @@
+//! A minimal SSH-like session-establishment workload.
+//!
+//! The paper's LSS experiment needs SSH to start the LAM daemons on every compute
+//! node before the MPI run begins; the point being demonstrated is that an
+//! interactive, connection-oriented service "just works" across firewalled domains
+//! over IPOP. This module models the part of SSH that matters for that claim: a
+//! TCP connection to port 22 followed by a banner + key-exchange style exchange of
+//! several small request/response messages, with the total session-setup latency
+//! recorded.
+
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use ipop::app::{AppEnv, VirtualApp};
+use ipop_netstack::SocketHandle;
+use ipop_simcore::SimTime;
+
+use crate::mpi::Channel;
+
+const SSH_PORT: u16 = 22;
+const HANDSHAKE_ROUNDS: u32 = 4;
+
+/// An SSH-like server: answers every handshake message on port 22.
+pub struct SshServer {
+    listener: Option<SocketHandle>,
+    sessions: Vec<Channel>,
+    /// Completed handshake exchanges served.
+    pub exchanges: u64,
+}
+
+impl SshServer {
+    /// A new server (listens once started).
+    pub fn new() -> Self {
+        SshServer { listener: None, sessions: Vec::new(), exchanges: 0 }
+    }
+}
+
+impl Default for SshServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualApp for SshServer {
+    fn on_start(&mut self, env: &mut AppEnv<'_>) {
+        self.listener = env.stack.tcp_listen(SSH_PORT).ok();
+    }
+
+    fn poll(&mut self, env: &mut AppEnv<'_>) -> Option<SimTime> {
+        if let Some(listener) = self.listener {
+            while let Ok(Some(conn)) = env.stack.tcp_accept(listener) {
+                self.sessions.push(Channel::new(conn));
+            }
+        }
+        for chan in &mut self.sessions {
+            while let Some(msg) = chan.recv(env.stack) {
+                self.exchanges += 1;
+                chan.send(env.stack, msg.tag, b"SSH-2.0-ipop-sim ok");
+            }
+            chan.pump(env.stack);
+        }
+        None
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An SSH-like client that opens sessions to a list of hosts, one after another
+/// (the way `lamboot` walks its host file), and records per-host setup latency.
+pub struct SshClient {
+    targets: Vec<Ipv4Addr>,
+    current: usize,
+    chan: Option<Channel>,
+    round: u32,
+    session_started: SimTime,
+    /// Session-setup latency per target, in milliseconds.
+    pub setup_ms: Vec<f64>,
+}
+
+impl SshClient {
+    /// A client that will connect to each of `targets` in order.
+    pub fn new(targets: Vec<Ipv4Addr>) -> Self {
+        SshClient {
+            targets,
+            current: 0,
+            chan: None,
+            round: 0,
+            session_started: SimTime::ZERO,
+            setup_ms: Vec::new(),
+        }
+    }
+}
+
+impl VirtualApp for SshClient {
+    fn on_start(&mut self, _env: &mut AppEnv<'_>) {}
+
+    fn poll(&mut self, env: &mut AppEnv<'_>) -> Option<SimTime> {
+        if self.current >= self.targets.len() {
+            return None;
+        }
+        if self.chan.is_none() {
+            let target = self.targets[self.current];
+            if let Ok(h) = env.stack.tcp_connect(target, SSH_PORT, env.now) {
+                self.chan = Some(Channel::new(h));
+                self.round = 0;
+                self.session_started = env.now;
+            }
+            return None;
+        }
+        let chan = self.chan.as_mut().expect("channel exists");
+        if !chan.ready(env.stack) {
+            if chan.closed(env.stack) {
+                // Connection refused/blocked: record a failure as an infinite setup.
+                self.setup_ms.push(f64::INFINITY);
+                self.chan = None;
+                self.current += 1;
+            }
+            return None;
+        }
+        if self.round == 0 {
+            chan.send(env.stack, 0, b"SSH-2.0-ipop-sim client hello");
+            self.round = 1;
+        }
+        while let Some(_reply) = chan.recv(env.stack) {
+            if self.round >= HANDSHAKE_ROUNDS {
+                self.setup_ms
+                    .push(env.now.saturating_since(self.session_started).as_millis_f64());
+                let socket = chan.socket();
+                let _ = env.stack.tcp_close(socket);
+                self.chan = None;
+                self.current += 1;
+                return None;
+            }
+            chan.send(env.stack, self.round, b"kexinit/auth");
+            self.round += 1;
+        }
+        None
+    }
+
+    fn finished(&self) -> bool {
+        self.current >= self.targets.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipop::plain::PlainHostAgent;
+    use ipop_netsim::{lan_pair, Network, NetworkSim};
+    use ipop_simcore::Duration;
+
+    #[test]
+    fn ssh_session_setup_completes_on_lan() {
+        let mut net = Network::new(31);
+        let (a, b, _, b_addr) = lan_pair(&mut net);
+        net.set_agent(
+            a,
+            Box::new(PlainHostAgent::new(net.host(a).addr, Box::new(SshClient::new(vec![b_addr])))),
+        );
+        net.set_agent(b, Box::new(PlainHostAgent::new(net.host(b).addr, Box::new(SshServer::new()))));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(10));
+        let client = sim.agent_as::<PlainHostAgent>(a).unwrap().app_as::<SshClient>().unwrap();
+        assert!(client.finished());
+        assert_eq!(client.setup_ms.len(), 1);
+        assert!(client.setup_ms[0].is_finite());
+        assert!(client.setup_ms[0] < 100.0, "LAN ssh setup took {} ms", client.setup_ms[0]);
+        let server = sim.agent_as::<PlainHostAgent>(b).unwrap().app_as::<SshServer>().unwrap();
+        assert_eq!(server.exchanges as u32, HANDSHAKE_ROUNDS);
+    }
+}

@@ -1,0 +1,271 @@
+//! The `ttcp` workload: bulk TCP transfer throughput measurement.
+//!
+//! Tables II and III of the paper use `ttcp` to compare the throughput of a single
+//! IPOP link against the physical network, on a LAN (92.97 MB transfer) and on a
+//! WAN (13.09 MB and 92.97 MB transfers), for both Brunet transports. The sender
+//! opens a TCP connection, streams a fixed number of bytes and closes; throughput
+//! is bytes divided by the time from connection establishment to the last byte
+//! being acknowledged.
+
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use ipop::app::{AppEnv, VirtualApp};
+use ipop_netstack::SocketHandle;
+use ipop_simcore::{stats::throughput_kbps, SimTime};
+
+/// The standard transfer sizes used in the paper.
+pub mod sizes {
+    /// 92.97 MB — the LAN transfer and the larger WAN transfer.
+    pub const LARGE: u64 = 92_970_000;
+    /// 13.09 MB — the smaller WAN transfer.
+    pub const SMALL: u64 = 13_090_000;
+}
+
+/// Result of a completed transfer (sender side).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TtcpReport {
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Transfer duration in seconds (connect-to-last-ack).
+    pub seconds: f64,
+    /// Throughput in kilobytes per second, the unit the paper's tables use.
+    pub kbps: f64,
+}
+
+enum Role {
+    Sender { target: Ipv4Addr, port: u16, total: u64 },
+    Receiver { port: u16 },
+}
+
+enum State {
+    Idle,
+    Connecting(SocketHandle),
+    Sending { socket: SocketHandle, sent: u64, started: SimTime },
+    Draining { socket: SocketHandle, started: SimTime },
+    Listening(SocketHandle),
+    Receiving { socket: SocketHandle, received: u64 },
+    Done,
+}
+
+/// A ttcp endpoint (sender or receiver).
+pub struct TtcpApp {
+    role: Role,
+    state: State,
+    chunk: Vec<u8>,
+    report: TtcpReport,
+    received_bytes: u64,
+    start_at: Option<SimTime>,
+    start_delay: ipop_simcore::Duration,
+}
+
+impl TtcpApp {
+    /// A sender that will stream `total` bytes to `target:port`.
+    pub fn sender(target: Ipv4Addr, port: u16, total: u64) -> Self {
+        TtcpApp {
+            role: Role::Sender { target, port, total },
+            state: State::Idle,
+            chunk: vec![0x54; 8192],
+            report: TtcpReport::default(),
+            received_bytes: 0,
+            start_at: None,
+            start_delay: ipop_simcore::Duration::ZERO,
+        }
+    }
+
+    /// A receiver listening on `port`, counting whatever arrives.
+    pub fn receiver(port: u16) -> Self {
+        TtcpApp {
+            role: Role::Receiver { port },
+            state: State::Idle,
+            chunk: Vec::new(),
+            report: TtcpReport::default(),
+            received_bytes: 0,
+            start_at: None,
+            start_delay: ipop_simcore::Duration::ZERO,
+        }
+    }
+
+    /// Builder (sender side): delay the connection attempt, giving an IPOP overlay
+    /// time to self-configure before the measurement starts.
+    pub fn with_start_delay(mut self, delay: ipop_simcore::Duration) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// The sender-side throughput report (valid once finished).
+    pub fn report(&self) -> TtcpReport {
+        self.report
+    }
+
+    /// Bytes received so far (receiver side).
+    pub fn received(&self) -> u64 {
+        self.received_bytes
+    }
+}
+
+impl VirtualApp for TtcpApp {
+    fn on_start(&mut self, env: &mut AppEnv<'_>) {
+        match &self.role {
+            Role::Sender { .. } => {
+                self.start_at = Some(env.now + self.start_delay);
+            }
+            Role::Receiver { port } => {
+                if let Ok(h) = env.stack.tcp_listen(*port) {
+                    self.state = State::Listening(h);
+                }
+            }
+        }
+    }
+
+    fn poll(&mut self, env: &mut AppEnv<'_>) -> Option<SimTime> {
+        let now = env.now;
+        loop {
+            match self.state {
+                State::Idle => {
+                    let Role::Sender { target, port, .. } = &self.role else { return None };
+                    let Some(start_at) = self.start_at else { return None };
+                    if now < start_at {
+                        return Some(start_at);
+                    }
+                    if let Ok(h) = env.stack.tcp_connect(*target, *port, env.now) {
+                        self.state = State::Connecting(h);
+                        continue;
+                    }
+                    return None;
+                }
+                State::Done => return None,
+                State::Connecting(h) => {
+                    if env.stack.tcp_is_established(h) {
+                        self.state = State::Sending { socket: h, sent: 0, started: now };
+                        continue;
+                    }
+                    if env.stack.tcp_is_closed(h) {
+                        self.state = State::Done;
+                    }
+                    return None;
+                }
+                State::Sending { socket, mut sent, started } => {
+                    let Role::Sender { total, .. } = &self.role else { return None };
+                    let total = *total;
+                    let mut wrote_any = false;
+                    while sent < total {
+                        let want = ((total - sent) as usize).min(self.chunk.len());
+                        let n = env.stack.tcp_send(socket, &self.chunk[..want]).unwrap_or(0);
+                        if n == 0 {
+                            break;
+                        }
+                        sent += n as u64;
+                        wrote_any = true;
+                    }
+                    if sent >= total {
+                        let _ = env.stack.tcp_close(socket);
+                        self.state = State::Draining { socket, started };
+                        continue;
+                    }
+                    self.state = State::Sending { socket, sent, started };
+                    let _ = wrote_any;
+                    // Wait for buffer space to open up (ack arrival re-polls us).
+                    return None;
+                }
+                State::Draining { socket, started } => {
+                    if env.stack.tcp_unacked(socket) == 0 || env.stack.tcp_is_closed(socket) {
+                        let Role::Sender { total, .. } = &self.role else { return None };
+                        let elapsed = now.saturating_since(started);
+                        self.report = TtcpReport {
+                            bytes: *total,
+                            seconds: elapsed.as_secs_f64(),
+                            kbps: throughput_kbps(*total, elapsed),
+                        };
+                        self.state = State::Done;
+                    }
+                    return None;
+                }
+                State::Listening(h) => {
+                    match env.stack.tcp_accept(h) {
+                        Ok(Some(conn)) => {
+                            self.state = State::Receiving { socket: conn, received: 0 };
+                            continue;
+                        }
+                        _ => return None,
+                    }
+                }
+                State::Receiving { socket, mut received } => {
+                    loop {
+                        let data = env.stack.tcp_recv(socket, 1 << 20).unwrap_or_default();
+                        if data.is_empty() {
+                            break;
+                        }
+                        received += data.len() as u64;
+                    }
+                    self.received_bytes = received;
+                    if env.stack.tcp_recv_finished(socket) || env.stack.tcp_is_closed(socket) {
+                        let _ = env.stack.tcp_close(socket);
+                        self.state = State::Done;
+                        return None;
+                    }
+                    self.state = State::Receiving { socket, received };
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipop::plain::PlainHostAgent;
+    use ipop_netsim::{lan_pair, wan_pair, Network, NetworkSim};
+    use ipop_simcore::Duration;
+
+    fn run_transfer(wan: bool, bytes: u64) -> (TtcpReport, u64) {
+        let mut net = Network::new(21);
+        let (a, b, _, b_addr) = if wan { wan_pair(&mut net) } else { lan_pair(&mut net) };
+        net.set_agent(
+            a,
+            Box::new(PlainHostAgent::new(
+                net.host(a).addr,
+                Box::new(TtcpApp::sender(b_addr, 5201, bytes)),
+            )),
+        );
+        net.set_agent(
+            b,
+            Box::new(PlainHostAgent::new(net.host(b).addr, Box::new(TtcpApp::receiver(5201)))),
+        );
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(300));
+        let sender = sim.agent_as::<PlainHostAgent>(a).unwrap().app_as::<TtcpApp>().unwrap();
+        let receiver = sim.agent_as::<PlainHostAgent>(b).unwrap().app_as::<TtcpApp>().unwrap();
+        assert!(sender.finished(), "sender did not finish");
+        (sender.report(), receiver.received())
+    }
+
+    #[test]
+    fn lan_transfer_completes_and_reaches_megabytes_per_second() {
+        let (report, received) = run_transfer(false, 2_000_000);
+        assert_eq!(received, 2_000_000);
+        assert!(report.kbps > 2_000.0, "LAN throughput {} KB/s", report.kbps);
+        assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn wan_transfer_is_bounded_by_the_access_link() {
+        let (report, received) = run_transfer(true, 2_000_000);
+        assert_eq!(received, 2_000_000);
+        // The WAN pair uses 12 Mbit/s access links: ≈1500 KB/s ceiling.
+        assert!(report.kbps < 1_700.0, "WAN throughput {} KB/s", report.kbps);
+        assert!(report.kbps > 300.0, "WAN throughput suspiciously low: {} KB/s", report.kbps);
+    }
+}

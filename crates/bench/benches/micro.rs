@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the hot per-packet code paths: SHA-1 address
+//! mapping, packet serialization, checksums and overlay routing-table lookups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::net::Ipv4Addr;
+
+use ipop_overlay::packets::{ConnectionKind, DeliveryMode, LinkMessage, RoutedPacket, RoutedPayload};
+use ipop_overlay::table::{Connection, ConnectionState, ConnectionTable};
+use ipop_overlay::Address;
+use ipop_packet::icmp::IcmpPacket;
+use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
+use ipop_packet::sha1::Sha1;
+use ipop_packet::tcp::TcpSegment;
+use ipop_simcore::SimTime;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for size in [4usize, 64, 1400] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| b.iter(|| Sha1::digest(&data)));
+    }
+    group.finish();
+}
+
+fn bench_ip_to_overlay_address(c: &mut Criterion) {
+    c.bench_function("address/from_ip", |b| {
+        b.iter(|| Address::from_ip(std::hint::black_box(Ipv4Addr::new(172, 16, 0, 2))))
+    });
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_codec");
+    let src = Ipv4Addr::new(172, 16, 0, 2);
+    let dst = Ipv4Addr::new(172, 16, 0, 18);
+    let icmp = Ipv4Packet::new(src, dst, Ipv4Payload::Icmp(IcmpPacket::echo_request(7, 1, vec![0; 56])));
+    let tcp = Ipv4Packet::new(src, dst, Ipv4Payload::Tcp(TcpSegment::data(5001, 5201, 1, 1, vec![0; 1400])));
+    group.throughput(Throughput::Bytes(tcp.wire_len() as u64));
+    group.bench_function("serialize_icmp", |b| b.iter(|| icmp.to_bytes()));
+    group.bench_function("serialize_tcp_1400B", |b| b.iter(|| tcp.to_bytes()));
+    let tcp_bytes = tcp.to_bytes();
+    group.bench_function("parse_tcp_1400B", |b| b.iter(|| Ipv4Packet::from_bytes(&tcp_bytes).unwrap()));
+    group.finish();
+}
+
+fn bench_encapsulation(c: &mut Criterion) {
+    // The full IPOP encapsulation of Fig. 3: virtual IP packet -> bytes -> routed
+    // overlay packet -> link message bytes.
+    let src = Ipv4Addr::new(172, 16, 0, 2);
+    let dst = Ipv4Addr::new(172, 16, 0, 18);
+    let vpkt = Ipv4Packet::new(src, dst, Ipv4Payload::Tcp(TcpSegment::data(5001, 5201, 1, 1, vec![0; 1400])));
+    c.bench_function("ipop/encapsulate_1400B", |b| {
+        b.iter(|| {
+            let routed = RoutedPacket::new(
+                Address::from_ip(src),
+                Address::from_ip(dst),
+                DeliveryMode::Exact,
+                RoutedPayload::IpTunnel(vpkt.to_bytes()),
+            );
+            LinkMessage::Routed(routed).to_bytes()
+        })
+    });
+}
+
+fn bench_connection_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connection_table");
+    for n in [8usize, 64, 256] {
+        let mut table = ConnectionTable::new();
+        for i in 0..n {
+            let peer = Address::from_key(format!("node-{i}").as_bytes());
+            table.upsert(Connection {
+                peer,
+                endpoint: (Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250) as u8), 4001),
+                kind: ConnectionKind::Near,
+                state: ConnectionState::Established,
+                last_heard: SimTime::ZERO,
+                last_ping_sent: SimTime::ZERO,
+            });
+        }
+        let target = Address::from_ip(Ipv4Addr::new(172, 16, 0, 77));
+        group.bench_function(format!("closest_to_{n}_edges"), |b| {
+            b.iter_batched(|| target, |t| table.closest_to(&t).map(|c| c.peer), BatchSize::SmallInput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_ip_to_overlay_address,
+    bench_packet_codec,
+    bench_encapsulation,
+    bench_connection_table
+);
+criterion_main!(benches);

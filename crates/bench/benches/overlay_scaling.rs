@@ -1,0 +1,49 @@
+//! Criterion benchmark: end-to-end simulation cost and overlay self-configuration
+//! as the virtual network grows. This is the "adding a node costs the same no
+//! matter how large the network already is" scalability claim, measured as wall
+//! time to simulate a fixed virtual-time window per overlay size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::net::Ipv4Addr;
+
+use ipop::prelude::*;
+use ipop_netsim::planetlab;
+
+fn build_and_run(n: usize) -> usize {
+    let mut net = Network::new(99);
+    let plab = planetlab(&mut net, n, 1.0, 3);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            IpopMember::router(h, Ipv4Addr::new(172, 17, (i / 200) as u8, (i % 200 + 1) as u8))
+        })
+        .collect();
+    ipop::deploy_ipop(&mut net, members, DeployOptions::udp());
+    let mut sim = NetworkSim::new(net);
+    sim.run_for(Duration::from_secs(15));
+    // Return the number of connected nodes so the work cannot be optimised away.
+    plab.nodes
+        .iter()
+        .filter(|&&h| sim.agent_as::<IpopHostAgent>(h).is_some_and(|a| a.is_connected()))
+        .count()
+}
+
+fn bench_overlay_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_self_configuration");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let connected = build_and_run(n);
+                assert!(connected >= n - 1, "overlay failed to form for n={n}");
+                connected
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay_scaling);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Ablation for Section III-E: Brunet-ARP DHT mapping, multiple virtual IPs per
+//! node and VM migration.
+
+fn main() {
+    let result = ipop_bench::ablations::brunet_arp();
+    ipop_bench::ablations::render_brunet_arp(&result).print();
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 5: the distribution of ping RTTs across a 118-node Planet-Lab
+//! overlay with heavily loaded nodes.
+//!
+//! Run with `--quick` for a 40-node overlay and fewer pings.
+
+use ipop_bench::fig5::{self, Fig5Params};
+
+fn main() {
+    let params = if ipop_bench::quick_mode() { Fig5Params::quick() } else { Fig5Params::default() };
+    println!(
+        "Fig. 5: {} pings across a {}-node overlay at CPU load {}\n",
+        params.pings, params.nodes, params.load
+    );
+    let out = fig5::run(&params);
+    fig5::render_summary(&out, &params).print();
+    println!("RTT distribution (ms):\n{}", out.histogram.ascii_chart(60));
+}

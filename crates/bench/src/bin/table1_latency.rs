@@ -1,0 +1,10 @@
+//! Regenerates Table I: ping RTT on LAN and WAN, physical vs IPOP-TCP vs IPOP-UDP.
+//!
+//! Run with `--quick` for a reduced ping count.
+
+fn main() {
+    let count = if ipop_bench::quick_mode() { 50 } else { 1000 };
+    println!("Table I: {count} pings per scenario (Fig. 4 testbed; LAN = F2<->F4, WAN = F4<->V1)\n");
+    let rows = ipop_bench::table1::run(count);
+    ipop_bench::table1::render(&rows).print();
+}

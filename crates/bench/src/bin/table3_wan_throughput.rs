@@ -1,0 +1,13 @@
+//! Regenerates Table III: WAN ttcp throughput at two transfer sizes.
+//!
+//! Run with `--quick` for smaller transfers.
+
+fn main() {
+    let sizes = if ipop_bench::quick_mode() {
+        [2_000_000u64, 6_000_000u64]
+    } else {
+        [ipop_apps::ttcp::sizes::SMALL, ipop_apps::ttcp::sizes::LARGE]
+    };
+    let rows = ipop_bench::table3::run(sizes);
+    ipop_bench::table3::render(&rows).print();
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table IV: LSS execution times, 1 vs 4 compute nodes over IPOP.
+//!
+//! Run with `--quick` for a scaled-down workload (smaller databases, shorter
+//! per-record compute), which preserves the cold/warm and sequential/parallel
+//! structure while finishing in seconds.
+
+use ipop_apps::lss::LssParams;
+use ipop_simcore::Duration;
+
+fn main() {
+    let params = if ipop_bench::quick_mode() {
+        LssParams {
+            images: 6,
+            databases: 4,
+            database_size: 2 * 1024 * 1024,
+            compute_per_mb: Duration::from_secs(10),
+        }
+    } else {
+        LssParams::default()
+    };
+    let rows = ipop_bench::table4::run(params.clone());
+    ipop_bench::table4::render(&rows, &params).print();
+}

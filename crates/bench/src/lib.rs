@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every table and figure of the IPOP paper.
+//!
+//! Each experiment builds the relevant physical topology (`ipop-netsim`), deploys
+//! either baseline agents or a full IPOP virtual network (`ipop`), runs the
+//! corresponding workload (`ipop-apps`) inside the deterministic simulator and
+//! reports the same quantities the paper's tables report. Independent scenarios of
+//! one table run in parallel with rayon — each scenario is its own simulation, so
+//! determinism per scenario is preserved.
+//!
+//! Binaries (one per table/figure) are thin wrappers around the functions here:
+//!
+//! | paper artefact | function | binary |
+//! |---|---|---|
+//! | Table I   | [`table1::run`] | `table1_latency` |
+//! | Table II  | [`table2::run`] | `table2_lan_throughput` |
+//! | Table III | [`table3::run`] | `table3_wan_throughput` |
+//! | Table IV  | [`table4::run`] | `table4_lss` |
+//! | Fig. 5    | [`fig5::run`]   | `fig5_planetlab` |
+//! | §V.1 shortcut discussion | [`ablations::shortcuts`] | `ablation_shortcuts` |
+//! | §III-E Brunet-ARP        | [`ablations::brunet_arp`] | `ablation_brunet_arp` |
+
+pub mod ablations;
+pub mod fig5;
+pub mod report;
+pub mod scenarios;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// Parse a `--quick` flag from the command line: experiment binaries run a
+/// scaled-down workload when it is present (useful in CI and while iterating).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}

@@ -1,0 +1,102 @@
+//! Plain-text table formatting for the experiment binaries, including the paper's
+//! reference values so the output is directly comparable.
+
+/// A formatted comparison table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format a float with the given number of decimals.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Format a ratio as a percentage string.
+pub fn pct(part: f64, whole: f64) -> String {
+    if whole <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.0}%", 100.0 * part / whole)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["scenario", "mean (ms)"]);
+        t.row(&["physical".to_string(), f(0.898, 3)]);
+        t.row(&["IPOP-UDP".to_string(), f(6.859, 3)]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("physical"));
+        assert!(s.contains("6.859"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn percentage_helper() {
+        assert_eq!(pct(2389.0, 8255.0), "29%");
+        assert_eq!(pct(1.0, 0.0), "-");
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

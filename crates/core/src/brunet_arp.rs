@@ -1,0 +1,240 @@
+//! Brunet-ARP: DHT-based mapping from virtual IP addresses to overlay addresses.
+//!
+//! The base IPOP design maps an IP packet's destination straight to the overlay
+//! address `SHA-1(dst_ip)`, which requires one overlay node per virtual IP. The
+//! paper's Section III-E proposes Brunet-ARP to lift that restriction: a node that
+//! "routes for" a virtual IP registers the mapping `SHA-1(ip) → its own overlay
+//! address` at the node owning that key (the *Brunet-ARP-Mapper*); a sender
+//! resolves the destination IP by querying the mapper, caches the answer, and
+//! re-resolves when the cache entry expires (which is also how VM migration is
+//! picked up).
+//!
+//! This module holds the sender-side resolver state (cache, pending packets and
+//! outstanding queries); the DHT itself is the overlay's.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ipop_overlay::Address;
+use ipop_packet::ipv4::Ipv4Packet;
+use ipop_simcore::{Duration, SimTime};
+
+/// Outcome of a resolution attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// The destination's overlay address is known (cache hit or direct mapping).
+    Resolved(Address),
+    /// A DHT query is required; the caller should issue `dht_get(key)` and park the
+    /// packet until the reply arrives.
+    NeedsQuery(Address),
+    /// A query for this destination is already outstanding; just park the packet.
+    Pending,
+}
+
+/// Sender-side Brunet-ARP resolver.
+pub struct BrunetArp {
+    cache_ttl: Duration,
+    cache: HashMap<Ipv4Addr, (Address, SimTime)>,
+    /// Packets waiting for a resolution, per destination IP.
+    parked: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
+    /// Outstanding DHT query tokens → the IP they resolve.
+    outstanding: HashMap<u64, Ipv4Addr>,
+    /// Statistics.
+    pub cache_hits: u64,
+    /// Statistics.
+    pub cache_misses: u64,
+    /// Statistics: resolutions that found no mapping in the DHT.
+    pub failed: u64,
+}
+
+impl BrunetArp {
+    /// A resolver whose cache entries live for `cache_ttl`.
+    pub fn new(cache_ttl: Duration) -> Self {
+        BrunetArp {
+            cache_ttl,
+            cache: HashMap::new(),
+            parked: HashMap::new(),
+            outstanding: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            failed: 0,
+        }
+    }
+
+    /// The DHT key under which the mapping for `ip` is stored: SHA-1 of the
+    /// address, i.e. the same point on the ring the base design would send to.
+    pub fn key_for(ip: Ipv4Addr) -> Address {
+        Address::from_ip(ip)
+    }
+
+    /// Encode an overlay address as a DHT value.
+    pub fn encode_mapping(addr: &Address) -> Vec<u8> {
+        addr.0.to_vec()
+    }
+
+    /// Decode a DHT value back into an overlay address.
+    pub fn decode_mapping(value: &[u8]) -> Option<Address> {
+        if value.len() != 20 {
+            return None;
+        }
+        let mut b = [0u8; 20];
+        b.copy_from_slice(value);
+        Some(Address(b))
+    }
+
+    /// Number of live cache entries.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of parked packets across all destinations.
+    pub fn parked_packets(&self) -> usize {
+        self.parked.values().map(Vec::len).sum()
+    }
+
+    /// Look up the overlay address for `dst`, indicating whether a DHT query is
+    /// needed. The caller parks `pkt` with [`BrunetArp::park`] when a query is
+    /// required or pending.
+    pub fn resolve(&mut self, now: SimTime, dst: Ipv4Addr) -> Resolution {
+        if let Some((addr, stored_at)) = self.cache.get(&dst) {
+            if now.saturating_since(*stored_at) < self.cache_ttl {
+                self.cache_hits += 1;
+                return Resolution::Resolved(*addr);
+            }
+            self.cache.remove(&dst);
+        }
+        self.cache_misses += 1;
+        if self.outstanding.values().any(|ip| *ip == dst) {
+            return Resolution::Pending;
+        }
+        Resolution::NeedsQuery(Self::key_for(dst))
+    }
+
+    /// Record that DHT query `token` is resolving `dst`.
+    pub fn query_issued(&mut self, token: u64, dst: Ipv4Addr) {
+        self.outstanding.insert(token, dst);
+    }
+
+    /// Park a packet until `dst` resolves.
+    pub fn park(&mut self, dst: Ipv4Addr, pkt: Ipv4Packet) {
+        self.parked.entry(dst).or_default().push(pkt);
+    }
+
+    /// Process a DHT reply. Returns the resolved destination, its overlay address
+    /// (if the mapping existed) and any packets that were waiting for it.
+    pub fn on_reply(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        value: Option<Vec<u8>>,
+    ) -> Option<(Ipv4Addr, Option<Address>, Vec<Ipv4Packet>)> {
+        let dst = self.outstanding.remove(&token)?;
+        let addr = value.as_deref().and_then(Self::decode_mapping);
+        let waiting = self.parked.remove(&dst).unwrap_or_default();
+        match addr {
+            Some(a) => {
+                self.cache.insert(dst, (a, now));
+            }
+            None => {
+                self.failed += 1;
+            }
+        }
+        Some((dst, addr, waiting))
+    }
+
+    /// Drop the cached mapping for `dst` (e.g. after repeated delivery failures, or
+    /// when a migration is announced).
+    pub fn invalidate(&mut self, dst: Ipv4Addr) {
+        self.cache.remove(&dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipop_packet::ipv4::Ipv4Payload;
+
+    fn pkt(dst: Ipv4Addr) -> Ipv4Packet {
+        Ipv4Packet::new(Ipv4Addr::new(172, 16, 0, 2), dst, Ipv4Payload::Raw(99, vec![1]))
+    }
+
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 18);
+
+    #[test]
+    fn mapping_encoding_round_trips() {
+        let addr = Address::from_key(b"some node");
+        let encoded = BrunetArp::encode_mapping(&addr);
+        assert_eq!(BrunetArp::decode_mapping(&encoded), Some(addr));
+        assert_eq!(BrunetArp::decode_mapping(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn miss_query_reply_hit_cycle() {
+        let mut arp = BrunetArp::new(Duration::from_secs(60));
+        let now = SimTime::ZERO;
+        // First packet: miss, needs a query.
+        let r = arp.resolve(now, DST);
+        let Resolution::NeedsQuery(key) = r else { panic!("expected NeedsQuery, got {r:?}") };
+        assert_eq!(key, Address::from_ip(DST));
+        arp.query_issued(7, DST);
+        arp.park(DST, pkt(DST));
+        // Second packet while the query is outstanding: pending.
+        assert_eq!(arp.resolve(now, DST), Resolution::Pending);
+        arp.park(DST, pkt(DST));
+        assert_eq!(arp.parked_packets(), 2);
+        // Reply arrives: both packets released, mapping cached.
+        let target = Address::from_key(b"host routing for DST");
+        let (ip, addr, released) =
+            arp.on_reply(now, 7, Some(BrunetArp::encode_mapping(&target))).unwrap();
+        assert_eq!(ip, DST);
+        assert_eq!(addr, Some(target));
+        assert_eq!(released.len(), 2);
+        assert_eq!(arp.cached(), 1);
+        // Third packet: cache hit.
+        assert_eq!(arp.resolve(now, DST), Resolution::Resolved(target));
+        assert_eq!(arp.cache_hits, 1);
+        assert_eq!(arp.cache_misses, 2);
+    }
+
+    #[test]
+    fn cache_entries_expire() {
+        let mut arp = BrunetArp::new(Duration::from_secs(10));
+        let target = Address::from_key(b"n");
+        arp.query_issued(1, DST);
+        arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
+        assert!(matches!(arp.resolve(SimTime::ZERO + Duration::from_secs(5), DST), Resolution::Resolved(_)));
+        // After the TTL the entry must be re-resolved (this is what picks up VM migration).
+        assert!(matches!(
+            arp.resolve(SimTime::ZERO + Duration::from_secs(11), DST),
+            Resolution::NeedsQuery(_)
+        ));
+    }
+
+    #[test]
+    fn failed_lookup_counts_and_releases_packets() {
+        let mut arp = BrunetArp::new(Duration::from_secs(10));
+        arp.query_issued(3, DST);
+        arp.park(DST, pkt(DST));
+        let (_, addr, released) = arp.on_reply(SimTime::ZERO, 3, None).unwrap();
+        assert_eq!(addr, None);
+        assert_eq!(released.len(), 1);
+        assert_eq!(arp.failed, 1);
+        assert_eq!(arp.cached(), 0);
+    }
+
+    #[test]
+    fn unknown_token_is_ignored() {
+        let mut arp = BrunetArp::new(Duration::from_secs(10));
+        assert!(arp.on_reply(SimTime::ZERO, 99, Some(vec![0; 20])).is_none());
+    }
+
+    #[test]
+    fn invalidate_forces_requery() {
+        let mut arp = BrunetArp::new(Duration::from_secs(1000));
+        let target = Address::from_key(b"n");
+        arp.query_issued(1, DST);
+        arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
+        arp.invalidate(DST);
+        assert!(matches!(arp.resolve(SimTime::ZERO, DST), Resolution::NeedsQuery(_)));
+    }
+}

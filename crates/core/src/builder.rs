@@ -1,0 +1,145 @@
+//! Deployment helpers: turn a physical topology plus a list of virtual addresses
+//! into a running IPOP virtual network.
+//!
+//! Adding a resource to an IPOP network is deliberately trivial in the paper — set
+//! up a tap device, pick a free virtual IP and start the node — and this builder
+//! mirrors that: give it the hosts and their virtual IPs, and it installs one
+//! [`IpopHostAgent`] per host, all bootstrapping off the first one listed.
+
+use std::net::Ipv4Addr;
+
+use ipop_netsim::{HostId, Network};
+use ipop_overlay::transport::TransportMode;
+
+use crate::app::{NullApp, VirtualApp};
+use crate::config::IpopConfig;
+use crate::node::IpopHostAgent;
+use crate::plain::PlainHostAgent;
+
+/// A host to be joined to the virtual network.
+pub struct IpopMember {
+    /// The physical host.
+    pub host: HostId,
+    /// The virtual IP to assign to its tap interface.
+    pub virtual_ip: Ipv4Addr,
+    /// The application to run on the virtual network.
+    pub app: Box<dyn VirtualApp>,
+}
+
+impl IpopMember {
+    /// A member running the given application.
+    pub fn new(host: HostId, virtual_ip: Ipv4Addr, app: Box<dyn VirtualApp>) -> Self {
+        IpopMember { host, virtual_ip, app }
+    }
+
+    /// A member that only routes (no application).
+    pub fn router(host: HostId, virtual_ip: Ipv4Addr) -> Self {
+        IpopMember { host, virtual_ip, app: Box::new(NullApp) }
+    }
+}
+
+/// Options shared by every member of a deployment.
+#[derive(Clone, Debug)]
+pub struct DeployOptions {
+    /// Overlay transport mode (the IPOP-TCP vs IPOP-UDP axis of Tables I–III).
+    pub transport: TransportMode,
+    /// Enable the Brunet-ARP DHT mapper on every node.
+    pub brunet_arp: bool,
+    /// Enable shortcut connections.
+    pub shortcuts: bool,
+}
+
+impl Default for DeployOptions {
+    fn default() -> Self {
+        DeployOptions { transport: TransportMode::Udp, brunet_arp: false, shortcuts: true }
+    }
+}
+
+impl DeployOptions {
+    /// UDP-mode deployment (the paper's best-performing configuration).
+    pub fn udp() -> Self {
+        Self::default()
+    }
+
+    /// TCP-mode deployment.
+    pub fn tcp() -> Self {
+        DeployOptions { transport: TransportMode::Tcp, ..Self::default() }
+    }
+}
+
+/// Install an [`IpopHostAgent`] on every member host. The first member acts as the
+/// bootstrap node for all the others (any node already in the overlay would do).
+/// Returns the member hosts in the same order.
+pub fn deploy_ipop(net: &mut Network, members: Vec<IpopMember>, options: DeployOptions) -> Vec<HostId> {
+    assert!(!members.is_empty(), "a deployment needs at least one member");
+    let bootstrap_host = members[0].host;
+    let bootstrap_addr = net.host(bootstrap_host).addr;
+    let overlay_port = 4001;
+    let mut hosts = Vec::with_capacity(members.len());
+    for (i, member) in members.into_iter().enumerate() {
+        let phys_addr = net.host(member.host).addr;
+        let mut cfg = IpopConfig::new(member.virtual_ip).with_transport(options.transport);
+        if options.brunet_arp {
+            cfg = cfg.with_brunet_arp();
+        }
+        if !options.shortcuts {
+            cfg = cfg.without_shortcuts();
+        }
+        if i != 0 {
+            cfg = cfg.with_bootstrap(vec![(bootstrap_addr, overlay_port)]);
+        }
+        let agent = IpopHostAgent::new(cfg, phys_addr, member.app);
+        net.set_agent(member.host, Box::new(agent));
+        hosts.push(member.host);
+    }
+    hosts
+}
+
+/// Install a baseline [`PlainHostAgent`] (no IPOP) running `app` on `host`.
+pub fn deploy_plain(net: &mut Network, host: HostId, app: Box<dyn VirtualApp>) -> HostId {
+    let addr = net.host(host).addr;
+    net.set_agent(host, Box::new(PlainHostAgent::new(addr, app)));
+    host
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipop_netsim::lan_pair;
+
+    #[test]
+    fn deploy_installs_agents_with_bootstrap_chain() {
+        let mut net = Network::new(1);
+        let (a, b, _, _) = lan_pair(&mut net);
+        let hosts = deploy_ipop(
+            &mut net,
+            vec![
+                IpopMember::router(a, Ipv4Addr::new(172, 16, 0, 1)),
+                IpopMember::router(b, Ipv4Addr::new(172, 16, 0, 2)),
+            ],
+            DeployOptions::udp(),
+        );
+        assert_eq!(hosts, vec![a, b]);
+        assert!(net.agent_as::<IpopHostAgent>(a).is_some());
+        assert!(net.agent_as::<IpopHostAgent>(b).is_some());
+        assert_eq!(
+            net.agent_as::<IpopHostAgent>(b).unwrap().virtual_ip(),
+            Ipv4Addr::new(172, 16, 0, 2)
+        );
+    }
+
+    #[test]
+    fn deploy_plain_installs_baseline_agent() {
+        let mut net = Network::new(2);
+        let (a, _, _, _) = lan_pair(&mut net);
+        deploy_plain(&mut net, a, Box::new(NullApp));
+        assert!(net.agent_as::<PlainHostAgent>(a).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_deployment_is_rejected() {
+        let mut net = Network::new(3);
+        deploy_ipop(&mut net, vec![], DeployOptions::udp());
+    }
+}

@@ -1,0 +1,124 @@
+//! IPOP node configuration.
+
+use std::net::Ipv4Addr;
+
+use ipop_overlay::packets::Endpoint;
+use ipop_overlay::transport::TransportMode;
+use ipop_simcore::Duration;
+
+/// Configuration of one IPOP node (paper Section III).
+#[derive(Clone, Debug)]
+pub struct IpopConfig {
+    /// The virtual IP address assigned to this host's tap interface. Must be unique
+    /// within the virtual address space; the node's overlay address is its SHA-1
+    /// hash.
+    pub virtual_ip: Ipv4Addr,
+    /// The virtual address space (used only to sanity-check destinations).
+    pub virtual_prefix: (Ipv4Addr, u8),
+    /// The fabricated gateway IP for the static-ARP trick (must not collide with a
+    /// real virtual IP).
+    pub gateway_ip: Ipv4Addr,
+    /// MTU of the virtual interface. Kept below the physical MTU so an encapsulated
+    /// virtual packet still fits in a single physical datagram.
+    pub virtual_mtu: usize,
+    /// UDP/TCP port the overlay transport uses on the physical network.
+    pub overlay_port: u16,
+    /// Whether Brunet runs over UDP or TCP (the two modes compared in Tables I-III).
+    pub transport: TransportMode,
+    /// Physical endpoints of nodes already in the overlay.
+    pub bootstrap: Vec<Endpoint>,
+    /// Enable the Brunet-ARP mapper (paper Section III-E): IP→overlay-address
+    /// mappings are registered in and resolved from the DHT instead of being
+    /// derived directly from the destination IP. Required for hosts that route for
+    /// multiple virtual IPs or for migrating VMs.
+    pub brunet_arp: bool,
+    /// Lifetime of Brunet-ARP cache entries at senders.
+    pub brunet_arp_cache_ttl: Duration,
+    /// Interval of the overlay maintenance tick.
+    pub overlay_tick: Duration,
+    /// Disable shortcut connections (ablation switch, Section V.1 discussion).
+    pub shortcuts: bool,
+}
+
+impl IpopConfig {
+    /// A node with virtual address `virtual_ip` and defaults matching the paper's
+    /// prototype (UDP transport, 172.16.0.0/16 virtual space, port 4001).
+    pub fn new(virtual_ip: Ipv4Addr) -> Self {
+        IpopConfig {
+            virtual_ip,
+            virtual_prefix: (Ipv4Addr::new(172, 16, 0, 0), 16),
+            gateway_ip: Ipv4Addr::new(172, 16, 255, 254),
+            virtual_mtu: 1400,
+            overlay_port: 4001,
+            transport: TransportMode::Udp,
+            bootstrap: Vec::new(),
+            brunet_arp: false,
+            brunet_arp_cache_ttl: Duration::from_secs(300),
+            overlay_tick: Duration::from_millis(500),
+            shortcuts: true,
+        }
+    }
+
+    /// Builder: set bootstrap endpoints.
+    pub fn with_bootstrap(mut self, bootstrap: Vec<Endpoint>) -> Self {
+        self.bootstrap = bootstrap;
+        self
+    }
+
+    /// Builder: select the overlay transport mode.
+    pub fn with_transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
+    /// Builder: enable the Brunet-ARP DHT mapper.
+    pub fn with_brunet_arp(mut self) -> Self {
+        self.brunet_arp = true;
+        self
+    }
+
+    /// Builder: disable shortcut connections.
+    pub fn without_shortcuts(mut self) -> Self {
+        self.shortcuts = false;
+        self
+    }
+
+    /// Is `ip` inside the virtual address space?
+    pub fn in_virtual_space(&self, ip: Ipv4Addr) -> bool {
+        let (net, len) = self.virtual_prefix;
+        if len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - len);
+        (u32::from(ip) & mask) == (u32::from(net) & mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = IpopConfig::new(Ipv4Addr::new(172, 16, 0, 2));
+        assert!(cfg.in_virtual_space(cfg.virtual_ip));
+        assert!(cfg.in_virtual_space(cfg.gateway_ip));
+        assert!(!cfg.in_virtual_space(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(cfg.virtual_mtu < 1500);
+        assert!(!cfg.brunet_arp);
+        assert!(cfg.shortcuts);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = IpopConfig::new(Ipv4Addr::new(172, 16, 0, 3))
+            .with_transport(TransportMode::Tcp)
+            .with_bootstrap(vec![(Ipv4Addr::new(128, 227, 56, 83), 4001)])
+            .with_brunet_arp()
+            .without_shortcuts();
+        assert_eq!(cfg.transport, TransportMode::Tcp);
+        assert_eq!(cfg.bootstrap.len(), 1);
+        assert!(cfg.brunet_arp);
+        assert!(!cfg.shortcuts);
+    }
+}

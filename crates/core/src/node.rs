@@ -1,0 +1,488 @@
+//! The IPOP node: the paper's core contribution, assembled as a host agent.
+//!
+//! One [`IpopHostAgent`] owns everything that runs on a machine participating in an
+//! IPOP virtual network (paper Fig. 2):
+//!
+//! * the **physical network stack** carrying Brunet traffic (UDP or TCP mode),
+//! * the **Brunet overlay node** that self-configures connections, traverses NATs
+//!   and routes packets on the 160-bit ring,
+//! * the **tap device** plus the kernel-side Ethernet adapter configured with the
+//!   static-ARP "non-existent gateway" trick,
+//! * the **virtual network stack** the unmodified application talks to, and
+//! * the **application** itself ([`crate::app::VirtualApp`]).
+//!
+//! The data path is exactly the paper's: the application writes to a socket on the
+//! virtual stack; the kernel emits an Ethernet frame on the tap; IPOP reads the
+//! frame, extracts the IPv4 packet, maps the destination IP to an overlay address
+//! (SHA-1 directly, or through Brunet-ARP), wraps it in a P2P packet and routes it;
+//! the destination node unwraps it, rebuilds a frame and injects it into its own
+//! tap, where the kernel delivers it to the receiving application. User-level
+//! processing and tap crossings are charged to the host CPU according to
+//! [`ipop_netsim::Calibration`], which is what reproduces the 6–10 ms overhead of
+//! Table I and the load-dependent behaviour of Fig. 5.
+
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use ipop_netsim::{HostAgent, HostCtx};
+use ipop_netstack::eth::EthAdapter;
+use ipop_netstack::tap::TapDevice;
+use ipop_netstack::{NetStack, StackConfig};
+use ipop_overlay::packets::RoutedPayload;
+use ipop_overlay::transport::{OverlayTransport, TcpTransport, TransportMode, UdpTransport};
+use ipop_overlay::{Address, OverlayConfig, OverlayNode, OverlayStats};
+use ipop_packet::ether::{EthernetFrame, FramePayload, MacAddr};
+use ipop_packet::ipv4::Ipv4Packet;
+use ipop_simcore::{Duration, SimTime, StreamRng, TimerToken};
+
+use crate::app::{AppEnv, VirtualApp};
+use crate::brunet_arp::{BrunetArp, Resolution};
+use crate::config::IpopConfig;
+
+/// Timer token used for the agent's self-scheduled wakeups.
+const WAKEUP: TimerToken = TimerToken(1);
+
+/// Counters describing one IPOP node's activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IpopMetrics {
+    /// Virtual IP packets read from the tap and tunnelled into the overlay.
+    pub tunneled_tx: u64,
+    /// Virtual IP packets received from the overlay and injected into the tap.
+    pub tunneled_rx: u64,
+    /// ARP frames read from the tap and contained within the host.
+    pub arp_contained: u64,
+    /// Non-IP, non-ARP frames dropped at the tap.
+    pub non_ip_dropped: u64,
+    /// Tunnelled packets whose destination was outside the virtual address space.
+    pub not_virtual_dropped: u64,
+    /// Tunnelled payloads that failed to parse as IPv4.
+    pub decode_errors: u64,
+    /// Packets received for a virtual IP this node routes for but that is not the
+    /// tap address (guest VMs / multiple-IP support).
+    pub guest_rx: u64,
+    /// Brunet-ARP queries issued.
+    pub arp_queries: u64,
+}
+
+/// A host agent running a full IPOP node plus one application.
+pub struct IpopHostAgent {
+    cfg: IpopConfig,
+    label: String,
+
+    phys: NetStack,
+    transport: Box<dyn OverlayTransport>,
+    overlay: OverlayNode,
+
+    tap: TapDevice,
+    veth: EthAdapter,
+    gateway_mac: MacAddr,
+    vstack: NetStack,
+
+    app: Box<dyn VirtualApp>,
+    app_rng: StreamRng,
+    app_next: Option<SimTime>,
+
+    brunet_arp: Option<BrunetArp>,
+    extra_ips: Vec<Ipv4Addr>,
+    guest_delivered: Vec<Ipv4Packet>,
+
+    /// Tunnel packets whose receive-side user-level processing completes at the
+    /// given instant (so latency measurements include that cost).
+    rx_pending: Vec<(SimTime, Ipv4Packet)>,
+
+    next_overlay_tick: SimTime,
+    scheduled_wakeup: Option<SimTime>,
+    last_forwarded: u64,
+    metrics: IpopMetrics,
+}
+
+impl IpopHostAgent {
+    /// Build an IPOP node for a host whose physical interface address is
+    /// `phys_addr`, running `app` on the virtual network.
+    pub fn new(cfg: IpopConfig, phys_addr: Ipv4Addr, app: Box<dyn VirtualApp>) -> Self {
+        let seed = u64::from(u32::from(cfg.virtual_ip)) ^ 0x1b0b_5eed;
+        let mut phys = NetStack::new(StackConfig::new(phys_addr));
+        let transport: Box<dyn OverlayTransport> = match cfg.transport {
+            TransportMode::Udp => Box::new(UdpTransport::bind(&mut phys, cfg.overlay_port)),
+            TransportMode::Tcp => Box::new(TcpTransport::bind(&mut phys, cfg.overlay_port)),
+        };
+        let overlay_addr = Address::from_ip(cfg.virtual_ip);
+        let mut overlay_cfg = OverlayConfig::new(overlay_addr, (phys_addr, cfg.overlay_port))
+            .with_bootstrap(cfg.bootstrap.clone());
+        overlay_cfg.maintenance_interval = cfg.overlay_tick;
+        if !cfg.shortcuts {
+            overlay_cfg = overlay_cfg.without_shortcuts();
+        }
+        let overlay = OverlayNode::new(overlay_cfg, StreamRng::new(seed, "ipop.overlay"));
+
+        let tap_mac = MacAddr::local(u64::from(u32::from(cfg.virtual_ip)));
+        let gateway_mac = MacAddr::local(0xFFFF_FFFF_0000 | u64::from(u32::from(cfg.gateway_ip)) & 0xFFFF);
+        let tap = TapDevice::new(tap_mac);
+        let veth = EthAdapter::with_static_gateway(tap_mac, cfg.virtual_ip, cfg.gateway_ip, gateway_mac);
+        let vstack = NetStack::new(StackConfig::new(cfg.virtual_ip).with_mtu(cfg.virtual_mtu));
+
+        let brunet_arp = cfg.brunet_arp.then(|| BrunetArp::new(cfg.brunet_arp_cache_ttl));
+        let label = format!("ipop-{}", cfg.virtual_ip);
+
+        IpopHostAgent {
+            cfg,
+            label,
+            phys,
+            transport,
+            overlay,
+            tap,
+            veth,
+            gateway_mac,
+            vstack,
+            app,
+            app_rng: StreamRng::new(seed, "ipop.app"),
+            app_next: None,
+            brunet_arp,
+            extra_ips: Vec::new(),
+            guest_delivered: Vec::new(),
+            rx_pending: Vec::new(),
+            next_overlay_tick: SimTime::ZERO,
+            scheduled_wakeup: None,
+            last_forwarded: 0,
+            metrics: IpopMetrics::default(),
+        }
+    }
+
+    /// The virtual IP of this node's tap interface.
+    pub fn virtual_ip(&self) -> Ipv4Addr {
+        self.cfg.virtual_ip
+    }
+
+    /// The node's overlay address.
+    pub fn overlay_address(&self) -> Address {
+        self.overlay.address()
+    }
+
+    /// IPOP activity counters.
+    pub fn metrics(&self) -> IpopMetrics {
+        self.metrics
+    }
+
+    /// Overlay routing statistics.
+    pub fn overlay_stats(&self) -> OverlayStats {
+        self.overlay.stats()
+    }
+
+    /// True once the node has at least one established overlay connection.
+    pub fn is_connected(&self) -> bool {
+        self.overlay.is_connected()
+    }
+
+    /// Number of established overlay connections.
+    pub fn connection_count(&self) -> usize {
+        self.overlay.connections().established().count()
+    }
+
+    /// Downcast the embedded application.
+    pub fn app_as<T: 'static>(&self) -> Option<&T> {
+        self.app.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of the embedded application.
+    pub fn app_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.app.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Register an additional virtual IP this node routes for (a guest VM hosted by
+    /// this machine — paper Section III-E). With Brunet-ARP enabled the mapping is
+    /// published in the DHT; packets for that IP are collected in a guest queue.
+    pub fn route_for(&mut self, now: SimTime, ip: Ipv4Addr) {
+        if !self.extra_ips.contains(&ip) {
+            self.extra_ips.push(ip);
+        }
+        if self.brunet_arp.is_some() {
+            let key = BrunetArp::key_for(ip);
+            let value = BrunetArp::encode_mapping(&self.overlay.address());
+            self.overlay.dht_put(now, key, value);
+        }
+    }
+
+    /// Packets delivered for registered guest IPs.
+    pub fn take_guest_packets(&mut self) -> Vec<Ipv4Packet> {
+        std::mem::take(&mut self.guest_delivered)
+    }
+
+    /// Publish this node's own tap IP in the Brunet-ARP DHT (done automatically at
+    /// start when Brunet-ARP is enabled; callable again after "migration").
+    pub fn publish_own_mapping(&mut self, now: SimTime) {
+        if self.brunet_arp.is_some() {
+            let key = BrunetArp::key_for(self.cfg.virtual_ip);
+            let value = BrunetArp::encode_mapping(&self.overlay.address());
+            self.overlay.dht_put(now, key, value);
+        }
+    }
+
+    // ------------------------------------------------------------------ internals
+
+    fn tunnel_out(&mut self, ctx: &mut HostCtx<'_, '_>, vpkt: Ipv4Packet) {
+        let now = ctx.now();
+        let dst = vpkt.dst();
+        let cal = ctx.calibration();
+        let load = ctx.load();
+        // User-level processing + tap crossing for every packet leaving via IPOP.
+        ctx.consume_cpu(cal.ipop_cost_at_load(load) + cal.tap_crossing_cost);
+        self.metrics.tunneled_tx += 1;
+        match &mut self.brunet_arp {
+            None => {
+                self.overlay.send_ip(now, Address::from_ip(dst), vpkt.to_bytes());
+            }
+            Some(arp) => match arp.resolve(now, dst) {
+                Resolution::Resolved(addr) => {
+                    self.overlay.send_ip(now, addr, vpkt.to_bytes());
+                }
+                Resolution::NeedsQuery(key) => {
+                    let token = self.overlay.dht_get(now, key);
+                    arp.query_issued(token, dst);
+                    arp.park(dst, vpkt);
+                    self.metrics.arp_queries += 1;
+                }
+                Resolution::Pending => {
+                    arp.park(dst, vpkt);
+                }
+            },
+        }
+    }
+
+    fn deliver_virtual(&mut self, now: SimTime, vpkt: Ipv4Packet) {
+        let dst = vpkt.dst();
+        if dst == self.cfg.virtual_ip {
+            // Rebuild the Ethernet frame and inject it through the tap, exactly as
+            // the prototype writes to /dev/net/tun: source MAC is the fabricated
+            // gateway, destination is the tap device.
+            let frame = EthernetFrame::ipv4(self.gateway_mac, self.tap.mac(), vpkt);
+            self.tap.user_write(frame);
+            self.metrics.tunneled_rx += 1;
+        } else if self.extra_ips.contains(&dst) {
+            self.metrics.guest_rx += 1;
+            self.guest_delivered.push(vpkt);
+        } else {
+            // Delivered here by the overlay but we do not route for this IP.
+            self.metrics.decode_errors += 1;
+        }
+        let _ = now;
+    }
+
+    /// The main processing loop, run after every packet or timer event.
+    fn pump(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        let cal = ctx.calibration();
+        let load = ctx.load();
+        for _ in 0..64 {
+            let mut progress = false;
+
+            // Overlay periodic maintenance.
+            if now >= self.next_overlay_tick {
+                self.overlay.on_tick(now);
+                self.next_overlay_tick = now + self.cfg.overlay_tick;
+                progress = true;
+            }
+
+            // Physical stack → transport → overlay.
+            self.phys.poll(now);
+            for (ep, msg) in self.transport.poll(&mut self.phys, now) {
+                self.overlay.on_message(now, ep, msg);
+                progress = true;
+            }
+
+            // Overlay deliveries → receive-side processing delay queue.
+            for routed in self.overlay.take_delivered() {
+                if let RoutedPayload::IpTunnel(bytes) = routed.payload {
+                    match Ipv4Packet::from_bytes(&bytes) {
+                        Ok(vpkt) => {
+                            let ready =
+                                ctx.consume_cpu(cal.ipop_cost_at_load(load) + cal.tap_crossing_cost);
+                            self.rx_pending.push((ready, vpkt));
+                        }
+                        Err(_) => self.metrics.decode_errors += 1,
+                    }
+                    progress = true;
+                }
+            }
+
+            // Brunet-ARP replies release parked packets.
+            let replies = self.overlay.take_dht_replies();
+            if !replies.is_empty() {
+                progress = true;
+                for (token, value) in replies {
+                    let released = self
+                        .brunet_arp
+                        .as_mut()
+                        .and_then(|arp| arp.on_reply(now, token, value));
+                    if let Some((_, addr, packets)) = released {
+                        for vpkt in packets {
+                            match addr {
+                                Some(a) => {
+                                    self.metrics.tunneled_tx += 1;
+                                    self.overlay.send_ip(now, a, vpkt.to_bytes());
+                                }
+                                None => self.metrics.not_virtual_dropped += 1,
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Tap: frames the kernel transmitted (application traffic going out).
+            while let Some(frame) = self.tap.user_read() {
+                progress = true;
+                match frame.payload {
+                    FramePayload::Ipv4(vpkt) => {
+                        let dst = vpkt.dst();
+                        if dst == self.cfg.virtual_ip {
+                            // Local loopback on the virtual interface.
+                            self.deliver_virtual(now, vpkt);
+                        } else if !self.cfg.in_virtual_space(dst) || dst == self.cfg.gateway_ip {
+                            self.metrics.not_virtual_dropped += 1;
+                        } else {
+                            self.tunnel_out(ctx, vpkt);
+                        }
+                    }
+                    FramePayload::Arp(_) => {
+                        // ARP is contained within the host (paper Section III-A).
+                        self.metrics.arp_contained += 1;
+                    }
+                    FramePayload::Other(..) => self.metrics.non_ip_dropped += 1,
+                }
+            }
+
+            // Tap: frames IPOP injected (tunnelled traffic going up to the kernel).
+            while let Some(frame) = self.tap.kernel_read() {
+                progress = true;
+                let (up, responses) = self.veth.process_frame(frame);
+                for pkt in up {
+                    self.vstack.handle_packet(now, pkt);
+                }
+                for f in responses {
+                    self.tap.kernel_write(f);
+                }
+            }
+
+            // Application.
+            let mut env = AppEnv {
+                stack: &mut self.vstack,
+                now,
+                rng: &mut self.app_rng,
+                host_name: &self.label,
+            };
+            self.app_next = self.app.poll(&mut env);
+
+            // Virtual stack output → Ethernet frames on the tap (kernel side).
+            self.vstack.poll(now);
+            for pkt in self.vstack.take_packets() {
+                for frame in self.veth.encapsulate(pkt) {
+                    self.tap.kernel_write(frame);
+                }
+                progress = true;
+            }
+
+            // Charge CPU for routed packets we forwarded on behalf of other nodes.
+            let forwarded = self.overlay.stats().forwarded;
+            if forwarded > self.last_forwarded {
+                let delta = forwarded - self.last_forwarded;
+                ctx.consume_cpu(cal.forward_cost_at_load(load) * delta);
+                self.last_forwarded = forwarded;
+                progress = true;
+            }
+
+            // Overlay output → physical transport → physical network.
+            for (ep, msg) in self.overlay.take_outbox() {
+                self.transport.send(&mut self.phys, now, ep, &msg);
+                progress = true;
+            }
+            self.phys.poll(now);
+            for pkt in self.phys.take_packets() {
+                ctx.send(pkt);
+                progress = true;
+            }
+
+            if !progress {
+                break;
+            }
+        }
+        self.arm_wakeup(ctx);
+    }
+
+    /// Deliver any receive-side packets whose processing delay has elapsed. Kept
+    /// separate from `pump` so the borrow of `self.rx_pending` does not overlap the
+    /// main loop's borrows.
+    fn flush_rx_pending(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.rx_pending.len() {
+            if self.rx_pending[i].0 <= now {
+                let (_, vpkt) = self.rx_pending.remove(i);
+                self.deliver_virtual(now, vpkt);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn arm_wakeup(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        let mut next = self.next_overlay_tick;
+        if let Some(t) = self.phys.next_timeout() {
+            next = next.min(t);
+        }
+        if let Some(t) = self.vstack.next_timeout() {
+            next = next.min(t);
+        }
+        if let Some(t) = self.app_next {
+            next = next.min(t);
+        }
+        if let Some(t) = self.rx_pending.iter().map(|(t, _)| *t).min() {
+            next = next.min(t);
+        }
+        let next = next.max(now + Duration::from_micros(10));
+        let need_new = match self.scheduled_wakeup {
+            Some(t) => next < t || t <= now,
+            None => true,
+        };
+        if need_new {
+            ctx.set_timer(next - now, WAKEUP);
+            self.scheduled_wakeup = Some(next);
+        }
+    }
+}
+
+impl HostAgent for IpopHostAgent {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        self.label = format!("{}({})", ctx.name(), self.cfg.virtual_ip);
+        self.overlay.start(now);
+        self.publish_own_mapping(now);
+        let mut env = AppEnv {
+            stack: &mut self.vstack,
+            now,
+            rng: &mut self.app_rng,
+            host_name: &self.label,
+        };
+        self.app.on_start(&mut env);
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Ipv4Packet) {
+        self.phys.handle_packet(ctx.now(), pkt);
+        self.flush_rx_pending(ctx.now());
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: TimerToken) {
+        if token == WAKEUP {
+            self.scheduled_wakeup = None;
+        }
+        self.flush_rx_pending(ctx.now());
+        self.pump(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

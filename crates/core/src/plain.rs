@@ -1,0 +1,129 @@
+//! The baseline host agent: the same application run directly on the physical
+//! network, with no IPOP in the path.
+//!
+//! Every experiment in the paper compares IPOP against the physical network
+//! ("physical" rows of Tables I–III). [`PlainHostAgent`] provides that baseline:
+//! it owns a single network stack attached to the physical interface and polls the
+//! identical [`VirtualApp`] object against it, so the only difference between the
+//! two runs is the presence of the virtualization layer.
+
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use ipop_netsim::{HostAgent, HostCtx};
+use ipop_netstack::{NetStack, StackConfig};
+use ipop_packet::ipv4::Ipv4Packet;
+use ipop_simcore::{Duration, SimTime, StreamRng, TimerToken};
+
+use crate::app::{AppEnv, VirtualApp};
+
+const WAKEUP: TimerToken = TimerToken(2);
+
+/// A host agent running an application directly on the physical network.
+pub struct PlainHostAgent {
+    stack: NetStack,
+    app: Box<dyn VirtualApp>,
+    app_rng: StreamRng,
+    app_next: Option<SimTime>,
+    scheduled_wakeup: Option<SimTime>,
+    label: String,
+}
+
+impl PlainHostAgent {
+    /// Build a baseline agent for a host with physical address `addr`.
+    pub fn new(addr: Ipv4Addr, app: Box<dyn VirtualApp>) -> Self {
+        let seed = u64::from(u32::from(addr)) ^ 0x00ba_5e11;
+        PlainHostAgent {
+            stack: NetStack::new(StackConfig::new(addr)),
+            app,
+            app_rng: StreamRng::new(seed, "plain.app"),
+            app_next: None,
+            scheduled_wakeup: None,
+            label: format!("plain-{addr}"),
+        }
+    }
+
+    /// Downcast the embedded application.
+    pub fn app_as<T: 'static>(&self) -> Option<&T> {
+        self.app.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of the embedded application.
+    pub fn app_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.app.as_any_mut().downcast_mut::<T>()
+    }
+
+    fn pump(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        for _ in 0..32 {
+            let mut env = AppEnv {
+                stack: &mut self.stack,
+                now,
+                rng: &mut self.app_rng,
+                host_name: &self.label,
+            };
+            self.app_next = self.app.poll(&mut env);
+            self.stack.poll(now);
+            let out = self.stack.take_packets();
+            if out.is_empty() {
+                break;
+            }
+            for pkt in out {
+                ctx.send(pkt);
+            }
+        }
+        self.arm_wakeup(ctx);
+    }
+
+    fn arm_wakeup(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        let mut next: Option<SimTime> = self.stack.next_timeout();
+        if let Some(t) = self.app_next {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        let Some(next) = next else { return };
+        let next = next.max(now + Duration::from_micros(10));
+        let need_new = match self.scheduled_wakeup {
+            Some(t) => next < t || t <= now,
+            None => true,
+        };
+        if need_new {
+            ctx.set_timer(next - now, WAKEUP);
+            self.scheduled_wakeup = Some(next);
+        }
+    }
+}
+
+impl HostAgent for PlainHostAgent {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let now = ctx.now();
+        self.label = format!("{}({})", ctx.name(), ctx.addr());
+        let mut env = AppEnv {
+            stack: &mut self.stack,
+            now,
+            rng: &mut self.app_rng,
+            host_name: &self.label,
+        };
+        self.app.on_start(&mut env);
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Ipv4Packet) {
+        self.stack.handle_packet(ctx.now(), pkt);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: TimerToken) {
+        if token == WAKEUP {
+            self.scheduled_wakeup = None;
+        }
+        self.pump(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,236 @@
+//! Link model: propagation latency, serialization (bandwidth), jitter, loss and a
+//! drop-tail queue expressed as a "busy until" horizon.
+//!
+//! Every physical path in the simulator is assembled from link segments (a LAN
+//! segment, site access links, a wide-area core segment). The transfer-time model
+//! is the classic store-and-forward one: a packet of `b` bytes leaving at time `t`
+//! on a link that is busy until `u` begins serialization at `max(t, u)`, occupies
+//! the link for `b / bandwidth`, then propagates for `latency (+ jitter)`.
+
+use ipop_simcore::{Duration, SimTime, StreamRng};
+
+/// Static parameters of a link segment.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Standard deviation of per-packet jitter (normal, truncated at zero).
+    pub jitter: Duration,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Maximum queueing backlog; packets that would have to wait longer than this
+    /// for serialization are dropped (drop-tail).
+    pub max_queue_delay: Duration,
+}
+
+impl LinkParams {
+    /// A typical switched 100 Mbit/s laboratory LAN segment.
+    pub fn lan_100mbit() -> Self {
+        LinkParams {
+            latency: Duration::from_micros(80),
+            bandwidth_bps: 100e6 / 8.0,
+            jitter: Duration::from_micros(15),
+            loss: 0.0,
+            max_queue_delay: Duration::from_millis(200),
+        }
+    }
+
+    /// A wide-area path segment with the given one-way latency and bandwidth.
+    pub fn wan(latency: Duration, bandwidth_mbps: f64) -> Self {
+        LinkParams {
+            latency,
+            bandwidth_bps: bandwidth_mbps * 1e6 / 8.0,
+            jitter: Duration::from_micros(200),
+            loss: 0.0,
+            max_queue_delay: Duration::from_millis(500),
+        }
+    }
+
+    /// Builder: set the loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Builder: set the jitter standard deviation.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn serialization(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+}
+
+/// Per-direction dynamic state of a link segment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkState {
+    /// The instant until which the transmitter is busy serializing earlier packets.
+    pub busy_until: SimTime,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped (loss or full queue).
+    pub dropped: u64,
+}
+
+/// The outcome of offering a packet to a link segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The packet will arrive at the far end of the segment at the given time.
+    Delivered(SimTime),
+    /// The packet was dropped (random loss or queue overflow).
+    Dropped,
+}
+
+/// A link segment: static parameters plus per-direction state.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Static parameters.
+    pub params: LinkParams,
+    /// Dynamic state.
+    pub state: LinkState,
+}
+
+impl Link {
+    /// A new idle link.
+    pub fn new(params: LinkParams) -> Self {
+        Link { params, state: LinkState::default() }
+    }
+
+    /// Offer a packet of `bytes` bytes to the link at time `depart`.
+    pub fn transmit(&mut self, depart: SimTime, bytes: usize, rng: &mut StreamRng) -> LinkOutcome {
+        if self.params.loss > 0.0 && rng.chance(self.params.loss) {
+            self.state.dropped += 1;
+            return LinkOutcome::Dropped;
+        }
+        let start = depart.max(self.state.busy_until);
+        let queue_delay = start.saturating_since(depart);
+        if queue_delay > self.params.max_queue_delay {
+            self.state.dropped += 1;
+            return LinkOutcome::Dropped;
+        }
+        let ser = self.params.serialization(bytes);
+        self.state.busy_until = start + ser;
+        let jitter = if self.params.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            rng.normal(Duration::ZERO, self.params.jitter)
+        };
+        let arrival = self.state.busy_until + self.params.latency + jitter;
+        self.state.tx_packets += 1;
+        self.state.tx_bytes += bytes as u64;
+        LinkOutcome::Delivered(arrival)
+    }
+
+    /// Observed utilisation: bytes transmitted so far.
+    pub fn tx_bytes(&self) -> u64 {
+        self.state.tx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StreamRng {
+        StreamRng::new(1, "link-test")
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size() {
+        let p = LinkParams::wan(Duration::from_millis(10), 8.0); // 1 MB/s
+        assert_eq!(p.serialization(1_000_000), Duration::from_secs(1));
+        assert_eq!(p.serialization(1_000), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn idle_link_delivers_after_latency_plus_serialization() {
+        let mut link = Link::new(LinkParams {
+            latency: Duration::from_millis(5),
+            bandwidth_bps: 1e6,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_secs(1),
+        });
+        let out = link.transmit(SimTime::ZERO, 1_000, &mut rng());
+        // 1000 bytes at 1 MB/s = 1 ms serialization + 5 ms latency.
+        assert_eq!(out, LinkOutcome::Delivered(SimTime::ZERO + Duration::from_millis(6)));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut link = Link::new(LinkParams {
+            latency: Duration::from_millis(1),
+            bandwidth_bps: 1e6,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_secs(1),
+        });
+        let mut r = rng();
+        let a = link.transmit(SimTime::ZERO, 1_000, &mut r);
+        let b = link.transmit(SimTime::ZERO, 1_000, &mut r);
+        let (LinkOutcome::Delivered(ta), LinkOutcome::Delivered(tb)) = (a, b) else {
+            panic!("both delivered")
+        };
+        assert_eq!(tb.saturating_since(ta), Duration::from_millis(1));
+        assert_eq!(link.state.tx_packets, 2);
+        assert_eq!(link.tx_bytes(), 2_000);
+    }
+
+    #[test]
+    fn bandwidth_bounds_throughput() {
+        // Push 100 packets of 10 kB through a 1 MB/s link: the last arrival must be
+        // no earlier than 1 second after the first departure.
+        let mut link = Link::new(LinkParams {
+            latency: Duration::from_micros(10),
+            bandwidth_bps: 1e6,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_secs(60),
+        });
+        let mut r = rng();
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            if let LinkOutcome::Delivered(t) = link.transmit(SimTime::ZERO, 10_000, &mut r) {
+                last = last.max(t);
+            }
+        }
+        assert!(last.saturating_since(SimTime::ZERO) >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn full_queue_drops() {
+        let mut link = Link::new(LinkParams {
+            latency: Duration::ZERO,
+            bandwidth_bps: 1e3, // 1 kB/s: 1 packet of 1 kB = 1 s serialization
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_millis(1500),
+        });
+        let mut r = rng();
+        assert!(matches!(link.transmit(SimTime::ZERO, 1_000, &mut r), LinkOutcome::Delivered(_)));
+        assert!(matches!(link.transmit(SimTime::ZERO, 1_000, &mut r), LinkOutcome::Delivered(_)));
+        // Third packet would wait 2 s > 1.5 s limit.
+        assert_eq!(link.transmit(SimTime::ZERO, 1_000, &mut r), LinkOutcome::Dropped);
+        assert_eq!(link.state.dropped, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_the_configured_fraction() {
+        let mut link = Link::new(LinkParams::lan_100mbit().with_loss(0.3));
+        let mut r = rng();
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            if link.transmit(SimTime::ZERO, 100, &mut r) == LinkOutcome::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!((2_500..3_500).contains(&dropped), "dropped {dropped}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Network Address Translation boxes.
+//!
+//! The paper (Section III-D) relies on the STUN classification of NATs into four
+//! types — full cone, (address-)restricted cone, port-restricted cone and symmetric
+//! — and on the property shared by all of them that a reply from the exact endpoint
+//! an internal host contacted is always allowed back in. Brunet's decentralized
+//! traversal exploits that property (plus the stability of the mapping for the
+//! three cone types) to hole-punch direct connections without any STUN server.
+//! This module implements all four behaviours so the overlay's traversal logic can
+//! be exercised against each.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A transport endpoint (address, port). For ICMP the "port" is the echo
+/// identifier, mirroring how real NATs translate ICMP query sessions.
+pub type Endpoint = (Ipv4Addr, u16);
+
+/// The four common NAT behaviours described by STUN (RFC 3489).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum NatType {
+    /// Any external host may send to an established mapping.
+    FullCone,
+    /// Only external *addresses* previously contacted may send back.
+    RestrictedCone,
+    /// Only external (address, port) pairs previously contacted may send back.
+    PortRestrictedCone,
+    /// A distinct mapping per destination; only that destination may reply and the
+    /// external port is unpredictable to third parties.
+    Symmetric,
+}
+
+impl NatType {
+    /// Whether the external mapping is independent of the destination — the
+    /// property the paper notes holds for "three out of four of the common NAT
+    /// types (all but the symmetric)" and which makes advertised translated
+    /// addresses reusable by other peers.
+    pub fn endpoint_independent(self) -> bool {
+        !matches!(self, NatType::Symmetric)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Mapping {
+    internal: Endpoint,
+    external_port: u16,
+    /// Remote endpoints this mapping has sent to (used by the filtering policy).
+    contacted: Vec<Endpoint>,
+}
+
+/// A NAT box translating between a private site network and its public address.
+#[derive(Debug)]
+pub struct NatBox {
+    nat_type: NatType,
+    public_ip: Ipv4Addr,
+    next_port: u16,
+    /// For cone NATs: one mapping per internal endpoint.
+    /// For symmetric NATs: one mapping per (internal endpoint, destination).
+    mappings: Vec<Mapping>,
+    by_external_port: HashMap<u16, usize>,
+    /// Statistics: packets dropped by the inbound filter.
+    pub inbound_filtered: u64,
+}
+
+impl NatBox {
+    /// A NAT of the given type owning `public_ip`.
+    pub fn new(nat_type: NatType, public_ip: Ipv4Addr) -> Self {
+        NatBox {
+            nat_type,
+            public_ip,
+            next_port: 20_000,
+            mappings: Vec::new(),
+            by_external_port: HashMap::new(),
+            inbound_filtered: 0,
+        }
+    }
+
+    /// The NAT's public address.
+    pub fn public_ip(&self) -> Ipv4Addr {
+        self.public_ip
+    }
+
+    /// The NAT's behaviour class.
+    pub fn nat_type(&self) -> NatType {
+        self.nat_type
+    }
+
+    /// Number of active mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    fn find_outbound(&self, internal: Endpoint, dst: Endpoint) -> Option<usize> {
+        self.mappings.iter().position(|m| {
+            m.internal == internal
+                && (self.nat_type.endpoint_independent()
+                    || m.contacted.first().is_some_and(|d| *d == dst))
+        })
+    }
+
+    /// Translate an outbound packet from `internal` towards `dst`.
+    ///
+    /// Returns the external (public) endpoint that the packet's source should be
+    /// rewritten to. Creates the mapping if necessary and records `dst` as a
+    /// contacted endpoint for the filtering policy.
+    pub fn outbound(&mut self, internal: Endpoint, dst: Endpoint) -> Endpoint {
+        let idx = match self.find_outbound(internal, dst) {
+            Some(i) => i,
+            None => {
+                let port = self.allocate_port();
+                self.mappings.push(Mapping { internal, external_port: port, contacted: Vec::new() });
+                let i = self.mappings.len() - 1;
+                self.by_external_port.insert(port, i);
+                i
+            }
+        };
+        let m = &mut self.mappings[idx];
+        if !m.contacted.contains(&dst) {
+            m.contacted.push(dst);
+        }
+        (self.public_ip, m.external_port)
+    }
+
+    /// Translate an inbound packet arriving at `external_port` from `src`.
+    ///
+    /// Returns the internal endpoint to forward to, or `None` if the packet is
+    /// filtered by the NAT's policy (no mapping, or the sender is not allowed by
+    /// the cone/symmetric filtering rule).
+    pub fn inbound(&mut self, external_port: u16, src: Endpoint) -> Option<Endpoint> {
+        let Some(&idx) = self.by_external_port.get(&external_port) else {
+            self.inbound_filtered += 1;
+            return None;
+        };
+        let m = &self.mappings[idx];
+        let allowed = match self.nat_type {
+            NatType::FullCone => true,
+            NatType::RestrictedCone => m.contacted.iter().any(|(ip, _)| *ip == src.0),
+            NatType::PortRestrictedCone | NatType::Symmetric => m.contacted.contains(&src),
+        };
+        if allowed {
+            Some(m.internal)
+        } else {
+            self.inbound_filtered += 1;
+            None
+        }
+    }
+
+    /// The external endpoint currently mapped for `internal` towards `dst`, if one
+    /// exists (what a peer would observe as the translated address).
+    pub fn external_for(&self, internal: Endpoint, dst: Endpoint) -> Option<Endpoint> {
+        self.find_outbound(internal, dst).map(|i| (self.public_ip, self.mappings[i].external_port))
+    }
+
+    fn allocate_port(&mut self) -> u16 {
+        loop {
+            let p = self.next_port;
+            self.next_port = if self.next_port == u16::MAX { 20_000 } else { self.next_port + 1 };
+            if !self.by_external_port.contains_key(&p) {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PUB: Ipv4Addr = Ipv4Addr::new(128, 227, 56, 1);
+    const IN_A: Endpoint = (Ipv4Addr::new(192, 168, 1, 10), 4000);
+    const PEER_X: Endpoint = (Ipv4Addr::new(13, 0, 0, 1), 7000);
+    const PEER_Y: Endpoint = (Ipv4Addr::new(14, 0, 0, 2), 8000);
+
+    #[test]
+    fn reply_from_contacted_endpoint_always_allowed() {
+        // The property the paper singles out: for every NAT type, B can reply to A
+        // after A sent to B.
+        for ty in [NatType::FullCone, NatType::RestrictedCone, NatType::PortRestrictedCone, NatType::Symmetric] {
+            let mut nat = NatBox::new(ty, PUB);
+            let (pub_ip, pub_port) = nat.outbound(IN_A, PEER_X);
+            assert_eq!(pub_ip, PUB);
+            assert_eq!(nat.inbound(pub_port, PEER_X), Some(IN_A), "{ty:?}");
+        }
+    }
+
+    #[test]
+    fn full_cone_allows_third_parties() {
+        let mut nat = NatBox::new(NatType::FullCone, PUB);
+        let (_, port) = nat.outbound(IN_A, PEER_X);
+        assert_eq!(nat.inbound(port, PEER_Y), Some(IN_A));
+    }
+
+    #[test]
+    fn restricted_cone_filters_by_address() {
+        let mut nat = NatBox::new(NatType::RestrictedCone, PUB);
+        let (_, port) = nat.outbound(IN_A, PEER_X);
+        // Same address, different port: allowed.
+        assert_eq!(nat.inbound(port, (PEER_X.0, 9_999)), Some(IN_A));
+        // Different address: filtered.
+        assert_eq!(nat.inbound(port, PEER_Y), None);
+        assert_eq!(nat.inbound_filtered, 1);
+    }
+
+    #[test]
+    fn port_restricted_cone_filters_by_address_and_port() {
+        let mut nat = NatBox::new(NatType::PortRestrictedCone, PUB);
+        let (_, port) = nat.outbound(IN_A, PEER_X);
+        assert_eq!(nat.inbound(port, PEER_X), Some(IN_A));
+        assert_eq!(nat.inbound(port, (PEER_X.0, 9_999)), None);
+    }
+
+    #[test]
+    fn cone_nats_reuse_the_same_external_port_across_destinations() {
+        for ty in [NatType::FullCone, NatType::RestrictedCone, NatType::PortRestrictedCone] {
+            let mut nat = NatBox::new(ty, PUB);
+            let (_, p1) = nat.outbound(IN_A, PEER_X);
+            let (_, p2) = nat.outbound(IN_A, PEER_Y);
+            assert_eq!(p1, p2, "{ty:?} keeps one mapping per internal endpoint");
+            assert!(ty.endpoint_independent());
+        }
+    }
+
+    #[test]
+    fn symmetric_nat_allocates_per_destination_ports() {
+        let mut nat = NatBox::new(NatType::Symmetric, PUB);
+        let (_, p1) = nat.outbound(IN_A, PEER_X);
+        let (_, p2) = nat.outbound(IN_A, PEER_Y);
+        assert_ne!(p1, p2);
+        assert!(!NatType::Symmetric.endpoint_independent());
+        // The mapping towards X only admits X.
+        assert_eq!(nat.inbound(p1, PEER_Y), None);
+        assert_eq!(nat.inbound(p1, PEER_X), Some(IN_A));
+        assert_eq!(nat.mapping_count(), 2);
+    }
+
+    #[test]
+    fn unsolicited_inbound_is_dropped() {
+        let mut nat = NatBox::new(NatType::FullCone, PUB);
+        assert_eq!(nat.inbound(33_333, PEER_X), None);
+        assert_eq!(nat.inbound_filtered, 1);
+    }
+
+    #[test]
+    fn mapping_is_stable_and_observable() {
+        let mut nat = NatBox::new(NatType::PortRestrictedCone, PUB);
+        let ext = nat.outbound(IN_A, PEER_X);
+        assert_eq!(nat.external_for(IN_A, PEER_X), Some(ext));
+        // Sending again does not change the mapping.
+        assert_eq!(nat.outbound(IN_A, PEER_X), ext);
+        assert_eq!(nat.mapping_count(), 1);
+    }
+}

@@ -1,0 +1,724 @@
+//! The physical network: sites, hosts, and the packet delivery path.
+//!
+//! [`Network`] is the "world" type driven by the discrete-event simulator. It owns
+//! every site (LAN + access links + firewall + NAT) and every host (CPU model +
+//! agent), and implements the transmit path: source-host CPU queueing, outbound
+//! firewall and NAT processing, link-by-link latency/bandwidth, inbound NAT and
+//! firewall processing at the destination site, destination-host CPU queueing and
+//! finally agent dispatch.
+//!
+//! [`NetworkSim`] wraps a `Network` in a [`Simulator`] and provides the run loop
+//! used by the examples, tests and the experiment harness.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
+use ipop_simcore::sim::Control;
+use ipop_simcore::{Duration, SimTime, Simulator, StreamRng, TimerToken};
+
+use crate::calibration::Calibration;
+use crate::firewall::Direction;
+use crate::host::{Host, HostAgent, HostCtx, HostId};
+use crate::link::LinkOutcome;
+use crate::site::{Site, SiteSpec};
+
+/// Identifier of a site in the network.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SiteId(pub usize);
+
+/// Network-wide drop/delivery counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetCounters {
+    /// Packets delivered to an agent.
+    pub delivered: u64,
+    /// Packets with no matching destination host or NAT mapping target.
+    pub unroutable: u64,
+    /// Packets dropped by an outbound firewall policy.
+    pub firewall_out_dropped: u64,
+    /// Packets dropped by an inbound firewall policy.
+    pub firewall_in_dropped: u64,
+    /// Packets filtered by a NAT (no mapping or disallowed sender).
+    pub nat_filtered: u64,
+    /// Packets dropped by a link (loss or queue overflow).
+    pub link_dropped: u64,
+}
+
+/// The core latency/jitter applied between any two distinct sites.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreParams {
+    /// One-way latency across the wide-area core.
+    pub latency: Duration,
+    /// Jitter standard deviation.
+    pub jitter: Duration,
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        CoreParams { latency: Duration::from_millis(12), jitter: Duration::from_micros(300) }
+    }
+}
+
+/// The simulated physical network.
+pub struct Network {
+    /// Host-processing calibration constants.
+    pub calibration: Calibration,
+    /// Wide-area core parameters.
+    pub core: CoreParams,
+    sites: Vec<Site>,
+    hosts: Vec<Host>,
+    addr_to_host: HashMap<Ipv4Addr, HostId>,
+    nat_public_to_site: HashMap<Ipv4Addr, SiteId>,
+    counters: NetCounters,
+    link_rng: StreamRng,
+    host_rng_seed: u64,
+}
+
+impl Network {
+    /// An empty network seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            calibration: Calibration::default(),
+            core: CoreParams::default(),
+            sites: Vec::new(),
+            hosts: Vec::new(),
+            addr_to_host: HashMap::new(),
+            nat_public_to_site: HashMap::new(),
+            counters: NetCounters::default(),
+            link_rng: StreamRng::new(seed, "netsim.links"),
+            host_rng_seed: seed,
+        }
+    }
+
+    // ------------------------------------------------------------------ building
+
+    /// Add a site.
+    pub fn add_site(&mut self, spec: SiteSpec) -> SiteId {
+        let id = SiteId(self.sites.len());
+        let site = Site::from_spec(spec);
+        if let Some(nat) = &site.nat {
+            self.nat_public_to_site.insert(nat.public_ip(), id);
+        }
+        self.sites.push(site);
+        id
+    }
+
+    /// Add a host with CPU load 1.0.
+    pub fn add_host(&mut self, name: &str, site: SiteId, addr: Ipv4Addr) -> HostId {
+        self.add_host_with_load(name, site, addr, 1.0)
+    }
+
+    /// Add a host with an explicit CPU load factor.
+    pub fn add_host_with_load(&mut self, name: &str, site: SiteId, addr: Ipv4Addr, load: f64) -> HostId {
+        assert!(site.0 < self.sites.len(), "unknown site");
+        assert!(
+            !self.addr_to_host.contains_key(&addr),
+            "duplicate physical address {addr}"
+        );
+        let id = HostId(self.hosts.len());
+        let rng = StreamRng::new(self.host_rng_seed, &format!("netsim.host.{name}.{}", id.0));
+        self.hosts.push(Host::new(id, name.to_string(), site, addr, load, rng));
+        self.addr_to_host.insert(addr, id);
+        id
+    }
+
+    /// Install the agent for a host (replacing any existing one).
+    pub fn set_agent(&mut self, host: HostId, agent: Box<dyn HostAgent>) {
+        self.hosts[host.0].agent = Some(agent);
+    }
+
+    // ----------------------------------------------------------------- accessors
+
+    /// Borrow a host.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Borrow a host mutably.
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.0]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Borrow a site.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    /// Borrow a site mutably.
+    pub fn site_mut(&mut self, id: SiteId) -> &mut Site {
+        &mut self.sites[id.0]
+    }
+
+    /// Find a host by its physical address.
+    pub fn host_by_addr(&self, addr: Ipv4Addr) -> Option<HostId> {
+        self.addr_to_host.get(&addr).copied()
+    }
+
+    /// Find a host by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.hosts.iter().find(|h| h.name == name).map(|h| h.id)
+    }
+
+    /// Network-wide counters.
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
+    /// Downcast a host's agent to a concrete type.
+    pub fn agent_as<T: 'static>(&self, host: HostId) -> Option<&T> {
+        self.hosts[host.0].agent.as_deref().and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcast a host's agent to a concrete type, mutably.
+    pub fn agent_as_mut<T: 'static>(&mut self, host: HostId) -> Option<&mut T> {
+        self.hosts[host.0].agent.as_deref_mut().and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    // ----------------------------------------------------------------- data path
+
+    /// Ports relevant for NAT/firewall processing: transport ports, or the ICMP
+    /// identifier for echo traffic.
+    fn flow_ports(pkt: &Ipv4Packet) -> (u16, u16) {
+        match (&pkt.payload, pkt.ports()) {
+            (_, Some(p)) => p,
+            (Ipv4Payload::Icmp(icmp), None) => (icmp.identifier, icmp.identifier),
+            _ => (0, 0),
+        }
+    }
+
+    fn rewrite_src(pkt: &mut Ipv4Packet, addr: Ipv4Addr, port: u16) {
+        pkt.header.src = addr;
+        match &mut pkt.payload {
+            Ipv4Payload::Udp(u) => u.src_port = port,
+            Ipv4Payload::Tcp(t) => t.src_port = port,
+            Ipv4Payload::Icmp(i) => i.identifier = port,
+            Ipv4Payload::Raw(..) => {}
+        }
+    }
+
+    fn rewrite_dst(pkt: &mut Ipv4Packet, addr: Ipv4Addr, port: u16) {
+        pkt.header.dst = addr;
+        match &mut pkt.payload {
+            Ipv4Payload::Udp(u) => u.dst_port = port,
+            Ipv4Payload::Tcp(t) => t.dst_port = port,
+            Ipv4Payload::Icmp(i) => i.identifier = port,
+            Ipv4Payload::Raw(..) => {}
+        }
+    }
+
+    /// Transmit a packet from `src_host`. Called by [`HostCtx::send_with_processing`].
+    pub(crate) fn transmit(
+        &mut self,
+        ctl: &mut Control<'_, Network>,
+        src_host: HostId,
+        mut pkt: Ipv4Packet,
+        extra_processing: Duration,
+    ) {
+        let now = ctl.now();
+        let bytes = pkt.wire_len();
+        let kernel_cost = self.calibration.kernel_stack_cost;
+
+        // 1. Source host: accounting and CPU queueing.
+        let (depart, src_site_id) = {
+            let host = &mut self.hosts[src_host.0];
+            host.counters.tx_packets += 1;
+            host.counters.tx_bytes += bytes as u64;
+            (host.occupy_cpu(now, kernel_cost + extra_processing), host.site)
+        };
+
+        let dst_ip = pkt.dst();
+
+        // 2. Same-site delivery: only the LAN segment is involved.
+        if let Some(&dst_host) = self.addr_to_host.get(&dst_ip) {
+            if self.hosts[dst_host.0].site == src_site_id {
+                let outcome = self.sites[src_site_id.0].lan.transmit(depart, bytes, &mut self.link_rng);
+                match outcome {
+                    LinkOutcome::Delivered(arrival) => self.schedule_delivery(ctl, dst_host, pkt, arrival),
+                    LinkOutcome::Dropped => self.counters.link_dropped += 1,
+                }
+                return;
+            }
+        }
+
+        // 3. Leaving the source site: outbound firewall, then NAT.
+        if let Some(fw) = &mut self.sites[src_site_id.0].firewall {
+            if !fw.permit(Direction::Outbound, &pkt) {
+                self.counters.firewall_out_dropped += 1;
+                return;
+            }
+        }
+        let src_is_private = self.sites[src_site_id.0].is_private_addr(pkt.src());
+        if src_is_private {
+            let (src_port, dst_port) = Self::flow_ports(&pkt);
+            if let Some(nat) = &mut self.sites[src_site_id.0].nat {
+                let (pub_ip, pub_port) = nat.outbound((pkt.src(), src_port), (dst_ip, dst_port));
+                Self::rewrite_src(&mut pkt, pub_ip, pub_port);
+            }
+        }
+
+        // 4. Source LAN and access link.
+        let mut t = depart;
+        {
+            let Network { sites, link_rng, counters, .. } = self;
+            let site = &mut sites[src_site_id.0];
+            for link in [&mut site.lan, &mut site.access_up] {
+                match link.transmit(t, bytes, link_rng) {
+                    LinkOutcome::Delivered(arrival) => t = arrival,
+                    LinkOutcome::Dropped => {
+                        counters.link_dropped += 1;
+                        return;
+                    }
+                }
+            }
+        }
+
+        // 5. Wide-area core.
+        t = t + self.core.latency;
+        if !self.core.jitter.is_zero() {
+            t = t + self.link_rng.normal(Duration::ZERO, self.core.jitter);
+        }
+
+        // 6. Resolve the destination: a NAT's public address or a host address.
+        let (dst_site_id, dst_host) = if let Some(&site_id) = self.nat_public_to_site.get(&dst_ip) {
+            let (src_port, dst_port) = Self::flow_ports(&pkt);
+            let internal = {
+                let nat = self.sites[site_id.0].nat.as_mut().expect("nat site");
+                nat.inbound(dst_port, (pkt.src(), src_port))
+            };
+            match internal {
+                Some((internal_ip, internal_port)) => {
+                    Self::rewrite_dst(&mut pkt, internal_ip, internal_port);
+                    match self.addr_to_host.get(&internal_ip) {
+                        Some(&h) => (site_id, h),
+                        None => {
+                            self.counters.unroutable += 1;
+                            return;
+                        }
+                    }
+                }
+                None => {
+                    self.counters.nat_filtered += 1;
+                    return;
+                }
+            }
+        } else if let Some(&h) = self.addr_to_host.get(&dst_ip) {
+            let site_id = self.hosts[h.0].site;
+            // A private address is not reachable from outside its site.
+            if self.sites[site_id.0].is_private_addr(dst_ip) {
+                self.counters.unroutable += 1;
+                return;
+            }
+            (site_id, h)
+        } else {
+            self.counters.unroutable += 1;
+            return;
+        };
+
+        // 7. Destination-site inbound firewall.
+        if let Some(fw) = &mut self.sites[dst_site_id.0].firewall {
+            if !fw.permit(Direction::Inbound, &pkt) {
+                self.counters.firewall_in_dropped += 1;
+                return;
+            }
+        }
+
+        // 8. Destination access link and LAN.
+        {
+            let Network { sites, link_rng, counters, .. } = self;
+            let site = &mut sites[dst_site_id.0];
+            for link in [&mut site.access_down, &mut site.lan] {
+                match link.transmit(t, bytes, link_rng) {
+                    LinkOutcome::Delivered(arrival) => t = arrival,
+                    LinkOutcome::Dropped => {
+                        counters.link_dropped += 1;
+                        return;
+                    }
+                }
+            }
+        }
+
+        self.schedule_delivery(ctl, dst_host, pkt, t);
+    }
+
+    fn schedule_delivery(
+        &mut self,
+        ctl: &mut Control<'_, Network>,
+        dst: HostId,
+        pkt: Ipv4Packet,
+        arrival: SimTime,
+    ) {
+        ctl.schedule_at(arrival, move |net: &mut Network, ctl| {
+            // Receive-side kernel processing queues on the destination CPU.
+            let kernel_cost = net.calibration.kernel_stack_cost;
+            let deliver_at = net.hosts[dst.0].occupy_cpu(ctl.now(), kernel_cost);
+            ctl.schedule_at(deliver_at, move |net: &mut Network, ctl| {
+                Network::dispatch_packet(net, ctl, dst, pkt);
+            });
+        });
+    }
+
+    /// Deliver a packet to a host's agent (internal dispatch).
+    pub(crate) fn dispatch_packet(
+        net: &mut Network,
+        ctl: &mut Control<'_, Network>,
+        host: HostId,
+        pkt: Ipv4Packet,
+    ) {
+        let Some(mut agent) = net.hosts[host.0].agent.take() else { return };
+        net.counters.delivered += 1;
+        net.hosts[host.0].counters.rx_packets += 1;
+        net.hosts[host.0].counters.rx_bytes += pkt.wire_len() as u64;
+        {
+            let mut ctx = HostCtx { net, ctl, host };
+            agent.on_packet(&mut ctx, pkt);
+        }
+        if net.hosts[host.0].agent.is_none() {
+            net.hosts[host.0].agent = Some(agent);
+        }
+    }
+
+    /// Deliver a timer to a host's agent (internal dispatch).
+    pub(crate) fn dispatch_timer(
+        net: &mut Network,
+        ctl: &mut Control<'_, Network>,
+        host: HostId,
+        token: TimerToken,
+    ) {
+        let Some(mut agent) = net.hosts[host.0].agent.take() else { return };
+        {
+            let mut ctx = HostCtx { net, ctl, host };
+            agent.on_timer(&mut ctx, token);
+        }
+        if net.hosts[host.0].agent.is_none() {
+            net.hosts[host.0].agent = Some(agent);
+        }
+    }
+
+    /// Call every agent's `on_start` (internal dispatch used by [`NetworkSim`]).
+    pub(crate) fn dispatch_start(net: &mut Network, ctl: &mut Control<'_, Network>, host: HostId) {
+        let Some(mut agent) = net.hosts[host.0].agent.take() else { return };
+        {
+            let mut ctx = HostCtx { net, ctl, host };
+            agent.on_start(&mut ctx);
+        }
+        if net.hosts[host.0].agent.is_none() {
+            net.hosts[host.0].agent = Some(agent);
+        }
+    }
+}
+
+/// A network bound to a discrete-event simulator.
+pub struct NetworkSim {
+    sim: Simulator<Network>,
+    started: bool,
+}
+
+impl NetworkSim {
+    /// Wrap a network in a simulator.
+    pub fn new(net: Network) -> Self {
+        NetworkSim { sim: Simulator::new(net), started: false }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Borrow the network.
+    pub fn net(&self) -> &Network {
+        self.sim.world()
+    }
+
+    /// Borrow the network mutably.
+    pub fn net_mut(&mut self) -> &mut Network {
+        self.sim.world_mut()
+    }
+
+    /// Schedule every host's `on_start` at the current time (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let host_count = self.sim.world().host_count();
+        for i in 0..host_count {
+            let host = HostId(i);
+            self.sim.schedule_in(Duration::ZERO, move |net: &mut Network, ctl| {
+                Network::dispatch_start(net, ctl, host);
+            });
+        }
+    }
+
+    /// Run until the event queue drains (all agents idle).
+    pub fn run(&mut self) {
+        self.start();
+        self.sim.run();
+    }
+
+    /// Run for a span of virtual time.
+    pub fn run_for(&mut self, span: Duration) {
+        self.start();
+        self.sim.run_for(span);
+    }
+
+    /// Run until an absolute virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        self.sim.run_until(t);
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.sim.executed()
+    }
+
+    /// Downcast a host's agent.
+    pub fn agent_as<T: 'static>(&self, host: HostId) -> Option<&T> {
+        self.net().agent_as::<T>(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firewall::Firewall;
+    use crate::link::LinkParams;
+    use crate::nat::{NatBox, NatType};
+    use crate::site::{Prefix, SiteSpec};
+    use ipop_packet::udp::UdpDatagram;
+    use std::any::Any;
+
+    /// A test agent: sends one UDP datagram at start (if told to), echoes
+    /// everything it receives back to the sender, and records what it saw.
+    struct EchoAgent {
+        send_to: Option<(Ipv4Addr, u16)>,
+        received: Vec<(Ipv4Addr, Vec<u8>)>,
+        received_at: Vec<SimTime>,
+        timers: Vec<TimerToken>,
+    }
+
+    impl EchoAgent {
+        fn new(send_to: Option<(Ipv4Addr, u16)>) -> Self {
+            EchoAgent { send_to, received: Vec::new(), received_at: Vec::new(), timers: Vec::new() }
+        }
+    }
+
+    impl HostAgent for EchoAgent {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+            if let Some((dst, port)) = self.send_to {
+                let pkt = Ipv4Packet::new(
+                    ctx.addr(),
+                    dst,
+                    Ipv4Payload::Udp(UdpDatagram::new(4000, port, b"ping".to_vec())),
+                );
+                ctx.send(pkt);
+            }
+            ctx.set_timer(Duration::from_secs(5), TimerToken(42));
+        }
+
+        fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Ipv4Packet) {
+            self.received_at.push(ctx.now());
+            if let Ipv4Payload::Udp(udp) = &pkt.payload {
+                self.received.push((pkt.src(), udp.payload.clone()));
+                if udp.payload == b"ping" {
+                    let reply = Ipv4Packet::new(
+                        ctx.addr(),
+                        pkt.src(),
+                        Ipv4Payload::Udp(UdpDatagram::new(udp.dst_port, udp.src_port, b"pong".to_vec())),
+                    );
+                    ctx.send(reply);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut HostCtx<'_, '_>, token: TimerToken) {
+            self.timers.push(token);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn same_site_round_trip_is_sub_millisecond() {
+        let mut net = Network::new(1);
+        let acis = net.add_site(SiteSpec::open("ACIS"));
+        let a = net.add_host("F2", acis, ip(10, 1, 0, 2));
+        let b = net.add_host("F4", acis, ip(10, 1, 0, 4));
+        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 1, 0, 4), 9000)))));
+        net.set_agent(b, Box::new(EchoAgent::new(None)));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        let replies = &sim.agent_as::<EchoAgent>(a).unwrap().received;
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].1, b"pong");
+        let rtt = sim.agent_as::<EchoAgent>(a).unwrap().received_at[0];
+        assert!(rtt.saturating_since(SimTime::ZERO) < Duration::from_millis(2), "LAN rtt {rtt}");
+        assert_eq!(sim.net().counters().delivered, 2); // ping delivered at B, pong delivered at A
+    }
+
+    #[test]
+    fn cross_site_latency_includes_core_and_access() {
+        let mut net = Network::new(2);
+        net.core.latency = Duration::from_millis(14);
+        net.core.jitter = Duration::ZERO;
+        let s1 = net.add_site(SiteSpec::open("ACIS").with_access(LinkParams::wan(Duration::from_millis(2), 50.0)));
+        let s2 = net.add_site(SiteSpec::open("VIMS").with_access(LinkParams::wan(Duration::from_millis(2), 50.0)));
+        let a = net.add_host("F4", s1, ip(128, 227, 56, 83));
+        let b = net.add_host("V1", s2, ip(139, 70, 24, 100));
+        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))));
+        net.set_agent(b, Box::new(EchoAgent::new(None)));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(2));
+        let agent = sim.agent_as::<EchoAgent>(a).unwrap();
+        assert_eq!(agent.received.len(), 1);
+        let rtt = agent.received_at[0].saturating_since(SimTime::ZERO);
+        // One-way ≈ 2 + 14 + 2 = 18 ms plus LAN/processing; RTT ≈ 36-40 ms.
+        assert!(rtt >= Duration::from_millis(34) && rtt <= Duration::from_millis(44), "WAN rtt {rtt}");
+    }
+
+    #[test]
+    fn timers_fire() {
+        let mut net = Network::new(3);
+        let s = net.add_site(SiteSpec::open("X"));
+        let a = net.add_host("A", s, ip(10, 0, 0, 1));
+        net.set_agent(a, Box::new(EchoAgent::new(None)));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(10));
+        assert_eq!(sim.agent_as::<EchoAgent>(a).unwrap().timers, vec![TimerToken(42)]);
+    }
+
+    #[test]
+    fn firewall_blocks_unsolicited_but_allows_outbound_initiated() {
+        let mut net = Network::new(4);
+        let open = net.add_site(SiteSpec::open("UFL"));
+        let guarded =
+            net.add_site(SiteSpec::open("VIMS").with_firewall(Firewall::default_deny_inbound()));
+        let outside = net.add_host("F4", open, ip(128, 227, 56, 83));
+        let inside = net.add_host("V1", guarded, ip(139, 70, 24, 100));
+        // The outside host pings first: should be dropped by the inbound firewall.
+        net.set_agent(outside, Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))));
+        // The inside host also sends to the outside host: allowed, and the reply
+        // comes back through the established flow.
+        net.set_agent(inside, Box::new(EchoAgent::new(Some((ip(128, 227, 56, 83), 9000)))));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(2));
+        assert!(sim.net().counters().firewall_in_dropped >= 1);
+        let inside_agent = sim.agent_as::<EchoAgent>(inside).unwrap();
+        // The inside host got the pong for its own ping but never saw the outside ping.
+        assert_eq!(inside_agent.received.len(), 1);
+        assert_eq!(inside_agent.received[0].1, b"pong");
+        let outside_agent = sim.agent_as::<EchoAgent>(outside).unwrap();
+        // The outside host saw the inside host's ping (and replied to it).
+        assert!(outside_agent.received.iter().any(|(_, d)| d == b"ping"));
+        // But never received a pong for its own blocked ping.
+        assert!(!outside_agent.received.iter().any(|(_, d)| d == b"pong"));
+    }
+
+    #[test]
+    fn nat_translates_and_replies_flow_back() {
+        let mut net = Network::new(5);
+        let nat_site = net.add_site(SiteSpec::open("ACIS").with_nat(
+            NatBox::new(NatType::PortRestrictedCone, ip(128, 227, 56, 1)),
+            Prefix::new(ip(192, 168, 0, 0), 16),
+        ));
+        let public_site = net.add_site(SiteSpec::open("VIMS"));
+        let inside = net.add_host("F2", nat_site, ip(192, 168, 0, 2));
+        let outside = net.add_host("V1", public_site, ip(139, 70, 24, 100));
+        net.set_agent(inside, Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))));
+        net.set_agent(outside, Box::new(EchoAgent::new(None)));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(2));
+        let outside_agent = sim.agent_as::<EchoAgent>(outside).unwrap();
+        assert_eq!(outside_agent.received.len(), 1);
+        // The outside host saw the NAT's public address, not the private one.
+        assert_eq!(outside_agent.received[0].0, ip(128, 227, 56, 1));
+        // And the reply made it back inside.
+        let inside_agent = sim.agent_as::<EchoAgent>(inside).unwrap();
+        assert_eq!(inside_agent.received.len(), 1);
+        assert_eq!(inside_agent.received[0].1, b"pong");
+    }
+
+    #[test]
+    fn unsolicited_packet_to_nat_public_ip_is_filtered() {
+        let mut net = Network::new(6);
+        let nat_site = net.add_site(SiteSpec::open("ACIS").with_nat(
+            NatBox::new(NatType::PortRestrictedCone, ip(128, 227, 56, 1)),
+            Prefix::new(ip(192, 168, 0, 0), 16),
+        ));
+        let public_site = net.add_site(SiteSpec::open("VIMS"));
+        let _inside = net.add_host("F2", nat_site, ip(192, 168, 0, 2));
+        let outside = net.add_host("V1", public_site, ip(139, 70, 24, 100));
+        // Outside host sends to the NAT public address without any prior outbound flow.
+        net.set_agent(outside, Box::new(EchoAgent::new(Some((ip(128, 227, 56, 1), 9000)))));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().nat_filtered, 1);
+        assert_eq!(sim.net().counters().delivered, 0);
+    }
+
+    #[test]
+    fn private_addresses_are_not_routable_from_outside() {
+        let mut net = Network::new(7);
+        let nat_site = net.add_site(SiteSpec::open("ACIS").with_nat(
+            NatBox::new(NatType::FullCone, ip(128, 227, 56, 1)),
+            Prefix::new(ip(192, 168, 0, 0), 16),
+        ));
+        let public_site = net.add_site(SiteSpec::open("VIMS"));
+        let _inside = net.add_host("F2", nat_site, ip(192, 168, 0, 2));
+        let outside = net.add_host("V1", public_site, ip(139, 70, 24, 100));
+        net.set_agent(outside, Box::new(EchoAgent::new(Some((ip(192, 168, 0, 2), 9000)))));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().unroutable, 1);
+    }
+
+    #[test]
+    fn packets_to_unknown_addresses_count_as_unroutable() {
+        let mut net = Network::new(8);
+        let s = net.add_site(SiteSpec::open("X"));
+        let a = net.add_host("A", s, ip(10, 0, 0, 1));
+        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(99, 99, 99, 99), 1)))));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().unroutable, 1);
+    }
+
+    #[test]
+    fn host_lookup_helpers() {
+        let mut net = Network::new(9);
+        let s = net.add_site(SiteSpec::open("X"));
+        let a = net.add_host("alpha", s, ip(10, 0, 0, 1));
+        assert_eq!(net.host_by_name("alpha"), Some(a));
+        assert_eq!(net.host_by_addr(ip(10, 0, 0, 1)), Some(a));
+        assert_eq!(net.host_by_name("beta"), None);
+        assert_eq!(net.host(a).name, "alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate physical address")]
+    fn duplicate_addresses_are_rejected() {
+        let mut net = Network::new(10);
+        let s = net.add_site(SiteSpec::open("X"));
+        net.add_host("A", s, ip(10, 0, 0, 1));
+        net.add_host("B", s, ip(10, 0, 0, 1));
+    }
+}

@@ -1,0 +1,180 @@
+//! Sites: the administrative domains of the testbed.
+//!
+//! A site groups hosts that share a LAN segment, an access link to the wide-area
+//! core, and (optionally) a firewall and/or a NAT box at its border — mirroring the
+//! three domains of the paper's Fig. 4 testbed (the ACIS private LAN behind a NAT,
+//! and the VIMS and LSU machines behind site firewalls) as well as the many
+//! single-host "sites" of the Planet-Lab experiment.
+
+use std::net::Ipv4Addr;
+
+use ipop_simcore::Duration;
+
+use crate::firewall::Firewall;
+use crate::link::{Link, LinkParams};
+use crate::nat::NatBox;
+
+/// An IPv4 prefix, used to decide whether an address is internal to a site.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Prefix {
+    /// Network address.
+    pub network: Ipv4Addr,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Construct a prefix.
+    pub fn new(network: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range");
+        Prefix { network, len }
+    }
+
+    /// Does `addr` fall inside this prefix?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.len);
+        (u32::from(addr) & mask) == (u32::from(self.network) & mask)
+    }
+}
+
+/// Parameters for building a site.
+#[derive(Debug)]
+pub struct SiteSpec {
+    /// Human-readable name (e.g. `"ACIS"`, `"VIMS"`).
+    pub name: String,
+    /// LAN segment parameters (host ⇄ site border).
+    pub lan: LinkParams,
+    /// Access link parameters (site border ⇄ wide-area core), outbound direction.
+    pub access_up: LinkParams,
+    /// Access link parameters, inbound direction.
+    pub access_down: LinkParams,
+    /// Border firewall, if any.
+    pub firewall: Option<Firewall>,
+    /// Border NAT, if any.
+    pub nat: Option<NatBox>,
+    /// The private prefix NATed hosts live in (addresses outside it are assumed to
+    /// be publicly routable even when the site has a NAT).
+    pub private_prefix: Option<Prefix>,
+}
+
+impl SiteSpec {
+    /// A plain site: open firewall policy, no NAT, 100 Mbit LAN, fast access link.
+    pub fn open(name: &str) -> Self {
+        SiteSpec {
+            name: name.to_string(),
+            lan: LinkParams::lan_100mbit(),
+            access_up: LinkParams::wan(Duration::from_millis(1), 100.0),
+            access_down: LinkParams::wan(Duration::from_millis(1), 100.0),
+            firewall: None,
+            nat: None,
+            private_prefix: None,
+        }
+    }
+
+    /// Builder: set the LAN parameters.
+    pub fn with_lan(mut self, lan: LinkParams) -> Self {
+        self.lan = lan;
+        self
+    }
+
+    /// Builder: set both directions of the access link.
+    pub fn with_access(mut self, params: LinkParams) -> Self {
+        self.access_up = params;
+        self.access_down = params;
+        self
+    }
+
+    /// Builder: install a firewall.
+    pub fn with_firewall(mut self, fw: Firewall) -> Self {
+        self.firewall = Some(fw);
+        self
+    }
+
+    /// Builder: install a NAT for hosts inside `private_prefix`.
+    pub fn with_nat(mut self, nat: NatBox, private_prefix: Prefix) -> Self {
+        self.nat = Some(nat);
+        self.private_prefix = Some(private_prefix);
+        self
+    }
+}
+
+/// A site instantiated inside the network.
+pub struct Site {
+    /// Name.
+    pub name: String,
+    /// Shared LAN segment.
+    pub lan: Link,
+    /// Access link, site → core.
+    pub access_up: Link,
+    /// Access link, core → site.
+    pub access_down: Link,
+    /// Border firewall.
+    pub firewall: Option<Firewall>,
+    /// Border NAT.
+    pub nat: Option<NatBox>,
+    /// Private prefix (see [`SiteSpec::private_prefix`]).
+    pub private_prefix: Option<Prefix>,
+}
+
+impl Site {
+    pub(crate) fn from_spec(spec: SiteSpec) -> Self {
+        Site {
+            name: spec.name,
+            lan: Link::new(spec.lan),
+            access_up: Link::new(spec.access_up),
+            access_down: Link::new(spec.access_down),
+            firewall: spec.firewall,
+            nat: spec.nat,
+            private_prefix: spec.private_prefix,
+        }
+    }
+
+    /// Is `addr` one of this site's private (NATed) addresses?
+    pub fn is_private_addr(&self, addr: Ipv4Addr) -> bool {
+        self.private_prefix.is_some_and(|p| p.contains(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::NatType;
+
+    #[test]
+    fn prefix_matching() {
+        let p = Prefix::new(Ipv4Addr::new(192, 168, 1, 0), 24);
+        assert!(p.contains(Ipv4Addr::new(192, 168, 1, 77)));
+        assert!(!p.contains(Ipv4Addr::new(192, 168, 2, 1)));
+        let everything = Prefix::new(Ipv4Addr::UNSPECIFIED, 0);
+        assert!(everything.contains(Ipv4Addr::new(8, 8, 8, 8)));
+        let host_route = Prefix::new(Ipv4Addr::new(10, 0, 0, 7), 32);
+        assert!(host_route.contains(Ipv4Addr::new(10, 0, 0, 7)));
+        assert!(!host_route.contains(Ipv4Addr::new(10, 0, 0, 8)));
+    }
+
+    #[test]
+    fn site_spec_builders() {
+        let spec = SiteSpec::open("ACIS")
+            .with_nat(
+                NatBox::new(NatType::PortRestrictedCone, Ipv4Addr::new(128, 227, 56, 1)),
+                Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+            )
+            .with_firewall(Firewall::default_deny_inbound());
+        let site = Site::from_spec(spec);
+        assert!(site.is_private_addr(Ipv4Addr::new(192, 168, 3, 4)));
+        assert!(!site.is_private_addr(Ipv4Addr::new(128, 227, 56, 83)));
+        assert!(site.nat.is_some());
+        assert!(site.firewall.is_some());
+    }
+
+    #[test]
+    fn open_site_has_no_middleboxes() {
+        let site = Site::from_spec(SiteSpec::open("UFL"));
+        assert!(site.nat.is_none());
+        assert!(site.firewall.is_none());
+        assert!(!site.is_private_addr(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Topology builders for the paper's testbeds.
+//!
+//! * [`fig4_testbed`] — the six-machine LAN/WAN testbed of Fig. 4: the ACIS private
+//!   LAN at the University of Florida behind a NAT (F1, F2, F4), a second UF
+//!   machine on the campus network (F3), and the firewalled VIMS (V1) and LSU (L1)
+//!   machines reached over Abilene.
+//! * [`planetlab`] — a Planet-Lab-like deployment of `n` single-host sites with
+//!   heterogeneous wide-area latencies and high CPU load, used for the Fig. 5
+//!   experiment.
+//! * [`lan_pair`] / [`wan_pair`] — minimal two-host topologies used by unit tests
+//!   and micro-benchmarks.
+
+use std::net::Ipv4Addr;
+
+use ipop_simcore::{Duration, StreamRng};
+
+use crate::firewall::{Firewall, HostMatch, ProtoMatch, Rule};
+use crate::host::HostId;
+use crate::link::LinkParams;
+use crate::nat::{NatBox, NatType};
+use crate::network::Network;
+use crate::site::{Prefix, SiteSpec};
+
+/// Handles to the hosts of the Fig. 4 testbed.
+#[derive(Clone, Debug)]
+pub struct Fig4Testbed {
+    /// VM on the ACIS private LAN (GSX server host).
+    pub f1: HostId,
+    /// Physical host on the ACIS private LAN — LAN experiments run between F2 and F4.
+    pub f2: HostId,
+    /// Machine on a different UF LAN, publicly reachable (SSH gateway for LFW).
+    pub f3: HostId,
+    /// Dual-homed VM: on the ACIS LAN but with a public campus address — the file
+    /// server of the LSS experiment and one end of the WAN experiments.
+    pub f4: HostId,
+    /// Machine at VIMS, behind the VFW firewall — the other end of the WAN
+    /// experiments.
+    pub v1: HostId,
+    /// Machine at LSU, behind the LFW firewall (outbound TCP restricted to F3).
+    pub l1: HostId,
+    /// Physical addresses, in the same order as the handles above.
+    pub addrs: [Ipv4Addr; 6],
+}
+
+impl Fig4Testbed {
+    /// All six hosts.
+    pub fn all(&self) -> [HostId; 6] {
+        [self.f1, self.f2, self.f3, self.f4, self.v1, self.l1]
+    }
+}
+
+/// Build the Fig. 4 testbed inside `net`.
+///
+/// Physical addresses follow the paper where given (F4's public address is
+/// 128.227.56.83) and use documentation/private ranges elsewhere.
+pub fn fig4_testbed(net: &mut Network) -> Fig4Testbed {
+    // Wide-area core: Abilene path UF ⇄ VIMS/LSU. Calibrated so the physical WAN
+    // ping RTT lands in the paper's 34–39 ms band.
+    net.core.latency = Duration::from_millis(13);
+    net.core.jitter = Duration::from_micros(250);
+
+    // ACIS laboratory: private LAN behind a NAT to the campus network. The LAN is
+    // 100 Mbit switched; the campus/WAN egress is what bounds WAN throughput
+    // (~12 Mbit/s, matching the ~1.4-1.5 MB/s physical ttcp numbers of Table III).
+    let acis = net.add_site(
+        SiteSpec::open("ACIS")
+            .with_lan(LinkParams::lan_100mbit())
+            .with_access(LinkParams::wan(Duration::from_millis(2), 12.0))
+            .with_nat(
+                NatBox::new(NatType::PortRestrictedCone, Ipv4Addr::new(128, 227, 56, 1)),
+                Prefix::new(Ipv4Addr::new(10, 227, 0, 0), 16),
+            ),
+    );
+
+    // UF campus network: F3 lives here with a public address, no middleboxes.
+    let ufl = net.add_site(
+        SiteSpec::open("UFL")
+            .with_lan(LinkParams::lan_100mbit())
+            .with_access(LinkParams::wan(Duration::from_millis(1), 100.0)),
+    );
+
+    // VIMS: V1 behind a default-deny-inbound firewall; SSH allowed only from F3.
+    // ICMP echo and the ttcp measurement port are admitted inbound: the paper's
+    // *physical* baseline rows (Tables I and III) could only be measured because
+    // that traffic was allowed; IPOP itself never needs these exceptions.
+    let mut vfw = Firewall::default_deny_inbound();
+    let f3_addr = Ipv4Addr::new(128, 227, 120, 51);
+    vfw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Addr(f3_addr), Some(22)));
+    vfw.add_rule(Rule::allow_inbound(ProtoMatch::Icmp, HostMatch::Any, None));
+    vfw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Any, Some(5201)));
+    let vims = net.add_site(
+        SiteSpec::open("VIMS")
+            .with_lan(LinkParams::lan_100mbit())
+            .with_access(LinkParams::wan(Duration::from_millis(3), 12.0))
+            .with_firewall(vfw),
+    );
+
+    // LSU: L1 behind a firewall that additionally restricts outbound TCP to F3
+    // (UDP is unrestricted, which is why the Brunet-UDP overlay still forms).
+    let mut lfw = Firewall::default_deny_inbound().with_default_outbound_deny();
+    lfw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Addr(f3_addr), Some(22)));
+    lfw.add_rule(Rule::allow_inbound(ProtoMatch::Icmp, HostMatch::Any, None));
+    lfw.add_rule(Rule::allow_outbound(ProtoMatch::Tcp, HostMatch::Addr(f3_addr), None));
+    lfw.add_rule(Rule::allow_outbound(ProtoMatch::Udp, HostMatch::Any, None));
+    lfw.add_rule(Rule::allow_outbound(ProtoMatch::Icmp, HostMatch::Any, None));
+    let lsu = net.add_site(
+        SiteSpec::open("LSU")
+            .with_lan(LinkParams::lan_100mbit())
+            .with_access(LinkParams::wan(Duration::from_millis(4), 12.0))
+            .with_firewall(lfw),
+    );
+
+    let addrs = [
+        Ipv4Addr::new(10, 227, 0, 3),     // F1 (ACIS private)
+        Ipv4Addr::new(10, 227, 0, 2),     // F2 (ACIS private)
+        f3_addr,                          // F3 (UF campus, public)
+        Ipv4Addr::new(128, 227, 56, 83),  // F4 (public, per the paper)
+        Ipv4Addr::new(139, 70, 24, 100),  // V1 (VIMS)
+        Ipv4Addr::new(130, 39, 128, 20),  // L1 (LSU)
+    ];
+
+    let f1 = net.add_host("F1", acis, addrs[0]);
+    let f2 = net.add_host("F2", acis, addrs[1]);
+    let f3 = net.add_host("F3", ufl, addrs[2]);
+    let f4 = net.add_host("F4", acis, addrs[3]); // dual-homed: public address on the ACIS site
+    let v1 = net.add_host("V1", vims, addrs[4]);
+    let l1 = net.add_host("L1", lsu, addrs[5]);
+
+    Fig4Testbed { f1, f2, f3, f4, v1, l1, addrs }
+}
+
+/// A Planet-Lab-like overlay testbed: `n` single-host sites, heterogeneous
+/// latencies, every node heavily CPU-loaded (`load` ≈ 10 in the paper's runs).
+pub struct PlanetLab {
+    /// The Planet-Lab nodes.
+    pub nodes: Vec<HostId>,
+    /// Their physical addresses.
+    pub addrs: Vec<Ipv4Addr>,
+}
+
+/// Build a Planet-Lab-like topology of `n` nodes with the given CPU `load`.
+pub fn planetlab(net: &mut Network, n: usize, load: f64, seed: u64) -> PlanetLab {
+    assert!(n >= 2 && n <= 4000, "unreasonable Planet-Lab size");
+    let mut rng = StreamRng::new(seed, "topology.planetlab");
+    net.core.latency = Duration::from_millis(18);
+    net.core.jitter = Duration::from_millis(2);
+    let mut nodes = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for i in 0..n {
+        // Access latencies spread between 2 and 60 ms one-way: cross-node RTTs land
+        // roughly in the 40-160 ms band the paper describes (>100 ms for many pairs).
+        let access_ms = 2.0 + rng.unit() * 58.0;
+        let bw_mbps = 5.0 + rng.unit() * 45.0;
+        let site = net.add_site(
+            SiteSpec::open(&format!("plab-site-{i:03}"))
+                .with_lan(LinkParams::lan_100mbit())
+                .with_access(LinkParams::wan(Duration::from_millis_f64(access_ms), bw_mbps)),
+        );
+        let addr = Ipv4Addr::new(172, 20, (i / 250) as u8, (i % 250 + 1) as u8);
+        let id = net.add_host_with_load(&format!("planetlab-{i:03}"), site, addr, load);
+        nodes.push(id);
+        addrs.push(addr);
+    }
+    PlanetLab { nodes, addrs }
+}
+
+/// Two hosts on one open LAN site. Returns `(host_a, host_b, addr_a, addr_b)`.
+pub fn lan_pair(net: &mut Network) -> (HostId, HostId, Ipv4Addr, Ipv4Addr) {
+    let site = net.add_site(SiteSpec::open("LAN"));
+    let a_addr = Ipv4Addr::new(10, 50, 0, 1);
+    let b_addr = Ipv4Addr::new(10, 50, 0, 2);
+    let a = net.add_host("lan-a", site, a_addr);
+    let b = net.add_host("lan-b", site, b_addr);
+    (a, b, a_addr, b_addr)
+}
+
+/// Two hosts at separate open sites across the wide-area core.
+/// Returns `(host_a, host_b, addr_a, addr_b)`.
+pub fn wan_pair(net: &mut Network) -> (HostId, HostId, Ipv4Addr, Ipv4Addr) {
+    net.core.latency = Duration::from_millis(13);
+    let s1 = net.add_site(
+        SiteSpec::open("SITE-A").with_access(LinkParams::wan(Duration::from_millis(2), 12.0)),
+    );
+    let s2 = net.add_site(
+        SiteSpec::open("SITE-B").with_access(LinkParams::wan(Duration::from_millis(3), 12.0)),
+    );
+    let a_addr = Ipv4Addr::new(128, 1, 0, 1);
+    let b_addr = Ipv4Addr::new(139, 2, 0, 2);
+    let a = net.add_host("wan-a", s1, a_addr);
+    let b = net.add_host("wan-b", s2, b_addr);
+    (a, b, a_addr, b_addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_has_six_hosts_across_four_sites() {
+        let mut net = Network::new(1);
+        let tb = fig4_testbed(&mut net);
+        assert_eq!(net.host_count(), 6);
+        assert_eq!(tb.all().len(), 6);
+        // F2 is private (behind the ACIS NAT); F4 and V1 are publicly addressable.
+        let f2_site = net.host(tb.f2).site;
+        assert!(net.site(f2_site).is_private_addr(net.host(tb.f2).addr));
+        assert!(!net.site(net.host(tb.f4).site).is_private_addr(net.host(tb.f4).addr));
+        // V1 and L1 sit behind firewalls.
+        assert!(net.site(net.host(tb.v1).site).firewall.is_some());
+        assert!(net.site(net.host(tb.l1).site).firewall.is_some());
+        // All addresses resolve back to their hosts.
+        for (i, host) in tb.all().into_iter().enumerate() {
+            assert_eq!(net.host_by_addr(tb.addrs[i]), Some(host));
+        }
+    }
+
+    #[test]
+    fn planetlab_builds_requested_size_with_load() {
+        let mut net = Network::new(2);
+        let plab = planetlab(&mut net, 118, 10.0, 7);
+        assert_eq!(plab.nodes.len(), 118);
+        assert_eq!(net.host_count(), 118);
+        assert!(net.hosts().iter().all(|h| (h.load - 10.0).abs() < f64::EPSILON));
+        // Addresses are unique (checked by add_host, but assert the count matches).
+        let unique: std::collections::HashSet<_> = plab.addrs.iter().collect();
+        assert_eq!(unique.len(), 118);
+    }
+
+    #[test]
+    fn pair_builders() {
+        let mut net = Network::new(3);
+        let (a, b, aa, ab) = lan_pair(&mut net);
+        assert_eq!(net.host(a).site, net.host(b).site);
+        assert_ne!(aa, ab);
+        let mut net2 = Network::new(4);
+        let (c, d, _, _) = wan_pair(&mut net2);
+        assert_ne!(net2.host(c).site, net2.host(d).site);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable Planet-Lab size")]
+    fn planetlab_rejects_tiny_sizes() {
+        let mut net = Network::new(5);
+        planetlab(&mut net, 1, 10.0, 7);
+    }
+}

@@ -1,0 +1,151 @@
+//! The tap virtual network interface.
+//!
+//! A tap device is a pair of frame queues between the kernel and a user-level
+//! process (paper Section III-A): frames the kernel transmits on the interface
+//! become readable by the process, and frames the process writes appear to the
+//! kernel as if received on the interface. IPOP opens the tap device, reads the
+//! Ethernet frames the applications generate, extracts the IP packets and tunnels
+//! them over the overlay; on the way back it writes reconstructed frames into the
+//! device.
+
+use std::collections::VecDeque;
+
+use ipop_packet::ether::{EthernetFrame, MacAddr};
+
+/// Counters describing tap activity (used to assert ARP containment in tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TapCounters {
+    /// Frames written by the kernel (application traffic heading to IPOP).
+    pub kernel_tx: u64,
+    /// Frames written by the user-level process (IPOP traffic heading to the apps).
+    pub user_tx: u64,
+    /// Frames dropped because a queue was full.
+    pub dropped: u64,
+}
+
+/// A tap device: two bounded frame queues.
+#[derive(Debug)]
+pub struct TapDevice {
+    mac: MacAddr,
+    /// Frames from the kernel waiting to be read by the user-level process.
+    to_user: VecDeque<EthernetFrame>,
+    /// Frames from the user-level process waiting to be received by the kernel.
+    to_kernel: VecDeque<EthernetFrame>,
+    capacity: usize,
+    counters: TapCounters,
+}
+
+impl TapDevice {
+    /// Create a tap device with the given interface MAC address.
+    pub fn new(mac: MacAddr) -> Self {
+        Self::with_capacity(mac, 4096)
+    }
+
+    /// Create a tap device with bounded queues of `capacity` frames each.
+    pub fn with_capacity(mac: MacAddr, capacity: usize) -> Self {
+        TapDevice {
+            mac,
+            to_user: VecDeque::new(),
+            to_kernel: VecDeque::new(),
+            capacity,
+            counters: TapCounters::default(),
+        }
+    }
+
+    /// The tap interface's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> TapCounters {
+        self.counters
+    }
+
+    /// Kernel side: transmit a frame on the interface (application traffic).
+    pub fn kernel_write(&mut self, frame: EthernetFrame) {
+        if self.to_user.len() >= self.capacity {
+            self.counters.dropped += 1;
+            return;
+        }
+        self.counters.kernel_tx += 1;
+        self.to_user.push_back(frame);
+    }
+
+    /// User side (IPOP): read the next frame the kernel transmitted.
+    pub fn user_read(&mut self) -> Option<EthernetFrame> {
+        self.to_user.pop_front()
+    }
+
+    /// User side (IPOP): inject a frame into the kernel.
+    pub fn user_write(&mut self, frame: EthernetFrame) {
+        if self.to_kernel.len() >= self.capacity {
+            self.counters.dropped += 1;
+            return;
+        }
+        self.counters.user_tx += 1;
+        self.to_kernel.push_back(frame);
+    }
+
+    /// Kernel side: receive the next frame injected by the user-level process.
+    pub fn kernel_read(&mut self) -> Option<EthernetFrame> {
+        self.to_kernel.pop_front()
+    }
+
+    /// Frames waiting to be read by the user-level process.
+    pub fn pending_user(&self) -> usize {
+        self.to_user.len()
+    }
+
+    /// Frames waiting to be received by the kernel.
+    pub fn pending_kernel(&self) -> usize {
+        self.to_kernel.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipop_packet::arp::ArpPacket;
+    use std::net::Ipv4Addr;
+
+    fn frame() -> EthernetFrame {
+        EthernetFrame::arp(
+            MacAddr::local(1),
+            MacAddr::BROADCAST,
+            ArpPacket::request(
+                MacAddr::local(1),
+                Ipv4Addr::new(172, 16, 0, 2),
+                Ipv4Addr::new(172, 16, 0, 1),
+            ),
+        )
+    }
+
+    #[test]
+    fn frames_flow_both_ways_in_fifo_order() {
+        let mut tap = TapDevice::new(MacAddr::local(9));
+        assert_eq!(tap.mac(), MacAddr::local(9));
+        tap.kernel_write(frame());
+        tap.kernel_write(frame());
+        assert_eq!(tap.pending_user(), 2);
+        assert!(tap.user_read().is_some());
+        assert!(tap.user_read().is_some());
+        assert!(tap.user_read().is_none());
+
+        tap.user_write(frame());
+        assert_eq!(tap.pending_kernel(), 1);
+        assert!(tap.kernel_read().is_some());
+        assert!(tap.kernel_read().is_none());
+        assert_eq!(tap.counters().kernel_tx, 2);
+        assert_eq!(tap.counters().user_tx, 1);
+    }
+
+    #[test]
+    fn full_queue_drops_frames() {
+        let mut tap = TapDevice::with_capacity(MacAddr::local(1), 1);
+        tap.kernel_write(frame());
+        tap.kernel_write(frame());
+        assert_eq!(tap.pending_user(), 1);
+        assert_eq!(tap.counters().dropped, 1);
+    }
+}

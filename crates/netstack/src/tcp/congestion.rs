@@ -1,0 +1,195 @@
+//! TCP congestion control: slow start, congestion avoidance, fast retransmit /
+//! fast recovery (NewReno-flavoured, RFC 5681).
+//!
+//! The congestion window is what shapes the throughput comparisons in the paper's
+//! Tables II and III: when the virtual-network TCP runs on top of a Brunet-TCP
+//! overlay link, losses and delays on the physical connection stall the inner
+//! connection's window growth (TCP-over-TCP), which is why IPOP-TCP achieves a
+//! smaller fraction of the physical bandwidth than IPOP-UDP.
+
+/// Congestion-control state for one connection.
+#[derive(Clone, Debug)]
+pub struct Congestion {
+    cwnd: f64,
+    ssthresh: f64,
+    mss: f64,
+    in_recovery: bool,
+    recovery_point: u32,
+}
+
+impl Congestion {
+    /// Initial window per RFC 6928 (min(10·MSS, 14600 B) simplified to 4·MSS to
+    /// stay closer to the 2006-era stacks the paper measured).
+    pub fn new(mss: usize) -> Self {
+        let mss = mss as f64;
+        Congestion {
+            cwnd: 4.0 * mss,
+            ssthresh: f64::INFINITY,
+            mss,
+            in_recovery: false,
+            recovery_point: 0,
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn window(&self) -> usize {
+        self.cwnd.max(self.mss) as usize
+    }
+
+    /// Current slow-start threshold in bytes (`usize::MAX` when still unbounded).
+    pub fn ssthresh(&self) -> usize {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as usize
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// True while recovering from a fast retransmit.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// In slow start (below ssthresh)?
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// New data acknowledged: grow the window.
+    ///
+    /// `acked` is the number of bytes newly acknowledged, `snd_una` the new lowest
+    /// unacknowledged sequence number (used to detect the end of fast recovery).
+    pub fn on_ack(&mut self, acked: usize, snd_una: u32) {
+        if self.in_recovery {
+            if super::seq::ge(snd_una, self.recovery_point) {
+                // Full ACK: leave recovery with the deflated window.
+                self.in_recovery = false;
+                self.cwnd = self.ssthresh;
+            } else {
+                // Partial ACK: stay in recovery, keep the window steady.
+                return;
+            }
+        }
+        if self.in_slow_start() {
+            self.cwnd += acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Congestion avoidance: roughly one MSS per RTT.
+            self.cwnd += self.mss * self.mss / self.cwnd;
+        }
+    }
+
+    /// Three duplicate ACKs observed: fast retransmit. `snd_nxt` is the highest
+    /// sequence sent, recorded as the recovery point. Returns `true` if this
+    /// transition entered recovery (caller should retransmit the lost segment).
+    pub fn on_fast_retransmit(&mut self, snd_nxt: u32) -> bool {
+        if self.in_recovery {
+            return false;
+        }
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.ssthresh + 3.0 * self.mss;
+        self.in_recovery = true;
+        self.recovery_point = snd_nxt;
+        true
+    }
+
+    /// Retransmission timeout fired: collapse to one MSS and restart slow start.
+    pub fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+        self.in_recovery = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1460;
+
+    #[test]
+    fn starts_in_slow_start_with_small_window() {
+        let c = Congestion::new(MSS);
+        assert!(c.in_slow_start());
+        assert_eq!(c.window(), 4 * MSS);
+        assert_eq!(c.ssthresh(), usize::MAX);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut c = Congestion::new(MSS);
+        let w0 = c.window();
+        // Acknowledge a full window worth of data (one RTT).
+        c.on_ack(w0, 1_000);
+        assert_eq!(c.window(), 2 * w0);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut c = Congestion::new(MSS);
+        c.on_timeout(); // ssthresh = 2*MSS, cwnd = MSS
+        c.on_ack(MSS, 10); // slow start up to ssthresh
+        assert!(!c.in_slow_start());
+        let w = c.window();
+        // One full window of ACKs grows cwnd by about one MSS.
+        let mut acked = 0;
+        while acked < w {
+            c.on_ack(MSS, 20);
+            acked += MSS;
+        }
+        let grown = c.window() as i64 - w as i64;
+        assert!((grown - MSS as i64).abs() < MSS as i64 / 2, "grew by {grown}");
+    }
+
+    #[test]
+    fn fast_retransmit_halves_window() {
+        let mut c = Congestion::new(MSS);
+        for _ in 0..10 {
+            c.on_ack(c.window(), 100); // grow a lot
+        }
+        let before = c.window();
+        assert!(c.on_fast_retransmit(5_000));
+        assert!(c.in_recovery());
+        assert!(c.ssthresh() >= before / 2 - MSS && c.ssthresh() <= before / 2 + MSS);
+        // Second signal while recovering is ignored.
+        assert!(!c.on_fast_retransmit(5_000));
+    }
+
+    #[test]
+    fn recovery_exits_on_full_ack() {
+        let mut c = Congestion::new(MSS);
+        for _ in 0..6 {
+            c.on_ack(c.window(), 100);
+        }
+        c.on_fast_retransmit(9_000);
+        let ssthresh = c.ssthresh();
+        // Partial ACK keeps us in recovery.
+        c.on_ack(MSS, 8_000);
+        assert!(c.in_recovery());
+        // Full ACK past the recovery point deflates to ssthresh.
+        c.on_ack(MSS, 9_001);
+        assert!(!c.in_recovery());
+        assert_eq!(c.window(), ssthresh);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut c = Congestion::new(MSS);
+        for _ in 0..6 {
+            c.on_ack(c.window(), 100);
+        }
+        c.on_timeout();
+        assert_eq!(c.window(), MSS);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn window_never_below_one_mss() {
+        let mut c = Congestion::new(MSS);
+        c.on_timeout();
+        c.on_timeout();
+        assert!(c.window() >= MSS);
+    }
+}

@@ -1,0 +1,123 @@
+//! RTT estimation and retransmission timeout (RFC 6298).
+
+use ipop_simcore::Duration;
+
+/// Smoothed RTT estimator producing the retransmission timeout.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    rto: Duration,
+    min_rto: Duration,
+    max_rto: Duration,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// A fresh estimator with the conventional 1 s initial RTO, clamped to
+    /// [200 ms, 60 s].
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: Duration::from_secs(1),
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(60),
+        }
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        self.rto
+    }
+
+    /// Smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// Incorporate a new RTT sample (from a segment that was not retransmitted).
+    pub fn sample(&mut self, rtt: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt
+                let diff = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Duration::from_nanos(
+                    (self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4,
+                );
+                self.srtt = Some(Duration::from_nanos(
+                    (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        let var_term = self.rttvar * 4;
+        let candidate = srtt + var_term.max(Duration::from_millis(10));
+        self.rto = candidate.max(self.min_rto).min(self.max_rto);
+    }
+
+    /// Exponential backoff after a retransmission timeout fires.
+    pub fn backoff(&mut self) {
+        self.rto = (self.rto * 2).min(self.max_rto);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.rto(), Duration::from_secs(1));
+        e.sample(Duration::from_millis(100));
+        assert_eq!(e.srtt(), Some(Duration::from_millis(100)));
+        // RTO = srtt + 4*rttvar = 100 + 200 = 300ms
+        assert_eq!(e.rto(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn smooths_towards_samples() {
+        let mut e = RttEstimator::new();
+        e.sample(Duration::from_millis(100));
+        for _ in 0..50 {
+            e.sample(Duration::from_millis(10));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(srtt < Duration::from_millis(15), "srtt {srtt}");
+        assert!(e.rto() >= Duration::from_millis(200), "min RTO clamp");
+    }
+
+    #[test]
+    fn stable_rtt_gives_tight_rto() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.sample(Duration::from_millis(40));
+        }
+        // Variance decays towards zero, RTO approaches srtt + max(4*var, 10ms) >= 200ms floor
+        assert_eq!(e.srtt(), Some(Duration::from_millis(40)));
+        assert!(e.rto() <= Duration::from_millis(250));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let mut e = RttEstimator::new();
+        e.sample(Duration::from_millis(100));
+        let r0 = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), r0 * 2);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,77 @@
+//! Modular (wrapping) sequence-number arithmetic, RFC 793 style.
+//!
+//! All comparisons are made modulo 2^32 under the assumption that the two values
+//! being compared are within half the sequence space of each other — true for any
+//! realistic window size.
+
+/// `a < b` in sequence space.
+pub fn lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+pub fn le(a: u32, b: u32) -> bool {
+    a == b || lt(a, b)
+}
+
+/// `a > b` in sequence space.
+pub fn gt(a: u32, b: u32) -> bool {
+    lt(b, a)
+}
+
+/// `a >= b` in sequence space.
+pub fn ge(a: u32, b: u32) -> bool {
+    le(b, a)
+}
+
+/// `lo <= x < hi` in sequence space.
+pub fn in_range(x: u32, lo: u32, hi: u32) -> bool {
+    ge(x, lo) && lt(x, hi)
+}
+
+/// The distance from `a` forward to `b` (i.e. `b - a` mod 2^32).
+pub fn distance(a: u32, b: u32) -> u32 {
+    b.wrapping_sub(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ordering() {
+        assert!(lt(1, 2));
+        assert!(!lt(2, 1));
+        assert!(le(2, 2));
+        assert!(gt(5, 3));
+        assert!(ge(5, 5));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let near_max = u32::MAX - 10;
+        let wrapped = 5u32;
+        assert!(lt(near_max, wrapped));
+        assert!(gt(wrapped, near_max));
+        assert!(le(near_max, wrapped));
+        assert!(ge(wrapped, near_max));
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(in_range(5, 5, 10));
+        assert!(in_range(9, 5, 10));
+        assert!(!in_range(10, 5, 10));
+        // Range spanning the wrap point.
+        assert!(in_range(u32::MAX, u32::MAX - 2, 3));
+        assert!(in_range(1, u32::MAX - 2, 3));
+        assert!(!in_range(4, u32::MAX - 2, 3));
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(distance(10, 15), 5);
+        assert_eq!(distance(u32::MAX, 4), 5);
+        assert_eq!(distance(7, 7), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! 160-bit overlay addresses and ring arithmetic.
+//!
+//! Brunet organises nodes on a ring of 2^160 addresses. IPOP assigns each node the
+//! SHA-1 hash of its virtual IP address (paper Section III-B), so any node can
+//! compute the overlay destination of an IP packet locally. Greedy routing needs
+//! ring distances, which we compute with full 160-bit modular arithmetic.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use ipop_packet::sha1::Sha1;
+use ipop_simcore::StreamRng;
+
+/// A 160-bit address on the Brunet ring.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Address(pub [u8; 20]);
+
+/// An unsigned 160-bit distance between two addresses.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Distance(pub [u8; 20]);
+
+impl Distance {
+    /// The zero distance.
+    pub const ZERO: Distance = Distance([0u8; 20]);
+    /// The maximum representable distance.
+    pub const MAX: Distance = Distance([0xFF; 20]);
+
+    /// Approximate the distance as an `f64` (used for Kleinberg shortcut sampling
+    /// and diagnostics; precision loss is irrelevant there).
+    pub fn as_f64(&self) -> f64 {
+        self.0.iter().fold(0.0, |acc, &b| acc * 256.0 + b as f64)
+    }
+
+    /// Number of leading zero bits — a cheap logarithmic "closeness" measure.
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut bits = 0;
+        for &b in &self.0 {
+            if b == 0 {
+                bits += 8;
+            } else {
+                bits += b.leading_zeros();
+                break;
+            }
+        }
+        bits
+    }
+}
+
+impl Address {
+    /// The zero address.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// The overlay address of a virtual IP: SHA-1 of its four octets, exactly as
+    /// the IPOP prototype maps tap addresses onto Brunet addresses.
+    pub fn from_ip(ip: Ipv4Addr) -> Address {
+        Address(Sha1::digest(&ip.octets()))
+    }
+
+    /// The overlay address derived from an arbitrary name (used for DHT keys).
+    pub fn from_key(key: &[u8]) -> Address {
+        Address(Sha1::digest(key))
+    }
+
+    /// A uniformly random address.
+    pub fn random(rng: &mut StreamRng) -> Address {
+        let mut bytes = [0u8; 20];
+        rng.fill_bytes(&mut bytes);
+        Address(bytes)
+    }
+
+    /// Clockwise (additive) distance from `self` to `other`: `other - self mod 2^160`.
+    pub fn clockwise_distance(&self, other: &Address) -> Distance {
+        let mut out = [0u8; 20];
+        let mut borrow = 0i16;
+        for i in (0..20).rev() {
+            let diff = other.0[i] as i16 - self.0[i] as i16 - borrow;
+            if diff < 0 {
+                out[i] = (diff + 256) as u8;
+                borrow = 1;
+            } else {
+                out[i] = diff as u8;
+                borrow = 0;
+            }
+        }
+        Distance(out)
+    }
+
+    /// Ring distance: the smaller of the clockwise and counter-clockwise distances.
+    pub fn ring_distance(&self, other: &Address) -> Distance {
+        let cw = self.clockwise_distance(other);
+        let ccw = other.clockwise_distance(self);
+        if cw <= ccw {
+            cw
+        } else {
+            ccw
+        }
+    }
+
+    /// The address at clockwise offset `dist` from `self` (mod 2^160).
+    pub fn add_distance(&self, dist: &Distance) -> Address {
+        let mut out = [0u8; 20];
+        let mut carry = 0u16;
+        for i in (0..20).rev() {
+            let sum = self.0[i] as u16 + dist.0[i] as u16 + carry;
+            out[i] = (sum & 0xFF) as u8;
+            carry = sum >> 8;
+        }
+        Address(out)
+    }
+
+    /// Is `self` within the clockwise arc from `from` (exclusive) to `to`
+    /// (inclusive)? Used to decide ring ownership for DHT keys and ring repair.
+    pub fn in_arc(&self, from: &Address, to: &Address) -> bool {
+        if from == to {
+            // Degenerate arc covering the whole ring.
+            return true;
+        }
+        let arc = from.clockwise_distance(to);
+        let offset = from.clockwise_distance(self);
+        offset > Distance::ZERO && offset <= arc
+    }
+
+    /// Short hexadecimal prefix for logs and debugging.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(msb: u8) -> Address {
+        let mut a = [0u8; 20];
+        a[0] = msb;
+        Address(a)
+    }
+
+    #[test]
+    fn ip_mapping_is_deterministic_and_spread() {
+        let a = Address::from_ip(Ipv4Addr::new(172, 16, 0, 2));
+        let b = Address::from_ip(Ipv4Addr::new(172, 16, 0, 2));
+        let c = Address::from_ip(Ipv4Addr::new(172, 16, 0, 3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Adjacent IPs land far apart on the ring (hashing spreads them).
+        assert!(a.ring_distance(&c) > Distance::ZERO);
+    }
+
+    #[test]
+    fn clockwise_distance_wraps() {
+        let near_top = addr(0xFF);
+        let near_bottom = addr(0x01);
+        let cw = near_top.clockwise_distance(&near_bottom);
+        // 0x01... - 0xFF... mod 2^160 = 0x02 << 152
+        assert_eq!(cw.0[0], 0x02);
+        let ccw = near_bottom.clockwise_distance(&near_top);
+        assert_eq!(ccw.0[0], 0xFE);
+        assert!(near_top.ring_distance(&near_bottom) == cw);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Address::from_ip(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(a.clockwise_distance(&a), Distance::ZERO);
+        assert_eq!(a.ring_distance(&a), Distance::ZERO);
+    }
+
+    #[test]
+    fn add_distance_round_trips() {
+        let a = Address::from_ip(Ipv4Addr::new(10, 0, 0, 1));
+        let b = Address::from_ip(Ipv4Addr::new(10, 0, 0, 2));
+        let d = a.clockwise_distance(&b);
+        assert_eq!(a.add_distance(&d), b);
+    }
+
+    #[test]
+    fn arc_membership() {
+        let a = addr(0x10);
+        let b = addr(0x80);
+        let c = addr(0x40);
+        let d = addr(0x90);
+        assert!(c.in_arc(&a, &b));
+        assert!(!d.in_arc(&a, &b));
+        assert!(b.in_arc(&a, &b), "arc end is inclusive");
+        assert!(!a.in_arc(&a, &b), "arc start is exclusive");
+        // Wrapping arc.
+        let hi = addr(0xF0);
+        let lo = addr(0x08);
+        assert!(addr(0xFF).in_arc(&hi, &lo));
+        assert!(addr(0x01).in_arc(&hi, &lo));
+        assert!(!addr(0x80).in_arc(&hi, &lo));
+    }
+
+    #[test]
+    fn distance_helpers() {
+        assert_eq!(Distance::ZERO.as_f64(), 0.0);
+        assert!(Distance::MAX.as_f64() > 1e48);
+        assert_eq!(Distance::ZERO.leading_zero_bits(), 160);
+        let d = addr(0x01).clockwise_distance(&addr(0x02));
+        assert_eq!(d.leading_zero_bits(), 7);
+    }
+
+    #[test]
+    fn random_addresses_differ() {
+        let mut rng = StreamRng::new(1, "addr");
+        let a = Address::random(&mut rng);
+        let b = Address::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Address::from_ip(Ipv4Addr::new(172, 16, 0, 2));
+        assert_eq!(format!("{a}").len(), 40);
+        assert_eq!(a.short().len(), 8);
+    }
+}

@@ -1,0 +1,30 @@
+//! A Brunet-like structured peer-to-peer overlay, built from scratch.
+//!
+//! The paper's IPOP prototype delegates all of the hard networking problems —
+//! connection management, NAT/firewall traversal, routability — to the Brunet
+//! library (Section II-C). This crate is the reproduction of that substrate:
+//!
+//! * [`address`] — 160-bit ring addresses; a node's address is the SHA-1 hash of
+//!   its virtual IP.
+//! * [`packets`] — the link-level and routed wire formats, including the IP-tunnel
+//!   payload of paper Fig. 3.
+//! * [`table`] — the connection table with structured-near (ring neighbour) and
+//!   structured-far (Kleinberg shortcut) edges.
+//! * [`node`] — the protocol engine: greedy structured routing, decentralized
+//!   join/leave, ring repair, shortcut formation, hole-punching link establishment
+//!   and a simple DHT (used by IPOP's proposed Brunet-ARP mapper).
+//! * [`transport`] — UDP and TCP adapters that carry overlay traffic over the
+//!   host's physical network stack, matching the two Brunet modes the paper
+//!   compares in Tables I–III.
+
+pub mod address;
+pub mod node;
+pub mod packets;
+pub mod table;
+pub mod transport;
+
+pub use address::{Address, Distance};
+pub use node::{OverlayConfig, OverlayNode, OverlayStats};
+pub use packets::{ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload};
+pub use table::{Connection, ConnectionState, ConnectionTable};
+pub use transport::{OverlayTransport, TcpTransport, TransportMode, UdpTransport};

@@ -1,0 +1,547 @@
+//! Overlay wire formats.
+//!
+//! Everything two Brunet nodes exchange over a physical transport is a
+//! [`LinkMessage`]: either link-local control traffic (the connection/linking
+//! handshake, keep-alive pings) or a [`RoutedPacket`] that is forwarded greedily
+//! across the ring. Routed packets carry the IPOP tunnel payload (a serialized
+//! virtual IPv4 packet — paper Fig. 3), the connection-setup messages that are
+//! routed to their target before a direct edge exists, and the DHT operations used
+//! by Brunet-ARP.
+//!
+//! The formats are byte-exact so the simulator accounts for realistic header
+//! overhead on every physical link.
+
+use std::net::Ipv4Addr;
+
+use ipop_packet::ParseError;
+
+use crate::address::Address;
+
+/// A physical transport endpoint (address, UDP/TCP port).
+pub type Endpoint = (Ipv4Addr, u16);
+
+/// How a routed packet is delivered at the end of the greedy route.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeliveryMode {
+    /// Deliver only to the node whose address equals the destination exactly
+    /// (used for IP tunnelling, where the destination is known to exist).
+    Exact,
+    /// Deliver to the node closest to the destination (used for DHT operations and
+    /// connection requests addressed to an arbitrary point on the ring).
+    Closest,
+}
+
+/// The kind of structured connection being requested.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ConnectionKind {
+    /// Ring neighbour (structured near) connection.
+    Near,
+    /// Kleinberg shortcut (structured far) connection.
+    Far,
+    /// Bootstrap/leaf connection used while joining.
+    Leaf,
+}
+
+/// Payload of a routed overlay packet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoutedPayload {
+    /// A tunnelled virtual IPv4 packet (serialized bytes).
+    IpTunnel(Vec<u8>),
+    /// Request to establish a direct connection with the initiator.
+    ConnectRequest {
+        /// Correlates request and response.
+        token: u64,
+        /// The initiator's overlay address.
+        initiator: Address,
+        /// Kind of connection requested.
+        kind: ConnectionKind,
+        /// Physical endpoints (local and NAT-observed) the initiator can be reached at.
+        endpoints: Vec<Endpoint>,
+    },
+    /// Response to a [`RoutedPayload::ConnectRequest`], routed back to the initiator.
+    ConnectResponse {
+        /// Token from the request.
+        token: u64,
+        /// The responder's overlay address.
+        responder: Address,
+        /// The responder's reachable physical endpoints.
+        endpoints: Vec<Endpoint>,
+    },
+    /// Store a value at the node closest to `key`.
+    DhtPut {
+        /// DHT key.
+        key: Address,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Look up `key`; the responsible node answers with a `DhtReply`.
+    DhtGet {
+        /// DHT key.
+        key: Address,
+        /// Correlates request and reply.
+        token: u64,
+    },
+    /// Answer to a [`RoutedPayload::DhtGet`].
+    DhtReply {
+        /// Token from the request.
+        token: u64,
+        /// The stored value, if any.
+        value: Option<Vec<u8>>,
+    },
+}
+
+/// A packet routed hop-by-hop across the overlay ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutedPacket {
+    /// Originating node.
+    pub src: Address,
+    /// Destination point on the ring.
+    pub dst: Address,
+    /// Delivery rule at the end of the route.
+    pub mode: DeliveryMode,
+    /// Hops taken so far.
+    pub hops: u8,
+    /// Maximum hops before the packet is dropped.
+    pub ttl: u8,
+    /// Payload.
+    pub payload: RoutedPayload,
+}
+
+impl RoutedPacket {
+    /// A routed packet with the default TTL of 32 hops.
+    pub fn new(src: Address, dst: Address, mode: DeliveryMode, payload: RoutedPayload) -> Self {
+        RoutedPacket { src, dst, mode, hops: 0, ttl: 32, payload }
+    }
+}
+
+/// A message exchanged directly between two physical endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkMessage {
+    /// Link handshake: "I am `from`, I want a `kind` edge, and I observe your
+    /// traffic as coming from `observed`".
+    Hello {
+        /// Sender's overlay address.
+        from: Address,
+        /// Connection kind being established.
+        kind: ConnectionKind,
+        /// The sender's view of the receiver's endpoint — this is how a node behind
+        /// a NAT learns its translated address (paper Section III-D).
+        observed: Endpoint,
+        /// Handshake token.
+        token: u64,
+    },
+    /// Handshake acknowledgement (same fields, confirming the edge).
+    HelloAck {
+        /// Sender's overlay address.
+        from: Address,
+        /// Connection kind confirmed.
+        kind: ConnectionKind,
+        /// The acker's view of the receiver's endpoint.
+        observed: Endpoint,
+        /// Token echoed from the Hello.
+        token: u64,
+    },
+    /// Connection keep-alive probe.
+    Ping {
+        /// Sender's overlay address.
+        from: Address,
+        /// Probe nonce.
+        nonce: u64,
+    },
+    /// Keep-alive answer.
+    Pong {
+        /// Sender's overlay address.
+        from: Address,
+        /// Nonce echoed from the ping.
+        nonce: u64,
+    },
+    /// Graceful teardown of the edge.
+    Close {
+        /// Sender's overlay address.
+        from: Address,
+    },
+    /// A routed overlay packet being forwarded along this edge.
+    Routed(RoutedPacket),
+}
+
+// --------------------------------------------------------------------- encoding
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::with_capacity(64) }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn addr(&mut self, a: &Address) {
+        self.buf.extend_from_slice(&a.0);
+    }
+    fn endpoint(&mut self, e: &Endpoint) {
+        self.buf.extend_from_slice(&e.0.octets());
+        self.u16(e.1);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u16(b.len() as u16);
+        self.buf.extend_from_slice(b);
+    }
+    fn bytes32(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(&(b.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.data.len() {
+            return Err(ParseError::Truncated("overlay message"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ParseError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, ParseError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, ParseError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_be_bytes(b))
+    }
+    fn addr(&mut self) -> Result<Address, ParseError> {
+        let s = self.take(20)?;
+        let mut b = [0u8; 20];
+        b.copy_from_slice(s);
+        Ok(Address(b))
+    }
+    fn endpoint(&mut self) -> Result<Endpoint, ParseError> {
+        let s = self.take(4)?;
+        let ip = Ipv4Addr::new(s[0], s[1], s[2], s[3]);
+        let port = self.u16()?;
+        Ok((ip, port))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, ParseError> {
+        let len = self.u16()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn bytes32(&mut self) -> Result<Vec<u8>, ParseError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+fn write_endpoints(w: &mut Writer, eps: &[Endpoint]) {
+    w.u8(eps.len() as u8);
+    for e in eps {
+        w.endpoint(e);
+    }
+}
+
+fn read_endpoints(r: &mut Reader<'_>) -> Result<Vec<Endpoint>, ParseError> {
+    let n = r.u8()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.endpoint()?);
+    }
+    Ok(out)
+}
+
+impl ConnectionKind {
+    fn code(self) -> u8 {
+        match self {
+            ConnectionKind::Near => 0,
+            ConnectionKind::Far => 1,
+            ConnectionKind::Leaf => 2,
+        }
+    }
+    fn from_code(c: u8) -> Result<Self, ParseError> {
+        match c {
+            0 => Ok(ConnectionKind::Near),
+            1 => Ok(ConnectionKind::Far),
+            2 => Ok(ConnectionKind::Leaf),
+            _ => Err(ParseError::Unsupported("connection kind")),
+        }
+    }
+}
+
+impl RoutedPacket {
+    fn write(&self, w: &mut Writer) {
+        w.addr(&self.src);
+        w.addr(&self.dst);
+        w.u8(match self.mode {
+            DeliveryMode::Exact => 0,
+            DeliveryMode::Closest => 1,
+        });
+        w.u8(self.hops);
+        w.u8(self.ttl);
+        match &self.payload {
+            RoutedPayload::IpTunnel(data) => {
+                w.u8(0);
+                w.bytes32(data);
+            }
+            RoutedPayload::ConnectRequest { token, initiator, kind, endpoints } => {
+                w.u8(1);
+                w.u64(*token);
+                w.addr(initiator);
+                w.u8(kind.code());
+                write_endpoints(w, endpoints);
+            }
+            RoutedPayload::ConnectResponse { token, responder, endpoints } => {
+                w.u8(2);
+                w.u64(*token);
+                w.addr(responder);
+                write_endpoints(w, endpoints);
+            }
+            RoutedPayload::DhtPut { key, value } => {
+                w.u8(3);
+                w.addr(key);
+                w.bytes(value);
+            }
+            RoutedPayload::DhtGet { key, token } => {
+                w.u8(4);
+                w.addr(key);
+                w.u64(*token);
+            }
+            RoutedPayload::DhtReply { token, value } => {
+                w.u8(5);
+                w.u64(*token);
+                match value {
+                    Some(v) => {
+                        w.u8(1);
+                        w.bytes(v);
+                    }
+                    None => w.u8(0),
+                }
+            }
+        }
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, ParseError> {
+        let src = r.addr()?;
+        let dst = r.addr()?;
+        let mode = match r.u8()? {
+            0 => DeliveryMode::Exact,
+            1 => DeliveryMode::Closest,
+            _ => return Err(ParseError::Unsupported("delivery mode")),
+        };
+        let hops = r.u8()?;
+        let ttl = r.u8()?;
+        let payload = match r.u8()? {
+            0 => RoutedPayload::IpTunnel(r.bytes32()?),
+            1 => RoutedPayload::ConnectRequest {
+                token: r.u64()?,
+                initiator: r.addr()?,
+                kind: ConnectionKind::from_code(r.u8()?)?,
+                endpoints: read_endpoints(r)?,
+            },
+            2 => RoutedPayload::ConnectResponse {
+                token: r.u64()?,
+                responder: r.addr()?,
+                endpoints: read_endpoints(r)?,
+            },
+            3 => RoutedPayload::DhtPut { key: r.addr()?, value: r.bytes()? },
+            4 => RoutedPayload::DhtGet { key: r.addr()?, token: r.u64()? },
+            5 => {
+                let token = r.u64()?;
+                let value = if r.u8()? == 1 { Some(r.bytes()?) } else { None };
+                RoutedPayload::DhtReply { token, value }
+            }
+            _ => return Err(ParseError::Unsupported("routed payload")),
+        };
+        Ok(RoutedPacket { src, dst, mode, hops, ttl, payload })
+    }
+}
+
+impl LinkMessage {
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            LinkMessage::Hello { from, kind, observed, token } => {
+                w.u8(0);
+                w.addr(from);
+                w.u8(kind.code());
+                w.endpoint(observed);
+                w.u64(*token);
+            }
+            LinkMessage::HelloAck { from, kind, observed, token } => {
+                w.u8(1);
+                w.addr(from);
+                w.u8(kind.code());
+                w.endpoint(observed);
+                w.u64(*token);
+            }
+            LinkMessage::Ping { from, nonce } => {
+                w.u8(2);
+                w.addr(from);
+                w.u64(*nonce);
+            }
+            LinkMessage::Pong { from, nonce } => {
+                w.u8(3);
+                w.addr(from);
+                w.u64(*nonce);
+            }
+            LinkMessage::Close { from } => {
+                w.u8(4);
+                w.addr(from);
+            }
+            LinkMessage::Routed(pkt) => {
+                w.u8(5);
+                pkt.write(&mut w);
+            }
+        }
+        w.buf
+    }
+
+    /// Parse from wire bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ParseError> {
+        let mut r = Reader::new(data);
+        let msg = match r.u8()? {
+            0 => LinkMessage::Hello {
+                from: r.addr()?,
+                kind: ConnectionKind::from_code(r.u8()?)?,
+                observed: r.endpoint()?,
+                token: r.u64()?,
+            },
+            1 => LinkMessage::HelloAck {
+                from: r.addr()?,
+                kind: ConnectionKind::from_code(r.u8()?)?,
+                observed: r.endpoint()?,
+                token: r.u64()?,
+            },
+            2 => LinkMessage::Ping { from: r.addr()?, nonce: r.u64()? },
+            3 => LinkMessage::Pong { from: r.addr()?, nonce: r.u64()? },
+            4 => LinkMessage::Close { from: r.addr()? },
+            5 => LinkMessage::Routed(RoutedPacket::read(&mut r)?),
+            _ => return Err(ParseError::Unsupported("link message")),
+        };
+        Ok(msg)
+    }
+
+    /// The sender's overlay address, when the message carries one at link level.
+    pub fn sender(&self) -> Option<Address> {
+        match self {
+            LinkMessage::Hello { from, .. }
+            | LinkMessage::HelloAck { from, .. }
+            | LinkMessage::Ping { from, .. }
+            | LinkMessage::Pong { from, .. }
+            | LinkMessage::Close { from } => Some(*from),
+            LinkMessage::Routed(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u8) -> Address {
+        let mut b = [0u8; 20];
+        b[19] = n;
+        Address(b)
+    }
+
+    fn ep(last: u8, port: u16) -> Endpoint {
+        (Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    #[test]
+    fn link_control_messages_round_trip() {
+        let msgs = vec![
+            LinkMessage::Hello { from: a(1), kind: ConnectionKind::Near, observed: ep(2, 4001), token: 77 },
+            LinkMessage::HelloAck { from: a(2), kind: ConnectionKind::Leaf, observed: ep(1, 4001), token: 77 },
+            LinkMessage::Ping { from: a(3), nonce: 123_456 },
+            LinkMessage::Pong { from: a(4), nonce: 123_456 },
+            LinkMessage::Close { from: a(5) },
+        ];
+        for m in msgs {
+            let parsed = LinkMessage::from_bytes(&m.to_bytes()).unwrap();
+            assert_eq!(parsed, m);
+            assert!(parsed.sender().is_some());
+        }
+    }
+
+    #[test]
+    fn routed_payloads_round_trip() {
+        let payloads = vec![
+            RoutedPayload::IpTunnel(vec![0xAB; 1400]),
+            RoutedPayload::ConnectRequest {
+                token: 9,
+                initiator: a(7),
+                kind: ConnectionKind::Far,
+                endpoints: vec![ep(1, 4001), ep(2, 20_001)],
+            },
+            RoutedPayload::ConnectResponse { token: 9, responder: a(8), endpoints: vec![ep(3, 4001)] },
+            RoutedPayload::DhtPut { key: a(9), value: b"172.16.0.5 -> brunet".to_vec() },
+            RoutedPayload::DhtGet { key: a(9), token: 42 },
+            RoutedPayload::DhtReply { token: 42, value: Some(vec![1, 2, 3]) },
+            RoutedPayload::DhtReply { token: 43, value: None },
+        ];
+        for p in payloads {
+            let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Closest, p);
+            let msg = LinkMessage::Routed(pkt.clone());
+            let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();
+            assert_eq!(parsed, msg);
+            assert_eq!(parsed.sender(), None);
+        }
+    }
+
+    #[test]
+    fn hop_and_ttl_fields_survive() {
+        let mut pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Exact, RoutedPayload::IpTunnel(vec![1]));
+        pkt.hops = 5;
+        pkt.ttl = 9;
+        let LinkMessage::Routed(parsed) =
+            LinkMessage::from_bytes(&LinkMessage::Routed(pkt.clone()).to_bytes()).unwrap()
+        else {
+            panic!("expected routed")
+        };
+        assert_eq!(parsed.hops, 5);
+        assert_eq!(parsed.ttl, 9);
+    }
+
+    #[test]
+    fn large_tunnel_payload_uses_32bit_length() {
+        let big = vec![7u8; 100_000];
+        let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Exact, RoutedPayload::IpTunnel(big.clone()));
+        let LinkMessage::Routed(parsed) =
+            LinkMessage::from_bytes(&LinkMessage::Routed(pkt).to_bytes()).unwrap()
+        else {
+            panic!("expected routed")
+        };
+        assert_eq!(parsed.payload, RoutedPayload::IpTunnel(big));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(LinkMessage::from_bytes(&[]).is_err());
+        assert!(LinkMessage::from_bytes(&[99]).is_err());
+        assert!(LinkMessage::from_bytes(&[0, 1, 2]).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The connection table: the node's view of its edges on the ring.
+//!
+//! Brunet distinguishes *structured near* connections (the immediate ring
+//! neighbours, which guarantee routability) from *structured far* connections
+//! (Kleinberg-style shortcuts that give logarithmic routing) and *leaf*
+//! connections (bootstrap edges kept while joining). Greedy routing consults this
+//! table: a packet is forwarded to the connection whose address is closest to the
+//! destination.
+
+use std::collections::HashMap;
+
+use ipop_simcore::SimTime;
+
+use crate::address::{Address, Distance};
+use crate::packets::{ConnectionKind, Endpoint};
+
+/// State of an edge.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ConnectionState {
+    /// Handshake in progress (Hello sent, no ack yet).
+    Connecting,
+    /// Edge is usable for routing.
+    Established,
+}
+
+/// A directed edge to a peer.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    /// Peer overlay address.
+    pub peer: Address,
+    /// Physical endpoint we reach the peer at.
+    pub endpoint: Endpoint,
+    /// Near / far / leaf.
+    pub kind: ConnectionKind,
+    /// Handshake state.
+    pub state: ConnectionState,
+    /// When we last heard from the peer (any message).
+    pub last_heard: SimTime,
+    /// When we last sent a keep-alive ping.
+    pub last_ping_sent: SimTime,
+}
+
+/// The set of edges of one node.
+#[derive(Debug, Default)]
+pub struct ConnectionTable {
+    connections: HashMap<Address, Connection>,
+}
+
+impl ConnectionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ConnectionTable { connections: HashMap::new() }
+    }
+
+    /// Number of edges (any state).
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// True when no edges exist.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty()
+    }
+
+    /// Insert or update an edge.
+    pub fn upsert(&mut self, conn: Connection) {
+        self.connections.insert(conn.peer, conn);
+    }
+
+    /// Remove an edge.
+    pub fn remove(&mut self, peer: &Address) -> Option<Connection> {
+        self.connections.remove(peer)
+    }
+
+    /// Borrow an edge.
+    pub fn get(&self, peer: &Address) -> Option<&Connection> {
+        self.connections.get(peer)
+    }
+
+    /// Borrow an edge mutably.
+    pub fn get_mut(&mut self, peer: &Address) -> Option<&mut Connection> {
+        self.connections.get_mut(peer)
+    }
+
+    /// Does an edge to `peer` exist (in any state)?
+    pub fn contains(&self, peer: &Address) -> bool {
+        self.connections.contains_key(peer)
+    }
+
+    /// Iterate over all edges.
+    pub fn iter(&self) -> impl Iterator<Item = &Connection> {
+        self.connections.values()
+    }
+
+    /// Iterate over all edges mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Connection> {
+        self.connections.values_mut()
+    }
+
+    /// Established edges only.
+    pub fn established(&self) -> impl Iterator<Item = &Connection> {
+        self.connections.values().filter(|c| c.state == ConnectionState::Established)
+    }
+
+    /// Number of established edges of a given kind.
+    pub fn count_kind(&self, kind: ConnectionKind) -> usize {
+        self.established().filter(|c| c.kind == kind).count()
+    }
+
+    /// The established connection whose address is closest (ring distance) to
+    /// `target`, if any.
+    pub fn closest_to(&self, target: &Address) -> Option<&Connection> {
+        self.established().min_by_key(|c| c.peer.ring_distance(target))
+    }
+
+    /// The ring distance from the closest established connection to `target`
+    /// (`Distance::MAX` when the table is empty).
+    pub fn best_distance_to(&self, target: &Address) -> Distance {
+        self.closest_to(target).map_or(Distance::MAX, |c| c.peer.ring_distance(target))
+    }
+
+    /// The `count` established peers nearest to `me` in the clockwise (right)
+    /// direction, closest first.
+    pub fn right_neighbors(&self, me: &Address, count: usize) -> Vec<&Connection> {
+        let mut peers: Vec<&Connection> = self.established().collect();
+        peers.sort_by_key(|c| me.clockwise_distance(&c.peer));
+        peers.into_iter().take(count).collect()
+    }
+
+    /// The `count` established peers nearest to `me` in the counter-clockwise
+    /// (left) direction, closest first.
+    pub fn left_neighbors(&self, me: &Address, count: usize) -> Vec<&Connection> {
+        let mut peers: Vec<&Connection> = self.established().collect();
+        peers.sort_by_key(|c| c.peer.clockwise_distance(me));
+        peers.into_iter().take(count).collect()
+    }
+
+    /// All established peer addresses.
+    pub fn peers(&self) -> Vec<Address> {
+        self.established().map(|c| c.peer).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn addr(n: u8) -> Address {
+        let mut b = [0u8; 20];
+        b[0] = n;
+        Address(b)
+    }
+
+    fn conn(n: u8, kind: ConnectionKind, state: ConnectionState) -> Connection {
+        Connection {
+            peer: addr(n),
+            endpoint: (Ipv4Addr::new(10, 0, 0, n), 4001),
+            kind,
+            state,
+            last_heard: SimTime::ZERO,
+            last_ping_sent: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn upsert_get_remove() {
+        let mut t = ConnectionTable::new();
+        assert!(t.is_empty());
+        t.upsert(conn(1, ConnectionKind::Near, ConnectionState::Established));
+        t.upsert(conn(1, ConnectionKind::Near, ConnectionState::Established));
+        assert_eq!(t.len(), 1, "upsert replaces");
+        assert!(t.contains(&addr(1)));
+        assert!(t.get(&addr(1)).is_some());
+        assert!(t.remove(&addr(1)).is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn closest_ignores_connecting_edges() {
+        let mut t = ConnectionTable::new();
+        t.upsert(conn(0x10, ConnectionKind::Near, ConnectionState::Connecting));
+        t.upsert(conn(0x80, ConnectionKind::Near, ConnectionState::Established));
+        let target = addr(0x11);
+        assert_eq!(t.closest_to(&target).unwrap().peer, addr(0x80));
+        assert_eq!(t.count_kind(ConnectionKind::Near), 1);
+    }
+
+    #[test]
+    fn closest_picks_minimum_ring_distance() {
+        let mut t = ConnectionTable::new();
+        for n in [0x10, 0x40, 0xA0, 0xF0] {
+            t.upsert(conn(n, ConnectionKind::Far, ConnectionState::Established));
+        }
+        assert_eq!(t.closest_to(&addr(0x45)).unwrap().peer, addr(0x40));
+        // Wrap-around: 0x02 is closer to 0xF0 than to 0x10? cw(0xF0->0x02)=0x12..,
+        // ring distance to 0x10 is 0x0E — so 0x10 wins.
+        assert_eq!(t.closest_to(&addr(0x02)).unwrap().peer, addr(0x10));
+        assert_eq!(t.best_distance_to(&addr(0x40)), Distance::ZERO);
+    }
+
+    #[test]
+    fn empty_table_has_max_distance() {
+        let t = ConnectionTable::new();
+        assert_eq!(t.best_distance_to(&addr(5)), Distance::MAX);
+        assert!(t.closest_to(&addr(5)).is_none());
+    }
+
+    #[test]
+    fn left_and_right_neighbors() {
+        let mut t = ConnectionTable::new();
+        for n in [0x10, 0x30, 0x70, 0xC0] {
+            t.upsert(conn(n, ConnectionKind::Near, ConnectionState::Established));
+        }
+        let me = addr(0x50);
+        let right: Vec<_> = t.right_neighbors(&me, 2).iter().map(|c| c.peer).collect();
+        assert_eq!(right, vec![addr(0x70), addr(0xC0)]);
+        let left: Vec<_> = t.left_neighbors(&me, 2).iter().map(|c| c.peer).collect();
+        assert_eq!(left, vec![addr(0x30), addr(0x10)]);
+        // Wrap-around: from 0x05 the nearest left neighbour is 0xC0.
+        let left_wrap: Vec<_> = t.left_neighbors(&addr(0x05), 1).iter().map(|c| c.peer).collect();
+        assert_eq!(left_wrap, vec![addr(0xC0)]);
+    }
+
+    #[test]
+    fn peers_lists_established_only() {
+        let mut t = ConnectionTable::new();
+        t.upsert(conn(1, ConnectionKind::Near, ConnectionState::Established));
+        t.upsert(conn(2, ConnectionKind::Far, ConnectionState::Connecting));
+        assert_eq!(t.peers(), vec![addr(1)]);
+    }
+}

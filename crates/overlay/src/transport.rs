@@ -1,0 +1,324 @@
+//! Physical transports for overlay traffic.
+//!
+//! Brunet can run its edges over UDP or TCP (paper Section II-C); Tables I–III
+//! compare IPOP in both modes. The adapters here map the overlay's
+//! "send this [`LinkMessage`] to that endpoint" interface onto UDP datagrams or
+//! length-prefixed TCP streams carried by the host's *physical* [`NetStack`] — so
+//! overlay traffic experiences exactly the same kernel stack, NAT and firewall
+//! behaviour as any other traffic in the simulation.
+
+use std::collections::HashMap;
+
+use ipop_netstack::{NetStack, SocketHandle};
+use ipop_simcore::SimTime;
+
+use crate::packets::{Endpoint, LinkMessage};
+
+/// Which physical transport carries overlay traffic.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TransportMode {
+    /// One datagram per link message.
+    Udp,
+    /// Persistent per-peer TCP connections with length-prefixed framing.
+    Tcp,
+}
+
+/// A transport adapter between an overlay node and the physical stack.
+pub trait OverlayTransport {
+    /// The mode this adapter implements.
+    fn mode(&self) -> TransportMode;
+    /// Queue a message for `dst`.
+    fn send(&mut self, stack: &mut NetStack, now: SimTime, dst: Endpoint, msg: &LinkMessage);
+    /// Collect received messages as `(source endpoint, message)` pairs.
+    fn poll(&mut self, stack: &mut NetStack, now: SimTime) -> Vec<(Endpoint, LinkMessage)>;
+}
+
+/// UDP transport: one datagram per message.
+pub struct UdpTransport {
+    socket: SocketHandle,
+    /// Messages that failed to parse (diagnostics).
+    pub parse_errors: u64,
+}
+
+impl UdpTransport {
+    /// Bind the overlay UDP port on the given stack.
+    pub fn bind(stack: &mut NetStack, port: u16) -> Self {
+        let socket = stack.udp_bind(port).expect("overlay UDP port available");
+        UdpTransport { socket, parse_errors: 0 }
+    }
+}
+
+impl OverlayTransport for UdpTransport {
+    fn mode(&self) -> TransportMode {
+        TransportMode::Udp
+    }
+
+    fn send(&mut self, stack: &mut NetStack, _now: SimTime, dst: Endpoint, msg: &LinkMessage) {
+        let _ = stack.udp_send(self.socket, dst.0, dst.1, msg.to_bytes());
+    }
+
+    fn poll(&mut self, stack: &mut NetStack, _now: SimTime) -> Vec<(Endpoint, LinkMessage)> {
+        let mut out = Vec::new();
+        while let Ok(Some(msg)) = stack.udp_recv(self.socket) {
+            match LinkMessage::from_bytes(&msg.data) {
+                Ok(parsed) => out.push(((msg.src, msg.src_port), parsed)),
+                Err(_) => self.parse_errors += 1,
+            }
+        }
+        out
+    }
+}
+
+struct TcpPeer {
+    handle: SocketHandle,
+    rx: Vec<u8>,
+    tx_backlog: Vec<u8>,
+}
+
+/// TCP transport: one persistent connection per peer, messages framed with a
+/// 32-bit big-endian length prefix.
+pub struct TcpTransport {
+    listener: SocketHandle,
+    peers: HashMap<Endpoint, TcpPeer>,
+    /// Messages that failed to parse (diagnostics).
+    pub parse_errors: u64,
+}
+
+impl TcpTransport {
+    /// Listen on the overlay TCP port on the given stack.
+    pub fn bind(stack: &mut NetStack, port: u16) -> Self {
+        let listener = stack.tcp_listen(port).expect("overlay TCP port available");
+        TcpTransport { listener, peers: HashMap::new(), parse_errors: 0 }
+    }
+
+    /// Number of live peer connections.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn frame(msg: &LinkMessage) -> Vec<u8> {
+        let body = msg.to_bytes();
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn flush_peer(stack: &mut NetStack, peer: &mut TcpPeer) {
+        if peer.tx_backlog.is_empty() {
+            return;
+        }
+        if let Ok(sent) = stack.tcp_send(peer.handle, &peer.tx_backlog) {
+            peer.tx_backlog.drain(..sent);
+        }
+    }
+
+    fn extract_frames(rx: &mut Vec<u8>, errors: &mut u64) -> Vec<LinkMessage> {
+        let mut out = Vec::new();
+        loop {
+            if rx.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([rx[0], rx[1], rx[2], rx[3]]) as usize;
+            if rx.len() < 4 + len {
+                break;
+            }
+            let body: Vec<u8> = rx[4..4 + len].to_vec();
+            rx.drain(..4 + len);
+            match LinkMessage::from_bytes(&body) {
+                Ok(msg) => out.push(msg),
+                Err(_) => *errors += 1,
+            }
+        }
+        out
+    }
+}
+
+impl OverlayTransport for TcpTransport {
+    fn mode(&self) -> TransportMode {
+        TransportMode::Tcp
+    }
+
+    fn send(&mut self, stack: &mut NetStack, now: SimTime, dst: Endpoint, msg: &LinkMessage) {
+        let framed = Self::frame(msg);
+        let peer = self.peers.entry(dst).or_insert_with(|| {
+            let handle = stack
+                .tcp_connect(dst.0, dst.1, now)
+                .expect("tcp connect allocates a socket");
+            TcpPeer { handle, rx: Vec::new(), tx_backlog: Vec::new() }
+        });
+        peer.tx_backlog.extend_from_slice(&framed);
+        Self::flush_peer(stack, peer);
+    }
+
+    fn poll(&mut self, stack: &mut NetStack, _now: SimTime) -> Vec<(Endpoint, LinkMessage)> {
+        let mut out = Vec::new();
+        // Accept new inbound connections; key them by the peer's actual endpoint.
+        while let Ok(Some(handle)) = stack.tcp_accept(self.listener) {
+            if let Some(sock_remote) = stack.tcp_remote(handle) {
+                self.peers
+                    .entry(sock_remote)
+                    .or_insert(TcpPeer { handle, rx: Vec::new(), tx_backlog: Vec::new() });
+            }
+        }
+        let mut dead = Vec::new();
+        for (ep, peer) in self.peers.iter_mut() {
+            Self::flush_peer(stack, peer);
+            loop {
+                let chunk = stack.tcp_recv(peer.handle, 64 * 1024).unwrap_or_default();
+                if chunk.is_empty() {
+                    break;
+                }
+                peer.rx.extend_from_slice(&chunk);
+            }
+            for msg in Self::extract_frames(&mut peer.rx, &mut self.parse_errors) {
+                out.push((*ep, msg));
+            }
+            if stack.tcp_is_closed(peer.handle) && peer.rx.is_empty() {
+                dead.push(*ep);
+            }
+        }
+        for ep in dead {
+            if let Some(p) = self.peers.remove(&ep) {
+                stack.release(p.handle);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use ipop_netstack::StackConfig;
+    use ipop_simcore::Duration;
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn pump(a: &mut NetStack, b: &mut NetStack, now: &mut SimTime) {
+        for _ in 0..10_000 {
+            a.poll(*now);
+            b.poll(*now);
+            let fa = a.take_packets();
+            let fb = b.take_packets();
+            if fa.is_empty() && fb.is_empty() {
+                break;
+            }
+            *now += Duration::from_micros(100);
+            for p in fa {
+                b.handle_packet(*now, p);
+            }
+            for p in fb {
+                a.handle_packet(*now, p);
+            }
+        }
+    }
+
+    fn ping_msg(n: u64) -> LinkMessage {
+        LinkMessage::Ping { from: Address::from_key(b"t"), nonce: n }
+    }
+
+    #[test]
+    fn udp_transport_round_trip() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let mut ta = UdpTransport::bind(&mut sa, 4001);
+        let mut tb = UdpTransport::bind(&mut sb, 4001);
+        let mut now = SimTime::ZERO;
+        ta.send(&mut sa, now, (B, 4001), &ping_msg(7));
+        pump(&mut sa, &mut sb, &mut now);
+        let got = tb.poll(&mut sb, now);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, ping_msg(7));
+        assert_eq!(got[0].0 .0, A);
+        assert_eq!(ta.mode(), TransportMode::Udp);
+    }
+
+    #[test]
+    fn udp_transport_counts_garbage() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let sock = sa.udp_bind(9999).unwrap();
+        let mut tb = UdpTransport::bind(&mut sb, 4001);
+        sa.udp_send(sock, B, 4001, vec![0xFF, 0xFE]).unwrap();
+        let mut now = SimTime::ZERO;
+        pump(&mut sa, &mut sb, &mut now);
+        assert!(tb.poll(&mut sb, now).is_empty());
+        assert_eq!(tb.parse_errors, 1);
+    }
+
+    #[test]
+    fn tcp_transport_round_trip_and_reuse() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let mut ta = TcpTransport::bind(&mut sa, 4001);
+        let mut tb = TcpTransport::bind(&mut sb, 4001);
+        let mut now = SimTime::ZERO;
+        ta.send(&mut sa, now, (B, 4001), &ping_msg(1));
+        ta.send(&mut sa, now, (B, 4001), &ping_msg(2));
+        // Let the handshake and data flow; poll repeatedly as data arrives.
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            pump(&mut sa, &mut sb, &mut now);
+            got.extend(tb.poll(&mut sb, now));
+            ta.poll(&mut sa, now);
+            if got.len() >= 2 {
+                break;
+            }
+            now += Duration::from_millis(10);
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, ping_msg(1));
+        assert_eq!(got[1].1, ping_msg(2));
+        assert_eq!(ta.peer_count(), 1, "a single TCP connection is reused");
+        assert_eq!(ta.mode(), TransportMode::Tcp);
+
+        // The receiver can answer over the same (accepted) connection.
+        let reply_to = got[0].0;
+        tb.send(&mut sb, now, reply_to, &ping_msg(3));
+        let mut back = Vec::new();
+        for _ in 0..50 {
+            pump(&mut sa, &mut sb, &mut now);
+            back.extend(ta.poll(&mut sa, now));
+            tb.poll(&mut sb, now);
+            if !back.is_empty() {
+                break;
+            }
+            now += Duration::from_millis(10);
+        }
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].1, ping_msg(3));
+        assert_eq!(tb.peer_count(), 1);
+    }
+
+    #[test]
+    fn tcp_transport_handles_large_messages_across_segments() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let mut ta = TcpTransport::bind(&mut sa, 4001);
+        let mut tb = TcpTransport::bind(&mut sb, 4001);
+        let mut now = SimTime::ZERO;
+        let big = LinkMessage::Routed(crate::packets::RoutedPacket::new(
+            Address::from_key(b"a"),
+            Address::from_key(b"b"),
+            crate::packets::DeliveryMode::Exact,
+            crate::packets::RoutedPayload::IpTunnel(vec![0x55; 20_000]),
+        ));
+        ta.send(&mut sa, now, (B, 4001), &big);
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            pump(&mut sa, &mut sb, &mut now);
+            ta.poll(&mut sa, now);
+            got.extend(tb.poll(&mut sb, now));
+            if !got.is_empty() {
+                break;
+            }
+            now += Duration::from_millis(5);
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, big);
+    }
+}

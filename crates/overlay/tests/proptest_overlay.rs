@@ -1,0 +1,74 @@
+//! Property-based tests for the overlay's core invariants: 160-bit ring
+//! arithmetic and the wire format of routed messages.
+
+use proptest::prelude::*;
+
+use ipop_overlay::address::{Address, Distance};
+use ipop_overlay::packets::{DeliveryMode, LinkMessage, RoutedPacket, RoutedPayload};
+
+fn arb_addr() -> impl Strategy<Value = Address> {
+    any::<[u8; 20]>().prop_map(Address)
+}
+
+proptest! {
+    #[test]
+    fn clockwise_distance_is_inverse_of_add(a in arb_addr(), b in arb_addr()) {
+        let d = a.clockwise_distance(&b);
+        prop_assert_eq!(a.add_distance(&d), b);
+    }
+
+    #[test]
+    fn ring_distance_is_symmetric_and_bounded(a in arb_addr(), b in arb_addr()) {
+        let ab = a.ring_distance(&b);
+        let ba = b.ring_distance(&a);
+        prop_assert_eq!(ab, ba);
+        // The ring distance can never exceed half the ring.
+        let mut half = [0u8; 20];
+        half[0] = 0x80;
+        prop_assert!(ab <= Distance(half));
+        prop_assert_eq!(a.ring_distance(&a), Distance::ZERO);
+    }
+
+    #[test]
+    fn triangle_inequality_on_the_ring(a in arb_addr(), b in arb_addr(), c in arb_addr()) {
+        // Ring distance satisfies the triangle inequality (in f64 approximation,
+        // with slack for rounding of 160-bit values).
+        let ab = a.ring_distance(&b).as_f64();
+        let bc = b.ring_distance(&c).as_f64();
+        let ac = a.ring_distance(&c).as_f64();
+        prop_assert!(ac <= (ab + bc) * 1.0000001);
+    }
+
+    #[test]
+    fn ip_tunnel_messages_round_trip(src in arb_addr(), dst in arb_addr(),
+                                     hops in 0u8..64, ttl in 0u8..64,
+                                     payload in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let mut pkt = RoutedPacket::new(src, dst, DeliveryMode::Exact, RoutedPayload::IpTunnel(payload));
+        pkt.hops = hops;
+        pkt.ttl = ttl;
+        let msg = LinkMessage::Routed(pkt);
+        let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn dht_messages_round_trip(src in arb_addr(), dst in arb_addr(), key in arb_addr(),
+                               token: u64,
+                               value in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..512))) {
+        for payload in [
+            RoutedPayload::DhtPut { key, value: value.clone().unwrap_or_default() },
+            RoutedPayload::DhtGet { key, token },
+            RoutedPayload::DhtReply { token, value: value.clone() },
+        ] {
+            let msg = LinkMessage::Routed(RoutedPacket::new(src, dst, DeliveryMode::Closest, payload));
+            let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();
+            prop_assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Parsing untrusted bytes must either succeed or return an error — never panic.
+        let _ = LinkMessage::from_bytes(&data);
+    }
+}

@@ -1,0 +1,102 @@
+//! The 16-bit one's-complement Internet checksum (RFC 1071) used by IPv4, ICMP,
+//! UDP and TCP.
+
+/// Compute the Internet checksum over `data`.
+///
+/// The returned value is already complemented, i.e. it is the value to place into
+/// the checksum field of a header whose checksum field was zero while summing.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    finish(sum_words(0, data))
+}
+
+/// Accumulate 16-bit big-endian words of `data` into a running 32-bit sum.
+/// Odd trailing bytes are padded with zero, as the RFC specifies.
+pub fn sum_words(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold the 32-bit accumulator and complement it.
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Verify a buffer that *includes* its checksum field: the folded sum must be zero.
+pub fn verify(data: &[u8]) -> bool {
+    finish(sum_words(0, data)) == 0
+}
+
+/// The TCP/UDP pseudo-header contribution: source and destination IPv4 addresses,
+/// the protocol number and the transport-segment length.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, length: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = sum_words(acc, &src);
+    acc = sum_words(acc, &dst);
+    acc += u32::from(protocol);
+    acc += u32::from(length);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_reference_example() {
+        // Classic example from RFC 1071 section 3: bytes 00 01 f2 03 f4 f5 f6 f7
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = sum_words(0, &data);
+        assert_eq!(sum, 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7);
+        assert_eq!(finish(sum), !0xddf2u16);
+    }
+
+    #[test]
+    fn known_ipv4_header_checksum() {
+        // Example IPv4 header widely used in checksum tutorials; checksum = 0xB861.
+        let header = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(internet_checksum(&header), 0xb861);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut header = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0xb8, 0x61, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert!(verify(&header));
+        header[3] ^= 0xFF;
+        assert!(!verify(&header));
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Checksum over odd-length data treats the missing byte as zero.
+        assert_eq!(internet_checksum(&[0xAB]), !0xAB00u16);
+        assert_eq!(internet_checksum(&[0x00, 0x01, 0x02]), !(0x0001u16.wrapping_add(0x0200)));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+        assert!(!verify(&[0x00, 0x01]));
+    }
+
+    #[test]
+    fn pseudo_header_matches_manual_sum() {
+        let acc = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], 17, 12);
+        let expected = 0x0a00u32 + 0x0001 + 0x0a00 + 0x0002 + 17 + 12;
+        assert_eq!(acc, expected);
+    }
+}

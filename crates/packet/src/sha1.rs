@@ -1,0 +1,201 @@
+//! SHA-1 (FIPS 180-1), implemented from scratch.
+//!
+//! IPOP maps a virtual IPv4 address onto the 160-bit P2P address space by taking
+//! the SHA-1 hash of the address (paper Section III-B); the same digest is used by
+//! the Brunet-ARP mapper to locate the node responsible for a given virtual IP
+//! (Section III-E). SHA-1 is *not* used for any security purpose here, only as the
+//! deterministic, uniformly-spreading mapping function the paper specifies.
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// Hash a complete message in one call.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Feed more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process_block(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Consume the hasher and produce the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let length_bits = self.length_bits;
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Pad so that (length % 64) == 56, then append the 64-bit bit length.
+        let current = self.buffer_len;
+        let pad_len = if current < 56 { 56 - current } else { 120 - current };
+        self.update_padding(&pad[..pad_len]);
+        self.update_padding(&length_bits.to_be_bytes());
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Like `update`, but does not count the bytes toward the message length
+    /// (used internally for padding).
+    fn update_padding(&mut self, data: &[u8]) {
+        let saved = self.length_bits;
+        self.update(data);
+        self.length_bits = saved;
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// Render a digest as lowercase hex (used in diagnostics and examples).
+pub fn hex(digest: &[u8; 20]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn nist_two_block_vector() {
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(hex(&Sha1::digest(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&Sha1::digest(&msg)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            hex(&Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(10_000).collect();
+        // Split at awkward boundaries.
+        for split_sizes in [[1usize, 63, 64, 65], [7, 129, 500, 3]] {
+            let mut h = Sha1::new();
+            let mut rest = &data[..];
+            for s in split_sizes {
+                let take = s.min(rest.len());
+                h.update(&rest[..take]);
+                rest = &rest[take..];
+            }
+            h.update(rest);
+            assert_eq!(h.finalize(), Sha1::digest(&data));
+        }
+    }
+
+    #[test]
+    fn fifty_six_byte_boundary() {
+        // Message lengths around the padding boundary exercise the two pad branches.
+        for len in 54..=66usize {
+            let msg = vec![0x5Au8; len];
+            let d1 = Sha1::digest(&msg);
+            let mut h = Sha1::new();
+            for b in &msg {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "length {len}");
+        }
+    }
+}

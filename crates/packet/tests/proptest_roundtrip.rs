@@ -1,0 +1,95 @@
+//! Property-based tests: every wire format must round-trip byte-exactly for
+//! arbitrary field values, and SHA-1 must be split-invariant.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use ipop_packet::arp::ArpPacket;
+use ipop_packet::ether::{EthernetFrame, MacAddr};
+use ipop_packet::icmp::IcmpPacket;
+use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
+use ipop_packet::sha1::Sha1;
+use ipop_packet::tcp::{TcpFlags, TcpSegment};
+use ipop_packet::udp::UdpDatagram;
+use ipop_packet::checksum::{internet_checksum, verify};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+proptest! {
+    #[test]
+    fn udp_round_trips(src in arb_ip(), dst in arb_ip(), sp: u16, dp: u16,
+                       payload in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let dg = UdpDatagram::new(sp, dp, payload);
+        let parsed = UdpDatagram::from_bytes(&dg.to_bytes(src, dst), src, dst).unwrap();
+        prop_assert_eq!(parsed, dg);
+    }
+
+    #[test]
+    fn tcp_round_trips(src in arb_ip(), dst in arb_ip(), sp: u16, dp: u16, seq: u32, ack: u32,
+                       window: u16, mss in proptest::option::of(536u16..9000),
+                       syn: bool, ackf: bool, fin: bool, psh: bool,
+                       payload in proptest::collection::vec(any::<u8>(), 0..1600)) {
+        let seg = TcpSegment {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: TcpFlags { syn, ack: ackf, fin, rst: false, psh },
+            window, mss, payload,
+        };
+        let parsed = TcpSegment::from_bytes(&seg.to_bytes(src, dst), src, dst).unwrap();
+        prop_assert_eq!(parsed, seg);
+    }
+
+    #[test]
+    fn icmp_and_full_ipv4_round_trip(src in arb_ip(), dst in arb_ip(), ident: u16, seqno: u16,
+                                     ttl in 1u8..=255,
+                                     payload in proptest::collection::vec(any::<u8>(), 0..1400)) {
+        let mut pkt = Ipv4Packet::new(src, dst,
+            Ipv4Payload::Icmp(IcmpPacket::echo_request(ident, seqno, payload)));
+        pkt.header.ttl = ttl;
+        let parsed = Ipv4Packet::from_bytes(&pkt.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn ethernet_frame_round_trips(src: [u8; 6], dst: [u8; 6], sender in arb_ip(), target in arb_ip()) {
+        let frame = EthernetFrame::arp(MacAddr(src), MacAddr(dst),
+            ArpPacket::request(MacAddr(src), sender, target));
+        let parsed = EthernetFrame::from_bytes(&frame.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn serialized_ipv4_always_verifies_and_reports_its_length(
+        src in arb_ip(), dst in arb_ip(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400), proto in 0u8..=255) {
+        let pkt = Ipv4Packet::new(src, dst, Ipv4Payload::Raw(proto, payload));
+        let bytes = pkt.to_bytes();
+        prop_assert_eq!(bytes.len(), pkt.wire_len());
+        // Header checksum verifies over the first 20 bytes.
+        prop_assert!(verify(&bytes[..20]));
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_corruption(data in proptest::collection::vec(any::<u8>(), 2..256),
+                                               flip in 0usize..255, bit in 0u8..8) {
+        let mut with_sum = data.clone();
+        let sum = internet_checksum(&data);
+        with_sum.extend_from_slice(&sum.to_be_bytes());
+        prop_assert!(verify(&with_sum));
+        let idx = flip % data.len();
+        with_sum[idx] ^= 1 << bit;
+        prop_assert!(!verify(&with_sum));
+    }
+
+    #[test]
+    fn sha1_is_split_invariant(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                               split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+}

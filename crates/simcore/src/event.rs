@@ -1,0 +1,201 @@
+//! The event queue.
+//!
+//! A binary min-heap keyed by `(time, sequence)` where the sequence number is a
+//! monotonically increasing counter assigned at insertion. Ties in virtual time are
+//! therefore broken in insertion order, which keeps the whole simulation
+//! deterministic regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// An entry in the queue: a payload to deliver at a virtual instant.
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Cancellation/identity handle.
+    pub id: EventId,
+    /// The payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of future events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    len_live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            len_live: 0,
+        }
+    }
+
+    /// Number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.len_live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len_live == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`; returns a handle for cancellation.
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(HeapEntry { at, seq, id, payload });
+        self.len_live += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or unknown
+    /// event is a no-op and returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(id) {
+            // It may already have fired; in that case `pop` will never see it and the
+            // tombstone is garbage-collected lazily. We still report true only when the
+            // event was actually pending.
+            if self.len_live > 0 {
+                self.len_live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The virtual time of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest live event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        self.len_live -= 1;
+        Some(ScheduledEvent { at: entry.at, id: entry.id, payload: entry.payload })
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "b");
+        q.push(t(1), "a");
+        q.push(t(9), "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(!q.cancel(a), "double cancel is a no-op");
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn next_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(3), "b");
+        q.cancel(a);
+        assert_eq!(q.next_time(), Some(t(3)));
+    }
+}

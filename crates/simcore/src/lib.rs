@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation engine used by every other crate in the
+//! IPOP workspace.
+//!
+//! The engine is intentionally small and completely deterministic: a virtual clock
+//! ([`SimTime`]), a priority event queue with FIFO tie-breaking ([`EventQueue`]),
+//! seedable random-number streams ([`rng::StreamRng`]) and online statistics
+//! ([`stats`]). All protocol logic in the workspace (the physical network model,
+//! the host TCP/IP stacks, the Brunet-like overlay and the IPOP node itself) runs
+//! as events inside one single-threaded simulation, so a given seed always
+//! reproduces the exact same packet trace. Parallelism is applied only *across*
+//! independent simulations (parameter sweeps in the benchmark harness).
+//!
+//! # Quick example
+//!
+//! ```
+//! use ipop_simcore::{Simulator, SimTime, Duration};
+//!
+//! struct World { ticks: u32 }
+//!
+//! let mut sim = Simulator::new(World { ticks: 0 });
+//! sim.schedule_in(Duration::from_millis(5), |w: &mut World, ctl| {
+//!     w.ticks += 1;
+//!     // events may schedule further events
+//!     ctl.schedule_in(Duration::from_millis(5), |w: &mut World, _| w.ticks += 1);
+//! });
+//! sim.run();
+//! assert_eq!(sim.world().ticks, 2);
+//! assert_eq!(sim.now(), SimTime::ZERO + Duration::from_millis(10));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::StreamRng;
+pub use sim::{Control, Simulator, TimerToken};
+pub use stats::{Histogram, OnlineStats, Summary};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,281 @@
+//! The simulation driver.
+//!
+//! A [`Simulator`] owns a world of type `W` and a queue of closures to run against
+//! it at future virtual instants. Events may schedule (and cancel) further events
+//! through the [`Control`] handle they receive. The driver is deliberately minimal:
+//! higher layers (the network model in `ipop-netsim`) define their own richer event
+//! payloads on top of it.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{Duration, SimTime};
+
+/// The type of a scheduled action: it receives the world and a [`Control`] handle.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Control<'_, W>)>;
+
+/// Opaque label attached by higher layers to timers they set on behalf of
+/// components (e.g. "TCP retransmission timer for socket 3").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TimerToken(pub u64);
+
+/// Handle given to running events for scheduling further work.
+pub struct Control<'a, W> {
+    now: SimTime,
+    queue: &'a mut EventQueue<EventFn<W>>,
+}
+
+impl<'a, W> Control<'a, W> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an action at an absolute virtual time (clamped to now if in the past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(f))
+    }
+
+    /// Schedule an action after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancel a previously scheduled action.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// Outcome of a bounded run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time limit was reached with events still pending.
+    TimeLimit,
+    /// The event-count limit was reached with events still pending.
+    EventLimit,
+}
+
+/// A discrete-event simulator over a world `W`.
+pub struct Simulator<W> {
+    now: SimTime,
+    queue: EventQueue<EventFn<W>>,
+    world: W,
+    executed: u64,
+}
+
+impl<W> Simulator<W> {
+    /// Create a simulator owning `world`, with the clock at zero.
+    pub fn new(world: W) -> Self {
+        Simulator { now: SimTime::ZERO, queue: EventQueue::new(), world, executed: 0 }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. for collecting metrics between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulator and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an action at an absolute time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(f))
+    }
+
+    /// Schedule an action after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancel a scheduled action.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Execute the single earliest pending event. Returns `false` if none remain.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        self.now = ev.at;
+        self.executed += 1;
+        let mut ctl = Control { now: self.now, queue: &mut self.queue };
+        (ev.payload)(&mut self.world, &mut ctl);
+        true
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.step() {}
+        RunOutcome::Drained
+    }
+
+    /// Run until the queue drains or virtual time would exceed `limit`.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.next_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > limit => {
+                    self.now = limit;
+                    return RunOutcome::TimeLimit;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run for a relative span of virtual time.
+    pub fn run_for(&mut self, span: Duration) -> RunOutcome {
+        let limit = self.now + span;
+        self.run_until(limit)
+    }
+
+    /// Run until the queue drains or `max_events` further events have executed.
+    pub fn run_events(&mut self, max_events: u64) -> RunOutcome {
+        for _ in 0..max_events {
+            if !self.step() {
+                return RunOutcome::Drained;
+            }
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::EventLimit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn events_execute_in_order_and_clock_advances() {
+        let mut sim = Simulator::new(W::default());
+        sim.schedule_in(ms(10), |w: &mut W, c| w.log.push((c.now().as_nanos() / 1_000_000, "b")));
+        sim.schedule_in(ms(1), |w: &mut W, c| w.log.push((c.now().as_nanos() / 1_000_000, "a")));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(sim.world().log, vec![(1, "a"), (10, "b")]);
+        assert_eq!(sim.now(), SimTime::ZERO + ms(10));
+        assert_eq!(sim.executed(), 2);
+    }
+
+    #[test]
+    fn events_can_chain() {
+        let mut sim = Simulator::new(W::default());
+        sim.schedule_in(ms(1), |w: &mut W, c| {
+            w.log.push((1, "first"));
+            c.schedule_in(ms(2), |w: &mut W, _| w.log.push((3, "second")));
+        });
+        sim.run();
+        assert_eq!(sim.world().log, vec![(1, "first"), (3, "second")]);
+        assert_eq!(sim.now(), SimTime::ZERO + ms(3));
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = Simulator::new(W::default());
+        for i in 1..=10u64 {
+            sim.schedule_in(ms(i), move |w: &mut W, _| w.log.push((i, "x")));
+        }
+        let outcome = sim.run_until(SimTime::ZERO + ms(5));
+        assert_eq!(outcome, RunOutcome::TimeLimit);
+        assert_eq!(sim.world().log.len(), 5);
+        assert_eq!(sim.now(), SimTime::ZERO + ms(5));
+        assert_eq!(sim.pending(), 5);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(sim.world().log.len(), 10);
+    }
+
+    #[test]
+    fn run_events_bounds_work() {
+        let mut sim = Simulator::new(W::default());
+        for i in 1..=4u64 {
+            sim.schedule_in(ms(i), move |w: &mut W, _| w.log.push((i, "x")));
+        }
+        assert_eq!(sim.run_events(2), RunOutcome::EventLimit);
+        assert_eq!(sim.world().log.len(), 2);
+        assert_eq!(sim.run_events(100), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let mut sim = Simulator::new(W::default());
+        let id = sim.schedule_in(ms(1), |w: &mut W, _| w.log.push((1, "nope")));
+        sim.schedule_in(ms(2), |w: &mut W, _| w.log.push((2, "yes")));
+        assert!(sim.cancel(id));
+        sim.run();
+        assert_eq!(sim.world().log, vec![(2, "yes")]);
+    }
+
+    #[test]
+    fn cancel_from_within_event() {
+        let mut sim = Simulator::new(W::default());
+        let victim = sim.schedule_in(ms(5), |w: &mut W, _| w.log.push((5, "victim")));
+        sim.schedule_in(ms(1), move |_w: &mut W, c| {
+            c.cancel(victim);
+        });
+        sim.run();
+        assert!(sim.world().log.is_empty());
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Simulator::new(W::default());
+        sim.schedule_in(ms(10), |w: &mut W, c| {
+            // Absolute time before `now` gets clamped rather than panicking / time travel.
+            c.schedule_at(SimTime::ZERO, |w: &mut W, c| {
+                w.log.push((c.now().as_nanos() / 1_000_000, "late"));
+            });
+            w.log.push((10, "on-time"));
+        });
+        sim.run();
+        assert_eq!(sim.world().log, vec![(10, "on-time"), (10, "late")]);
+    }
+}

@@ -1,0 +1,18 @@
+//! A wide-area overlay at Planet-Lab scale: dozens of self-configuring IPOP nodes
+//! on heavily loaded machines, with virtual-network pings routed across multiple
+//! overlay hops (the Fig. 5 scenario at reduced size).
+//!
+//! Run with `cargo run -p ipop-examples --bin planetlab_overlay --release`.
+
+use ipop_bench::fig5::{self, Fig5Params};
+
+fn main() {
+    let params = Fig5Params { nodes: 40, load: 10.0, pings: 200 };
+    println!(
+        "deploying a {}-node overlay on CPU-loaded hosts and sending {} pings...",
+        params.nodes, params.pings
+    );
+    let out = fig5::run(&params);
+    fig5::render_summary(&out, &params).print();
+    println!("RTT distribution (ms):\n{}", out.histogram.ascii_chart(50));
+}

@@ -1,0 +1,58 @@
+//! A TCP transfer between a NATed host and a firewalled host succeeds over the
+//! IPOP virtual network even though neither endpoint can receive unsolicited
+//! physical connections — the paper's core accessibility claim.
+
+use std::net::Ipv4Addr;
+
+use ipop::prelude::*;
+use ipop::IpopHostAgent;
+use ipop_apps::ttcp::TtcpApp;
+use ipop_netsim::{Firewall, NatBox, NatType, Prefix, SiteSpec};
+
+#[test]
+fn tcp_transfer_crosses_nat_and_firewall_via_overlay() {
+    let mut net = Network::new(77);
+    let nat_site = net.add_site(SiteSpec::open("home").with_nat(
+        NatBox::new(NatType::PortRestrictedCone, Ipv4Addr::new(128, 10, 0, 1)),
+        Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+    ));
+    let fw_site = net.add_site(SiteSpec::open("campus").with_firewall(Firewall::default_deny_inbound()));
+    let pub_site = net.add_site(SiteSpec::open("public"));
+    let inside = net.add_host("inside", nat_site, Ipv4Addr::new(192, 168, 0, 2));
+    let guarded = net.add_host("guarded", fw_site, Ipv4Addr::new(139, 70, 24, 100));
+    let bootstrap = net.add_host("bootstrap", pub_site, Ipv4Addr::new(128, 227, 56, 83));
+
+    let sender_vip = Ipv4Addr::new(172, 16, 0, 2);
+    let receiver_vip = Ipv4Addr::new(172, 16, 0, 18);
+    deploy_ipop(
+        &mut net,
+        vec![
+            IpopMember::router(bootstrap, Ipv4Addr::new(172, 16, 0, 1)),
+            IpopMember::new(
+                inside,
+                sender_vip,
+                Box::new(
+                    TtcpApp::sender(receiver_vip, 5201, 400_000)
+                        .with_start_delay(Duration::from_secs(12)),
+                ),
+            ),
+            IpopMember::new(guarded, receiver_vip, Box::new(TtcpApp::receiver(5201))),
+        ],
+        DeployOptions::udp(),
+    );
+    let mut sim = NetworkSim::new(net);
+    sim.run_for(Duration::from_secs(90));
+
+    let receiver = sim.agent_as::<IpopHostAgent>(guarded).unwrap();
+    assert_eq!(receiver.app_as::<TtcpApp>().unwrap().received(), 400_000);
+    let sender = sim.agent_as::<IpopHostAgent>(inside).unwrap();
+    let report = sender.app_as::<TtcpApp>().unwrap().report();
+    assert!(report.kbps > 0.0, "transfer completed with nonzero throughput");
+    // And the middleboxes were really in the path.
+    assert!(sim
+        .net()
+        .site(sim.net().host(inside).site)
+        .nat
+        .as_ref()
+        .is_some_and(|n| n.mapping_count() > 0));
+}

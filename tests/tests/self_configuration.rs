@@ -1,0 +1,51 @@
+//! Decentralized self-configuration: a dozen nodes joining through a single
+//! bootstrap form a connected overlay, and virtual IP packets are routable between
+//! any pair without any central coordinator.
+
+use std::net::Ipv4Addr;
+
+use ipop::prelude::*;
+use ipop::IpopHostAgent;
+use ipop_apps::ping::PingApp;
+use ipop_netsim::planetlab;
+
+#[test]
+fn twelve_nodes_self_configure_and_route() {
+    let mut net = Network::new(3001);
+    let plab = planetlab(&mut net, 12, 1.0, 5);
+    let vip = |i: usize| Ipv4Addr::new(172, 16, 5, (i + 1) as u8);
+    let mut members = Vec::new();
+    for (i, &h) in plab.nodes.iter().enumerate() {
+        if i == 3 {
+            members.push(IpopMember::new(
+                h,
+                vip(i),
+                Box::new(
+                    PingApp::new(vip(9), 10, Duration::from_millis(200))
+                        .with_start_delay(Duration::from_secs(20))
+                        .with_timeout(Duration::from_secs(10)),
+                ),
+            ));
+        } else {
+            members.push(IpopMember::router(h, vip(i)));
+        }
+    }
+    deploy_ipop(&mut net, members, DeployOptions::udp());
+    let mut sim = NetworkSim::new(net);
+    sim.run_for(Duration::from_secs(60));
+
+    let connected = plab
+        .nodes
+        .iter()
+        .filter(|&&h| sim.agent_as::<IpopHostAgent>(h).is_some_and(|a| a.is_connected()))
+        .count();
+    assert_eq!(connected, 12, "every node joined the overlay");
+
+    let pinger = sim.agent_as::<IpopHostAgent>(plab.nodes[3]).unwrap();
+    let report = pinger.app_as::<PingApp>().unwrap().report();
+    assert!(
+        report.rtts_ms.len() >= 8,
+        "virtual IP traffic routed across the overlay ({} replies)",
+        report.rtts_ms.len()
+    );
+}
