@@ -62,7 +62,8 @@ impl LssParams {
 
     /// Compute time to fit one image against one full database.
     pub fn compute_per_database(&self) -> Duration {
-        self.compute_per_mb.mul_f64(self.database_size as f64 / (1024.0 * 1024.0))
+        self.compute_per_mb
+            .mul_f64(self.database_size as f64 / (1024.0 * 1024.0))
     }
 }
 
@@ -107,7 +108,12 @@ impl LssFileServer {
         for db in 0..params.databases {
             server.export(db, params.database_size);
         }
-        LssFileServer { params, listener: None, server, channels: Vec::new() }
+        LssFileServer {
+            params,
+            listener: None,
+            server,
+            channels: Vec::new(),
+        }
     }
 
     /// Total blocks served so far (cold-vs-warm diagnostics).
@@ -267,8 +273,16 @@ impl VirtualApp for LssMaster {
 enum WorkerState {
     Connecting,
     Idle,
-    Fetching { image: u32, db: u32 },
-    Computing { done_at: SimTime },
+    // The fields identify the in-flight request in `Debug` traces of stuck
+    // workers; nothing reads them programmatically.
+    #[allow(dead_code)]
+    Fetching {
+        image: u32,
+        db: u32,
+    },
+    Computing {
+        done_at: SimTime,
+    },
     Finished,
 }
 
@@ -335,8 +349,8 @@ impl VirtualApp for LssWorker {
     }
 
     fn poll(&mut self, env: &mut AppEnv<'_>) -> Option<SimTime> {
-        let Some(master) = self.master.as_mut() else { return None };
-        let Some(nfs_chan) = self.nfs_chan.as_mut() else { return None };
+        let master = self.master.as_mut()?;
+        let nfs_chan = self.nfs_chan.as_mut()?;
         // Collect work and control messages.
         while let Some(msg) = master.recv(env.stack) {
             match msg.tag {
@@ -422,7 +436,9 @@ mod tests {
 
     #[test]
     fn report_splits_first_and_remaining() {
-        let report = LssReport { image_seconds: vec![811.0, 167.0, 167.0] };
+        let report = LssReport {
+            image_seconds: vec![811.0, 167.0, 167.0],
+        };
         assert_eq!(report.first_image(), 811.0);
         assert_eq!(report.remaining_images(), 334.0);
         assert_eq!(report.total(), 1145.0);

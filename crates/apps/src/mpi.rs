@@ -29,7 +29,11 @@ pub struct Channel {
 impl Channel {
     /// Wrap an (already connecting or established) TCP socket.
     pub fn new(socket: SocketHandle) -> Self {
-        Channel { socket, rx: Vec::new(), tx_backlog: Vec::new() }
+        Channel {
+            socket,
+            rx: Vec::new(),
+            tx_backlog: Vec::new(),
+        }
     }
 
     /// The underlying socket handle.
@@ -155,7 +159,13 @@ mod tests {
         pump_stacks(&mut sa, &mut sb, &mut now);
         let m1 = chan_b.recv(&mut sb).expect("first message");
         let m2 = chan_b.recv(&mut sb).expect("second message");
-        assert_eq!(m1, Message { tag: tags::WORK, payload: b"image-1:db-2".to_vec() });
+        assert_eq!(
+            m1,
+            Message {
+                tag: tags::WORK,
+                payload: b"image-1:db-2".to_vec()
+            }
+        );
         assert_eq!(m2.payload, b"image-1:db-3");
         assert!(chan_b.recv(&mut sb).is_none());
 

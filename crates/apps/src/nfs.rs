@@ -163,7 +163,9 @@ impl NfsClient {
     /// window) and consume replies. Returns `true` when the file is fully fetched
     /// (and now cached).
     pub fn drive(&mut self, stack: &mut NetStack, channel: &mut Channel) -> bool {
-        let Some(fetch) = &mut self.fetch else { return true };
+        let Some(fetch) = &mut self.fetch else {
+            return true;
+        };
         // Consume replies.
         while let Some(msg) = channel.recv(stack) {
             if msg.tag == tags::DATA && msg.payload.len() >= 8 {
@@ -179,7 +181,11 @@ impl NfsClient {
         let outstanding = fetch.next_block_to_request - fetch.blocks_received;
         let mut budget = fetch.window.saturating_sub(outstanding);
         while budget > 0 && fetch.next_block_to_request < fetch.total_blocks {
-            channel.send(stack, tags::READ, &encode_read(fetch.file_id, fetch.next_block_to_request));
+            channel.send(
+                stack,
+                tags::READ,
+                &encode_read(fetch.file_id, fetch.next_block_to_request),
+            );
             fetch.next_block_to_request += 1;
             budget -= 1;
         }
@@ -241,7 +247,10 @@ mod tests {
         server.export(7, file_size);
         let mut client = NfsClient::new();
 
-        assert!(!client.begin_read(7, file_size), "cold cache requires a fetch");
+        assert!(
+            !client.begin_read(7, file_size),
+            "cold cache requires a fetch"
+        );
         for _ in 0..10_000 {
             let done = client.drive(&mut cs, &mut client_chan);
             pump(&mut cs, &mut ss, &mut now);

@@ -104,13 +104,15 @@ impl VirtualApp for PingApp {
     }
 
     fn poll(&mut self, env: &mut AppEnv<'_>) -> Option<SimTime> {
-        let Some(socket) = self.socket else { return None };
+        let socket = self.socket?;
         let now = env.now;
 
         // Collect replies.
         while let Ok(Some(reply)) = env.stack.ping_recv(socket) {
             if let Some(sent_at) = self.in_flight.remove(&reply.sequence) {
-                self.report.rtts_ms.push(now.saturating_since(sent_at).as_millis_f64());
+                self.report
+                    .rtts_ms
+                    .push(now.saturating_since(sent_at).as_millis_f64());
             }
         }
 
@@ -130,11 +132,15 @@ impl VirtualApp for PingApp {
         // Send the next requests that are due.
         while self.next_seq < self.count && now >= self.next_send_at {
             let seq = self.next_seq as u16;
-            if env.stack.ping_send(socket, self.target, seq, self.payload_len).is_ok() {
+            if env
+                .stack
+                .ping_send(socket, self.target, seq, self.payload_len)
+                .is_ok()
+            {
                 self.in_flight.insert(seq, now);
             }
             self.next_seq += 1;
-            self.next_send_at = self.next_send_at + self.interval;
+            self.next_send_at += self.interval;
         }
 
         if self.finished() {
@@ -163,8 +169,8 @@ impl VirtualApp for PingApp {
 mod tests {
     use super::*;
     use ipop::plain::PlainHostAgent;
-    use ipop_netsim::{lan_pair, Network, NetworkSim};
     use ipop::NullApp;
+    use ipop_netsim::{lan_pair, Network, NetworkSim};
 
     #[test]
     fn ping_over_physical_lan_measures_sub_millisecond_rtts() {
@@ -177,7 +183,10 @@ mod tests {
                 Box::new(PingApp::new(b_addr, 20, Duration::from_millis(10))),
             )),
         );
-        net.set_agent(b, Box::new(PlainHostAgent::new(net.host(b).addr, Box::new(NullApp))));
+        net.set_agent(
+            b,
+            Box::new(PlainHostAgent::new(net.host(b).addr, Box::new(NullApp))),
+        );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(5));
         let agent = sim.agent_as::<PlainHostAgent>(a).unwrap();
@@ -187,7 +196,11 @@ mod tests {
         assert_eq!(report.rtts_ms.len(), 20);
         assert_eq!(report.lost, 0);
         let summary = report.summary();
-        assert!(summary.mean < 2.0, "LAN physical RTT should be sub-2ms, got {}", summary.mean);
+        assert!(
+            summary.mean < 2.0,
+            "LAN physical RTT should be sub-2ms, got {}",
+            summary.mean
+        );
         assert!(summary.mean > 0.0);
     }
 
@@ -197,7 +210,10 @@ mod tests {
         let (a, _b, _, _) = lan_pair(&mut net);
         let app = PingApp::new(Ipv4Addr::new(99, 99, 99, 99), 3, Duration::from_millis(5))
             .with_timeout(Duration::from_millis(100));
-        net.set_agent(a, Box::new(PlainHostAgent::new(net.host(a).addr, Box::new(app))));
+        net.set_agent(
+            a,
+            Box::new(PlainHostAgent::new(net.host(a).addr, Box::new(app))),
+        );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(2));
         let agent = sim.agent_as::<PlainHostAgent>(a).unwrap();

@@ -31,7 +31,11 @@ pub struct SshServer {
 impl SshServer {
     /// A new server (listens once started).
     pub fn new() -> Self {
-        SshServer { listener: None, sessions: Vec::new(), exchanges: 0 }
+        SshServer {
+            listener: None,
+            sessions: Vec::new(),
+            exchanges: 0,
+        }
     }
 }
 
@@ -128,8 +132,11 @@ impl VirtualApp for SshClient {
         }
         while let Some(_reply) = chan.recv(env.stack) {
             if self.round >= HANDSHAKE_ROUNDS {
-                self.setup_ms
-                    .push(env.now.saturating_since(self.session_started).as_millis_f64());
+                self.setup_ms.push(
+                    env.now
+                        .saturating_since(self.session_started)
+                        .as_millis_f64(),
+                );
                 let socket = chan.socket();
                 let _ = env.stack.tcp_close(socket);
                 self.chan = None;
@@ -167,17 +174,38 @@ mod tests {
         let (a, b, _, b_addr) = lan_pair(&mut net);
         net.set_agent(
             a,
-            Box::new(PlainHostAgent::new(net.host(a).addr, Box::new(SshClient::new(vec![b_addr])))),
+            Box::new(PlainHostAgent::new(
+                net.host(a).addr,
+                Box::new(SshClient::new(vec![b_addr])),
+            )),
         );
-        net.set_agent(b, Box::new(PlainHostAgent::new(net.host(b).addr, Box::new(SshServer::new()))));
+        net.set_agent(
+            b,
+            Box::new(PlainHostAgent::new(
+                net.host(b).addr,
+                Box::new(SshServer::new()),
+            )),
+        );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(10));
-        let client = sim.agent_as::<PlainHostAgent>(a).unwrap().app_as::<SshClient>().unwrap();
+        let client = sim
+            .agent_as::<PlainHostAgent>(a)
+            .unwrap()
+            .app_as::<SshClient>()
+            .unwrap();
         assert!(client.finished());
         assert_eq!(client.setup_ms.len(), 1);
         assert!(client.setup_ms[0].is_finite());
-        assert!(client.setup_ms[0] < 100.0, "LAN ssh setup took {} ms", client.setup_ms[0]);
-        let server = sim.agent_as::<PlainHostAgent>(b).unwrap().app_as::<SshServer>().unwrap();
+        assert!(
+            client.setup_ms[0] < 100.0,
+            "LAN ssh setup took {} ms",
+            client.setup_ms[0]
+        );
+        let server = sim
+            .agent_as::<PlainHostAgent>(b)
+            .unwrap()
+            .app_as::<SshServer>()
+            .unwrap();
         assert_eq!(server.exchanges as u32, HANDSHAKE_ROUNDS);
     }
 }

@@ -34,17 +34,33 @@ pub struct TtcpReport {
 }
 
 enum Role {
-    Sender { target: Ipv4Addr, port: u16, total: u64 },
-    Receiver { port: u16 },
+    Sender {
+        target: Ipv4Addr,
+        port: u16,
+        total: u64,
+    },
+    Receiver {
+        port: u16,
+    },
 }
 
 enum State {
     Idle,
     Connecting(SocketHandle),
-    Sending { socket: SocketHandle, sent: u64, started: SimTime },
-    Draining { socket: SocketHandle, started: SimTime },
+    Sending {
+        socket: SocketHandle,
+        sent: u64,
+        started: SimTime,
+    },
+    Draining {
+        socket: SocketHandle,
+        started: SimTime,
+    },
     Listening(SocketHandle),
-    Receiving { socket: SocketHandle, received: u64 },
+    Receiving {
+        socket: SocketHandle,
+        received: u64,
+    },
     Done,
 }
 
@@ -63,7 +79,11 @@ impl TtcpApp {
     /// A sender that will stream `total` bytes to `target:port`.
     pub fn sender(target: Ipv4Addr, port: u16, total: u64) -> Self {
         TtcpApp {
-            role: Role::Sender { target, port, total },
+            role: Role::Sender {
+                target,
+                port,
+                total,
+            },
             state: State::Idle,
             chunk: vec![0x54; 8192],
             report: TtcpReport::default(),
@@ -123,8 +143,10 @@ impl VirtualApp for TtcpApp {
         loop {
             match self.state {
                 State::Idle => {
-                    let Role::Sender { target, port, .. } = &self.role else { return None };
-                    let Some(start_at) = self.start_at else { return None };
+                    let Role::Sender { target, port, .. } = &self.role else {
+                        return None;
+                    };
+                    let start_at = self.start_at?;
                     if now < start_at {
                         return Some(start_at);
                     }
@@ -137,7 +159,11 @@ impl VirtualApp for TtcpApp {
                 State::Done => return None,
                 State::Connecting(h) => {
                     if env.stack.tcp_is_established(h) {
-                        self.state = State::Sending { socket: h, sent: 0, started: now };
+                        self.state = State::Sending {
+                            socket: h,
+                            sent: 0,
+                            started: now,
+                        };
                         continue;
                     }
                     if env.stack.tcp_is_closed(h) {
@@ -145,8 +171,14 @@ impl VirtualApp for TtcpApp {
                     }
                     return None;
                 }
-                State::Sending { socket, mut sent, started } => {
-                    let Role::Sender { total, .. } = &self.role else { return None };
+                State::Sending {
+                    socket,
+                    mut sent,
+                    started,
+                } => {
+                    let Role::Sender { total, .. } = &self.role else {
+                        return None;
+                    };
                     let total = *total;
                     let mut wrote_any = false;
                     while sent < total {
@@ -163,14 +195,20 @@ impl VirtualApp for TtcpApp {
                         self.state = State::Draining { socket, started };
                         continue;
                     }
-                    self.state = State::Sending { socket, sent, started };
+                    self.state = State::Sending {
+                        socket,
+                        sent,
+                        started,
+                    };
                     let _ = wrote_any;
                     // Wait for buffer space to open up (ack arrival re-polls us).
                     return None;
                 }
                 State::Draining { socket, started } => {
                     if env.stack.tcp_unacked(socket) == 0 || env.stack.tcp_is_closed(socket) {
-                        let Role::Sender { total, .. } = &self.role else { return None };
+                        let Role::Sender { total, .. } = &self.role else {
+                            return None;
+                        };
                         let elapsed = now.saturating_since(started);
                         self.report = TtcpReport {
                             bytes: *total,
@@ -181,16 +219,20 @@ impl VirtualApp for TtcpApp {
                     }
                     return None;
                 }
-                State::Listening(h) => {
-                    match env.stack.tcp_accept(h) {
-                        Ok(Some(conn)) => {
-                            self.state = State::Receiving { socket: conn, received: 0 };
-                            continue;
-                        }
-                        _ => return None,
+                State::Listening(h) => match env.stack.tcp_accept(h) {
+                    Ok(Some(conn)) => {
+                        self.state = State::Receiving {
+                            socket: conn,
+                            received: 0,
+                        };
+                        continue;
                     }
-                }
-                State::Receiving { socket, mut received } => {
+                    _ => return None,
+                },
+                State::Receiving {
+                    socket,
+                    mut received,
+                } => {
                     loop {
                         let data = env.stack.tcp_recv(socket, 1 << 20).unwrap_or_default();
                         if data.is_empty() {
@@ -232,7 +274,11 @@ mod tests {
 
     fn run_transfer(wan: bool, bytes: u64) -> (TtcpReport, u64) {
         let mut net = Network::new(21);
-        let (a, b, _, b_addr) = if wan { wan_pair(&mut net) } else { lan_pair(&mut net) };
+        let (a, b, _, b_addr) = if wan {
+            wan_pair(&mut net)
+        } else {
+            lan_pair(&mut net)
+        };
         net.set_agent(
             a,
             Box::new(PlainHostAgent::new(
@@ -242,12 +288,23 @@ mod tests {
         );
         net.set_agent(
             b,
-            Box::new(PlainHostAgent::new(net.host(b).addr, Box::new(TtcpApp::receiver(5201)))),
+            Box::new(PlainHostAgent::new(
+                net.host(b).addr,
+                Box::new(TtcpApp::receiver(5201)),
+            )),
         );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(300));
-        let sender = sim.agent_as::<PlainHostAgent>(a).unwrap().app_as::<TtcpApp>().unwrap();
-        let receiver = sim.agent_as::<PlainHostAgent>(b).unwrap().app_as::<TtcpApp>().unwrap();
+        let sender = sim
+            .agent_as::<PlainHostAgent>(a)
+            .unwrap()
+            .app_as::<TtcpApp>()
+            .unwrap();
+        let receiver = sim
+            .agent_as::<PlainHostAgent>(b)
+            .unwrap()
+            .app_as::<TtcpApp>()
+            .unwrap();
         assert!(sender.finished(), "sender did not finish");
         (sender.report(), receiver.received())
     }
@@ -266,6 +323,10 @@ mod tests {
         assert_eq!(received, 2_000_000);
         // The WAN pair uses 12 Mbit/s access links: ≈1500 KB/s ceiling.
         assert!(report.kbps < 1_700.0, "WAN throughput {} KB/s", report.kbps);
-        assert!(report.kbps > 300.0, "WAN throughput suspiciously low: {} KB/s", report.kbps);
+        assert!(
+            report.kbps > 300.0,
+            "WAN throughput suspiciously low: {} KB/s",
+            report.kbps
+        );
     }
 }

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::net::Ipv4Addr;
 
-use ipop_overlay::packets::{ConnectionKind, DeliveryMode, LinkMessage, RoutedPacket, RoutedPayload};
+use ipop_overlay::packets::{
+    ConnectionKind, DeliveryMode, LinkMessage, RoutedPacket, RoutedPayload,
+};
 use ipop_overlay::table::{Connection, ConnectionState, ConnectionTable};
 use ipop_overlay::Address;
 use ipop_packet::icmp::IcmpPacket;
@@ -18,7 +20,9 @@ fn bench_sha1(c: &mut Criterion) {
     for size in [4usize, 64, 1400] {
         let data = vec![0xABu8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("digest_{size}B"), |b| b.iter(|| Sha1::digest(&data)));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| Sha1::digest(&data))
+        });
     }
     group.finish();
 }
@@ -33,13 +37,23 @@ fn bench_packet_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_codec");
     let src = Ipv4Addr::new(172, 16, 0, 2);
     let dst = Ipv4Addr::new(172, 16, 0, 18);
-    let icmp = Ipv4Packet::new(src, dst, Ipv4Payload::Icmp(IcmpPacket::echo_request(7, 1, vec![0; 56])));
-    let tcp = Ipv4Packet::new(src, dst, Ipv4Payload::Tcp(TcpSegment::data(5001, 5201, 1, 1, vec![0; 1400])));
+    let icmp = Ipv4Packet::new(
+        src,
+        dst,
+        Ipv4Payload::Icmp(IcmpPacket::echo_request(7, 1, vec![0; 56])),
+    );
+    let tcp = Ipv4Packet::new(
+        src,
+        dst,
+        Ipv4Payload::Tcp(TcpSegment::data(5001, 5201, 1, 1, vec![0; 1400])),
+    );
     group.throughput(Throughput::Bytes(tcp.wire_len() as u64));
     group.bench_function("serialize_icmp", |b| b.iter(|| icmp.to_bytes()));
     group.bench_function("serialize_tcp_1400B", |b| b.iter(|| tcp.to_bytes()));
     let tcp_bytes = tcp.to_bytes();
-    group.bench_function("parse_tcp_1400B", |b| b.iter(|| Ipv4Packet::from_bytes(&tcp_bytes).unwrap()));
+    group.bench_function("parse_tcp_1400B", |b| {
+        b.iter(|| Ipv4Packet::from_bytes(&tcp_bytes).unwrap())
+    });
     group.finish();
 }
 
@@ -48,7 +62,11 @@ fn bench_encapsulation(c: &mut Criterion) {
     // overlay packet -> link message bytes.
     let src = Ipv4Addr::new(172, 16, 0, 2);
     let dst = Ipv4Addr::new(172, 16, 0, 18);
-    let vpkt = Ipv4Packet::new(src, dst, Ipv4Payload::Tcp(TcpSegment::data(5001, 5201, 1, 1, vec![0; 1400])));
+    let vpkt = Ipv4Packet::new(
+        src,
+        dst,
+        Ipv4Payload::Tcp(TcpSegment::data(5001, 5201, 1, 1, vec![0; 1400])),
+    );
     c.bench_function("ipop/encapsulate_1400B", |b| {
         b.iter(|| {
             let routed = RoutedPacket::new(
@@ -79,7 +97,11 @@ fn bench_connection_table(c: &mut Criterion) {
         }
         let target = Address::from_ip(Ipv4Addr::new(172, 16, 0, 77));
         group.bench_function(format!("closest_to_{n}_edges"), |b| {
-            b.iter_batched(|| target, |t| table.closest_to(&t).map(|c| c.peer), BatchSize::SmallInput)
+            b.iter_batched(
+                || target,
+                |t| table.closest_to(&t).map(|c| c.peer),
+                BatchSize::SmallInput,
+            )
         });
     }
     group.finish();

@@ -17,7 +17,10 @@ fn build_and_run(n: usize) -> usize {
         .iter()
         .enumerate()
         .map(|(i, &h)| {
-            IpopMember::router(h, Ipv4Addr::new(172, 17, (i / 200) as u8, (i % 200 + 1) as u8))
+            IpopMember::router(
+                h,
+                Ipv4Addr::new(172, 17, (i / 200) as u8, (i % 200 + 1) as u8),
+            )
         })
         .collect();
     ipop::deploy_ipop(&mut net, members, DeployOptions::udp());
@@ -26,7 +29,10 @@ fn build_and_run(n: usize) -> usize {
     // Return the number of connected nodes so the work cannot be optimised away.
     plab.nodes
         .iter()
-        .filter(|&&h| sim.agent_as::<IpopHostAgent>(h).is_some_and(|a| a.is_connected()))
+        .filter(|&&h| {
+            sim.agent_as::<IpopHostAgent>(h)
+                .is_some_and(|a| a.is_connected())
+        })
         .count()
 }
 

@@ -50,9 +50,11 @@ pub fn shortcuts(n: usize, pings: u32) -> Vec<ShortcutResult> {
                     members.push(IpopMember::new(
                         h,
                         vip,
-                        Box::new(
-                            PingApp::new(Ipv4Addr::UNSPECIFIED, 0, Duration::from_millis(50)),
-                        ),
+                        Box::new(PingApp::new(
+                            Ipv4Addr::UNSPECIFIED,
+                            0,
+                            Duration::from_millis(50),
+                        )),
                     ));
                 } else {
                     members.push(IpopMember::router(h, vip));
@@ -68,7 +70,10 @@ pub fn shortcuts(n: usize, pings: u32) -> Vec<ShortcutResult> {
                         .with_timeout(Duration::from_secs(10)),
                 ),
             );
-            let options = DeployOptions { shortcuts: enabled, ..DeployOptions::udp() };
+            let options = DeployOptions {
+                shortcuts: enabled,
+                ..DeployOptions::udp()
+            };
             ipop::deploy_ipop(&mut net, members, options);
             let mut sim = NetworkSim::new(net);
             sim.run_for(Duration::from_secs(40) + Duration::from_millis(50) * u64::from(pings) * 4);
@@ -91,7 +96,11 @@ pub fn shortcuts(n: usize, pings: u32) -> Vec<ShortcutResult> {
             ShortcutResult {
                 shortcuts: enabled,
                 mean_rtt_ms: report.summary().mean,
-                avg_forwards: if tunneled == 0 { 0.0 } else { forwards as f64 / tunneled as f64 },
+                avg_forwards: if tunneled == 0 {
+                    0.0
+                } else {
+                    forwards as f64 / tunneled as f64
+                },
                 total_connections: connections,
             }
         })
@@ -102,7 +111,12 @@ pub fn shortcuts(n: usize, pings: u32) -> Vec<ShortcutResult> {
 pub fn render_shortcuts(rows: &[ShortcutResult], n: usize) -> Table {
     let mut table = Table::new(
         &format!("Ablation - shortcut (structured-far) connections, {n}-node overlay"),
-        &["shortcuts", "mean ping RTT (ms)", "avg forwards/delivery", "total connections"],
+        &[
+            "shortcuts",
+            "mean ping RTT (ms)",
+            "avg forwards/delivery",
+            "total connections",
+        ],
     );
     for row in rows {
         table.row(&[
@@ -152,9 +166,11 @@ impl VirtualApp for UdpBlaster {
     fn poll(&mut self, env: &mut AppEnv<'_>) -> Option<SimTime> {
         let socket = self.socket?;
         while self.sent < self.count && env.now >= self.next_at {
-            let _ = env.stack.udp_send(socket, self.target, 7200, vec![self.sent as u8; 64]);
+            let _ = env
+                .stack
+                .udp_send(socket, self.target, 7200, vec![self.sent as u8; 64]);
             self.sent += 1;
-            self.next_at = self.next_at + self.interval;
+            self.next_at += self.interval;
         }
         (self.sent < self.count).then_some(self.next_at)
     }
@@ -208,7 +224,10 @@ pub fn brunet_arp() -> BrunetArpResult {
         IpopMember::router(b, Ipv4Addr::new(172, 16, 0, 2)),
         IpopMember::router(c, Ipv4Addr::new(172, 16, 0, 3)),
     ];
-    let options = DeployOptions { brunet_arp: true, ..DeployOptions::udp() };
+    let options = DeployOptions {
+        brunet_arp: true,
+        ..DeployOptions::udp()
+    };
     ipop::deploy_ipop(&mut net, members, options);
     let mut sim = NetworkSim::new(net);
     // Let the overlay form, then register the guest IP at node B.
@@ -237,7 +256,10 @@ pub fn brunet_arp() -> BrunetArpResult {
         .agent_as::<IpopHostAgent>(c)
         .map(|ag| ag.metrics().guest_rx)
         .unwrap_or(0);
-    let sender = sim.net().agent_as::<IpopHostAgent>(a).expect("sender agent");
+    let sender = sim
+        .net()
+        .agent_as::<IpopHostAgent>(a)
+        .expect("sender agent");
     BrunetArpResult {
         delivered_before,
         delivered_after,
@@ -252,10 +274,22 @@ pub fn render_brunet_arp(result: &BrunetArpResult) -> Table {
         "Ablation - Brunet-ARP DHT mapping with VM migration",
         &["metric", "value"],
     );
-    table.row(&["packets delivered to original host".into(), result.delivered_before.to_string()]);
-    table.row(&["packets delivered to migrated host".into(), result.delivered_after.to_string()]);
-    table.row(&["DHT queries issued by the sender".into(), result.queries.to_string()]);
-    table.row(&["packets tunnelled by the sender".into(), result.tunneled.to_string()]);
+    table.row(&[
+        "packets delivered to original host".into(),
+        result.delivered_before.to_string(),
+    ]);
+    table.row(&[
+        "packets delivered to migrated host".into(),
+        result.delivered_after.to_string(),
+    ]);
+    table.row(&[
+        "DHT queries issued by the sender".into(),
+        result.queries.to_string(),
+    ]);
+    table.row(&[
+        "packets tunnelled by the sender".into(),
+        result.tunneled.to_string(),
+    ]);
     table
 }
 
@@ -267,7 +301,10 @@ mod tests {
     fn brunet_arp_resolves_and_follows_migration() {
         let result = brunet_arp();
         assert!(result.queries >= 1, "at least one DHT resolution");
-        assert!(result.delivered_before > 0, "guest packets reached the original host");
+        assert!(
+            result.delivered_before > 0,
+            "guest packets reached the original host"
+        );
         assert!(
             result.delivered_after > 0,
             "after migration and cache expiry, packets reach the new host"

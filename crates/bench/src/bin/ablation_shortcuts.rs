@@ -2,7 +2,11 @@
 //! overlay path length and virtual-network latency.
 
 fn main() {
-    let (nodes, pings) = if ipop_bench::quick_mode() { (24, 30) } else { (64, 200) };
+    let (nodes, pings) = if ipop_bench::quick_mode() {
+        (24, 30)
+    } else {
+        (64, 200)
+    };
     let rows = ipop_bench::ablations::shortcuts(nodes, pings);
     ipop_bench::ablations::render_shortcuts(&rows, nodes).print();
 }

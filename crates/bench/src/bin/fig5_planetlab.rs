@@ -6,7 +6,11 @@
 use ipop_bench::fig5::{self, Fig5Params};
 
 fn main() {
-    let params = if ipop_bench::quick_mode() { Fig5Params::quick() } else { Fig5Params::default() };
+    let params = if ipop_bench::quick_mode() {
+        Fig5Params::quick()
+    } else {
+        Fig5Params::default()
+    };
     println!(
         "Fig. 5: {} pings across a {}-node overlay at CPU load {}\n",
         params.pings, params.nodes, params.load

@@ -4,7 +4,9 @@
 
 fn main() {
     let count = if ipop_bench::quick_mode() { 50 } else { 1000 };
-    println!("Table I: {count} pings per scenario (Fig. 4 testbed; LAN = F2<->F4, WAN = F4<->V1)\n");
+    println!(
+        "Table I: {count} pings per scenario (Fig. 4 testbed; LAN = F2<->F4, WAN = F4<->V1)\n"
+    );
     let rows = ipop_bench::table1::run(count);
     ipop_bench::table1::render(&rows).print();
 }

@@ -3,7 +3,11 @@
 //! Run with `--quick` for a smaller transfer.
 
 fn main() {
-    let bytes = if ipop_bench::quick_mode() { 8_000_000 } else { ipop_apps::ttcp::sizes::LARGE };
+    let bytes = if ipop_bench::quick_mode() {
+        8_000_000
+    } else {
+        ipop_apps::ttcp::sizes::LARGE
+    };
     let rows = ipop_bench::table2::run(bytes);
     ipop_bench::table2::render(&rows, bytes).print();
 }

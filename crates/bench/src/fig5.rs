@@ -19,14 +19,22 @@ pub struct Fig5Params {
 
 impl Default for Fig5Params {
     fn default() -> Self {
-        Fig5Params { nodes: 118, load: 10.0, pings: 10_000 }
+        Fig5Params {
+            nodes: 118,
+            load: 10.0,
+            pings: 10_000,
+        }
     }
 }
 
 impl Fig5Params {
     /// A scaled-down variant for `--quick` runs and tests.
     pub fn quick() -> Self {
-        Fig5Params { nodes: 40, load: 10.0, pings: 300 }
+        Fig5Params {
+            nodes: 40,
+            load: 10.0,
+            pings: 300,
+        }
     }
 }
 
@@ -41,7 +49,12 @@ pub struct Fig5Output {
 /// Run the Fig. 5 experiment.
 pub fn run(params: &Fig5Params) -> Fig5Output {
     let result = planetlab_ping(params.nodes, params.load, params.pings, 0x7ab1e5);
-    let max_ms = result.rtts_ms.iter().copied().fold(0.0f64, f64::max).max(100.0);
+    let max_ms = result
+        .rtts_ms
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(100.0);
     let mut histogram = Histogram::new(0.0, max_ms * 1.05, 30);
     for &rtt in &result.rtts_ms {
         histogram.add(rtt);
@@ -64,9 +77,21 @@ pub fn render_summary(out: &Fig5Output, params: &Fig5Params) -> Table {
         f(out.histogram.mean(), 1),
         "~1600 (reported \"in excess of 1.6 s\")".into(),
     ]);
-    table.row(&["median RTT (ms)".into(), f(out.histogram.percentile(0.5), 1), "-".into()]);
-    table.row(&["95th percentile (ms)".into(), f(out.histogram.percentile(0.95), 1), "-".into()]);
-    table.row(&["replies".into(), out.result.rtts_ms.len().to_string(), "10000".into()]);
+    table.row(&[
+        "median RTT (ms)".into(),
+        f(out.histogram.percentile(0.5), 1),
+        "-".into(),
+    ]);
+    table.row(&[
+        "95th percentile (ms)".into(),
+        f(out.histogram.percentile(0.95), 1),
+        "-".into(),
+    ]);
+    table.row(&[
+        "replies".into(),
+        out.result.rtts_ms.len().to_string(),
+        "10000".into(),
+    ]);
     table.row(&["lost".into(), out.result.lost.to_string(), "-".into()]);
     table.row(&[
         "avg overlay forwards per delivery".into(),
@@ -82,20 +107,39 @@ mod tests {
 
     #[test]
     fn quick_fig5_shows_load_dominated_latency() {
-        let params = Fig5Params { nodes: 24, load: 10.0, pings: 40 };
+        let params = Fig5Params {
+            nodes: 24,
+            load: 10.0,
+            pings: 40,
+        };
         let out = run(&params);
-        assert!(out.result.rtts_ms.len() >= 20, "most pings answered: {}", out.result.rtts_ms.len());
+        assert!(
+            out.result.rtts_ms.len() >= 20,
+            "most pings answered: {}",
+            out.result.rtts_ms.len()
+        );
         let mean = out.histogram.mean();
         // Physical RTTs in this topology are well under 200 ms; the loaded
         // user-level routers must push the overlay RTT far beyond that.
-        assert!(mean > 250.0, "loaded overlay mean RTT {mean} ms should be dominated by CPU load");
+        assert!(
+            mean > 250.0,
+            "loaded overlay mean RTT {mean} ms should be dominated by CPU load"
+        );
         assert!(out.histogram.count() as usize == out.result.rtts_ms.len());
     }
 
     #[test]
     fn lightly_loaded_overlay_is_much_faster() {
-        let loaded = run(&Fig5Params { nodes: 24, load: 10.0, pings: 30 });
-        let idle = run(&Fig5Params { nodes: 24, load: 1.0, pings: 30 });
+        let loaded = run(&Fig5Params {
+            nodes: 24,
+            load: 10.0,
+            pings: 30,
+        });
+        let idle = run(&Fig5Params {
+            nodes: 24,
+            load: 1.0,
+            pings: 30,
+        });
         assert!(
             idle.histogram.mean() * 2.0 < loaded.histogram.mean(),
             "CPU load is the dominant cost: idle {} ms vs loaded {} ms",

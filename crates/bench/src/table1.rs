@@ -71,7 +71,14 @@ pub fn run(count: u32) -> Vec<LatencyRow> {
 pub fn render(rows: &[LatencyRow]) -> Table {
     let mut table = Table::new(
         "Table I - ping RTT (ms): physical vs IPOP-TCP vs IPOP-UDP",
-        &["scope", "scenario", "mean (ms)", "std dev (ms)", "replies", "paper mean (ms)"],
+        &[
+            "scope",
+            "scenario",
+            "mean (ms)",
+            "std dev (ms)",
+            "replies",
+            "paper mean (ms)",
+        ],
     );
     for row in rows {
         table.row(&[
@@ -96,17 +103,29 @@ mod tests {
         // IPOP adds milliseconds of overhead on the LAN and a ~25-35% penalty on the WAN.
         let rows = run(8);
         let get = |scope: &str, scen: &str| {
-            rows.iter().find(|r| r.scope == scope && r.scenario == scen).unwrap().mean_ms
+            rows.iter()
+                .find(|r| r.scope == scope && r.scenario == scen)
+                .unwrap()
+                .mean_ms
         };
         let lan_phys = get("LAN", "physical");
         let lan_udp = get("LAN", "IPOP-UDP");
         let wan_phys = get("WAN", "physical");
         let wan_udp = get("WAN", "IPOP-UDP");
         assert!(lan_phys < 2.5, "lan physical {lan_phys}");
-        assert!(lan_udp > lan_phys + 3.0, "IPOP overhead visible: {lan_udp} vs {lan_phys}");
+        assert!(
+            lan_udp > lan_phys + 3.0,
+            "IPOP overhead visible: {lan_udp} vs {lan_phys}"
+        );
         assert!(lan_udp < 20.0, "IPOP LAN latency within range: {lan_udp}");
-        assert!(wan_phys > 25.0 && wan_phys < 50.0, "wan physical {wan_phys}");
-        assert!(wan_udp > wan_phys, "wan IPOP {wan_udp} vs physical {wan_phys}");
+        assert!(
+            wan_phys > 25.0 && wan_phys < 50.0,
+            "wan physical {wan_phys}"
+        );
+        assert!(
+            wan_udp > wan_phys,
+            "wan IPOP {wan_udp} vs physical {wan_phys}"
+        );
         assert!(wan_udp < wan_phys * 2.0, "wan overhead bounded: {wan_udp}");
     }
 }

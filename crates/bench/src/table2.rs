@@ -41,7 +41,13 @@ pub fn run(bytes: u64) -> Vec<ThroughputRow> {
                 Mode::IpopTcp => (2389.0, "29%"),
                 Mode::IpopUdp => (1905.0, "20%"),
             };
-            ThroughputRow { scenario: mode.label(), kbps, physical_kbps: physical, paper_kbps, paper_rel }
+            ThroughputRow {
+                scenario: mode.label(),
+                kbps,
+                physical_kbps: physical,
+                paper_kbps,
+                paper_rel,
+            }
         })
         .collect()
 }
@@ -49,8 +55,17 @@ pub fn run(bytes: u64) -> Vec<ThroughputRow> {
 /// Render rows as the printed table.
 pub fn render(rows: &[ThroughputRow], bytes: u64) -> Table {
     let mut table = Table::new(
-        &format!("Table II - LAN ttcp throughput, transfer size {:.2} MB", bytes as f64 / 1e6),
-        &["scenario", "throughput (KB/s)", "rel. to physical", "paper (KB/s)", "paper rel."],
+        &format!(
+            "Table II - LAN ttcp throughput, transfer size {:.2} MB",
+            bytes as f64 / 1e6
+        ),
+        &[
+            "scenario",
+            "throughput (KB/s)",
+            "rel. to physical",
+            "paper (KB/s)",
+            "paper rel.",
+        ],
     );
     for row in rows {
         table.row(&[
@@ -78,8 +93,17 @@ mod tests {
         let udp = get("IPOP-UDP");
         let tcp = get("IPOP-TCP");
         assert!(phys > 4_000.0, "physical LAN {phys} KB/s");
-        assert!(udp > 200.0 && tcp > 200.0, "IPOP transfers completed: {udp} / {tcp}");
-        assert!(udp < 0.65 * phys, "IPOP-UDP well below physical: {udp} vs {phys}");
-        assert!(tcp < 0.65 * phys, "IPOP-TCP well below physical: {tcp} vs {phys}");
+        assert!(
+            udp > 200.0 && tcp > 200.0,
+            "IPOP transfers completed: {udp} / {tcp}"
+        );
+        assert!(
+            udp < 0.65 * phys,
+            "IPOP-UDP well below physical: {udp} vs {phys}"
+        );
+        assert!(
+            tcp < 0.65 * phys,
+            "IPOP-TCP well below physical: {tcp} vs {phys}"
+        );
     }
 }

@@ -56,7 +56,13 @@ pub fn run(sizes: [u64; 2]) -> Vec<WanThroughputRow> {
                 .find(|(m, s, _)| *m == mode.label() && *s == si)
                 .map(|(_, _, v)| *v)
                 .unwrap_or(0.0);
-            WanThroughputRow { scenario: mode.label(), bytes, kbps, physical_kbps, paper_kbps }
+            WanThroughputRow {
+                scenario: mode.label(),
+                bytes,
+                kbps,
+                physical_kbps,
+                paper_kbps,
+            }
         })
         .collect()
 }
@@ -65,7 +71,13 @@ pub fn run(sizes: [u64; 2]) -> Vec<WanThroughputRow> {
 pub fn render(rows: &[WanThroughputRow]) -> Table {
     let mut table = Table::new(
         "Table III - WAN ttcp throughput (F4 -> V1)",
-        &["scenario", "size (MB)", "throughput (KB/s)", "rel. to physical", "paper (KB/s)"],
+        &[
+            "scenario",
+            "size (MB)",
+            "throughput (KB/s)",
+            "rel. to physical",
+            "paper (KB/s)",
+        ],
     );
     for row in rows {
         table.row(&[
@@ -89,13 +101,22 @@ mod tests {
         // recovers a much larger fraction of the physical bandwidth than IPOP-TCP.
         let rows = run([1_500_000, 3_000_000]);
         let get = |s: &str, size: u64| {
-            rows.iter().find(|r| r.scenario == s && r.bytes == size).unwrap().kbps
+            rows.iter()
+                .find(|r| r.scenario == s && r.bytes == size)
+                .unwrap()
+                .kbps
         };
         let phys = get("physical", 3_000_000);
         let udp = get("IPOP-UDP", 3_000_000);
         let tcp = get("IPOP-TCP", 3_000_000);
         assert!(phys > 700.0 && phys < 1_800.0, "physical WAN {phys} KB/s");
-        assert!(udp > tcp, "IPOP-UDP ({udp}) should beat IPOP-TCP ({tcp}) over the WAN");
-        assert!(udp > 0.45 * phys, "IPOP-UDP recovers much of the WAN bandwidth: {udp} vs {phys}");
+        assert!(
+            udp > tcp,
+            "IPOP-UDP ({udp}) should beat IPOP-TCP ({tcp}) over the WAN"
+        );
+        assert!(
+            udp > 0.45 * phys,
+            "IPOP-UDP recovers much of the WAN bandwidth: {udp} vs {phys}"
+        );
     }
 }

@@ -28,7 +28,11 @@ pub fn run(params: LssParams) -> Vec<LssRow> {
         .into_par_iter()
         .map(|nodes| {
             let report = crate::scenarios::fig4_lss(nodes, params.clone(), 0x7ab1e4);
-            let paper = if nodes == 1 { (811.0, 834.0, 1645.0) } else { (378.0, 217.0, 595.0) };
+            let paper = if nodes == 1 {
+                (811.0, 834.0, 1645.0)
+            } else {
+                (378.0, 217.0, 595.0)
+            };
             LssRow {
                 nodes,
                 image1_s: report.first_image(),
@@ -49,7 +53,13 @@ pub fn render(rows: &[LssRow], params: &LssParams) -> Table {
             params.databases,
             params.database_size / (1024 * 1024)
         ),
-        &["# nodes", "image 1 (s)", "images 2-N (s)", "total (s)", "paper img1/rest/total (s)"],
+        &[
+            "# nodes",
+            "image 1 (s)",
+            "images 2-N (s)",
+            "total (s)",
+            "paper img1/rest/total (s)",
+        ],
     );
     for row in rows {
         table.row(&[
@@ -57,7 +67,10 @@ pub fn render(rows: &[LssRow], params: &LssParams) -> Table {
             f(row.image1_s, 0),
             f(row.rest_s, 0),
             f(row.total_s, 0),
-            format!("{:.0} / {:.0} / {:.0}", row.paper.0, row.paper.1, row.paper.2),
+            format!(
+                "{:.0} / {:.0} / {:.0}",
+                row.paper.0, row.paper.1, row.paper.2
+            ),
         ]);
     }
     if let (Some(seq), Some(par)) = (
@@ -94,7 +107,10 @@ mod tests {
         let rows = run(params);
         let seq = rows.iter().find(|r| r.nodes == 1).unwrap();
         let par = rows.iter().find(|r| r.nodes == 4).unwrap();
-        assert!(seq.total_s > 0.0 && par.total_s > 0.0, "both runs completed");
+        assert!(
+            seq.total_s > 0.0 && par.total_s > 0.0,
+            "both runs completed"
+        );
         // Cold first image is slower than a warm one in the sequential run.
         let seq_warm_per_image = seq.rest_s / 2.0;
         assert!(

@@ -83,7 +83,12 @@ mod tests {
         let mut app = NullApp;
         let mut stack = NetStack::new(StackConfig::new(Ipv4Addr::new(1, 2, 3, 4)));
         let mut rng = StreamRng::new(1, "app");
-        let mut env = AppEnv { stack: &mut stack, now: SimTime::ZERO, rng: &mut rng, host_name: "h" };
+        let mut env = AppEnv {
+            stack: &mut stack,
+            now: SimTime::ZERO,
+            rng: &mut rng,
+            host_name: "h",
+        };
         app.on_start(&mut env);
         assert_eq!(app.poll(&mut env), None);
         assert!(app.finished());

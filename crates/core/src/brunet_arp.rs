@@ -155,7 +155,11 @@ mod tests {
     use ipop_packet::ipv4::Ipv4Payload;
 
     fn pkt(dst: Ipv4Addr) -> Ipv4Packet {
-        Ipv4Packet::new(Ipv4Addr::new(172, 16, 0, 2), dst, Ipv4Payload::Raw(99, vec![1]))
+        Ipv4Packet::new(
+            Ipv4Addr::new(172, 16, 0, 2),
+            dst,
+            Ipv4Payload::Raw(99, vec![1]),
+        )
     }
 
     const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 18);
@@ -174,7 +178,9 @@ mod tests {
         let now = SimTime::ZERO;
         // First packet: miss, needs a query.
         let r = arp.resolve(now, DST);
-        let Resolution::NeedsQuery(key) = r else { panic!("expected NeedsQuery, got {r:?}") };
+        let Resolution::NeedsQuery(key) = r else {
+            panic!("expected NeedsQuery, got {r:?}")
+        };
         assert_eq!(key, Address::from_ip(DST));
         arp.query_issued(7, DST);
         arp.park(DST, pkt(DST));
@@ -184,8 +190,9 @@ mod tests {
         assert_eq!(arp.parked_packets(), 2);
         // Reply arrives: both packets released, mapping cached.
         let target = Address::from_key(b"host routing for DST");
-        let (ip, addr, released) =
-            arp.on_reply(now, 7, Some(BrunetArp::encode_mapping(&target))).unwrap();
+        let (ip, addr, released) = arp
+            .on_reply(now, 7, Some(BrunetArp::encode_mapping(&target)))
+            .unwrap();
         assert_eq!(ip, DST);
         assert_eq!(addr, Some(target));
         assert_eq!(released.len(), 2);
@@ -202,7 +209,10 @@ mod tests {
         let target = Address::from_key(b"n");
         arp.query_issued(1, DST);
         arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
-        assert!(matches!(arp.resolve(SimTime::ZERO + Duration::from_secs(5), DST), Resolution::Resolved(_)));
+        assert!(matches!(
+            arp.resolve(SimTime::ZERO + Duration::from_secs(5), DST),
+            Resolution::Resolved(_)
+        ));
         // After the TTL the entry must be re-resolved (this is what picks up VM migration).
         assert!(matches!(
             arp.resolve(SimTime::ZERO + Duration::from_secs(11), DST),
@@ -235,6 +245,9 @@ mod tests {
         arp.query_issued(1, DST);
         arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
         arp.invalidate(DST);
-        assert!(matches!(arp.resolve(SimTime::ZERO, DST), Resolution::NeedsQuery(_)));
+        assert!(matches!(
+            arp.resolve(SimTime::ZERO, DST),
+            Resolution::NeedsQuery(_)
+        ));
     }
 }

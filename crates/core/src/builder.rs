@@ -29,12 +29,20 @@ pub struct IpopMember {
 impl IpopMember {
     /// A member running the given application.
     pub fn new(host: HostId, virtual_ip: Ipv4Addr, app: Box<dyn VirtualApp>) -> Self {
-        IpopMember { host, virtual_ip, app }
+        IpopMember {
+            host,
+            virtual_ip,
+            app,
+        }
     }
 
     /// A member that only routes (no application).
     pub fn router(host: HostId, virtual_ip: Ipv4Addr) -> Self {
-        IpopMember { host, virtual_ip, app: Box::new(NullApp) }
+        IpopMember {
+            host,
+            virtual_ip,
+            app: Box::new(NullApp),
+        }
     }
 }
 
@@ -51,7 +59,11 @@ pub struct DeployOptions {
 
 impl Default for DeployOptions {
     fn default() -> Self {
-        DeployOptions { transport: TransportMode::Udp, brunet_arp: false, shortcuts: true }
+        DeployOptions {
+            transport: TransportMode::Udp,
+            brunet_arp: false,
+            shortcuts: true,
+        }
     }
 }
 
@@ -63,20 +75,38 @@ impl DeployOptions {
 
     /// TCP-mode deployment.
     pub fn tcp() -> Self {
-        DeployOptions { transport: TransportMode::Tcp, ..Self::default() }
+        DeployOptions {
+            transport: TransportMode::Tcp,
+            ..Self::default()
+        }
     }
 }
 
-/// Install an [`IpopHostAgent`] on every member host. The first member acts as the
-/// bootstrap node for all the others (any node already in the overlay would do).
-/// Returns the member hosts in the same order.
-pub fn deploy_ipop(net: &mut Network, members: Vec<IpopMember>, options: DeployOptions) -> Vec<HostId> {
-    assert!(!members.is_empty(), "a deployment needs at least one member");
-    let bootstrap_host = members[0].host;
+/// Install an [`IpopHostAgent`] on every member host. The first *publicly
+/// reachable* member acts as the bootstrap node for all the others (any node
+/// already in the overlay would do, but one behind a NAT or a
+/// deny-inbound firewall cannot accept the initial unsolicited Hello — the
+/// paper's deployments likewise bootstrap off public Brunet nodes). Falls back
+/// to the first member when nobody is publicly reachable. Returns the member
+/// hosts in the same order.
+pub fn deploy_ipop(
+    net: &mut Network,
+    members: Vec<IpopMember>,
+    options: DeployOptions,
+) -> Vec<HostId> {
+    assert!(
+        !members.is_empty(),
+        "a deployment needs at least one member"
+    );
+    let bootstrap_host = members
+        .iter()
+        .map(|m| m.host)
+        .find(|&h| net.publicly_reachable(h))
+        .unwrap_or(members[0].host);
     let bootstrap_addr = net.host(bootstrap_host).addr;
     let overlay_port = 4001;
     let mut hosts = Vec::with_capacity(members.len());
-    for (i, member) in members.into_iter().enumerate() {
+    for member in members {
         let phys_addr = net.host(member.host).addr;
         let mut cfg = IpopConfig::new(member.virtual_ip).with_transport(options.transport);
         if options.brunet_arp {
@@ -85,7 +115,7 @@ pub fn deploy_ipop(net: &mut Network, members: Vec<IpopMember>, options: DeployO
         if !options.shortcuts {
             cfg = cfg.without_shortcuts();
         }
-        if i != 0 {
+        if member.host != bootstrap_host {
             cfg = cfg.with_bootstrap(vec![(bootstrap_addr, overlay_port)]);
         }
         let agent = IpopHostAgent::new(cfg, phys_addr, member.app);

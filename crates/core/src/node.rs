@@ -89,6 +89,11 @@ pub struct IpopHostAgent {
     /// Tunnel packets whose receive-side user-level processing completes at the
     /// given instant (so latency measurements include that cost).
     rx_pending: Vec<(SimTime, Ipv4Packet)>,
+    /// Outbound virtual packets whose user-level processing completes at the
+    /// given instant; the overlay send happens then. The completion instant
+    /// reflects the router's per-packet latency, while only the (smaller)
+    /// pipeline occupancy blocks the CPU — consecutive packets overlap.
+    tx_pending: Vec<(SimTime, Ipv4Packet)>,
 
     next_overlay_tick: SimTime,
     scheduled_wakeup: Option<SimTime>,
@@ -116,12 +121,16 @@ impl IpopHostAgent {
         let overlay = OverlayNode::new(overlay_cfg, StreamRng::new(seed, "ipop.overlay"));
 
         let tap_mac = MacAddr::local(u64::from(u32::from(cfg.virtual_ip)));
-        let gateway_mac = MacAddr::local(0xFFFF_FFFF_0000 | u64::from(u32::from(cfg.gateway_ip)) & 0xFFFF);
+        let gateway_mac =
+            MacAddr::local(0xFFFF_FFFF_0000 | u64::from(u32::from(cfg.gateway_ip)) & 0xFFFF);
         let tap = TapDevice::new(tap_mac);
-        let veth = EthAdapter::with_static_gateway(tap_mac, cfg.virtual_ip, cfg.gateway_ip, gateway_mac);
+        let veth =
+            EthAdapter::with_static_gateway(tap_mac, cfg.virtual_ip, cfg.gateway_ip, gateway_mac);
         let vstack = NetStack::new(StackConfig::new(cfg.virtual_ip).with_mtu(cfg.virtual_mtu));
 
-        let brunet_arp = cfg.brunet_arp.then(|| BrunetArp::new(cfg.brunet_arp_cache_ttl));
+        let brunet_arp = cfg
+            .brunet_arp
+            .then(|| BrunetArp::new(cfg.brunet_arp_cache_ttl));
         let label = format!("ipop-{}", cfg.virtual_ip);
 
         IpopHostAgent {
@@ -141,6 +150,7 @@ impl IpopHostAgent {
             extra_ips: Vec::new(),
             guest_delivered: Vec::new(),
             rx_pending: Vec::new(),
+            tx_pending: Vec::new(),
             next_overlay_tick: SimTime::ZERO,
             scheduled_wakeup: None,
             last_forwarded: 0,
@@ -176,6 +186,11 @@ impl IpopHostAgent {
     /// Number of established overlay connections.
     pub fn connection_count(&self) -> usize {
         self.overlay.connections().established().count()
+    }
+
+    /// Overlay addresses of the established connections.
+    pub fn connection_peers(&self) -> Vec<Address> {
+        self.overlay.connections().peers()
     }
 
     /// Downcast the embedded application.
@@ -219,17 +234,32 @@ impl IpopHostAgent {
 
     // ------------------------------------------------------------------ internals
 
-    fn tunnel_out(&mut self, ctx: &mut HostCtx<'_, '_>, vpkt: Ipv4Packet) {
+    /// Charge the user-level router for one tunnelled packet: the CPU is
+    /// occupied for the pipeline cost, while the packet itself is ready only
+    /// after the full processing latency (whichever completes later).
+    fn router_ready_at(ctx: &mut HostCtx<'_, '_>) -> SimTime {
         let now = ctx.now();
-        let dst = vpkt.dst();
         let cal = ctx.calibration();
         let load = ctx.load();
-        // User-level processing + tap crossing for every packet leaving via IPOP.
-        ctx.consume_cpu(cal.ipop_cost_at_load(load) + cal.tap_crossing_cost);
+        let occupied_until =
+            ctx.consume_cpu(cal.pipeline_cost_at_load(load) + cal.tap_crossing_cost);
+        occupied_until.max(now + cal.ipop_cost_at_load(load) + cal.tap_crossing_cost)
+    }
+
+    fn tunnel_out(&mut self, ctx: &mut HostCtx<'_, '_>, vpkt: Ipv4Packet) {
+        let ready = Self::router_ready_at(ctx);
+        self.tx_pending.push((ready, vpkt));
+    }
+
+    /// Hand one processed outbound packet to the overlay (runs at its ready
+    /// instant, after the user-level processing latency has elapsed).
+    fn dispatch_tunnel_out(&mut self, now: SimTime, vpkt: Ipv4Packet) {
+        let dst = vpkt.dst();
         self.metrics.tunneled_tx += 1;
         match &mut self.brunet_arp {
             None => {
-                self.overlay.send_ip(now, Address::from_ip(dst), vpkt.to_bytes());
+                self.overlay
+                    .send_ip(now, Address::from_ip(dst), vpkt.to_bytes());
             }
             Some(arp) => match arp.resolve(now, dst) {
                 Resolution::Resolved(addr) => {
@@ -294,8 +324,7 @@ impl IpopHostAgent {
                 if let RoutedPayload::IpTunnel(bytes) = routed.payload {
                     match Ipv4Packet::from_bytes(&bytes) {
                         Ok(vpkt) => {
-                            let ready =
-                                ctx.consume_cpu(cal.ipop_cost_at_load(load) + cal.tap_crossing_cost);
+                            let ready = Self::router_ready_at(ctx);
                             self.rx_pending.push((ready, vpkt));
                         }
                         Err(_) => self.metrics.decode_errors += 1,
@@ -407,15 +436,24 @@ impl IpopHostAgent {
         self.arm_wakeup(ctx);
     }
 
-    /// Deliver any receive-side packets whose processing delay has elapsed. Kept
-    /// separate from `pump` so the borrow of `self.rx_pending` does not overlap the
-    /// main loop's borrows.
-    fn flush_rx_pending(&mut self, now: SimTime) {
+    /// Deliver any queued packets whose user-level processing delay has elapsed,
+    /// in both directions. Kept separate from `pump` so the borrows of the
+    /// pending queues do not overlap the main loop's borrows.
+    fn flush_pending(&mut self, now: SimTime) {
         let mut i = 0;
         while i < self.rx_pending.len() {
             if self.rx_pending[i].0 <= now {
                 let (_, vpkt) = self.rx_pending.remove(i);
                 self.deliver_virtual(now, vpkt);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.tx_pending.len() {
+            if self.tx_pending[i].0 <= now {
+                let (_, vpkt) = self.tx_pending.remove(i);
+                self.dispatch_tunnel_out(now, vpkt);
             } else {
                 i += 1;
             }
@@ -435,6 +473,9 @@ impl IpopHostAgent {
             next = next.min(t);
         }
         if let Some(t) = self.rx_pending.iter().map(|(t, _)| *t).min() {
+            next = next.min(t);
+        }
+        if let Some(t) = self.tx_pending.iter().map(|(t, _)| *t).min() {
             next = next.min(t);
         }
         let next = next.max(now + Duration::from_micros(10));
@@ -467,7 +508,7 @@ impl HostAgent for IpopHostAgent {
 
     fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Ipv4Packet) {
         self.phys.handle_packet(ctx.now(), pkt);
-        self.flush_rx_pending(ctx.now());
+        self.flush_pending(ctx.now());
         self.pump(ctx);
     }
 
@@ -475,7 +516,7 @@ impl HostAgent for IpopHostAgent {
         if token == WAKEUP {
             self.scheduled_wakeup = None;
         }
-        self.flush_rx_pending(ctx.now());
+        self.flush_pending(ctx.now());
         self.pump(ctx);
     }
 

@@ -83,17 +83,35 @@ pub struct Rule {
 impl Rule {
     /// Allow inbound traffic to `dst_port` from `remote`.
     pub fn allow_inbound(proto: ProtoMatch, remote: HostMatch, dst_port: Option<u16>) -> Self {
-        Rule { direction: Direction::Inbound, proto, remote, dst_port, allow: true }
+        Rule {
+            direction: Direction::Inbound,
+            proto,
+            remote,
+            dst_port,
+            allow: true,
+        }
     }
 
     /// Allow outbound traffic to `remote` (any port unless given).
     pub fn allow_outbound(proto: ProtoMatch, remote: HostMatch, dst_port: Option<u16>) -> Self {
-        Rule { direction: Direction::Outbound, proto, remote, dst_port, allow: true }
+        Rule {
+            direction: Direction::Outbound,
+            proto,
+            remote,
+            dst_port,
+            allow: true,
+        }
     }
 
     /// Deny outbound traffic to `remote`.
     pub fn deny_outbound(proto: ProtoMatch, remote: HostMatch) -> Self {
-        Rule { direction: Direction::Outbound, proto, remote, dst_port: None, allow: false }
+        Rule {
+            direction: Direction::Outbound,
+            proto,
+            remote,
+            dst_port: None,
+            allow: false,
+        }
     }
 }
 
@@ -153,6 +171,12 @@ impl Firewall {
         self.established.len()
     }
 
+    /// Does the default policy admit unsolicited inbound traffic? (Used to judge
+    /// whether a host behind this firewall can serve as an overlay bootstrap.)
+    pub fn accepts_unsolicited_inbound(&self) -> bool {
+        self.default_inbound_allow
+    }
+
     fn flow_key(internal: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), proto: Protocol) -> FlowKey {
         (internal.0, internal.1, remote.0, remote.1, proto.value())
     }
@@ -189,8 +213,11 @@ impl Firewall {
                     .unwrap_or(self.default_outbound_allow);
                 if decision {
                     // Track the flow so replies are admitted.
-                    self.established
-                        .insert(Self::flow_key((pkt.src(), src_port), (remote, dst_port), proto));
+                    self.established.insert(Self::flow_key(
+                        (pkt.src(), src_port),
+                        (remote, dst_port),
+                        proto,
+                    ));
                 }
                 decision
             }
@@ -234,11 +261,19 @@ mod tests {
     const OTHER: Ipv4Addr = Ipv4Addr::new(192, 5, 5, 5);
 
     fn udp_packet(src: Ipv4Addr, sp: u16, dst: Ipv4Addr, dp: u16) -> Ipv4Packet {
-        Ipv4Packet::new(src, dst, Ipv4Payload::Udp(UdpDatagram::new(sp, dp, vec![1])))
+        Ipv4Packet::new(
+            src,
+            dst,
+            Ipv4Payload::Udp(UdpDatagram::new(sp, dp, vec![1])),
+        )
     }
 
     fn tcp_syn(src: Ipv4Addr, sp: u16, dst: Ipv4Addr, dp: u16) -> Ipv4Packet {
-        Ipv4Packet::new(src, dst, Ipv4Payload::Tcp(TcpSegment::syn(sp, dp, 1, 1000, 1400)))
+        Ipv4Packet::new(
+            src,
+            dst,
+            Ipv4Payload::Tcp(TcpSegment::syn(sp, dp, 1, 1000, 1400)),
+        )
     }
 
     #[test]
@@ -247,7 +282,10 @@ mod tests {
         // Unsolicited inbound UDP: dropped.
         assert!(!fw.permit(Direction::Inbound, &udp_packet(OUTSIDE, 7000, INSIDE, 4000)));
         // Outbound first...
-        assert!(fw.permit(Direction::Outbound, &udp_packet(INSIDE, 4000, OUTSIDE, 7000)));
+        assert!(fw.permit(
+            Direction::Outbound,
+            &udp_packet(INSIDE, 4000, OUTSIDE, 7000)
+        ));
         assert_eq!(fw.established_flows(), 1);
         // ...then the reply is admitted.
         assert!(fw.permit(Direction::Inbound, &udp_packet(OUTSIDE, 7000, INSIDE, 4000)));
@@ -260,7 +298,11 @@ mod tests {
     fn ssh_style_inbound_exception() {
         // VFW/LFW: only F3 may open inbound connections, and only to port 22.
         let mut fw = Firewall::default_deny_inbound();
-        fw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Addr(OUTSIDE), Some(22)));
+        fw.add_rule(Rule::allow_inbound(
+            ProtoMatch::Tcp,
+            HostMatch::Addr(OUTSIDE),
+            Some(22),
+        ));
         assert!(fw.permit(Direction::Inbound, &tcp_syn(OUTSIDE, 5555, INSIDE, 22)));
         assert!(!fw.permit(Direction::Inbound, &tcp_syn(OUTSIDE, 5555, INSIDE, 80)));
         assert!(!fw.permit(Direction::Inbound, &tcp_syn(OTHER, 5555, INSIDE, 22)));
@@ -270,7 +312,11 @@ mod tests {
     fn outbound_default_deny_with_exception() {
         // LFW only allows outgoing TCP connections to one machine.
         let mut fw = Firewall::default_deny_inbound().with_default_outbound_deny();
-        fw.add_rule(Rule::allow_outbound(ProtoMatch::Tcp, HostMatch::Addr(OUTSIDE), None));
+        fw.add_rule(Rule::allow_outbound(
+            ProtoMatch::Tcp,
+            HostMatch::Addr(OUTSIDE),
+            None,
+        ));
         fw.add_rule(Rule::allow_outbound(ProtoMatch::Udp, HostMatch::Any, None));
         assert!(fw.permit(Direction::Outbound, &tcp_syn(INSIDE, 1000, OUTSIDE, 4001)));
         assert!(!fw.permit(Direction::Outbound, &tcp_syn(INSIDE, 1000, OTHER, 4001)));
@@ -289,7 +335,11 @@ mod tests {
         let reply = Ipv4Packet::new(
             OUTSIDE,
             INSIDE,
-            Ipv4Payload::Icmp(IcmpPacket::echo_reply(&IcmpPacket::echo_request(42, 1, vec![0; 8]))),
+            Ipv4Payload::Icmp(IcmpPacket::echo_reply(&IcmpPacket::echo_request(
+                42,
+                1,
+                vec![0; 8],
+            ))),
         );
         assert!(fw.permit(Direction::Outbound, &request));
         assert!(fw.permit(Direction::Inbound, &reply));
@@ -297,7 +347,11 @@ mod tests {
         let stray = Ipv4Packet::new(
             OUTSIDE,
             INSIDE,
-            Ipv4Payload::Icmp(IcmpPacket::echo_reply(&IcmpPacket::echo_request(43, 1, vec![0; 8]))),
+            Ipv4Payload::Icmp(IcmpPacket::echo_reply(&IcmpPacket::echo_request(
+                43,
+                1,
+                vec![0; 8],
+            ))),
         );
         assert!(!fw.permit(Direction::Inbound, &stray));
     }

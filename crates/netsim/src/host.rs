@@ -58,7 +58,14 @@ pub struct Host {
 }
 
 impl Host {
-    pub(crate) fn new(id: HostId, name: String, site: SiteId, addr: Ipv4Addr, load: f64, rng: StreamRng) -> Self {
+    pub(crate) fn new(
+        id: HostId,
+        name: String,
+        site: SiteId,
+        addr: Ipv4Addr,
+        load: f64,
+        rng: StreamRng,
+    ) -> Self {
         Host {
             id,
             name,
@@ -166,9 +173,10 @@ impl HostCtx<'_, '_> {
     /// `delay`.
     pub fn set_timer(&mut self, delay: Duration, token: TimerToken) {
         let host = self.host;
-        self.ctl.schedule_in(delay, move |net: &mut crate::network::Network, ctl| {
-            crate::network::Network::dispatch_timer(net, ctl, host, token);
-        });
+        self.ctl
+            .schedule_in(delay, move |net: &mut crate::network::Network, ctl| {
+                crate::network::Network::dispatch_timer(net, ctl, host, token);
+            });
     }
 }
 
@@ -179,7 +187,14 @@ mod tests {
     #[test]
     fn cpu_queue_is_fifo() {
         let rng = StreamRng::new(1, "host");
-        let mut h = Host::new(HostId(0), "test".into(), SiteId(0), Ipv4Addr::new(10, 0, 0, 1), 1.0, rng);
+        let mut h = Host::new(
+            HostId(0),
+            "test".into(),
+            SiteId(0),
+            Ipv4Addr::new(10, 0, 0, 1),
+            1.0,
+            rng,
+        );
         let t0 = SimTime::ZERO;
         let done1 = h.occupy_cpu(t0, Duration::from_millis(2));
         assert_eq!(done1, t0 + Duration::from_millis(2));

@@ -22,7 +22,7 @@ pub mod topology;
 
 pub use calibration::Calibration;
 pub use firewall::{Direction, Firewall, HostMatch, ProtoMatch, Rule};
-pub use host::{Host, HostAgent, HostCtx, HostCounters, HostId};
+pub use host::{Host, HostAgent, HostCounters, HostCtx, HostId};
 pub use link::{Link, LinkOutcome, LinkParams, LinkState};
 pub use nat::{Endpoint, NatBox, NatType};
 pub use network::{CoreParams, NetCounters, Network, NetworkSim, SiteId};

@@ -67,10 +67,23 @@ impl LinkParams {
 }
 
 /// Per-direction dynamic state of a link segment.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LinkState {
-    /// The instant until which the transmitter is busy serializing earlier packets.
+    /// The end of the latest serialization window (diagnostics; the scheduler
+    /// below is work-conserving, so this is *not* a blocking horizon).
     pub busy_until: SimTime,
+    /// Outstanding serialization windows `(start, end)`, sorted by start. A
+    /// packet can reach this link at a future instant (its flight time through
+    /// upstream segments is already known), so the transmitter keeps a schedule
+    /// instead of a single horizon: a reservation in the future must not block
+    /// a packet that wants the wire *now*.
+    reservations: Vec<(SimTime, SimTime)>,
+    /// `(depart, start)` of the most recent offer, used to keep the schedule
+    /// FIFO for monotone offers: a packet offered after another with an equal
+    /// or earlier depart must not gap-fit ahead of it (a real transmitter
+    /// cannot reorder its own queue). Offers with *earlier* departs — packets
+    /// that were already in flight upstream — may still use idle gaps.
+    last_offer: Option<(SimTime, SimTime)>,
     /// Packets transmitted.
     pub tx_packets: u64,
     /// Bytes transmitted.
@@ -100,29 +113,70 @@ pub struct Link {
 impl Link {
     /// A new idle link.
     pub fn new(params: LinkParams) -> Self {
-        Link { params, state: LinkState::default() }
+        Link {
+            params,
+            state: LinkState::default(),
+        }
     }
 
-    /// Offer a packet of `bytes` bytes to the link at time `depart`.
-    pub fn transmit(&mut self, depart: SimTime, bytes: usize, rng: &mut StreamRng) -> LinkOutcome {
+    /// Offer a packet of `bytes` bytes to the link at time `depart` (which may
+    /// lie in the future when the packet is still in flight through upstream
+    /// segments). `now` is the current simulation time, used to prune the
+    /// reservation schedule — no future offer can start before `now`.
+    ///
+    /// The transmitter is a work-conserving single server: the packet is placed
+    /// into the earliest idle gap at or after `depart` that fits its
+    /// serialization time, so a reservation in the future never delays a packet
+    /// that wants the (currently idle) wire earlier.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        depart: SimTime,
+        bytes: usize,
+        rng: &mut StreamRng,
+    ) -> LinkOutcome {
         if self.params.loss > 0.0 && rng.chance(self.params.loss) {
             self.state.dropped += 1;
             return LinkOutcome::Dropped;
         }
-        let start = depart.max(self.state.busy_until);
+        self.state.reservations.retain(|&(_, end)| end > now);
+        let ser = self.params.serialization(bytes);
+        // Earliest gap-fit at or after `depart` — but never ahead of a
+        // previous offer whose depart was not later than ours (same-sender
+        // FIFO; see `LinkState::last_offer`).
+        let mut start = depart;
+        if let Some((prev_depart, prev_start)) = self.state.last_offer {
+            if depart >= prev_depart {
+                start = start.max(prev_start);
+            }
+        }
+        for &(s, e) in &self.state.reservations {
+            if start + ser <= s {
+                break;
+            }
+            if e > start {
+                start = e;
+            }
+        }
         let queue_delay = start.saturating_since(depart);
         if queue_delay > self.params.max_queue_delay {
             self.state.dropped += 1;
             return LinkOutcome::Dropped;
         }
-        let ser = self.params.serialization(bytes);
-        self.state.busy_until = start + ser;
+        let end = start + ser;
+        let pos = self
+            .state
+            .reservations
+            .partition_point(|&(s, _)| s <= start);
+        self.state.reservations.insert(pos, (start, end));
+        self.state.last_offer = Some((depart, start));
+        self.state.busy_until = self.state.busy_until.max(end);
         let jitter = if self.params.jitter.is_zero() {
             Duration::ZERO
         } else {
             rng.normal(Duration::ZERO, self.params.jitter)
         };
-        let arrival = self.state.busy_until + self.params.latency + jitter;
+        let arrival = end + self.params.latency + jitter;
         self.state.tx_packets += 1;
         self.state.tx_bytes += bytes as u64;
         LinkOutcome::Delivered(arrival)
@@ -158,9 +212,12 @@ mod tests {
             loss: 0.0,
             max_queue_delay: Duration::from_secs(1),
         });
-        let out = link.transmit(SimTime::ZERO, 1_000, &mut rng());
+        let out = link.transmit(SimTime::ZERO, SimTime::ZERO, 1_000, &mut rng());
         // 1000 bytes at 1 MB/s = 1 ms serialization + 5 ms latency.
-        assert_eq!(out, LinkOutcome::Delivered(SimTime::ZERO + Duration::from_millis(6)));
+        assert_eq!(
+            out,
+            LinkOutcome::Delivered(SimTime::ZERO + Duration::from_millis(6))
+        );
     }
 
     #[test]
@@ -173,8 +230,8 @@ mod tests {
             max_queue_delay: Duration::from_secs(1),
         });
         let mut r = rng();
-        let a = link.transmit(SimTime::ZERO, 1_000, &mut r);
-        let b = link.transmit(SimTime::ZERO, 1_000, &mut r);
+        let a = link.transmit(SimTime::ZERO, SimTime::ZERO, 1_000, &mut r);
+        let b = link.transmit(SimTime::ZERO, SimTime::ZERO, 1_000, &mut r);
         let (LinkOutcome::Delivered(ta), LinkOutcome::Delivered(tb)) = (a, b) else {
             panic!("both delivered")
         };
@@ -197,11 +254,100 @@ mod tests {
         let mut r = rng();
         let mut last = SimTime::ZERO;
         for _ in 0..100 {
-            if let LinkOutcome::Delivered(t) = link.transmit(SimTime::ZERO, 10_000, &mut r) {
+            if let LinkOutcome::Delivered(t) =
+                link.transmit(SimTime::ZERO, SimTime::ZERO, 10_000, &mut r)
+            {
                 last = last.max(t);
             }
         }
         assert!(last.saturating_since(SimTime::ZERO) >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn future_reservation_does_not_block_earlier_packets() {
+        // A packet still in flight upstream reserves the wire 15 ms from now; a
+        // packet wanting the wire immediately must pass through the idle gap
+        // (this exact head-of-line inversion made synchronized overlay ticks
+        // inflate same-site latency by two orders of magnitude).
+        let mut link = Link::new(LinkParams {
+            latency: Duration::from_micros(80),
+            bandwidth_bps: 12.5e6,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_millis(200),
+        });
+        let mut r = rng();
+        let now = SimTime::ZERO;
+        let future = now + Duration::from_millis(15);
+        let LinkOutcome::Delivered(far) = link.transmit(now, future, 1_000, &mut r) else {
+            panic!("delivered");
+        };
+        assert!(far >= future);
+        // An immediate packet is not queued behind the future reservation.
+        let LinkOutcome::Delivered(near) = link.transmit(now, now, 1_000, &mut r) else {
+            panic!("delivered");
+        };
+        assert!(
+            near.saturating_since(now) < Duration::from_millis(1),
+            "near packet delayed to {near}"
+        );
+    }
+
+    #[test]
+    fn monotone_offers_stay_fifo_despite_gaps() {
+        // A big packet pushed past a cross-traffic window must not be overtaken
+        // by a small later-offered packet that would fit the gap: a real
+        // transmitter serves its own queue in order.
+        let mut link = Link::new(LinkParams {
+            latency: Duration::ZERO,
+            bandwidth_bps: 1e6, // 1 ms per 1000 B
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_secs(1),
+        });
+        let mut r = rng();
+        let now = SimTime::ZERO;
+        // Cross-traffic window [0.5 ms, 1.5 ms).
+        let cross = now + Duration::from_micros(500);
+        assert!(matches!(
+            link.transmit(now, cross, 1_000, &mut r),
+            LinkOutcome::Delivered(_)
+        ));
+        // Big packet at t=0 does not fit the 0.5 ms gap -> starts at 1.5 ms.
+        let LinkOutcome::Delivered(big) = link.transmit(now, now, 1_000, &mut r) else {
+            panic!("delivered");
+        };
+        // Smaller later packet must queue behind it, not slip into the gap.
+        let later = now + Duration::from_micros(100);
+        let LinkOutcome::Delivered(small) = link.transmit(now, later, 100, &mut r) else {
+            panic!("delivered");
+        };
+        assert!(small > big, "small packet overtook: {small} vs {big}");
+    }
+
+    #[test]
+    fn reservations_prune_against_sim_time() {
+        let mut link = Link::new(LinkParams {
+            latency: Duration::ZERO,
+            bandwidth_bps: 1e6,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            max_queue_delay: Duration::from_secs(10),
+        });
+        let mut r = rng();
+        for i in 0..1_000u64 {
+            let t = SimTime::ZERO + Duration::from_millis(i);
+            assert!(matches!(
+                link.transmit(t, t, 100, &mut r),
+                LinkOutcome::Delivered(_)
+            ));
+        }
+        // Old windows are discarded; the schedule stays small.
+        assert!(
+            link.state.reservations.len() <= 2,
+            "len {}",
+            link.state.reservations.len()
+        );
     }
 
     #[test]
@@ -214,10 +360,19 @@ mod tests {
             max_queue_delay: Duration::from_millis(1500),
         });
         let mut r = rng();
-        assert!(matches!(link.transmit(SimTime::ZERO, 1_000, &mut r), LinkOutcome::Delivered(_)));
-        assert!(matches!(link.transmit(SimTime::ZERO, 1_000, &mut r), LinkOutcome::Delivered(_)));
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, SimTime::ZERO, 1_000, &mut r),
+            LinkOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, SimTime::ZERO, 1_000, &mut r),
+            LinkOutcome::Delivered(_)
+        ));
         // Third packet would wait 2 s > 1.5 s limit.
-        assert_eq!(link.transmit(SimTime::ZERO, 1_000, &mut r), LinkOutcome::Dropped);
+        assert_eq!(
+            link.transmit(SimTime::ZERO, SimTime::ZERO, 1_000, &mut r),
+            LinkOutcome::Dropped
+        );
         assert_eq!(link.state.dropped, 1);
     }
 
@@ -227,7 +382,7 @@ mod tests {
         let mut r = rng();
         let mut dropped = 0;
         for _ in 0..10_000 {
-            if link.transmit(SimTime::ZERO, 100, &mut r) == LinkOutcome::Dropped {
+            if link.transmit(SimTime::ZERO, SimTime::ZERO, 100, &mut r) == LinkOutcome::Dropped {
                 dropped += 1;
             }
         }

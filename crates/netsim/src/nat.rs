@@ -108,7 +108,11 @@ impl NatBox {
             Some(i) => i,
             None => {
                 let port = self.allocate_port();
-                self.mappings.push(Mapping { internal, external_port: port, contacted: Vec::new() });
+                self.mappings.push(Mapping {
+                    internal,
+                    external_port: port,
+                    contacted: Vec::new(),
+                });
                 let i = self.mappings.len() - 1;
                 self.by_external_port.insert(port, i);
                 i
@@ -148,13 +152,18 @@ impl NatBox {
     /// The external endpoint currently mapped for `internal` towards `dst`, if one
     /// exists (what a peer would observe as the translated address).
     pub fn external_for(&self, internal: Endpoint, dst: Endpoint) -> Option<Endpoint> {
-        self.find_outbound(internal, dst).map(|i| (self.public_ip, self.mappings[i].external_port))
+        self.find_outbound(internal, dst)
+            .map(|i| (self.public_ip, self.mappings[i].external_port))
     }
 
     fn allocate_port(&mut self) -> u16 {
         loop {
             let p = self.next_port;
-            self.next_port = if self.next_port == u16::MAX { 20_000 } else { self.next_port + 1 };
+            self.next_port = if self.next_port == u16::MAX {
+                20_000
+            } else {
+                self.next_port + 1
+            };
             if !self.by_external_port.contains_key(&p) {
                 return p;
             }
@@ -175,7 +184,12 @@ mod tests {
     fn reply_from_contacted_endpoint_always_allowed() {
         // The property the paper singles out: for every NAT type, B can reply to A
         // after A sent to B.
-        for ty in [NatType::FullCone, NatType::RestrictedCone, NatType::PortRestrictedCone, NatType::Symmetric] {
+        for ty in [
+            NatType::FullCone,
+            NatType::RestrictedCone,
+            NatType::PortRestrictedCone,
+            NatType::Symmetric,
+        ] {
             let mut nat = NatBox::new(ty, PUB);
             let (pub_ip, pub_port) = nat.outbound(IN_A, PEER_X);
             assert_eq!(pub_ip, PUB);
@@ -211,7 +225,11 @@ mod tests {
 
     #[test]
     fn cone_nats_reuse_the_same_external_port_across_destinations() {
-        for ty in [NatType::FullCone, NatType::RestrictedCone, NatType::PortRestrictedCone] {
+        for ty in [
+            NatType::FullCone,
+            NatType::RestrictedCone,
+            NatType::PortRestrictedCone,
+        ] {
             let mut nat = NatBox::new(ty, PUB);
             let (_, p1) = nat.outbound(IN_A, PEER_X);
             let (_, p2) = nat.outbound(IN_A, PEER_Y);

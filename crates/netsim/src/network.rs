@@ -55,7 +55,10 @@ pub struct CoreParams {
 
 impl Default for CoreParams {
     fn default() -> Self {
-        CoreParams { latency: Duration::from_millis(12), jitter: Duration::from_micros(300) }
+        CoreParams {
+            latency: Duration::from_millis(12),
+            jitter: Duration::from_micros(300),
+        }
     }
 }
 
@@ -109,7 +112,13 @@ impl Network {
     }
 
     /// Add a host with an explicit CPU load factor.
-    pub fn add_host_with_load(&mut self, name: &str, site: SiteId, addr: Ipv4Addr, load: f64) -> HostId {
+    pub fn add_host_with_load(
+        &mut self,
+        name: &str,
+        site: SiteId,
+        addr: Ipv4Addr,
+        load: f64,
+    ) -> HostId {
         assert!(site.0 < self.sites.len(), "unknown site");
         assert!(
             !self.addr_to_host.contains_key(&addr),
@@ -117,7 +126,8 @@ impl Network {
         );
         let id = HostId(self.hosts.len());
         let rng = StreamRng::new(self.host_rng_seed, &format!("netsim.host.{name}.{}", id.0));
-        self.hosts.push(Host::new(id, name.to_string(), site, addr, load, rng));
+        self.hosts
+            .push(Host::new(id, name.to_string(), site, addr, load, rng));
         self.addr_to_host.insert(addr, id);
         id
     }
@@ -132,6 +142,21 @@ impl Network {
     /// Borrow a host.
     pub fn host(&self, id: HostId) -> &Host {
         &self.hosts[id.0]
+    }
+
+    /// Can `host` receive unsolicited traffic from anywhere on the network?
+    /// True when its address is not hidden behind a site NAT and the site
+    /// firewall (if any) admits unsolicited inbound traffic by default. Overlay
+    /// deployments use this to choose a bootstrap node everyone can reach.
+    pub fn publicly_reachable(&self, host: HostId) -> bool {
+        let host = &self.hosts[host.0];
+        let site = &self.sites[host.site.0];
+        if site.is_private_addr(host.addr) {
+            return false;
+        }
+        site.firewall
+            .as_ref()
+            .is_none_or(|fw| fw.accepts_unsolicited_inbound())
     }
 
     /// Borrow a host mutably.
@@ -176,12 +201,18 @@ impl Network {
 
     /// Downcast a host's agent to a concrete type.
     pub fn agent_as<T: 'static>(&self, host: HostId) -> Option<&T> {
-        self.hosts[host.0].agent.as_deref().and_then(|a| a.as_any().downcast_ref::<T>())
+        self.hosts[host.0]
+            .agent
+            .as_deref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
     }
 
     /// Downcast a host's agent to a concrete type, mutably.
     pub fn agent_as_mut<T: 'static>(&mut self, host: HostId) -> Option<&mut T> {
-        self.hosts[host.0].agent.as_deref_mut().and_then(|a| a.as_any_mut().downcast_mut::<T>())
+        self.hosts[host.0]
+            .agent
+            .as_deref_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
     }
 
     // ----------------------------------------------------------------- data path
@@ -233,7 +264,10 @@ impl Network {
             let host = &mut self.hosts[src_host.0];
             host.counters.tx_packets += 1;
             host.counters.tx_bytes += bytes as u64;
-            (host.occupy_cpu(now, kernel_cost + extra_processing), host.site)
+            (
+                host.occupy_cpu(now, kernel_cost + extra_processing),
+                host.site,
+            )
         };
 
         let dst_ip = pkt.dst();
@@ -241,9 +275,14 @@ impl Network {
         // 2. Same-site delivery: only the LAN segment is involved.
         if let Some(&dst_host) = self.addr_to_host.get(&dst_ip) {
             if self.hosts[dst_host.0].site == src_site_id {
-                let outcome = self.sites[src_site_id.0].lan.transmit(depart, bytes, &mut self.link_rng);
+                let outcome =
+                    self.sites[src_site_id.0]
+                        .lan
+                        .transmit(now, depart, bytes, &mut self.link_rng);
                 match outcome {
-                    LinkOutcome::Delivered(arrival) => self.schedule_delivery(ctl, dst_host, pkt, arrival),
+                    LinkOutcome::Delivered(arrival) => {
+                        self.schedule_delivery(ctl, dst_host, pkt, arrival)
+                    }
                     LinkOutcome::Dropped => self.counters.link_dropped += 1,
                 }
                 return;
@@ -269,10 +308,15 @@ impl Network {
         // 4. Source LAN and access link.
         let mut t = depart;
         {
-            let Network { sites, link_rng, counters, .. } = self;
+            let Network {
+                sites,
+                link_rng,
+                counters,
+                ..
+            } = self;
             let site = &mut sites[src_site_id.0];
             for link in [&mut site.lan, &mut site.access_up] {
-                match link.transmit(t, bytes, link_rng) {
+                match link.transmit(now, t, bytes, link_rng) {
                     LinkOutcome::Delivered(arrival) => t = arrival,
                     LinkOutcome::Dropped => {
                         counters.link_dropped += 1;
@@ -283,9 +327,9 @@ impl Network {
         }
 
         // 5. Wide-area core.
-        t = t + self.core.latency;
+        t += self.core.latency;
         if !self.core.jitter.is_zero() {
-            t = t + self.link_rng.normal(Duration::ZERO, self.core.jitter);
+            t += self.link_rng.normal(Duration::ZERO, self.core.jitter);
         }
 
         // 6. Resolve the destination: a NAT's public address or a host address.
@@ -334,10 +378,15 @@ impl Network {
 
         // 8. Destination access link and LAN.
         {
-            let Network { sites, link_rng, counters, .. } = self;
+            let Network {
+                sites,
+                link_rng,
+                counters,
+                ..
+            } = self;
             let site = &mut sites[dst_site_id.0];
             for link in [&mut site.access_down, &mut site.lan] {
-                match link.transmit(t, bytes, link_rng) {
+                match link.transmit(now, t, bytes, link_rng) {
                     LinkOutcome::Delivered(arrival) => t = arrival,
                     LinkOutcome::Dropped => {
                         counters.link_dropped += 1;
@@ -374,7 +423,9 @@ impl Network {
         host: HostId,
         pkt: Ipv4Packet,
     ) {
-        let Some(mut agent) = net.hosts[host.0].agent.take() else { return };
+        let Some(mut agent) = net.hosts[host.0].agent.take() else {
+            return;
+        };
         net.counters.delivered += 1;
         net.hosts[host.0].counters.rx_packets += 1;
         net.hosts[host.0].counters.rx_bytes += pkt.wire_len() as u64;
@@ -394,7 +445,9 @@ impl Network {
         host: HostId,
         token: TimerToken,
     ) {
-        let Some(mut agent) = net.hosts[host.0].agent.take() else { return };
+        let Some(mut agent) = net.hosts[host.0].agent.take() else {
+            return;
+        };
         {
             let mut ctx = HostCtx { net, ctl, host };
             agent.on_timer(&mut ctx, token);
@@ -406,7 +459,9 @@ impl Network {
 
     /// Call every agent's `on_start` (internal dispatch used by [`NetworkSim`]).
     pub(crate) fn dispatch_start(net: &mut Network, ctl: &mut Control<'_, Network>, host: HostId) {
-        let Some(mut agent) = net.hosts[host.0].agent.take() else { return };
+        let Some(mut agent) = net.hosts[host.0].agent.take() else {
+            return;
+        };
         {
             let mut ctx = HostCtx { net, ctl, host };
             agent.on_start(&mut ctx);
@@ -426,7 +481,10 @@ pub struct NetworkSim {
 impl NetworkSim {
     /// Wrap a network in a simulator.
     pub fn new(net: Network) -> Self {
-        NetworkSim { sim: Simulator::new(net), started: false }
+        NetworkSim {
+            sim: Simulator::new(net),
+            started: false,
+        }
     }
 
     /// Current virtual time.
@@ -453,9 +511,10 @@ impl NetworkSim {
         let host_count = self.sim.world().host_count();
         for i in 0..host_count {
             let host = HostId(i);
-            self.sim.schedule_in(Duration::ZERO, move |net: &mut Network, ctl| {
-                Network::dispatch_start(net, ctl, host);
-            });
+            self.sim
+                .schedule_in(Duration::ZERO, move |net: &mut Network, ctl| {
+                    Network::dispatch_start(net, ctl, host);
+                });
         }
     }
 
@@ -509,7 +568,12 @@ mod tests {
 
     impl EchoAgent {
         fn new(send_to: Option<(Ipv4Addr, u16)>) -> Self {
-            EchoAgent { send_to, received: Vec::new(), received_at: Vec::new(), timers: Vec::new() }
+            EchoAgent {
+                send_to,
+                received: Vec::new(),
+                received_at: Vec::new(),
+                timers: Vec::new(),
+            }
         }
     }
 
@@ -534,7 +598,11 @@ mod tests {
                     let reply = Ipv4Packet::new(
                         ctx.addr(),
                         pkt.src(),
-                        Ipv4Payload::Udp(UdpDatagram::new(udp.dst_port, udp.src_port, b"pong".to_vec())),
+                        Ipv4Payload::Udp(UdpDatagram::new(
+                            udp.dst_port,
+                            udp.src_port,
+                            b"pong".to_vec(),
+                        )),
                     );
                     ctx.send(reply);
                 }
@@ -571,7 +639,10 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].1, b"pong");
         let rtt = sim.agent_as::<EchoAgent>(a).unwrap().received_at[0];
-        assert!(rtt.saturating_since(SimTime::ZERO) < Duration::from_millis(2), "LAN rtt {rtt}");
+        assert!(
+            rtt.saturating_since(SimTime::ZERO) < Duration::from_millis(2),
+            "LAN rtt {rtt}"
+        );
         assert_eq!(sim.net().counters().delivered, 2); // ping delivered at B, pong delivered at A
     }
 
@@ -580,11 +651,18 @@ mod tests {
         let mut net = Network::new(2);
         net.core.latency = Duration::from_millis(14);
         net.core.jitter = Duration::ZERO;
-        let s1 = net.add_site(SiteSpec::open("ACIS").with_access(LinkParams::wan(Duration::from_millis(2), 50.0)));
-        let s2 = net.add_site(SiteSpec::open("VIMS").with_access(LinkParams::wan(Duration::from_millis(2), 50.0)));
+        let s1 = net.add_site(
+            SiteSpec::open("ACIS").with_access(LinkParams::wan(Duration::from_millis(2), 50.0)),
+        );
+        let s2 = net.add_site(
+            SiteSpec::open("VIMS").with_access(LinkParams::wan(Duration::from_millis(2), 50.0)),
+        );
         let a = net.add_host("F4", s1, ip(128, 227, 56, 83));
         let b = net.add_host("V1", s2, ip(139, 70, 24, 100));
-        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))));
+        net.set_agent(
+            a,
+            Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))),
+        );
         net.set_agent(b, Box::new(EchoAgent::new(None)));
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(2));
@@ -592,7 +670,10 @@ mod tests {
         assert_eq!(agent.received.len(), 1);
         let rtt = agent.received_at[0].saturating_since(SimTime::ZERO);
         // One-way ≈ 2 + 14 + 2 = 18 ms plus LAN/processing; RTT ≈ 36-40 ms.
-        assert!(rtt >= Duration::from_millis(34) && rtt <= Duration::from_millis(44), "WAN rtt {rtt}");
+        assert!(
+            rtt >= Duration::from_millis(34) && rtt <= Duration::from_millis(44),
+            "WAN rtt {rtt}"
+        );
     }
 
     #[test]
@@ -603,7 +684,10 @@ mod tests {
         net.set_agent(a, Box::new(EchoAgent::new(None)));
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(10));
-        assert_eq!(sim.agent_as::<EchoAgent>(a).unwrap().timers, vec![TimerToken(42)]);
+        assert_eq!(
+            sim.agent_as::<EchoAgent>(a).unwrap().timers,
+            vec![TimerToken(42)]
+        );
     }
 
     #[test]
@@ -615,10 +699,16 @@ mod tests {
         let outside = net.add_host("F4", open, ip(128, 227, 56, 83));
         let inside = net.add_host("V1", guarded, ip(139, 70, 24, 100));
         // The outside host pings first: should be dropped by the inbound firewall.
-        net.set_agent(outside, Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))));
+        net.set_agent(
+            outside,
+            Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))),
+        );
         // The inside host also sends to the outside host: allowed, and the reply
         // comes back through the established flow.
-        net.set_agent(inside, Box::new(EchoAgent::new(Some((ip(128, 227, 56, 83), 9000)))));
+        net.set_agent(
+            inside,
+            Box::new(EchoAgent::new(Some((ip(128, 227, 56, 83), 9000)))),
+        );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(2));
         assert!(sim.net().counters().firewall_in_dropped >= 1);
@@ -643,7 +733,10 @@ mod tests {
         let public_site = net.add_site(SiteSpec::open("VIMS"));
         let inside = net.add_host("F2", nat_site, ip(192, 168, 0, 2));
         let outside = net.add_host("V1", public_site, ip(139, 70, 24, 100));
-        net.set_agent(inside, Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))));
+        net.set_agent(
+            inside,
+            Box::new(EchoAgent::new(Some((ip(139, 70, 24, 100), 9000)))),
+        );
         net.set_agent(outside, Box::new(EchoAgent::new(None)));
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(2));
@@ -668,7 +761,10 @@ mod tests {
         let _inside = net.add_host("F2", nat_site, ip(192, 168, 0, 2));
         let outside = net.add_host("V1", public_site, ip(139, 70, 24, 100));
         // Outside host sends to the NAT public address without any prior outbound flow.
-        net.set_agent(outside, Box::new(EchoAgent::new(Some((ip(128, 227, 56, 1), 9000)))));
+        net.set_agent(
+            outside,
+            Box::new(EchoAgent::new(Some((ip(128, 227, 56, 1), 9000)))),
+        );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(1));
         assert_eq!(sim.net().counters().nat_filtered, 1);
@@ -685,7 +781,10 @@ mod tests {
         let public_site = net.add_site(SiteSpec::open("VIMS"));
         let _inside = net.add_host("F2", nat_site, ip(192, 168, 0, 2));
         let outside = net.add_host("V1", public_site, ip(139, 70, 24, 100));
-        net.set_agent(outside, Box::new(EchoAgent::new(Some((ip(192, 168, 0, 2), 9000)))));
+        net.set_agent(
+            outside,
+            Box::new(EchoAgent::new(Some((ip(192, 168, 0, 2), 9000)))),
+        );
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(1));
         assert_eq!(sim.net().counters().unroutable, 1);

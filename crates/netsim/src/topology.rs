@@ -85,9 +85,17 @@ pub fn fig4_testbed(net: &mut Network) -> Fig4Testbed {
     // that traffic was allowed; IPOP itself never needs these exceptions.
     let mut vfw = Firewall::default_deny_inbound();
     let f3_addr = Ipv4Addr::new(128, 227, 120, 51);
-    vfw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Addr(f3_addr), Some(22)));
+    vfw.add_rule(Rule::allow_inbound(
+        ProtoMatch::Tcp,
+        HostMatch::Addr(f3_addr),
+        Some(22),
+    ));
     vfw.add_rule(Rule::allow_inbound(ProtoMatch::Icmp, HostMatch::Any, None));
-    vfw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Any, Some(5201)));
+    vfw.add_rule(Rule::allow_inbound(
+        ProtoMatch::Tcp,
+        HostMatch::Any,
+        Some(5201),
+    ));
     let vims = net.add_site(
         SiteSpec::open("VIMS")
             .with_lan(LinkParams::lan_100mbit())
@@ -98,9 +106,17 @@ pub fn fig4_testbed(net: &mut Network) -> Fig4Testbed {
     // LSU: L1 behind a firewall that additionally restricts outbound TCP to F3
     // (UDP is unrestricted, which is why the Brunet-UDP overlay still forms).
     let mut lfw = Firewall::default_deny_inbound().with_default_outbound_deny();
-    lfw.add_rule(Rule::allow_inbound(ProtoMatch::Tcp, HostMatch::Addr(f3_addr), Some(22)));
+    lfw.add_rule(Rule::allow_inbound(
+        ProtoMatch::Tcp,
+        HostMatch::Addr(f3_addr),
+        Some(22),
+    ));
     lfw.add_rule(Rule::allow_inbound(ProtoMatch::Icmp, HostMatch::Any, None));
-    lfw.add_rule(Rule::allow_outbound(ProtoMatch::Tcp, HostMatch::Addr(f3_addr), None));
+    lfw.add_rule(Rule::allow_outbound(
+        ProtoMatch::Tcp,
+        HostMatch::Addr(f3_addr),
+        None,
+    ));
     lfw.add_rule(Rule::allow_outbound(ProtoMatch::Udp, HostMatch::Any, None));
     lfw.add_rule(Rule::allow_outbound(ProtoMatch::Icmp, HostMatch::Any, None));
     let lsu = net.add_site(
@@ -111,12 +127,12 @@ pub fn fig4_testbed(net: &mut Network) -> Fig4Testbed {
     );
 
     let addrs = [
-        Ipv4Addr::new(10, 227, 0, 3),     // F1 (ACIS private)
-        Ipv4Addr::new(10, 227, 0, 2),     // F2 (ACIS private)
-        f3_addr,                          // F3 (UF campus, public)
-        Ipv4Addr::new(128, 227, 56, 83),  // F4 (public, per the paper)
-        Ipv4Addr::new(139, 70, 24, 100),  // V1 (VIMS)
-        Ipv4Addr::new(130, 39, 128, 20),  // L1 (LSU)
+        Ipv4Addr::new(10, 227, 0, 3),    // F1 (ACIS private)
+        Ipv4Addr::new(10, 227, 0, 2),    // F2 (ACIS private)
+        f3_addr,                         // F3 (UF campus, public)
+        Ipv4Addr::new(128, 227, 56, 83), // F4 (public, per the paper)
+        Ipv4Addr::new(139, 70, 24, 100), // V1 (VIMS)
+        Ipv4Addr::new(130, 39, 128, 20), // L1 (LSU)
     ];
 
     let f1 = net.add_host("F1", acis, addrs[0]);
@@ -126,7 +142,15 @@ pub fn fig4_testbed(net: &mut Network) -> Fig4Testbed {
     let v1 = net.add_host("V1", vims, addrs[4]);
     let l1 = net.add_host("L1", lsu, addrs[5]);
 
-    Fig4Testbed { f1, f2, f3, f4, v1, l1, addrs }
+    Fig4Testbed {
+        f1,
+        f2,
+        f3,
+        f4,
+        v1,
+        l1,
+        addrs,
+    }
 }
 
 /// A Planet-Lab-like overlay testbed: `n` single-host sites, heterogeneous
@@ -140,7 +164,7 @@ pub struct PlanetLab {
 
 /// Build a Planet-Lab-like topology of `n` nodes with the given CPU `load`.
 pub fn planetlab(net: &mut Network, n: usize, load: f64, seed: u64) -> PlanetLab {
-    assert!(n >= 2 && n <= 4000, "unreasonable Planet-Lab size");
+    assert!((2..=4000).contains(&n), "unreasonable Planet-Lab size");
     let mut rng = StreamRng::new(seed, "topology.planetlab");
     net.core.latency = Duration::from_millis(18);
     net.core.jitter = Duration::from_millis(2);
@@ -154,7 +178,10 @@ pub fn planetlab(net: &mut Network, n: usize, load: f64, seed: u64) -> PlanetLab
         let site = net.add_site(
             SiteSpec::open(&format!("plab-site-{i:03}"))
                 .with_lan(LinkParams::lan_100mbit())
-                .with_access(LinkParams::wan(Duration::from_millis_f64(access_ms), bw_mbps)),
+                .with_access(LinkParams::wan(
+                    Duration::from_millis_f64(access_ms),
+                    bw_mbps,
+                )),
         );
         let addr = Ipv4Addr::new(172, 20, (i / 250) as u8, (i % 250 + 1) as u8);
         let id = net.add_host_with_load(&format!("planetlab-{i:03}"), site, addr, load);
@@ -204,7 +231,9 @@ mod tests {
         // F2 is private (behind the ACIS NAT); F4 and V1 are publicly addressable.
         let f2_site = net.host(tb.f2).site;
         assert!(net.site(f2_site).is_private_addr(net.host(tb.f2).addr));
-        assert!(!net.site(net.host(tb.f4).site).is_private_addr(net.host(tb.f4).addr));
+        assert!(!net
+            .site(net.host(tb.f4).site)
+            .is_private_addr(net.host(tb.f4).addr));
         // V1 and L1 sit behind firewalls.
         assert!(net.site(net.host(tb.v1).site).firewall.is_some());
         assert!(net.site(net.host(tb.l1).site).firewall.is_some());
@@ -220,7 +249,10 @@ mod tests {
         let plab = planetlab(&mut net, 118, 10.0, 7);
         assert_eq!(plab.nodes.len(), 118);
         assert_eq!(net.host_count(), 118);
-        assert!(net.hosts().iter().all(|h| (h.load - 10.0).abs() < f64::EPSILON));
+        assert!(net
+            .hosts()
+            .iter()
+            .all(|h| (h.load - 10.0).abs() < f64::EPSILON));
         // Addresses are unique (checked by add_host, but assert the count matches).
         let unique: std::collections::HashSet<_> = plab.addrs.iter().collect();
         assert_eq!(unique.len(), 118);

@@ -26,7 +26,9 @@ pub struct ArpTable {
 impl ArpTable {
     /// An empty table.
     pub fn new() -> Self {
-        ArpTable { entries: HashMap::new() }
+        ArpTable {
+            entries: HashMap::new(),
+        }
     }
 
     /// Insert or replace an entry.
@@ -94,7 +96,12 @@ impl EthAdapter {
 
     /// IPOP-style configuration: route everything via `gateway_ip` and install a
     /// static ARP entry for it, so no ARP request ever leaves the host.
-    pub fn with_static_gateway(mac: MacAddr, ip: Ipv4Addr, gateway_ip: Ipv4Addr, gateway_mac: MacAddr) -> Self {
+    pub fn with_static_gateway(
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        gateway_ip: Ipv4Addr,
+        gateway_mac: MacAddr,
+    ) -> Self {
         let mut a = Self::new(mac, ip);
         a.gateway = Some(gateway_ip);
         a.arp.insert(gateway_ip, gateway_mac);
@@ -252,7 +259,10 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert_eq!(b.counters().arp_replies_sent, 1);
         // B also learned A's mapping from the request.
-        assert_eq!(b.arp_table().lookup(ip(10, 0, 0, 1)), Some(MacAddr::local(1)));
+        assert_eq!(
+            b.arp_table().lookup(ip(10, 0, 0, 1)),
+            Some(MacAddr::local(1))
+        );
 
         // A receives the reply and releases the parked packet.
         let (up_a, out_a) = a.process_frame(replies.into_iter().next().unwrap());
@@ -269,7 +279,11 @@ mod tests {
     #[test]
     fn frames_for_other_macs_are_ignored() {
         let mut a = EthAdapter::new(MacAddr::local(1), ip(10, 0, 0, 1));
-        let foreign = EthernetFrame::ipv4(MacAddr::local(5), MacAddr::local(6), pkt(ip(1, 1, 1, 1), ip(2, 2, 2, 2)));
+        let foreign = EthernetFrame::ipv4(
+            MacAddr::local(5),
+            MacAddr::local(6),
+            pkt(ip(1, 1, 1, 1), ip(2, 2, 2, 2)),
+        );
         let (up, out) = a.process_frame(foreign);
         assert!(up.is_empty() && out.is_empty());
         assert_eq!(a.counters().ignored, 1);
@@ -285,6 +299,9 @@ mod tests {
         );
         let (_, out) = a.process_frame(req);
         assert!(out.is_empty());
-        assert_eq!(a.arp_table().lookup(ip(10, 0, 0, 9)), Some(MacAddr::local(9)));
+        assert_eq!(
+            a.arp_table().lookup(ip(10, 0, 0, 9)),
+            Some(MacAddr::local(9))
+        );
     }
 }

@@ -39,7 +39,12 @@ pub struct UdpSocket {
 impl UdpSocket {
     /// Create a socket bound to `port` with space for `capacity` queued datagrams.
     pub fn new(port: u16, capacity: usize) -> Self {
-        UdpSocket { port, rx: VecDeque::new(), capacity, dropped: 0 }
+        UdpSocket {
+            port,
+            rx: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Queue an incoming datagram, dropping it if the queue is full (as a kernel
@@ -92,7 +97,10 @@ pub struct PingSocket {
 impl PingSocket {
     /// Create a ping socket owning `identifier`.
     pub fn new(identifier: u16) -> Self {
-        PingSocket { identifier, rx: VecDeque::new() }
+        PingSocket {
+            identifier,
+            rx: VecDeque::new(),
+        }
     }
 
     /// Queue an incoming echo reply.
@@ -163,7 +171,11 @@ mod tests {
     #[test]
     fn udp_socket_queues_and_drops() {
         let mut s = UdpSocket::new(5000, 2);
-        let msg = |i: u8| UdpMessage { src: Ipv4Addr::new(10, 0, 0, i), src_port: 1, data: vec![i] };
+        let msg = |i: u8| UdpMessage {
+            src: Ipv4Addr::new(10, 0, 0, i),
+            src_port: 1,
+            data: vec![i],
+        };
         s.deliver(msg(1));
         s.deliver(msg(2));
         s.deliver(msg(3)); // dropped
@@ -177,8 +189,18 @@ mod tests {
     #[test]
     fn ping_socket_fifo() {
         let mut p = PingSocket::new(7);
-        p.deliver(EchoReply { from: Ipv4Addr::LOCALHOST, identifier: 7, sequence: 1, payload: vec![] });
-        p.deliver(EchoReply { from: Ipv4Addr::LOCALHOST, identifier: 7, sequence: 2, payload: vec![] });
+        p.deliver(EchoReply {
+            from: Ipv4Addr::LOCALHOST,
+            identifier: 7,
+            sequence: 1,
+            payload: vec![],
+        });
+        p.deliver(EchoReply {
+            from: Ipv4Addr::LOCALHOST,
+            identifier: 7,
+            sequence: 2,
+            payload: vec![],
+        });
         assert_eq!(p.pending(), 2);
         assert_eq!(p.recv().unwrap().sequence, 1);
         assert_eq!(p.recv().unwrap().sequence, 2);

@@ -22,7 +22,9 @@ use ipop_packet::tcp::TcpSegment;
 use ipop_packet::udp::UdpDatagram;
 use ipop_simcore::SimTime;
 
-use crate::socket::{EchoReply, PingSocket, Socket, SocketHandle, TcpListener, UdpMessage, UdpSocket};
+use crate::socket::{
+    EchoReply, PingSocket, Socket, SocketHandle, TcpListener, UdpMessage, UdpSocket,
+};
 use crate::tcp::{TcpConfig, TcpSocket, TcpState};
 
 /// Errors returned by stack operations.
@@ -162,7 +164,9 @@ impl NetStack {
     }
 
     fn udp_port_in_use(&self, port: u16) -> bool {
-        self.sockets.iter().any(|s| matches!(s, Socket::Udp(u) if u.port == port))
+        self.sockets
+            .iter()
+            .any(|s| matches!(s, Socket::Udp(u) if u.port == port))
     }
 
     fn tcp_port_in_use(&self, port: u16) -> bool {
@@ -177,8 +181,16 @@ impl NetStack {
     fn ephemeral_port(&mut self, tcp: bool) -> u16 {
         loop {
             let p = self.next_ephemeral;
-            self.next_ephemeral = if self.next_ephemeral == u16::MAX { 49_152 } else { self.next_ephemeral + 1 };
-            let used = if tcp { self.tcp_port_in_use(p) } else { self.udp_port_in_use(p) };
+            self.next_ephemeral = if self.next_ephemeral == u16::MAX {
+                49_152
+            } else {
+                self.next_ephemeral + 1
+            };
+            let used = if tcp {
+                self.tcp_port_in_use(p)
+            } else {
+                self.udp_port_in_use(p)
+            };
             if !used {
                 return p;
             }
@@ -192,7 +204,10 @@ impl NetStack {
 
     fn next_iss(&mut self) -> u32 {
         // Deterministic but spread-out initial sequence numbers.
-        self.iss_counter = self.iss_counter.wrapping_mul(2_654_435_761).wrapping_add(12_345);
+        self.iss_counter = self
+            .iss_counter
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(12_345);
         self.iss_counter
     }
 
@@ -207,7 +222,11 @@ impl NetStack {
 
     /// Bind a UDP socket to `port` (0 = pick an ephemeral port).
     pub fn udp_bind(&mut self, port: u16) -> Result<SocketHandle, StackError> {
-        let port = if port == 0 { self.ephemeral_port(false) } else { port };
+        let port = if port == 0 {
+            self.ephemeral_port(false)
+        } else {
+            port
+        };
         if self.udp_port_in_use(port) {
             return Err(StackError::PortInUse(port));
         }
@@ -232,7 +251,10 @@ impl NetStack {
         data: Vec<u8>,
     ) -> Result<(), StackError> {
         let src_port = self.udp_port(h)?;
-        self.enqueue(dst, Ipv4Payload::Udp(UdpDatagram::new(src_port, dst_port, data)));
+        self.enqueue(
+            dst,
+            Ipv4Payload::Udp(UdpDatagram::new(src_port, dst_port, data)),
+        );
         Ok(())
     }
 
@@ -279,7 +301,10 @@ impl NetStack {
     ) -> Result<(), StackError> {
         let ident = self.ping_identifier(h)?;
         let payload = vec![0x5A; payload_len];
-        self.enqueue(dst, Ipv4Payload::Icmp(IcmpPacket::echo_request(ident, sequence, payload)));
+        self.enqueue(
+            dst,
+            Ipv4Payload::Icmp(IcmpPacket::echo_request(ident, sequence, payload)),
+        );
         Ok(())
     }
 
@@ -299,7 +324,11 @@ impl NetStack {
             return Err(StackError::PortInUse(port));
         }
         let cfg = self.cfg.tcp.clone();
-        Ok(self.alloc(Socket::Listener(TcpListener { port, cfg, backlog: VecDeque::new() })))
+        Ok(self.alloc(Socket::Listener(TcpListener {
+            port,
+            cfg,
+            backlog: VecDeque::new(),
+        })))
     }
 
     /// Accept one pending connection from a listener, if any.
@@ -346,7 +375,10 @@ impl NetStack {
 
     /// The remote (address, port) of a TCP connection socket.
     pub fn tcp_remote(&self, h: SocketHandle) -> Option<(Ipv4Addr, u16)> {
-        self.socket(h).ok().and_then(|s| s.as_tcp()).map(|t| t.remote())
+        self.socket(h)
+            .ok()
+            .and_then(|s| s.as_tcp())
+            .map(|t| t.remote())
     }
 
     /// Queue application data on a TCP socket; returns bytes accepted.
@@ -359,12 +391,18 @@ impl NetStack {
 
     /// Space currently available in a TCP socket's send buffer.
     pub fn tcp_send_capacity(&self, h: SocketHandle) -> usize {
-        self.socket(h).ok().and_then(|s| s.as_tcp()).map_or(0, |t| t.send_capacity())
+        self.socket(h)
+            .ok()
+            .and_then(|s| s.as_tcp())
+            .map_or(0, |t| t.send_capacity())
     }
 
     /// Bytes not yet acknowledged (still queued) on a TCP socket.
     pub fn tcp_unacked(&self, h: SocketHandle) -> usize {
-        self.socket(h).ok().and_then(|s| s.as_tcp()).map_or(0, |t| t.unacked())
+        self.socket(h)
+            .ok()
+            .and_then(|s| s.as_tcp())
+            .map_or(0, |t| t.unacked())
     }
 
     /// Read up to `max` bytes from a TCP socket.
@@ -377,12 +415,18 @@ impl NetStack {
 
     /// Bytes available to read on a TCP socket.
     pub fn tcp_recv_available(&self, h: SocketHandle) -> usize {
-        self.socket(h).ok().and_then(|s| s.as_tcp()).map_or(0, |t| t.recv_available())
+        self.socket(h)
+            .ok()
+            .and_then(|s| s.as_tcp())
+            .map_or(0, |t| t.recv_available())
     }
 
     /// True when the peer has closed its sending direction and all data was read.
     pub fn tcp_recv_finished(&self, h: SocketHandle) -> bool {
-        self.socket(h).ok().and_then(|s| s.as_tcp()).is_some_and(|t| t.recv_finished())
+        self.socket(h)
+            .ok()
+            .and_then(|s| s.as_tcp())
+            .is_some_and(|t| t.recv_finished())
     }
 
     /// Gracefully close a TCP socket (FIN after queued data drains).
@@ -472,7 +516,11 @@ impl NetStack {
         for sock in &mut self.sockets {
             if let Socket::Udp(u) = sock {
                 if u.port == port {
-                    u.deliver(UdpMessage { src, src_port: udp.src_port, data: udp.payload });
+                    u.deliver(UdpMessage {
+                        src,
+                        src_port: udp.src_port,
+                        data: udp.payload,
+                    });
                     return;
                 }
             }
@@ -492,15 +540,21 @@ impl NetStack {
         }
         // 2. A listener on the destination port (only for initial SYNs).
         if seg.flags.syn && !seg.flags.ack {
-            let listener_idx = self.sockets.iter().position(
-                |s| matches!(s, Socket::Listener(l) if l.port == seg.dst_port),
-            );
+            let listener_idx = self
+                .sockets
+                .iter()
+                .position(|s| matches!(s, Socket::Listener(l) if l.port == seg.dst_port));
             if let Some(idx) = listener_idx {
                 let iss = self.next_iss();
                 let (child_cfg, child) = {
-                    let Socket::Listener(l) = &self.sockets[idx] else { unreachable!() };
+                    let Socket::Listener(l) = &self.sockets[idx] else {
+                        unreachable!()
+                    };
                     let template = TcpSocket::listen(self.cfg.addr, l.port, l.cfg.clone());
-                    (l.cfg.clone(), TcpSocket::accept(&template, src, &seg, iss, now))
+                    (
+                        l.cfg.clone(),
+                        TcpSocket::accept(&template, src, &seg, iss, now),
+                    )
                 };
                 let _ = child_cfg;
                 let handle = self.alloc(Socket::Tcp(Box::new(child)));
@@ -546,7 +600,9 @@ impl NetStack {
 
     /// True if some socket could emit segments if polled right now.
     pub fn wants_poll(&self) -> bool {
-        self.sockets.iter().any(|s| matches!(s, Socket::Tcp(t) if t.wants_poll()))
+        self.sockets
+            .iter()
+            .any(|s| matches!(s, Socket::Tcp(t) if t.wants_poll()))
     }
 
     /// The earliest timer deadline across all sockets, if any.
@@ -567,7 +623,10 @@ mod tests {
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
     fn pair() -> (NetStack, NetStack) {
-        (NetStack::new(StackConfig::new(A)), NetStack::new(StackConfig::new(B)))
+        (
+            NetStack::new(StackConfig::new(A)),
+            NetStack::new(StackConfig::new(B)),
+        )
     }
 
     /// Move packets between the two stacks until both go quiet.
@@ -654,7 +713,8 @@ mod tests {
     fn packets_for_other_hosts_are_dropped() {
         let (mut a, mut b) = pair();
         let sa = a.udp_bind(5000).unwrap();
-        a.udp_send(sa, Ipv4Addr::new(10, 9, 9, 9), 1, vec![1]).unwrap();
+        a.udp_send(sa, Ipv4Addr::new(10, 9, 9, 9), 1, vec![1])
+            .unwrap();
         for p in a.take_packets() {
             b.handle_packet(SimTime::ZERO, p);
         }
@@ -669,7 +729,10 @@ mod tests {
         let client = a.tcp_connect(B, 8080, now).unwrap();
         pump(&mut a, &mut b, &mut now);
         assert!(a.tcp_is_established(client));
-        let server = b.tcp_accept(listener).unwrap().expect("accepted connection");
+        let server = b
+            .tcp_accept(listener)
+            .unwrap()
+            .expect("accepted connection");
         assert!(b.tcp_is_established(server));
 
         // Client sends 100 kB, server echoes the byte count back.

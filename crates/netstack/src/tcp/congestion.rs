@@ -62,9 +62,11 @@ impl Congestion {
     pub fn on_ack(&mut self, acked: usize, snd_una: u32) {
         if self.in_recovery {
             if super::seq::ge(snd_una, self.recovery_point) {
-                // Full ACK: leave recovery with the deflated window.
+                // Full ACK: leave recovery with the deflated window; normal
+                // growth resumes with the next ACK (RFC 6582 §3.2 step 1).
                 self.in_recovery = false;
                 self.cwnd = self.ssthresh;
+                return;
             } else {
                 // Partial ACK: stay in recovery, keep the window steady.
                 return;
@@ -140,7 +142,10 @@ mod tests {
             acked += MSS;
         }
         let grown = c.window() as i64 - w as i64;
-        assert!((grown - MSS as i64).abs() < MSS as i64 / 2, "grew by {grown}");
+        assert!(
+            (grown - MSS as i64).abs() < MSS as i64 / 2,
+            "grew by {grown}"
+        );
     }
 
     #[test]

@@ -427,7 +427,8 @@ impl TcpSocket {
             }
             // Restart or stop the retransmission timer.
             self.rtx_count = 0;
-            if self.bytes_in_flight() == 0 && !(self.fin_sent && !fin_acked) {
+            let fin_outstanding = self.fin_sent && !fin_acked;
+            if self.bytes_in_flight() == 0 && !fin_outstanding {
                 self.rtx_deadline = None;
             } else {
                 self.rtx_deadline = Some(now + self.rtt.rto());
@@ -495,8 +496,7 @@ impl TcpSocket {
     }
 
     fn drain_out_of_order(&mut self) {
-        loop {
-            let Some((&seq_no, _)) = self.ooo.iter().next() else { break };
+        while let Some((&seq_no, _)) = self.ooo.iter().next() {
             if seq::gt(seq_no, self.rcv_nxt) {
                 break;
             }
@@ -527,6 +527,8 @@ impl TcpSocket {
             if let Some(t) = self.time_wait_until {
                 if now >= t {
                     self.state = TcpState::Closed;
+                    self.time_wait_until = None;
+                    self.rtx_deadline = None;
                 }
             }
         }
@@ -537,17 +539,13 @@ impl TcpSocket {
             }
         }
         match self.state {
-            TcpState::SynSent => {
-                if self.rtx_deadline.is_none() {
-                    out.push(self.make_syn(false));
-                    self.arm_rtx(now);
-                }
+            TcpState::SynSent if self.rtx_deadline.is_none() => {
+                out.push(self.make_syn(false));
+                self.arm_rtx(now);
             }
-            TcpState::SynReceived => {
-                if self.rtx_deadline.is_none() {
-                    out.push(self.make_syn(true));
-                    self.arm_rtx(now);
-                }
+            TcpState::SynReceived if self.rtx_deadline.is_none() => {
+                out.push(self.make_syn(true));
+                self.arm_rtx(now);
             }
             TcpState::Established
             | TcpState::CloseWait
@@ -573,6 +571,11 @@ impl TcpSocket {
     /// The earliest virtual time at which this socket needs to be polled again for
     /// timer processing, if any.
     pub fn next_timeout(&self) -> Option<SimTime> {
+        // A finished socket has no future work: reporting a stale deadline here
+        // would make the owning agent re-arm an immediate wakeup forever.
+        if matches!(self.state, TcpState::Closed | TcpState::Listen) {
+            return None;
+        }
         let mut t = self.rtx_deadline;
         if let Some(tw) = self.time_wait_until {
             t = Some(t.map_or(tw, |x| x.min(tw)));
@@ -588,9 +591,11 @@ impl TcpSocket {
         }
         match self.state {
             TcpState::SynSent | TcpState::SynReceived => self.rtx_deadline.is_none(),
-            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::Closing | TcpState::LastAck => {
-                self.sendable_bytes() > 0 || (self.fin_queued && !self.fin_sent)
-            }
+            TcpState::Established
+            | TcpState::CloseWait
+            | TcpState::FinWait1
+            | TcpState::Closing
+            | TcpState::LastAck => self.sendable_bytes() > 0 || (self.fin_queued && !self.fin_sent),
             _ => false,
         }
     }
@@ -599,7 +604,8 @@ impl TcpSocket {
         // The FIN occupies sequence space until it is acknowledged; once snd_una has
         // advanced past it, the distance no longer includes it.
         let fin_unacked = self.fin_sent && seq::le(self.snd_una, self.fin_seq);
-        (seq::distance(self.snd_una, self.snd_nxt) as usize).saturating_sub(usize::from(fin_unacked))
+        (seq::distance(self.snd_una, self.snd_nxt) as usize)
+            .saturating_sub(usize::from(fin_unacked))
     }
 
     fn sendable_bytes(&self) -> usize {
@@ -636,8 +642,11 @@ impl TcpSocket {
             // VecDeque::range gives O(1) access to the unsent region; an
             // iterator-skip here would rescan the buffer and make large transfers
             // quadratic in the send-buffer size.
-            let payload: Vec<u8> =
-                self.send_buf.range(unsent_offset..unsent_offset + len).copied().collect();
+            let payload: Vec<u8> = self
+                .send_buf
+                .range(unsent_offset..unsent_offset + len)
+                .copied()
+                .collect();
             let seg = TcpSegment {
                 src_port: self.local_port,
                 dst_port: self.remote_port,
@@ -693,7 +702,11 @@ impl TcpSocket {
             dst_port: self.remote_port,
             seq: self.iss,
             ack: if ack { self.rcv_nxt } else { 0 },
-            flags: if ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN },
+            flags: if ack {
+                TcpFlags::SYN_ACK
+            } else {
+                TcpFlags::SYN
+            },
             window: self.recv_window().min(u16::MAX as usize) as u16,
             mss: Some(self.cfg.mss as u16),
             payload: Vec::new(),
@@ -891,7 +904,10 @@ mod tests {
         }
         pump(&mut c, &mut s, &mut now, Duration::from_millis(1));
         let got = s.recv(usize::MAX);
-        assert_eq!(got, (0..4200u32).map(|i| (i % 256) as u8).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            (0..4200u32).map(|i| (i % 256) as u8).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -917,8 +933,18 @@ mod tests {
     #[test]
     fn connect_times_out_without_peer() {
         let now0 = SimTime::ZERO;
-        let mut c =
-            TcpSocket::connect(A, 1, B, 2, 55, now0, TcpConfig { max_retries: 3, ..TcpConfig::default() });
+        let mut c = TcpSocket::connect(
+            A,
+            1,
+            B,
+            2,
+            55,
+            now0,
+            TcpConfig {
+                max_retries: 3,
+                ..TcpConfig::default()
+            },
+        );
         let mut now = now0;
         for _ in 0..200 {
             now += Duration::from_secs(5);
@@ -937,7 +963,10 @@ mod tests {
         let huge = vec![0u8; 10_000_000];
         let accepted = c.send(&huge);
         assert!(accepted <= TcpConfig::default().send_buffer);
-        assert_eq!(c.send_capacity(), TcpConfig::default().send_buffer - accepted);
+        assert_eq!(
+            c.send_capacity(),
+            TcpConfig::default().send_buffer - accepted
+        );
     }
 
     #[test]
@@ -963,8 +992,10 @@ mod tests {
         // Server acks (all duplicates of rcv_nxt), client should fast-retransmit
         // without waiting for a full RTO.
         pump(&mut c, &mut s, &mut now, Duration::from_millis(1));
-        assert!(now.saturating_since(SimTime::ZERO) < Duration::from_millis(900),
-            "recovered via fast retransmit, not RTO (took {now})");
+        assert!(
+            now.saturating_since(SimTime::ZERO) < Duration::from_millis(900),
+            "recovered via fast retransmit, not RTO (took {now})"
+        );
         let got = s.recv(usize::MAX);
         assert_eq!(got.len(), 20_000.min(data.len()));
     }

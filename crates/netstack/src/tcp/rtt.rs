@@ -51,9 +51,8 @@ impl RttEstimator {
             Some(srtt) => {
                 // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt
                 let diff = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = Duration::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    Duration::from_nanos((self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4);
                 self.srtt = Some(Duration::from_nanos(
                     (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
                 ));

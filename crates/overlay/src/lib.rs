@@ -25,6 +25,8 @@ pub mod transport;
 
 pub use address::{Address, Distance};
 pub use node::{OverlayConfig, OverlayNode, OverlayStats};
-pub use packets::{ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload};
+pub use packets::{
+    ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload,
+};
 pub use table::{Connection, ConnectionState, ConnectionTable};
 pub use transport::{OverlayTransport, TcpTransport, TransportMode, UdpTransport};

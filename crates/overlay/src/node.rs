@@ -8,7 +8,7 @@
 //! messages to hand to the physical transport and [`OverlayNode::take_delivered`]
 //! for payloads addressed to this node (IPOP picks up tunnelled IP packets there).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use ipop_simcore::{Duration, SimTime, StreamRng};
 
@@ -83,6 +83,9 @@ pub struct OverlayStats {
     pub dropped_ttl: u64,
     /// Exact-mode packets dropped because this node was closest but not the target.
     pub dropped_no_target: u64,
+    /// Maintenance traffic (connect requests/responses) that ended at a node
+    /// other than its target — routine while the ring is still converging.
+    pub dropped_maintenance: u64,
     /// Link messages sent.
     pub link_tx: u64,
     /// Link messages received.
@@ -106,8 +109,9 @@ pub struct OverlayNode {
     dht_store: HashMap<Address, Vec<u8>>,
     dht_replies: VecDeque<(u64, Option<Vec<u8>>)>,
     pending_links: HashMap<u64, PendingLink>,
-    /// Neighbour candidates learned from gossip: address → endpoint.
-    candidates: HashMap<Address, Endpoint>,
+    /// Neighbour candidates learned from gossip: address → endpoint. Ordered so
+    /// candidate scans (which emit hellos) are deterministic across runs.
+    candidates: BTreeMap<Address, Endpoint>,
     next_token: u64,
     rng: StreamRng,
     stats: OverlayStats,
@@ -127,7 +131,7 @@ impl OverlayNode {
             dht_store: HashMap::new(),
             dht_replies: VecDeque::new(),
             pending_links: HashMap::new(),
-            candidates: HashMap::new(),
+            candidates: BTreeMap::new(),
             next_token: 1,
             rng,
             stats: OverlayStats::default(),
@@ -180,7 +184,12 @@ impl OverlayNode {
         let peers: Vec<(Endpoint, Address)> =
             self.table.iter().map(|c| (c.endpoint, c.peer)).collect();
         for (ep, _peer) in peers {
-            self.push_out(ep, LinkMessage::Close { from: self.cfg.address });
+            self.push_out(
+                ep,
+                LinkMessage::Close {
+                    from: self.cfg.address,
+                },
+            );
         }
         self.started = false;
     }
@@ -245,6 +254,11 @@ impl OverlayNode {
 
     /// Process a link message received from physical endpoint `from`.
     pub fn on_message(&mut self, now: SimTime, from: Endpoint, msg: LinkMessage) {
+        if !self.started {
+            // Not yet started, or gracefully departed: the node is not part of
+            // the overlay and must not answer handshakes or route traffic.
+            return;
+        }
         self.stats.link_rx += 1;
         if let Some(peer) = msg.sender() {
             if let Some(conn) = self.table.get_mut(&peer) {
@@ -253,7 +267,12 @@ impl OverlayNode {
             }
         }
         match msg {
-            LinkMessage::Hello { from: peer, kind, observed, token } => {
+            LinkMessage::Hello {
+                from: peer,
+                kind,
+                observed,
+                token,
+            } => {
                 self.learn_observed(observed);
                 if peer != self.cfg.address {
                     self.table.upsert(Connection {
@@ -273,7 +292,12 @@ impl OverlayNode {
                     self.push_out(from, ack);
                 }
             }
-            LinkMessage::HelloAck { from: peer, kind, observed, token } => {
+            LinkMessage::HelloAck {
+                from: peer,
+                kind,
+                observed,
+                token,
+            } => {
                 self.learn_observed(observed);
                 self.pending_links.remove(&token);
                 if peer != self.cfg.address {
@@ -288,7 +312,13 @@ impl OverlayNode {
                 }
             }
             LinkMessage::Ping { from: peer, nonce } => {
-                self.push_out(from, LinkMessage::Pong { from: self.cfg.address, nonce });
+                self.push_out(
+                    from,
+                    LinkMessage::Pong {
+                        from: self.cfg.address,
+                        nonce,
+                    },
+                );
                 let _ = peer;
             }
             LinkMessage::Pong { .. } => {
@@ -296,9 +326,15 @@ impl OverlayNode {
             }
             LinkMessage::Close { from: peer } => {
                 self.table.remove(&peer);
+                self.candidates.remove(&peer);
             }
             LinkMessage::Routed(pkt) => {
                 self.route(now, pkt);
+            }
+            LinkMessage::Neighbors { from: _, neighbors } => {
+                for (addr, ep) in neighbors {
+                    self.add_candidate(addr, ep);
+                }
             }
         }
     }
@@ -330,21 +366,101 @@ impl OverlayNode {
         self.run_keepalive(now);
         // 5. Drop stale pending links.
         let timeout = self.cfg.connection_timeout;
-        self.pending_links.retain(|_, p| now.saturating_since(p.started) < timeout);
-        // 6. Gossip our neighbour view to our near neighbours (piggybacked as
-        //    connect-requests are implicit; here we simply refresh candidates decay).
+        self.pending_links
+            .retain(|_, p| now.saturating_since(p.started) < timeout);
+        // 6. Gossip our neighbour view to every established peer: ring
+        //    neighbours on both sides plus a random sample, so knowledge of a
+        //    node spreads along the ring and the near sets can converge.
+        self.gossip_neighbors();
         if self.candidates.len() > 64 {
             self.candidates.clear();
+        }
+    }
+
+    /// Send each established peer a sample of our connection table: our near
+    /// neighbours on both sides plus up to two random other peers.
+    fn gossip_neighbors(&mut self) {
+        let me = self.cfg.address;
+        let mut sample: Vec<(Address, Endpoint)> = Vec::new();
+        for c in self.table.right_neighbors(&me, self.cfg.near_per_side) {
+            sample.push((c.peer, c.endpoint));
+        }
+        for c in self.table.left_neighbors(&me, self.cfg.near_per_side) {
+            sample.push((c.peer, c.endpoint));
+        }
+        let mut others: Vec<(Address, Endpoint)> = self
+            .table
+            .established()
+            .map(|c| (c.peer, c.endpoint))
+            .filter(|(a, _)| !sample.iter().any(|(s, _)| s == a))
+            .collect();
+        self.rng.shuffle(&mut others);
+        sample.extend(others.into_iter().take(2));
+        sample.sort_by_key(|(a, _)| *a);
+        sample.dedup_by_key(|(a, _)| *a);
+        if sample.is_empty() {
+            return;
+        }
+        let recipients: Vec<(Address, Endpoint)> = self
+            .table
+            .established()
+            .map(|c| (c.peer, c.endpoint))
+            .collect();
+        for (peer, ep) in recipients {
+            let neighbors: Vec<(Address, Endpoint)> =
+                sample.iter().copied().filter(|(a, _)| *a != peer).collect();
+            if neighbors.is_empty() {
+                continue;
+            }
+            self.push_out(
+                ep,
+                LinkMessage::Neighbors {
+                    from: me,
+                    neighbors,
+                },
+            );
         }
     }
 
     // ----------------------------------------------------------------- routing
 
     fn route(&mut self, now: SimTime, mut pkt: RoutedPacket) {
+        // Connect traffic advertises reachable endpoints: every node on the
+        // routing path learns the initiator/responder as a neighbour candidate,
+        // which is what lets the near sets converge without a separate gossip
+        // exchange. A connect request routed toward the initiator's own address
+        // must also never be handed back to the initiator itself — it has to
+        // terminate at the nearest *other* node.
+        // Prefer the *last* advertised endpoint: a node lists its local address
+        // first and NAT-observed translations after it, and only the translated
+        // address is reachable from outside the sender's site.
+        let exclude = match &pkt.payload {
+            RoutedPayload::ConnectRequest {
+                initiator,
+                endpoints,
+                ..
+            } => {
+                if let Some(ep) = endpoints.last() {
+                    self.add_candidate(*initiator, *ep);
+                }
+                Some(*initiator)
+            }
+            RoutedPayload::ConnectResponse {
+                responder,
+                endpoints,
+                ..
+            } => {
+                if let Some(ep) = endpoints.last() {
+                    self.add_candidate(*responder, *ep);
+                }
+                None
+            }
+            _ => None,
+        };
         let my_dist = self.cfg.address.ring_distance(&pkt.dst);
         let next = self
             .table
-            .closest_to(&pkt.dst)
+            .closest_to_excluding(&pkt.dst, exclude.as_ref())
             .map(|c| (c.peer, c.endpoint, c.peer.ring_distance(&pkt.dst)));
         match next {
             Some((_, endpoint, dist)) if dist < my_dist => {
@@ -363,16 +479,29 @@ impl OverlayNode {
     fn deliver_local(&mut self, now: SimTime, pkt: RoutedPacket) {
         match pkt.mode {
             DeliveryMode::Exact if pkt.dst != self.cfg.address => {
-                // We are the closest node but not the intended target (e.g. the
-                // virtual IP is not present in the overlay): drop.
-                self.stats.dropped_no_target += 1;
+                // We are the closest node but not the intended target. For
+                // connect housekeeping this is routine (the response can race
+                // the edge it is about to create); for application payloads it
+                // means the destination is not in the overlay at all.
+                match &pkt.payload {
+                    RoutedPayload::ConnectRequest { .. }
+                    | RoutedPayload::ConnectResponse { .. } => {
+                        self.stats.dropped_maintenance += 1;
+                    }
+                    _ => self.stats.dropped_no_target += 1,
+                }
                 return;
             }
             _ => {}
         }
         self.stats.delivered += 1;
         match &pkt.payload {
-            RoutedPayload::ConnectRequest { token, initiator, kind, endpoints } => {
+            RoutedPayload::ConnectRequest {
+                token,
+                initiator,
+                kind,
+                endpoints,
+            } => {
                 if *initiator == self.cfg.address {
                     return; // our own request came back around the ring
                 }
@@ -396,7 +525,11 @@ impl OverlayNode {
                     self.send_hello(now, ep, kind);
                 }
             }
-            RoutedPayload::ConnectResponse { token, responder, endpoints } => {
+            RoutedPayload::ConnectResponse {
+                token,
+                responder,
+                endpoints,
+            } => {
                 if *responder == self.cfg.address {
                     return;
                 }
@@ -418,7 +551,10 @@ impl OverlayNode {
                     self.cfg.address,
                     pkt.src,
                     DeliveryMode::Exact,
-                    RoutedPayload::DhtReply { token: *token, value },
+                    RoutedPayload::DhtReply {
+                        token: *token,
+                        value,
+                    },
                 );
                 self.stats.originated += 1;
                 self.route(now, reply);
@@ -444,7 +580,10 @@ impl OverlayNode {
             let token = self.fresh_token();
             self.pending_links.insert(
                 token,
-                PendingLink { kind: ConnectionKind::Near, started: now },
+                PendingLink {
+                    kind: ConnectionKind::Near,
+                    started: now,
+                },
             );
             let pkt = RoutedPacket::new(
                 self.cfg.address,
@@ -460,8 +599,11 @@ impl OverlayNode {
             self.stats.originated += 1;
             // Send it through a random established edge so it is not delivered
             // straight back to ourselves.
-            let peers: Vec<(Endpoint, Address)> =
-                self.table.established().map(|c| (c.endpoint, c.peer)).collect();
+            let peers: Vec<(Endpoint, Address)> = self
+                .table
+                .established()
+                .map(|c| (c.endpoint, c.peer))
+                .collect();
             if !peers.is_empty() {
                 let (ep, _) = peers[self.rng.index(peers.len())];
                 let mut pkt = pkt;
@@ -498,6 +640,10 @@ impl OverlayNode {
                 || worst_left.is_some_and(|w| addr.clockwise_distance(&me) < w);
             if improves_right || improves_left {
                 self.send_hello(now, ep, ConnectionKind::Near);
+                // Consume the candidate: if the hello lands, the edge appears in
+                // the table; if the peer is gone, gossip will not resurrect it
+                // and we stop retrying a dead endpoint every tick.
+                self.candidates.remove(&addr);
             }
         }
     }
@@ -514,7 +660,10 @@ impl OverlayNode {
         let token = self.fresh_token();
         self.pending_links.insert(
             token,
-            PendingLink { kind: ConnectionKind::Far, started: now },
+            PendingLink {
+                kind: ConnectionKind::Far,
+                started: now,
+            },
         );
         let pkt = RoutedPacket::new(
             self.cfg.address,
@@ -583,11 +732,14 @@ impl OverlayNode {
             return;
         }
         let token = self.fresh_token();
-        self.pending_links.insert(
+        self.pending_links
+            .insert(token, PendingLink { kind, started: now });
+        let msg = LinkMessage::Hello {
+            from: self.cfg.address,
+            kind,
+            observed: ep,
             token,
-            PendingLink { kind, started: now },
-        );
-        let msg = LinkMessage::Hello { from: self.cfg.address, kind, observed: ep, token };
+        };
         self.push_out(ep, msg);
     }
 
@@ -630,7 +782,10 @@ mod tests {
     }
 
     fn ep(i: usize) -> Endpoint {
-        (Ipv4Addr::new(10, 0, (i / 200) as u8, (i % 200 + 1) as u8), 4001)
+        (
+            Ipv4Addr::new(10, 0, (i / 200) as u8, (i % 200 + 1) as u8),
+            4001,
+        )
     }
 
     impl Harness {
@@ -645,7 +800,11 @@ mod tests {
                 nodes.push(OverlayNode::new(cfg, rng));
                 by_endpoint.insert(ep(i), i);
             }
-            Harness { nodes, by_endpoint, now: SimTime::ZERO }
+            Harness {
+                nodes,
+                by_endpoint,
+                now: SimTime::ZERO,
+            }
         }
 
         fn start_all(&mut self) {
@@ -703,7 +862,11 @@ mod tests {
         h.run(30);
         // Every node should have near connections on both sides by now.
         for n in &h.nodes {
-            assert!(n.is_connected(), "node {} disconnected", n.address().short());
+            assert!(
+                n.is_connected(),
+                "node {} disconnected",
+                n.address().short()
+            );
         }
         // Tunnel a payload from node 3 to node 9's exact address.
         let dst = h.nodes[9].address();
@@ -712,7 +875,10 @@ mod tests {
         h.pump();
         let delivered = h.nodes[9].take_delivered();
         assert_eq!(delivered.len(), 1, "tunnelled packet must arrive");
-        assert_eq!(delivered[0].payload, RoutedPayload::IpTunnel(vec![0xAB; 64]));
+        assert_eq!(
+            delivered[0].payload,
+            RoutedPayload::IpTunnel(vec![0xAB; 64])
+        );
         assert_eq!(delivered[0].src, h.nodes[3].address());
     }
 
@@ -809,7 +975,10 @@ mod tests {
         h.pump();
         let after: u64 = h.nodes.iter().map(|n| n.stats().dropped_ttl).sum();
         let delivered = h.nodes[13].take_delivered().len();
-        assert!(after > before || delivered == 1, "either dropped by ttl or node 2 was adjacent");
+        assert!(
+            after > before || delivered == 1,
+            "either dropped by ttl or node 2 was adjacent"
+        );
     }
 
     #[test]
@@ -817,7 +986,11 @@ mod tests {
         let mut h = Harness::new(20);
         h.start_all();
         h.run(40);
-        let far_edges: usize = h.nodes.iter().map(|n| n.connections().count_kind(ConnectionKind::Far)).sum();
+        let far_edges: usize = h
+            .nodes
+            .iter()
+            .map(|n| n.connections().count_kind(ConnectionKind::Far))
+            .sum();
         assert!(far_edges > 0, "some shortcut connections should exist");
     }
 
@@ -833,7 +1006,12 @@ mod tests {
         node.on_message(
             SimTime::ZERO,
             ep(1),
-            LinkMessage::Hello { from: peer_addr, kind: ConnectionKind::Leaf, observed: translated, token: 5 },
+            LinkMessage::Hello {
+                from: peer_addr,
+                kind: ConnectionKind::Leaf,
+                observed: translated,
+                token: 5,
+            },
         );
         assert!(node.advertised_endpoints().contains(&translated));
         assert!(node.advertised_endpoints().contains(&ep(0)));

@@ -110,7 +110,14 @@ pub struct RoutedPacket {
 impl RoutedPacket {
     /// A routed packet with the default TTL of 32 hops.
     pub fn new(src: Address, dst: Address, mode: DeliveryMode, payload: RoutedPayload) -> Self {
-        RoutedPacket { src, dst, mode, hops: 0, ttl: 32, payload }
+        RoutedPacket {
+            src,
+            dst,
+            mode,
+            hops: 0,
+            ttl: 32,
+            payload,
+        }
     }
 }
 
@@ -162,6 +169,16 @@ pub enum LinkMessage {
     },
     /// A routed overlay packet being forwarded along this edge.
     Routed(RoutedPacket),
+    /// Periodic neighbour-set gossip: the sender's view of (a sample of) its own
+    /// established edges. Receivers use the entries as link candidates, which is
+    /// what lets the structured-near sets converge to the true ring neighbours
+    /// (Brunet's connection-table exchange, Section II-C).
+    Neighbors {
+        /// Sender's overlay address.
+        from: Address,
+        /// Sampled established peers of the sender: `(address, endpoint)`.
+        neighbors: Vec<(Address, Endpoint)>,
+    },
 }
 
 // --------------------------------------------------------------------- encoding
@@ -172,7 +189,9 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
-        Writer { buf: Vec::with_capacity(64) }
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
     }
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -305,14 +324,23 @@ impl RoutedPacket {
                 w.u8(0);
                 w.bytes32(data);
             }
-            RoutedPayload::ConnectRequest { token, initiator, kind, endpoints } => {
+            RoutedPayload::ConnectRequest {
+                token,
+                initiator,
+                kind,
+                endpoints,
+            } => {
                 w.u8(1);
                 w.u64(*token);
                 w.addr(initiator);
                 w.u8(kind.code());
                 write_endpoints(w, endpoints);
             }
-            RoutedPayload::ConnectResponse { token, responder, endpoints } => {
+            RoutedPayload::ConnectResponse {
+                token,
+                responder,
+                endpoints,
+            } => {
                 w.u8(2);
                 w.u64(*token);
                 w.addr(responder);
@@ -365,8 +393,14 @@ impl RoutedPacket {
                 responder: r.addr()?,
                 endpoints: read_endpoints(r)?,
             },
-            3 => RoutedPayload::DhtPut { key: r.addr()?, value: r.bytes()? },
-            4 => RoutedPayload::DhtGet { key: r.addr()?, token: r.u64()? },
+            3 => RoutedPayload::DhtPut {
+                key: r.addr()?,
+                value: r.bytes()?,
+            },
+            4 => RoutedPayload::DhtGet {
+                key: r.addr()?,
+                token: r.u64()?,
+            },
             5 => {
                 let token = r.u64()?;
                 let value = if r.u8()? == 1 { Some(r.bytes()?) } else { None };
@@ -374,7 +408,14 @@ impl RoutedPacket {
             }
             _ => return Err(ParseError::Unsupported("routed payload")),
         };
-        Ok(RoutedPacket { src, dst, mode, hops, ttl, payload })
+        Ok(RoutedPacket {
+            src,
+            dst,
+            mode,
+            hops,
+            ttl,
+            payload,
+        })
     }
 }
 
@@ -383,14 +424,24 @@ impl LinkMessage {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
-            LinkMessage::Hello { from, kind, observed, token } => {
+            LinkMessage::Hello {
+                from,
+                kind,
+                observed,
+                token,
+            } => {
                 w.u8(0);
                 w.addr(from);
                 w.u8(kind.code());
                 w.endpoint(observed);
                 w.u64(*token);
             }
-            LinkMessage::HelloAck { from, kind, observed, token } => {
+            LinkMessage::HelloAck {
+                from,
+                kind,
+                observed,
+                token,
+            } => {
                 w.u8(1);
                 w.addr(from);
                 w.u8(kind.code());
@@ -415,6 +466,15 @@ impl LinkMessage {
                 w.u8(5);
                 pkt.write(&mut w);
             }
+            LinkMessage::Neighbors { from, neighbors } => {
+                w.u8(6);
+                w.addr(from);
+                w.u8(neighbors.len().min(255) as u8);
+                for (addr, ep) in neighbors.iter().take(255) {
+                    w.addr(addr);
+                    w.endpoint(ep);
+                }
+            }
         }
         w.buf
     }
@@ -435,10 +495,25 @@ impl LinkMessage {
                 observed: r.endpoint()?,
                 token: r.u64()?,
             },
-            2 => LinkMessage::Ping { from: r.addr()?, nonce: r.u64()? },
-            3 => LinkMessage::Pong { from: r.addr()?, nonce: r.u64()? },
+            2 => LinkMessage::Ping {
+                from: r.addr()?,
+                nonce: r.u64()?,
+            },
+            3 => LinkMessage::Pong {
+                from: r.addr()?,
+                nonce: r.u64()?,
+            },
             4 => LinkMessage::Close { from: r.addr()? },
             5 => LinkMessage::Routed(RoutedPacket::read(&mut r)?),
+            6 => {
+                let from = r.addr()?;
+                let count = r.u8()?;
+                let mut neighbors = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    neighbors.push((r.addr()?, r.endpoint()?));
+                }
+                LinkMessage::Neighbors { from, neighbors }
+            }
             _ => return Err(ParseError::Unsupported("link message")),
         };
         Ok(msg)
@@ -451,7 +526,8 @@ impl LinkMessage {
             | LinkMessage::HelloAck { from, .. }
             | LinkMessage::Ping { from, .. }
             | LinkMessage::Pong { from, .. }
-            | LinkMessage::Close { from } => Some(*from),
+            | LinkMessage::Close { from }
+            | LinkMessage::Neighbors { from, .. } => Some(*from),
             LinkMessage::Routed(_) => None,
         }
     }
@@ -474,11 +550,35 @@ mod tests {
     #[test]
     fn link_control_messages_round_trip() {
         let msgs = vec![
-            LinkMessage::Hello { from: a(1), kind: ConnectionKind::Near, observed: ep(2, 4001), token: 77 },
-            LinkMessage::HelloAck { from: a(2), kind: ConnectionKind::Leaf, observed: ep(1, 4001), token: 77 },
-            LinkMessage::Ping { from: a(3), nonce: 123_456 },
-            LinkMessage::Pong { from: a(4), nonce: 123_456 },
+            LinkMessage::Hello {
+                from: a(1),
+                kind: ConnectionKind::Near,
+                observed: ep(2, 4001),
+                token: 77,
+            },
+            LinkMessage::HelloAck {
+                from: a(2),
+                kind: ConnectionKind::Leaf,
+                observed: ep(1, 4001),
+                token: 77,
+            },
+            LinkMessage::Ping {
+                from: a(3),
+                nonce: 123_456,
+            },
+            LinkMessage::Pong {
+                from: a(4),
+                nonce: 123_456,
+            },
             LinkMessage::Close { from: a(5) },
+            LinkMessage::Neighbors {
+                from: a(6),
+                neighbors: vec![(a(7), ep(7, 4001)), (a(8), ep(8, 4002))],
+            },
+            LinkMessage::Neighbors {
+                from: a(9),
+                neighbors: vec![],
+            },
         ];
         for m in msgs {
             let parsed = LinkMessage::from_bytes(&m.to_bytes()).unwrap();
@@ -497,11 +597,27 @@ mod tests {
                 kind: ConnectionKind::Far,
                 endpoints: vec![ep(1, 4001), ep(2, 20_001)],
             },
-            RoutedPayload::ConnectResponse { token: 9, responder: a(8), endpoints: vec![ep(3, 4001)] },
-            RoutedPayload::DhtPut { key: a(9), value: b"172.16.0.5 -> brunet".to_vec() },
-            RoutedPayload::DhtGet { key: a(9), token: 42 },
-            RoutedPayload::DhtReply { token: 42, value: Some(vec![1, 2, 3]) },
-            RoutedPayload::DhtReply { token: 43, value: None },
+            RoutedPayload::ConnectResponse {
+                token: 9,
+                responder: a(8),
+                endpoints: vec![ep(3, 4001)],
+            },
+            RoutedPayload::DhtPut {
+                key: a(9),
+                value: b"172.16.0.5 -> brunet".to_vec(),
+            },
+            RoutedPayload::DhtGet {
+                key: a(9),
+                token: 42,
+            },
+            RoutedPayload::DhtReply {
+                token: 42,
+                value: Some(vec![1, 2, 3]),
+            },
+            RoutedPayload::DhtReply {
+                token: 43,
+                value: None,
+            },
         ];
         for p in payloads {
             let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Closest, p);
@@ -514,7 +630,12 @@ mod tests {
 
     #[test]
     fn hop_and_ttl_fields_survive() {
-        let mut pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Exact, RoutedPayload::IpTunnel(vec![1]));
+        let mut pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::IpTunnel(vec![1]),
+        );
         pkt.hops = 5;
         pkt.ttl = 9;
         let LinkMessage::Routed(parsed) =
@@ -529,7 +650,12 @@ mod tests {
     #[test]
     fn large_tunnel_payload_uses_32bit_length() {
         let big = vec![7u8; 100_000];
-        let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Exact, RoutedPayload::IpTunnel(big.clone()));
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::IpTunnel(big.clone()),
+        );
         let LinkMessage::Routed(parsed) =
             LinkMessage::from_bytes(&LinkMessage::Routed(pkt).to_bytes()).unwrap()
         else {

@@ -7,7 +7,7 @@
 //! table: a packet is forwarded to the connection whose address is closest to the
 //! destination.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ipop_simcore::SimTime;
 
@@ -41,15 +41,21 @@ pub struct Connection {
 }
 
 /// The set of edges of one node.
+///
+/// Keyed by a `BTreeMap` so every iteration order is deterministic: edge scans
+/// feed directly into message emission order, and the simulator guarantees
+/// that identical seeds replay identically.
 #[derive(Debug, Default)]
 pub struct ConnectionTable {
-    connections: HashMap<Address, Connection>,
+    connections: BTreeMap<Address, Connection>,
 }
 
 impl ConnectionTable {
     /// An empty table.
     pub fn new() -> Self {
-        ConnectionTable { connections: HashMap::new() }
+        ConnectionTable {
+            connections: BTreeMap::new(),
+        }
     }
 
     /// Number of edges (any state).
@@ -99,7 +105,9 @@ impl ConnectionTable {
 
     /// Established edges only.
     pub fn established(&self) -> impl Iterator<Item = &Connection> {
-        self.connections.values().filter(|c| c.state == ConnectionState::Established)
+        self.connections
+            .values()
+            .filter(|c| c.state == ConnectionState::Established)
     }
 
     /// Number of established edges of a given kind.
@@ -110,13 +118,28 @@ impl ConnectionTable {
     /// The established connection whose address is closest (ring distance) to
     /// `target`, if any.
     pub fn closest_to(&self, target: &Address) -> Option<&Connection> {
-        self.established().min_by_key(|c| c.peer.ring_distance(target))
+        self.closest_to_excluding(target, None)
+    }
+
+    /// Like [`ConnectionTable::closest_to`], but never returns the connection to
+    /// `exclude`. Used when routing a connect request toward the initiator's own
+    /// address: the packet must terminate at the initiator's nearest *other*
+    /// node, not bounce straight back to the initiator.
+    pub fn closest_to_excluding(
+        &self,
+        target: &Address,
+        exclude: Option<&Address>,
+    ) -> Option<&Connection> {
+        self.established()
+            .filter(|c| exclude != Some(&c.peer))
+            .min_by_key(|c| c.peer.ring_distance(target))
     }
 
     /// The ring distance from the closest established connection to `target`
     /// (`Distance::MAX` when the table is empty).
     pub fn best_distance_to(&self, target: &Address) -> Distance {
-        self.closest_to(target).map_or(Distance::MAX, |c| c.peer.ring_distance(target))
+        self.closest_to(target)
+            .map_or(Distance::MAX, |c| c.peer.ring_distance(target))
     }
 
     /// The `count` established peers nearest to `me` in the clockwise (right)
@@ -179,8 +202,16 @@ mod tests {
     #[test]
     fn closest_ignores_connecting_edges() {
         let mut t = ConnectionTable::new();
-        t.upsert(conn(0x10, ConnectionKind::Near, ConnectionState::Connecting));
-        t.upsert(conn(0x80, ConnectionKind::Near, ConnectionState::Established));
+        t.upsert(conn(
+            0x10,
+            ConnectionKind::Near,
+            ConnectionState::Connecting,
+        ));
+        t.upsert(conn(
+            0x80,
+            ConnectionKind::Near,
+            ConnectionState::Established,
+        ));
         let target = addr(0x11);
         assert_eq!(t.closest_to(&target).unwrap().peer, addr(0x80));
         assert_eq!(t.count_kind(ConnectionKind::Near), 1);
@@ -218,7 +249,11 @@ mod tests {
         let left: Vec<_> = t.left_neighbors(&me, 2).iter().map(|c| c.peer).collect();
         assert_eq!(left, vec![addr(0x30), addr(0x10)]);
         // Wrap-around: from 0x05 the nearest left neighbour is 0xC0.
-        let left_wrap: Vec<_> = t.left_neighbors(&addr(0x05), 1).iter().map(|c| c.peer).collect();
+        let left_wrap: Vec<_> = t
+            .left_neighbors(&addr(0x05), 1)
+            .iter()
+            .map(|c| c.peer)
+            .collect();
         assert_eq!(left_wrap, vec![addr(0xC0)]);
     }
 

@@ -7,7 +7,7 @@
 //! overlay traffic experiences exactly the same kernel stack, NAT and firewall
 //! behaviour as any other traffic in the simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ipop_netstack::{NetStack, SocketHandle};
 use ipop_simcore::SimTime;
@@ -44,7 +44,10 @@ impl UdpTransport {
     /// Bind the overlay UDP port on the given stack.
     pub fn bind(stack: &mut NetStack, port: u16) -> Self {
         let socket = stack.udp_bind(port).expect("overlay UDP port available");
-        UdpTransport { socket, parse_errors: 0 }
+        UdpTransport {
+            socket,
+            parse_errors: 0,
+        }
     }
 }
 
@@ -79,7 +82,9 @@ struct TcpPeer {
 /// 32-bit big-endian length prefix.
 pub struct TcpTransport {
     listener: SocketHandle,
-    peers: HashMap<Endpoint, TcpPeer>,
+    /// Ordered map: `poll` iterates the peers, and the order in which their
+    /// messages surface must be deterministic for same-seed replays.
+    peers: BTreeMap<Endpoint, TcpPeer>,
     /// Messages that failed to parse (diagnostics).
     pub parse_errors: u64,
 }
@@ -88,7 +93,11 @@ impl TcpTransport {
     /// Listen on the overlay TCP port on the given stack.
     pub fn bind(stack: &mut NetStack, port: u16) -> Self {
         let listener = stack.tcp_listen(port).expect("overlay TCP port available");
-        TcpTransport { listener, peers: HashMap::new(), parse_errors: 0 }
+        TcpTransport {
+            listener,
+            peers: BTreeMap::new(),
+            parse_errors: 0,
+        }
     }
 
     /// Number of live peer connections.
@@ -145,7 +154,11 @@ impl OverlayTransport for TcpTransport {
             let handle = stack
                 .tcp_connect(dst.0, dst.1, now)
                 .expect("tcp connect allocates a socket");
-            TcpPeer { handle, rx: Vec::new(), tx_backlog: Vec::new() }
+            TcpPeer {
+                handle,
+                rx: Vec::new(),
+                tx_backlog: Vec::new(),
+            }
         });
         peer.tx_backlog.extend_from_slice(&framed);
         Self::flush_peer(stack, peer);
@@ -156,9 +169,11 @@ impl OverlayTransport for TcpTransport {
         // Accept new inbound connections; key them by the peer's actual endpoint.
         while let Ok(Some(handle)) = stack.tcp_accept(self.listener) {
             if let Some(sock_remote) = stack.tcp_remote(handle) {
-                self.peers
-                    .entry(sock_remote)
-                    .or_insert(TcpPeer { handle, rx: Vec::new(), tx_backlog: Vec::new() });
+                self.peers.entry(sock_remote).or_insert(TcpPeer {
+                    handle,
+                    rx: Vec::new(),
+                    tx_backlog: Vec::new(),
+                });
             }
         }
         let mut dead = Vec::new();
@@ -218,7 +233,10 @@ mod tests {
     }
 
     fn ping_msg(n: u64) -> LinkMessage {
-        LinkMessage::Ping { from: Address::from_key(b"t"), nonce: n }
+        LinkMessage::Ping {
+            from: Address::from_key(b"t"),
+            nonce: n,
+        }
     }
 
     #[test]

@@ -84,7 +84,10 @@ mod tests {
     fn odd_length_padding() {
         // Checksum over odd-length data treats the missing byte as zero.
         assert_eq!(internet_checksum(&[0xAB]), !0xAB00u16);
-        assert_eq!(internet_checksum(&[0x00, 0x01, 0x02]), !(0x0001u16.wrapping_add(0x0200)));
+        assert_eq!(
+            internet_checksum(&[0x00, 0x01, 0x02]),
+            !(0x0001u16.wrapping_add(0x0200))
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and the fabricated "gateway" MAC are the two addresses that ever appear on a
 //! virtual link.
 
-use crate::{ParseError, arp::ArpPacket, ipv4::Ipv4Packet};
+use crate::{arp::ArpPacket, ipv4::Ipv4Packet, ParseError};
 
 /// A 48-bit IEEE MAC address.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,7 +46,11 @@ impl std::fmt::Debug for MacAddr {
 impl std::fmt::Display for MacAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let b = self.0;
-        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
     }
 }
 
@@ -109,12 +113,20 @@ pub const ETHERNET_HEADER_LEN: usize = 14;
 impl EthernetFrame {
     /// Build an IPv4 frame.
     pub fn ipv4(src: MacAddr, dst: MacAddr, packet: Ipv4Packet) -> Self {
-        EthernetFrame { dst, src, payload: FramePayload::Ipv4(packet) }
+        EthernetFrame {
+            dst,
+            src,
+            payload: FramePayload::Ipv4(packet),
+        }
     }
 
     /// Build an ARP frame.
     pub fn arp(src: MacAddr, dst: MacAddr, packet: ArpPacket) -> Self {
-        EthernetFrame { dst, src, payload: FramePayload::Arp(packet) }
+        EthernetFrame {
+            dst,
+            src,
+            payload: FramePayload::Arp(packet),
+        }
     }
 
     /// The frame's EtherType.
@@ -166,7 +178,11 @@ impl EthernetFrame {
             EtherType::Arp => FramePayload::Arp(ArpPacket::from_bytes(body)?),
             EtherType::Other(v) => FramePayload::Other(v, body.to_vec()),
         };
-        Ok(EthernetFrame { dst: MacAddr(dst), src: MacAddr(src), payload })
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            payload,
+        })
     }
 }
 

@@ -4,8 +4,8 @@
 //! The paper's Table I and Fig. 5 are built from ICMP echo round-trip times, so the
 //! echo path is the most exercised format in the workspace.
 
-use crate::ParseError;
 use crate::checksum::{internet_checksum, verify};
+use crate::ParseError;
 
 /// ICMP message type.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -51,7 +51,12 @@ pub const ICMP_HEADER_LEN: usize = 8;
 impl IcmpPacket {
     /// An echo request with the standard `ping` semantics.
     pub fn echo_request(identifier: u16, sequence: u16, payload: Vec<u8>) -> Self {
-        IcmpPacket { icmp_type: IcmpType::EchoRequest, identifier, sequence, payload }
+        IcmpPacket {
+            icmp_type: IcmpType::EchoRequest,
+            identifier,
+            sequence,
+            payload,
+        }
     }
 
     /// The echo reply answering `request` (same identifier, sequence and payload).
@@ -66,7 +71,12 @@ impl IcmpPacket {
 
     /// A time-exceeded error (TTL expired in transit).
     pub fn time_exceeded(original: Vec<u8>) -> Self {
-        IcmpPacket { icmp_type: IcmpType::TimeExceeded(0), identifier: 0, sequence: 0, payload: original }
+        IcmpPacket {
+            icmp_type: IcmpType::TimeExceeded(0),
+            identifier: 0,
+            sequence: 0,
+            payload: original,
+        }
     }
 
     /// A destination-unreachable error with the given code (0 = net, 1 = host, 3 = port).
@@ -126,7 +136,12 @@ impl IcmpPacket {
         };
         let identifier = u16::from_be_bytes([data[4], data[5]]);
         let sequence = u16::from_be_bytes([data[6], data[7]]);
-        Ok(IcmpPacket { icmp_type, identifier, sequence, payload: data[ICMP_HEADER_LEN..].to_vec() })
+        Ok(IcmpPacket {
+            icmp_type,
+            identifier,
+            sequence,
+            payload: data[ICMP_HEADER_LEN..].to_vec(),
+        })
     }
 }
 
@@ -169,8 +184,14 @@ mod tests {
         let req = IcmpPacket::echo_request(1, 1, vec![5; 16]);
         let mut bytes = req.to_bytes();
         bytes[10] ^= 0x01;
-        assert!(matches!(IcmpPacket::from_bytes(&bytes), Err(ParseError::BadChecksum(_))));
-        assert!(matches!(IcmpPacket::from_bytes(&[0u8; 4]), Err(ParseError::Truncated(_))));
+        assert!(matches!(
+            IcmpPacket::from_bytes(&bytes),
+            Err(ParseError::BadChecksum(_))
+        ));
+        assert!(matches!(
+            IcmpPacket::from_bytes(&[0u8; 4]),
+            Err(ParseError::Truncated(_))
+        ));
     }
 
     #[test]
@@ -179,6 +200,9 @@ mod tests {
         let mut raw = vec![13u8, 0, 0, 0, 0, 1, 0, 2];
         let csum = internet_checksum(&raw);
         raw[2..4].copy_from_slice(&csum.to_be_bytes());
-        assert!(matches!(IcmpPacket::from_bytes(&raw), Err(ParseError::Unsupported(_))));
+        assert!(matches!(
+            IcmpPacket::from_bytes(&raw),
+            Err(ParseError::Unsupported(_))
+        ));
     }
 }

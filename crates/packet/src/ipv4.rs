@@ -8,11 +8,11 @@
 
 use std::net::Ipv4Addr;
 
-use crate::ParseError;
 use crate::checksum::{internet_checksum, verify};
 use crate::icmp::IcmpPacket;
 use crate::tcp::TcpSegment;
 use crate::udp::UdpDatagram;
+use crate::ParseError;
 
 /// IPv4 protocol numbers the stack understands.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -67,7 +67,13 @@ pub struct Ipv4Header {
 impl Ipv4Header {
     /// A header with the default TTL of 64.
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr) -> Self {
-        Ipv4Header { src, dst, ttl: 64, identification: 0, dscp: 0 }
+        Ipv4Header {
+            src,
+            dst,
+            ttl: 64,
+            identification: 0,
+            dscp: 0,
+        }
     }
 }
 
@@ -121,7 +127,10 @@ pub struct Ipv4Packet {
 impl Ipv4Packet {
     /// Build a packet with default header fields (TTL 64).
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr, payload: Ipv4Payload) -> Self {
-        Ipv4Packet { header: Ipv4Header::new(src, dst), payload }
+        Ipv4Packet {
+            header: Ipv4Header::new(src, dst),
+            payload,
+        }
     }
 
     /// Source address.
@@ -227,7 +236,16 @@ impl Ipv4Packet {
             Protocol::Tcp => Ipv4Payload::Tcp(TcpSegment::from_bytes(body, src, dst)?),
             Protocol::Other(v) => Ipv4Payload::Raw(v, body.to_vec()),
         };
-        Ok(Ipv4Packet { header: Ipv4Header { src, dst, ttl, identification, dscp }, payload })
+        Ok(Ipv4Packet {
+            header: Ipv4Header {
+                src,
+                dst,
+                ttl,
+                identification,
+                dscp,
+            },
+            payload,
+        })
     }
 }
 
@@ -251,7 +269,11 @@ mod tests {
 
     #[test]
     fn raw_round_trip() {
-        let pkt = Ipv4Packet::new(ip(10, 0, 0, 1), ip(10, 0, 0, 2), Ipv4Payload::Raw(200, vec![9; 32]));
+        let pkt = Ipv4Packet::new(
+            ip(10, 0, 0, 1),
+            ip(10, 0, 0, 2),
+            Ipv4Payload::Raw(200, vec![9; 32]),
+        );
         let bytes = pkt.to_bytes();
         assert_eq!(bytes.len(), pkt.wire_len());
         let parsed = Ipv4Packet::from_bytes(&bytes).unwrap();
@@ -273,8 +295,7 @@ mod tests {
 
     #[test]
     fn ttl_decrement() {
-        let mut pkt =
-            Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![]));
+        let mut pkt = Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![]));
         pkt.header.ttl = 2;
         assert!(pkt.decrement_ttl());
         assert_eq!(pkt.header.ttl, 1);
@@ -288,16 +309,25 @@ mod tests {
         let pkt = Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![1]));
         let mut bytes = pkt.to_bytes();
         bytes[8] ^= 0xFF; // flip TTL, invalidating the header checksum
-        assert!(matches!(Ipv4Packet::from_bytes(&bytes), Err(ParseError::BadChecksum(_))));
+        assert!(matches!(
+            Ipv4Packet::from_bytes(&bytes),
+            Err(ParseError::BadChecksum(_))
+        ));
     }
 
     #[test]
     fn truncation_and_bad_version_rejected() {
-        assert!(matches!(Ipv4Packet::from_bytes(&[0u8; 10]), Err(ParseError::Truncated(_))));
+        assert!(matches!(
+            Ipv4Packet::from_bytes(&[0u8; 10]),
+            Err(ParseError::Truncated(_))
+        ));
         let pkt = Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![]));
         let mut bytes = pkt.to_bytes();
         bytes[0] = 0x65; // version 6
-        assert!(matches!(Ipv4Packet::from_bytes(&bytes), Err(ParseError::Unsupported(_))));
+        assert!(matches!(
+            Ipv4Packet::from_bytes(&bytes),
+            Err(ParseError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -305,7 +335,11 @@ mod tests {
         let udp = Ipv4Packet::new(
             ip(10, 0, 0, 1),
             ip(10, 0, 0, 2),
-            Ipv4Payload::Udp(UdpDatagram { src_port: 5000, dst_port: 53, payload: vec![1; 100] }),
+            Ipv4Payload::Udp(UdpDatagram {
+                src_port: 5000,
+                dst_port: 53,
+                payload: vec![1; 100],
+            }),
         );
         assert_eq!(udp.to_bytes().len(), udp.wire_len());
         let tcp = Ipv4Packet::new(

@@ -74,7 +74,11 @@ impl Sha1 {
         pad[0] = 0x80;
         // Pad so that (length % 64) == 56, then append the 64-bit bit length.
         let current = self.buffer_len;
-        let pad_len = if current < 56 { 56 - current } else { 120 - current };
+        let pad_len = if current < 56 {
+            56 - current
+        } else {
+            120 - current
+        };
         self.update_padding(&pad[..pad_len]);
         self.update_padding(&length_bits.to_be_bytes());
         debug_assert_eq!(self.buffer_len, 0);
@@ -140,30 +144,44 @@ mod tests {
 
     #[test]
     fn empty_string() {
-        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn nist_two_block_vector() {
         let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
-        assert_eq!(hex(&Sha1::digest(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+        assert_eq!(
+            hex(&Sha1::digest(msg)),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
     }
 
     #[test]
     fn million_a() {
         let msg = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&Sha1::digest(&msg)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&Sha1::digest(&msg)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
     fn quick_brown_fox() {
         assert_eq!(
-            hex(&Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            hex(&Sha1::digest(
+                b"The quick brown fox jumps over the lazy dog"
+            )),
             "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
         );
     }

@@ -9,8 +9,8 @@
 
 use std::net::Ipv4Addr;
 
-use crate::ParseError;
 use crate::checksum::{finish, pseudo_header_sum, sum_words};
+use crate::ParseError;
 
 /// TCP header flags.
 #[derive(Copy, Clone, PartialEq, Eq, Default, Hash)]
@@ -29,15 +29,45 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Only SYN.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// SYN+ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// Only ACK.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// FIN+ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// Only RST.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
 
     fn to_byte(self) -> u8 {
         (u8::from(self.fin))
@@ -210,7 +240,7 @@ impl TcpSegment {
         let mut opt = &data[TCP_HEADER_LEN..data_offset];
         while !opt.is_empty() {
             match opt[0] {
-                0 => break,         // end of options
+                0 => break,           // end of options
                 1 => opt = &opt[1..], // NOP
                 2 => {
                     if opt.len() < 4 {
@@ -251,7 +281,13 @@ mod tests {
 
     #[test]
     fn flags_round_trip() {
-        for flags in [TcpFlags::SYN, TcpFlags::SYN_ACK, TcpFlags::ACK, TcpFlags::FIN_ACK, TcpFlags::RST] {
+        for flags in [
+            TcpFlags::SYN,
+            TcpFlags::SYN_ACK,
+            TcpFlags::ACK,
+            TcpFlags::FIN_ACK,
+            TcpFlags::RST,
+        ] {
             assert_eq!(TcpFlags::from_byte(flags.to_byte()), flags);
         }
         assert_eq!(format!("{:?}", TcpFlags::SYN_ACK), "SYN|ACK");
@@ -307,8 +343,14 @@ mod tests {
         let seg = TcpSegment::data(1, 2, 3, 4, vec![7; 32]);
         let mut bytes = seg.to_bytes(s, d);
         bytes[25] ^= 0x80;
-        assert!(matches!(TcpSegment::from_bytes(&bytes, s, d), Err(ParseError::BadChecksum(_))));
-        assert!(matches!(TcpSegment::from_bytes(&[0u8; 8], s, d), Err(ParseError::Truncated(_))));
+        assert!(matches!(
+            TcpSegment::from_bytes(&bytes, s, d),
+            Err(ParseError::BadChecksum(_))
+        ));
+        assert!(matches!(
+            TcpSegment::from_bytes(&[0u8; 8], s, d),
+            Err(ParseError::Truncated(_))
+        ));
     }
 
     #[test]

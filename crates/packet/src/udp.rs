@@ -7,8 +7,8 @@
 
 use std::net::Ipv4Addr;
 
-use crate::ParseError;
 use crate::checksum::{finish, pseudo_header_sum, sum_words};
+use crate::ParseError;
 
 /// Length of the UDP header.
 pub const UDP_HEADER_LEN: usize = 8;
@@ -27,7 +27,11 @@ pub struct UdpDatagram {
 impl UdpDatagram {
     /// Build a datagram.
     pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
-        UdpDatagram { src_port, dst_port, payload }
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
     }
 
     /// On-wire length (header + payload).
@@ -84,7 +88,10 @@ mod tests {
     use super::*;
 
     fn addrs() -> (Ipv4Addr, Ipv4Addr) {
-        (Ipv4Addr::new(192, 168, 0, 1), Ipv4Addr::new(192, 168, 0, 199))
+        (
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 199),
+        )
     }
 
     #[test]
@@ -100,7 +107,10 @@ mod tests {
     fn empty_payload_round_trip() {
         let (s, d) = addrs();
         let dg = UdpDatagram::new(1, 2, vec![]);
-        assert_eq!(UdpDatagram::from_bytes(&dg.to_bytes(s, d), s, d).unwrap(), dg);
+        assert_eq!(
+            UdpDatagram::from_bytes(&dg.to_bytes(s, d), s, d).unwrap(),
+            dg
+        );
     }
 
     #[test]
@@ -123,7 +133,10 @@ mod tests {
         let dg = UdpDatagram::new(7, 9, vec![4; 100]);
         let mut bytes = dg.to_bytes(s, d);
         bytes[20] ^= 0xFF;
-        assert!(matches!(UdpDatagram::from_bytes(&bytes, s, d), Err(ParseError::BadChecksum(_))));
+        assert!(matches!(
+            UdpDatagram::from_bytes(&bytes, s, d),
+            Err(ParseError::BadChecksum(_))
+        ));
     }
 
     #[test]
@@ -146,6 +159,9 @@ mod tests {
         ));
         let mut bytes = UdpDatagram::new(5, 6, vec![1, 2]).to_bytes(s, d);
         bytes[4..6].copy_from_slice(&3u16.to_be_bytes()); // shorter than the header
-        assert!(matches!(UdpDatagram::from_bytes(&bytes, s, d), Err(ParseError::BadLength(_))));
+        assert!(matches!(
+            UdpDatagram::from_bytes(&bytes, s, d),
+            Err(ParseError::BadLength(_))
+        ));
     }
 }

@@ -1,0 +1,200 @@
+//! Deterministic round-trip and known-answer tests for every wire format.
+//!
+//! The property tests in `proptest_roundtrip.rs` cover arbitrary field values;
+//! these fixed vectors pin down concrete encodings (including RFC 1071 checksum
+//! examples and the FIPS 180-1 SHA-1 vectors) so a codec regression fails with
+//! a readable diff rather than a shrunk random case.
+
+use std::net::Ipv4Addr;
+
+use ipop_packet::arp::{ArpOperation, ArpPacket};
+use ipop_packet::checksum::{internet_checksum, pseudo_header_sum, sum_words, verify};
+use ipop_packet::ether::{EtherType, EthernetFrame, MacAddr};
+use ipop_packet::icmp::{IcmpPacket, IcmpType};
+use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload, Protocol};
+use ipop_packet::sha1::Sha1;
+use ipop_packet::tcp::{TcpFlags, TcpSegment};
+use ipop_packet::udp::UdpDatagram;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 2);
+const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 18);
+
+#[test]
+fn ether_ipv4_round_trips() {
+    let icmp = IcmpPacket::echo_request(0x1234, 7, b"ping payload".to_vec());
+    let pkt = Ipv4Packet::new(SRC, DST, Ipv4Payload::Icmp(icmp));
+    let frame = EthernetFrame::ipv4(MacAddr::local(1), MacAddr::local(2), pkt);
+    assert_eq!(frame.ether_type(), EtherType::Ipv4);
+    let bytes = frame.to_bytes();
+    assert_eq!(bytes.len(), frame.wire_len());
+    assert_eq!(EthernetFrame::from_bytes(&bytes).unwrap(), frame);
+}
+
+#[test]
+fn ether_arp_round_trips() {
+    let request = ArpPacket::request(MacAddr::local(9), SRC, DST);
+    assert_eq!(request.operation, ArpOperation::Request);
+    let frame = EthernetFrame::arp(MacAddr::local(9), MacAddr([0xFF; 6]), request.clone());
+    assert_eq!(frame.ether_type(), EtherType::Arp);
+    assert_eq!(EthernetFrame::from_bytes(&frame.to_bytes()).unwrap(), frame);
+
+    let reply = ArpPacket::reply_to(&request, MacAddr::local(7), DST);
+    assert_eq!(reply.operation, ArpOperation::Reply);
+    assert_eq!(ArpPacket::from_bytes(&reply.to_bytes()).unwrap(), reply);
+}
+
+#[test]
+fn ipv4_header_fields_survive_the_wire() {
+    let mut pkt = Ipv4Packet::new(SRC, DST, Ipv4Payload::Raw(250, vec![1, 2, 3, 4, 5]));
+    pkt.header.ttl = 3;
+    let parsed = Ipv4Packet::from_bytes(&pkt.to_bytes()).unwrap();
+    assert_eq!(parsed, pkt);
+    assert_eq!(parsed.header.ttl, 3);
+    assert_eq!(parsed.src(), SRC);
+    assert_eq!(parsed.dst(), DST);
+    // The serialized header checksum must verify as a unit.
+    assert!(verify(&pkt.to_bytes()[..20]));
+}
+
+#[test]
+fn icmp_round_trips_and_reply_mirrors_request() {
+    let request = IcmpPacket::echo_request(77, 3, vec![0xAB; 56]);
+    assert!(request.is_echo_request());
+    assert_eq!(
+        IcmpPacket::from_bytes(&request.to_bytes()).unwrap(),
+        request
+    );
+    let reply = IcmpPacket::echo_reply(&request);
+    assert!(reply.is_echo_reply());
+    assert_eq!(reply.icmp_type, IcmpType::EchoReply);
+    assert_eq!(reply.identifier, 77);
+    assert_eq!(reply.sequence, 3);
+    assert_eq!(IcmpPacket::from_bytes(&reply.to_bytes()).unwrap(), reply);
+}
+
+#[test]
+fn udp_round_trips_inside_ipv4() {
+    let dg = UdpDatagram::new(4001, 4001, b"overlay message bytes".to_vec());
+    assert_eq!(
+        UdpDatagram::from_bytes(&dg.to_bytes(SRC, DST), SRC, DST).unwrap(),
+        dg
+    );
+    let pkt = Ipv4Packet::new(SRC, DST, Ipv4Payload::Udp(dg));
+    assert_eq!(pkt.protocol(), Protocol::Udp);
+    assert_eq!(Ipv4Packet::from_bytes(&pkt.to_bytes()).unwrap(), pkt);
+}
+
+#[test]
+fn tcp_round_trips_inside_ipv4() {
+    let seg = TcpSegment {
+        src_port: 5001,
+        dst_port: 5201,
+        seq: 0xDEAD_BEEF,
+        ack: 0x0BAD_F00D,
+        flags: TcpFlags {
+            syn: true,
+            ack: true,
+            fin: false,
+            rst: false,
+            psh: false,
+        },
+        window: 65_535,
+        mss: Some(1400),
+        payload: vec![],
+    };
+    assert_eq!(
+        TcpSegment::from_bytes(&seg.to_bytes(SRC, DST), SRC, DST).unwrap(),
+        seg
+    );
+    let data = TcpSegment::data(5001, 5201, 1000, 2000, vec![0x55; 1400]);
+    let pkt = Ipv4Packet::new(SRC, DST, Ipv4Payload::Tcp(data));
+    assert_eq!(pkt.protocol(), Protocol::Tcp);
+    assert_eq!(Ipv4Packet::from_bytes(&pkt.to_bytes()).unwrap(), pkt);
+}
+
+// --------------------------------------------------------------- RFC 1071
+
+#[test]
+fn rfc1071_worked_example() {
+    // RFC 1071 section 3, the canonical worked example: summing the words
+    // 0x0001 0xf203 0xf4f5 0xf6f7 gives 0x2ddf0 → folded 0xddf2 → complement.
+    let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+    assert_eq!(sum_words(0, &data), 0x2ddf0);
+    assert_eq!(internet_checksum(&data), !0xddf2u16);
+    let mut with_sum = data.to_vec();
+    with_sum.extend_from_slice(&internet_checksum(&data).to_be_bytes());
+    assert!(verify(&with_sum));
+}
+
+#[test]
+fn rfc1071_byte_order_independence() {
+    // RFC 1071 section 2(B): the sum of 16-bit words is independent of which
+    // byte within the word is "first" — swapping every byte pair swaps the
+    // bytes of the checksum but nothing else.
+    let data = [0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc];
+    let swapped = [0x34u8, 0x12, 0x78, 0x56, 0xbc, 0x9a];
+    assert_eq!(
+        internet_checksum(&data).swap_bytes(),
+        internet_checksum(&swapped)
+    );
+}
+
+#[test]
+fn known_ipv4_header_checksum_b861() {
+    // The classic Wikipedia/RFC-tutorial IPv4 header: checksum 0xB861.
+    let header = [
+        0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00,
+        0x01, 0xc0, 0xa8, 0x00, 0xc7,
+    ];
+    assert_eq!(internet_checksum(&header), 0xb861);
+}
+
+#[test]
+fn pseudo_header_sum_matches_manual_total() {
+    let acc = pseudo_header_sum([192, 168, 0, 1], [192, 168, 0, 199], 6, 40);
+    let expected = 0xc0a8u32 + 0x0001 + 0xc0a8 + 0x00c7 + 6 + 40;
+    assert_eq!(acc, expected);
+}
+
+// ------------------------------------------------------------- SHA-1 (FIPS 180-1)
+
+fn hex(digest: [u8; 20]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn sha1_fips_vector_abc() {
+    assert_eq!(
+        hex(Sha1::digest(b"abc")),
+        "a9993e364706816aba3e25717850c26c9cd0d89d"
+    );
+}
+
+#[test]
+fn sha1_fips_vector_two_block_message() {
+    assert_eq!(
+        hex(Sha1::digest(
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        )),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    );
+}
+
+#[test]
+fn sha1_empty_message() {
+    assert_eq!(
+        hex(Sha1::digest(b"")),
+        "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+    );
+}
+
+#[test]
+fn sha1_streaming_matches_one_shot() {
+    let mut h = Sha1::new();
+    h.update(b"abc");
+    h.update(b"dbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+    assert_eq!(
+        hex(h.finalize()),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    );
+}

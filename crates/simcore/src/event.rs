@@ -92,7 +92,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(HeapEntry { at, seq, id, payload });
+        self.heap.push(HeapEntry {
+            at,
+            seq,
+            id,
+            payload,
+        });
         self.len_live += 1;
         id
     }
@@ -126,7 +131,11 @@ impl<E> EventQueue<E> {
         self.skip_cancelled();
         let entry = self.heap.pop()?;
         self.len_live -= 1;
-        Some(ScheduledEvent { at: entry.at, id: entry.id, payload: entry.payload })
+        Some(ScheduledEvent {
+            at: entry.at,
+            id: entry.id,
+            payload: entry.payload,
+        })
     }
 
     fn skip_cancelled(&mut self) {

@@ -50,7 +50,9 @@ impl StreamRng {
             x = splitmix64(x);
             chunk.copy_from_slice(&x.to_le_bytes());
         }
-        StreamRng { inner: ChaCha12Rng::from_seed(key) }
+        StreamRng {
+            inner: ChaCha12Rng::from_seed(key),
+        }
     }
 
     /// Derive a child stream (e.g. per-host) from this stream's label space.
@@ -180,7 +182,10 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| r.exponential(mean).as_secs_f64()).sum();
         let sample_mean = total / n as f64;
-        assert!((sample_mean - 0.010).abs() < 0.001, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - 0.010).abs() < 0.001,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

@@ -74,7 +74,12 @@ pub struct Simulator<W> {
 impl<W> Simulator<W> {
     /// Create a simulator owning `world`, with the clock at zero.
     pub fn new(world: W) -> Self {
-        Simulator { now: SimTime::ZERO, queue: EventQueue::new(), world, executed: 0 }
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            world,
+            executed: 0,
+        }
     }
 
     /// Current virtual time.
@@ -131,10 +136,15 @@ impl<W> Simulator<W> {
 
     /// Execute the single earliest pending event. Returns `false` if none remain.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else { return false };
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
         self.now = ev.at;
         self.executed += 1;
-        let mut ctl = Control { now: self.now, queue: &mut self.queue };
+        let mut ctl = Control {
+            now: self.now,
+            queue: &mut self.queue,
+        };
         (ev.payload)(&mut self.world, &mut ctl);
         true
     }
@@ -198,8 +208,12 @@ mod tests {
     #[test]
     fn events_execute_in_order_and_clock_advances() {
         let mut sim = Simulator::new(W::default());
-        sim.schedule_in(ms(10), |w: &mut W, c| w.log.push((c.now().as_nanos() / 1_000_000, "b")));
-        sim.schedule_in(ms(1), |w: &mut W, c| w.log.push((c.now().as_nanos() / 1_000_000, "a")));
+        sim.schedule_in(ms(10), |w: &mut W, c| {
+            w.log.push((c.now().as_nanos() / 1_000_000, "b"))
+        });
+        sim.schedule_in(ms(1), |w: &mut W, c| {
+            w.log.push((c.now().as_nanos() / 1_000_000, "a"))
+        });
         assert_eq!(sim.run(), RunOutcome::Drained);
         assert_eq!(sim.world().log, vec![(1, "a"), (10, "b")]);
         assert_eq!(sim.now(), SimTime::ZERO + ms(10));

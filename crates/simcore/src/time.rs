@@ -25,7 +25,9 @@ impl Duration {
     /// One millisecond.
     pub const MILLISECOND: Duration = Duration { nanos: 1_000_000 };
     /// One second.
-    pub const SECOND: Duration = Duration { nanos: 1_000_000_000 };
+    pub const SECOND: Duration = Duration {
+        nanos: 1_000_000_000,
+    };
 
     /// Construct from nanoseconds.
     pub const fn from_nanos(nanos: u64) -> Self {
@@ -39,12 +41,16 @@ impl Duration {
 
     /// Construct from milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        Duration { nanos: ms * 1_000_000 }
+        Duration {
+            nanos: ms * 1_000_000,
+        }
     }
 
     /// Construct from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
-        Duration { nanos: s * 1_000_000_000 }
+        Duration {
+            nanos: s * 1_000_000_000,
+        }
     }
 
     /// Construct from fractional seconds. Negative inputs clamp to zero.
@@ -52,7 +58,9 @@ impl Duration {
         if s <= 0.0 {
             return Duration::ZERO;
         }
-        Duration { nanos: (s * 1e9).round() as u64 }
+        Duration {
+            nanos: (s * 1e9).round() as u64,
+        }
     }
 
     /// Construct from fractional milliseconds. Negative inputs clamp to zero.
@@ -87,7 +95,9 @@ impl Duration {
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, other: Duration) -> Duration {
-        Duration { nanos: self.nanos.saturating_sub(other.nanos) }
+        Duration {
+            nanos: self.nanos.saturating_sub(other.nanos),
+        }
     }
 
     /// Multiply by a non-negative float (e.g. a CPU load factor), rounding to the
@@ -143,7 +153,9 @@ impl fmt::Display for Duration {
 impl Add for Duration {
     type Output = Duration;
     fn add(self, rhs: Duration) -> Duration {
-        Duration { nanos: self.nanos + rhs.nanos }
+        Duration {
+            nanos: self.nanos + rhs.nanos,
+        }
     }
 }
 
@@ -156,7 +168,9 @@ impl AddAssign for Duration {
 impl Sub for Duration {
     type Output = Duration;
     fn sub(self, rhs: Duration) -> Duration {
-        Duration { nanos: self.nanos - rhs.nanos }
+        Duration {
+            nanos: self.nanos - rhs.nanos,
+        }
     }
 }
 
@@ -169,14 +183,18 @@ impl SubAssign for Duration {
 impl Mul<u64> for Duration {
     type Output = Duration;
     fn mul(self, rhs: u64) -> Duration {
-        Duration { nanos: self.nanos * rhs }
+        Duration {
+            nanos: self.nanos * rhs,
+        }
     }
 }
 
 impl Div<u64> for Duration {
     type Output = Duration;
     fn div(self, rhs: u64) -> Duration {
-        Duration { nanos: self.nanos / rhs }
+        Duration {
+            nanos: self.nanos / rhs,
+        }
     }
 }
 
@@ -257,7 +275,9 @@ impl fmt::Display for SimTime {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime { nanos: self.nanos + rhs.as_nanos() }
+        SimTime {
+            nanos: self.nanos + rhs.as_nanos(),
+        }
     }
 }
 
@@ -270,7 +290,9 @@ impl AddAssign<Duration> for SimTime {
 impl Sub<Duration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: Duration) -> SimTime {
-        SimTime { nanos: self.nanos - rhs.as_nanos() }
+        SimTime {
+            nanos: self.nanos - rhs.as_nanos(),
+        }
     }
 }
 

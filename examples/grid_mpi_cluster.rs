@@ -12,18 +12,35 @@ use ipop_simcore::Duration;
 fn main() {
     // A scaled-down LSS workload (2 MB databases) so the example finishes quickly;
     // the full Table IV run lives in `cargo run -p ipop-bench --bin table4_lss`.
-    let params = LssParams {
-        images: 4,
-        databases: 4,
-        database_size: 2 * 1024 * 1024,
-        compute_per_mb: Duration::from_secs(15),
+    // `--quick` shrinks it further for smoke tests.
+    let params = if ipop_bench::quick_mode() {
+        LssParams {
+            images: 2,
+            databases: 2,
+            database_size: 512 * 1024,
+            compute_per_mb: Duration::from_secs(5),
+        }
+    } else {
+        LssParams {
+            images: 4,
+            databases: 4,
+            database_size: 2 * 1024 * 1024,
+            compute_per_mb: Duration::from_secs(15),
+        }
     };
 
     for workers in [1usize, 4] {
         let report = ipop_bench_like_lss(workers, params.clone());
         println!("--- {workers} compute node(s) ---");
-        println!("  image 1 (cold NFS caches): {:>7.1} s", report.first_image());
-        println!("  images 2-{} (warm caches):  {:>7.1} s", params.images, report.remaining_images());
+        println!(
+            "  image 1 (cold NFS caches): {:>7.1} s",
+            report.first_image()
+        );
+        println!(
+            "  images 2-{} (warm caches):  {:>7.1} s",
+            params.images,
+            report.remaining_images()
+        );
         println!("  total:                     {:>7.1} s", report.total());
     }
 }
@@ -49,7 +66,11 @@ fn ipop_bench_like_lss(workers: usize, params: LssParams) -> ipop_apps::lss::Lss
     let worker_vips = [vips[0], vips[1], vips[4], vips[5]];
     let mut members = vec![
         IpopMember::new(tb.f4, nfs_vip, Box::new(LssFileServer::new(params.clone()))),
-        IpopMember::new(tb.f3, master_vip, Box::new(LssMaster::new(params.clone(), workers))),
+        IpopMember::new(
+            tb.f3,
+            master_vip,
+            Box::new(LssMaster::new(params.clone(), workers)),
+        ),
     ];
     for i in 0..4 {
         if i < workers {

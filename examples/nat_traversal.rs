@@ -58,8 +58,14 @@ fn main() {
     let sender = sim.agent_as::<IpopHostAgent>(inside).unwrap();
     let receiver = sim.agent_as::<IpopHostAgent>(guarded).unwrap();
     let report = sender.app_as::<TtcpApp>().unwrap().report();
-    println!("NAT-ed sender connected to the overlay:    {}", sender.is_connected());
-    println!("firewalled receiver connected to overlay:  {}", receiver.is_connected());
+    println!(
+        "NAT-ed sender connected to the overlay:    {}",
+        sender.is_connected()
+    );
+    println!(
+        "firewalled receiver connected to overlay:  {}",
+        receiver.is_connected()
+    );
     println!(
         "bytes received across NAT + firewall:      {}",
         receiver.app_as::<TtcpApp>().unwrap().received()
@@ -72,7 +78,11 @@ fn main() {
     );
     println!(
         "NAT mappings created: {}, firewall flows tracked: {}",
-        sim.net().site(sim.net().host(inside).site).nat.as_ref().map_or(0, |n| n.mapping_count()),
+        sim.net()
+            .site(sim.net().host(inside).site)
+            .nat
+            .as_ref()
+            .map_or(0, |n| n.mapping_count()),
         sim.net()
             .site(sim.net().host(guarded).site)
             .firewall

@@ -37,7 +37,9 @@ fn main() {
     sim.run_for(Duration::from_secs(30));
 
     // 4. Inspect the results.
-    let node = sim.agent_as::<IpopHostAgent>(a).expect("IPOP node on host A");
+    let node = sim
+        .agent_as::<IpopHostAgent>(a)
+        .expect("IPOP node on host A");
     let report = node.app_as::<PingApp>().expect("ping app").report();
     let summary = report.summary();
     println!("IPOP node connected: {}", node.is_connected());

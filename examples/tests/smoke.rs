@@ -1,0 +1,59 @@
+//! Smoke tests: every documented example binary must run to completion and
+//! print evidence that its scenario actually worked, so the entry points in the
+//! README cannot silently rot.
+//!
+//! Cargo builds the `[[bin]]` targets before running this integration test and
+//! exposes their paths via `CARGO_BIN_EXE_<name>`.
+
+use std::process::Command;
+
+/// Run one example binary (with `--quick` where supported) and return stdout.
+fn run(path: &str, args: &[&str]) -> String {
+    let output = Command::new(path)
+        .args(args)
+        .output()
+        .expect("example binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "{path} exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    stdout
+}
+
+#[test]
+fn quickstart_pings_over_the_virtual_network() {
+    let out = run(env!("CARGO_BIN_EXE_quickstart"), &[]);
+    assert!(out.contains("IPOP node connected: true"), "{out}");
+    assert!(out.contains("20 replies"), "{out}");
+}
+
+#[test]
+fn nat_traversal_moves_bytes_across_middleboxes() {
+    let out = run(env!("CARGO_BIN_EXE_nat_traversal"), &[]);
+    assert!(
+        out.contains("NAT-ed sender connected to the overlay:    true"),
+        "{out}"
+    );
+    assert!(
+        out.contains("bytes received across NAT + firewall:      2000000"),
+        "{out}"
+    );
+}
+
+#[test]
+fn grid_mpi_cluster_completes_the_lss_runs() {
+    let out = run(env!("CARGO_BIN_EXE_grid_mpi_cluster"), &["--quick"]);
+    assert!(out.contains("--- 1 compute node(s) ---"), "{out}");
+    assert!(out.contains("--- 4 compute node(s) ---"), "{out}");
+    assert!(out.contains("total:"), "{out}");
+}
+
+#[test]
+fn planetlab_overlay_reports_a_distribution() {
+    let out = run(env!("CARGO_BIN_EXE_planetlab_overlay"), &["--quick"]);
+    assert!(out.contains("Fig. 5"), "{out}");
+    assert!(out.contains("RTT distribution (ms):"), "{out}");
+}

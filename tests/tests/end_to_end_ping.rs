@@ -34,14 +34,22 @@ fn ipop_lan_ping(seed: u64) -> (f64, u64, u64) {
     let agent = sim.agent_as::<IpopHostAgent>(tb.f2).expect("ipop agent");
     assert!(agent.is_connected(), "overlay self-configured");
     let report = agent.app_as::<PingApp>().unwrap().report().clone();
-    (report.summary().mean, agent.metrics().tunneled_tx, agent.metrics().tunneled_rx)
+    (
+        report.summary().mean,
+        agent.metrics().tunneled_tx,
+        agent.metrics().tunneled_rx,
+    )
 }
 
 fn physical_lan_ping(seed: u64) -> f64 {
     let mut net = Network::new(seed);
     let tb = fig4_testbed(&mut net);
     let target = tb.addrs[3];
-    ipop::deploy_plain(&mut net, tb.f2, Box::new(PingApp::new(target, 15, Duration::from_millis(20))));
+    ipop::deploy_plain(
+        &mut net,
+        tb.f2,
+        Box::new(PingApp::new(target, 15, Duration::from_millis(20))),
+    );
     ipop::deploy_plain(&mut net, tb.f4, Box::new(ipop::NullApp));
     let mut sim = NetworkSim::new(net);
     sim.run_for(Duration::from_secs(10));
@@ -56,7 +64,10 @@ fn ipop_lan_ping_overhead_is_single_digit_milliseconds() {
     let physical = physical_lan_ping(501);
     let (ipop_mean, tx, rx) = ipop_lan_ping(502);
     assert!(physical < 2.5, "physical LAN RTT {physical} ms");
-    assert!(tx > 0 && rx > 0, "packets actually crossed the overlay ({tx}/{rx})");
+    assert!(
+        tx > 0 && rx > 0,
+        "packets actually crossed the overlay ({tx}/{rx})"
+    );
     let overhead = ipop_mean - physical;
     assert!(
         overhead > 3.0 && overhead < 20.0,

@@ -16,7 +16,8 @@ fn tcp_transfer_crosses_nat_and_firewall_via_overlay() {
         NatBox::new(NatType::PortRestrictedCone, Ipv4Addr::new(128, 10, 0, 1)),
         Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16),
     ));
-    let fw_site = net.add_site(SiteSpec::open("campus").with_firewall(Firewall::default_deny_inbound()));
+    let fw_site =
+        net.add_site(SiteSpec::open("campus").with_firewall(Firewall::default_deny_inbound()));
     let pub_site = net.add_site(SiteSpec::open("public"));
     let inside = net.add_host("inside", nat_site, Ipv4Addr::new(192, 168, 0, 2));
     let guarded = net.add_host("guarded", fw_site, Ipv4Addr::new(139, 70, 24, 100));
@@ -47,7 +48,10 @@ fn tcp_transfer_crosses_nat_and_firewall_via_overlay() {
     assert_eq!(receiver.app_as::<TtcpApp>().unwrap().received(), 400_000);
     let sender = sim.agent_as::<IpopHostAgent>(inside).unwrap();
     let report = sender.app_as::<TtcpApp>().unwrap().report();
-    assert!(report.kbps > 0.0, "transfer completed with nonzero throughput");
+    assert!(
+        report.kbps > 0.0,
+        "transfer completed with nonzero throughput"
+    );
     // And the middleboxes were really in the path.
     assert!(sim
         .net()

@@ -37,7 +37,10 @@ fn twelve_nodes_self_configure_and_route() {
     let connected = plab
         .nodes
         .iter()
-        .filter(|&&h| sim.agent_as::<IpopHostAgent>(h).is_some_and(|a| a.is_connected()))
+        .filter(|&&h| {
+            sim.agent_as::<IpopHostAgent>(h)
+                .is_some_and(|a| a.is_connected())
+        })
         .count();
     assert_eq!(connected, 12, "every node joined the overlay");
 

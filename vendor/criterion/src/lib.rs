@@ -1,0 +1,362 @@
+//! Offline subset of `criterion`: a small wall-clock benchmarking harness with
+//! criterion's API shape (groups, throughput, batched iteration, the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! Measurement model: each benchmark is warmed up, then the iteration count is
+//! auto-tuned so one sample takes roughly `sample_time`, and `sample_size`
+//! samples are collected. The median per-iteration time is reported, plus
+//! throughput when configured. No statistics beyond that — this exists so
+//! `cargo bench` produces honest numbers offline, not to replace criterion's
+//! analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How a batched setup's output is grouped; only the API shape matters here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+            sample_time: Duration::from_millis(50),
+        }
+    }
+
+    /// Time `routine`, auto-tuning the iteration count per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: grow the iteration count until one sample is
+        // long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_time || iters >= 1 << 30 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.sample_time.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup runs outside the timed region; per-input timing keeps that
+        // exclusion exact at the cost of timer overhead on tiny routines.
+        let mut timed = |n: u64| {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        };
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = timed(iters);
+            if elapsed >= self.sample_time || iters >= 1 << 30 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        for _ in 0..self.sample_size {
+            self.samples.push(timed(self.iters_per_sample));
+        }
+    }
+
+    /// Median per-iteration time across samples.
+    fn per_iter(&self) -> Duration {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2] / self.iters_per_sample.min(u32::MAX as u64) as u32
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = bencher.per_iter();
+    let mut line = format!("{name:<50} time: {}", format_time(per_iter));
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(bytes) => {
+                    let rate = bytes as f64 / secs;
+                    line.push_str(&format!("  thrpt: {:.2} MiB/s", rate / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} elem/s", n as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(full, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, full_name: String, mut f: F) {
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&full_name, &bencher, self.throughput);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; harness flags criterion also accepts are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        if self.matches(&name) {
+            let mut bencher = Bencher::new(self.sample_size);
+            f(&mut bencher);
+            report(&name, &bencher, None);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+            sample_size,
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut b = Bencher::new(3);
+        b.sample_time = Duration::from_micros(200);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.per_iter() > Duration::ZERO || count > 0);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut b = Bencher::new(2);
+        b.sample_time = Duration::from_micros(100);
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 2);
+    }
+
+    #[test]
+    fn group_api_shape_works() {
+        let mut c = Criterion {
+            filter: Some("never-matches-anything".into()),
+            sample_size: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(10)).sample_size(2);
+        // Filtered out: the closure must not run.
+        group.bench_function("x", |_b| panic!("should be filtered"));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4, |_b, _n| {
+            panic!("should be filtered")
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert_eq!(format_time(Duration::from_nanos(5)), "5 ns");
+        assert!(format_time(Duration::from_micros(5)).ends_with("µs"));
+        assert!(format_time(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_time(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline subset of `rand_chacha`: a real ChaCha12 keystream generator behind
+//! the `ChaCha12Rng` name, implementing this workspace's vendored `rand` traits.
+//!
+//! The keystream is the genuine ChaCha12 function (djb variant, 64-bit block
+//! counter), so output quality matches upstream; the word-to-integer mapping is
+//! not guaranteed bit-identical to the upstream crate, only stable across
+//! platforms and releases of this workspace — which is the property the
+//! deterministic simulator actually depends on.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+const BLOCK_BYTES: usize = 64;
+const ROUNDS: usize = 12;
+
+/// A ChaCha12 random number generator seeded with a 256-bit key.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    /// Key words 0..8 of the ChaCha state (words 4..12 of the full state).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14; nonce words 14..16 stay zero).
+    counter: u64,
+    /// Current keystream block.
+    buf: [u8; BLOCK_BYTES],
+    /// Next unconsumed byte in `buf`; `BLOCK_BYTES` means "refill needed".
+    pos: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, out: &mut [u8; BLOCK_BYTES]) {
+    let mut state: [u32; BLOCK_WORDS] = [
+        0x61707865,
+        0x3320646e,
+        0x79622d32,
+        0x6b206574, // "expand 32-byte k"
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (i, word) in state.iter().enumerate() {
+        let mixed = word.wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&mixed.to_le_bytes());
+    }
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        chacha_block(&self.key, self.counter, &mut self.buf);
+        self.counter = self.counter.wrapping_add(1);
+        self.pos = 0;
+    }
+
+    #[inline]
+    fn take_bytes<const N: usize>(&mut self) -> [u8; N] {
+        debug_assert!(N <= BLOCK_BYTES);
+        if self.pos + N > BLOCK_BYTES {
+            self.refill();
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            buf: [0u8; BLOCK_BYTES],
+            pos: BLOCK_BYTES,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes::<4>())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes::<8>())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.pos == BLOCK_BYTES {
+                self.refill();
+            }
+            let n = (dest.len() - filled).min(BLOCK_BYTES - self.pos);
+            dest[filled..filled + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            filled += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 test vector machinery checks the ChaCha core (the RFC specifies
+    /// ChaCha20; we verify our quarter-round through the 2.1.1 vector).
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut c = ChaCha12Rng::from_seed([8u8; 32]);
+        for _ in 0..256 {
+            let va = a.next_u64();
+            assert_eq!(va, b.next_u64());
+            assert_ne!(va, c.next_u64());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_streamed_words() {
+        let mut a = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut buf = [0u8; 24];
+        a.fill_bytes(&mut buf);
+        let mut expect = [0u8; 24];
+        for chunk in expect.chunks_mut(8) {
+            chunk.copy_from_slice(&b.next_u64().to_le_bytes());
+        }
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha12Rng::from_seed([9u8; 32]);
+        a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline subset of `rayon`: `into_par_iter().map(..).collect()` backed by real
+//! OS threads (`std::thread::scope`), plus `join`.
+//!
+//! The experiment harness only fans out *independent simulations* — a handful of
+//! coarse scenarios per table — so a chunk-per-thread scheduler is a faithful
+//! stand-in for rayon's work stealing at this granularity. Result order is
+//! preserved exactly as rayon's indexed parallel iterators preserve it.
+
+/// Number of worker threads to fan out across.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Conversion into a parallel iterator, as `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// An eagerly materialized "parallel iterator" over `items`.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// A `ParIter` with a pending element-wise map.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Map `f` over `items` with one chunk per worker thread, preserving order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads().min(n);
+    let chunk_len = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut items = items;
+        // Split from the back so each spawned chunk owns its elements.
+        while !items.is_empty() {
+            let at = items.len().saturating_sub(chunk_len);
+            let chunk: Vec<T> = items.split_off(at);
+            handles.push(s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()));
+        }
+        let mut out = Vec::with_capacity(n);
+        for handle in handles.into_iter().rev() {
+            out.extend(handle.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        parallel_map(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync + Send,
+{
+    pub fn map<V, G>(self, g: G) -> ParMap<T, impl Fn(T) -> V + Sync + Send>
+    where
+        V: Send,
+        G: Fn(U) -> V + Sync + Send,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |x| g(f(x)),
+        }
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync + Send,
+    {
+        let f = self.f;
+        parallel_map(self.items, move |x| g(f(x)));
+    }
+
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        let _out: Vec<u32> = v
+            .into_par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // A little work so threads overlap.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(
+                distinct > 1,
+                "expected parallel execution, saw {distinct} thread(s)"
+            );
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn chained_map_composes() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| x * 10)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out, vec!["10", "20", "30"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![10]);
+    }
+}
