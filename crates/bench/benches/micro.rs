@@ -73,7 +73,7 @@ fn bench_encapsulation(c: &mut Criterion) {
                 Address::from_ip(src),
                 Address::from_ip(dst),
                 DeliveryMode::Exact,
-                RoutedPayload::IpTunnel(vpkt.to_bytes()),
+                RoutedPayload::IpTunnel(vpkt.to_bytes().into()),
             );
             LinkMessage::Routed(routed).to_bytes()
         })

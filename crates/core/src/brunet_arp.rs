@@ -158,7 +158,7 @@ mod tests {
         Ipv4Packet::new(
             Ipv4Addr::new(172, 16, 0, 2),
             dst,
-            Ipv4Payload::Raw(99, vec![1]),
+            Ipv4Payload::Raw(99, vec![1].into()),
         )
     }
 

@@ -26,6 +26,10 @@ pub struct PlainHostAgent {
     app_rng: StreamRng,
     app_next: Option<SimTime>,
     scheduled_wakeup: Option<SimTime>,
+    /// Memo of the last completed pump pass `(instant, unclamped deadline)`,
+    /// valid only while no packet has arrived since; lets redundant
+    /// same-instant wakeups replay the re-arm without re-running the pump.
+    last_pass: Option<(SimTime, Option<SimTime>)>,
     label: String,
 }
 
@@ -39,6 +43,7 @@ impl PlainHostAgent {
             app_rng: StreamRng::new(seed, "plain.app"),
             app_next: None,
             scheduled_wakeup: None,
+            last_pass: None,
             label: format!("plain-{addr}"),
         }
     }
@@ -50,11 +55,13 @@ impl PlainHostAgent {
 
     /// Mutable downcast of the embedded application.
     pub fn app_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.last_pass = None;
         self.app.as_any_mut().downcast_mut::<T>()
     }
 
     fn pump(&mut self, ctx: &mut HostCtx<'_, '_>) {
         let now = ctx.now();
+        let mut fixpoint = false;
         for _ in 0..32 {
             let mut env = AppEnv {
                 stack: &mut self.stack,
@@ -66,21 +73,23 @@ impl PlainHostAgent {
             self.stack.poll(now);
             let out = self.stack.take_packets();
             if out.is_empty() {
+                fixpoint = true;
                 break;
             }
             for pkt in out {
                 ctx.send(pkt);
             }
         }
-        self.arm_wakeup(ctx);
+        self.arm_wakeup(ctx, fixpoint);
     }
 
-    fn arm_wakeup(&mut self, ctx: &mut HostCtx<'_, '_>) {
+    fn arm_wakeup(&mut self, ctx: &mut HostCtx<'_, '_>, fixpoint: bool) {
         let now = ctx.now();
         let mut next: Option<SimTime> = self.stack.next_timeout();
         if let Some(t) = self.app_next {
             next = Some(next.map_or(t, |n| n.min(t)));
         }
+        self.last_pass = fixpoint.then_some((now, next));
         let Some(next) = next else { return };
         let next = next.max(now + Duration::from_micros(10));
         let need_new = match self.scheduled_wakeup {
@@ -109,12 +118,26 @@ impl HostAgent for PlainHostAgent {
     }
 
     fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Ipv4Packet) {
+        self.last_pass = None;
         self.stack.handle_packet(ctx.now(), pkt);
         self.pump(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: TimerToken) {
         if token == WAKEUP {
+            // Redundant same-instant wakeup after a fixpoint pass: replay the
+            // re-arm the full pass would perform (see IpopHostAgent::on_timer).
+            if let Some((at, raw_next)) = self.last_pass {
+                if at == ctx.now() {
+                    let now = ctx.now();
+                    if let Some(raw) = raw_next {
+                        let next = raw.max(now + Duration::from_micros(10));
+                        ctx.set_timer(next - now, WAKEUP);
+                        self.scheduled_wakeup = Some(next);
+                    }
+                    return;
+                }
+            }
             self.scheduled_wakeup = None;
         }
         self.pump(ctx);

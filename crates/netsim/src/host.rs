@@ -17,7 +17,7 @@ use std::net::Ipv4Addr;
 use ipop_packet::ipv4::Ipv4Packet;
 use ipop_simcore::{Duration, SimTime, StreamRng, TimerToken};
 
-use crate::network::SiteId;
+use crate::network::{NetEvent, SiteId};
 
 /// Identifier of a host in the network.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -109,7 +109,7 @@ pub trait HostAgent: Any {
 /// What an agent is allowed to do while handling an event.
 pub struct HostCtx<'a, 'q> {
     pub(crate) net: &'a mut crate::network::Network,
-    pub(crate) ctl: &'a mut ipop_simcore::sim::Control<'q, crate::network::Network>,
+    pub(crate) ctl: &'a mut crate::network::Control<'q>,
     pub(crate) host: HostId,
 }
 
@@ -174,9 +174,7 @@ impl HostCtx<'_, '_> {
     pub fn set_timer(&mut self, delay: Duration, token: TimerToken) {
         let host = self.host;
         self.ctl
-            .schedule_in(delay, move |net: &mut crate::network::Network, ctl| {
-                crate::network::Network::dispatch_timer(net, ctl, host, token);
-            });
+            .schedule_event_in(delay, NetEvent::Timer(host, token));
     }
 }
 

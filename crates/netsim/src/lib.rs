@@ -25,6 +25,6 @@ pub use firewall::{Direction, Firewall, HostMatch, ProtoMatch, Rule};
 pub use host::{Host, HostAgent, HostCounters, HostCtx, HostId};
 pub use link::{Link, LinkOutcome, LinkParams, LinkState};
 pub use nat::{Endpoint, NatBox, NatType};
-pub use network::{CoreParams, NetCounters, Network, NetworkSim, SiteId};
+pub use network::{Control, CoreParams, NetCounters, NetEvent, Network, NetworkSim, SiteId};
 pub use site::{Prefix, Site, SiteSpec};
 pub use topology::{fig4_testbed, lan_pair, planetlab, wan_pair, Fig4Testbed, PlanetLab};

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
-use ipop_simcore::sim::Control;
+use ipop_simcore::sim::{Control as GenericControl, Event};
 use ipop_simcore::{Duration, SimTime, Simulator, StreamRng, TimerToken};
 
 use crate::calibration::Calibration;
@@ -26,6 +26,58 @@ use crate::site::{Site, SiteSpec};
 /// Identifier of a site in the network.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct SiteId(pub usize);
+
+/// The typed event payload of the network simulation.
+///
+/// Every event on the packet hot path is one of these variants, dispatched by
+/// `match` — scheduling costs no heap allocation, unlike a boxed closure.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// Call a host agent's `on_start` (scheduled once per host by
+    /// [`NetworkSim::start`]).
+    Start(HostId),
+    /// Fire a timer armed via [`HostCtx::set_timer`].
+    Timer(HostId, TimerToken),
+    /// A packet finishes its final link and arrives at the destination NIC;
+    /// receive-side kernel processing then queues on the host CPU.
+    ///
+    /// The packet is boxed so heap entries stay small (the queue moves entries
+    /// during sift operations); the same box travels on into [`NetEvent::Deliver`],
+    /// so the whole delivery costs a single allocation.
+    Arrival {
+        /// Destination host.
+        dst: HostId,
+        /// The arriving packet.
+        pkt: Box<Ipv4Packet>,
+    },
+    /// Receive-side kernel processing is done; hand the packet to the agent.
+    Deliver {
+        /// Destination host.
+        dst: HostId,
+        /// The delivered packet.
+        pkt: Box<Ipv4Packet>,
+    },
+}
+
+/// The scheduling handle network events receive ([`GenericControl`] specialised
+/// to the typed [`NetEvent`] payload).
+pub type Control<'a> = GenericControl<'a, Network, NetEvent>;
+
+impl Event<Network> for NetEvent {
+    fn fire(self, net: &mut Network, ctl: &mut Control<'_>) {
+        match self {
+            NetEvent::Start(host) => Network::dispatch_start(net, ctl, host),
+            NetEvent::Timer(host, token) => Network::dispatch_timer(net, ctl, host, token),
+            NetEvent::Arrival { dst, pkt } => {
+                // Receive-side kernel processing queues on the destination CPU.
+                let kernel_cost = net.calibration.kernel_stack_cost;
+                let deliver_at = net.hosts[dst.0].occupy_cpu(ctl.now(), kernel_cost);
+                ctl.schedule_event_at(deliver_at, NetEvent::Deliver { dst, pkt });
+            }
+            NetEvent::Deliver { dst, pkt } => Network::dispatch_packet(net, ctl, dst, *pkt),
+        }
+    }
+}
 
 /// Network-wide drop/delivery counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -250,7 +302,7 @@ impl Network {
     /// Transmit a packet from `src_host`. Called by [`HostCtx::send_with_processing`].
     pub(crate) fn transmit(
         &mut self,
-        ctl: &mut Control<'_, Network>,
+        ctl: &mut Control<'_>,
         src_host: HostId,
         mut pkt: Ipv4Packet,
         extra_processing: Duration,
@@ -296,12 +348,15 @@ impl Network {
                 return;
             }
         }
+        // NAT/firewall flow ports, computed once for the whole trip; refreshed
+        // only when a NAT rewrite actually changes the packet.
+        let mut ports = Self::flow_ports(&pkt);
         let src_is_private = self.sites[src_site_id.0].is_private_addr(pkt.src());
         if src_is_private {
-            let (src_port, dst_port) = Self::flow_ports(&pkt);
             if let Some(nat) = &mut self.sites[src_site_id.0].nat {
-                let (pub_ip, pub_port) = nat.outbound((pkt.src(), src_port), (dst_ip, dst_port));
+                let (pub_ip, pub_port) = nat.outbound((pkt.src(), ports.0), (dst_ip, ports.1));
                 Self::rewrite_src(&mut pkt, pub_ip, pub_port);
+                ports = Self::flow_ports(&pkt);
             }
         }
 
@@ -334,10 +389,9 @@ impl Network {
 
         // 6. Resolve the destination: a NAT's public address or a host address.
         let (dst_site_id, dst_host) = if let Some(&site_id) = self.nat_public_to_site.get(&dst_ip) {
-            let (src_port, dst_port) = Self::flow_ports(&pkt);
             let internal = {
                 let nat = self.sites[site_id.0].nat.as_mut().expect("nat site");
-                nat.inbound(dst_port, (pkt.src(), src_port))
+                nat.inbound(ports.1, (pkt.src(), ports.0))
             };
             match internal {
                 Some((internal_ip, internal_port)) => {
@@ -401,25 +455,24 @@ impl Network {
 
     fn schedule_delivery(
         &mut self,
-        ctl: &mut Control<'_, Network>,
+        ctl: &mut Control<'_>,
         dst: HostId,
         pkt: Ipv4Packet,
         arrival: SimTime,
     ) {
-        ctl.schedule_at(arrival, move |net: &mut Network, ctl| {
-            // Receive-side kernel processing queues on the destination CPU.
-            let kernel_cost = net.calibration.kernel_stack_cost;
-            let deliver_at = net.hosts[dst.0].occupy_cpu(ctl.now(), kernel_cost);
-            ctl.schedule_at(deliver_at, move |net: &mut Network, ctl| {
-                Network::dispatch_packet(net, ctl, dst, pkt);
-            });
-        });
+        ctl.schedule_event_at(
+            arrival,
+            NetEvent::Arrival {
+                dst,
+                pkt: Box::new(pkt),
+            },
+        );
     }
 
     /// Deliver a packet to a host's agent (internal dispatch).
     pub(crate) fn dispatch_packet(
         net: &mut Network,
-        ctl: &mut Control<'_, Network>,
+        ctl: &mut Control<'_>,
         host: HostId,
         pkt: Ipv4Packet,
     ) {
@@ -441,7 +494,7 @@ impl Network {
     /// Deliver a timer to a host's agent (internal dispatch).
     pub(crate) fn dispatch_timer(
         net: &mut Network,
-        ctl: &mut Control<'_, Network>,
+        ctl: &mut Control<'_>,
         host: HostId,
         token: TimerToken,
     ) {
@@ -458,7 +511,7 @@ impl Network {
     }
 
     /// Call every agent's `on_start` (internal dispatch used by [`NetworkSim`]).
-    pub(crate) fn dispatch_start(net: &mut Network, ctl: &mut Control<'_, Network>, host: HostId) {
+    pub(crate) fn dispatch_start(net: &mut Network, ctl: &mut Control<'_>, host: HostId) {
         let Some(mut agent) = net.hosts[host.0].agent.take() else {
             return;
         };
@@ -474,7 +527,7 @@ impl Network {
 
 /// A network bound to a discrete-event simulator.
 pub struct NetworkSim {
-    sim: Simulator<Network>,
+    sim: Simulator<Network, NetEvent>,
     started: bool,
 }
 
@@ -510,11 +563,8 @@ impl NetworkSim {
         self.started = true;
         let host_count = self.sim.world().host_count();
         for i in 0..host_count {
-            let host = HostId(i);
             self.sim
-                .schedule_in(Duration::ZERO, move |net: &mut Network, ctl| {
-                    Network::dispatch_start(net, ctl, host);
-                });
+                .schedule_event_in(Duration::ZERO, NetEvent::Start(HostId(i)));
         }
     }
 
@@ -539,6 +589,11 @@ impl NetworkSim {
     /// Number of events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.sim.executed()
+    }
+
+    /// Number of events still pending in the queue.
+    pub fn pending(&self) -> usize {
+        self.sim.pending()
     }
 
     /// Downcast a host's agent.
@@ -593,7 +648,7 @@ mod tests {
         fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Ipv4Packet) {
             self.received_at.push(ctx.now());
             if let Ipv4Payload::Udp(udp) = &pkt.payload {
-                self.received.push((pkt.src(), udp.payload.clone()));
+                self.received.push((pkt.src(), udp.payload.to_vec()));
                 if udp.payload == b"ping" {
                     let reply = Ipv4Packet::new(
                         ctx.addr(),

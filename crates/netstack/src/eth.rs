@@ -222,7 +222,7 @@ mod tests {
     }
 
     fn pkt(src: Ipv4Addr, dst: Ipv4Addr) -> Ipv4Packet {
-        Ipv4Packet::new(src, dst, Ipv4Payload::Raw(99, vec![1, 2, 3]))
+        Ipv4Packet::new(src, dst, Ipv4Payload::Raw(99, vec![1, 2, 3].into()))
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
+use ipop_packet::Bytes;
+
 use crate::tcp::{TcpConfig, TcpSocket};
 
 /// Handle referring to a socket inside one stack.
@@ -22,8 +24,8 @@ pub struct UdpMessage {
     pub src: Ipv4Addr,
     /// Sender port.
     pub src_port: u16,
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload (shared buffer; cloning is a refcount bump).
+    pub data: Bytes,
 }
 
 /// A bound UDP endpoint with a bounded receive queue.
@@ -174,7 +176,7 @@ mod tests {
         let msg = |i: u8| UdpMessage {
             src: Ipv4Addr::new(10, 0, 0, i),
             src_port: 1,
-            data: vec![i],
+            data: vec![i].into(),
         };
         s.deliver(msg(1));
         s.deliver(msg(2));

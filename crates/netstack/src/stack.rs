@@ -248,7 +248,7 @@ impl NetStack {
         h: SocketHandle,
         dst: Ipv4Addr,
         dst_port: u16,
-        data: Vec<u8>,
+        data: impl Into<ipop_packet::Bytes>,
     ) -> Result<(), StackError> {
         let src_port = self.udp_port(h)?;
         self.enqueue(

@@ -293,7 +293,17 @@ impl TcpSocket {
     pub fn recv(&mut self, max: usize) -> Vec<u8> {
         let before = self.recv_window();
         let n = max.min(self.recv_buf.len());
-        let data: Vec<u8> = self.recv_buf.drain(..n).collect();
+        // Copy out via the deque's slices instead of draining through the
+        // byte iterator (this is the ttcp receive hot path).
+        let mut data = Vec::with_capacity(n);
+        let (a, b) = self.recv_buf.as_slices();
+        if n <= a.len() {
+            data.extend_from_slice(&a[..n]);
+        } else {
+            data.extend_from_slice(a);
+            data.extend_from_slice(&b[..n - a.len()]);
+        }
+        self.recv_buf.drain(..n);
         // Reading may reopen a closed (or nearly closed) receive window; advertise
         // it so the peer does not stall waiting for a window update we never send
         // (we implement no persist timer on the sender side).

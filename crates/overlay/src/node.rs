@@ -212,12 +212,17 @@ impl OverlayNode {
     // ---------------------------------------------------------------- app sends
 
     /// Tunnel a serialized virtual IP packet to the node owning `dst`.
-    pub fn send_ip(&mut self, now: SimTime, dst: Address, packet_bytes: Vec<u8>) {
+    pub fn send_ip(
+        &mut self,
+        now: SimTime,
+        dst: Address,
+        packet_bytes: impl Into<ipop_packet::Bytes>,
+    ) {
         let pkt = RoutedPacket::new(
             self.cfg.address,
             dst,
             DeliveryMode::Exact,
-            RoutedPayload::IpTunnel(packet_bytes),
+            RoutedPayload::IpTunnel(packet_bytes.into()),
         );
         self.stats.originated += 1;
         self.route(now, pkt);
@@ -877,7 +882,7 @@ mod tests {
         assert_eq!(delivered.len(), 1, "tunnelled packet must arrive");
         assert_eq!(
             delivered[0].payload,
-            RoutedPayload::IpTunnel(vec![0xAB; 64])
+            RoutedPayload::IpTunnel(vec![0xAB; 64].into())
         );
         assert_eq!(delivered[0].src, h.nodes[3].address());
     }
@@ -960,14 +965,14 @@ mod tests {
         h.pump();
         assert_eq!(h.nodes[13].take_delivered().len(), 1);
         // TTL of zero is dropped immediately when it needs to be forwarded.
-        let pkt = RoutedPacket {
-            src: h.nodes[2].address(),
+        let mut pkt = RoutedPacket::new(
+            h.nodes[2].address(),
             dst,
-            mode: DeliveryMode::Exact,
-            hops: 32,
-            ttl: 32,
-            payload: RoutedPayload::IpTunnel(vec![7]),
-        };
+            DeliveryMode::Exact,
+            RoutedPayload::IpTunnel(vec![7].into()),
+        );
+        pkt.hops = 32;
+        pkt.ttl = 32;
         let before: u64 = h.nodes.iter().map(|n| n.stats().dropped_ttl).sum();
         let now = h.now;
         let far_ep = ep(2);

@@ -13,7 +13,7 @@
 
 use std::net::Ipv4Addr;
 
-use ipop_packet::ParseError;
+use ipop_packet::{Bytes, ParseError};
 
 use crate::address::Address;
 
@@ -45,8 +45,9 @@ pub enum ConnectionKind {
 /// Payload of a routed overlay packet.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RoutedPayload {
-    /// A tunnelled virtual IPv4 packet (serialized bytes).
-    IpTunnel(Vec<u8>),
+    /// A tunnelled virtual IPv4 packet (serialized bytes, shared — cloning a
+    /// routed packet does not copy the tunnelled payload).
+    IpTunnel(Bytes),
     /// Request to establish a direct connection with the initiator.
     ConnectRequest {
         /// Correlates request and response.
@@ -91,7 +92,7 @@ pub enum RoutedPayload {
 }
 
 /// A packet routed hop-by-hop across the overlay ring.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct RoutedPacket {
     /// Originating node.
     pub src: Address,
@@ -105,6 +106,24 @@ pub struct RoutedPacket {
     pub ttl: u8,
     /// Payload.
     pub payload: RoutedPayload,
+    /// Wire image this packet was decoded from, when it carries an IP tunnel.
+    /// Forwarding nodes re-encode by patching the hop/TTL bytes of this image
+    /// instead of re-serializing the whole tunnelled payload; validity is
+    /// checked structurally in [`LinkMessage::to_wire`], so mutating header
+    /// fields (the forwarding path bumps `hops`) stays safe.
+    wire: Option<Bytes>,
+}
+
+impl PartialEq for RoutedPacket {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached wire image is a transport detail, not identity.
+        self.src == other.src
+            && self.dst == other.dst
+            && self.mode == other.mode
+            && self.hops == other.hops
+            && self.ttl == other.ttl
+            && self.payload == other.payload
+    }
 }
 
 impl RoutedPacket {
@@ -117,6 +136,7 @@ impl RoutedPacket {
             hops: 0,
             ttl: 32,
             payload,
+            wire: None,
         }
     }
 }
@@ -181,6 +201,14 @@ pub enum LinkMessage {
     },
 }
 
+/// Offset of the `hops` byte inside an encoded `LinkMessage::Routed` (tag 1 +
+/// src 20 + dst 20 + mode 1).
+const ROUTED_HOPS_OFFSET: usize = 42;
+/// Offset of the `ttl` byte (directly after `hops`).
+const ROUTED_TTL_OFFSET: usize = 43;
+/// Offset of the tunnelled payload bytes (header + payload tag 1 + length 4).
+const ROUTED_TUNNEL_OFFSET: usize = 49;
+
 // --------------------------------------------------------------------- encoding
 
 struct Writer {
@@ -222,11 +250,26 @@ impl Writer {
 struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
+    /// When decoding from a shared buffer, the buffer itself — so payload
+    /// fields can be sliced out of it instead of copied.
+    src: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        Reader { data, pos: 0 }
+        Reader {
+            data,
+            pos: 0,
+            src: None,
+        }
+    }
+
+    fn shared(data: &'a Bytes) -> Self {
+        Reader {
+            data,
+            pos: 0,
+            src: Some(data),
+        }
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
         if self.pos + n > self.data.len() {
@@ -269,9 +312,16 @@ impl<'a> Reader<'a> {
         let len = self.u16()? as usize;
         Ok(self.take(len)?.to_vec())
     }
-    fn bytes32(&mut self) -> Result<Vec<u8>, ParseError> {
+    /// A 32-bit-length-prefixed byte field, shared with the source buffer when
+    /// decoding from one (zero copy) and copied otherwise.
+    fn bytes32(&mut self) -> Result<Bytes, ParseError> {
         let len = self.u32()? as usize;
-        Ok(self.take(len)?.to_vec())
+        let start = self.pos;
+        let slice = self.take(len)?;
+        Ok(match self.src {
+            Some(src) => src.slice(start..start + len),
+            None => Bytes::from(slice),
+        })
     }
 }
 
@@ -310,6 +360,38 @@ impl ConnectionKind {
 }
 
 impl RoutedPacket {
+    /// The cached wire image with `hops`/`ttl` patched in, if the cache is
+    /// still structurally valid for this packet (same src/dst/mode and the
+    /// payload is the exact buffer region the image was decoded from).
+    fn patched_wire(&self) -> Option<Bytes> {
+        let wire = self.wire.as_ref()?;
+        let RoutedPayload::IpTunnel(payload) = &self.payload else {
+            return None;
+        };
+        if wire.len() != ROUTED_TUNNEL_OFFSET + payload.len()
+            || wire[0] != 5
+            || wire[1..21] != self.src.0
+            || wire[21..41] != self.dst.0
+            || wire[41]
+                != match self.mode {
+                    DeliveryMode::Exact => 0,
+                    DeliveryMode::Closest => 1,
+                }
+            || wire[44] != 0
+            || !payload.same_region(&wire.slice(ROUTED_TUNNEL_OFFSET..))
+        {
+            return None;
+        }
+        if wire[ROUTED_HOPS_OFFSET] == self.hops && wire[ROUTED_TTL_OFFSET] == self.ttl {
+            // Nothing mutated: reuse the image as-is, zero copy.
+            return Some(wire.clone());
+        }
+        let mut out = wire.to_vec();
+        out[ROUTED_HOPS_OFFSET] = self.hops;
+        out[ROUTED_TTL_OFFSET] = self.ttl;
+        Some(Bytes::from(out))
+    }
+
     fn write(&self, w: &mut Writer) {
         w.addr(&self.src);
         w.addr(&self.dst);
@@ -415,12 +497,29 @@ impl RoutedPacket {
             hops,
             ttl,
             payload,
+            wire: None,
         })
     }
 }
 
 impl LinkMessage {
-    /// Serialize to wire bytes.
+    /// Serialize to a shared wire buffer.
+    ///
+    /// For a routed IP-tunnel packet that was itself decoded from the wire,
+    /// the cached image is reused: only the mutated `hops`/`ttl` header bytes
+    /// are patched, and the tunnelled payload is **not** re-encoded. This is
+    /// the forwarding fast path — intermediate hops pay one buffer copy
+    /// instead of a field-by-field re-serialization.
+    pub fn to_wire(&self) -> Bytes {
+        if let LinkMessage::Routed(pkt) = self {
+            if let Some(patched) = pkt.patched_wire() {
+                return patched;
+            }
+        }
+        Bytes::from(self.to_bytes())
+    }
+
+    /// Serialize to wire bytes (full encode, no cache).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
@@ -479,9 +578,27 @@ impl LinkMessage {
         w.buf
     }
 
+    /// Parse from a shared wire buffer. Tunnelled payloads are sliced out of
+    /// `data` (zero copy), and routed IP-tunnel packets remember the wire
+    /// image so forwarding can patch instead of re-encode.
+    pub fn from_wire(data: &Bytes) -> Result<Self, ParseError> {
+        let mut r = Reader::shared(data);
+        let mut msg = Self::read(&mut r)?;
+        if let LinkMessage::Routed(pkt) = &mut msg {
+            if matches!(pkt.payload, RoutedPayload::IpTunnel(_)) {
+                pkt.wire = Some(data.clone());
+            }
+        }
+        Ok(msg)
+    }
+
     /// Parse from wire bytes.
     pub fn from_bytes(data: &[u8]) -> Result<Self, ParseError> {
         let mut r = Reader::new(data);
+        Self::read(&mut r)
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, ParseError> {
         let msg = match r.u8()? {
             0 => LinkMessage::Hello {
                 from: r.addr()?,
@@ -504,7 +621,7 @@ impl LinkMessage {
                 nonce: r.u64()?,
             },
             4 => LinkMessage::Close { from: r.addr()? },
-            5 => LinkMessage::Routed(RoutedPacket::read(&mut r)?),
+            5 => LinkMessage::Routed(RoutedPacket::read(r)?),
             6 => {
                 let from = r.addr()?;
                 let count = r.u8()?;
@@ -590,7 +707,7 @@ mod tests {
     #[test]
     fn routed_payloads_round_trip() {
         let payloads = vec![
-            RoutedPayload::IpTunnel(vec![0xAB; 1400]),
+            RoutedPayload::IpTunnel(vec![0xAB; 1400].into()),
             RoutedPayload::ConnectRequest {
                 token: 9,
                 initiator: a(7),
@@ -634,7 +751,7 @@ mod tests {
             a(1),
             a(2),
             DeliveryMode::Exact,
-            RoutedPayload::IpTunnel(vec![1]),
+            RoutedPayload::IpTunnel(vec![1].into()),
         );
         pkt.hops = 5;
         pkt.ttl = 9;
@@ -654,14 +771,14 @@ mod tests {
             a(1),
             a(2),
             DeliveryMode::Exact,
-            RoutedPayload::IpTunnel(big.clone()),
+            RoutedPayload::IpTunnel(big.clone().into()),
         );
         let LinkMessage::Routed(parsed) =
             LinkMessage::from_bytes(&LinkMessage::Routed(pkt).to_bytes()).unwrap()
         else {
             panic!("expected routed")
         };
-        assert_eq!(parsed.payload, RoutedPayload::IpTunnel(big));
+        assert_eq!(parsed.payload, RoutedPayload::IpTunnel(big.into()));
     }
 
     #[test]

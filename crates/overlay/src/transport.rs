@@ -57,13 +57,13 @@ impl OverlayTransport for UdpTransport {
     }
 
     fn send(&mut self, stack: &mut NetStack, _now: SimTime, dst: Endpoint, msg: &LinkMessage) {
-        let _ = stack.udp_send(self.socket, dst.0, dst.1, msg.to_bytes());
+        let _ = stack.udp_send(self.socket, dst.0, dst.1, msg.to_wire());
     }
 
     fn poll(&mut self, stack: &mut NetStack, _now: SimTime) -> Vec<(Endpoint, LinkMessage)> {
         let mut out = Vec::new();
         while let Ok(Some(msg)) = stack.udp_recv(self.socket) {
-            match LinkMessage::from_bytes(&msg.data) {
+            match LinkMessage::from_wire(&msg.data) {
                 Ok(parsed) => out.push(((msg.src, msg.src_port), parsed)),
                 Err(_) => self.parse_errors += 1,
             }
@@ -106,7 +106,7 @@ impl TcpTransport {
     }
 
     fn frame(msg: &LinkMessage) -> Vec<u8> {
-        let body = msg.to_bytes();
+        let body = msg.to_wire();
         let mut out = Vec::with_capacity(body.len() + 4);
         out.extend_from_slice(&(body.len() as u32).to_be_bytes());
         out.extend_from_slice(&body);
@@ -132,9 +132,9 @@ impl TcpTransport {
             if rx.len() < 4 + len {
                 break;
             }
-            let body: Vec<u8> = rx[4..4 + len].to_vec();
+            let body = ipop_packet::Bytes::from(&rx[4..4 + len]);
             rx.drain(..4 + len);
-            match LinkMessage::from_bytes(&body) {
+            match LinkMessage::from_wire(&body) {
                 Ok(msg) => out.push(msg),
                 Err(_) => *errors += 1,
             }
@@ -323,7 +323,7 @@ mod tests {
             Address::from_key(b"a"),
             Address::from_key(b"b"),
             crate::packets::DeliveryMode::Exact,
-            crate::packets::RoutedPayload::IpTunnel(vec![0x55; 20_000]),
+            crate::packets::RoutedPayload::IpTunnel(vec![0x55; 20_000].into()),
         ));
         ta.send(&mut sa, now, (B, 4001), &big);
         let mut got = Vec::new();

@@ -43,7 +43,7 @@ proptest! {
     fn ip_tunnel_messages_round_trip(src in arb_addr(), dst in arb_addr(),
                                      hops in 0u8..64, ttl in 0u8..64,
                                      payload in proptest::collection::vec(any::<u8>(), 0..2000)) {
-        let mut pkt = RoutedPacket::new(src, dst, DeliveryMode::Exact, RoutedPayload::IpTunnel(payload));
+        let mut pkt = RoutedPacket::new(src, dst, DeliveryMode::Exact, RoutedPayload::IpTunnel(payload.into()));
         pkt.hops = hops;
         pkt.ttl = ttl;
         let msg = LinkMessage::Routed(pkt);
@@ -63,6 +63,39 @@ proptest! {
             let msg = LinkMessage::Routed(RoutedPacket::new(src, dst, DeliveryMode::Closest, payload));
             let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();
             prop_assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn forwarding_patch_path_matches_full_reencode(
+        src in arb_addr(), dst in arb_addr(),
+        hops in 0u8..64, ttl in 1u8..64, extra_hops in 1u8..8,
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        // The forwarding fast path (patching hops/ttl into the cached wire
+        // image without re-encoding the tunnelled payload) must be
+        // byte-identical to a full re-serialization — for the shared-buffer
+        // decode path and the plain-slice decode path alike.
+        let mut pkt = RoutedPacket::new(src, dst, DeliveryMode::Exact,
+            RoutedPayload::IpTunnel(payload.into()));
+        pkt.hops = hops;
+        pkt.ttl = ttl;
+        let origin_wire = LinkMessage::Routed(pkt).to_wire();
+
+        let via_shared = LinkMessage::from_wire(&origin_wire).unwrap();
+        let via_slice = LinkMessage::from_bytes(&origin_wire).unwrap();
+        prop_assert_eq!(&via_shared, &via_slice);
+
+        for mut msg in [via_shared, via_slice] {
+            let LinkMessage::Routed(fwd) = &mut msg else { panic!("routed") };
+            // What a forwarding node does before sending on the next hop.
+            fwd.hops = fwd.hops.saturating_add(extra_hops);
+            fwd.ttl = fwd.ttl.saturating_sub(1);
+            let fast = msg.to_wire();
+            let slow = msg.to_bytes();
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
+            // And the patched bytes still decode to the mutated message.
+            prop_assert_eq!(&LinkMessage::from_wire(&fast).unwrap(), &msg);
         }
     }
 

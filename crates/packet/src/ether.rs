@@ -223,7 +223,7 @@ mod tests {
         let pkt = Ipv4Packet::new(
             Ipv4Addr::new(172, 16, 0, 2),
             Ipv4Addr::new(172, 16, 0, 18),
-            Ipv4Payload::Raw(200, vec![1, 2, 3, 4]),
+            Ipv4Payload::Raw(200, vec![1, 2, 3, 4].into()),
         );
         let frame = EthernetFrame::ipv4(MacAddr::local(1), MacAddr::local(2), pkt);
         let bytes = frame.to_bytes();

@@ -8,6 +8,7 @@
 
 use std::net::Ipv4Addr;
 
+use crate::bytes::Bytes;
 use crate::checksum::{internet_checksum, verify};
 use crate::icmp::IcmpPacket;
 use crate::tcp::TcpSegment;
@@ -87,7 +88,7 @@ pub enum Ipv4Payload {
     /// TCP segment.
     Tcp(TcpSegment),
     /// Unparsed payload of some other protocol number.
-    Raw(u8, Vec<u8>),
+    Raw(u8, Bytes),
 }
 
 impl Ipv4Payload {
@@ -180,7 +181,7 @@ impl Ipv4Packet {
             Ipv4Payload::Icmp(p) => p.to_bytes(),
             Ipv4Payload::Udp(p) => p.to_bytes(self.header.src, self.header.dst),
             Ipv4Payload::Tcp(p) => p.to_bytes(self.header.src, self.header.dst),
-            Ipv4Payload::Raw(_, data) => data.clone(),
+            Ipv4Payload::Raw(_, data) => data.to_vec(),
         };
         let total_len = (IPV4_HEADER_LEN + payload_bytes.len()) as u16;
         let mut header = [0u8; IPV4_HEADER_LEN];
@@ -234,7 +235,7 @@ impl Ipv4Packet {
             Protocol::Icmp => Ipv4Payload::Icmp(IcmpPacket::from_bytes(body)?),
             Protocol::Udp => Ipv4Payload::Udp(UdpDatagram::from_bytes(body, src, dst)?),
             Protocol::Tcp => Ipv4Payload::Tcp(TcpSegment::from_bytes(body, src, dst)?),
-            Protocol::Other(v) => Ipv4Payload::Raw(v, body.to_vec()),
+            Protocol::Other(v) => Ipv4Payload::Raw(v, Bytes::from(body)),
         };
         Ok(Ipv4Packet {
             header: Ipv4Header {
@@ -272,7 +273,7 @@ mod tests {
         let pkt = Ipv4Packet::new(
             ip(10, 0, 0, 1),
             ip(10, 0, 0, 2),
-            Ipv4Payload::Raw(200, vec![9; 32]),
+            Ipv4Payload::Raw(200, vec![9; 32].into()),
         );
         let bytes = pkt.to_bytes();
         assert_eq!(bytes.len(), pkt.wire_len());
@@ -295,7 +296,11 @@ mod tests {
 
     #[test]
     fn ttl_decrement() {
-        let mut pkt = Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![]));
+        let mut pkt = Ipv4Packet::new(
+            ip(1, 1, 1, 1),
+            ip(2, 2, 2, 2),
+            Ipv4Payload::Raw(0, vec![].into()),
+        );
         pkt.header.ttl = 2;
         assert!(pkt.decrement_ttl());
         assert_eq!(pkt.header.ttl, 1);
@@ -306,7 +311,11 @@ mod tests {
 
     #[test]
     fn corrupted_checksum_rejected() {
-        let pkt = Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![1]));
+        let pkt = Ipv4Packet::new(
+            ip(1, 1, 1, 1),
+            ip(2, 2, 2, 2),
+            Ipv4Payload::Raw(0, vec![1].into()),
+        );
         let mut bytes = pkt.to_bytes();
         bytes[8] ^= 0xFF; // flip TTL, invalidating the header checksum
         assert!(matches!(
@@ -321,7 +330,11 @@ mod tests {
             Ipv4Packet::from_bytes(&[0u8; 10]),
             Err(ParseError::Truncated(_))
         ));
-        let pkt = Ipv4Packet::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), Ipv4Payload::Raw(0, vec![]));
+        let pkt = Ipv4Packet::new(
+            ip(1, 1, 1, 1),
+            ip(2, 2, 2, 2),
+            Ipv4Payload::Raw(0, vec![].into()),
+        );
         let mut bytes = pkt.to_bytes();
         bytes[0] = 0x65; // version 6
         assert!(matches!(
@@ -338,7 +351,7 @@ mod tests {
             Ipv4Payload::Udp(UdpDatagram {
                 src_port: 5000,
                 dst_port: 53,
-                payload: vec![1; 100],
+                payload: vec![1; 100].into(),
             }),
         );
         assert_eq!(udp.to_bytes().len(), udp.wire_len());

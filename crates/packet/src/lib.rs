@@ -10,6 +10,7 @@
 //! it tunnels packets through the overlay (paper Fig. 3).
 
 pub mod arp;
+pub mod bytes;
 pub mod checksum;
 pub mod ether;
 pub mod icmp;
@@ -19,6 +20,7 @@ pub mod tcp;
 pub mod udp;
 
 pub use arp::{ArpOperation, ArpPacket};
+pub use bytes::Bytes;
 pub use checksum::internet_checksum;
 pub use ether::{EtherType, EthernetFrame, MacAddr};
 pub use icmp::{IcmpPacket, IcmpType};

@@ -7,6 +7,7 @@
 
 use std::net::Ipv4Addr;
 
+use crate::bytes::Bytes;
 use crate::checksum::{finish, pseudo_header_sum, sum_words};
 use crate::ParseError;
 
@@ -20,17 +21,17 @@ pub struct UdpDatagram {
     pub src_port: u16,
     /// Destination port.
     pub dst_port: u16,
-    /// Application payload.
-    pub payload: Vec<u8>,
+    /// Application payload (cheaply cloneable shared buffer).
+    pub payload: Bytes,
 }
 
 impl UdpDatagram {
     /// Build a datagram.
-    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+    pub fn new(src_port: u16, dst_port: u16, payload: impl Into<Bytes>) -> Self {
         UdpDatagram {
             src_port,
             dst_port,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -78,7 +79,7 @@ impl UdpDatagram {
         Ok(UdpDatagram {
             src_port: u16::from_be_bytes([data[0], data[1]]),
             dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: data[UDP_HEADER_LEN..length].to_vec(),
+            payload: Bytes::from(&data[UDP_HEADER_LEN..length]),
         })
     }
 }

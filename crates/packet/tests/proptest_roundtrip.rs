@@ -13,6 +13,7 @@ use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
 use ipop_packet::sha1::Sha1;
 use ipop_packet::tcp::{TcpFlags, TcpSegment};
 use ipop_packet::udp::UdpDatagram;
+use ipop_packet::Bytes;
 
 fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
     any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
@@ -53,6 +54,39 @@ proptest! {
     }
 
     #[test]
+    fn bytes_views_encode_identically_to_owned_vectors(
+        src in arb_ip(), dst in arb_ip(), sp: u16, dp: u16,
+        prefix in proptest::collection::vec(any::<u8>(), 0..64),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+        suffix in proptest::collection::vec(any::<u8>(), 0..64),
+        proto in 100u8..250,
+    ) {
+        // A `Bytes` that is a *view into a larger shared buffer* must encode
+        // byte-identically to an owned `Vec` with the same contents, for every
+        // payload position that carries it.
+        let mut big = prefix.clone();
+        big.extend_from_slice(&payload);
+        big.extend_from_slice(&suffix);
+        let shared = Bytes::from(big).slice(prefix.len()..prefix.len() + payload.len());
+        prop_assert_eq!(&shared, &payload);
+
+        let udp_owned = Ipv4Packet::new(src, dst,
+            Ipv4Payload::Udp(UdpDatagram::new(sp, dp, payload.clone())));
+        let udp_shared = Ipv4Packet::new(src, dst,
+            Ipv4Payload::Udp(UdpDatagram::new(sp, dp, shared.clone())));
+        prop_assert_eq!(udp_owned.to_bytes(), udp_shared.to_bytes());
+        let parsed = Ipv4Packet::from_bytes(&udp_shared.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, udp_owned);
+
+        let raw_owned = Ipv4Packet::new(src, dst,
+            Ipv4Payload::Raw(proto, payload.clone().into()));
+        let raw_shared = Ipv4Packet::new(src, dst, Ipv4Payload::Raw(proto, shared));
+        prop_assert_eq!(raw_owned.to_bytes(), raw_shared.to_bytes());
+        let parsed = Ipv4Packet::from_bytes(&raw_shared.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, raw_owned);
+    }
+
+    #[test]
     fn ethernet_frame_round_trips(src: [u8; 6], dst: [u8; 6], sender in arb_ip(), target in arb_ip()) {
         let frame = EthernetFrame::arp(MacAddr(src), MacAddr(dst),
             ArpPacket::request(MacAddr(src), sender, target));
@@ -64,7 +98,7 @@ proptest! {
     fn serialized_ipv4_always_verifies_and_reports_its_length(
         src in arb_ip(), dst in arb_ip(),
         payload in proptest::collection::vec(any::<u8>(), 0..1400), proto in 0u8..=255) {
-        let pkt = Ipv4Packet::new(src, dst, Ipv4Payload::Raw(proto, payload));
+        let pkt = Ipv4Packet::new(src, dst, Ipv4Payload::Raw(proto, payload.into()));
         let bytes = pkt.to_bytes();
         prop_assert_eq!(bytes.len(), pkt.wire_len());
         // Header checksum verifies over the first 20 bytes.

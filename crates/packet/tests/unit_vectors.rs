@@ -45,7 +45,7 @@ fn ether_arp_round_trips() {
 
 #[test]
 fn ipv4_header_fields_survive_the_wire() {
-    let mut pkt = Ipv4Packet::new(SRC, DST, Ipv4Payload::Raw(250, vec![1, 2, 3, 4, 5]));
+    let mut pkt = Ipv4Packet::new(SRC, DST, Ipv4Payload::Raw(250, vec![1, 2, 3, 4, 5].into()));
     pkt.header.ttl = 3;
     let parsed = Ipv4Packet::from_bytes(&pkt.to_bytes()).unwrap();
     assert_eq!(parsed, pkt);

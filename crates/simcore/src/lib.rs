@@ -34,8 +34,8 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventId, EventQueue, ScheduledEvent};
 pub use rng::StreamRng;
-pub use sim::{Control, Simulator, TimerToken};
+pub use sim::{Control, Event, EventFn, RunOutcome, Simulator, TimerToken};
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::{Duration, SimTime};

@@ -1,16 +1,52 @@
 //! The simulation driver.
 //!
-//! A [`Simulator`] owns a world of type `W` and a queue of closures to run against
-//! it at future virtual instants. Events may schedule (and cancel) further events
-//! through the [`Control`] handle they receive. The driver is deliberately minimal:
-//! higher layers (the network model in `ipop-netsim`) define their own richer event
-//! payloads on top of it.
+//! A [`Simulator`] owns a world of type `W` and a queue of event payloads to run
+//! against it at future virtual instants. Events may schedule (and cancel) further
+//! events through the [`Control`] handle they receive.
+//!
+//! Two event representations are supported through the same machinery:
+//!
+//! * **Typed events** — the payload type `E` implements [`Event`] and is
+//!   dispatched by `match`, with no allocation per scheduled event. This is what
+//!   the network model in `ipop-netsim` uses for the packet hot path.
+//! * **Closure events** — `E` defaults to [`EventFn`], a boxed `FnOnce`, which
+//!   keeps one-off simulations and tests ergonomic at the cost of one heap
+//!   allocation per event.
 
 use crate::event::{EventId, EventQueue};
 use crate::time::{Duration, SimTime};
 
-/// The type of a scheduled action: it receives the world and a [`Control`] handle.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Control<'_, W>)>;
+/// A typed event payload executable against a world `W`.
+///
+/// Implementations are usually enums dispatched with `match`; scheduling them
+/// costs no allocation, unlike the boxed-closure representation.
+pub trait Event<W>: Sized {
+    /// Execute the event. `ctl` schedules (and cancels) further events.
+    fn fire(self, world: &mut W, ctl: &mut Control<'_, W, Self>);
+}
+
+/// The boxed action inside an [`EventFn`].
+type BoxedEventFn<W> = Box<dyn FnOnce(&mut W, &mut Control<'_, W, EventFn<W>>)>;
+
+/// The closure event representation: a boxed action receiving the world and a
+/// [`Control`] handle. The default payload type of [`Simulator`] and [`Control`].
+pub struct EventFn<W>(BoxedEventFn<W>);
+
+impl<W> EventFn<W> {
+    /// Box a closure as an event payload.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        EventFn(Box::new(f))
+    }
+}
+
+impl<W> Event<W> for EventFn<W> {
+    fn fire(self, world: &mut W, ctl: &mut Control<'_, W, Self>) {
+        (self.0)(world, ctl)
+    }
+}
 
 /// Opaque label attached by higher layers to timers they set on behalf of
 /// components (e.g. "TCP retransmission timer for socket 3").
@@ -18,37 +54,52 @@ pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Control<'_, W>)>;
 pub struct TimerToken(pub u64);
 
 /// Handle given to running events for scheduling further work.
-pub struct Control<'a, W> {
+pub struct Control<'a, W, E: Event<W> = EventFn<W>> {
     now: SimTime,
-    queue: &'a mut EventQueue<EventFn<W>>,
+    queue: &'a mut EventQueue<E>,
+    _world: std::marker::PhantomData<fn(&mut W)>,
 }
 
-impl<'a, W> Control<'a, W> {
+impl<'a, W, E: Event<W>> Control<'a, W, E> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Schedule an action at an absolute virtual time (clamped to now if in the past).
-    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
-    where
-        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
-    {
+    /// Schedule a typed event at an absolute virtual time (clamped to now if in
+    /// the past).
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) -> EventId {
         let at = at.max(self.now);
-        self.queue.push(at, Box::new(f))
+        self.queue.push(at, event)
     }
 
-    /// Schedule an action after a relative delay.
-    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
-    where
-        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
-    {
-        self.schedule_at(self.now + delay, f)
+    /// Schedule a typed event after a relative delay.
+    pub fn schedule_event_in(&mut self, delay: Duration, event: E) -> EventId {
+        self.schedule_event_at(self.now + delay, event)
     }
 
     /// Cancel a previously scheduled action.
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.queue.cancel(id)
+    }
+}
+
+impl<'a, W> Control<'a, W, EventFn<W>> {
+    /// Schedule a closure at an absolute virtual time (clamped to now if in the
+    /// past).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        self.schedule_event_at(at, EventFn::new(f))
+    }
+
+    /// Schedule a closure after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
     }
 }
 
@@ -63,15 +114,18 @@ pub enum RunOutcome {
     EventLimit,
 }
 
-/// A discrete-event simulator over a world `W`.
-pub struct Simulator<W> {
+/// A discrete-event simulator over a world `W` with event payload `E`.
+///
+/// `E` defaults to the boxed-closure representation; performance-sensitive
+/// worlds define an enum implementing [`Event`] instead.
+pub struct Simulator<W, E: Event<W> = EventFn<W>> {
     now: SimTime,
-    queue: EventQueue<EventFn<W>>,
+    queue: EventQueue<E>,
     world: W,
     executed: u64,
 }
 
-impl<W> Simulator<W> {
+impl<W, E: Event<W>> Simulator<W, E> {
     /// Create a simulator owning `world`, with the clock at zero.
     pub fn new(world: W) -> Self {
         Simulator {
@@ -112,21 +166,15 @@ impl<W> Simulator<W> {
         self.world
     }
 
-    /// Schedule an action at an absolute time.
-    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
-    where
-        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
-    {
+    /// Schedule a typed event at an absolute time.
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) -> EventId {
         let at = at.max(self.now);
-        self.queue.push(at, Box::new(f))
+        self.queue.push(at, event)
     }
 
-    /// Schedule an action after a relative delay.
-    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
-    where
-        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
-    {
-        self.schedule_at(self.now + delay, f)
+    /// Schedule a typed event after a relative delay.
+    pub fn schedule_event_in(&mut self, delay: Duration, event: E) -> EventId {
+        self.schedule_event_at(self.now + delay, event)
     }
 
     /// Cancel a scheduled action.
@@ -144,8 +192,9 @@ impl<W> Simulator<W> {
         let mut ctl = Control {
             now: self.now,
             queue: &mut self.queue,
+            _world: std::marker::PhantomData,
         };
-        (ev.payload)(&mut self.world, &mut ctl);
+        ev.payload.fire(&mut self.world, &mut ctl);
         true
     }
 
@@ -189,6 +238,24 @@ impl<W> Simulator<W> {
         } else {
             RunOutcome::EventLimit
         }
+    }
+}
+
+impl<W> Simulator<W, EventFn<W>> {
+    /// Schedule a closure at an absolute time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        self.schedule_event_at(at, EventFn::new(f))
+    }
+
+    /// Schedule a closure after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Control<'_, W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
     }
 }
 
@@ -291,5 +358,65 @@ mod tests {
         });
         sim.run();
         assert_eq!(sim.world().log, vec![(10, "on-time"), (10, "late")]);
+    }
+
+    // ------------------------------------------------------------ typed events
+
+    #[derive(Default)]
+    struct Counter {
+        fired: Vec<(u64, u32)>,
+    }
+
+    enum Tick {
+        Once(u32),
+        Chain { label: u32, remaining: u32 },
+    }
+
+    impl Event<Counter> for Tick {
+        fn fire(self, w: &mut Counter, ctl: &mut Control<'_, Counter, Tick>) {
+            match self {
+                Tick::Once(label) => w.fired.push((ctl.now().as_nanos(), label)),
+                Tick::Chain { label, remaining } => {
+                    w.fired.push((ctl.now().as_nanos(), label));
+                    if remaining > 0 {
+                        ctl.schedule_event_in(
+                            ms(1),
+                            Tick::Chain {
+                                label: label + 1,
+                                remaining: remaining - 1,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_dispatch_without_boxing() {
+        let mut sim: Simulator<Counter, Tick> = Simulator::new(Counter::default());
+        sim.schedule_event_in(ms(5), Tick::Once(99));
+        sim.schedule_event_in(
+            ms(1),
+            Tick::Chain {
+                label: 0,
+                remaining: 2,
+            },
+        );
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        let labels: Vec<u32> = sim.world().fired.iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels, vec![0, 1, 2, 99]);
+        assert_eq!(sim.executed(), 4);
+    }
+
+    #[test]
+    fn typed_events_can_be_cancelled() {
+        let mut sim: Simulator<Counter, Tick> = Simulator::new(Counter::default());
+        let id = sim.schedule_event_in(ms(1), Tick::Once(1));
+        sim.schedule_event_in(ms(2), Tick::Once(2));
+        assert!(sim.cancel(id));
+        sim.run();
+        let labels: Vec<u32> = sim.world().fired.iter().map(|&(_, l)| l).collect();
+        assert_eq!(labels, vec![2]);
     }
 }
