@@ -243,7 +243,13 @@ pub fn brunet_arp() -> BrunetArpResult {
         .agent_as::<IpopHostAgent>(b)
         .map(|ag| ag.metrics().guest_rx)
         .unwrap_or(0);
-    // Migrate: node C now routes for the guest IP and re-publishes the mapping.
+    // Migrate: node C now routes for the guest IP and re-publishes the
+    // mapping, while B stops renewing its lease (the guest left it — were B
+    // to keep refreshing, the two hosts would fight over the record).
+    let now = sim.now();
+    if let Some(agent) = sim.net_mut().agent_as_mut::<IpopHostAgent>(b) {
+        agent.unroute_for(now, guest_ip);
+    }
     let now = sim.now();
     if let Some(agent) = sim.net_mut().agent_as_mut::<IpopHostAgent>(c) {
         agent.route_for(now, guest_ip);

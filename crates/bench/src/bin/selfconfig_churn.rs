@@ -1,0 +1,348 @@
+//! Self-configuration churn benchmark: dynamic-membership workloads the
+//! static harness cannot express, tracked across PRs in `BENCH_selfconfig.json`.
+//!
+//! The scenario exercises the whole self-configuration stack:
+//!
+//! 1. **Join** — 64 nodes (32 with `--quick`) join a Planet-Lab-like overlay
+//!    knowing only the virtual subnet (a /24) and one bootstrap endpoint. Each
+//!    draws, claims (atomic `DhtCreate`) and confirms its own address;
+//!    the benchmark measures allocation latency, collisions and duplicates.
+//! 2. **Churn** — a spread of nodes that *own other nodes' Brunet-ARP mapping
+//!    keys* crash (agents replaced outright, no goodbye), so the ring must
+//!    repair and the replicated soft-state DHT must keep the mappings alive.
+//! 3. **Resolve** — a surviving node probes the mapping of every surviving
+//!    address; the benchmark reports the resolution success rate, overall and
+//!    restricted to mappings whose DHT owner crashed.
+//!
+//! Usage: `selfconfig_churn [--quick] [--out PATH]`
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use ipop::prelude::*;
+use ipop_netsim::planetlab;
+use ipop_overlay::Address;
+use ipop_simcore::SimTime;
+
+struct Results {
+    nodes: usize,
+    crashed: usize,
+    /// Virtual seconds until every dynamic node was bound.
+    all_bound_s: f64,
+    bound: usize,
+    dynamic_total: usize,
+    duplicates: usize,
+    collisions: u64,
+    latency_mean_s: f64,
+    latency_max_s: f64,
+    probes: usize,
+    resolved: usize,
+    orphan_probes: usize,
+    orphan_resolved: usize,
+    dht_records: u64,
+    dht_bytes: u64,
+    dht_replicas: u64,
+    dht_refreshes: u64,
+    dht_expired: u64,
+    events: u64,
+    wall_s: f64,
+}
+
+fn run(nodes: usize, churn: usize, seed: u64) -> Results {
+    let started = Instant::now();
+    let mut net = Network::new(seed);
+    let plab = planetlab(&mut net, nodes, 1.0, seed);
+    let mut members = vec![IpopMember::router(
+        plab.nodes[0],
+        Ipv4Addr::new(172, 16, 0, 1),
+    )];
+    for (i, &h) in plab.nodes.iter().enumerate().skip(1) {
+        members.push(IpopMember::dynamic_router(h).with_hostname(&format!("grid-{i}")));
+    }
+    let options = DeployOptions {
+        brunet_arp: true,
+        ..DeployOptions::udp()
+    }
+    .with_dynamic_subnet(Ipv4Addr::new(172, 16, 9, 0), 24);
+    deploy_ipop(&mut net, members, options);
+    let mut sim = NetworkSim::new(net);
+
+    // Phase 1: join until every dynamic node is bound (or the deadline).
+    let deadline = SimTime::ZERO + Duration::from_secs(180);
+    let all_bound = |sim: &NetworkSim| {
+        plab.nodes[1..].iter().all(|&h| {
+            sim.agent_as::<IpopHostAgent>(h)
+                .is_some_and(|a| a.has_address())
+        })
+    };
+    while !all_bound(&sim) && sim.now() < deadline {
+        sim.run_for(Duration::from_secs(1));
+    }
+    let all_bound_s = sim.now().as_secs_f64();
+
+    let mut ips = Vec::new();
+    let mut latencies = Vec::new();
+    let mut collisions = 0u64;
+    for &h in &plab.nodes[1..] {
+        let agent = sim.agent_as::<IpopHostAgent>(h).expect("ipop agent");
+        collisions += agent.allocation_collisions().unwrap_or(0);
+        if agent.has_address() {
+            ips.push(agent.virtual_ip());
+            if let Some(l) = agent.allocation_latency() {
+                latencies.push(l.as_secs_f64());
+            }
+        }
+    }
+    let bound = ips.len();
+    let mut seen = BTreeMap::new();
+    for ip in &ips {
+        *seen.entry(*ip).or_insert(0usize) += 1;
+    }
+    let duplicates = seen.values().filter(|&&c| c > 1).count();
+    let latency_mean_s = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let latency_max_s = latencies.iter().cloned().fold(0.0, f64::max);
+
+    // Pre-churn mapping census: every bound node's address, overlay address,
+    // and which node owns its mapping key on the ring (the node ring-closest
+    // to SHA-1(ip)).
+    let owner_of = |sim: &NetworkSim, key: Address| -> usize {
+        (0..nodes)
+            .filter(|&i| sim.agent_as::<IpopHostAgent>(plab.nodes[i]).is_some())
+            .min_by_key(|&i| {
+                sim.agent_as::<IpopHostAgent>(plab.nodes[i])
+                    .unwrap()
+                    .overlay_address()
+                    .ring_distance(&key)
+            })
+            .expect("live nodes remain")
+    };
+    let mappings: Vec<(usize, Ipv4Addr, Address, usize)> = plab.nodes[1..]
+        .iter()
+        .enumerate()
+        .map(|(k, &h)| (k + 1, h))
+        .filter_map(|(i, h)| {
+            let agent = sim.agent_as::<IpopHostAgent>(h)?;
+            if !agent.has_address() {
+                return None;
+            }
+            let ip = agent.virtual_ip();
+            let owner = owner_of(&sim, Address::from_ip(ip));
+            Some((i, ip, agent.overlay_address(), owner))
+        })
+        .collect();
+
+    // Phase 2: crash owners of *other* nodes' mappings, keeping the bootstrap
+    // (0) and the prober (1) alive.
+    let mut victims: Vec<usize> = Vec::new();
+    for &(i, _ip, _addr, o) in &mappings {
+        if victims.len() >= churn {
+            break;
+        }
+        if o != i && o != 0 && o != 1 && !victims.contains(&o) {
+            victims.push(o);
+        }
+    }
+    for &v in &victims {
+        deploy_plain(sim.net_mut(), plab.nodes[v], Box::new(NullApp));
+    }
+    // Ring repair: wait out the connection timeout (45 s) plus slack.
+    sim.run_for(Duration::from_secs(75));
+
+    // Phase 3: a surviving node resolves every surviving address. A mapping is
+    // "orphaned" when its pre-churn DHT owner crashed — those are the ones
+    // only replication can keep resolvable.
+    let survivors: Vec<usize> = (1..nodes).filter(|i| !victims.contains(i)).collect();
+    let prober = plab.nodes[survivors[0]];
+    let mut expected: BTreeMap<u64, (Ipv4Addr, Address, bool)> = BTreeMap::new();
+    for &(i, ip, addr, owner) in &mappings {
+        if victims.contains(&i) || i == survivors[0] {
+            continue;
+        }
+        let orphaned = victims.contains(&owner);
+        let now = sim.now();
+        let token = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(prober)
+            .unwrap()
+            .resolve_ip(now, ip);
+        expected.insert(token, (ip, addr, orphaned));
+    }
+    sim.run_for(Duration::from_secs(15));
+    let results = sim
+        .net_mut()
+        .agent_as_mut::<IpopHostAgent>(prober)
+        .unwrap()
+        .take_probe_results();
+    let mut probes = 0;
+    let mut resolved = 0;
+    let mut orphan_probes = 0;
+    let mut orphan_resolved = 0;
+    for (token, got) in results {
+        let Some((_ip, want, orphaned)) = expected.get(&token) else {
+            continue;
+        };
+        probes += 1;
+        let ok = got == Some(*want);
+        if ok {
+            resolved += 1;
+        }
+        if *orphaned {
+            orphan_probes += 1;
+            if ok {
+                orphan_resolved += 1;
+            }
+        }
+    }
+
+    // DHT health across the survivors.
+    let mut dht = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for &i in std::iter::once(&0).chain(survivors.iter()) {
+        if let Some(agent) = sim.agent_as::<IpopHostAgent>(plab.nodes[i]) {
+            let s = agent.overlay_stats();
+            dht.0 += s.dht_records;
+            dht.1 += s.dht_bytes;
+            dht.2 += s.dht_replicas;
+            dht.3 += s.dht_refreshes;
+            dht.4 += s.dht_expired;
+        }
+    }
+
+    Results {
+        nodes,
+        crashed: victims.len(),
+        all_bound_s,
+        bound,
+        dynamic_total: nodes - 1,
+        duplicates,
+        collisions,
+        latency_mean_s,
+        latency_max_s,
+        probes,
+        resolved,
+        orphan_probes,
+        orphan_resolved,
+        dht_records: dht.0,
+        dht_bytes: dht.1,
+        dht_replicas: dht.2,
+        dht_refreshes: dht.3,
+        dht_expired: dht.4,
+        events: sim.events_executed(),
+        wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn render_json(mode: &str, r: &Results) -> String {
+    let rate = |num: usize, den: usize| {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"selfconfig_churn\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"nodes\": {nodes},\n",
+            "  \"crashed_owners\": {crashed},\n",
+            "  \"allocation\": {{\n",
+            "    \"dynamic_nodes\": {dynamic_total},\n",
+            "    \"bound\": {bound},\n",
+            "    \"duplicates\": {duplicates},\n",
+            "    \"collisions\": {collisions},\n",
+            "    \"all_bound_virtual_s\": {all_bound:.1},\n",
+            "    \"latency_mean_s\": {lmean:.3},\n",
+            "    \"latency_max_s\": {lmax:.3}\n",
+            "  }},\n",
+            "  \"resolution\": {{\n",
+            "    \"probes\": {probes},\n",
+            "    \"resolved\": {resolved},\n",
+            "    \"success_rate\": {rate:.4},\n",
+            "    \"orphaned_probes\": {oprobes},\n",
+            "    \"orphaned_resolved\": {oresolved},\n",
+            "    \"orphaned_success_rate\": {orate:.4}\n",
+            "  }},\n",
+            "  \"dht\": {{\n",
+            "    \"records\": {records},\n",
+            "    \"bytes\": {bytes},\n",
+            "    \"replicas_held\": {replicas},\n",
+            "    \"refreshes_sent\": {refreshes},\n",
+            "    \"expired\": {expired}\n",
+            "  }},\n",
+            "  \"events\": {events},\n",
+            "  \"wall_s\": {wall:.3}\n",
+            "}}\n",
+        ),
+        mode = mode,
+        nodes = r.nodes,
+        crashed = r.crashed,
+        dynamic_total = r.dynamic_total,
+        bound = r.bound,
+        duplicates = r.duplicates,
+        collisions = r.collisions,
+        all_bound = r.all_bound_s,
+        lmean = r.latency_mean_s,
+        lmax = r.latency_max_s,
+        probes = r.probes,
+        resolved = r.resolved,
+        rate = rate(r.resolved, r.probes),
+        oprobes = r.orphan_probes,
+        oresolved = r.orphan_resolved,
+        orate = rate(r.orphan_resolved, r.orphan_probes),
+        records = r.dht_records,
+        bytes = r.dht_bytes,
+        replicas = r.dht_replicas,
+        refreshes = r.dht_refreshes,
+        expired = r.dht_expired,
+        events = r.events,
+        wall = r.wall_s,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_selfconfig.json", env!("CARGO_MANIFEST_DIR")));
+    let mode = if quick { "quick" } else { "full" };
+    let (nodes, churn) = if quick { (32, 4) } else { (64, 6) };
+
+    eprintln!("selfconfig_churn ({mode} mode): {nodes} nodes, crashing up to {churn} DHT owners");
+    let r = run(nodes, churn, 0x5e1f_c0f6);
+    eprintln!(
+        "  allocation: {}/{} bound in {:.0} virtual s, {} duplicates, {} collisions, latency mean {:.2} s / max {:.2} s",
+        r.bound, r.dynamic_total, r.all_bound_s, r.duplicates, r.collisions,
+        r.latency_mean_s, r.latency_max_s,
+    );
+    eprintln!(
+        "  churn: {} owners crashed; resolution {}/{} ({:.1}%), orphaned mappings {}/{}",
+        r.crashed,
+        r.resolved,
+        r.probes,
+        100.0 * r.resolved as f64 / r.probes.max(1) as f64,
+        r.orphan_resolved,
+        r.orphan_probes,
+    );
+    eprintln!(
+        "  dht: {} records / {} B, {} replicas held, {} refreshes, {} expired; {} events in {:.2} s wall",
+        r.dht_records, r.dht_bytes, r.dht_replicas, r.dht_refreshes, r.dht_expired,
+        r.events, r.wall_s,
+    );
+    if r.duplicates > 0 {
+        eprintln!("  WARNING: duplicate allocations detected");
+    }
+
+    let json = render_json(mode, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_selfconfig.json");
+    eprintln!("wrote {out_path}");
+}

@@ -12,12 +12,18 @@
 //! This module holds the sender-side resolver state (cache, pending packets and
 //! outstanding queries); the DHT itself is the overlay's.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use ipop_overlay::Address;
 use ipop_packet::ipv4::Ipv4Packet;
+use ipop_packet::Bytes;
 use ipop_simcore::{Duration, SimTime};
+
+/// Default bound on packets parked per unresolved destination. Traffic to an
+/// unresolvable IP must not grow memory without limit; beyond this the oldest
+/// parked packet is dropped (counted in [`BrunetArp::dropped`]).
+pub const DEFAULT_PARK_LIMIT: usize = 32;
 
 /// Outcome of a resolution attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -35,8 +41,10 @@ pub enum Resolution {
 pub struct BrunetArp {
     cache_ttl: Duration,
     cache: HashMap<Ipv4Addr, (Address, SimTime)>,
-    /// Packets waiting for a resolution, per destination IP.
-    parked: HashMap<Ipv4Addr, Vec<Ipv4Packet>>,
+    /// Packets waiting for a resolution, per destination IP. Bounded to
+    /// `park_limit` per destination, drop-oldest.
+    parked: HashMap<Ipv4Addr, VecDeque<Ipv4Packet>>,
+    park_limit: usize,
     /// Outstanding DHT query tokens → the IP they resolve.
     outstanding: HashMap<u64, Ipv4Addr>,
     /// Statistics.
@@ -45,6 +53,8 @@ pub struct BrunetArp {
     pub cache_misses: u64,
     /// Statistics: resolutions that found no mapping in the DHT.
     pub failed: u64,
+    /// Statistics: parked packets dropped because a destination's queue was full.
+    pub dropped: u64,
 }
 
 impl BrunetArp {
@@ -54,32 +64,39 @@ impl BrunetArp {
             cache_ttl,
             cache: HashMap::new(),
             parked: HashMap::new(),
+            park_limit: DEFAULT_PARK_LIMIT,
             outstanding: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
             failed: 0,
+            dropped: 0,
         }
     }
 
-    /// The DHT key under which the mapping for `ip` is stored: SHA-1 of the
-    /// address, i.e. the same point on the ring the base design would send to.
-    pub fn key_for(ip: Ipv4Addr) -> Address {
-        Address::from_ip(ip)
+    /// Builder: override the per-destination parked-packet bound.
+    pub fn with_park_limit(mut self, limit: usize) -> Self {
+        self.park_limit = limit.max(1);
+        self
     }
 
-    /// Encode an overlay address as a DHT value.
-    pub fn encode_mapping(addr: &Address) -> Vec<u8> {
-        addr.0.to_vec()
+    /// The DHT key under which the mapping for `ip` is stored: SHA-1 of the
+    /// address, i.e. the same point on the ring the base design would send to
+    /// (and the same key the DHCP-over-DHT allocator claims).
+    pub fn key_for(ip: Ipv4Addr) -> Address {
+        ipop_services::dhcp::lease_key(ip)
+    }
+
+    /// Encode an overlay address as a DHT value (shared buffer; storing and
+    /// replicating it never copy). Delegates to the allocator's lease codec:
+    /// a DHCP-over-DHT claim *is* a Brunet-ARP mapping, so the two must stay
+    /// byte-compatible by construction, not by convention.
+    pub fn encode_mapping(addr: &Address) -> Bytes {
+        ipop_services::dhcp::encode_owner(addr)
     }
 
     /// Decode a DHT value back into an overlay address.
     pub fn decode_mapping(value: &[u8]) -> Option<Address> {
-        if value.len() != 20 {
-            return None;
-        }
-        let mut b = [0u8; 20];
-        b.copy_from_slice(value);
-        Some(Address(b))
+        ipop_services::dhcp::decode_owner(value)
     }
 
     /// Number of live cache entries.
@@ -89,7 +106,7 @@ impl BrunetArp {
 
     /// Number of parked packets across all destinations.
     pub fn parked_packets(&self) -> usize {
-        self.parked.values().map(Vec::len).sum()
+        self.parked.values().map(VecDeque::len).sum()
     }
 
     /// Look up the overlay address for `dst`, indicating whether a DHT query is
@@ -115,9 +132,16 @@ impl BrunetArp {
         self.outstanding.insert(token, dst);
     }
 
-    /// Park a packet until `dst` resolves.
+    /// Park a packet until `dst` resolves. When the destination's queue is
+    /// full the oldest parked packet is dropped (and counted), so traffic to
+    /// an unresolvable IP occupies bounded memory.
     pub fn park(&mut self, dst: Ipv4Addr, pkt: Ipv4Packet) {
-        self.parked.entry(dst).or_default().push(pkt);
+        let queue = self.parked.entry(dst).or_default();
+        if queue.len() >= self.park_limit {
+            queue.pop_front();
+            self.dropped += 1;
+        }
+        queue.push_back(pkt);
     }
 
     /// Process a DHT reply. Returns the resolved destination, its overlay address
@@ -126,11 +150,11 @@ impl BrunetArp {
         &mut self,
         now: SimTime,
         token: u64,
-        value: Option<Vec<u8>>,
+        value: Option<Bytes>,
     ) -> Option<(Ipv4Addr, Option<Address>, Vec<Ipv4Packet>)> {
         let dst = self.outstanding.remove(&token)?;
         let addr = value.as_deref().and_then(Self::decode_mapping);
-        let waiting = self.parked.remove(&dst).unwrap_or_default();
+        let waiting: Vec<Ipv4Packet> = self.parked.remove(&dst).map(Vec::from).unwrap_or_default();
         match addr {
             Some(a) => {
                 self.cache.insert(dst, (a, now));
@@ -235,7 +259,46 @@ mod tests {
     #[test]
     fn unknown_token_is_ignored() {
         let mut arp = BrunetArp::new(Duration::from_secs(10));
-        assert!(arp.on_reply(SimTime::ZERO, 99, Some(vec![0; 20])).is_none());
+        assert!(arp
+            .on_reply(SimTime::ZERO, 99, Some(Bytes::from(vec![0u8; 20])))
+            .is_none());
+    }
+
+    #[test]
+    fn parked_queue_is_bounded_per_destination_drop_oldest() {
+        let mut arp = BrunetArp::new(Duration::from_secs(10)).with_park_limit(3);
+        arp.query_issued(1, DST);
+        let other = Ipv4Addr::new(172, 16, 0, 99);
+        arp.query_issued(2, other);
+        // Five packets to one destination: only the newest three survive.
+        for i in 0..5u8 {
+            arp.park(
+                DST,
+                Ipv4Packet::new(
+                    Ipv4Addr::new(172, 16, 0, 2),
+                    DST,
+                    Ipv4Payload::Raw(99, vec![i].into()),
+                ),
+            );
+        }
+        // The bound is per destination: another IP's queue is unaffected.
+        arp.park(other, pkt(other));
+        assert_eq!(arp.parked_packets(), 4);
+        assert_eq!(arp.dropped, 2);
+        let target = Address::from_key(b"n");
+        let (_, _, released) = arp
+            .on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)))
+            .unwrap();
+        assert_eq!(released.len(), 3);
+        // Drop-oldest: the survivors are the three newest packets, in order.
+        let tails: Vec<u8> = released
+            .iter()
+            .map(|p| match &p.payload {
+                Ipv4Payload::Raw(_, data) => data[0],
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tails, vec![2, 3, 4]);
     }
 
     #[test]

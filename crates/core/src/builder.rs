@@ -10,6 +10,7 @@ use std::net::Ipv4Addr;
 
 use ipop_netsim::{HostId, Network};
 use ipop_overlay::transport::TransportMode;
+use ipop_simcore::Duration;
 
 use crate::app::{NullApp, VirtualApp};
 use crate::config::IpopConfig;
@@ -20,8 +21,12 @@ use crate::plain::PlainHostAgent;
 pub struct IpopMember {
     /// The physical host.
     pub host: HostId,
-    /// The virtual IP to assign to its tap interface.
-    pub virtual_ip: Ipv4Addr,
+    /// The virtual IP to assign to its tap interface, or `None` to allocate
+    /// one dynamically from [`DeployOptions::dynamic_subnet`] through the
+    /// DHCP-over-DHT allocator.
+    pub virtual_ip: Option<Ipv4Addr>,
+    /// Hostname to register in the overlay name service, if any.
+    pub hostname: Option<String>,
     /// The application to run on the virtual network.
     pub app: Box<dyn VirtualApp>,
 }
@@ -31,18 +36,36 @@ impl IpopMember {
     pub fn new(host: HostId, virtual_ip: Ipv4Addr, app: Box<dyn VirtualApp>) -> Self {
         IpopMember {
             host,
-            virtual_ip,
+            virtual_ip: Some(virtual_ip),
+            hostname: None,
             app,
         }
     }
 
     /// A member that only routes (no application).
     pub fn router(host: HostId, virtual_ip: Ipv4Addr) -> Self {
+        Self::new(host, virtual_ip, Box::new(NullApp))
+    }
+
+    /// A member that joins with no address and allocates one dynamically.
+    pub fn dynamic(host: HostId, app: Box<dyn VirtualApp>) -> Self {
         IpopMember {
             host,
-            virtual_ip,
-            app: Box::new(NullApp),
+            virtual_ip: None,
+            hostname: None,
+            app,
         }
+    }
+
+    /// A dynamically addressed member that only routes.
+    pub fn dynamic_router(host: HostId) -> Self {
+        Self::dynamic(host, Box::new(NullApp))
+    }
+
+    /// Builder: register `hostname` in the overlay name service.
+    pub fn with_hostname(mut self, hostname: &str) -> Self {
+        self.hostname = Some(hostname.to_string());
+        self
     }
 }
 
@@ -51,10 +74,15 @@ impl IpopMember {
 pub struct DeployOptions {
     /// Overlay transport mode (the IPOP-TCP vs IPOP-UDP axis of Tables I–III).
     pub transport: TransportMode,
-    /// Enable the Brunet-ARP DHT mapper on every node.
+    /// Enable the Brunet-ARP DHT mapper on every node (dynamic members enable
+    /// it regardless — they cannot work without it).
     pub brunet_arp: bool,
     /// Enable shortcut connections.
     pub shortcuts: bool,
+    /// Subnet dynamic members allocate their addresses from.
+    pub dynamic_subnet: (Ipv4Addr, u8),
+    /// Lease TTL for DHT registrations (address leases, mappings, names).
+    pub lease_ttl: Duration,
 }
 
 impl Default for DeployOptions {
@@ -63,6 +91,8 @@ impl Default for DeployOptions {
             transport: TransportMode::Udp,
             brunet_arp: false,
             shortcuts: true,
+            dynamic_subnet: (Ipv4Addr::new(172, 16, 0, 0), 16),
+            lease_ttl: Duration::from_secs(120),
         }
     }
 }
@@ -79,6 +109,18 @@ impl DeployOptions {
             transport: TransportMode::Tcp,
             ..Self::default()
         }
+    }
+
+    /// Builder: set the subnet dynamic members allocate from.
+    pub fn with_dynamic_subnet(mut self, net: Ipv4Addr, prefix: u8) -> Self {
+        self.dynamic_subnet = (net, prefix);
+        self
+    }
+
+    /// Builder: set the lease TTL for DHT registrations.
+    pub fn with_lease_ttl(mut self, ttl: Duration) -> Self {
+        self.lease_ttl = ttl;
+        self
     }
 }
 
@@ -108,7 +150,15 @@ pub fn deploy_ipop(
     let mut hosts = Vec::with_capacity(members.len());
     for member in members {
         let phys_addr = net.host(member.host).addr;
-        let mut cfg = IpopConfig::new(member.virtual_ip).with_transport(options.transport);
+        let mut cfg = match member.virtual_ip {
+            Some(ip) => IpopConfig::new(ip),
+            None => IpopConfig::dynamic(options.dynamic_subnet),
+        }
+        .with_transport(options.transport)
+        .with_lease_ttl(options.lease_ttl);
+        if let Some(name) = &member.hostname {
+            cfg = cfg.with_hostname(name);
+        }
         if options.brunet_arp {
             cfg = cfg.with_brunet_arp();
         }

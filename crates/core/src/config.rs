@@ -11,8 +11,21 @@ use ipop_simcore::Duration;
 pub struct IpopConfig {
     /// The virtual IP address assigned to this host's tap interface. Must be unique
     /// within the virtual address space; the node's overlay address is its SHA-1
-    /// hash.
+    /// hash. `0.0.0.0` (unspecified) when the node allocates its address
+    /// dynamically — see [`IpopConfig::dynamic`].
     pub virtual_ip: Ipv4Addr,
+    /// When set, the node joins with no address and allocates one from this
+    /// subnet through the DHCP-over-DHT allocator (`ipop-services`). Implies
+    /// Brunet-ARP: with a dynamic address the overlay address cannot be the
+    /// hash of the virtual IP, so mappings must live in the DHT.
+    pub dynamic_subnet: Option<(Ipv4Addr, u8)>,
+    /// Hostname registered in (and resolvable through) the overlay name
+    /// service once the node has an address.
+    pub hostname: Option<String>,
+    /// Lifetime of this node's DHT registrations (address lease, Brunet-ARP
+    /// mappings, name records). Renewed at half this interval; after a crash
+    /// the records age out one TTL later.
+    pub lease_ttl: Duration,
     /// The virtual address space (used only to sanity-check destinations).
     pub virtual_prefix: (Ipv4Addr, u8),
     /// The fabricated gateway IP for the static-ARP trick (must not collide with a
@@ -46,6 +59,9 @@ impl IpopConfig {
     pub fn new(virtual_ip: Ipv4Addr) -> Self {
         IpopConfig {
             virtual_ip,
+            dynamic_subnet: None,
+            hostname: None,
+            lease_ttl: Duration::from_secs(120),
             virtual_prefix: (Ipv4Addr::new(172, 16, 0, 0), 16),
             gateway_ip: Ipv4Addr::new(172, 16, 255, 254),
             virtual_mtu: 1400,
@@ -57,6 +73,37 @@ impl IpopConfig {
             overlay_tick: Duration::from_millis(500),
             shortcuts: true,
         }
+    }
+
+    /// A node that joins knowing only the virtual subnet: its address is drawn
+    /// and claimed through the DHCP-over-DHT allocator, its overlay address is
+    /// random, and Brunet-ARP resolves IPs to overlay addresses. The
+    /// fabricated gateway is the subnet's second-highest host address (the
+    /// allocator never draws it).
+    pub fn dynamic(subnet: (Ipv4Addr, u8)) -> Self {
+        let (net, len) = subnet;
+        assert!(len <= 30, "subnet too small for dynamic allocation");
+        let mask = u32::MAX << (32 - len);
+        let net = u32::from(net) & mask;
+        let gateway = Ipv4Addr::from(net | (!mask - 1));
+        let mut cfg = Self::new(Ipv4Addr::UNSPECIFIED);
+        cfg.dynamic_subnet = Some((Ipv4Addr::from(net), len));
+        cfg.virtual_prefix = (Ipv4Addr::from(net), len);
+        cfg.gateway_ip = gateway;
+        cfg.brunet_arp = true;
+        cfg
+    }
+
+    /// Builder: register `hostname` in the overlay name service.
+    pub fn with_hostname(mut self, hostname: &str) -> Self {
+        self.hostname = Some(hostname.to_string());
+        self
+    }
+
+    /// Builder: set the lease TTL for this node's DHT registrations.
+    pub fn with_lease_ttl(mut self, ttl: Duration) -> Self {
+        self.lease_ttl = ttl;
+        self
     }
 
     /// Builder: set bootstrap endpoints.
@@ -107,6 +154,22 @@ mod tests {
         assert!(cfg.virtual_mtu < 1500);
         assert!(!cfg.brunet_arp);
         assert!(cfg.shortcuts);
+    }
+
+    #[test]
+    fn dynamic_config_derives_subnet_fields() {
+        let cfg = IpopConfig::dynamic((Ipv4Addr::new(172, 16, 9, 77), 24)).with_hostname("w1");
+        assert!(cfg.virtual_ip.is_unspecified());
+        assert_eq!(
+            cfg.dynamic_subnet,
+            Some((Ipv4Addr::new(172, 16, 9, 0), 24)),
+            "host bits are masked off"
+        );
+        assert_eq!(cfg.gateway_ip, Ipv4Addr::new(172, 16, 9, 254));
+        assert!(cfg.brunet_arp, "dynamic addressing requires Brunet-ARP");
+        assert!(cfg.in_virtual_space(Ipv4Addr::new(172, 16, 9, 3)));
+        assert!(!cfg.in_virtual_space(Ipv4Addr::new(172, 16, 10, 3)));
+        assert_eq!(cfg.hostname.as_deref(), Some("w1"));
     }
 
     #[test]

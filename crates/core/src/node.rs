@@ -30,9 +30,12 @@ use ipop_netstack::tap::TapDevice;
 use ipop_netstack::{NetStack, StackConfig};
 use ipop_overlay::packets::RoutedPayload;
 use ipop_overlay::transport::{OverlayTransport, TcpTransport, TransportMode, UdpTransport};
-use ipop_overlay::{Address, OverlayConfig, OverlayNode, OverlayStats};
+use ipop_overlay::{Address, ConnectionKind, OverlayConfig, OverlayNode, OverlayStats};
 use ipop_packet::ether::{EthernetFrame, FramePayload, MacAddr};
 use ipop_packet::ipv4::Ipv4Packet;
+use ipop_services::dhcp::{DhcpAllocator, DhcpConfig, DhcpState};
+use ipop_services::name::NameService;
+use ipop_services::Subnet;
 use ipop_simcore::{Duration, SimTime, StreamRng, TimerToken};
 
 use crate::app::{AppEnv, VirtualApp};
@@ -86,6 +89,23 @@ pub struct IpopHostAgent {
     extra_ips: Vec<Ipv4Addr>,
     guest_delivered: Vec<Ipv4Packet>,
 
+    /// DHCP-over-DHT allocation state (dynamic-address nodes only).
+    allocator: Option<DhcpAllocator>,
+    alloc_rng: StreamRng,
+    /// True once the deferred virtual side (tap, stacks, app) is live — from
+    /// the start on static nodes, from lease binding on dynamic nodes.
+    app_started: bool,
+    /// Overlay name service (hostname → virtual IP) resolver state.
+    name_service: NameService,
+    name_results: Vec<(String, Option<Ipv4Addr>)>,
+    /// Outstanding Brunet-ARP probe tokens issued via
+    /// [`IpopHostAgent::resolve_ip`] (diagnostics and churn experiments).
+    probe_tokens: std::collections::BTreeSet<u64>,
+    probe_results: Vec<(u64, Option<Address>)>,
+    host_name: String,
+    /// When the overlay started (readiness fallback for tiny deployments).
+    overlay_started_at: SimTime,
+
     /// Cache of virtual IP → overlay address (SHA-1 of the IP). The mapping is
     /// a pure function, and hashing on every tunnelled packet is measurable on
     /// the data path.
@@ -120,13 +140,26 @@ impl IpopHostAgent {
     /// Build an IPOP node for a host whose physical interface address is
     /// `phys_addr`, running `app` on the virtual network.
     pub fn new(cfg: IpopConfig, phys_addr: Ipv4Addr, app: Box<dyn VirtualApp>) -> Self {
-        let seed = u64::from(u32::from(cfg.virtual_ip)) ^ 0x1b0b_5eed;
+        // Static nodes derive everything from the virtual IP; dynamic nodes
+        // have none yet, so they seed from the (unique) physical address.
+        let seed = if cfg.dynamic_subnet.is_some() {
+            u64::from(u32::from(phys_addr)) ^ 0xd1c9_5eed
+        } else {
+            u64::from(u32::from(cfg.virtual_ip)) ^ 0x1b0b_5eed
+        };
         let mut phys = NetStack::new(StackConfig::new(phys_addr));
         let transport: Box<dyn OverlayTransport> = match cfg.transport {
             TransportMode::Udp => Box::new(UdpTransport::bind(&mut phys, cfg.overlay_port)),
             TransportMode::Tcp => Box::new(TcpTransport::bind(&mut phys, cfg.overlay_port)),
         };
-        let overlay_addr = Address::from_ip(cfg.virtual_ip);
+        // A dynamic node cannot hash an IP it does not have: its overlay
+        // address is random (deterministic per host), and Brunet-ARP carries
+        // the IP → overlay-address mapping once an address is claimed.
+        let overlay_addr = if cfg.dynamic_subnet.is_some() {
+            Address::random(&mut StreamRng::new(seed, "ipop.dhcp.addr"))
+        } else {
+            Address::from_ip(cfg.virtual_ip)
+        };
         let mut overlay_cfg = OverlayConfig::new(overlay_addr, (phys_addr, cfg.overlay_port))
             .with_bootstrap(cfg.bootstrap.clone());
         overlay_cfg.maintenance_interval = cfg.overlay_tick;
@@ -146,7 +179,19 @@ impl IpopHostAgent {
         let brunet_arp = cfg
             .brunet_arp
             .then(|| BrunetArp::new(cfg.brunet_arp_cache_ttl));
+        let allocator = cfg.dynamic_subnet.map(|(net, len)| {
+            DhcpAllocator::new(
+                Subnet::new(net, len),
+                overlay_addr,
+                DhcpConfig {
+                    lease_ttl: cfg.lease_ttl,
+                    ..DhcpConfig::default()
+                },
+            )
+            .with_reserved(vec![cfg.gateway_ip])
+        });
         let label = format!("ipop-{}", cfg.virtual_ip);
+        let name_service = NameService::new(cfg.brunet_arp_cache_ttl);
 
         IpopHostAgent {
             cfg,
@@ -164,6 +209,15 @@ impl IpopHostAgent {
             brunet_arp,
             extra_ips: Vec::new(),
             guest_delivered: Vec::new(),
+            allocator,
+            alloc_rng: StreamRng::new(seed, "ipop.dhcp"),
+            app_started: false,
+            name_service,
+            name_results: Vec::new(),
+            probe_tokens: std::collections::BTreeSet::new(),
+            probe_results: Vec::new(),
+            host_name: String::new(),
+            overlay_started_at: SimTime::ZERO,
             addr_cache: std::collections::HashMap::new(),
             rx_pending: Vec::new(),
             rx_pending_min: None,
@@ -225,7 +279,8 @@ impl IpopHostAgent {
 
     /// Register an additional virtual IP this node routes for (a guest VM hosted by
     /// this machine — paper Section III-E). With Brunet-ARP enabled the mapping is
-    /// published in the DHT; packets for that IP are collected in a guest queue.
+    /// registered in the DHT as a lease renewed at half [`IpopConfig::lease_ttl`];
+    /// packets for that IP are collected in a guest queue.
     pub fn route_for(&mut self, now: SimTime, ip: Ipv4Addr) {
         self.last_pass = None;
         if !self.extra_ips.contains(&ip) {
@@ -234,7 +289,20 @@ impl IpopHostAgent {
         if self.brunet_arp.is_some() {
             let key = BrunetArp::key_for(ip);
             let value = BrunetArp::encode_mapping(&self.overlay.address());
-            self.overlay.dht_put(now, key, value);
+            self.overlay
+                .dht_put_ttl(now, key, value, self.cfg.lease_ttl);
+        }
+    }
+
+    /// Forget a guest IP this node routed for (the VM migrated away). The
+    /// node stops renewing the mapping lease — it does not delete the record,
+    /// because the migration target has already re-registered it (deleting
+    /// would race the new owner's mapping).
+    pub fn unroute_for(&mut self, _now: SimTime, ip: Ipv4Addr) {
+        self.last_pass = None;
+        self.extra_ips.retain(|&x| x != ip);
+        if self.brunet_arp.is_some() {
+            self.overlay.dht_unpublish(&BrunetArp::key_for(ip));
         }
     }
 
@@ -243,15 +311,97 @@ impl IpopHostAgent {
         std::mem::take(&mut self.guest_delivered)
     }
 
-    /// Publish this node's own tap IP in the Brunet-ARP DHT (done automatically at
-    /// start when Brunet-ARP is enabled; callable again after "migration").
+    /// Publish this node's own tap IP in the Brunet-ARP DHT as a renewed lease
+    /// (done automatically at start when Brunet-ARP is enabled; callable again
+    /// after "migration"). No-op while a dynamic node has no address — there
+    /// the allocator's claim doubles as the mapping.
     pub fn publish_own_mapping(&mut self, now: SimTime) {
         self.last_pass = None;
-        if self.brunet_arp.is_some() {
+        if self.brunet_arp.is_some() && !self.cfg.virtual_ip.is_unspecified() {
             let key = BrunetArp::key_for(self.cfg.virtual_ip);
             let value = BrunetArp::encode_mapping(&self.overlay.address());
-            self.overlay.dht_put(now, key, value);
+            self.overlay
+                .dht_put_ttl(now, key, value, self.cfg.lease_ttl);
         }
+    }
+
+    /// True once the node has a virtual address (always true for static
+    /// nodes; true after the DHCP-over-DHT claim is confirmed on dynamic ones).
+    pub fn has_address(&self) -> bool {
+        !self.cfg.virtual_ip.is_unspecified()
+    }
+
+    /// Time from joining to the confirmed dynamic allocation, if this node
+    /// allocated dynamically and has bound.
+    pub fn allocation_latency(&self) -> Option<Duration> {
+        self.allocator.as_ref().and_then(|a| a.allocation_latency())
+    }
+
+    /// Collisions the dynamic allocator hit before binding.
+    pub fn allocation_collisions(&self) -> Option<u64> {
+        self.allocator.as_ref().map(|a| a.collisions)
+    }
+
+    /// Issue a Brunet-ARP resolution probe for `ip` (bypassing the resolver
+    /// cache); the result arrives via [`IpopHostAgent::take_probe_results`].
+    /// Used by churn experiments to measure resolution success.
+    pub fn resolve_ip(&mut self, now: SimTime, ip: Ipv4Addr) -> u64 {
+        self.last_pass = None;
+        let token = self.overlay.dht_get(now, BrunetArp::key_for(ip));
+        self.probe_tokens.insert(token);
+        token
+    }
+
+    /// Completed resolution probes: `(token, mapped overlay address)`.
+    pub fn take_probe_results(&mut self) -> Vec<(u64, Option<Address>)> {
+        std::mem::take(&mut self.probe_results)
+    }
+
+    /// Resolve a hostname through the overlay name service. Returns the
+    /// cached IP when fresh; otherwise issues a DHT lookup whose outcome
+    /// arrives via [`IpopHostAgent::take_name_results`].
+    pub fn lookup_name(&mut self, now: SimTime, name: &str) -> Option<Ipv4Addr> {
+        self.last_pass = None;
+        match self.name_service.resolve(&mut self.overlay, now, name) {
+            ipop_services::Resolution::Cached(ip) => Some(ip),
+            ipop_services::Resolution::Pending(_) => None,
+        }
+    }
+
+    /// Completed name lookups: `(hostname, IP if registered)`.
+    pub fn take_name_results(&mut self) -> Vec<(String, Option<Ipv4Addr>)> {
+        std::mem::take(&mut self.name_results)
+    }
+
+    /// Gracefully leave the virtual network: release the dynamic lease and
+    /// name/mapping registrations, hand stored DHT records off to ring
+    /// neighbours and close every overlay edge. The queued goodbye traffic
+    /// flushes on the agent's next wakeup.
+    pub fn leave(&mut self, now: SimTime) {
+        self.last_pass = None;
+        if let Some(alloc) = self.allocator.as_mut() {
+            alloc.release(now, &mut self.overlay);
+        }
+        if self.has_address() {
+            if let Some(name) = self.cfg.hostname.clone() {
+                NameService::unregister(&mut self.overlay, now, &name);
+            }
+            // A dynamic node's own mapping is the lease the allocator just
+            // released; a static node's must be deleted here.
+            if self.brunet_arp.is_some() && self.allocator.is_none() {
+                self.overlay
+                    .dht_remove(now, BrunetArp::key_for(self.cfg.virtual_ip));
+            }
+        }
+        // Guest mappings are separate leases regardless of how this node got
+        // its own address: delete them so guest traffic does not black-hole
+        // into a departed host for a full TTL.
+        if self.brunet_arp.is_some() {
+            for ip in self.extra_ips.clone() {
+                self.overlay.dht_remove(now, BrunetArp::key_for(ip));
+            }
+        }
+        self.overlay.leave(now);
     }
 
     // ------------------------------------------------------------------ internals
@@ -367,11 +517,73 @@ impl IpopHostAgent {
                 }
             }
 
-            // Brunet-ARP replies release parked packets.
+            // Dynamic address allocation: drive the DHCP-over-DHT state
+            // machine until the lease is confirmed, then bring the virtual
+            // side up. Claiming waits for ring neighbours on both sides so a
+            // half-converged ring cannot split-brain the atomic create.
+            if self.allocator.is_some() && !self.app_started {
+                // Ring neighbours on both sides mean the ring has locally
+                // converged; the time fallback keeps deployments too small to
+                // ever reach two Near edges (e.g. bootstrap + one member)
+                // from hanging unallocated forever.
+                let ready = self.overlay.connections().count_kind(ConnectionKind::Near) >= 2
+                    || (self.overlay.is_connected()
+                        && now.saturating_since(self.overlay_started_at)
+                            >= Duration::from_secs(10));
+                let before = self.allocator.as_ref().map(|a| a.state());
+                if let Some(alloc) = self.allocator.as_mut() {
+                    alloc.poll(now, ready, &mut self.alloc_rng, &mut self.overlay);
+                }
+                let after = self.allocator.as_ref().map(|a| a.state());
+                if after != before {
+                    progress = true;
+                }
+                if matches!(after, Some(DhcpState::Bound { .. })) {
+                    self.bind_lease(now);
+                    progress = true;
+                }
+            }
+
+            // DHT create replies: allocation claims.
+            for (token, created, _existing) in self.overlay.take_dht_create_replies() {
+                progress = true;
+                if let Some(alloc) = self.allocator.as_mut() {
+                    alloc.on_create_reply(
+                        now,
+                        token,
+                        created,
+                        &mut self.alloc_rng,
+                        &mut self.overlay,
+                    );
+                }
+            }
+
+            // DHT get replies: allocator confirms, name lookups, resolution
+            // probes, and Brunet-ARP resolutions releasing parked packets.
             let replies = self.overlay.take_dht_replies();
             if !replies.is_empty() {
                 progress = true;
                 for (token, value) in replies {
+                    if let Some(alloc) = self.allocator.as_mut() {
+                        if alloc.on_get_reply(
+                            now,
+                            token,
+                            value.as_deref(),
+                            &mut self.alloc_rng,
+                            &mut self.overlay,
+                        ) {
+                            continue;
+                        }
+                    }
+                    if let Some(res) = self.name_service.on_reply(now, token, value.as_deref()) {
+                        self.name_results.push(res);
+                        continue;
+                    }
+                    if self.probe_tokens.remove(&token) {
+                        self.probe_results
+                            .push((token, value.as_deref().and_then(BrunetArp::decode_mapping)));
+                        continue;
+                    }
                     let released = self
                         .brunet_arp
                         .as_mut()
@@ -425,14 +637,16 @@ impl IpopHostAgent {
                 }
             }
 
-            // Application.
-            let mut env = AppEnv {
-                stack: &mut self.vstack,
-                now,
-                rng: &mut self.app_rng,
-                host_name: &self.label,
-            };
-            self.app_next = self.app.poll(&mut env);
+            // Application (not before its deferred start on dynamic nodes).
+            if self.app_started {
+                let mut env = AppEnv {
+                    stack: &mut self.vstack,
+                    now,
+                    rng: &mut self.app_rng,
+                    host_name: &self.label,
+                };
+                self.app_next = self.app.poll(&mut env);
+            }
 
             // Virtual stack output → Ethernet frames on the tap (kernel side).
             self.vstack.poll(now);
@@ -501,6 +715,37 @@ impl IpopHostAgent {
         }
     }
 
+    /// Bring the virtual side up on a confirmed dynamic lease: adopt the
+    /// allocated address, rebuild the tap/adapter/virtual stack around it,
+    /// register the hostname, and start the deferred application. The claim
+    /// record already carries the Brunet-ARP mapping, so no extra publish is
+    /// needed.
+    fn bind_lease(&mut self, now: SimTime) {
+        let Some(ip) = self.allocator.as_ref().and_then(|a| a.ip()) else {
+            return;
+        };
+        self.cfg.virtual_ip = ip;
+        self.label = format!("{}({})", self.host_name, ip);
+        let tap_mac = MacAddr::local(u64::from(u32::from(ip)));
+        self.gateway_mac =
+            MacAddr::local(0xFFFF_FFFF_0000 | u64::from(u32::from(self.cfg.gateway_ip)) & 0xFFFF);
+        self.tap = TapDevice::new(tap_mac);
+        self.veth =
+            EthAdapter::with_static_gateway(tap_mac, ip, self.cfg.gateway_ip, self.gateway_mac);
+        self.vstack = NetStack::new(StackConfig::new(ip).with_mtu(self.cfg.virtual_mtu));
+        if let Some(name) = self.cfg.hostname.clone() {
+            NameService::register(&mut self.overlay, now, &name, ip, self.cfg.lease_ttl);
+        }
+        let mut env = AppEnv {
+            stack: &mut self.vstack,
+            now,
+            rng: &mut self.app_rng,
+            host_name: &self.label,
+        };
+        self.app.on_start(&mut env);
+        self.app_started = true;
+    }
+
     fn arm_wakeup(&mut self, ctx: &mut HostCtx<'_, '_>, fixpoint: bool) {
         let now = ctx.now();
         let mut next = self.next_overlay_tick;
@@ -537,16 +782,33 @@ impl IpopHostAgent {
 impl HostAgent for IpopHostAgent {
     fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
         let now = ctx.now();
-        self.label = format!("{}({})", ctx.name(), self.cfg.virtual_ip);
+        self.host_name = ctx.name().to_string();
+        self.label = format!("{}({})", self.host_name, self.cfg.virtual_ip);
+        self.overlay_started_at = now;
         self.overlay.start(now);
-        self.publish_own_mapping(now);
-        let mut env = AppEnv {
-            stack: &mut self.vstack,
-            now,
-            rng: &mut self.app_rng,
-            host_name: &self.label,
-        };
-        self.app.on_start(&mut env);
+        if self.allocator.is_none() {
+            // Static node: the virtual side is live immediately.
+            self.publish_own_mapping(now);
+            if let Some(name) = self.cfg.hostname.clone() {
+                NameService::register(
+                    &mut self.overlay,
+                    now,
+                    &name,
+                    self.cfg.virtual_ip,
+                    self.cfg.lease_ttl,
+                );
+            }
+            let mut env = AppEnv {
+                stack: &mut self.vstack,
+                now,
+                rng: &mut self.app_rng,
+                host_name: &self.label,
+            };
+            self.app.on_start(&mut env);
+            self.app_started = true;
+        }
+        // Dynamic node: the tap, virtual stack and application wait in
+        // `bind_lease` until the allocator confirms an address.
         self.pump(ctx);
     }
 

@@ -1,0 +1,250 @@
+//! Replicated soft-state DHT storage.
+//!
+//! The paper's self-configuration services (Brunet-ARP, and the address
+//! allocation / name services built on top of it) assume a DHT that survives
+//! churn. This module provides the storage half of that DHT; the protocol half
+//! (routing `DhtPut`/`DhtGet`/`DhtCreate` operations, replicating records to
+//! ring neighbours, handing records off on graceful leave) lives in
+//! [`crate::node::OverlayNode`].
+//!
+//! Records are *soft state*: every record carries an absolute expiry instant
+//! and is dropped when it passes, so stale data ages out without any explicit
+//! invalidation protocol. Publishers keep their records alive by re-putting
+//! them at half the TTL (DHCP-style lease renewal); a record whose publisher
+//! crashed simply disappears one TTL later.
+//!
+//! The store sits behind the narrow [`DhtStore`] trait so the node never
+//! depends on a concrete container. Implementations must iterate keys in a
+//! deterministic order — key scans feed directly into replication-message
+//! emission order, and the simulator's byte-identical-replay contract extends
+//! to DHT maintenance traffic.
+
+use std::collections::BTreeMap;
+
+use ipop_packet::Bytes;
+use ipop_simcore::{Duration, SimTime};
+
+use crate::address::Address;
+
+/// Configuration of the DHT subsystem of one overlay node.
+#[derive(Clone, Debug)]
+pub struct DhtConfig {
+    /// Total number of copies of each record (owner plus `replication - 1`
+    /// ring neighbours). `1` disables replication.
+    pub replication: usize,
+    /// TTL applied to records stored without an explicit TTL.
+    pub default_ttl: Duration,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            replication: 3,
+            default_ttl: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One stored record.
+#[derive(Clone, Debug)]
+pub struct DhtRecord {
+    /// The stored value (shared buffer; cloning a record does not copy it).
+    pub value: Bytes,
+    /// Instant at which the record silently expires.
+    pub expires_at: SimTime,
+    /// True while this node holds the record on behalf of the ring owner
+    /// (it arrived via replication, not via the put/create delivery path).
+    pub replica: bool,
+    /// Peers the local node has pushed replicas to (maintained by the owner;
+    /// empty on replicas).
+    pub replicated_to: Vec<Address>,
+}
+
+impl DhtRecord {
+    /// The TTL remaining at `now` (zero if expired).
+    pub fn remaining_ttl(&self, now: SimTime) -> Duration {
+        self.expires_at.saturating_since(now)
+    }
+
+    /// Has the record expired at `now`?
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.expires_at <= now
+    }
+}
+
+/// The narrow storage interface the overlay node drives.
+///
+/// `keys()` must return keys in a deterministic (implementation-stable) order:
+/// replication traffic is emitted while scanning it.
+pub trait DhtStore {
+    /// Insert or overwrite the record under `key`.
+    fn insert(&mut self, key: Address, record: DhtRecord);
+    /// Borrow the record under `key`, if present (expired records may still be
+    /// returned until the next [`DhtStore::expire`] sweep — callers that care
+    /// check [`DhtRecord::expired`]).
+    fn get(&self, key: &Address) -> Option<&DhtRecord>;
+    /// Mutably borrow the record under `key`.
+    fn get_mut(&mut self, key: &Address) -> Option<&mut DhtRecord>;
+    /// Remove and return the record under `key`.
+    fn remove(&mut self, key: &Address) -> Option<DhtRecord>;
+    /// Drop every expired record; returns how many were dropped.
+    fn expire(&mut self, now: SimTime) -> usize;
+    /// All stored keys, in deterministic order.
+    fn keys(&self) -> Vec<Address>;
+    /// Number of stored records.
+    fn len(&self) -> usize;
+    /// True when nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total stored value bytes.
+    fn stored_bytes(&self) -> usize;
+    /// Number of records held as replicas (not owned).
+    fn replicas_held(&self) -> usize;
+}
+
+/// The default in-memory soft-state store: a `BTreeMap`, so key iteration is
+/// address-ordered and byte-identical across same-seed runs.
+#[derive(Debug, Default)]
+pub struct SoftStateStore {
+    records: BTreeMap<Address, DhtRecord>,
+    bytes: usize,
+}
+
+impl SoftStateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DhtStore for SoftStateStore {
+    fn insert(&mut self, key: Address, record: DhtRecord) {
+        self.bytes += record.value.len();
+        if let Some(old) = self.records.insert(key, record) {
+            self.bytes -= old.value.len();
+        }
+    }
+
+    fn get(&self, key: &Address) -> Option<&DhtRecord> {
+        self.records.get(key)
+    }
+
+    fn get_mut(&mut self, key: &Address) -> Option<&mut DhtRecord> {
+        self.records.get_mut(key)
+    }
+
+    fn remove(&mut self, key: &Address) -> Option<DhtRecord> {
+        let removed = self.records.remove(key);
+        if let Some(rec) = &removed {
+            self.bytes -= rec.value.len();
+        }
+        removed
+    }
+
+    fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.records.len();
+        let bytes = &mut self.bytes;
+        self.records.retain(|_, rec| {
+            if rec.expired(now) {
+                *bytes -= rec.value.len();
+                false
+            } else {
+                true
+            }
+        });
+        before - self.records.len()
+    }
+
+    fn keys(&self) -> Vec<Address> {
+        self.records.keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn stored_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn replicas_held(&self) -> usize {
+        self.records.values().filter(|r| r.replica).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> Address {
+        let mut b = [0u8; 20];
+        b[0] = n;
+        Address(b)
+    }
+
+    fn rec(len: usize, expires_at: SimTime, replica: bool) -> DhtRecord {
+        DhtRecord {
+            value: vec![7u8; len].into(),
+            expires_at,
+            replica,
+            replicated_to: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn insert_tracks_bytes_and_overwrite() {
+        let mut s = SoftStateStore::new();
+        let t = SimTime::ZERO + Duration::from_secs(10);
+        s.insert(key(1), rec(10, t, false));
+        s.insert(key(2), rec(5, t, true));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stored_bytes(), 15);
+        assert_eq!(s.replicas_held(), 1);
+        // Overwrite shrinks the byte count to the new value's size.
+        s.insert(key(1), rec(3, t, false));
+        assert_eq!(s.stored_bytes(), 8);
+        s.remove(&key(2));
+        assert_eq!(s.stored_bytes(), 3);
+        assert_eq!(s.replicas_held(), 0);
+    }
+
+    #[test]
+    fn expire_drops_only_stale_records() {
+        let mut s = SoftStateStore::new();
+        s.insert(
+            key(1),
+            rec(4, SimTime::ZERO + Duration::from_secs(5), false),
+        );
+        s.insert(
+            key(2),
+            rec(4, SimTime::ZERO + Duration::from_secs(50), false),
+        );
+        assert_eq!(s.expire(SimTime::ZERO + Duration::from_secs(10)), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(&key(2)).is_some());
+        assert_eq!(s.stored_bytes(), 4);
+    }
+
+    #[test]
+    fn keys_are_ordered() {
+        let mut s = SoftStateStore::new();
+        let t = SimTime::ZERO + Duration::from_secs(1);
+        for n in [9u8, 3, 7, 1] {
+            s.insert(key(n), rec(1, t, false));
+        }
+        assert_eq!(s.keys(), vec![key(1), key(3), key(7), key(9)]);
+    }
+
+    #[test]
+    fn remaining_ttl_saturates() {
+        let r = rec(1, SimTime::ZERO + Duration::from_secs(5), false);
+        assert_eq!(r.remaining_ttl(SimTime::ZERO), Duration::from_secs(5));
+        assert_eq!(
+            r.remaining_ttl(SimTime::ZERO + Duration::from_secs(9)),
+            Duration::ZERO
+        );
+        assert!(r.expired(SimTime::ZERO + Duration::from_secs(5)));
+        assert!(!r.expired(SimTime::ZERO + Duration::from_secs(4)));
+    }
+}

@@ -12,18 +12,23 @@
 //!   structured-far (Kleinberg shortcut) edges.
 //! * [`node`] — the protocol engine: greedy structured routing, decentralized
 //!   join/leave, ring repair, shortcut formation, hole-punching link establishment
-//!   and a simple DHT (used by IPOP's proposed Brunet-ARP mapper).
+//!   and the protocol half of the DHT (used by IPOP's Brunet-ARP mapper and the
+//!   self-configuration services in `ipop-services`).
+//! * [`dht`] — replicated soft-state DHT storage: per-record TTL, replica
+//!   bookkeeping, and the narrow [`DhtStore`] trait the node drives.
 //! * [`transport`] — UDP and TCP adapters that carry overlay traffic over the
 //!   host's physical network stack, matching the two Brunet modes the paper
 //!   compares in Tables I–III.
 
 pub mod address;
+pub mod dht;
 pub mod node;
 pub mod packets;
 pub mod table;
 pub mod transport;
 
 pub use address::{Address, Distance};
+pub use dht::{DhtConfig, DhtRecord, DhtStore, SoftStateStore};
 pub use node::{OverlayConfig, OverlayNode, OverlayStats};
 pub use packets::{
     ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload,

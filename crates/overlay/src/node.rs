@@ -10,9 +10,11 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
+use ipop_packet::Bytes;
 use ipop_simcore::{Duration, SimTime, StreamRng};
 
 use crate::address::{Address, Distance};
+use crate::dht::{DhtConfig, DhtRecord, DhtStore, SoftStateStore};
 use crate::packets::{
     ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload,
 };
@@ -39,6 +41,8 @@ pub struct OverlayConfig {
     pub ping_interval: Duration,
     /// Idle interval after which an edge is considered dead and removed.
     pub connection_timeout: Duration,
+    /// Configuration of the replicated soft-state DHT.
+    pub dht: DhtConfig,
 }
 
 impl OverlayConfig {
@@ -54,6 +58,7 @@ impl OverlayConfig {
             maintenance_interval: Duration::from_millis(500),
             ping_interval: Duration::from_secs(10),
             connection_timeout: Duration::from_secs(45),
+            dht: DhtConfig::default(),
         }
     }
 
@@ -66,6 +71,12 @@ impl OverlayConfig {
     /// Builder: disable shortcut connections (used by the ablation experiment).
     pub fn without_shortcuts(mut self) -> Self {
         self.shortcuts_enabled = false;
+        self
+    }
+
+    /// Builder: set the DHT replication factor (total copies per record).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.dht.replication = replication.max(1);
         self
     }
 }
@@ -90,12 +101,45 @@ pub struct OverlayStats {
     pub link_tx: u64,
     /// Link messages received.
     pub link_rx: u64,
+    /// DHT records currently stored on this node (gauge).
+    pub dht_records: u64,
+    /// Bytes of DHT values currently stored on this node (gauge).
+    pub dht_bytes: u64,
+    /// Stored records this node holds as a replica for the ring owner (gauge).
+    pub dht_replicas: u64,
+    /// Soft-state refresh puts sent for records this node publishes.
+    pub dht_refreshes: u64,
+    /// Stored records dropped because their TTL expired.
+    pub dht_expired: u64,
 }
 
 struct PendingLink {
     kind: ConnectionKind,
     started: SimTime,
 }
+
+/// A record this node publishes and keeps alive by re-putting at TTL/2
+/// (DHCP-style lease renewal — paper Section III-E's soft-state mappings).
+struct Publication {
+    value: Bytes,
+    ttl: Duration,
+    last_refresh: SimTime,
+}
+
+/// An outstanding `DhtCreate`, remembered so a successful claim turns into a
+/// publication (the creator becomes the record's refreshing owner).
+struct PendingCreate {
+    key: Address,
+    value: Bytes,
+    ttl: Duration,
+    issued: SimTime,
+}
+
+/// How long an unanswered `DhtCreate` stays pending before it is forgotten.
+/// A reply arriving later is treated as stale and must not turn into a
+/// publication — the caller has long since given up on the claim (and, for
+/// the DHCP allocator, moved on to a different address).
+const PENDING_CREATE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A Brunet-style structured-ring overlay node.
 pub struct OverlayNode {
@@ -106,9 +150,19 @@ pub struct OverlayNode {
     table: ConnectionTable,
     outbox: Vec<(Endpoint, LinkMessage)>,
     delivered: VecDeque<RoutedPacket>,
-    dht_store: HashMap<Address, Vec<u8>>,
-    dht_replies: VecDeque<(u64, Option<Vec<u8>>)>,
+    dht: Box<dyn DhtStore>,
+    dht_replies: VecDeque<(u64, Option<Bytes>)>,
+    dht_create_replies: VecDeque<(u64, bool, Option<Bytes>)>,
+    /// Records this node publishes, keyed by DHT key. `BTreeMap` so the
+    /// refresh scan emits messages in a deterministic order.
+    published: BTreeMap<Address, Publication>,
+    /// Outstanding creates: token → claim. Never iterated, only keyed.
+    pending_creates: HashMap<u64, PendingCreate>,
     pending_links: HashMap<u64, PendingLink>,
+    /// Established-peer snapshot of the last re-replication scan; the scan
+    /// only reruns when this set changes (new records and refresh puts
+    /// replicate immediately on the store path instead).
+    last_replica_peers: Vec<Address>,
     /// Neighbour candidates learned from gossip: address → endpoint. Ordered so
     /// candidate scans (which emit hellos) are deterministic across runs.
     candidates: BTreeMap<Address, Endpoint>,
@@ -128,9 +182,13 @@ impl OverlayNode {
             table: ConnectionTable::new(),
             outbox: Vec::new(),
             delivered: VecDeque::new(),
-            dht_store: HashMap::new(),
+            dht: Box::new(SoftStateStore::new()),
             dht_replies: VecDeque::new(),
+            dht_create_replies: VecDeque::new(),
+            published: BTreeMap::new(),
+            pending_creates: HashMap::new(),
             pending_links: HashMap::new(),
+            last_replica_peers: Vec::new(),
             candidates: BTreeMap::new(),
             next_token: 1,
             rng,
@@ -149,9 +207,13 @@ impl OverlayNode {
         &self.advertised
     }
 
-    /// Routing statistics.
+    /// Routing statistics (the DHT gauges are sampled at call time).
     pub fn stats(&self) -> OverlayStats {
-        self.stats
+        let mut s = self.stats;
+        s.dht_records = self.dht.len() as u64;
+        s.dht_bytes = self.dht.stored_bytes() as u64;
+        s.dht_replicas = self.dht.replicas_held() as u64;
+        s
     }
 
     /// The connection table (read-only).
@@ -166,7 +228,12 @@ impl OverlayNode {
 
     /// Number of entries in the local DHT store.
     pub fn dht_stored(&self) -> usize {
-        self.dht_store.len()
+        self.dht.len()
+    }
+
+    /// Borrow the local DHT store (read-only; for diagnostics and tests).
+    pub fn dht_store(&self) -> &dyn DhtStore {
+        self.dht.as_ref()
     }
 
     // ------------------------------------------------------------------ control
@@ -179,8 +246,42 @@ impl OverlayNode {
         }
     }
 
-    /// Gracefully leave: tell every peer the edges are going away.
-    pub fn leave(&mut self) {
+    /// Gracefully leave: hand every stored DHT record off to the ring
+    /// neighbours closest to its key, then tell every peer the edges are going
+    /// away. Handoff runs before the Close messages so receivers still accept
+    /// the records while the edges exist.
+    pub fn leave(&mut self, now: SimTime) {
+        let replication = self.cfg.dht.replication;
+        for key in self.dht.keys() {
+            let Some(rec) = self.dht.get(&key) else {
+                continue;
+            };
+            if rec.expired(now) {
+                continue;
+            }
+            let value = rec.value.clone();
+            let ttl_ms = rec.remaining_ttl(now).as_nanos() / 1_000_000;
+            // Unconditionally push to the peers closest to the key (at least
+            // one even with replication disabled): the nearest of them becomes
+            // the key's owner once we are gone, and idempotent overwrites of
+            // existing replicas are harmless.
+            let targets = self.replica_targets(&key, replication.saturating_sub(1).max(1));
+            for peer in targets {
+                let pkt = RoutedPacket::new(
+                    self.cfg.address,
+                    peer,
+                    DeliveryMode::Exact,
+                    RoutedPayload::DhtReplicate {
+                        key,
+                        value: value.clone(),
+                        ttl_ms,
+                    },
+                );
+                self.stats.originated += 1;
+                self.route(now, pkt);
+            }
+            self.dht.remove(&key);
+        }
         let peers: Vec<(Endpoint, Address)> =
             self.table.iter().map(|c| (c.endpoint, c.peer)).collect();
         for (ep, _peer) in peers {
@@ -205,8 +306,13 @@ impl OverlayNode {
     }
 
     /// Completed DHT lookups: `(token, value)`.
-    pub fn take_dht_replies(&mut self) -> Vec<(u64, Option<Vec<u8>>)> {
+    pub fn take_dht_replies(&mut self) -> Vec<(u64, Option<Bytes>)> {
         self.dht_replies.drain(..).collect()
+    }
+
+    /// Completed DHT creates: `(token, created, existing value on conflict)`.
+    pub fn take_dht_create_replies(&mut self) -> Vec<(u64, bool, Option<Bytes>)> {
+        self.dht_create_replies.drain(..).collect()
     }
 
     // ---------------------------------------------------------------- app sends
@@ -228,16 +334,72 @@ impl OverlayNode {
         self.route(now, pkt);
     }
 
-    /// Store `value` at the node closest to `key`.
-    pub fn dht_put(&mut self, now: SimTime, key: Address, value: Vec<u8>) {
+    /// Store `value` at the node closest to `key` with the default TTL, and
+    /// keep it alive: the record is registered locally and re-put at TTL/2
+    /// until [`OverlayNode::dht_unpublish`] or [`OverlayNode::dht_remove`].
+    pub fn dht_put(&mut self, now: SimTime, key: Address, value: impl Into<Bytes>) {
+        let ttl = self.cfg.dht.default_ttl;
+        self.dht_put_ttl(now, key, value, ttl);
+    }
+
+    /// [`OverlayNode::dht_put`] with an explicit soft-state TTL.
+    pub fn dht_put_ttl(
+        &mut self,
+        now: SimTime,
+        key: Address,
+        value: impl Into<Bytes>,
+        ttl: Duration,
+    ) {
+        let value = value.into();
+        self.published.insert(
+            key,
+            Publication {
+                value: value.clone(),
+                ttl,
+                last_refresh: now,
+            },
+        );
+        self.send_put(now, key, value, ttl);
+    }
+
+    /// Atomically create the record under `key` if no live record exists
+    /// (create-if-absent, the allocator's claim primitive). The outcome
+    /// arrives via [`OverlayNode::take_dht_create_replies`] with the returned
+    /// token; on success this node becomes the record's publisher and renews
+    /// it at TTL/2 like a put.
+    pub fn dht_create(
+        &mut self,
+        now: SimTime,
+        key: Address,
+        value: impl Into<Bytes>,
+        ttl: Duration,
+    ) -> u64 {
+        let value = value.into();
+        let token = self.fresh_token();
+        self.pending_creates.insert(
+            token,
+            PendingCreate {
+                key,
+                value: value.clone(),
+                ttl,
+                issued: now,
+            },
+        );
+        let ttl_ms = ttl.as_nanos() / 1_000_000;
         let pkt = RoutedPacket::new(
             self.cfg.address,
             key,
             DeliveryMode::Closest,
-            RoutedPayload::DhtPut { key, value },
+            RoutedPayload::DhtCreate {
+                key,
+                value,
+                ttl_ms,
+                token,
+            },
         );
         self.stats.originated += 1;
         self.route(now, pkt);
+        token
     }
 
     /// Request the value stored under `key`; the reply arrives via
@@ -253,6 +415,45 @@ impl OverlayNode {
         self.stats.originated += 1;
         self.route(now, pkt);
         token
+    }
+
+    /// Delete the record under `key` (lease release) and stop refreshing it.
+    pub fn dht_remove(&mut self, now: SimTime, key: Address) {
+        self.published.remove(&key);
+        let pkt = RoutedPacket::new(
+            self.cfg.address,
+            key,
+            DeliveryMode::Closest,
+            RoutedPayload::DhtRemove { key },
+        );
+        self.stats.originated += 1;
+        self.route(now, pkt);
+    }
+
+    /// Stop refreshing the record under `key` without deleting it from the
+    /// DHT (it ages out one TTL later).
+    pub fn dht_unpublish(&mut self, key: &Address) {
+        self.published.remove(key);
+    }
+
+    /// Abandon an outstanding [`OverlayNode::dht_create`]: a reply that
+    /// arrives after this (e.g. delayed past the caller's claim timeout) is
+    /// still surfaced, but no longer turns the claim into a refreshed
+    /// publication this node would renew forever.
+    pub fn dht_cancel_create(&mut self, token: u64) {
+        self.pending_creates.remove(&token);
+    }
+
+    fn send_put(&mut self, now: SimTime, key: Address, value: Bytes, ttl: Duration) {
+        let ttl_ms = ttl.as_nanos() / 1_000_000;
+        let pkt = RoutedPacket::new(
+            self.cfg.address,
+            key,
+            DeliveryMode::Closest,
+            RoutedPayload::DhtPut { key, value, ttl_ms },
+        );
+        self.stats.originated += 1;
+        self.route(now, pkt);
     }
 
     // ------------------------------------------------------------------- intake
@@ -373,7 +574,9 @@ impl OverlayNode {
         let timeout = self.cfg.connection_timeout;
         self.pending_links
             .retain(|_, p| now.saturating_since(p.started) < timeout);
-        // 6. Gossip our neighbour view to every established peer: ring
+        // 6. DHT soft-state maintenance: expiry, lease renewal, re-replication.
+        self.dht_tick(now);
+        // 7. Gossip our neighbour view to every established peer: ring
         //    neighbours on both sides plus a random sample, so knowledge of a
         //    node spreads along the ring and the near sets can converge.
         self.gossip_neighbors();
@@ -547,11 +750,17 @@ impl OverlayNode {
                     self.send_hello(now, ep, kind);
                 }
             }
-            RoutedPayload::DhtPut { key, value } => {
-                self.dht_store.insert(*key, value.clone());
+            RoutedPayload::DhtPut { key, value, ttl_ms } => {
+                let key = *key;
+                self.store_record(now, key, value.clone(), *ttl_ms, false);
+                self.replicate_key(now, key);
             }
             RoutedPayload::DhtGet { key, token } => {
-                let value = self.dht_store.get(key).cloned();
+                let value = self
+                    .dht
+                    .get(key)
+                    .filter(|rec| !rec.expired(now))
+                    .map(|rec| rec.value.clone());
                 let reply = RoutedPacket::new(
                     self.cfg.address,
                     pkt.src,
@@ -566,6 +775,76 @@ impl OverlayNode {
             }
             RoutedPayload::DhtReply { token, value } => {
                 self.dht_replies.push_back((*token, value.clone()));
+            }
+            RoutedPayload::DhtCreate {
+                key,
+                value,
+                ttl_ms,
+                token,
+            } => {
+                let key = *key;
+                let existing = self
+                    .dht
+                    .get(&key)
+                    .filter(|rec| !rec.expired(now))
+                    .map(|rec| rec.value.clone());
+                let created = existing.is_none();
+                if created {
+                    self.store_record(now, key, value.clone(), *ttl_ms, false);
+                    self.replicate_key(now, key);
+                }
+                let reply = RoutedPacket::new(
+                    self.cfg.address,
+                    pkt.src,
+                    DeliveryMode::Exact,
+                    RoutedPayload::DhtCreateReply {
+                        token: *token,
+                        created,
+                        existing,
+                    },
+                );
+                self.stats.originated += 1;
+                self.route(now, reply);
+            }
+            RoutedPayload::DhtCreateReply {
+                token,
+                created,
+                existing,
+            } => {
+                if let Some(claim) = self.pending_creates.remove(token) {
+                    if *created {
+                        // The claim succeeded: this node now owns the record
+                        // and keeps it alive like any other publication.
+                        self.published.insert(
+                            claim.key,
+                            Publication {
+                                value: claim.value,
+                                ttl: claim.ttl,
+                                last_refresh: now,
+                            },
+                        );
+                    }
+                }
+                self.dht_create_replies
+                    .push_back((*token, *created, existing.clone()));
+            }
+            RoutedPayload::DhtReplicate { key, value, ttl_ms } => {
+                self.store_record(now, *key, value.clone(), *ttl_ms, true);
+            }
+            RoutedPayload::DhtRemove { key } => {
+                if let Some(rec) = self.dht.remove(key) {
+                    // Propagate the removal to the replicas we pushed.
+                    for peer in rec.replicated_to {
+                        let fwd = RoutedPacket::new(
+                            self.cfg.address,
+                            peer,
+                            DeliveryMode::Exact,
+                            RoutedPayload::DhtRemove { key: *key },
+                        );
+                        self.stats.originated += 1;
+                        self.route(now, fwd);
+                    }
+                }
             }
             RoutedPayload::IpTunnel(_) => {
                 self.delivered.push_back(pkt);
@@ -721,6 +1000,129 @@ impl OverlayNode {
         }
     }
 
+    // ------------------------------------------------------------ dht subsystem
+
+    /// Insert a record into the local store. The replica bookkeeping starts
+    /// empty, so an owner-path overwrite (a TTL/2 refresh put) re-pushes every
+    /// replica with the renewed expiry — replicas are soft state too and
+    /// would otherwise age out while the owner's copy stays fresh.
+    fn store_record(
+        &mut self,
+        now: SimTime,
+        key: Address,
+        value: Bytes,
+        ttl_ms: u64,
+        replica: bool,
+    ) {
+        let expires_at = now + Duration::from_millis(ttl_ms);
+        self.dht.insert(
+            key,
+            DhtRecord {
+                value,
+                expires_at,
+                replica,
+                replicated_to: Vec::new(),
+            },
+        );
+    }
+
+    /// The `count` established peers closest (ring distance) to `key`,
+    /// nearest first — the nodes that should hold this key's replicas.
+    fn replica_targets(&self, key: &Address, count: usize) -> Vec<Address> {
+        let mut peers: Vec<(Distance, Address)> = self
+            .table
+            .established()
+            .map(|c| (c.peer.ring_distance(key), c.peer))
+            .collect();
+        peers.sort();
+        peers.into_iter().take(count).map(|(_, a)| a).collect()
+    }
+
+    /// Is this node the ring owner of `key` (closer than every established
+    /// peer)? Mirrors the `Closest` delivery rule, so the node that greedy
+    /// routing delivers a DHT operation to also believes it owns the key.
+    fn owns_key(&self, key: &Address) -> bool {
+        let my_dist = self.cfg.address.ring_distance(key);
+        !self
+            .table
+            .established()
+            .any(|c| c.peer.ring_distance(key) < my_dist)
+    }
+
+    /// Push replicas of `key` to the ring neighbours that should hold copies
+    /// and do not yet (no-op unless this node owns the key).
+    fn replicate_key(&mut self, now: SimTime, key: Address) {
+        if self.cfg.dht.replication <= 1 || !self.owns_key(&key) {
+            return;
+        }
+        let targets = self.replica_targets(&key, self.cfg.dht.replication - 1);
+        let Some(rec) = self.dht.get_mut(&key) else {
+            return;
+        };
+        if rec.expired(now) {
+            return;
+        }
+        rec.replica = false; // we are the owner, whatever path stored it
+        let missing: Vec<Address> = targets
+            .iter()
+            .filter(|t| !rec.replicated_to.contains(t))
+            .copied()
+            .collect();
+        rec.replicated_to = targets;
+        let value = rec.value.clone();
+        let ttl_ms = rec.remaining_ttl(now).as_nanos() / 1_000_000;
+        for peer in missing {
+            let pkt = RoutedPacket::new(
+                self.cfg.address,
+                peer,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReplicate {
+                    key,
+                    value: value.clone(),
+                    ttl_ms,
+                },
+            );
+            self.stats.originated += 1;
+            self.route(now, pkt);
+        }
+    }
+
+    /// Per-tick DHT maintenance: soft-state expiry, publisher lease renewal at
+    /// TTL/2, and (re-)replication of owned records when the neighbour set
+    /// changed since the last pass.
+    fn dht_tick(&mut self, now: SimTime) {
+        self.stats.dht_expired += self.dht.expire(now) as u64;
+        // Forget creates whose reply never came; a stale reply must not
+        // resurrect an abandoned claim as a publication.
+        self.pending_creates
+            .retain(|_, p| now.saturating_since(p.issued) < PENDING_CREATE_TIMEOUT);
+        // Publisher refresh: re-put every published record past half its TTL.
+        let due: Vec<(Address, Bytes, Duration)> = self
+            .published
+            .iter()
+            .filter(|(_, p)| now.saturating_since(p.last_refresh) >= p.ttl / 2)
+            .map(|(k, p)| (*k, p.value.clone(), p.ttl))
+            .collect();
+        for (key, value, ttl) in due {
+            if let Some(p) = self.published.get_mut(&key) {
+                p.last_refresh = now;
+            }
+            self.stats.dht_refreshes += 1;
+            self.send_put(now, key, value, ttl);
+        }
+        // Re-replication: walk owned records and fill replication gaps — but
+        // only when the established-peer set actually changed. Ownership and
+        // replica targets are pure functions of that set, and fresh stores /
+        // refresh puts already replicate on the delivery path.
+        let peers: Vec<Address> = self.table.established().map(|c| c.peer).collect();
+        if peers != self.last_replica_peers {
+            self.last_replica_peers = peers;
+            for key in self.dht.keys() {
+                self.replicate_key(now, key);
+            }
+        }
+    }
+
     /// Merge neighbour knowledge received out of band (the IPOP agent calls this
     /// with candidates learned from peers' connection tables; tests use it to model
     /// gossip without a full message exchange).
@@ -783,6 +1185,7 @@ mod tests {
     struct Harness {
         nodes: Vec<OverlayNode>,
         by_endpoint: Map<Endpoint, usize>,
+        crashed: Vec<bool>,
         now: SimTime,
     }
 
@@ -795,19 +1198,26 @@ mod tests {
 
     impl Harness {
         fn new(n: usize) -> Self {
+            Self::with_cfg(n, |c| c)
+        }
+
+        /// A harness whose node configs pass through `tweak` (e.g. to shorten
+        /// the connection timeout for crash tests).
+        fn with_cfg(n: usize, tweak: impl Fn(OverlayConfig) -> OverlayConfig) -> Self {
             let mut nodes = Vec::new();
             let mut by_endpoint = Map::new();
             for i in 0..n {
                 let mut rng = StreamRng::new(42, &format!("overlay-test-{i}"));
                 let addr = Address::random(&mut rng);
                 let bootstrap = if i == 0 { vec![] } else { vec![ep(0)] };
-                let cfg = OverlayConfig::new(addr, ep(i)).with_bootstrap(bootstrap);
+                let cfg = tweak(OverlayConfig::new(addr, ep(i)).with_bootstrap(bootstrap));
                 nodes.push(OverlayNode::new(cfg, rng));
                 by_endpoint.insert(ep(i), i);
             }
             Harness {
                 nodes,
                 by_endpoint,
+                crashed: vec![false; n],
                 now: SimTime::ZERO,
             }
         }
@@ -820,11 +1230,23 @@ mod tests {
             self.pump();
         }
 
+        /// Kill node `i` without any goodbye: its queued output is discarded
+        /// and messages addressed to it disappear.
+        fn crash(&mut self, i: usize) {
+            self.crashed[i] = true;
+            self.by_endpoint.remove(&ep(i));
+            let _ = self.nodes[i].take_outbox();
+        }
+
         /// Deliver queued messages until quiescent.
         fn pump(&mut self) {
             for _ in 0..200 {
                 let mut any = false;
                 for i in 0..self.nodes.len() {
+                    if self.crashed[i] {
+                        let _ = self.nodes[i].take_outbox();
+                        continue;
+                    }
                     let out = self.nodes[i].take_outbox();
                     for (dst, msg) in out {
                         any = true;
@@ -844,11 +1266,21 @@ mod tests {
         fn run(&mut self, ticks: usize) {
             for _ in 0..ticks {
                 self.now += Duration::from_millis(500);
-                for n in &mut self.nodes {
-                    n.on_tick(self.now);
+                for (i, n) in self.nodes.iter_mut().enumerate() {
+                    if !self.crashed[i] {
+                        n.on_tick(self.now);
+                    }
                 }
                 self.pump();
             }
+        }
+
+        /// Index of the live node whose address is ring-closest to `key`.
+        fn owner_of(&self, key: &Address) -> usize {
+            (0..self.nodes.len())
+                .filter(|&i| !self.crashed[i])
+                .min_by_key(|&i| self.nodes[i].address().ring_distance(key))
+                .expect("at least one live node")
         }
     }
 
@@ -914,12 +1346,21 @@ mod tests {
         h.nodes[1].dht_put(now, key, b"mapping-value".to_vec());
         h.pump();
         let stored: usize = h.nodes.iter().map(|n| n.dht_stored()).sum();
-        assert_eq!(stored, 1, "exactly one node stores the key");
+        assert_eq!(
+            stored, 3,
+            "the owner stores the key and replicates it to R-1 = 2 neighbours"
+        );
         let now = h.now;
         let token = h.nodes[7].dht_get(now, key);
         h.pump();
         let replies = h.nodes[7].take_dht_replies();
-        assert_eq!(replies, vec![(token, Some(b"mapping-value".to_vec()))]);
+        assert_eq!(
+            replies,
+            vec![(
+                token,
+                Some(ipop_packet::Bytes::from(b"mapping-value".as_slice()))
+            )]
+        );
         // A lookup for an unknown key returns None.
         let missing = Address::from_key(b"10.9.9.9");
         let now = h.now;
@@ -935,7 +1376,8 @@ mod tests {
         h.start_all();
         h.run(20);
         // Node 5 leaves gracefully.
-        h.nodes[5].leave();
+        let now = h.now;
+        h.nodes[5].leave(now);
         h.pump();
         for (i, n) in h.nodes.iter().enumerate() {
             if i != 5 {
@@ -997,6 +1439,233 @@ mod tests {
             .map(|n| n.connections().count_kind(ConnectionKind::Far))
             .sum();
         assert!(far_edges > 0, "some shortcut connections should exist");
+    }
+
+    #[test]
+    fn dht_create_is_create_if_absent() {
+        let mut h = Harness::new(10);
+        h.start_all();
+        h.run(25);
+        let key = Address::from_key(b"dhcp:172.16.9.10");
+        let ttl = Duration::from_secs(600);
+        let now = h.now;
+        let t1 = h.nodes[2].dht_create(now, key, b"claim-A".to_vec(), ttl);
+        h.pump();
+        assert_eq!(
+            h.nodes[2].take_dht_create_replies(),
+            vec![(t1, true, None)],
+            "first claim wins"
+        );
+        let now = h.now;
+        let t2 = h.nodes[8].dht_create(now, key, b"claim-B".to_vec(), ttl);
+        h.pump();
+        assert_eq!(
+            h.nodes[8].take_dht_create_replies(),
+            vec![(
+                t2,
+                false,
+                Some(ipop_packet::Bytes::from(b"claim-A".as_slice()))
+            )],
+            "second claim loses and sees the winner's value"
+        );
+        // The loser did not become a publisher: only the winner refreshes.
+        assert_eq!(h.nodes[8].stats().dht_refreshes, 0);
+    }
+
+    #[test]
+    fn cancelled_create_never_becomes_a_publication() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let key = Address::from_key(b"abandoned-claim");
+        let now = h.now;
+        let token = h.nodes[2].dht_create(now, key, b"stale".to_vec(), Duration::from_secs(8));
+        // The caller gives up before the (successful) reply arrives.
+        h.nodes[2].dht_cancel_create(token);
+        h.pump();
+        // The reply is still surfaced (created=true at the owner)...
+        assert_eq!(
+            h.nodes[2].take_dht_create_replies(),
+            vec![(token, true, None)]
+        );
+        // ...but the claim was not promoted to a publication: no refresh is
+        // ever sent and the record ages out on its own.
+        h.run(30); // 15 s > ttl + ttl/2
+        assert_eq!(h.nodes[2].stats().dht_refreshes, 0);
+        let copies: usize = h
+            .nodes
+            .iter()
+            .map(|n| usize::from(n.dht_store().get(&key).is_some()))
+            .sum();
+        assert_eq!(copies, 0, "abandoned record expired instead of renewing");
+    }
+
+    #[test]
+    fn dht_replication_survives_owner_crash() {
+        // Short connection timeout so the ring repairs quickly after the crash.
+        let mut h = Harness::with_cfg(12, |mut c| {
+            c.connection_timeout = Duration::from_secs(5);
+            c
+        });
+        h.start_all();
+        h.run(30);
+        let key = Address::from_key(b"172.16.9.77");
+        let now = h.now;
+        // Long TTL so the publisher's TTL/2 refresh cannot repair the loss
+        // inside the test window: only replication can.
+        h.nodes[1].dht_put_ttl(now, key, b"replicated".to_vec(), Duration::from_secs(3600));
+        h.pump();
+        h.run(2);
+        let copies: usize = h
+            .nodes
+            .iter()
+            .map(|n| usize::from(n.dht_store().get(&key).is_some()))
+            .sum();
+        assert_eq!(copies, 3, "R = 3 copies exist before the crash");
+        let owner = h.owner_of(&key);
+        assert!(
+            h.nodes[owner].dht_store().get(&key).is_some(),
+            "the ring owner holds the record"
+        );
+        h.crash(owner);
+        // Wait out the connection timeout so routing stops pointing at the
+        // dead node, then resolve.
+        h.run(30);
+        let querier = if owner == 4 { 5 } else { 4 };
+        let now = h.now;
+        let token = h.nodes[querier].dht_get(now, key);
+        h.pump();
+        assert_eq!(
+            h.nodes[querier].take_dht_replies(),
+            vec![(
+                token,
+                Some(ipop_packet::Bytes::from(b"replicated".as_slice()))
+            )],
+            "a replica serves the record after the owner crashed"
+        );
+        // The new owner re-replicated: R copies exist again among live nodes.
+        let copies: usize = h
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !h.crashed[*i])
+            .map(|(_, n)| usize::from(n.dht_store().get(&key).is_some()))
+            .sum();
+        assert!(copies >= 3, "re-replication restored redundancy: {copies}");
+    }
+
+    #[test]
+    fn graceful_leave_hands_off_all_records() {
+        let mut h = Harness::new(12);
+        h.start_all();
+        h.run(30);
+        // Store several records so the leaving node owns at least one.
+        let keys: Vec<Address> = (0..8)
+            .map(|i| Address::from_key(format!("172.16.9.{i}").as_bytes()))
+            .collect();
+        let now = h.now;
+        for (i, key) in keys.iter().enumerate() {
+            h.nodes[i % 4].dht_put_ttl(now, *key, vec![i as u8; 6], Duration::from_secs(3600));
+        }
+        h.pump();
+        h.run(2);
+        let owner = h.owner_of(&keys[0]);
+        let owned_before = h.nodes[owner].dht_stored();
+        assert!(owned_before > 0, "the leaving node holds records");
+        let now = h.now;
+        h.nodes[owner].leave(now);
+        h.pump();
+        h.crashed[owner] = true; // departed: exclude from ownership queries
+        h.by_endpoint.remove(&ep(owner));
+        assert_eq!(h.nodes[owner].dht_stored(), 0, "handoff cleared the store");
+        h.run(5);
+        // Every key still resolves from a node that was not involved.
+        for key in &keys {
+            let querier = (h.owner_of(key) + 1) % h.nodes.len();
+            let querier = if h.crashed[querier] {
+                (querier + 1) % h.nodes.len()
+            } else {
+                querier
+            };
+            let now = h.now;
+            let token = h.nodes[querier].dht_get(now, *key);
+            h.pump();
+            let replies = h.nodes[querier].take_dht_replies();
+            assert_eq!(replies.len(), 1);
+            assert_eq!(replies[0].0, token);
+            assert!(
+                replies[0].1.is_some(),
+                "record for {key:?} lost in graceful leave"
+            );
+        }
+    }
+
+    #[test]
+    fn dht_records_expire_without_refresh_and_survive_with_it() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let fleeting = Address::from_key(b"fleeting");
+        let leased = Address::from_key(b"leased");
+        let now = h.now;
+        h.nodes[1].dht_put_ttl(now, fleeting, b"gone-soon".to_vec(), Duration::from_secs(4));
+        h.nodes[1].dht_unpublish(&fleeting); // no renewal: pure soft state
+        h.nodes[2].dht_put_ttl(now, leased, b"renewed".to_vec(), Duration::from_secs(4));
+        h.pump();
+        // 10 s later the unrefreshed record has aged out, the leased one lives.
+        h.run(20);
+        let now = h.now;
+        let t1 = h.nodes[5].dht_get(now, fleeting);
+        let t2 = h.nodes[5].dht_get(now, leased);
+        h.pump();
+        let mut replies = h.nodes[5].take_dht_replies();
+        replies.sort_by_key(|(t, _)| *t);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0], (t1, None), "unrefreshed soft state expired");
+        assert_eq!(
+            replies[1],
+            (t2, Some(ipop_packet::Bytes::from(b"renewed".as_slice()))),
+            "TTL/2 refresh kept the lease alive"
+        );
+        let refreshes: u64 = h.nodes.iter().map(|n| n.stats().dht_refreshes).sum();
+        assert!(refreshes >= 2, "refreshes happened: {refreshes}");
+        let expired: u64 = h.nodes.iter().map(|n| n.stats().dht_expired).sum();
+        assert!(expired >= 1, "expiry swept the dead record: {expired}");
+    }
+
+    #[test]
+    fn dht_remove_deletes_owner_and_replica_copies() {
+        let mut h = Harness::new(10);
+        h.start_all();
+        h.run(25);
+        let key = Address::from_key(b"dhcp:release-me");
+        let now = h.now;
+        h.nodes[3].dht_put_ttl(now, key, b"lease".to_vec(), Duration::from_secs(3600));
+        h.pump();
+        h.run(2);
+        let copies: usize = h
+            .nodes
+            .iter()
+            .map(|n| usize::from(n.dht_store().get(&key).is_some()))
+            .sum();
+        assert_eq!(copies, 3);
+        let now = h.now;
+        h.nodes[3].dht_remove(now, key);
+        h.pump();
+        let copies: usize = h
+            .nodes
+            .iter()
+            .map(|n| usize::from(n.dht_store().get(&key).is_some()))
+            .sum();
+        assert_eq!(copies, 0, "release removed the owner copy and all replicas");
+        // And the publisher no longer refreshes it back into existence.
+        h.run(10);
+        let copies: usize = h
+            .nodes
+            .iter()
+            .map(|n| usize::from(n.dht_store().get(&key).is_some()))
+            .sum();
+        assert_eq!(copies, 0);
     }
 
     #[test]

@@ -68,12 +68,15 @@ pub enum RoutedPayload {
         /// The responder's reachable physical endpoints.
         endpoints: Vec<Endpoint>,
     },
-    /// Store a value at the node closest to `key`.
+    /// Store a value at the node closest to `key` (overwrite semantics). The
+    /// value is a shared buffer, so storing and replicating never copy it.
     DhtPut {
         /// DHT key.
         key: Address,
-        /// Value bytes.
-        value: Vec<u8>,
+        /// Value bytes (shared).
+        value: Bytes,
+        /// Soft-state lifetime of the record, in milliseconds.
+        ttl_ms: u64,
     },
     /// Look up `key`; the responsible node answers with a `DhtReply`.
     DhtGet {
@@ -86,8 +89,47 @@ pub enum RoutedPayload {
     DhtReply {
         /// Token from the request.
         token: u64,
-        /// The stored value, if any.
-        value: Option<Vec<u8>>,
+        /// The stored value, if any (shared).
+        value: Option<Bytes>,
+    },
+    /// Atomic create-if-absent: store the value under `key` only if no live
+    /// record exists there. The owner answers with a `DhtCreateReply` either
+    /// way. This is the claim primitive of the DHCP-style address allocator.
+    DhtCreate {
+        /// DHT key.
+        key: Address,
+        /// Value bytes (shared).
+        value: Bytes,
+        /// Soft-state lifetime of the record, in milliseconds.
+        ttl_ms: u64,
+        /// Correlates request and reply.
+        token: u64,
+    },
+    /// Answer to a [`RoutedPayload::DhtCreate`].
+    DhtCreateReply {
+        /// Token from the request.
+        token: u64,
+        /// True when the record was created; false when a live record already
+        /// existed under the key.
+        created: bool,
+        /// The pre-existing value on conflict (`created == false`).
+        existing: Option<Bytes>,
+    },
+    /// A record copy pushed by the key's ring owner to a neighbouring node
+    /// (replication and graceful-leave handoff traffic).
+    DhtReplicate {
+        /// DHT key.
+        key: Address,
+        /// Value bytes (shared).
+        value: Bytes,
+        /// Remaining lifetime of the record, in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Delete the record under `key` (lease release). The owner drops its copy
+    /// and forwards the removal to the replicas it pushed.
+    DhtRemove {
+        /// DHT key.
+        key: Address,
     },
 }
 
@@ -237,10 +279,6 @@ impl Writer {
         self.buf.extend_from_slice(&e.0.octets());
         self.u16(e.1);
     }
-    fn bytes(&mut self, b: &[u8]) {
-        self.u16(b.len() as u16);
-        self.buf.extend_from_slice(b);
-    }
     fn bytes32(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(&(b.len() as u32).to_be_bytes());
         self.buf.extend_from_slice(b);
@@ -307,10 +345,6 @@ impl<'a> Reader<'a> {
         let ip = Ipv4Addr::new(s[0], s[1], s[2], s[3]);
         let port = self.u16()?;
         Ok((ip, port))
-    }
-    fn bytes(&mut self) -> Result<Vec<u8>, ParseError> {
-        let len = self.u16()? as usize;
-        Ok(self.take(len)?.to_vec())
     }
     /// A 32-bit-length-prefixed byte field, shared with the source buffer when
     /// decoding from one (zero copy) and copied otherwise.
@@ -428,10 +462,11 @@ impl RoutedPacket {
                 w.addr(responder);
                 write_endpoints(w, endpoints);
             }
-            RoutedPayload::DhtPut { key, value } => {
+            RoutedPayload::DhtPut { key, value, ttl_ms } => {
                 w.u8(3);
                 w.addr(key);
-                w.bytes(value);
+                w.u64(*ttl_ms);
+                w.bytes32(value);
             }
             RoutedPayload::DhtGet { key, token } => {
                 w.u8(4);
@@ -444,10 +479,48 @@ impl RoutedPacket {
                 match value {
                     Some(v) => {
                         w.u8(1);
-                        w.bytes(v);
+                        w.bytes32(v);
                     }
                     None => w.u8(0),
                 }
+            }
+            RoutedPayload::DhtCreate {
+                key,
+                value,
+                ttl_ms,
+                token,
+            } => {
+                w.u8(6);
+                w.addr(key);
+                w.u64(*ttl_ms);
+                w.u64(*token);
+                w.bytes32(value);
+            }
+            RoutedPayload::DhtCreateReply {
+                token,
+                created,
+                existing,
+            } => {
+                w.u8(7);
+                w.u64(*token);
+                w.u8(u8::from(*created));
+                match existing {
+                    Some(v) => {
+                        w.u8(1);
+                        w.bytes32(v);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            RoutedPayload::DhtReplicate { key, value, ttl_ms } => {
+                w.u8(8);
+                w.addr(key);
+                w.u64(*ttl_ms);
+                w.bytes32(value);
+            }
+            RoutedPayload::DhtRemove { key } => {
+                w.u8(9);
+                w.addr(key);
             }
         }
     }
@@ -477,7 +550,8 @@ impl RoutedPacket {
             },
             3 => RoutedPayload::DhtPut {
                 key: r.addr()?,
-                value: r.bytes()?,
+                ttl_ms: r.u64()?,
+                value: r.bytes32()?,
             },
             4 => RoutedPayload::DhtGet {
                 key: r.addr()?,
@@ -485,9 +559,39 @@ impl RoutedPacket {
             },
             5 => {
                 let token = r.u64()?;
-                let value = if r.u8()? == 1 { Some(r.bytes()?) } else { None };
+                let value = if r.u8()? == 1 {
+                    Some(r.bytes32()?)
+                } else {
+                    None
+                };
                 RoutedPayload::DhtReply { token, value }
             }
+            6 => RoutedPayload::DhtCreate {
+                key: r.addr()?,
+                ttl_ms: r.u64()?,
+                token: r.u64()?,
+                value: r.bytes32()?,
+            },
+            7 => {
+                let token = r.u64()?;
+                let created = r.u8()? == 1;
+                let existing = if r.u8()? == 1 {
+                    Some(r.bytes32()?)
+                } else {
+                    None
+                };
+                RoutedPayload::DhtCreateReply {
+                    token,
+                    created,
+                    existing,
+                }
+            }
+            8 => RoutedPayload::DhtReplicate {
+                key: r.addr()?,
+                ttl_ms: r.u64()?,
+                value: r.bytes32()?,
+            },
+            9 => RoutedPayload::DhtRemove { key: r.addr()? },
             _ => return Err(ParseError::Unsupported("routed payload")),
         };
         Ok(RoutedPacket {
@@ -721,7 +825,8 @@ mod tests {
             },
             RoutedPayload::DhtPut {
                 key: a(9),
-                value: b"172.16.0.5 -> brunet".to_vec(),
+                value: b"172.16.0.5 -> brunet".to_vec().into(),
+                ttl_ms: 120_000,
             },
             RoutedPayload::DhtGet {
                 key: a(9),
@@ -729,12 +834,34 @@ mod tests {
             },
             RoutedPayload::DhtReply {
                 token: 42,
-                value: Some(vec![1, 2, 3]),
+                value: Some(vec![1, 2, 3].into()),
             },
             RoutedPayload::DhtReply {
                 token: 43,
                 value: None,
             },
+            RoutedPayload::DhtCreate {
+                key: a(10),
+                value: vec![0xCC; 20].into(),
+                ttl_ms: 60_000,
+                token: 44,
+            },
+            RoutedPayload::DhtCreateReply {
+                token: 44,
+                created: true,
+                existing: None,
+            },
+            RoutedPayload::DhtCreateReply {
+                token: 45,
+                created: false,
+                existing: Some(vec![0xDD; 20].into()),
+            },
+            RoutedPayload::DhtReplicate {
+                key: a(11),
+                value: vec![0xEE; 4].into(),
+                ttl_ms: 30_000,
+            },
+            RoutedPayload::DhtRemove { key: a(12) },
         ];
         for p in payloads {
             let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Closest, p);

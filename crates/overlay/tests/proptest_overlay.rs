@@ -53,12 +53,34 @@ proptest! {
 
     #[test]
     fn dht_messages_round_trip(src in arb_addr(), dst in arb_addr(), key in arb_addr(),
-                               token: u64,
+                               token: u64, ttl_ms in 0u64..86_400_000, created: bool,
                                value in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..512))) {
+        let bytes_value = value.clone().map(ipop_packet::Bytes::from);
         for payload in [
-            RoutedPayload::DhtPut { key, value: value.clone().unwrap_or_default() },
+            RoutedPayload::DhtPut {
+                key,
+                value: bytes_value.clone().unwrap_or_default(),
+                ttl_ms,
+            },
             RoutedPayload::DhtGet { key, token },
-            RoutedPayload::DhtReply { token, value: value.clone() },
+            RoutedPayload::DhtReply { token, value: bytes_value.clone() },
+            RoutedPayload::DhtCreate {
+                key,
+                value: bytes_value.clone().unwrap_or_default(),
+                ttl_ms,
+                token,
+            },
+            RoutedPayload::DhtCreateReply {
+                token,
+                created,
+                existing: bytes_value.clone(),
+            },
+            RoutedPayload::DhtReplicate {
+                key,
+                value: bytes_value.clone().unwrap_or_default(),
+                ttl_ms,
+            },
+            RoutedPayload::DhtRemove { key },
         ] {
             let msg = LinkMessage::Routed(RoutedPacket::new(src, dst, DeliveryMode::Closest, payload));
             let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();

@@ -1,0 +1,604 @@
+//! DHCP-over-DHT: decentralized virtual-address allocation.
+//!
+//! A node joins the virtual network knowing only the subnet. It draws a
+//! candidate address from its own deterministic random stream, claims the
+//! address with the DHT's atomic create-if-absent primitive, and retries with
+//! a fresh candidate on collision. The claimed record maps `SHA-1(ip)` to the
+//! claimant's overlay address — exactly the Brunet-ARP mapping of paper
+//! Section III-E — so winning the claim simultaneously makes the address
+//! resolvable by every sender.
+//!
+//! Claims are soft-state leases: the overlay renews the record at TTL/2 for as
+//! long as the node lives, and a crashed owner's address returns to the pool
+//! one TTL later. A confirmation read a short settle delay after the claim
+//! guards against split-brain claims while the ring is still converging: if
+//! the confirm does not read back our own overlay address, the claim is
+//! abandoned (and unpublished) and a new candidate is drawn.
+
+use std::net::Ipv4Addr;
+
+use ipop_overlay::Address;
+use ipop_packet::Bytes;
+use ipop_simcore::{Duration, SimTime, StreamRng};
+
+use crate::DhtClient;
+
+/// An IPv4 subnet (network address + prefix length).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Subnet {
+    /// Network address (host bits zeroed).
+    pub net: Ipv4Addr,
+    /// Prefix length in bits (max 30: at least two usable host addresses).
+    pub prefix: u8,
+}
+
+impl Subnet {
+    /// A subnet from any address inside it plus a prefix length.
+    pub fn new(addr: Ipv4Addr, prefix: u8) -> Self {
+        assert!(prefix <= 30, "prefix too long for host allocation");
+        let mask = Self::mask_of(prefix);
+        Subnet {
+            net: Ipv4Addr::from(u32::from(addr) & mask),
+            prefix,
+        }
+    }
+
+    fn mask_of(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// The subnet mask.
+    pub fn mask(&self) -> u32 {
+        Self::mask_of(self.prefix)
+    }
+
+    /// Is `ip` inside the subnet?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & self.mask()) == u32::from(self.net)
+    }
+
+    /// The broadcast address (all host bits set).
+    pub fn broadcast(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.net) | !self.mask())
+    }
+
+    /// Number of assignable host addresses (network and broadcast excluded).
+    pub fn usable_hosts(&self) -> u64 {
+        (1u64 << (32 - self.prefix)) - 2
+    }
+
+    /// Draw a uniformly random usable host address that is not in `reserved`.
+    pub fn draw(&self, rng: &mut StreamRng, reserved: &[Ipv4Addr]) -> Ipv4Addr {
+        loop {
+            let offset = rng.range_u64(1, (1u64 << (32 - self.prefix)) - 1) as u32;
+            let ip = Ipv4Addr::from(u32::from(self.net) | offset);
+            if !reserved.contains(&ip) {
+                return ip;
+            }
+        }
+    }
+}
+
+/// The DHT key under which the lease (= Brunet-ARP mapping) for `ip` lives:
+/// `SHA-1(ip)`, the same point on the ring the base IPOP design routes to.
+pub fn lease_key(ip: Ipv4Addr) -> Address {
+    Address::from_ip(ip)
+}
+
+/// Encode the claimant's overlay address as the lease value.
+pub fn encode_owner(addr: &Address) -> Bytes {
+    Bytes::copy_from_slice(&addr.0)
+}
+
+/// Decode a lease value back into the owner's overlay address.
+pub fn decode_owner(value: &[u8]) -> Option<Address> {
+    if value.len() != 20 {
+        return None;
+    }
+    let mut b = [0u8; 20];
+    b.copy_from_slice(value);
+    Some(Address(b))
+}
+
+/// Allocator tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DhcpConfig {
+    /// Lease lifetime; the overlay renews the claim at half this.
+    pub lease_ttl: Duration,
+    /// Settle delay between a successful claim and the confirmation read.
+    pub confirm_delay: Duration,
+    /// Re-issue a claim or confirm whose reply never arrived after this long.
+    pub claim_timeout: Duration,
+    /// Give up after this many claim attempts.
+    pub max_attempts: u32,
+}
+
+impl Default for DhcpConfig {
+    fn default() -> Self {
+        DhcpConfig {
+            lease_ttl: Duration::from_secs(120),
+            confirm_delay: Duration::from_secs(2),
+            claim_timeout: Duration::from_secs(10),
+            max_attempts: 128,
+        }
+    }
+}
+
+/// Allocation progress.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DhcpState {
+    /// Waiting for the overlay to be ready.
+    Idle,
+    /// A claim (`DhtCreate`) is outstanding for the candidate address.
+    Claiming {
+        /// Token of the outstanding create.
+        token: u64,
+        /// The candidate address being claimed.
+        ip: Ipv4Addr,
+        /// When the claim was issued.
+        since: SimTime,
+    },
+    /// The claim succeeded; waiting to read it back after the settle delay.
+    Confirming {
+        /// The claimed address.
+        ip: Ipv4Addr,
+        /// When the confirmation read may be issued.
+        confirm_at: SimTime,
+        /// Token of the outstanding confirmation get, once issued.
+        token: Option<u64>,
+        /// When the confirmation get was issued.
+        since: SimTime,
+    },
+    /// The address is allocated and confirmed; the lease renews itself.
+    Bound {
+        /// The allocated address.
+        ip: Ipv4Addr,
+    },
+    /// The lease was released (graceful leave).
+    Released,
+    /// Allocation gave up after `max_attempts` claims.
+    Failed,
+}
+
+/// The DHCP-style allocator state machine for one node.
+pub struct DhcpAllocator {
+    subnet: Subnet,
+    cfg: DhcpConfig,
+    /// This node's overlay address — the value stored in its claims.
+    owner: Address,
+    /// Addresses never drawn (gateway and friends).
+    reserved: Vec<Ipv4Addr>,
+    state: DhcpState,
+    started_at: Option<SimTime>,
+    bound_at: Option<SimTime>,
+    /// Claims lost to an existing live lease.
+    pub collisions: u64,
+    /// Claims issued.
+    pub attempts: u32,
+}
+
+impl DhcpAllocator {
+    /// An allocator drawing from `subnet`, claiming on behalf of `owner`.
+    pub fn new(subnet: Subnet, owner: Address, cfg: DhcpConfig) -> Self {
+        DhcpAllocator {
+            subnet,
+            cfg,
+            owner,
+            reserved: Vec::new(),
+            state: DhcpState::Idle,
+            started_at: None,
+            bound_at: None,
+            collisions: 0,
+            attempts: 0,
+        }
+    }
+
+    /// Builder: addresses that must never be drawn (e.g. the fabricated
+    /// gateway of the static-ARP trick).
+    pub fn with_reserved(mut self, reserved: Vec<Ipv4Addr>) -> Self {
+        self.reserved = reserved;
+        self
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DhcpState {
+        self.state
+    }
+
+    /// The allocated address, once bound.
+    pub fn ip(&self) -> Option<Ipv4Addr> {
+        match self.state {
+            DhcpState::Bound { ip } => Some(ip),
+            _ => None,
+        }
+    }
+
+    /// True once an address is allocated and confirmed.
+    pub fn bound(&self) -> bool {
+        matches!(self.state, DhcpState::Bound { .. })
+    }
+
+    /// Time from the first poll to the confirmed allocation.
+    pub fn allocation_latency(&self) -> Option<Duration> {
+        Some(self.bound_at?.saturating_since(self.started_at?))
+    }
+
+    /// Release the lease (graceful leave): delete the mapping from the DHT.
+    pub fn release(&mut self, now: SimTime, dht: &mut dyn DhtClient) {
+        match self.state {
+            DhcpState::Bound { ip } => {
+                dht.remove(now, lease_key(ip));
+            }
+            DhcpState::Claiming { token, .. } => {
+                // Nothing published yet; make sure a late success reply
+                // cannot publish either.
+                dht.cancel_create(token);
+            }
+            DhcpState::Confirming { ip, .. } => {
+                dht.unpublish(&lease_key(ip));
+            }
+            _ => {}
+        }
+        self.state = DhcpState::Released;
+    }
+
+    /// Drive the state machine. `ready` signals that the overlay is converged
+    /// enough to claim (the caller typically requires established ring
+    /// neighbours on both sides). Safe to call every tick.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        ready: bool,
+        rng: &mut StreamRng,
+        dht: &mut dyn DhtClient,
+    ) {
+        if self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
+        match self.state {
+            DhcpState::Idle => {
+                if ready {
+                    self.claim(now, rng, dht);
+                }
+            }
+            DhcpState::Claiming { token, since, .. } => {
+                if now.saturating_since(since) >= self.cfg.claim_timeout {
+                    // The create or its reply was lost; abandon the claim so
+                    // a late success cannot become a phantom publication, and
+                    // draw a fresh candidate.
+                    dht.cancel_create(token);
+                    self.claim(now, rng, dht);
+                }
+            }
+            DhcpState::Confirming {
+                ip,
+                confirm_at,
+                token,
+                since,
+            } => match token {
+                None if now >= confirm_at => {
+                    let token = dht.get(now, lease_key(ip));
+                    self.state = DhcpState::Confirming {
+                        ip,
+                        confirm_at,
+                        token: Some(token),
+                        since: now,
+                    };
+                }
+                Some(_) if now.saturating_since(since) >= self.cfg.claim_timeout => {
+                    // Confirmation reply lost; read again.
+                    let token = dht.get(now, lease_key(ip));
+                    self.state = DhcpState::Confirming {
+                        ip,
+                        confirm_at,
+                        token: Some(token),
+                        since: now,
+                    };
+                }
+                _ => {}
+            },
+            DhcpState::Bound { .. } | DhcpState::Released | DhcpState::Failed => {}
+        }
+    }
+
+    /// Feed a DHT create reply. Returns true when the token belonged to this
+    /// allocator (the caller routes replies between services by token).
+    pub fn on_create_reply(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        created: bool,
+        rng: &mut StreamRng,
+        dht: &mut dyn DhtClient,
+    ) -> bool {
+        let DhcpState::Claiming {
+            token: want, ip, ..
+        } = self.state
+        else {
+            return false;
+        };
+        if token != want {
+            return false;
+        }
+        if created {
+            self.state = DhcpState::Confirming {
+                ip,
+                confirm_at: now + self.cfg.confirm_delay,
+                token: None,
+                since: now,
+            };
+        } else {
+            // A live lease already exists under this address: collision.
+            self.collisions += 1;
+            self.claim(now, rng, dht);
+        }
+        true
+    }
+
+    /// Feed a DHT get reply (the confirmation read). Returns true when the
+    /// token belonged to this allocator.
+    pub fn on_get_reply(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        value: Option<&[u8]>,
+        rng: &mut StreamRng,
+        dht: &mut dyn DhtClient,
+    ) -> bool {
+        let DhcpState::Confirming {
+            ip,
+            token: Some(want),
+            ..
+        } = self.state
+        else {
+            return false;
+        };
+        if token != want {
+            return false;
+        }
+        if value.and_then(decode_owner) == Some(self.owner) {
+            self.state = DhcpState::Bound { ip };
+            self.bound_at = Some(now);
+        } else {
+            // Someone else's claim won (split-brain during convergence) or
+            // the record vanished: stop refreshing it and start over.
+            self.collisions += 1;
+            dht.unpublish(&lease_key(ip));
+            self.claim(now, rng, dht);
+        }
+        true
+    }
+
+    fn claim(&mut self, now: SimTime, rng: &mut StreamRng, dht: &mut dyn DhtClient) {
+        if self.attempts >= self.cfg.max_attempts {
+            self.state = DhcpState::Failed;
+            return;
+        }
+        self.attempts += 1;
+        let ip = self.subnet.draw(rng, &self.reserved);
+        let token = dht.create(
+            now,
+            lease_key(ip),
+            encode_owner(&self.owner),
+            self.cfg.lease_ttl,
+        );
+        self.state = DhcpState::Claiming {
+            token,
+            ip,
+            since: now,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{FakeDht, Op};
+
+    fn subnet() -> Subnet {
+        Subnet::new(Ipv4Addr::new(172, 16, 9, 0), 24)
+    }
+
+    fn owner() -> Address {
+        Address::from_key(b"claimant")
+    }
+
+    fn alloc() -> DhcpAllocator {
+        DhcpAllocator::new(subnet(), owner(), DhcpConfig::default())
+            .with_reserved(vec![Ipv4Addr::new(172, 16, 9, 254)])
+    }
+
+    #[test]
+    fn subnet_arithmetic() {
+        let s = Subnet::new(Ipv4Addr::new(172, 16, 9, 77), 24);
+        assert_eq!(s.net, Ipv4Addr::new(172, 16, 9, 0));
+        assert_eq!(s.broadcast(), Ipv4Addr::new(172, 16, 9, 255));
+        assert_eq!(s.usable_hosts(), 254);
+        assert!(s.contains(Ipv4Addr::new(172, 16, 9, 1)));
+        assert!(!s.contains(Ipv4Addr::new(172, 16, 10, 1)));
+    }
+
+    #[test]
+    fn draw_respects_bounds_and_reservations() {
+        let s = subnet();
+        let mut rng = StreamRng::new(7, "draw");
+        let reserved = [Ipv4Addr::new(172, 16, 9, 254)];
+        for _ in 0..500 {
+            let ip = s.draw(&mut rng, &reserved);
+            assert!(s.contains(ip));
+            assert_ne!(ip, s.net, "network address never drawn");
+            assert_ne!(ip, s.broadcast(), "broadcast never drawn");
+            assert_ne!(ip, reserved[0], "reserved address never drawn");
+        }
+    }
+
+    #[test]
+    fn owner_encoding_round_trips() {
+        let a = owner();
+        assert_eq!(decode_owner(&encode_owner(&a)), Some(a));
+        assert_eq!(decode_owner(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn happy_path_claim_confirm_bind() {
+        let mut a = alloc();
+        let mut rng = StreamRng::new(1, "dhcp");
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        // Not ready: nothing happens.
+        a.poll(t0, false, &mut rng, &mut dht);
+        assert!(dht.ops.is_empty());
+        // Ready: a claim goes out.
+        a.poll(t0, true, &mut rng, &mut dht);
+        let Some(Op::Create(key, value, ttl)) = dht.ops.first().cloned() else {
+            panic!("expected a create, got {:?}", dht.ops)
+        };
+        assert_eq!(value, encode_owner(&owner()));
+        assert_eq!(ttl, Duration::from_secs(120));
+        let DhcpState::Claiming { token, ip, .. } = a.state() else {
+            panic!()
+        };
+        assert_eq!(key, lease_key(ip));
+        // Claim succeeds → confirming after the settle delay.
+        assert!(a.on_create_reply(t0, token, true, &mut rng, &mut dht));
+        assert!(!a.bound());
+        let t1 = t0 + Duration::from_secs(1);
+        a.poll(t1, true, &mut rng, &mut dht);
+        assert_eq!(dht.ops.len(), 1, "confirm read waits for the settle delay");
+        let t2 = t0 + Duration::from_secs(3);
+        a.poll(t2, true, &mut rng, &mut dht);
+        assert!(matches!(dht.ops.last(), Some(Op::Get(k)) if *k == lease_key(ip)));
+        let get_token = dht.last_token();
+        // Confirmation reads back our own claim → bound.
+        let v = encode_owner(&owner());
+        assert!(a.on_get_reply(t2, get_token, Some(v.as_slice()), &mut rng, &mut dht));
+        assert_eq!(a.ip(), Some(ip));
+        assert_eq!(a.allocation_latency(), Some(Duration::from_secs(3)));
+        assert_eq!(a.collisions, 0);
+    }
+
+    #[test]
+    fn collision_draws_a_fresh_candidate() {
+        let mut a = alloc();
+        let mut rng = StreamRng::new(2, "dhcp");
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        a.poll(t0, true, &mut rng, &mut dht);
+        let DhcpState::Claiming { token, ip, .. } = a.state() else {
+            panic!()
+        };
+        // Claim lost: a different candidate is claimed next.
+        assert!(a.on_create_reply(t0, token, false, &mut rng, &mut dht));
+        assert_eq!(a.collisions, 1);
+        let DhcpState::Claiming { ip: ip2, .. } = a.state() else {
+            panic!("retry expected, got {:?}", a.state())
+        };
+        assert_ne!(ip, ip2, "fresh candidate after collision (seeded draw)");
+        assert_eq!(a.attempts, 2);
+    }
+
+    #[test]
+    fn failed_confirmation_unpublishes_and_retries() {
+        let mut a = alloc();
+        let mut rng = StreamRng::new(3, "dhcp");
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        a.poll(t0, true, &mut rng, &mut dht);
+        let DhcpState::Claiming { token, ip, .. } = a.state() else {
+            panic!()
+        };
+        a.on_create_reply(t0, token, true, &mut rng, &mut dht);
+        let t1 = t0 + Duration::from_secs(3);
+        a.poll(t1, true, &mut rng, &mut dht);
+        let get_token = dht.last_token();
+        // The read returns a different owner: split-brain loser backs off.
+        let other = encode_owner(&Address::from_key(b"someone else"));
+        assert!(a.on_get_reply(t1, get_token, Some(other.as_slice()), &mut rng, &mut dht));
+        assert!(!a.bound());
+        assert!(
+            dht.ops.contains(&Op::Unpublish(lease_key(ip))),
+            "the losing claim must stop refreshing"
+        );
+        assert!(matches!(a.state(), DhcpState::Claiming { .. }));
+    }
+
+    #[test]
+    fn claim_timeout_reissues() {
+        let mut a = alloc();
+        let mut rng = StreamRng::new(4, "dhcp");
+        let mut dht = FakeDht::default();
+        a.poll(SimTime::ZERO, true, &mut rng, &mut dht);
+        assert_eq!(a.attempts, 1);
+        let DhcpState::Claiming { token, .. } = a.state() else {
+            panic!()
+        };
+        a.poll(
+            SimTime::ZERO + Duration::from_secs(11),
+            true,
+            &mut rng,
+            &mut dht,
+        );
+        assert_eq!(a.attempts, 2, "lost claim re-issued after the timeout");
+        assert!(
+            dht.ops.contains(&Op::CancelCreate(token)),
+            "the timed-out claim is cancelled so a late reply cannot publish"
+        );
+    }
+
+    #[test]
+    fn release_removes_the_lease() {
+        let mut a = alloc();
+        let mut rng = StreamRng::new(5, "dhcp");
+        let mut dht = FakeDht::default();
+        a.poll(SimTime::ZERO, true, &mut rng, &mut dht);
+        let DhcpState::Claiming { token, ip, .. } = a.state() else {
+            panic!()
+        };
+        a.on_create_reply(SimTime::ZERO, token, true, &mut rng, &mut dht);
+        a.poll(
+            SimTime::ZERO + Duration::from_secs(3),
+            true,
+            &mut rng,
+            &mut dht,
+        );
+        let v = encode_owner(&owner());
+        a.on_get_reply(
+            SimTime::ZERO + Duration::from_secs(3),
+            dht.last_token(),
+            Some(v.as_slice()),
+            &mut rng,
+            &mut dht,
+        );
+        assert!(a.bound());
+        a.release(SimTime::ZERO + Duration::from_secs(10), &mut dht);
+        assert_eq!(a.state(), DhcpState::Released);
+        assert!(matches!(dht.ops.last(), Some(Op::Remove(k)) if *k == lease_key(ip)));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut a = DhcpAllocator::new(
+            subnet(),
+            owner(),
+            DhcpConfig {
+                max_attempts: 3,
+                ..DhcpConfig::default()
+            },
+        );
+        let mut rng = StreamRng::new(6, "dhcp");
+        let mut dht = FakeDht::default();
+        let mut now = SimTime::ZERO;
+        a.poll(now, true, &mut rng, &mut dht);
+        for _ in 0..3 {
+            if let DhcpState::Claiming { token, .. } = a.state() {
+                a.on_create_reply(now, token, false, &mut rng, &mut dht);
+            }
+            now += Duration::from_secs(1);
+        }
+        assert_eq!(a.state(), DhcpState::Failed);
+    }
+}

@@ -1,0 +1,202 @@
+//! The overlay name service: hostnames → virtual IPs.
+//!
+//! With dynamically allocated addresses (see [`crate::dhcp`]) no node knows
+//! another's virtual IP a priori, so the apps layer needs a symbolic handle.
+//! A node registers `SHA-1("name:" + hostname) → its virtual IP` as a
+//! refreshed lease in the DHT; resolvers read the record, cache it, and
+//! re-resolve when the cache entry expires — the same soft-state pattern as
+//! Brunet-ARP, one level up.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use ipop_overlay::Address;
+use ipop_packet::Bytes;
+use ipop_simcore::{Duration, SimTime};
+
+use crate::DhtClient;
+
+/// The DHT key of a hostname record.
+pub fn name_key(name: &str) -> Address {
+    let mut keyed = Vec::with_capacity(5 + name.len());
+    keyed.extend_from_slice(b"name:");
+    keyed.extend_from_slice(name.as_bytes());
+    Address::from_key(&keyed)
+}
+
+/// Encode a virtual IP as a name-record value.
+pub fn encode_ip(ip: Ipv4Addr) -> Bytes {
+    Bytes::copy_from_slice(&ip.octets())
+}
+
+/// Decode a name-record value back into a virtual IP.
+pub fn decode_ip(value: &[u8]) -> Option<Ipv4Addr> {
+    let octets: [u8; 4] = value.try_into().ok()?;
+    Some(Ipv4Addr::from(octets))
+}
+
+/// Outcome of a resolution attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Answered from the local cache.
+    Cached(Ipv4Addr),
+    /// A DHT read was issued under the given token; the answer arrives via
+    /// [`NameService::on_reply`].
+    Pending(u64),
+}
+
+/// Resolver-side (and registrar-side) name service state for one node.
+pub struct NameService {
+    cache_ttl: Duration,
+    cache: BTreeMap<String, (Ipv4Addr, SimTime)>,
+    /// Outstanding lookups: token → hostname. Never iterated, only keyed.
+    pending: HashMap<u64, String>,
+    /// Lookups answered from the DHT with a mapping.
+    pub resolved: u64,
+    /// Lookups that found no record.
+    pub failed: u64,
+}
+
+impl NameService {
+    /// A name service whose cache entries live for `cache_ttl`.
+    pub fn new(cache_ttl: Duration) -> Self {
+        NameService {
+            cache_ttl,
+            cache: BTreeMap::new(),
+            pending: HashMap::new(),
+            resolved: 0,
+            failed: 0,
+        }
+    }
+
+    /// Register (or re-register, e.g. after migration) `name → ip` as a
+    /// refreshed lease with the given TTL.
+    pub fn register(
+        dht: &mut dyn DhtClient,
+        now: SimTime,
+        name: &str,
+        ip: Ipv4Addr,
+        ttl: Duration,
+    ) {
+        dht.put(now, name_key(name), encode_ip(ip), ttl);
+    }
+
+    /// Remove the registration for `name`.
+    pub fn unregister(dht: &mut dyn DhtClient, now: SimTime, name: &str) {
+        dht.remove(now, name_key(name));
+    }
+
+    /// Resolve `name`, from cache when fresh, otherwise via a DHT read.
+    pub fn resolve(&mut self, dht: &mut dyn DhtClient, now: SimTime, name: &str) -> Resolution {
+        if let Some((ip, stored_at)) = self.cache.get(name) {
+            if now.saturating_since(*stored_at) < self.cache_ttl {
+                return Resolution::Cached(*ip);
+            }
+            self.cache.remove(name);
+        }
+        let token = dht.get(now, name_key(name));
+        self.pending.insert(token, name.to_string());
+        Resolution::Pending(token)
+    }
+
+    /// Feed a DHT get reply. Returns `Some((name, ip))` when the token
+    /// belonged to an outstanding name lookup (ip is `None` when no record
+    /// exists), `None` when the token is not ours.
+    pub fn on_reply(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        value: Option<&[u8]>,
+    ) -> Option<(String, Option<Ipv4Addr>)> {
+        let name = self.pending.remove(&token)?;
+        let ip = value.and_then(decode_ip);
+        match ip {
+            Some(ip) => {
+                self.resolved += 1;
+                self.cache.insert(name.clone(), (ip, now));
+            }
+            None => self.failed += 1,
+        }
+        Some((name, ip))
+    }
+
+    /// Number of live cache entries.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{FakeDht, Op};
+
+    const IP: Ipv4Addr = Ipv4Addr::new(172, 16, 9, 42);
+
+    #[test]
+    fn ip_encoding_round_trips() {
+        assert_eq!(decode_ip(&encode_ip(IP)), Some(IP));
+        assert_eq!(decode_ip(&[1, 2, 3]), None);
+        assert_ne!(name_key("worker-1"), name_key("worker-2"));
+    }
+
+    #[test]
+    fn register_resolve_cache_cycle() {
+        let mut ns = NameService::new(Duration::from_secs(60));
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        NameService::register(&mut dht, t0, "worker-1", IP, Duration::from_secs(120));
+        assert_eq!(
+            dht.ops[0],
+            Op::Put(
+                name_key("worker-1"),
+                encode_ip(IP),
+                Duration::from_secs(120)
+            )
+        );
+        // First lookup goes to the DHT.
+        let Resolution::Pending(token) = ns.resolve(&mut dht, t0, "worker-1") else {
+            panic!("expected a pending lookup")
+        };
+        let v = encode_ip(IP);
+        assert_eq!(
+            ns.on_reply(t0, token, Some(v.as_slice())),
+            Some(("worker-1".to_string(), Some(IP)))
+        );
+        assert_eq!(ns.resolved, 1);
+        // Second lookup is served from cache.
+        assert_eq!(
+            ns.resolve(&mut dht, t0 + Duration::from_secs(10), "worker-1"),
+            Resolution::Cached(IP)
+        );
+        // After the cache TTL the name is re-resolved (migration pickup).
+        assert!(matches!(
+            ns.resolve(&mut dht, t0 + Duration::from_secs(61), "worker-1"),
+            Resolution::Pending(_)
+        ));
+    }
+
+    #[test]
+    fn missing_names_count_as_failures() {
+        let mut ns = NameService::new(Duration::from_secs(60));
+        let mut dht = FakeDht::default();
+        let Resolution::Pending(token) = ns.resolve(&mut dht, SimTime::ZERO, "ghost") else {
+            panic!()
+        };
+        assert_eq!(
+            ns.on_reply(SimTime::ZERO, token, None),
+            Some(("ghost".to_string(), None))
+        );
+        assert_eq!(ns.failed, 1);
+        assert_eq!(ns.cached(), 0);
+        // Unknown tokens are not ours.
+        assert_eq!(ns.on_reply(SimTime::ZERO, 999, None), None);
+    }
+
+    #[test]
+    fn unregister_removes_the_record() {
+        let mut dht = FakeDht::default();
+        NameService::unregister(&mut dht, SimTime::ZERO, "worker-1");
+        assert_eq!(dht.ops, vec![Op::Remove(name_key("worker-1"))]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Self-configuration: machines join the virtual network knowing *only* the
+//! subnet and a bootstrap endpoint. Each draws a candidate address from its
+//! own random stream, claims it atomically in the overlay DHT (the claim
+//! doubles as the Brunet-ARP mapping), confirms, and renews the claim as a
+//! lease — zero per-host IP configuration, the paper's headline property.
+//!
+//! Run with `cargo run -p ipop-examples --bin selfconfig_dhcp [-- --quick]`.
+
+use std::net::Ipv4Addr;
+
+use ipop::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    let nodes = if quick { 12 } else { 24 };
+
+    // 1. A Planet-Lab-like physical topology with one publicly reachable
+    //    bootstrap machine.
+    let mut net = Network::new(41);
+    let plab = ipop_netsim::planetlab(&mut net, nodes, 1.0, 41);
+
+    // 2. Only the bootstrap is configured; everyone else joins with nothing
+    //    but the subnet, a hostname, and the bootstrap endpoint.
+    let mut members = vec![IpopMember::router(
+        plab.nodes[0],
+        Ipv4Addr::new(172, 16, 0, 1),
+    )];
+    for (i, &h) in plab.nodes.iter().enumerate().skip(1) {
+        members.push(IpopMember::dynamic_router(h).with_hostname(&format!("grid-{i}")));
+    }
+    let options = DeployOptions {
+        brunet_arp: true,
+        ..DeployOptions::udp()
+    }
+    .with_dynamic_subnet(Ipv4Addr::new(172, 16, 9, 0), 24);
+    deploy_ipop(&mut net, members, options);
+
+    // 3. Run until the overlay has formed and every node has claimed an
+    //    address through the DHT.
+    let mut sim = NetworkSim::new(net);
+    sim.run_for(Duration::from_secs(60));
+
+    let mut bound = 0;
+    let mut collisions = 0;
+    let mut worst_latency = Duration::ZERO;
+    for (i, &h) in plab.nodes.iter().enumerate().skip(1) {
+        let agent = sim.agent_as::<IpopHostAgent>(h).expect("ipop agent");
+        if agent.has_address() {
+            bound += 1;
+        }
+        collisions += agent.allocation_collisions().unwrap_or(0);
+        if let Some(l) = agent.allocation_latency() {
+            worst_latency = worst_latency.max(l);
+        }
+        if i <= 4 {
+            println!(
+                "grid-{i}: allocated {} in {:.2} s",
+                agent.virtual_ip(),
+                agent.allocation_latency().map_or(0.0, |d| d.as_secs_f64())
+            );
+        }
+    }
+    println!(
+        "dynamically allocated addresses: {bound}/{} (collisions retried: {collisions}, slowest {:.2} s)",
+        nodes - 1,
+        worst_latency.as_secs_f64()
+    );
+
+    // 4. Resolve a peer by hostname through the overlay name service.
+    let prober = plab.nodes[1];
+    let now = sim.now();
+    sim.net_mut()
+        .agent_as_mut::<IpopHostAgent>(prober)
+        .unwrap()
+        .lookup_name(now, "grid-5");
+    sim.run_for(Duration::from_secs(5));
+    for (name, ip) in sim
+        .net_mut()
+        .agent_as_mut::<IpopHostAgent>(prober)
+        .unwrap()
+        .take_name_results()
+    {
+        match ip {
+            Some(ip) => println!("name service: {name} -> {ip}"),
+            None => println!("name service: {name} -> (unregistered)"),
+        }
+    }
+}

@@ -52,6 +52,16 @@ fn grid_mpi_cluster_completes_the_lss_runs() {
 }
 
 #[test]
+fn selfconfig_dhcp_allocates_every_address() {
+    let out = run(env!("CARGO_BIN_EXE_selfconfig_dhcp"), &["--quick"]);
+    assert!(
+        out.contains("dynamically allocated addresses: 11/11"),
+        "{out}"
+    );
+    assert!(out.contains("name service: grid-5 -> 172.16.9."), "{out}");
+}
+
+#[test]
 fn planetlab_overlay_reports_a_distribution() {
     let out = run(env!("CARGO_BIN_EXE_planetlab_overlay"), &["--quick"]);
     assert!(out.contains("Fig. 5"), "{out}");

@@ -203,6 +203,89 @@ fn mixed_nat_public_64_node_runs_are_byte_identical() {
     assert_eq!(a, b);
 }
 
+/// Outcome of a dynamic-allocation run, in byte-comparable form: every field
+/// that DHT, lease and replication traffic can influence.
+#[derive(Debug, PartialEq)]
+struct SelfConfigTrace {
+    events: u64,
+    delivered: u64,
+    ips: Vec<Ipv4Addr>,
+    latencies_ns: Vec<Option<u64>>,
+    collisions: Vec<Option<u64>>,
+    dht: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+/// A 12-node overlay where everyone but the bootstrap allocates its address
+/// through the DHCP-over-DHT claim path — the run exercises creates, confirm
+/// reads, replication, lease refreshes and name registrations.
+fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
+    use ipop_netsim::planetlab;
+    const N: usize = 12;
+    let mut net = Network::new(seed);
+    let plab = planetlab(&mut net, N, 1.0, seed);
+    let mut members = vec![IpopMember::router(
+        plab.nodes[0],
+        Ipv4Addr::new(172, 16, 0, 1),
+    )];
+    for (i, &h) in plab.nodes.iter().enumerate().skip(1) {
+        members.push(IpopMember::dynamic_router(h).with_hostname(&format!("d{i}")));
+    }
+    let options = DeployOptions {
+        brunet_arp: true,
+        ..DeployOptions::udp()
+    }
+    .with_dynamic_subnet(Ipv4Addr::new(172, 16, 9, 0), 24);
+    ipop::deploy_ipop(&mut net, members, options);
+    let mut sim = NetworkSim::new(net);
+    sim.run_for(Duration::from_secs(75));
+    let agents: Vec<&IpopHostAgent> = plab
+        .nodes
+        .iter()
+        .map(|&h| sim.agent_as::<IpopHostAgent>(h).unwrap())
+        .collect();
+    SelfConfigTrace {
+        events: sim.events_executed(),
+        delivered: sim.net().counters().delivered,
+        ips: agents.iter().map(|a| a.virtual_ip()).collect(),
+        latencies_ns: agents
+            .iter()
+            .map(|a| a.allocation_latency().map(|d| d.as_nanos()))
+            .collect(),
+        collisions: agents.iter().map(|a| a.allocation_collisions()).collect(),
+        dht: agents
+            .iter()
+            .map(|a| {
+                let s = a.overlay_stats();
+                (
+                    s.dht_records,
+                    s.dht_bytes,
+                    s.dht_replicas,
+                    s.dht_refreshes,
+                    s.dht_expired,
+                )
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn dynamic_join_runs_are_byte_identical() {
+    let a = run_dynamic_join(0xD4C9_05EED);
+    let b = run_dynamic_join(0xD4C9_05EED);
+    // The run exercised the allocator: every dynamic node bound...
+    assert!(
+        a.ips.iter().skip(1).all(|ip| !ip.is_unspecified()),
+        "all dynamic nodes allocated: {:?}",
+        a.ips
+    );
+    assert!(
+        a.dht.iter().map(|d| d.3).sum::<u64>() > 0,
+        "lease refreshes happened"
+    );
+    // ...and DHT/lease traffic replays byte-identically.
+    assert_eq!(a, b);
+}
+
 #[test]
 fn identical_seeds_replay_identically() {
     let a = run_fig4_ping(0x5EED);
