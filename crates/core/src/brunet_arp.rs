@@ -25,6 +25,12 @@ use ipop_simcore::{Duration, SimTime};
 /// parked packet is dropped (counted in [`BrunetArp::dropped`]).
 pub const DEFAULT_PARK_LIMIT: usize = 32;
 
+/// How long an unanswered resolution query blocks re-querying. A `DhtGet`
+/// whose reply is lost (dead coordinator, routed into a crashed node) must
+/// not pin the destination in `Pending` forever — after this long the next
+/// packet issues a fresh query.
+pub const QUERY_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Outcome of a resolution attempt.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Resolution {
@@ -45,8 +51,10 @@ pub struct BrunetArp {
     /// `park_limit` per destination, drop-oldest.
     parked: HashMap<Ipv4Addr, VecDeque<Ipv4Packet>>,
     park_limit: usize,
-    /// Outstanding DHT query tokens → the IP they resolve.
-    outstanding: HashMap<u64, Ipv4Addr>,
+    /// Outstanding DHT query tokens → the IP they resolve and when the query
+    /// was issued (queries older than [`QUERY_TIMEOUT`] no longer block a
+    /// fresh query; their late replies are still accepted).
+    outstanding: HashMap<u64, (Ipv4Addr, SimTime)>,
     /// Statistics.
     pub cache_hits: u64,
     /// Statistics.
@@ -121,15 +129,25 @@ impl BrunetArp {
             self.cache.remove(&dst);
         }
         self.cache_misses += 1;
-        if self.outstanding.values().any(|ip| *ip == dst) {
+        if self
+            .outstanding
+            .values()
+            .any(|(ip, issued)| *ip == dst && now.saturating_since(*issued) < QUERY_TIMEOUT)
+        {
             return Resolution::Pending;
         }
         Resolution::NeedsQuery(Self::key_for(dst))
     }
 
-    /// Record that DHT query `token` is resolving `dst`.
-    pub fn query_issued(&mut self, token: u64, dst: Ipv4Addr) {
-        self.outstanding.insert(token, dst);
+    /// Record that DHT query `token` is resolving `dst`. Every timed-out
+    /// entry is pruned (not just this destination's) — without this, a lost
+    /// reply for a destination never queried again would leak its map entry
+    /// for the life of the node. Pruned tokens' late replies are dropped; a
+    /// fresh query answers instead.
+    pub fn query_issued(&mut self, now: SimTime, token: u64, dst: Ipv4Addr) {
+        self.outstanding
+            .retain(|_, (_, issued)| now.saturating_since(*issued) < QUERY_TIMEOUT);
+        self.outstanding.insert(token, (dst, now));
     }
 
     /// Park a packet until `dst` resolves. When the destination's queue is
@@ -152,7 +170,7 @@ impl BrunetArp {
         token: u64,
         value: Option<Bytes>,
     ) -> Option<(Ipv4Addr, Option<Address>, Vec<Ipv4Packet>)> {
-        let dst = self.outstanding.remove(&token)?;
+        let (dst, _) = self.outstanding.remove(&token)?;
         let addr = value.as_deref().and_then(Self::decode_mapping);
         let waiting: Vec<Ipv4Packet> = self.parked.remove(&dst).map(Vec::from).unwrap_or_default();
         match addr {
@@ -170,6 +188,19 @@ impl BrunetArp {
     /// when a migration is announced).
     pub fn invalidate(&mut self, dst: Ipv4Addr) {
         self.cache.remove(&dst);
+    }
+
+    /// Drop every parked packet and outstanding query. Called when the node's
+    /// own virtual address changes (re-bind) or is relinquished: the parked
+    /// packets were sourced from the old address, and a late reply releasing
+    /// them would emit traffic from an address this node no longer holds.
+    /// The resolution cache survives — it maps *other* hosts' addresses.
+    pub fn reset_pending(&mut self) -> usize {
+        let dropped = self.parked_packets();
+        self.parked.clear();
+        self.outstanding.clear();
+        self.dropped += dropped as u64;
+        dropped
     }
 }
 
@@ -206,7 +237,7 @@ mod tests {
             panic!("expected NeedsQuery, got {r:?}")
         };
         assert_eq!(key, Address::from_ip(DST));
-        arp.query_issued(7, DST);
+        arp.query_issued(SimTime::ZERO, 7, DST);
         arp.park(DST, pkt(DST));
         // Second packet while the query is outstanding: pending.
         assert_eq!(arp.resolve(now, DST), Resolution::Pending);
@@ -231,7 +262,7 @@ mod tests {
     fn cache_entries_expire() {
         let mut arp = BrunetArp::new(Duration::from_secs(10));
         let target = Address::from_key(b"n");
-        arp.query_issued(1, DST);
+        arp.query_issued(SimTime::ZERO, 1, DST);
         arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
         assert!(matches!(
             arp.resolve(SimTime::ZERO + Duration::from_secs(5), DST),
@@ -247,7 +278,7 @@ mod tests {
     #[test]
     fn failed_lookup_counts_and_releases_packets() {
         let mut arp = BrunetArp::new(Duration::from_secs(10));
-        arp.query_issued(3, DST);
+        arp.query_issued(SimTime::ZERO, 3, DST);
         arp.park(DST, pkt(DST));
         let (_, addr, released) = arp.on_reply(SimTime::ZERO, 3, None).unwrap();
         assert_eq!(addr, None);
@@ -267,9 +298,9 @@ mod tests {
     #[test]
     fn parked_queue_is_bounded_per_destination_drop_oldest() {
         let mut arp = BrunetArp::new(Duration::from_secs(10)).with_park_limit(3);
-        arp.query_issued(1, DST);
+        arp.query_issued(SimTime::ZERO, 1, DST);
         let other = Ipv4Addr::new(172, 16, 0, 99);
-        arp.query_issued(2, other);
+        arp.query_issued(SimTime::ZERO, 2, other);
         // Five packets to one destination: only the newest three survive.
         for i in 0..5u8 {
             arp.park(
@@ -302,10 +333,68 @@ mod tests {
     }
 
     #[test]
+    fn lost_query_reply_unblocks_after_timeout() {
+        // A query whose reply never arrives (routed into a crashed node) must
+        // not pin the destination in Pending forever.
+        let mut arp = BrunetArp::new(Duration::from_secs(60));
+        arp.query_issued(SimTime::ZERO, 1, DST);
+        assert_eq!(
+            arp.resolve(SimTime::ZERO + Duration::from_secs(2), DST),
+            Resolution::Pending,
+            "fresh query still blocks"
+        );
+        let late = SimTime::ZERO + QUERY_TIMEOUT;
+        assert!(
+            matches!(arp.resolve(late, DST), Resolution::NeedsQuery(_)),
+            "timed-out query no longer blocks a fresh one"
+        );
+        // Issuing the fresh query prunes the timed-out one — lost replies
+        // must not leak an outstanding entry forever.
+        arp.query_issued(late, 2, DST);
+        let target = Address::from_key(b"n");
+        assert!(
+            arp.on_reply(late, 1, Some(BrunetArp::encode_mapping(&target)))
+                .is_none(),
+            "the pruned token's late reply is dropped"
+        );
+        // The fresh token answers and releases parked packets.
+        arp.park(DST, pkt(DST));
+        let (ip, addr, released) = arp
+            .on_reply(late, 2, Some(BrunetArp::encode_mapping(&target)))
+            .unwrap();
+        assert_eq!(ip, DST);
+        assert_eq!(addr, Some(target));
+        assert_eq!(released.len(), 1);
+    }
+
+    #[test]
+    fn reset_pending_drops_parked_and_outstanding_but_keeps_cache() {
+        let mut arp = BrunetArp::new(Duration::from_secs(60));
+        let target = Address::from_key(b"n");
+        arp.query_issued(SimTime::ZERO, 1, DST);
+        arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
+        let other = Ipv4Addr::new(172, 16, 0, 99);
+        arp.query_issued(SimTime::ZERO, 2, other);
+        arp.park(other, pkt(other));
+        assert_eq!(arp.reset_pending(), 1);
+        assert_eq!(arp.parked_packets(), 0);
+        assert_eq!(arp.dropped, 1);
+        // A late reply for the cleared query releases nothing.
+        assert!(arp
+            .on_reply(SimTime::ZERO, 2, Some(BrunetArp::encode_mapping(&target)))
+            .is_none());
+        // The destination cache survives: it maps other hosts' addresses.
+        assert_eq!(
+            arp.resolve(SimTime::ZERO, DST),
+            Resolution::Resolved(target)
+        );
+    }
+
+    #[test]
     fn invalidate_forces_requery() {
         let mut arp = BrunetArp::new(Duration::from_secs(1000));
         let target = Address::from_key(b"n");
-        arp.query_issued(1, DST);
+        arp.query_issued(SimTime::ZERO, 1, DST);
         arp.on_reply(SimTime::ZERO, 1, Some(BrunetArp::encode_mapping(&target)));
         arp.invalidate(DST);
         assert!(matches!(

@@ -83,6 +83,13 @@ pub struct DeployOptions {
     pub dynamic_subnet: (Ipv4Addr, u8),
     /// Lease TTL for DHT registrations (address leases, mappings, names).
     pub lease_ttl: Duration,
+    /// Sender-side Brunet-ARP cache TTL; `None` keeps the per-node default.
+    /// Migration workloads shorten it — it bounds the blackout window of a
+    /// migrating guest IP.
+    pub arp_cache_ttl: Option<Duration>,
+    /// Virtual addresses dynamic members must never claim (guest-VM IPs a
+    /// workload assigns by hand), besides the gateway.
+    pub reserved_ips: Vec<Ipv4Addr>,
 }
 
 impl Default for DeployOptions {
@@ -93,6 +100,8 @@ impl Default for DeployOptions {
             shortcuts: true,
             dynamic_subnet: (Ipv4Addr::new(172, 16, 0, 0), 16),
             lease_ttl: Duration::from_secs(120),
+            arp_cache_ttl: None,
+            reserved_ips: Vec::new(),
         }
     }
 }
@@ -120,6 +129,18 @@ impl DeployOptions {
     /// Builder: set the lease TTL for DHT registrations.
     pub fn with_lease_ttl(mut self, ttl: Duration) -> Self {
         self.lease_ttl = ttl;
+        self
+    }
+
+    /// Builder: set every member's Brunet-ARP cache TTL.
+    pub fn with_arp_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.arp_cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Builder: reserve virtual addresses dynamic members must never claim.
+    pub fn with_reserved_ips(mut self, ips: Vec<Ipv4Addr>) -> Self {
+        self.reserved_ips = ips;
         self
     }
 }
@@ -156,6 +177,12 @@ pub fn deploy_ipop(
         }
         .with_transport(options.transport)
         .with_lease_ttl(options.lease_ttl);
+        if let Some(ttl) = options.arp_cache_ttl {
+            cfg = cfg.with_brunet_arp_cache_ttl(ttl);
+        }
+        if !options.reserved_ips.is_empty() {
+            cfg = cfg.with_reserved_ips(options.reserved_ips.clone());
+        }
         if let Some(name) = &member.hostname {
             cfg = cfg.with_hostname(name);
         }

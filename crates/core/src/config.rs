@@ -40,6 +40,9 @@ pub struct IpopConfig {
     pub transport: TransportMode,
     /// Physical endpoints of nodes already in the overlay.
     pub bootstrap: Vec<Endpoint>,
+    /// Virtual addresses the dynamic allocator must never draw, *besides* the
+    /// fabricated gateway (e.g. guest-VM IPs a workload assigns by hand).
+    pub reserved_ips: Vec<Ipv4Addr>,
     /// Enable the Brunet-ARP mapper (paper Section III-E): IP→overlay-address
     /// mappings are registered in and resolved from the DHT instead of being
     /// derived directly from the destination IP. Required for hosts that route for
@@ -68,6 +71,7 @@ impl IpopConfig {
             overlay_port: 4001,
             transport: TransportMode::Udp,
             bootstrap: Vec::new(),
+            reserved_ips: Vec::new(),
             brunet_arp: false,
             brunet_arp_cache_ttl: Duration::from_secs(300),
             overlay_tick: Duration::from_millis(500),
@@ -121,6 +125,21 @@ impl IpopConfig {
     /// Builder: enable the Brunet-ARP DHT mapper.
     pub fn with_brunet_arp(mut self) -> Self {
         self.brunet_arp = true;
+        self
+    }
+
+    /// Builder: set the sender-side Brunet-ARP cache TTL. This bounds how
+    /// long a migrated VM's packets chase the old host: a sender re-resolves
+    /// (and picks up the new mapping) at most one cache TTL after migration.
+    pub fn with_brunet_arp_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.brunet_arp_cache_ttl = ttl;
+        self
+    }
+
+    /// Builder: virtual addresses the dynamic allocator must never draw
+    /// (besides the gateway).
+    pub fn with_reserved_ips(mut self, ips: Vec<Ipv4Addr>) -> Self {
+        self.reserved_ips = ips;
         self
     }
 

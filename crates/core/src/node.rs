@@ -87,7 +87,7 @@ pub struct IpopHostAgent {
 
     brunet_arp: Option<BrunetArp>,
     extra_ips: Vec<Ipv4Addr>,
-    guest_delivered: Vec<Ipv4Packet>,
+    guest_delivered: Vec<(SimTime, Ipv4Packet)>,
 
     /// DHCP-over-DHT allocation state (dynamic-address nodes only).
     allocator: Option<DhcpAllocator>,
@@ -180,6 +180,8 @@ impl IpopHostAgent {
             .brunet_arp
             .then(|| BrunetArp::new(cfg.brunet_arp_cache_ttl));
         let allocator = cfg.dynamic_subnet.map(|(net, len)| {
+            let mut reserved = vec![cfg.gateway_ip];
+            reserved.extend(cfg.reserved_ips.iter().copied());
             DhcpAllocator::new(
                 Subnet::new(net, len),
                 overlay_addr,
@@ -188,7 +190,7 @@ impl IpopHostAgent {
                     ..DhcpConfig::default()
                 },
             )
-            .with_reserved(vec![cfg.gateway_ip])
+            .with_reserved(reserved)
         });
         let label = format!("ipop-{}", cfg.virtual_ip);
         let name_service = NameService::new(cfg.brunet_arp_cache_ttl);
@@ -308,6 +310,17 @@ impl IpopHostAgent {
 
     /// Packets delivered for registered guest IPs.
     pub fn take_guest_packets(&mut self) -> Vec<Ipv4Packet> {
+        self.take_guest_packets_timed()
+            .into_iter()
+            .map(|(_, pkt)| pkt)
+            .collect()
+    }
+
+    /// Packets delivered for registered guest IPs with their delivery
+    /// instants — migration workloads use the timestamps to measure the
+    /// blackout window between `unroute_for` and first post-migration
+    /// delivery at the new host.
+    pub fn take_guest_packets_timed(&mut self) -> Vec<(SimTime, Ipv4Packet)> {
         std::mem::take(&mut self.guest_delivered)
     }
 
@@ -448,7 +461,7 @@ impl IpopHostAgent {
                 }
                 Resolution::NeedsQuery(key) => {
                     let token = self.overlay.dht_get(now, key);
-                    arp.query_issued(token, dst);
+                    arp.query_issued(now, token, dst);
                     arp.park(dst, vpkt);
                     self.metrics.arp_queries += 1;
                 }
@@ -470,12 +483,11 @@ impl IpopHostAgent {
             self.metrics.tunneled_rx += 1;
         } else if self.extra_ips.contains(&dst) {
             self.metrics.guest_rx += 1;
-            self.guest_delivered.push(vpkt);
+            self.guest_delivered.push((now, vpkt));
         } else {
             // Delivered here by the overlay but we do not route for this IP.
             self.metrics.decode_errors += 1;
         }
-        let _ = now;
     }
 
     /// The main processing loop, run after every packet or timer event.
@@ -520,8 +532,11 @@ impl IpopHostAgent {
             // Dynamic address allocation: drive the DHCP-over-DHT state
             // machine until the lease is confirmed, then bring the virtual
             // side up. Claiming waits for ring neighbours on both sides so a
-            // half-converged ring cannot split-brain the atomic create.
-            if self.allocator.is_some() && !self.app_started {
+            // half-converged ring cannot split-brain the atomic create. The
+            // machine keeps running after the first bind too: a lease lost to
+            // a healed partition re-claims, and the node re-binds to the
+            // replacement address when it confirms.
+            if self.allocator.is_some() {
                 // Ring neighbours on both sides mean the ring has locally
                 // converged; the time fallback keeps deployments too small to
                 // ever reach two Near edges (e.g. bootstrap + one member)
@@ -538,20 +553,59 @@ impl IpopHostAgent {
                 if after != before {
                     progress = true;
                 }
-                if matches!(after, Some(DhcpState::Bound { .. })) {
-                    self.bind_lease(now);
+                if let Some(DhcpState::Bound { ip }) = after {
+                    if !self.app_started || ip != self.cfg.virtual_ip {
+                        self.bind_lease(now);
+                        progress = true;
+                    }
+                }
+                // Re-allocation after a lost lease can end terminally (budget
+                // spent, subnet exhausted). The old address belongs to the
+                // partition winner now — relinquish it rather than keep
+                // running as a zombie duplicate.
+                if self.app_started
+                    && matches!(
+                        after,
+                        Some(DhcpState::Failed | DhcpState::AddressSpaceExhausted)
+                    )
+                {
+                    self.relinquish_address(now);
                     progress = true;
                 }
             }
 
-            // DHT create replies: allocation claims.
-            for (token, created, _existing) in self.overlay.take_dht_create_replies() {
+            // Lost leases: a TTL/2 renewal discovered a conflicting record
+            // owning our address key (healed partition). The winner owns the
+            // address *now* — tear the virtual side down immediately and
+            // re-allocate; the node re-binds when a replacement confirms.
+            for key in self.overlay.take_lost_leases() {
+                progress = true;
+                let bound_key = self
+                    .allocator
+                    .as_ref()
+                    .and_then(|a| a.ip())
+                    .map(ipop_services::dhcp::lease_key);
+                if bound_key == Some(key) {
+                    if let Some(alloc) = self.allocator.as_mut() {
+                        alloc.on_lease_lost(now, &mut self.alloc_rng, &mut self.overlay);
+                    }
+                    if self.app_started {
+                        self.relinquish_address(now);
+                    }
+                }
+            }
+
+            // DHT create replies: allocation claims. `existing` distinguishes
+            // a real collision (draw a fresh candidate) from a quorum-write
+            // failure (retry the same, unclaimed address).
+            for (token, created, existing) in self.overlay.take_dht_create_replies() {
                 progress = true;
                 if let Some(alloc) = self.allocator.as_mut() {
                     alloc.on_create_reply(
                         now,
                         token,
                         created,
+                        existing.is_some(),
                         &mut self.alloc_rng,
                         &mut self.overlay,
                     );
@@ -726,13 +780,7 @@ impl IpopHostAgent {
         };
         self.cfg.virtual_ip = ip;
         self.label = format!("{}({})", self.host_name, ip);
-        let tap_mac = MacAddr::local(u64::from(u32::from(ip)));
-        self.gateway_mac =
-            MacAddr::local(0xFFFF_FFFF_0000 | u64::from(u32::from(self.cfg.gateway_ip)) & 0xFFFF);
-        self.tap = TapDevice::new(tap_mac);
-        self.veth =
-            EthAdapter::with_static_gateway(tap_mac, ip, self.cfg.gateway_ip, self.gateway_mac);
-        self.vstack = NetStack::new(StackConfig::new(ip).with_mtu(self.cfg.virtual_mtu));
+        self.rebuild_virtual_side(ip);
         if let Some(name) = self.cfg.hostname.clone() {
             NameService::register(&mut self.overlay, now, &name, ip, self.cfg.lease_ttl);
         }
@@ -744,6 +792,51 @@ impl IpopHostAgent {
         };
         self.app.on_start(&mut env);
         self.app_started = true;
+    }
+
+    /// Give up the virtual address: the lease is gone and no replacement
+    /// could be allocated. The node degrades to its pre-bind state (overlay
+    /// router with no virtual side) instead of keeping a conflicted address
+    /// another node now legitimately owns — including tearing down the tap,
+    /// adapter and virtual stack, whose in-flight timers (TCP retransmits)
+    /// would otherwise keep emitting segments sourced from the old address.
+    fn relinquish_address(&mut self, now: SimTime) {
+        if let Some(name) = self.cfg.hostname.clone() {
+            NameService::unregister(&mut self.overlay, now, &name);
+        }
+        self.cfg.virtual_ip = Ipv4Addr::UNSPECIFIED;
+        self.label = format!("{}(unbound)", self.host_name);
+        self.app_started = false;
+        self.rebuild_virtual_side(Ipv4Addr::UNSPECIFIED);
+    }
+
+    /// Replace the tap, adapter and virtual stack with fresh instances bound
+    /// to `ip` (the pre-bind placeholder when unspecified), and drop every
+    /// packet queued against the previous address. Shared by (re-)bind and
+    /// relinquish so the two rebuild sequences cannot drift apart.
+    fn rebuild_virtual_side(&mut self, ip: Ipv4Addr) {
+        let tap_mac = MacAddr::local(u64::from(u32::from(ip)));
+        self.gateway_mac =
+            MacAddr::local(0xFFFF_FFFF_0000 | u64::from(u32::from(self.cfg.gateway_ip)) & 0xFFFF);
+        self.tap = TapDevice::new(tap_mac);
+        self.veth =
+            EthAdapter::with_static_gateway(tap_mac, ip, self.cfg.gateway_ip, self.gateway_mac);
+        self.vstack = NetStack::new(StackConfig::new(ip).with_mtu(self.cfg.virtual_mtu));
+        self.clear_pending_virtual_state();
+    }
+
+    /// Drop every queued packet tied to the current virtual address: the
+    /// rx/tx processing queues and the Brunet-ARP parked packets (released by
+    /// a late reply, they would emit from an address this node no longer
+    /// holds). Shared by re-bind and relinquish so the two stay in lockstep.
+    fn clear_pending_virtual_state(&mut self) {
+        self.rx_pending.clear();
+        self.rx_pending_min = None;
+        self.tx_pending.clear();
+        self.tx_pending_min = None;
+        if let Some(arp) = self.brunet_arp.as_mut() {
+            arp.reset_pending();
+        }
     }
 
     fn arm_wakeup(&mut self, ctx: &mut HostCtx<'_, '_>, fixpoint: bool) {

@@ -94,6 +94,9 @@ pub struct NetCounters {
     pub nat_filtered: u64,
     /// Packets dropped by a link (loss or queue overflow).
     pub link_dropped: u64,
+    /// Packets dropped because source and destination host are currently in
+    /// different partition groups (see [`Network::set_partition_group`]).
+    pub partition_dropped: u64,
 }
 
 /// The core latency/jitter applied between any two distinct sites.
@@ -127,6 +130,9 @@ pub struct Network {
     counters: NetCounters,
     link_rng: StreamRng,
     host_rng_seed: u64,
+    /// Partition group per host (indexed by `HostId`); packets between hosts
+    /// in different groups are dropped in the core. Empty = no partition.
+    partition: Vec<u8>,
 }
 
 impl Network {
@@ -142,6 +148,7 @@ impl Network {
             counters: NetCounters::default(),
             link_rng: StreamRng::new(seed, "netsim.links"),
             host_rng_seed: seed,
+            partition: Vec::new(),
         }
     }
 
@@ -251,6 +258,31 @@ impl Network {
         self.counters
     }
 
+    /// Put `host` in partition group `group`. Hosts in different groups
+    /// cannot exchange packets (dropped in the core, counted in
+    /// [`NetCounters::partition_dropped`]) until [`Network::heal_partition`].
+    /// Models a network split — hosts stay up, unlike a crash.
+    pub fn set_partition_group(&mut self, host: HostId, group: u8) {
+        if self.partition.len() < self.hosts.len() {
+            self.partition.resize(self.hosts.len(), 0);
+        }
+        self.partition[host.0] = group;
+    }
+
+    /// Remove any partition: every pair of hosts can talk again.
+    pub fn heal_partition(&mut self) {
+        self.partition.clear();
+    }
+
+    /// Are two hosts currently separated by a partition?
+    pub fn partitioned(&self, a: HostId, b: HostId) -> bool {
+        if self.partition.is_empty() {
+            return false;
+        }
+        let group = |h: HostId| self.partition.get(h.0).copied().unwrap_or(0);
+        group(a) != group(b)
+    }
+
     /// Downcast a host's agent to a concrete type.
     pub fn agent_as<T: 'static>(&self, host: HostId) -> Option<&T> {
         self.hosts[host.0]
@@ -333,7 +365,7 @@ impl Network {
                         .transmit(now, depart, bytes, &mut self.link_rng);
                 match outcome {
                     LinkOutcome::Delivered(arrival) => {
-                        self.schedule_delivery(ctl, dst_host, pkt, arrival)
+                        self.schedule_delivery(ctl, src_host, dst_host, pkt, arrival)
                     }
                     LinkOutcome::Dropped => self.counters.link_dropped += 1,
                 }
@@ -450,16 +482,23 @@ impl Network {
             }
         }
 
-        self.schedule_delivery(ctl, dst_host, pkt, t);
+        self.schedule_delivery(ctl, src_host, dst_host, pkt, t);
     }
 
     fn schedule_delivery(
         &mut self,
         ctl: &mut Control<'_>,
+        src: HostId,
         dst: HostId,
         pkt: Ipv4Packet,
         arrival: SimTime,
     ) {
+        // An active partition severs connectivity between groups; the packet
+        // vanishes in the network, exactly like a mid-path outage.
+        if self.partitioned(src, dst) {
+            self.counters.partition_dropped += 1;
+            return;
+        }
         ctl.schedule_event_at(
             arrival,
             NetEvent::Arrival {
@@ -566,6 +605,15 @@ impl NetworkSim {
             self.sim
                 .schedule_event_in(Duration::ZERO, NetEvent::Start(HostId(i)));
         }
+    }
+
+    /// Schedule `on_start` for one host at the current virtual time. Used for
+    /// agents installed (via [`Network::set_agent`]) *after* the simulation
+    /// started — mid-run joiners in churn workloads; [`NetworkSim::start`]
+    /// only reaches agents present at time zero.
+    pub fn start_host(&mut self, host: HostId) {
+        self.sim
+            .schedule_event_in(Duration::ZERO, NetEvent::Start(host));
     }
 
     /// Run until the event queue drains (all agents idle).
@@ -854,6 +902,68 @@ mod tests {
         let mut sim = NetworkSim::new(net);
         sim.run_for(Duration::from_secs(1));
         assert_eq!(sim.net().counters().unroutable, 1);
+    }
+
+    #[test]
+    fn partition_drops_cross_group_packets_until_healed() {
+        let mut net = Network::new(12);
+        let s1 = net.add_site(SiteSpec::open("A"));
+        let s2 = net.add_site(SiteSpec::open("B"));
+        let a = net.add_host("A1", s1, ip(10, 1, 0, 1));
+        let b = net.add_host("B1", s2, ip(10, 2, 0, 1));
+        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 2, 0, 1), 9000)))));
+        net.set_agent(b, Box::new(EchoAgent::new(None)));
+        net.set_partition_group(b, 1);
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().partition_dropped, 1);
+        assert_eq!(sim.net().counters().delivered, 0);
+        assert!(sim.agent_as::<EchoAgent>(b).unwrap().received.is_empty());
+        // Heal, then drive a fresh exchange (B pings A): traffic flows again.
+        sim.net_mut().heal_partition();
+        sim.net_mut()
+            .set_agent(b, Box::new(EchoAgent::new(Some((ip(10, 1, 0, 1), 9000)))));
+        sim.start_host(b);
+        sim.run_for(Duration::from_secs(1));
+        assert!(
+            sim.net().counters().delivered >= 1,
+            "healed partition delivers"
+        );
+    }
+
+    #[test]
+    fn same_site_partition_also_drops() {
+        // The partition check runs on the delivery path, so even two hosts on
+        // one LAN segment are split when their groups differ.
+        let mut net = Network::new(13);
+        let s = net.add_site(SiteSpec::open("X"));
+        let a = net.add_host("A", s, ip(10, 0, 0, 1));
+        let b = net.add_host("B", s, ip(10, 0, 0, 2));
+        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 0, 0, 2), 9000)))));
+        net.set_agent(b, Box::new(EchoAgent::new(None)));
+        net.set_partition_group(a, 1);
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().partition_dropped, 1);
+        assert_eq!(sim.net().counters().delivered, 0);
+    }
+
+    #[test]
+    fn late_started_host_joins_the_simulation() {
+        let mut net = Network::new(14);
+        let s = net.add_site(SiteSpec::open("X"));
+        let a = net.add_host("A", s, ip(10, 0, 0, 1));
+        let b = net.add_host("B", s, ip(10, 0, 0, 2));
+        net.set_agent(b, Box::new(EchoAgent::new(None)));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        // A's agent arrives mid-run and is started explicitly.
+        sim.net_mut()
+            .set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 0, 0, 2), 9000)))));
+        sim.start_host(a);
+        sim.run_for(Duration::from_secs(1));
+        let replies = &sim.agent_as::<EchoAgent>(a).unwrap().received;
+        assert_eq!(replies.len(), 1, "late joiner sent and got its pong");
     }
 
     #[test]

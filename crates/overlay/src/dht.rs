@@ -34,6 +34,19 @@ pub struct DhtConfig {
     pub replication: usize,
     /// TTL applied to records stored without an explicit TTL.
     pub default_ttl: Duration,
+    /// Quorum operation: when true, a `DhtCreate` is acknowledged only after a
+    /// majority of the key's copy set stored the record, and a `DhtGet` polls
+    /// the replica set, answers with the freshest copy by `(version, expiry)`
+    /// and repairs stale or missing replicas. When false the key's owner
+    /// answers alone from its local store (the pre-quorum behaviour).
+    pub quorum: bool,
+    /// How long a quorum coordinator waits for replica acks/answers before
+    /// concluding: an unacked create fails (the claimant retries elsewhere),
+    /// an unanswered read is served from whatever copies did answer.
+    pub quorum_timeout: Duration,
+    /// How long an unanswered lease-renewal `DhtCreate` stays outstanding
+    /// before it is re-issued (and counted as a renewal timeout alarm).
+    pub renewal_timeout: Duration,
 }
 
 impl Default for DhtConfig {
@@ -41,6 +54,9 @@ impl Default for DhtConfig {
         DhtConfig {
             replication: 3,
             default_ttl: Duration::from_secs(120),
+            quorum: true,
+            quorum_timeout: Duration::from_secs(4),
+            renewal_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -52,6 +68,11 @@ pub struct DhtRecord {
     pub value: Bytes,
     /// Instant at which the record silently expires.
     pub expires_at: SimTime,
+    /// Version counter ordering writes under one key: the owner bumps it above
+    /// any conflicting record it overwrites, replicas refuse to let a
+    /// lower-versioned copy clobber a higher one, and quorum reads pick the
+    /// copy with the highest `(version, expiry)`.
+    pub version: u64,
     /// True while this node holds the record on behalf of the ring owner
     /// (it arrived via replication, not via the put/create delivery path).
     pub replica: bool,
@@ -61,14 +82,33 @@ pub struct DhtRecord {
 }
 
 impl DhtRecord {
-    /// The TTL remaining at `now` (zero if expired).
+    /// The TTL remaining at `now` (zero if expired — a record whose
+    /// `expires_at` equals `now` is already expired, matching
+    /// [`DhtRecord::expired`]).
     pub fn remaining_ttl(&self, now: SimTime) -> Duration {
         self.expires_at.saturating_since(now)
     }
 
-    /// Has the record expired at `now`?
+    /// The remaining TTL in whole milliseconds, rounded *up*: a still-live
+    /// record handed off or replicated with a truncated-to-zero TTL would
+    /// arrive already expired at the receiver, silently losing the copy at
+    /// the expiry boundary.
+    pub fn remaining_ttl_ms(&self, now: SimTime) -> u64 {
+        self.remaining_ttl(now).as_nanos().div_ceil(1_000_000)
+    }
+
+    /// Has the record expired at `now`? `expires_at == now` counts as expired
+    /// — exactly when [`DhtRecord::remaining_ttl`] reaches zero — so a record
+    /// at the boundary is dropped, never served.
     pub fn expired(&self, now: SimTime) -> bool {
         self.expires_at <= now
+    }
+
+    /// Freshness rank for quorum reads and replica conflict resolution:
+    /// versions order writes, expiry (the most recent renewal) breaks ties,
+    /// and the value bytes break exact ties deterministically.
+    pub fn freshness(&self) -> (u64, SimTime, &[u8]) {
+        (self.version, self.expires_at, &self.value)
     }
 }
 
@@ -187,6 +227,7 @@ mod tests {
         DhtRecord {
             value: vec![7u8; len].into(),
             expires_at,
+            version: 1,
             replica,
             replicated_to: Vec::new(),
         }
@@ -246,5 +287,51 @@ mod tests {
         );
         assert!(r.expired(SimTime::ZERO + Duration::from_secs(5)));
         assert!(!r.expired(SimTime::ZERO + Duration::from_secs(4)));
+    }
+
+    #[test]
+    fn expiry_boundary_is_expired_and_swept() {
+        // expires_at == now: expired, zero remaining TTL, and the sweep drops
+        // it — the three views of the boundary must agree so a record at its
+        // expiry instant is never served.
+        let at = SimTime::ZERO + Duration::from_secs(5);
+        let r = rec(1, at, false);
+        assert!(r.expired(at));
+        assert_eq!(r.remaining_ttl(at), Duration::ZERO);
+        assert_eq!(r.remaining_ttl_ms(at), 0);
+        let mut s = SoftStateStore::new();
+        s.insert(key(1), rec(4, at, false));
+        assert_eq!(s.expire(at), 1, "boundary record swept, not kept");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remaining_ttl_ms_rounds_up_for_live_records() {
+        // A record with less than a millisecond left is still live; handing
+        // it off with a truncated TTL of 0 ms would kill it at the receiver.
+        let r = rec(1, SimTime::ZERO + Duration::from_nanos(400_000), false);
+        assert!(!r.expired(SimTime::ZERO));
+        assert_eq!(r.remaining_ttl_ms(SimTime::ZERO), 1);
+        let r2 = rec(1, SimTime::ZERO + Duration::from_millis(7), false);
+        assert_eq!(r2.remaining_ttl_ms(SimTime::ZERO), 7);
+    }
+
+    #[test]
+    fn freshness_orders_by_version_then_expiry() {
+        let t1 = SimTime::ZERO + Duration::from_secs(10);
+        let t2 = SimTime::ZERO + Duration::from_secs(20);
+        let mut a = rec(3, t1, false);
+        let mut b = rec(3, t2, false);
+        assert!(
+            b.freshness() > a.freshness(),
+            "later expiry wins at equal version"
+        );
+        a.version = 2;
+        assert!(
+            a.freshness() > b.freshness(),
+            "higher version beats later expiry"
+        );
+        b.version = 2;
+        assert!(b.freshness() > a.freshness());
     }
 }

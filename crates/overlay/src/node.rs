@@ -79,6 +79,13 @@ impl OverlayConfig {
         self.dht.replication = replication.max(1);
         self
     }
+
+    /// Builder: fall back to single-node DHT reads and unacknowledged creates
+    /// (the pre-quorum behaviour; ablation switch).
+    pub fn without_dht_quorum(mut self) -> Self {
+        self.dht.quorum = false;
+        self
+    }
 }
 
 /// Counters describing a node's routing activity.
@@ -111,6 +118,23 @@ pub struct OverlayStats {
     pub dht_refreshes: u64,
     /// Stored records dropped because their TTL expired.
     pub dht_expired: u64,
+    /// Quorum writes this node coordinated (creates fanned out for acks).
+    pub dht_quorum_writes: u64,
+    /// Quorum writes that failed to reach a majority before the timeout (the
+    /// claim was rejected so the claimant retries elsewhere).
+    pub dht_quorum_write_timeouts: u64,
+    /// Quorum reads this node coordinated (replica sets polled).
+    pub dht_quorum_reads: u64,
+    /// Quorum reads concluded early because too few replicas answered in time.
+    pub dht_quorum_read_timeouts: u64,
+    /// Stale or missing copies repaired after a quorum read.
+    pub dht_read_repairs: u64,
+    /// Lease renewals whose `DhtCreateReply` never arrived within the renewal
+    /// timeout (alarm: the renewal was re-issued instead of silently dropped).
+    pub dht_renewal_timeouts: u64,
+    /// Claimed leases lost because a renewal found a conflicting record (e.g.
+    /// the other side of a healed partition won the key).
+    pub dht_leases_lost: u64,
 }
 
 struct PendingLink {
@@ -118,12 +142,73 @@ struct PendingLink {
     started: SimTime,
 }
 
-/// A record this node publishes and keeps alive by re-putting at TTL/2
+/// A record this node publishes and keeps alive by renewing at TTL/2
 /// (DHCP-style lease renewal — paper Section III-E's soft-state mappings).
+///
+/// Two renewal modes exist. Plain publications (Brunet-ARP mappings, name
+/// records) re-put: last-writer-wins overwrite is exactly what VM migration
+/// needs. Claimed publications (successful `DhtCreate`s, i.e. address leases)
+/// renew with another `DhtCreate`: the owner extends a record matching our
+/// value and rejects a conflicting one, so a claim that lost a healed
+/// partition is *discovered* (and surfaced as a lost lease) instead of
+/// silently clobbering the winner.
 struct Publication {
     value: Bytes,
     ttl: Duration,
+    /// Version of the current value; bumped when a re-publish changes it.
+    version: u64,
     last_refresh: SimTime,
+    /// Renew with create-if-absent-or-match instead of a blind put.
+    renew_with_create: bool,
+    /// Outstanding renewal create: `(token, issued)`. A renewal whose reply
+    /// does not arrive within [`DhtConfig::renewal_timeout`] is re-issued and
+    /// counted in [`OverlayStats::dht_renewal_timeouts`].
+    renew_inflight: Option<(u64, SimTime)>,
+}
+
+/// A quorum write this node is coordinating: the record is stored locally and
+/// pushed to the key's replica set with an ack token; the `DhtCreateReply` is
+/// sent only once a majority of the copy set (local copy included) holds it.
+struct QuorumCreate {
+    origin: Address,
+    origin_token: u64,
+    key: Address,
+    value: Bytes,
+    /// Version the record was stored and pushed with.
+    version: u64,
+    /// `None` for a first-time claim (the record was created by this
+    /// operation); `Some(expiry)` for a lease renewal, applied to the local
+    /// record only once the quorum acks. Only fresh claims are withdrawn on
+    /// quorum failure: a failed renewal keeps the coordinator's pre-renewal
+    /// expiry, while replicas that stored the extended push before their ack
+    /// was lost may keep the longer expiry — soft state that ages out, at
+    /// worst occupying the key one extra TTL if the claimant then crashes.
+    extends_to: Option<SimTime>,
+    /// The replicas the record was pushed to — on failure a fresh claim is
+    /// withdrawn from them too (an ack may have been lost after the store).
+    targets: Vec<Address>,
+    acks_needed: usize,
+    acks: usize,
+    issued: SimTime,
+}
+
+/// A quorum read this node is coordinating: the replica set has been polled
+/// and the freshest copy by `(version, expiry)` is returned to the origin once
+/// a majority of the copy set answered with at least one live copy in sight
+/// (or every poll answered, or the poll timed out). Stale and missing copies
+/// discovered along the way are repaired asynchronously. Replica answers are
+/// reconstructed as [`DhtRecord`]s so freshness and TTL rules stay the
+/// store's own.
+struct QuorumRead {
+    origin: Address,
+    origin_token: u64,
+    key: Address,
+    /// How many replicas were polled.
+    polled: usize,
+    replies_needed: usize,
+    /// Answers received so far: `(replica, its live copy)`.
+    responses: Vec<(Address, Option<DhtRecord>)>,
+    issued: SimTime,
 }
 
 /// An outstanding `DhtCreate`, remembered so a successful claim turns into a
@@ -140,6 +225,12 @@ struct PendingCreate {
 /// publication — the caller has long since given up on the claim (and, for
 /// the DHCP allocator, moved on to a different address).
 const PENDING_CREATE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Expiry skew tolerated before a quorum read repairs a same-version,
+/// same-value copy. A replica's expiry is reconstructed from its remaining
+/// TTL at the coordinator, so it arrives inflated by the reply's transit
+/// time; genuine renewals differ by at least TTL/2, far above this.
+const READ_REPAIR_SLACK: Duration = Duration::from_secs(2);
 
 /// A Brunet-style structured-ring overlay node.
 pub struct OverlayNode {
@@ -158,6 +249,15 @@ pub struct OverlayNode {
     published: BTreeMap<Address, Publication>,
     /// Outstanding creates: token → claim. Never iterated, only keyed.
     pending_creates: HashMap<u64, PendingCreate>,
+    /// Quorum writes this node is coordinating, keyed by ack token. `BTreeMap`
+    /// because the timeout sweep iterates it while emitting failure replies.
+    pending_quorum_creates: BTreeMap<u64, QuorumCreate>,
+    /// Quorum reads this node is coordinating, keyed by poll token. `BTreeMap`
+    /// because the timeout sweep iterates it while emitting replies/repairs.
+    pending_quorum_reads: BTreeMap<u64, QuorumRead>,
+    /// Claimed leases whose renewal found a conflicting record; the embedding
+    /// agent drains this and re-allocates.
+    lost_leases: VecDeque<Address>,
     pending_links: HashMap<u64, PendingLink>,
     /// Established-peer snapshot of the last re-replication scan; the scan
     /// only reruns when this set changes (new records and refresh puts
@@ -187,6 +287,9 @@ impl OverlayNode {
             dht_create_replies: VecDeque::new(),
             published: BTreeMap::new(),
             pending_creates: HashMap::new(),
+            pending_quorum_creates: BTreeMap::new(),
+            pending_quorum_reads: BTreeMap::new(),
+            lost_leases: VecDeque::new(),
             pending_links: HashMap::new(),
             last_replica_peers: Vec::new(),
             candidates: BTreeMap::new(),
@@ -260,7 +363,8 @@ impl OverlayNode {
                 continue;
             }
             let value = rec.value.clone();
-            let ttl_ms = rec.remaining_ttl(now).as_nanos() / 1_000_000;
+            let ttl_ms = rec.remaining_ttl_ms(now);
+            let version = rec.version;
             // Unconditionally push to the peers closest to the key (at least
             // one even with replication disabled): the nearest of them becomes
             // the key's owner once we are gone, and idempotent overwrites of
@@ -275,6 +379,8 @@ impl OverlayNode {
                         key,
                         value: value.clone(),
                         ttl_ms,
+                        version,
+                        token: 0,
                     },
                 );
                 self.stats.originated += 1;
@@ -315,6 +421,14 @@ impl OverlayNode {
         self.dht_create_replies.drain(..).collect()
     }
 
+    /// Keys of claimed leases this node lost: a TTL/2 renewal came back
+    /// `created == false`, meaning a conflicting record owns the key (typical
+    /// after a healed partition). The publication has already been dropped;
+    /// the embedding agent re-allocates.
+    pub fn take_lost_leases(&mut self) -> Vec<Address> {
+        self.lost_leases.drain(..).collect()
+    }
+
     // ---------------------------------------------------------------- app sends
 
     /// Tunnel a serialized virtual IP packet to the node owning `dst`.
@@ -351,15 +465,26 @@ impl OverlayNode {
         ttl: Duration,
     ) {
         let value = value.into();
+        // Re-publishing a different value under the same key (a Brunet-ARP
+        // mapping migrating to this host) bumps the version so the new value
+        // supersedes the old one's replicas everywhere.
+        let version = match self.published.get(&key) {
+            Some(p) if p.value == value => p.version,
+            Some(p) => (p.version + 1).max(Self::version_for(now)),
+            None => Self::version_for(now),
+        };
         self.published.insert(
             key,
             Publication {
                 value: value.clone(),
                 ttl,
+                version,
                 last_refresh: now,
+                renew_with_create: false,
+                renew_inflight: None,
             },
         );
-        self.send_put(now, key, value, ttl);
+        self.send_put(now, key, value, ttl, version);
     }
 
     /// Atomically create the record under `key` if no live record exists
@@ -444,13 +569,18 @@ impl OverlayNode {
         self.pending_creates.remove(&token);
     }
 
-    fn send_put(&mut self, now: SimTime, key: Address, value: Bytes, ttl: Duration) {
+    fn send_put(&mut self, now: SimTime, key: Address, value: Bytes, ttl: Duration, version: u64) {
         let ttl_ms = ttl.as_nanos() / 1_000_000;
         let pkt = RoutedPacket::new(
             self.cfg.address,
             key,
             DeliveryMode::Closest,
-            RoutedPayload::DhtPut { key, value, ttl_ms },
+            RoutedPayload::DhtPut {
+                key,
+                value,
+                ttl_ms,
+                version,
+            },
         );
         self.stats.originated += 1;
         self.route(now, pkt);
@@ -750,28 +880,33 @@ impl OverlayNode {
                     self.send_hello(now, ep, kind);
                 }
             }
-            RoutedPayload::DhtPut { key, value, ttl_ms } => {
+            RoutedPayload::DhtPut {
+                key,
+                value,
+                ttl_ms,
+                version,
+            } => {
                 let key = *key;
-                self.store_record(now, key, value.clone(), *ttl_ms, false);
+                // Put is publisher-authoritative (last-writer-wins): the
+                // stored version ends up at least the incoming one and
+                // strictly above any conflicting record being replaced, so
+                // the new value supersedes stale replicas everywhere.
+                let stored_version = match self.dht.get(&key).filter(|rec| !rec.expired(now)) {
+                    // No local copy does NOT mean no conflicting copy: ring
+                    // churn can make a fresh node the key's owner while old
+                    // replicas still hold higher-versioned records. Flooring
+                    // at the time-derived version keeps this write above any
+                    // copy written earlier.
+                    None => (*version).max(Self::version_for(now)),
+                    Some(e) if e.value == *value => e.version.max(*version),
+                    Some(e) if *version > e.version => *version,
+                    Some(e) => e.version + 1,
+                };
+                self.store_record(now, key, value.clone(), *ttl_ms, false, stored_version);
                 self.replicate_key(now, key);
             }
             RoutedPayload::DhtGet { key, token } => {
-                let value = self
-                    .dht
-                    .get(key)
-                    .filter(|rec| !rec.expired(now))
-                    .map(|rec| rec.value.clone());
-                let reply = RoutedPacket::new(
-                    self.cfg.address,
-                    pkt.src,
-                    DeliveryMode::Exact,
-                    RoutedPayload::DhtReply {
-                        token: *token,
-                        value,
-                    },
-                );
-                self.stats.originated += 1;
-                self.route(now, reply);
+                self.handle_dht_get(now, *key, *token, pkt.src);
             }
             RoutedPayload::DhtReply { token, value } => {
                 self.dht_replies.push_back((*token, value.clone()));
@@ -782,45 +917,32 @@ impl OverlayNode {
                 ttl_ms,
                 token,
             } => {
-                let key = *key;
-                let existing = self
-                    .dht
-                    .get(&key)
-                    .filter(|rec| !rec.expired(now))
-                    .map(|rec| rec.value.clone());
-                let created = existing.is_none();
-                if created {
-                    self.store_record(now, key, value.clone(), *ttl_ms, false);
-                    self.replicate_key(now, key);
-                }
-                let reply = RoutedPacket::new(
-                    self.cfg.address,
-                    pkt.src,
-                    DeliveryMode::Exact,
-                    RoutedPayload::DhtCreateReply {
-                        token: *token,
-                        created,
-                        existing,
-                    },
-                );
-                self.stats.originated += 1;
-                self.route(now, reply);
+                self.handle_dht_create(now, *key, value.clone(), *ttl_ms, *token, pkt.src);
             }
             RoutedPayload::DhtCreateReply {
                 token,
                 created,
                 existing,
             } => {
+                if self.on_renewal_reply(now, *token, *created, existing.as_ref()) {
+                    // Internal lease-renewal traffic; not surfaced to callers.
+                    return;
+                }
                 if let Some(claim) = self.pending_creates.remove(token) {
                     if *created {
                         // The claim succeeded: this node now owns the record
-                        // and keeps it alive like any other publication.
+                        // and keeps it alive like any other publication —
+                        // renewing with create so a conflicting winner (e.g.
+                        // after a healed partition) is detected, not clobbered.
                         self.published.insert(
                             claim.key,
                             Publication {
                                 value: claim.value,
                                 ttl: claim.ttl,
+                                version: 1,
                                 last_refresh: now,
+                                renew_with_create: true,
+                                renew_inflight: None,
                             },
                         );
                     }
@@ -828,8 +950,126 @@ impl OverlayNode {
                 self.dht_create_replies
                     .push_back((*token, *created, existing.clone()));
             }
-            RoutedPayload::DhtReplicate { key, value, ttl_ms } => {
-                self.store_record(now, *key, value.clone(), *ttl_ms, true);
+            RoutedPayload::DhtReplicate {
+                key,
+                value,
+                ttl_ms,
+                version,
+                token,
+            } => {
+                let expires_at = now + Duration::from_millis(*ttl_ms);
+                // Never let a stale copy clobber a fresher one: the existing
+                // record survives when it outranks the incoming push.
+                let keep_existing = self
+                    .dht
+                    .get(key)
+                    .filter(|rec| !rec.expired(now))
+                    .is_some_and(|rec| rec.freshness() > (*version, expires_at, value.as_ref()));
+                if !keep_existing {
+                    self.store_record(now, *key, value.clone(), *ttl_ms, true, *version);
+                }
+                if *token != 0 {
+                    // `stored` only when this node now holds a live record
+                    // with the pushed value; keeping a fresher *conflicting*
+                    // record must not help a claim reach its write quorum.
+                    let stored = self
+                        .dht
+                        .get(key)
+                        .filter(|rec| !rec.expired(now))
+                        .is_some_and(|rec| rec.value == *value);
+                    let ack = RoutedPacket::new(
+                        self.cfg.address,
+                        pkt.src,
+                        DeliveryMode::Exact,
+                        RoutedPayload::DhtReplicateAck {
+                            token: *token,
+                            stored,
+                        },
+                    );
+                    self.stats.originated += 1;
+                    self.route(now, ack);
+                }
+            }
+            RoutedPayload::DhtReplicateAck { token, stored } => {
+                if !*stored {
+                    // The replica kept a conflicting record; the claim can
+                    // only conclude via the quorum timeout (and fail).
+                    return;
+                }
+                if let Some(qc) = self.pending_quorum_creates.get_mut(token) {
+                    qc.acks += 1;
+                    if qc.acks >= qc.acks_needed {
+                        let qc = self.pending_quorum_creates.remove(token).expect("present");
+                        // A renewal extends the local expiry only now that a
+                        // majority holds the extended record — a failed one
+                        // must leave the pre-renewal expiry in place.
+                        if let Some(t) = qc.extends_to {
+                            if let Some(rec) = self
+                                .dht
+                                .get_mut(&qc.key)
+                                .filter(|rec| rec.value == qc.value)
+                            {
+                                rec.expires_at = rec.expires_at.max(t);
+                            }
+                        }
+                        let reply = RoutedPacket::new(
+                            self.cfg.address,
+                            qc.origin,
+                            DeliveryMode::Exact,
+                            RoutedPayload::DhtCreateReply {
+                                token: qc.origin_token,
+                                created: true,
+                                existing: None,
+                            },
+                        );
+                        self.stats.originated += 1;
+                        self.route(now, reply);
+                    }
+                }
+            }
+            RoutedPayload::DhtGetReplica { key, token } => {
+                let copy = self
+                    .dht
+                    .get(key)
+                    .filter(|rec| !rec.expired(now))
+                    .map(|rec| (rec.value.clone(), rec.version, rec.remaining_ttl_ms(now)));
+                let reply = RoutedPacket::new(
+                    self.cfg.address,
+                    pkt.src,
+                    DeliveryMode::Exact,
+                    RoutedPayload::DhtReplicaValue {
+                        token: *token,
+                        copy,
+                    },
+                );
+                self.stats.originated += 1;
+                self.route(now, reply);
+            }
+            RoutedPayload::DhtReplicaValue { token, copy } => {
+                if let Some(read) = self.pending_quorum_reads.get_mut(token) {
+                    let copy = copy.as_ref().map(|(value, version, ttl_ms)| DhtRecord {
+                        value: value.clone(),
+                        expires_at: now + Duration::from_millis(*ttl_ms),
+                        version: *version,
+                        replica: true,
+                        replicated_to: Vec::new(),
+                    });
+                    read.responses.push((pkt.src, copy));
+                    // Conclude on a majority only once a live copy is in sight
+                    // (ours or a reply's): a record-less replica answering
+                    // fastest must not turn a live record into a miss — that
+                    // would also skip the repair that fixes the gap. With no
+                    // live copy anywhere, wait for every poll (or the
+                    // timeout) before answering None.
+                    let key = read.key;
+                    let quorum = read.responses.len() >= read.replies_needed;
+                    let all_in = read.responses.len() >= read.polled;
+                    let any_live = read.responses.iter().any(|(_, c)| c.is_some());
+                    let own_live = self.dht.get(&key).is_some_and(|rec| !rec.expired(now));
+                    if all_in || (quorum && (any_live || own_live)) {
+                        self.conclude_quorum_read(now, *token);
+                    }
+                }
             }
             RoutedPayload::DhtRemove { key } => {
                 if let Some(rec) = self.dht.remove(key) {
@@ -844,6 +1084,24 @@ impl OverlayNode {
                         self.stats.originated += 1;
                         self.route(now, fwd);
                     }
+                }
+            }
+            RoutedPayload::DhtWithdraw {
+                key,
+                value,
+                version,
+            } => {
+                // Conditional removal: drop our copy only when it still holds
+                // the withdrawn value at the withdrawn version — a fresher
+                // conflicting record stays, and so does the same claimant's
+                // *re-claimed* (newer) record when the withdraw was delayed
+                // past the retry.
+                if self
+                    .dht
+                    .get(key)
+                    .is_some_and(|rec| rec.value == *value && rec.version == *version)
+                {
+                    self.dht.remove(key);
                 }
             }
             RoutedPayload::IpTunnel(_) => {
@@ -1013,6 +1271,7 @@ impl OverlayNode {
         value: Bytes,
         ttl_ms: u64,
         replica: bool,
+        version: u64,
     ) {
         let expires_at = now + Duration::from_millis(ttl_ms);
         self.dht.insert(
@@ -1020,10 +1279,424 @@ impl OverlayNode {
             DhtRecord {
                 value,
                 expires_at,
+                version,
                 replica,
                 replicated_to: Vec::new(),
             },
         );
+    }
+
+    /// Majority size of a copy set with `copies` members (owner included):
+    /// the number of stored copies a quorum operation requires.
+    fn quorum_of(copies: usize) -> usize {
+        copies / 2 + 1
+    }
+
+    /// Version assigned to a newly stored record: the virtual time in whole
+    /// milliseconds (floored at 1). Time-derived versions stay globally
+    /// monotone across writes, so a write accepted by an owner that never saw
+    /// the key (ring churn handed it a record-less range) still orders above
+    /// stale copies lingering on replicas — a plain counter would restart at
+    /// 1 there and lose every quorum read to them.
+    fn version_for(now: SimTime) -> u64 {
+        (now.as_nanos() / 1_000_000).max(1)
+    }
+
+    /// Serve a `DhtGet` as the key's coordinator. With quorum reads enabled
+    /// and a replica set to poll, the answer waits for a majority of the copy
+    /// set; otherwise (single copy, no peers, quorum disabled) the local store
+    /// answers alone, as before.
+    fn handle_dht_get(&mut self, now: SimTime, key: Address, token: u64, origin: Address) {
+        let targets = if self.cfg.dht.quorum && self.cfg.dht.replication > 1 {
+            self.replica_targets(&key, self.cfg.dht.replication - 1)
+        } else {
+            Vec::new()
+        };
+        if targets.is_empty() {
+            let value = self
+                .dht
+                .get(&key)
+                .filter(|rec| !rec.expired(now))
+                .map(|rec| rec.value.clone());
+            let reply = RoutedPacket::new(
+                self.cfg.address,
+                origin,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReply { token, value },
+            );
+            self.stats.originated += 1;
+            self.route(now, reply);
+            return;
+        }
+        let op = self.fresh_token();
+        let replies_needed = Self::quorum_of(targets.len() + 1) - 1;
+        for peer in &targets {
+            let poll = RoutedPacket::new(
+                self.cfg.address,
+                *peer,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtGetReplica { key, token: op },
+            );
+            self.stats.originated += 1;
+            self.route(now, poll);
+        }
+        self.pending_quorum_reads.insert(
+            op,
+            QuorumRead {
+                origin,
+                origin_token: token,
+                key,
+                polled: targets.len(),
+                replies_needed,
+                responses: Vec::new(),
+                issued: now,
+            },
+        );
+        self.stats.dht_quorum_reads += 1;
+    }
+
+    /// Conclude a quorum read: answer the origin with the freshest copy seen
+    /// (local store included) and repair every copy that turned out stale or
+    /// missing — on this node by storing and re-replicating the freshest
+    /// record, on polled replicas by pushing it to them directly.
+    fn conclude_quorum_read(&mut self, now: SimTime, op: u64) {
+        let Some(read) = self.pending_quorum_reads.remove(&op) else {
+            return;
+        };
+        let own: Option<DhtRecord> = self
+            .dht
+            .get(&read.key)
+            .filter(|rec| !rec.expired(now))
+            .cloned();
+        let mut best = own.clone();
+        for (_, copy) in &read.responses {
+            let fresher = match (&best, copy) {
+                (_, None) => false,
+                (None, Some(_)) => true,
+                (Some(b), Some(c)) => c.freshness() > b.freshness(),
+            };
+            if fresher {
+                best = copy.clone();
+            }
+        }
+        let reply = RoutedPacket::new(
+            self.cfg.address,
+            read.origin,
+            DeliveryMode::Exact,
+            RoutedPayload::DhtReply {
+                token: read.origin_token,
+                value: best.as_ref().map(|c| c.value.clone()),
+            },
+        );
+        self.stats.originated += 1;
+        self.route(now, reply);
+        let Some(best) = best else {
+            return; // nothing live anywhere: nothing to repair with
+        };
+        // Repair decisions tolerate small expiry skew: a replica's expiry is
+        // reconstructed from its remaining TTL and so arrives inflated by the
+        // reply's transit time (plus rounding). Without slack every read of a
+        // perfectly healthy record would "repair" all its in-sync copies.
+        let materially_staler = |copy: &DhtRecord| {
+            best.version > copy.version
+                || best.value != copy.value
+                || best.expires_at > copy.expires_at + READ_REPAIR_SLACK
+        };
+        let own_stale =
+            own.is_none_or(|o| best.freshness() > o.freshness() && materially_staler(&o));
+        if own_stale {
+            // Adopt the freshest copy locally and push it back out through the
+            // normal replication path (replicas keep their own copy when it is
+            // already as fresh).
+            let ttl_ms = best.remaining_ttl_ms(now);
+            self.store_record(
+                now,
+                read.key,
+                best.value.clone(),
+                ttl_ms,
+                false,
+                best.version,
+            );
+            self.stats.dht_read_repairs += 1;
+            self.replicate_key(now, read.key);
+            return;
+        }
+        // Our copy was the freshest: push it to every polled replica that
+        // answered with a materially stale or missing copy.
+        let stale_peers: Vec<Address> = read
+            .responses
+            .iter()
+            .filter(|(_, copy)| copy.as_ref().is_none_or(&materially_staler))
+            .map(|(peer, _)| *peer)
+            .collect();
+        let ttl_ms = best.remaining_ttl_ms(now);
+        for peer in stale_peers {
+            let repair = RoutedPacket::new(
+                self.cfg.address,
+                peer,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReplicate {
+                    key: read.key,
+                    value: best.value.clone(),
+                    ttl_ms,
+                    version: best.version,
+                    token: 0,
+                },
+            );
+            self.stats.originated += 1;
+            self.stats.dht_read_repairs += 1;
+            self.route(now, repair);
+        }
+    }
+
+    /// Serve a `DhtCreate` as the key's coordinator.
+    ///
+    /// * A live record with the *same* value is the claimant's own lease being
+    ///   renewed: extend the expiry, refresh the replicas, answer `created`.
+    /// * A live record with a different value is a conflict: answer
+    ///   `!created` with the winner's value.
+    /// * Otherwise store the record — and, with quorum writes enabled,
+    ///   acknowledge only once a majority of the copy set holds it.
+    fn handle_dht_create(
+        &mut self,
+        now: SimTime,
+        key: Address,
+        value: Bytes,
+        ttl_ms: u64,
+        token: u64,
+        origin: Address,
+    ) {
+        // A claim still awaiting its write quorum is not committed: answer a
+        // concurrent claim for the same key as retryable (`existing: None`)
+        // rather than as a conflict — the pending claim may yet be withdrawn,
+        // and a conflict reply would make the other claimant permanently
+        // blacklist an address that ends up free.
+        if self
+            .pending_quorum_creates
+            .values()
+            .any(|qc| qc.key == key && qc.value != value)
+        {
+            let reply = RoutedPacket::new(
+                self.cfg.address,
+                origin,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtCreateReply {
+                    token,
+                    created: false,
+                    existing: None,
+                },
+            );
+            self.stats.originated += 1;
+            self.route(now, reply);
+            return;
+        }
+        if let Some(existing) = self.dht.get(&key).filter(|rec| !rec.expired(now)) {
+            if existing.value != value {
+                let reply = RoutedPacket::new(
+                    self.cfg.address,
+                    origin,
+                    DeliveryMode::Exact,
+                    RoutedPayload::DhtCreateReply {
+                        token,
+                        created: false,
+                        existing: Some(existing.value.clone()),
+                    },
+                );
+                self.stats.originated += 1;
+                self.route(now, reply);
+                return;
+            }
+            // The claimant's own lease being renewed: acknowledge — and
+            // extend the local expiry — only through the same write quorum
+            // as a fresh claim. An owner partitioned from its replicas
+            // extending and confirming renewals alone would keep serving a
+            // lease whose every replica copy has expired.
+            let rec = self.dht.get_mut(&key).expect("record present");
+            rec.replica = false;
+            let version = rec.version;
+            let extends_to = now + Duration::from_millis(ttl_ms);
+            self.commit_create(
+                now,
+                key,
+                value,
+                ttl_ms,
+                version,
+                token,
+                origin,
+                Some(extends_to),
+            );
+            return;
+        }
+        let version = Self::version_for(now);
+        self.store_record(now, key, value.clone(), ttl_ms, false, version);
+        self.commit_create(now, key, value, ttl_ms, version, token, origin, None);
+    }
+
+    /// Commit a stored claim or renewal: push the record to the key's replica
+    /// set with an ack token and answer `created` once a majority of the copy
+    /// set holds it (immediately when the copy set is just this node).
+    #[allow(clippy::too_many_arguments)]
+    fn commit_create(
+        &mut self,
+        now: SimTime,
+        key: Address,
+        value: Bytes,
+        ttl_ms: u64,
+        version: u64,
+        token: u64,
+        origin: Address,
+        extends_to: Option<SimTime>,
+    ) {
+        let targets = if self.cfg.dht.quorum && self.cfg.dht.replication > 1 {
+            self.replica_targets(&key, self.cfg.dht.replication - 1)
+        } else {
+            Vec::new()
+        };
+        if targets.is_empty() {
+            // Single-copy set (or quorum disabled): acknowledge immediately
+            // and replicate fire-and-forget as before.
+            if let Some(rec) = self.dht.get_mut(&key) {
+                rec.replicated_to.clear();
+                if let Some(t) = extends_to {
+                    rec.expires_at = rec.expires_at.max(t);
+                }
+            }
+            self.replicate_key(now, key);
+            let reply = RoutedPacket::new(
+                self.cfg.address,
+                origin,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtCreateReply {
+                    token,
+                    created: true,
+                    existing: None,
+                },
+            );
+            self.stats.originated += 1;
+            self.route(now, reply);
+            return;
+        }
+        let op = self.fresh_token();
+        if let Some(rec) = self.dht.get_mut(&key) {
+            rec.replicated_to = targets.clone();
+        }
+        for peer in &targets {
+            let push = RoutedPacket::new(
+                self.cfg.address,
+                *peer,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReplicate {
+                    key,
+                    value: value.clone(),
+                    ttl_ms,
+                    version,
+                    token: op,
+                },
+            );
+            self.stats.originated += 1;
+            self.route(now, push);
+        }
+        self.pending_quorum_creates.insert(
+            op,
+            QuorumCreate {
+                origin,
+                origin_token: token,
+                key,
+                value,
+                version,
+                extends_to,
+                acks_needed: Self::quorum_of(targets.len() + 1) - 1,
+                acks: 0,
+                targets,
+                issued: now,
+            },
+        );
+        self.stats.dht_quorum_writes += 1;
+    }
+
+    /// Fail a quorum create that never reached a majority and reject the
+    /// claim. A *fresh* claim is withdrawn — from the local store (so the key
+    /// is not half-claimed on this side of a partition) and from any replica
+    /// that stored it but whose ack was lost. A failed *renewal* leaves the
+    /// previously committed copies untouched; the record simply keeps its
+    /// pre-renewal expiries. `existing: None` on the reply distinguishes a
+    /// quorum failure (retry later) from a real conflict.
+    fn fail_quorum_create(&mut self, now: SimTime, op: u64) {
+        let Some(qc) = self.pending_quorum_creates.remove(&op) else {
+            return;
+        };
+        if qc.extends_to.is_none() {
+            let still_ours = self
+                .dht
+                .get(&qc.key)
+                .is_some_and(|rec| rec.value == qc.value && rec.version == qc.version);
+            if still_ours {
+                self.dht.remove(&qc.key);
+            }
+            for peer in &qc.targets {
+                let withdraw = RoutedPacket::new(
+                    self.cfg.address,
+                    *peer,
+                    DeliveryMode::Exact,
+                    RoutedPayload::DhtWithdraw {
+                        key: qc.key,
+                        value: qc.value.clone(),
+                        version: qc.version,
+                    },
+                );
+                self.stats.originated += 1;
+                self.route(now, withdraw);
+            }
+        }
+        let reply = RoutedPacket::new(
+            self.cfg.address,
+            qc.origin,
+            DeliveryMode::Exact,
+            RoutedPayload::DhtCreateReply {
+                token: qc.origin_token,
+                created: false,
+                existing: None,
+            },
+        );
+        self.stats.originated += 1;
+        self.route(now, reply);
+    }
+
+    /// Intercept a `DhtCreateReply` belonging to a lease renewal this node
+    /// issued from [`OverlayNode::dht_tick`]. Returns true when the token was
+    /// a renewal (the reply is internal and must not reach callers).
+    fn on_renewal_reply(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        created: bool,
+        existing: Option<&Bytes>,
+    ) -> bool {
+        let Some(key) = self
+            .published
+            .iter()
+            .find(|(_, p)| p.renew_inflight.is_some_and(|(t, _)| t == token))
+            .map(|(k, _)| *k)
+        else {
+            return false;
+        };
+        if created {
+            let p = self.published.get_mut(&key).expect("publication present");
+            p.renew_inflight = None;
+            p.last_refresh = now;
+            self.stats.dht_refreshes += 1;
+        } else if existing.is_some() {
+            // A conflicting record owns the key — this lease lost (typical
+            // after a healed partition). Stop renewing and tell the agent.
+            self.published.remove(&key);
+            self.lost_leases.push_back(key);
+            self.stats.dht_leases_lost += 1;
+        }
+        // created == false with no existing value is a quorum-write failure
+        // (the coordinator could not reach a majority), not a conflict: keep
+        // the publication and the in-flight marker — the renewal timeout
+        // re-issues (and alarms) until the partition heals.
+        true
     }
 
     /// The `count` established peers closest (ring distance) to `key`,
@@ -1070,7 +1743,8 @@ impl OverlayNode {
             .collect();
         rec.replicated_to = targets;
         let value = rec.value.clone();
-        let ttl_ms = rec.remaining_ttl(now).as_nanos() / 1_000_000;
+        let ttl_ms = rec.remaining_ttl_ms(now);
+        let version = rec.version;
         for peer in missing {
             let pkt = RoutedPacket::new(
                 self.cfg.address,
@@ -1080,6 +1754,8 @@ impl OverlayNode {
                     key,
                     value: value.clone(),
                     ttl_ms,
+                    version,
+                    token: 0,
                 },
             );
             self.stats.originated += 1;
@@ -1088,27 +1764,102 @@ impl OverlayNode {
     }
 
     /// Per-tick DHT maintenance: soft-state expiry, publisher lease renewal at
-    /// TTL/2, and (re-)replication of owned records when the neighbour set
-    /// changed since the last pass.
+    /// TTL/2, quorum-operation timeouts, and (re-)replication of owned records
+    /// when the neighbour set changed since the last pass.
     fn dht_tick(&mut self, now: SimTime) {
         self.stats.dht_expired += self.dht.expire(now) as u64;
         // Forget creates whose reply never came; a stale reply must not
         // resurrect an abandoned claim as a publication.
         self.pending_creates
             .retain(|_, p| now.saturating_since(p.issued) < PENDING_CREATE_TIMEOUT);
-        // Publisher refresh: re-put every published record past half its TTL.
-        let due: Vec<(Address, Bytes, Duration)> = self
+        // Quorum writes that never reached a majority: reject the claim.
+        let failed_writes: Vec<u64> = self
+            .pending_quorum_creates
+            .iter()
+            .filter(|(_, qc)| now.saturating_since(qc.issued) >= self.cfg.dht.quorum_timeout)
+            .map(|(op, _)| *op)
+            .collect();
+        for op in failed_writes {
+            self.stats.dht_quorum_write_timeouts += 1;
+            self.fail_quorum_create(now, op);
+        }
+        // Quorum reads missing answers: conclude from the copies that arrived.
+        let stalled_reads: Vec<u64> = self
+            .pending_quorum_reads
+            .iter()
+            .filter(|(_, qr)| now.saturating_since(qr.issued) >= self.cfg.dht.quorum_timeout)
+            .map(|(op, _)| *op)
+            .collect();
+        for op in stalled_reads {
+            self.stats.dht_quorum_read_timeouts += 1;
+            self.conclude_quorum_read(now, op);
+        }
+        // Publisher refresh. Plain publications re-put (last-writer-wins);
+        // claimed publications renew with a create so a conflicting record is
+        // detected. A renewal whose reply never came is re-issued after the
+        // renewal timeout and alarmed — never silently dropped, which would
+        // let the lease expire while this node keeps using the address.
+        enum Renew {
+            Put(Bytes, Duration, u64),
+            Create(Bytes, Duration, bool),
+        }
+        let due: Vec<(Address, Renew)> = self
             .published
             .iter()
-            .filter(|(_, p)| now.saturating_since(p.last_refresh) >= p.ttl / 2)
-            .map(|(k, p)| (*k, p.value.clone(), p.ttl))
+            .filter_map(|(k, p)| {
+                if p.renew_with_create {
+                    match p.renew_inflight {
+                        Some((_, issued))
+                            if now.saturating_since(issued) >= self.cfg.dht.renewal_timeout =>
+                        {
+                            Some((*k, Renew::Create(p.value.clone(), p.ttl, true)))
+                        }
+                        Some(_) => None,
+                        None if now.saturating_since(p.last_refresh) >= p.ttl / 2 => {
+                            Some((*k, Renew::Create(p.value.clone(), p.ttl, false)))
+                        }
+                        None => None,
+                    }
+                } else if now.saturating_since(p.last_refresh) >= p.ttl / 2 {
+                    Some((*k, Renew::Put(p.value.clone(), p.ttl, p.version)))
+                } else {
+                    None
+                }
+            })
             .collect();
-        for (key, value, ttl) in due {
-            if let Some(p) = self.published.get_mut(&key) {
-                p.last_refresh = now;
+        for (key, renew) in due {
+            match renew {
+                Renew::Put(value, ttl, version) => {
+                    if let Some(p) = self.published.get_mut(&key) {
+                        p.last_refresh = now;
+                    }
+                    self.stats.dht_refreshes += 1;
+                    self.send_put(now, key, value, ttl, version);
+                }
+                Renew::Create(value, ttl, timed_out) => {
+                    if timed_out {
+                        self.stats.dht_renewal_timeouts += 1;
+                    }
+                    let token = self.fresh_token();
+                    if let Some(p) = self.published.get_mut(&key) {
+                        p.renew_inflight = Some((token, now));
+                    }
+                    let ttl_ms = ttl.as_nanos() / 1_000_000;
+                    let pkt = RoutedPacket::new(
+                        self.cfg.address,
+                        key,
+                        DeliveryMode::Closest,
+                        RoutedPayload::DhtCreate {
+                            key,
+                            value,
+                            ttl_ms,
+                            token,
+                        },
+                    );
+                    self.stats.originated += 1;
+                    self.route(now, pkt);
+                }
             }
-            self.stats.dht_refreshes += 1;
-            self.send_put(now, key, value, ttl);
         }
         // Re-replication: walk owned records and fill replication gaps — but
         // only when the established-peer set actually changed. Ownership and
@@ -1186,6 +1937,10 @@ mod tests {
         nodes: Vec<OverlayNode>,
         by_endpoint: Map<Endpoint, usize>,
         crashed: Vec<bool>,
+        /// Partition group per node: messages between different groups are
+        /// silently dropped (links stay up — the "network split" case, as
+        /// opposed to `crash`).
+        group: Vec<u8>,
         now: SimTime,
     }
 
@@ -1218,8 +1973,21 @@ mod tests {
                 nodes,
                 by_endpoint,
                 crashed: vec![false; n],
+                group: vec![0; n],
                 now: SimTime::ZERO,
             }
+        }
+
+        /// Split the network: nodes in `minority` stop exchanging messages
+        /// with everyone else until [`Harness::heal`].
+        fn partition(&mut self, minority: &[usize]) {
+            for &i in minority {
+                self.group[i] = 1;
+            }
+        }
+
+        fn heal(&mut self) {
+            self.group.fill(0);
         }
 
         fn start_all(&mut self) {
@@ -1251,6 +2019,9 @@ mod tests {
                     for (dst, msg) in out {
                         any = true;
                         if let Some(&j) = self.by_endpoint.get(&dst) {
+                            if self.group[i] != self.group[j] {
+                                continue; // partitioned: the message is lost
+                            }
                             let from = ep(i);
                             self.nodes[j].on_message(self.now, from, msg);
                         }
@@ -1666,6 +2437,450 @@ mod tests {
             .map(|n| usize::from(n.dht_store().get(&key).is_some()))
             .sum();
         assert_eq!(copies, 0);
+    }
+
+    /// Number of live copies of `key` across non-crashed nodes.
+    fn copies(h: &Harness, key: &Address) -> usize {
+        h.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !h.crashed[*i])
+            .filter(|(_, n)| n.dht_store().get(key).is_some())
+            .count()
+    }
+
+    #[test]
+    fn quorum_read_serves_freshest_and_repairs_stale_replica() {
+        let mut h = Harness::new(10);
+        h.start_all();
+        h.run(25);
+        let key = Address::from_key(b"172.16.9.40");
+        let now = h.now;
+        h.nodes[1].dht_put_ttl(now, key, b"host-A".to_vec(), Duration::from_secs(3600));
+        h.pump();
+        h.run(2);
+        assert_eq!(copies(&h, &key), 3);
+        let owner = h.owner_of(&key);
+        let holders: Vec<usize> = (0..h.nodes.len())
+            .filter(|&i| i != owner && h.nodes[i].dht_store().get(&key).is_some())
+            .collect();
+        assert_eq!(holders.len(), 2, "two replicas besides the owner");
+        // Partition one replica holder away, then overwrite the record at the
+        // owner (a Brunet-ARP mapping migrating to a new host). The partitioned
+        // replica keeps the stale v1 copy.
+        let stale = holders[0];
+        h.partition(&[stale]);
+        let put = RoutedPacket::new(
+            h.nodes[1].address(),
+            key,
+            DeliveryMode::Closest,
+            RoutedPayload::DhtPut {
+                key,
+                value: b"host-B".to_vec().into(),
+                ttl_ms: 3_600_000,
+                version: 1,
+            },
+        );
+        let now = h.now;
+        let owner_ep = ep(99);
+        h.nodes[owner].on_message(now, owner_ep, LinkMessage::Routed(put));
+        h.pump();
+        let stale_rec = h.nodes[stale].dht_store().get(&key).expect("stale copy");
+        assert_eq!(
+            stale_rec.value,
+            ipop_packet::Bytes::from(b"host-A".as_slice()),
+            "partitioned replica missed the update"
+        );
+        let stale_version = stale_rec.version;
+        let owner_version = h.nodes[owner].dht_store().get(&key).unwrap().version;
+        assert!(
+            owner_version > stale_version,
+            "owner bumped the version ({owner_version}) over the record it replaced ({stale_version})"
+        );
+        // Heal, then read through the quorum path: the freshest copy wins and
+        // the stale replica is repaired asynchronously.
+        h.heal();
+        let now = h.now;
+        let token = h.nodes[7].dht_get(now, key);
+        h.pump();
+        assert_eq!(
+            h.nodes[7].take_dht_replies(),
+            vec![(token, Some(ipop_packet::Bytes::from(b"host-B".as_slice())))],
+            "quorum read returns the freshest value"
+        );
+        let repaired = h.nodes[stale].dht_store().get(&key).expect("repaired copy");
+        assert_eq!(
+            repaired.value,
+            ipop_packet::Bytes::from(b"host-B".as_slice()),
+            "read repair replaced the stale replica"
+        );
+        assert_eq!(repaired.version, owner_version);
+        let repairs: u64 = h.nodes.iter().map(|n| n.stats().dht_read_repairs).sum();
+        assert!(repairs >= 1, "repair counted: {repairs}");
+    }
+
+    #[test]
+    fn quorum_create_fails_without_replica_acks() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        // The claimant claims a key it owns itself while partitioned from
+        // everyone: the local copy cannot reach a majority of the copy set, so
+        // the claim must be rejected and withdrawn, not half-claimed.
+        let claimant = 3;
+        let key = h.nodes[claimant].address();
+        assert_eq!(h.owner_of(&key), claimant);
+        h.partition(&[claimant]);
+        let now = h.now;
+        let token =
+            h.nodes[claimant].dht_create(now, key, b"claim".to_vec(), Duration::from_secs(600));
+        h.pump();
+        assert!(
+            h.nodes[claimant].take_dht_create_replies().is_empty(),
+            "no premature ack without a write quorum"
+        );
+        // 10 ticks = 5 s > the 4 s quorum timeout.
+        h.run(10);
+        assert_eq!(
+            h.nodes[claimant].take_dht_create_replies(),
+            vec![(token, false, None)],
+            "unreplicated claim is rejected"
+        );
+        assert!(
+            h.nodes[claimant].dht_store().get(&key).is_none(),
+            "the failed claim was withdrawn from the local store"
+        );
+        assert!(h.nodes[claimant].stats().dht_quorum_write_timeouts >= 1);
+        h.heal();
+    }
+
+    #[test]
+    fn replica_handoff_to_crashing_peer_is_rereplicated() {
+        // Short connection timeout so the ring repairs quickly after the crash.
+        let mut h = Harness::with_cfg(12, |mut c| {
+            c.connection_timeout = Duration::from_secs(5);
+            c
+        });
+        h.start_all();
+        h.run(30);
+        let key = Address::from_key(b"172.16.9.123");
+        let now = h.now;
+        h.nodes[1].dht_put_ttl(now, key, b"handed-off".to_vec(), Duration::from_secs(3600));
+        // Publisher renewals cannot repair the loss inside the test window
+        // (TTL/2 = 30 min); only handoff + re-replication can.
+        h.nodes[1].dht_unpublish(&key);
+        h.pump();
+        h.run(2);
+        let owner = h.owner_of(&key);
+        let now = h.now;
+        h.nodes[owner].leave(now);
+        h.pump();
+        h.crashed[owner] = true;
+        h.by_endpoint.remove(&ep(owner));
+        // The node the handoff made the new owner crashes before it can do
+        // anything at all — not even one maintenance tick.
+        let new_owner = h.owner_of(&key);
+        assert!(
+            h.nodes[new_owner].dht_store().get(&key).is_some(),
+            "handoff reached the next owner"
+        );
+        h.crash(new_owner);
+        // Ring repair + re-replication by the surviving holder(s).
+        h.run(30);
+        assert!(
+            copies(&h, &key) >= 2,
+            "the surviving holder re-replicated: {} copies",
+            copies(&h, &key)
+        );
+        let querier = (0..h.nodes.len())
+            .find(|&i| !h.crashed[i] && i != h.owner_of(&key))
+            .unwrap();
+        let now = h.now;
+        let token = h.nodes[querier].dht_get(now, key);
+        h.pump();
+        assert_eq!(
+            h.nodes[querier].take_dht_replies(),
+            vec![(
+                token,
+                Some(ipop_packet::Bytes::from(b"handed-off".as_slice()))
+            )],
+            "the record survived both the leave and the immediate crash"
+        );
+    }
+
+    #[test]
+    fn lease_renewal_timeout_reclaims_instead_of_dropping() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let key = Address::from_key(b"dhcp:172.16.9.9");
+        let now = h.now;
+        // TTL 8 s → renewal due at 4 s.
+        let token = h.nodes[2].dht_create(now, key, b"me".to_vec(), Duration::from_secs(8));
+        h.pump();
+        assert_eq!(
+            h.nodes[2].take_dht_create_replies(),
+            vec![(token, true, None)]
+        );
+        // Cut the claimant off: its renewal create is lost, the reply never
+        // arrives. After the renewal timeout it must alarm and re-issue, not
+        // silently let the lease expire while keeping the address.
+        h.partition(&[2]);
+        // 30 ticks = 15 s: past renewal due (4 s) and renewal timeout (10 s).
+        h.run(30);
+        assert!(
+            h.nodes[2].stats().dht_renewal_timeouts >= 1,
+            "lost renewal reply alarmed"
+        );
+        h.heal();
+        // Long enough for the next renewal-timeout re-issue to fire and land.
+        h.run(25);
+        // The re-issued renewal re-claimed the (by now expired) key: the
+        // record is live again and the claimant still owns it.
+        let now = h.now;
+        let t2 = h.nodes[5].dht_get(now, key);
+        h.pump();
+        assert_eq!(
+            h.nodes[5].take_dht_replies(),
+            vec![(t2, Some(ipop_packet::Bytes::from(b"me".as_slice())))],
+            "the lease survived the lost renewal reply"
+        );
+    }
+
+    #[test]
+    fn conflicting_renewal_surfaces_lost_lease() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let key = Address::from_key(b"dhcp:172.16.9.10");
+        let now = h.now;
+        let token = h.nodes[2].dht_create(now, key, b"claim-A".to_vec(), Duration::from_secs(8));
+        h.pump();
+        assert_eq!(
+            h.nodes[2].take_dht_create_replies(),
+            vec![(token, true, None)]
+        );
+        // Another publisher overwrites the record with a fresher version (the
+        // healed-partition winner); the loser's next renewal must discover the
+        // conflict and surface the lost lease instead of clobbering it.
+        let owner = h.owner_of(&key);
+        let put = RoutedPacket::new(
+            h.nodes[6].address(),
+            key,
+            DeliveryMode::Closest,
+            RoutedPayload::DhtPut {
+                key,
+                value: b"claim-B".to_vec().into(),
+                ttl_ms: 600_000,
+                version: 5,
+            },
+        );
+        let now = h.now;
+        let fake_ep = ep(98);
+        h.nodes[owner].on_message(now, fake_ep, LinkMessage::Routed(put));
+        h.pump();
+        // 10 ticks = 5 s: past the 4 s renewal point of the 8 s lease.
+        h.run(10);
+        assert_eq!(
+            h.nodes[2].take_lost_leases(),
+            vec![key],
+            "the losing claim is surfaced to the agent"
+        );
+        assert_eq!(h.nodes[2].stats().dht_leases_lost, 1);
+        // And the winner's record was not clobbered by the loser's renewal.
+        let owner_now = h.owner_of(&key);
+        assert_eq!(
+            h.nodes[owner_now].dht_store().get(&key).unwrap().value,
+            ipop_packet::Bytes::from(b"claim-B".as_slice())
+        );
+    }
+
+    /// A single started node with one faked established peer, for white-box
+    /// message-level tests ((`node`, own address, peer address)).
+    fn node_with_peer() -> (OverlayNode, Address, Address) {
+        let mut rng = StreamRng::new(77, "whitebox");
+        let addr = Address::random(&mut rng);
+        let mut node = OverlayNode::new(OverlayConfig::new(addr, ep(0)), rng);
+        node.start(SimTime::ZERO);
+        let peer = Address::from_key(b"remote-peer");
+        node.on_message(
+            SimTime::ZERO,
+            ep(1),
+            LinkMessage::Hello {
+                from: peer,
+                kind: ConnectionKind::Near,
+                observed: ep(0),
+                token: 1,
+            },
+        );
+        let _ = node.take_outbox();
+        (node, addr, peer)
+    }
+
+    /// Tokens of `DhtCreate` payloads in a drained outbox.
+    fn create_tokens(out: &[(Endpoint, LinkMessage)]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|(_, msg)| match msg {
+                LinkMessage::Routed(pkt) => match &pkt.payload {
+                    RoutedPayload::DhtCreate { token, .. } => Some(*token),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quorum_failed_renewal_keeps_the_lease() {
+        // A renewal answered `created: false` with NO existing value is a
+        // write-quorum failure at the coordinator, not a conflict: the lease
+        // must be kept and retried, not surfaced as lost. Only a reply
+        // carrying the winner's value means the lease is gone.
+        let (mut node, addr, peer) = node_with_peer();
+        let key = peer; // owned by the remote peer, so traffic routes out
+        let t0 = SimTime::ZERO;
+        let claim_token = node.dht_create(t0, key, b"mine".to_vec(), Duration::from_secs(8));
+        let _ = node.take_outbox();
+        let reply = |token, created, existing: Option<&[u8]>| {
+            LinkMessage::Routed(RoutedPacket::new(
+                peer,
+                addr,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtCreateReply {
+                    token,
+                    created,
+                    existing: existing.map(ipop_packet::Bytes::from),
+                },
+            ))
+        };
+        node.on_message(t0, ep(1), reply(claim_token, true, None));
+        assert_eq!(
+            node.take_dht_create_replies(),
+            vec![(claim_token, true, None)]
+        );
+        // TTL/2 later the renewal create goes out.
+        let t1 = t0 + Duration::from_secs(4);
+        node.on_tick(t1);
+        let renew = create_tokens(&node.take_outbox());
+        assert_eq!(renew.len(), 1, "one renewal create issued");
+        // Quorum failure: keep the lease, no lost-lease event.
+        node.on_message(t1, ep(1), reply(renew[0], false, None));
+        assert!(
+            node.take_lost_leases().is_empty(),
+            "lease kept on quorum failure"
+        );
+        assert_eq!(node.stats().dht_leases_lost, 0);
+        // The renewal timeout re-issues and alarms.
+        let t2 = t1 + Duration::from_secs(11);
+        node.on_tick(t2);
+        assert!(node.stats().dht_renewal_timeouts >= 1);
+        let renew2 = create_tokens(&node.take_outbox());
+        assert_eq!(renew2.len(), 1, "renewal re-issued after the timeout");
+        // A genuine conflict (winner's value attached) loses the lease.
+        node.on_message(t2, ep(1), reply(renew2[0], false, Some(b"theirs")));
+        assert_eq!(node.take_lost_leases(), vec![key]);
+        assert_eq!(node.stats().dht_leases_lost, 1);
+        // And no further renewals are issued for the dropped publication.
+        node.on_tick(t2 + Duration::from_secs(20));
+        assert!(create_tokens(&node.take_outbox()).is_empty());
+    }
+
+    #[test]
+    fn replica_reports_not_stored_for_conflicting_pushes_and_honors_withdraw() {
+        let (mut node, addr, peer) = node_with_peer();
+        let key = Address::from_key(b"contested");
+        let t0 = SimTime::ZERO;
+        let replicate = |value: &[u8], version, token| {
+            LinkMessage::Routed(RoutedPacket::new(
+                peer,
+                addr,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReplicate {
+                    key,
+                    value: ipop_packet::Bytes::from(value),
+                    ttl_ms: 60_000,
+                    version,
+                    token,
+                },
+            ))
+        };
+        let acks = |out: &[(Endpoint, LinkMessage)]| -> Vec<(u64, bool)> {
+            out.iter()
+                .filter_map(|(_, msg)| match msg {
+                    LinkMessage::Routed(pkt) => match &pkt.payload {
+                        RoutedPayload::DhtReplicateAck { token, stored } => Some((*token, *stored)),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect()
+        };
+        // Fresh store: acked as stored.
+        node.on_message(t0, ep(1), replicate(b"claim-A", 2, 7));
+        assert_eq!(acks(&node.take_outbox()), vec![(7, true)]);
+        // A staler conflicting push is refused — and the ack says so, so it
+        // cannot count toward the pusher's write quorum.
+        node.on_message(t0, ep(1), replicate(b"claim-B", 1, 8));
+        assert_eq!(acks(&node.take_outbox()), vec![(8, false)]);
+        assert_eq!(
+            node.dht_store().get(&key).unwrap().value,
+            ipop_packet::Bytes::from(b"claim-A".as_slice())
+        );
+        // Withdrawing the losing value, or the stored value at a different
+        // version (a delayed withdraw racing a re-claim), is a no-op; only
+        // the exact (value, version) pair removes the record.
+        let withdraw = |value: &[u8], version| {
+            LinkMessage::Routed(RoutedPacket::new(
+                peer,
+                addr,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtWithdraw {
+                    key,
+                    value: ipop_packet::Bytes::from(value),
+                    version,
+                },
+            ))
+        };
+        node.on_message(t0, ep(1), withdraw(b"claim-B", 1));
+        assert!(node.dht_store().get(&key).is_some(), "winner survives");
+        node.on_message(t0, ep(1), withdraw(b"claim-A", 1));
+        assert!(
+            node.dht_store().get(&key).is_some(),
+            "stale-version withdraw cannot delete the re-claimed record"
+        );
+        node.on_message(t0, ep(1), withdraw(b"claim-A", 2));
+        assert!(node.dht_store().get(&key).is_none(), "withdrawn claim gone");
+    }
+
+    #[test]
+    fn quorum_disabled_falls_back_to_single_node_ops() {
+        // The ablation switch: with quorum off, the key's owner answers
+        // creates and gets alone from its local store (the pre-quorum
+        // behaviour), while fire-and-forget replication still runs.
+        let mut h = Harness::with_cfg(10, |c| c.without_dht_quorum());
+        h.start_all();
+        h.run(25);
+        let key = Address::from_key(b"ablation:172.16.9.50");
+        let now = h.now;
+        let t1 = h.nodes[2].dht_create(now, key, b"claim".to_vec(), Duration::from_secs(600));
+        h.pump();
+        assert_eq!(
+            h.nodes[2].take_dht_create_replies(),
+            vec![(t1, true, None)],
+            "owner acknowledges alone with quorum disabled"
+        );
+        assert_eq!(copies(&h, &key), 3, "replication still fans out");
+        let quorum_writes: u64 = h.nodes.iter().map(|n| n.stats().dht_quorum_writes).sum();
+        assert_eq!(quorum_writes, 0, "no quorum machinery engaged");
+        let now = h.now;
+        let t2 = h.nodes[7].dht_get(now, key);
+        h.pump();
+        assert_eq!(
+            h.nodes[7].take_dht_replies(),
+            vec![(t2, Some(ipop_packet::Bytes::from(b"claim".as_slice())))]
+        );
+        let quorum_reads: u64 = h.nodes.iter().map(|n| n.stats().dht_quorum_reads).sum();
+        assert_eq!(quorum_reads, 0, "gets answered from the local store alone");
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub enum RoutedPayload {
         value: Bytes,
         /// Soft-state lifetime of the record, in milliseconds.
         ttl_ms: u64,
+        /// Publisher's version of this value (bumped when the published value
+        /// changes, e.g. a Brunet-ARP mapping moving to a new host). The key's
+        /// owner assigns the stored record a version at least this high and
+        /// strictly above any conflicting record it replaces.
+        version: u64,
     },
     /// Look up `key`; the responsible node answers with a `DhtReply`.
     DhtGet {
@@ -116,7 +121,9 @@ pub enum RoutedPayload {
         existing: Option<Bytes>,
     },
     /// A record copy pushed by the key's ring owner to a neighbouring node
-    /// (replication and graceful-leave handoff traffic).
+    /// (replication, read repair and graceful-leave handoff traffic). The
+    /// receiver keeps its own copy instead when that copy is fresher by
+    /// `(version, expiry)`.
     DhtReplicate {
         /// DHT key.
         key: Address,
@@ -124,12 +131,61 @@ pub enum RoutedPayload {
         value: Bytes,
         /// Remaining lifetime of the record, in milliseconds.
         ttl_ms: u64,
+        /// Version of the record at the sender.
+        version: u64,
+        /// Non-zero when the sender is coordinating a quorum write and wants a
+        /// [`RoutedPayload::DhtReplicateAck`] carrying this token; zero for
+        /// fire-and-forget replication (re-replication, handoff, repair).
+        token: u64,
+    },
+    /// A replica answers a [`RoutedPayload::DhtReplicate`] with a non-zero
+    /// token.
+    DhtReplicateAck {
+        /// Token echoed from the replicate.
+        token: u64,
+        /// True when the replica now holds a live record with the pushed
+        /// value (stored it, or already had it). False when it kept a fresher
+        /// *conflicting* record — such an ack must not count toward a write
+        /// quorum, or a claim could be confirmed while the majority holds the
+        /// other claimant's record.
+        stored: bool,
+    },
+    /// A quorum-read coordinator polling one member of a key's replica set for
+    /// its local copy (never routed further than the addressed node).
+    DhtGetReplica {
+        /// DHT key.
+        key: Address,
+        /// Correlates the poll with its [`RoutedPayload::DhtReplicaValue`].
+        token: u64,
+    },
+    /// A replica's answer to a [`RoutedPayload::DhtGetReplica`].
+    DhtReplicaValue {
+        /// Token echoed from the poll.
+        token: u64,
+        /// The replica's live copy: `(value, version, remaining ttl in ms)`,
+        /// or `None` when it holds no live record under the key.
+        copy: Option<(Bytes, u64, u64)>,
     },
     /// Delete the record under `key` (lease release). The owner drops its copy
     /// and forwards the removal to the replicas it pushed.
     DhtRemove {
         /// DHT key.
         key: Address,
+    },
+    /// Conditional removal: drop the record under `key` only if its stored
+    /// value *and version* equal the withdrawn claim's. Sent by a
+    /// quorum-write coordinator withdrawing a failed claim from replicas that
+    /// may have stored it (their acks were lost) — unconditional removal
+    /// could delete a conflicting fresher record a replica legitimately
+    /// kept, and a value-only match could delete the same claimant's
+    /// *re-claimed* (newer, committed) record if the withdraw was delayed.
+    DhtWithdraw {
+        /// DHT key.
+        key: Address,
+        /// The withdrawn claim's value (shared).
+        value: Bytes,
+        /// The withdrawn claim's version.
+        version: u64,
     },
 }
 
@@ -462,10 +518,16 @@ impl RoutedPacket {
                 w.addr(responder);
                 write_endpoints(w, endpoints);
             }
-            RoutedPayload::DhtPut { key, value, ttl_ms } => {
+            RoutedPayload::DhtPut {
+                key,
+                value,
+                ttl_ms,
+                version,
+            } => {
                 w.u8(3);
                 w.addr(key);
                 w.u64(*ttl_ms);
+                w.u64(*version);
                 w.bytes32(value);
             }
             RoutedPayload::DhtGet { key, token } => {
@@ -512,15 +574,56 @@ impl RoutedPacket {
                     None => w.u8(0),
                 }
             }
-            RoutedPayload::DhtReplicate { key, value, ttl_ms } => {
+            RoutedPayload::DhtReplicate {
+                key,
+                value,
+                ttl_ms,
+                version,
+                token,
+            } => {
                 w.u8(8);
                 w.addr(key);
                 w.u64(*ttl_ms);
+                w.u64(*version);
+                w.u64(*token);
                 w.bytes32(value);
             }
             RoutedPayload::DhtRemove { key } => {
                 w.u8(9);
                 w.addr(key);
+            }
+            RoutedPayload::DhtReplicateAck { token, stored } => {
+                w.u8(10);
+                w.u64(*token);
+                w.u8(u8::from(*stored));
+            }
+            RoutedPayload::DhtGetReplica { key, token } => {
+                w.u8(11);
+                w.addr(key);
+                w.u64(*token);
+            }
+            RoutedPayload::DhtReplicaValue { token, copy } => {
+                w.u8(12);
+                w.u64(*token);
+                match copy {
+                    Some((value, version, ttl_ms)) => {
+                        w.u8(1);
+                        w.u64(*version);
+                        w.u64(*ttl_ms);
+                        w.bytes32(value);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            RoutedPayload::DhtWithdraw {
+                key,
+                value,
+                version,
+            } => {
+                w.u8(13);
+                w.addr(key);
+                w.u64(*version);
+                w.bytes32(value);
             }
         }
     }
@@ -551,6 +654,7 @@ impl RoutedPacket {
             3 => RoutedPayload::DhtPut {
                 key: r.addr()?,
                 ttl_ms: r.u64()?,
+                version: r.u64()?,
                 value: r.bytes32()?,
             },
             4 => RoutedPayload::DhtGet {
@@ -589,9 +693,35 @@ impl RoutedPacket {
             8 => RoutedPayload::DhtReplicate {
                 key: r.addr()?,
                 ttl_ms: r.u64()?,
+                version: r.u64()?,
+                token: r.u64()?,
                 value: r.bytes32()?,
             },
             9 => RoutedPayload::DhtRemove { key: r.addr()? },
+            10 => RoutedPayload::DhtReplicateAck {
+                token: r.u64()?,
+                stored: r.u8()? == 1,
+            },
+            11 => RoutedPayload::DhtGetReplica {
+                key: r.addr()?,
+                token: r.u64()?,
+            },
+            12 => {
+                let token = r.u64()?;
+                let copy = if r.u8()? == 1 {
+                    let version = r.u64()?;
+                    let ttl_ms = r.u64()?;
+                    Some((r.bytes32()?, version, ttl_ms))
+                } else {
+                    None
+                };
+                RoutedPayload::DhtReplicaValue { token, copy }
+            }
+            13 => RoutedPayload::DhtWithdraw {
+                key: r.addr()?,
+                version: r.u64()?,
+                value: r.bytes32()?,
+            },
             _ => return Err(ParseError::Unsupported("routed payload")),
         };
         Ok(RoutedPacket {
@@ -827,6 +957,7 @@ mod tests {
                 key: a(9),
                 value: b"172.16.0.5 -> brunet".to_vec().into(),
                 ttl_ms: 120_000,
+                version: 3,
             },
             RoutedPayload::DhtGet {
                 key: a(9),
@@ -860,6 +991,40 @@ mod tests {
                 key: a(11),
                 value: vec![0xEE; 4].into(),
                 ttl_ms: 30_000,
+                version: 7,
+                token: 0,
+            },
+            RoutedPayload::DhtReplicate {
+                key: a(11),
+                value: vec![0xEF; 4].into(),
+                ttl_ms: 30_000,
+                version: 1,
+                token: 91,
+            },
+            RoutedPayload::DhtReplicateAck {
+                token: 91,
+                stored: true,
+            },
+            RoutedPayload::DhtReplicateAck {
+                token: 91,
+                stored: false,
+            },
+            RoutedPayload::DhtWithdraw {
+                key: a(14),
+                value: vec![0xBB; 20].into(),
+                version: 6,
+            },
+            RoutedPayload::DhtGetReplica {
+                key: a(13),
+                token: 92,
+            },
+            RoutedPayload::DhtReplicaValue {
+                token: 92,
+                copy: Some((vec![0xAA; 20].into(), 4, 15_000)),
+            },
+            RoutedPayload::DhtReplicaValue {
+                token: 93,
+                copy: None,
             },
             RoutedPayload::DhtRemove { key: a(12) },
         ];

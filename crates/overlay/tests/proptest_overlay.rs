@@ -54,6 +54,7 @@ proptest! {
     #[test]
     fn dht_messages_round_trip(src in arb_addr(), dst in arb_addr(), key in arb_addr(),
                                token: u64, ttl_ms in 0u64..86_400_000, created: bool,
+                               version: u64,
                                value in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..512))) {
         let bytes_value = value.clone().map(ipop_packet::Bytes::from);
         for payload in [
@@ -61,6 +62,7 @@ proptest! {
                 key,
                 value: bytes_value.clone().unwrap_or_default(),
                 ttl_ms,
+                version,
             },
             RoutedPayload::DhtGet { key, token },
             RoutedPayload::DhtReply { token, value: bytes_value.clone() },
@@ -79,6 +81,22 @@ proptest! {
                 key,
                 value: bytes_value.clone().unwrap_or_default(),
                 ttl_ms,
+                version,
+                token,
+            },
+            RoutedPayload::DhtReplicateAck {
+                token,
+                stored: created,
+            },
+            RoutedPayload::DhtGetReplica { key, token },
+            RoutedPayload::DhtWithdraw {
+                key,
+                value: bytes_value.clone().unwrap_or_default(),
+                version,
+            },
+            RoutedPayload::DhtReplicaValue {
+                token,
+                copy: bytes_value.clone().map(|v| (v, version, ttl_ms)),
             },
             RoutedPayload::DhtRemove { key },
         ] {

@@ -15,6 +15,7 @@
 //! the confirm does not read back our own overlay address, the claim is
 //! abandoned (and unpublished) and a new candidate is drawn.
 
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use ipop_overlay::Address;
@@ -72,14 +73,57 @@ impl Subnet {
     }
 
     /// Draw a uniformly random usable host address that is not in `reserved`.
+    ///
+    /// Panics when the whole usable range is reserved; callers that can hit
+    /// that case use [`Subnet::draw_avoiding`] and handle exhaustion.
     pub fn draw(&self, rng: &mut StreamRng, reserved: &[Ipv4Addr]) -> Ipv4Addr {
-        loop {
-            let offset = rng.range_u64(1, (1u64 << (32 - self.prefix)) - 1) as u32;
+        self.draw_avoiding(rng, reserved, &BTreeSet::new())
+            .expect("subnet exhausted: every usable address is reserved")
+    }
+
+    /// Draw a usable host address that is neither in `reserved` nor in
+    /// `avoid`, or `None` when the two sets cover the whole usable range
+    /// (address-space exhaustion — a /30 has just two usable addresses).
+    ///
+    /// Bounded work: a short burst of rejection sampling for the common
+    /// sparse case, then one deterministic scan from a random start — never
+    /// the unbounded retry loop that would hang a joiner on a full subnet.
+    pub fn draw_avoiding(
+        &self,
+        rng: &mut StreamRng,
+        reserved: &[Ipv4Addr],
+        avoid: &BTreeSet<Ipv4Addr>,
+    ) -> Option<Ipv4Addr> {
+        let usable = self.usable_hosts();
+        let blocked_set: BTreeSet<Ipv4Addr> = reserved
+            .iter()
+            .chain(avoid.iter())
+            .copied()
+            .filter(|ip| self.contains(*ip) && *ip != self.net && *ip != self.broadcast())
+            .collect();
+        if blocked_set.len() as u64 >= usable {
+            return None;
+        }
+        let blocked = |ip: Ipv4Addr| blocked_set.contains(&ip);
+        let span = (1u64 << (32 - self.prefix)) - 1; // offsets 1..span are usable
+        for _ in 0..64 {
+            let offset = rng.range_u64(1, span) as u32;
             let ip = Ipv4Addr::from(u32::from(self.net) | offset);
-            if !reserved.contains(&ip) {
-                return ip;
+            if !blocked(ip) {
+                return Some(ip);
             }
         }
+        // Dense subnet: scan every usable offset once, starting at a random
+        // point so allocations stay spread out.
+        let start = rng.range_u64(1, span);
+        for k in 0..usable {
+            let offset = (1 + (start - 1 + k) % usable) as u32;
+            let ip = Ipv4Addr::from(u32::from(self.net) | offset);
+            if !blocked(ip) {
+                return Some(ip);
+            }
+        }
+        None
     }
 }
 
@@ -113,6 +157,10 @@ pub struct DhcpConfig {
     pub confirm_delay: Duration,
     /// Re-issue a claim or confirm whose reply never arrived after this long.
     pub claim_timeout: Duration,
+    /// Wait between a write-quorum failure and re-claiming the same address
+    /// (the coordinator rejects for up to its quorum timeout; an immediate
+    /// retry would ping-pong one claim per round trip).
+    pub retry_delay: Duration,
     /// Give up after this many claim attempts.
     pub max_attempts: u32,
 }
@@ -123,6 +171,7 @@ impl Default for DhcpConfig {
             lease_ttl: Duration::from_secs(120),
             confirm_delay: Duration::from_secs(2),
             claim_timeout: Duration::from_secs(10),
+            retry_delay: Duration::from_secs(3),
             max_attempts: 128,
         }
     }
@@ -153,6 +202,14 @@ pub enum DhcpState {
         /// When the confirmation get was issued.
         since: SimTime,
     },
+    /// A claim failed its write quorum (partition minority); the same —
+    /// still unclaimed — address is re-claimed after a short wait.
+    RetryWait {
+        /// The candidate address to re-claim.
+        ip: Ipv4Addr,
+        /// When the re-claim goes out.
+        retry_at: SimTime,
+    },
     /// The address is allocated and confirmed; the lease renews itself.
     Bound {
         /// The allocated address.
@@ -162,6 +219,10 @@ pub enum DhcpState {
     Released,
     /// Allocation gave up after `max_attempts` claims.
     Failed,
+    /// Terminal: every usable address in the subnet is reserved or was seen
+    /// taken — there is nothing left to draw (e.g. the third joiner on a /30
+    /// with two usable addresses). Surfaced instead of retrying forever.
+    AddressSpaceExhausted,
 }
 
 /// The DHCP-style allocator state machine for one node.
@@ -175,10 +236,17 @@ pub struct DhcpAllocator {
     state: DhcpState,
     started_at: Option<SimTime>,
     bound_at: Option<SimTime>,
+    /// Addresses this allocator saw taken (claim collisions, failed confirms,
+    /// lost leases) during the current allocation cycle. Not drawn again
+    /// until the next successful bind clears the set; when `reserved` and
+    /// `tried` together cover the whole usable range the subnet is exhausted.
+    tried: BTreeSet<Ipv4Addr>,
     /// Claims lost to an existing live lease.
     pub collisions: u64,
     /// Claims issued.
     pub attempts: u32,
+    /// Bound leases lost to a conflicting winner (healed partitions).
+    pub leases_lost: u64,
 }
 
 impl DhcpAllocator {
@@ -192,8 +260,10 @@ impl DhcpAllocator {
             state: DhcpState::Idle,
             started_at: None,
             bound_at: None,
+            tried: BTreeSet::new(),
             collisions: 0,
             attempts: 0,
+            leases_lost: 0,
         }
     }
 
@@ -301,17 +371,33 @@ impl DhcpAllocator {
                 }
                 _ => {}
             },
-            DhcpState::Bound { .. } | DhcpState::Released | DhcpState::Failed => {}
+            DhcpState::RetryWait { ip, retry_at } => {
+                if now >= retry_at {
+                    self.reissue_claim(now, ip, dht);
+                }
+            }
+            DhcpState::Bound { .. }
+            | DhcpState::Released
+            | DhcpState::Failed
+            | DhcpState::AddressSpaceExhausted => {}
         }
     }
 
     /// Feed a DHT create reply. Returns true when the token belonged to this
     /// allocator (the caller routes replies between services by token).
+    ///
+    /// `conflict` distinguishes the two rejection cases: true when a live
+    /// record owns the key (a real collision — the address is blacklisted and
+    /// a fresh candidate drawn), false when the claim merely failed its write
+    /// quorum (partition minority — the same address is retried; it is not
+    /// taken, and blacklisting free addresses would walk the allocator into a
+    /// false `AddressSpaceExhausted` on a mostly-empty subnet).
     pub fn on_create_reply(
         &mut self,
         now: SimTime,
         token: u64,
         created: bool,
+        conflict: bool,
         rng: &mut StreamRng,
         dht: &mut dyn DhtClient,
     ) -> bool {
@@ -331,10 +417,22 @@ impl DhcpAllocator {
                 token: None,
                 since: now,
             };
-        } else {
+        } else if conflict {
             // A live lease already exists under this address: collision.
             self.collisions += 1;
+            self.tried.insert(ip);
             self.claim(now, rng, dht);
+        } else {
+            // Quorum failure: re-claim the same address after a short wait,
+            // without consuming the attempts budget — a partition can reject
+            // claims for as long as it lasts (burning the budget would leave
+            // the node terminally `Failed` after the heal), and an immediate
+            // retry would ping-pong against the coordinator's rejection once
+            // per round trip.
+            self.state = DhcpState::RetryWait {
+                ip,
+                retry_at: now + self.cfg.retry_delay,
+            };
         }
         true
     }
@@ -363,23 +461,58 @@ impl DhcpAllocator {
         if value.and_then(decode_owner) == Some(self.owner) {
             self.state = DhcpState::Bound { ip };
             self.bound_at = Some(now);
+            // The attempts budget and the tried blacklist guard one
+            // allocation cycle, not the node's whole life: a successful bind
+            // resets both, so a later lost lease re-allocates with a full
+            // budget and without treating long-freed addresses as taken.
+            self.attempts = 0;
+            self.tried.clear();
         } else {
             // Someone else's claim won (split-brain during convergence) or
             // the record vanished: stop refreshing it and start over.
             self.collisions += 1;
+            self.tried.insert(ip);
             dht.unpublish(&lease_key(ip));
             self.claim(now, rng, dht);
         }
         true
     }
 
+    /// The overlay reported this node's address lease lost: a TTL/2 renewal
+    /// found a conflicting record owning the key (the other side of a healed
+    /// partition won). The publication is already gone — re-allocate a fresh
+    /// address; the caller re-binds when the new lease confirms.
+    pub fn on_lease_lost(&mut self, now: SimTime, rng: &mut StreamRng, dht: &mut dyn DhtClient) {
+        let DhcpState::Bound { ip } = self.state else {
+            return;
+        };
+        self.leases_lost += 1;
+        self.tried.insert(ip);
+        self.claim(now, rng, dht);
+    }
+
     fn claim(&mut self, now: SimTime, rng: &mut StreamRng, dht: &mut dyn DhtClient) {
+        let Some(ip) = self.subnet.draw_avoiding(rng, &self.reserved, &self.tried) else {
+            // Every usable address is reserved or known taken: terminal,
+            // instead of redrawing (and re-colliding) forever.
+            self.state = DhcpState::AddressSpaceExhausted;
+            return;
+        };
+        self.issue_claim(now, ip, dht);
+    }
+
+    /// Issue a claim for a fresh candidate `ip` (consumes one attempt).
+    fn issue_claim(&mut self, now: SimTime, ip: Ipv4Addr, dht: &mut dyn DhtClient) {
         if self.attempts >= self.cfg.max_attempts {
             self.state = DhcpState::Failed;
             return;
         }
         self.attempts += 1;
-        let ip = self.subnet.draw(rng, &self.reserved);
+        self.reissue_claim(now, ip, dht);
+    }
+
+    /// Send the claim create for `ip` without touching the attempts budget.
+    fn reissue_claim(&mut self, now: SimTime, ip: Ipv4Addr, dht: &mut dyn DhtClient) {
         let token = dht.create(
             now,
             lease_key(ip),
@@ -464,7 +597,7 @@ mod tests {
         };
         assert_eq!(key, lease_key(ip));
         // Claim succeeds → confirming after the settle delay.
-        assert!(a.on_create_reply(t0, token, true, &mut rng, &mut dht));
+        assert!(a.on_create_reply(t0, token, true, false, &mut rng, &mut dht));
         assert!(!a.bound());
         let t1 = t0 + Duration::from_secs(1);
         a.poll(t1, true, &mut rng, &mut dht);
@@ -492,7 +625,7 @@ mod tests {
             panic!()
         };
         // Claim lost: a different candidate is claimed next.
-        assert!(a.on_create_reply(t0, token, false, &mut rng, &mut dht));
+        assert!(a.on_create_reply(t0, token, false, true, &mut rng, &mut dht));
         assert_eq!(a.collisions, 1);
         let DhcpState::Claiming { ip: ip2, .. } = a.state() else {
             panic!("retry expected, got {:?}", a.state())
@@ -511,7 +644,7 @@ mod tests {
         let DhcpState::Claiming { token, ip, .. } = a.state() else {
             panic!()
         };
-        a.on_create_reply(t0, token, true, &mut rng, &mut dht);
+        a.on_create_reply(t0, token, true, false, &mut rng, &mut dht);
         let t1 = t0 + Duration::from_secs(3);
         a.poll(t1, true, &mut rng, &mut dht);
         let get_token = dht.last_token();
@@ -558,7 +691,7 @@ mod tests {
         let DhcpState::Claiming { token, ip, .. } = a.state() else {
             panic!()
         };
-        a.on_create_reply(SimTime::ZERO, token, true, &mut rng, &mut dht);
+        a.on_create_reply(SimTime::ZERO, token, true, false, &mut rng, &mut dht);
         a.poll(
             SimTime::ZERO + Duration::from_secs(3),
             true,
@@ -580,6 +713,134 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_subnet_is_terminal_not_a_hang() {
+        // A /30 has exactly two usable addresses. A third joiner that sees
+        // both taken must land in AddressSpaceExhausted after scanning the
+        // range once — not redraw (and re-collide) forever.
+        let s = Subnet::new(Ipv4Addr::new(172, 16, 9, 0), 30);
+        assert_eq!(s.usable_hosts(), 2);
+        let mut a = DhcpAllocator::new(s, owner(), DhcpConfig::default());
+        let mut rng = StreamRng::new(9, "dhcp");
+        let mut dht = FakeDht::default();
+        let mut now = SimTime::ZERO;
+        a.poll(now, true, &mut rng, &mut dht);
+        for _ in 0..2 {
+            let DhcpState::Claiming { token, .. } = a.state() else {
+                panic!("expected a claim, got {:?}", a.state())
+            };
+            a.on_create_reply(now, token, false, true, &mut rng, &mut dht);
+            now += Duration::from_secs(1);
+        }
+        assert_eq!(a.state(), DhcpState::AddressSpaceExhausted);
+        assert_eq!(a.attempts, 2, "each usable address was tried exactly once");
+        // Terminal: further polls issue nothing.
+        let ops = dht.ops.len();
+        a.poll(now, true, &mut rng, &mut dht);
+        assert_eq!(dht.ops.len(), ops);
+    }
+
+    #[test]
+    fn fully_reserved_subnet_is_exhausted_without_any_claim() {
+        let s = Subnet::new(Ipv4Addr::new(172, 16, 9, 0), 30);
+        let mut a = DhcpAllocator::new(s, owner(), DhcpConfig::default()).with_reserved(vec![
+            Ipv4Addr::new(172, 16, 9, 1),
+            Ipv4Addr::new(172, 16, 9, 2),
+        ]);
+        let mut rng = StreamRng::new(10, "dhcp");
+        let mut dht = FakeDht::default();
+        a.poll(SimTime::ZERO, true, &mut rng, &mut dht);
+        assert_eq!(a.state(), DhcpState::AddressSpaceExhausted);
+        assert!(
+            dht.ops.is_empty(),
+            "no claim for a subnet with nothing free"
+        );
+    }
+
+    #[test]
+    fn draw_avoiding_covers_a_dense_subnet_deterministically() {
+        let s = Subnet::new(Ipv4Addr::new(172, 16, 9, 0), 29); // 6 usable
+        let mut rng = StreamRng::new(11, "draw");
+        let mut seen = BTreeSet::new();
+        // Drawing while avoiding everything seen so far enumerates the whole
+        // usable range, then reports exhaustion.
+        for _ in 0..6 {
+            let ip = s.draw_avoiding(&mut rng, &[], &seen).expect("free address");
+            assert!(s.contains(ip));
+            assert!(seen.insert(ip), "no duplicates");
+        }
+        assert_eq!(s.draw_avoiding(&mut rng, &[], &seen), None);
+    }
+
+    #[test]
+    fn quorum_failure_retries_the_same_address() {
+        // created == false without a conflicting value is a write-quorum
+        // failure (partition minority): the address is NOT taken, so the
+        // allocator re-claims it instead of blacklisting a free address
+        // (which would walk it into a false AddressSpaceExhausted).
+        let mut a = alloc();
+        let mut rng = StreamRng::new(13, "dhcp");
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        a.poll(t0, true, &mut rng, &mut dht);
+        let DhcpState::Claiming { token, ip, .. } = a.state() else {
+            panic!()
+        };
+        assert!(a.on_create_reply(t0, token, false, false, &mut rng, &mut dht));
+        let DhcpState::RetryWait { ip: ip2, retry_at } = a.state() else {
+            panic!("retry wait expected, got {:?}", a.state())
+        };
+        assert_eq!(ip2, ip, "same candidate retried after a quorum failure");
+        assert_eq!(retry_at, t0 + Duration::from_secs(3));
+        // No immediate re-claim (that would ping-pong against the rejecting
+        // coordinator once per round trip)...
+        let ops = dht.ops.len();
+        a.poll(t0 + Duration::from_secs(1), true, &mut rng, &mut dht);
+        assert_eq!(dht.ops.len(), ops, "no claim before the retry delay");
+        // ...but after the delay the same address is claimed again.
+        a.poll(t0 + Duration::from_secs(3), true, &mut rng, &mut dht);
+        let DhcpState::Claiming { ip: ip3, .. } = a.state() else {
+            panic!("re-claim expected, got {:?}", a.state())
+        };
+        assert_eq!(ip3, ip);
+        assert_eq!(a.collisions, 0, "a quorum failure is not a collision");
+        assert_eq!(
+            a.attempts, 1,
+            "quorum-failure retries do not consume the attempts budget"
+        );
+    }
+
+    #[test]
+    fn lost_lease_reallocates_a_fresh_address() {
+        let mut a = alloc();
+        let mut rng = StreamRng::new(12, "dhcp");
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        a.poll(t0, true, &mut rng, &mut dht);
+        let DhcpState::Claiming { token, ip, .. } = a.state() else {
+            panic!()
+        };
+        a.on_create_reply(t0, token, true, false, &mut rng, &mut dht);
+        a.poll(t0 + Duration::from_secs(3), true, &mut rng, &mut dht);
+        let v = encode_owner(&owner());
+        a.on_get_reply(
+            t0 + Duration::from_secs(3),
+            dht.last_token(),
+            Some(v.as_slice()),
+            &mut rng,
+            &mut dht,
+        );
+        assert!(a.bound());
+        // The overlay reports the lease lost (healed-partition conflict).
+        a.on_lease_lost(t0 + Duration::from_secs(60), &mut rng, &mut dht);
+        assert_eq!(a.leases_lost, 1);
+        let DhcpState::Claiming { ip: ip2, .. } = a.state() else {
+            panic!("re-claim expected, got {:?}", a.state())
+        };
+        assert_ne!(ip2, ip, "the conflicted address is never drawn again");
+        assert!(!a.bound());
+    }
+
+    #[test]
     fn gives_up_after_max_attempts() {
         let mut a = DhcpAllocator::new(
             subnet(),
@@ -595,7 +856,7 @@ mod tests {
         a.poll(now, true, &mut rng, &mut dht);
         for _ in 0..3 {
             if let DhcpState::Claiming { token, .. } = a.state() {
-                a.on_create_reply(now, token, false, &mut rng, &mut dht);
+                a.on_create_reply(now, token, false, true, &mut rng, &mut dht);
             }
             now += Duration::from_secs(1);
         }

@@ -213,6 +213,10 @@ struct SelfConfigTrace {
     latencies_ns: Vec<Option<u64>>,
     collisions: Vec<Option<u64>>,
     dht: Vec<(u64, u64, u64, u64, u64)>,
+    /// Quorum machinery per node: coordinated reads, writes, repairs.
+    quorum: Vec<(u64, u64, u64)>,
+    /// Resolution probes answered over the quorum read path.
+    probes: Vec<(u64, bool)>,
 }
 
 /// A 12-node overlay where everyone but the bootstrap allocates its address
@@ -238,6 +242,33 @@ fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
     ipop::deploy_ipop(&mut net, members, options);
     let mut sim = NetworkSim::new(net);
     sim.run_for(Duration::from_secs(75));
+    // Drive the quorum read path explicitly: one node resolves every bound
+    // address (replica polls, freshest-copy selection and any read repair all
+    // land in the trace below).
+    let bound: Vec<Ipv4Addr> = plab
+        .nodes
+        .iter()
+        .skip(1)
+        .filter_map(|&h| sim.agent_as::<IpopHostAgent>(h))
+        .filter(|a| a.has_address())
+        .map(|a| a.virtual_ip())
+        .collect();
+    let now = sim.now();
+    for ip in &bound {
+        sim.net_mut()
+            .agent_as_mut::<IpopHostAgent>(plab.nodes[0])
+            .unwrap()
+            .resolve_ip(now, *ip);
+    }
+    sim.run_for(Duration::from_secs(10));
+    let probes: Vec<(u64, bool)> = sim
+        .net_mut()
+        .agent_as_mut::<IpopHostAgent>(plab.nodes[0])
+        .unwrap()
+        .take_probe_results()
+        .into_iter()
+        .map(|(token, addr)| (token, addr.is_some()))
+        .collect();
     let agents: Vec<&IpopHostAgent> = plab
         .nodes
         .iter()
@@ -265,6 +296,14 @@ fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
                 )
             })
             .collect(),
+        quorum: agents
+            .iter()
+            .map(|a| {
+                let s = a.overlay_stats();
+                (s.dht_quorum_reads, s.dht_quorum_writes, s.dht_read_repairs)
+            })
+            .collect(),
+        probes,
     }
 }
 
@@ -282,7 +321,22 @@ fn dynamic_join_runs_are_byte_identical() {
         a.dht.iter().map(|d| d.3).sum::<u64>() > 0,
         "lease refreshes happened"
     );
-    // ...and DHT/lease traffic replays byte-identically.
+    // The quorum machinery actually ran: claims were majority-acked and the
+    // resolution probes went through replica polls.
+    assert!(
+        a.quorum.iter().map(|q| q.0).sum::<u64>() > 0,
+        "quorum reads coordinated"
+    );
+    assert!(
+        a.quorum.iter().map(|q| q.1).sum::<u64>() > 0,
+        "quorum writes coordinated"
+    );
+    assert!(
+        !a.probes.is_empty() && a.probes.iter().all(|(_, ok)| *ok),
+        "every bound address resolved over the quorum path: {:?}",
+        a.probes
+    );
+    // ...and DHT/lease/quorum traffic replays byte-identically.
     assert_eq!(a, b);
 }
 
