@@ -1,0 +1,403 @@
+//! DHT durability benchmark: crash record owners and routing hops in the
+//! middle of a write storm, then measure how many records survive and how
+//! fast the DHT reconverges. This is the workload the durability layer
+//! (fast dead-edge detection + anti-entropy sweeps) exists for: before it, a
+//! put routed through a freshly-crashed hop was silently lost until the
+//! 45 s connection timeout *and* the publisher's TTL/2 refresh (here 300 s).
+//! Tracked across PRs in `BENCH_durability.json`.
+//!
+//! The scenario:
+//!
+//! 1. **Converge** — N static members form the overlay ring.
+//! 2. **Write storm** — P publishers register G guest mappings each
+//!    (`route_for` puts with a 600 s lease, so refreshes cannot mask a
+//!    loss). Halfway through the storm, C ring owners of already-written
+//!    keys and H uninvolved hop nodes crash unannounced: records stored on
+//!    the owners are lost with them, and the storm's remaining puts are
+//!    forwarded into dead edges.
+//! 3. **Reconverge** — a prober issues cache-bypassing resolution reads for
+//!    every mapping until each resolves. Reported per record: time to first
+//!    successful resolution after the crash; in aggregate: survival rate
+//!    and whether the worst reconvergence stayed inside the sweep-derived
+//!    bound (detection + one sweep interval + resolution slack ≪ 45 s).
+//!
+//! Usage: `dht_durability [--quick] [--out PATH]`
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use ipop::prelude::*;
+use ipop::IpopHostAgent;
+use ipop_netsim::planetlab;
+use ipop_overlay::Address;
+use ipop_simcore::SimTime;
+
+struct Params {
+    nodes: usize,
+    publishers: usize,
+    guests_per_publisher: usize,
+    owners_crashed: usize,
+    hops_crashed: usize,
+    lease_ttl: Duration,
+    sweep_interval: Duration,
+    /// How long the prober keeps retrying before declaring a record lost.
+    probe_window: Duration,
+}
+
+struct Results {
+    records: usize,
+    resolved: usize,
+    reconverge_s: Vec<f64>,
+    crashed: usize,
+    probes_sent: u64,
+    probe_timeouts: u64,
+    dead_edges: u64,
+    sync_digests: u64,
+    sync_pulls: u64,
+    sync_pushes: u64,
+    read_repairs: u64,
+    events: u64,
+    wall_s: f64,
+}
+
+fn vip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(172, 16, 7, (i + 1) as u8)
+}
+
+fn guest_ip(publisher: usize, g: usize) -> Ipv4Addr {
+    Ipv4Addr::new(172, 16, 8, (publisher * 8 + g + 1) as u8)
+}
+
+/// The acceptance bound on reconvergence: dead-edge detection (probe idle
+/// interval plus a few adaptive timeouts), one full anti-entropy sweep
+/// interval (worst-case phase), and slack for the digest/pull/put/read round
+/// trips. Far below both the 45 s connection timeout and the 300 s refresh.
+fn reconverge_bound_s(p: &Params) -> f64 {
+    10.0 + 2.0 * p.sweep_interval.as_secs_f64() + 5.0
+}
+
+fn run(p: &Params, seed: u64) -> Results {
+    let started = Instant::now();
+    let mut net = Network::new(seed);
+    let plab = planetlab(&mut net, p.nodes, 1.0, seed);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| IpopMember::router(h, vip(i)))
+        .collect();
+    let options = DeployOptions {
+        brunet_arp: true,
+        ..DeployOptions::udp()
+    }
+    .with_lease_ttl(p.lease_ttl)
+    .with_dht_sweep_interval(p.sweep_interval);
+    let hosts = ipop::deploy_ipop(&mut net, members, options);
+    let mut sim = NetworkSim::new(net);
+
+    // Phase 1: converge.
+    sim.run_for(Duration::from_secs(60));
+
+    // Phase 2: write storm with mid-storm crashes. Publishers are member
+    // indices 1..=P; victims are drawn from the rest, so every record keeps
+    // a live publisher (survival should then come from replicas + sweep, not
+    // luck). One batch = one guest per publisher, 500 ms apart.
+    let publishers: Vec<usize> = (1..=p.publishers).collect();
+    let mut crashed: BTreeSet<usize> = BTreeSet::new();
+    let mut crash_time = SimTime::ZERO;
+    let mut publish_time: Vec<(Ipv4Addr, SimTime)> = Vec::new();
+    for batch in 0..p.guests_per_publisher {
+        for &pb in &publishers {
+            let now = sim.now();
+            let ip = guest_ip(pb, batch);
+            sim.net_mut()
+                .agent_as_mut::<IpopHostAgent>(hosts[pb])
+                .unwrap()
+                .route_for(now, ip);
+            publish_time.push((ip, now));
+        }
+        sim.run_for(Duration::from_millis(500));
+        if batch == p.guests_per_publisher / 2 && crashed.is_empty() {
+            // Crash C live ring owners of already-written keys...
+            let mut victims: Vec<usize> = Vec::new();
+            for &(ip, _) in &publish_time {
+                if victims.len() >= p.owners_crashed {
+                    break;
+                }
+                let key = Address::from_ip(ip);
+                let owner = (0..p.nodes)
+                    .filter(|i| !crashed.contains(i) && !victims.contains(i))
+                    .filter(|i| !publishers.contains(i) && *i != 0)
+                    .min_by_key(|&i| Address::from_ip(vip(i)).ring_distance(&key));
+                if let Some(o) = owner {
+                    victims.push(o);
+                }
+            }
+            // ...plus H uninvolved hop nodes.
+            let mut hops = 0usize;
+            for i in (1..p.nodes).rev() {
+                if hops >= p.hops_crashed {
+                    break;
+                }
+                if !publishers.contains(&i) && !victims.contains(&i) {
+                    victims.push(i);
+                    hops += 1;
+                }
+            }
+            crash_time = sim.now();
+            for &v in &victims {
+                crashed.insert(v);
+                ipop::deploy_plain(sim.net_mut(), hosts[v], Box::new(ipop::NullApp));
+            }
+        }
+    }
+
+    // Phase 3: reconvergence. The bootstrap probes every mapping until it
+    // resolves; per record the clock starts at the crash (or the put, for
+    // records written after it).
+    let records = publish_time.len();
+    let mut unresolved: Vec<(Ipv4Addr, SimTime)> = publish_time
+        .iter()
+        .map(|&(ip, at)| (ip, at.max(crash_time)))
+        .collect();
+    let mut reconverge_s: Vec<f64> = Vec::new();
+    let deadline = sim.now() + p.probe_window;
+    while !unresolved.is_empty() && sim.now() < deadline {
+        let now = sim.now();
+        let mut tokens: Vec<(u64, usize)> = Vec::new();
+        {
+            let prober = sim
+                .net_mut()
+                .agent_as_mut::<IpopHostAgent>(hosts[0])
+                .unwrap();
+            let _ = prober.take_probe_results();
+            for (idx, &(ip, _)) in unresolved.iter().enumerate() {
+                tokens.push((prober.resolve_ip(now, ip), idx));
+            }
+        }
+        sim.run_for(Duration::from_millis(500));
+        let results = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(hosts[0])
+            .unwrap()
+            .take_probe_results();
+        let resolved_now: Vec<usize> = results
+            .iter()
+            .filter(|(_, addr)| addr.is_some())
+            .filter_map(|(token, _)| tokens.iter().find(|(t, _)| t == token).map(|&(_, idx)| idx))
+            .collect();
+        let at = sim.now();
+        let mut remove: Vec<usize> = resolved_now;
+        remove.sort_unstable();
+        remove.dedup();
+        for &idx in remove.iter().rev() {
+            let (_, since) = unresolved.remove(idx);
+            reconverge_s.push(at.saturating_since(since).as_secs_f64());
+        }
+    }
+
+    // Census.
+    let mut probes_sent = 0;
+    let mut probe_timeouts = 0;
+    let mut dead_edges = 0;
+    let mut sync_digests = 0;
+    let mut sync_pulls = 0;
+    let mut sync_pushes = 0;
+    let mut read_repairs = 0;
+    for (i, &h) in hosts.iter().enumerate() {
+        if crashed.contains(&i) {
+            continue;
+        }
+        let Some(agent) = sim.agent_as::<IpopHostAgent>(h) else {
+            continue;
+        };
+        let s = agent.overlay_stats();
+        probes_sent += s.link_probes_sent;
+        probe_timeouts += s.link_probe_timeouts;
+        dead_edges += s.dead_edges_detected;
+        sync_digests += s.dht_sync_digests;
+        sync_pulls += s.dht_sync_pulls;
+        sync_pushes += s.dht_sync_pushes;
+        read_repairs += s.dht_read_repairs;
+    }
+
+    Results {
+        records,
+        resolved: reconverge_s.len(),
+        reconverge_s,
+        crashed: crashed.len(),
+        probes_sent,
+        probe_timeouts,
+        dead_edges,
+        sync_digests,
+        sync_pulls,
+        sync_pushes,
+        read_repairs,
+        events: sim.events_executed(),
+        wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn fmax(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(0.0, f64::max)
+}
+
+fn render_json(mode: &str, p: &Params, r: &Results) -> String {
+    let rate = if r.records == 0 {
+        1.0
+    } else {
+        r.resolved as f64 / r.records as f64
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"dht_durability\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"nodes\": {nodes},\n",
+            "  \"records\": {records},\n",
+            "  \"owners_crashed\": {owners},\n",
+            "  \"hops_crashed\": {hops},\n",
+            "  \"crashed_total\": {crashed},\n",
+            "  \"lease_ttl_s\": {lease:.1},\n",
+            "  \"sweep_interval_s\": {sweep:.1},\n",
+            "  \"survival\": {{\n",
+            "    \"resolved\": {resolved},\n",
+            "    \"rate\": {rate:.4}\n",
+            "  }},\n",
+            "  \"reconverge\": {{\n",
+            "    \"mean_s\": {rmean:.3},\n",
+            "    \"max_s\": {rmax:.3},\n",
+            "    \"bound_s\": {bound:.1},\n",
+            "    \"within_bound\": {bok},\n",
+            "    \"pre_durability_window_s\": 45.0\n",
+            "  }},\n",
+            "  \"link_monitor\": {{\n",
+            "    \"probes_sent\": {probes},\n",
+            "    \"probe_timeouts\": {ptimeouts},\n",
+            "    \"dead_edges_detected\": {dead}\n",
+            "  }},\n",
+            "  \"anti_entropy\": {{\n",
+            "    \"digests\": {digests},\n",
+            "    \"pulls\": {pulls},\n",
+            "    \"pushes\": {pushes},\n",
+            "    \"read_repairs\": {repairs}\n",
+            "  }},\n",
+            "  \"events\": {events},\n",
+            "  \"wall_s\": {wall:.3}\n",
+            "}}\n",
+        ),
+        mode = mode,
+        nodes = p.nodes,
+        records = r.records,
+        owners = p.owners_crashed,
+        hops = p.hops_crashed,
+        crashed = r.crashed,
+        lease = p.lease_ttl.as_secs_f64(),
+        sweep = p.sweep_interval.as_secs_f64(),
+        resolved = r.resolved,
+        rate = rate,
+        rmean = mean(&r.reconverge_s),
+        rmax = fmax(&r.reconverge_s),
+        bound = reconverge_bound_s(p),
+        bok = r.resolved == r.records && fmax(&r.reconverge_s) <= reconverge_bound_s(p),
+        probes = r.probes_sent,
+        ptimeouts = r.probe_timeouts,
+        dead = r.dead_edges,
+        digests = r.sync_digests,
+        pulls = r.sync_pulls,
+        pushes = r.sync_pushes,
+        repairs = r.read_repairs,
+        events = r.events,
+        wall = r.wall_s,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_durability.json", env!("CARGO_MANIFEST_DIR")));
+    let mode = if quick { "quick" } else { "full" };
+    let p = if quick {
+        Params {
+            nodes: 20,
+            publishers: 8,
+            guests_per_publisher: 2,
+            owners_crashed: 2,
+            hops_crashed: 1,
+            lease_ttl: Duration::from_secs(600),
+            sweep_interval: Duration::from_secs(10),
+            probe_window: Duration::from_secs(60),
+        }
+    } else {
+        Params {
+            nodes: 40,
+            publishers: 12,
+            guests_per_publisher: 3,
+            owners_crashed: 4,
+            hops_crashed: 2,
+            lease_ttl: Duration::from_secs(600),
+            sweep_interval: Duration::from_secs(10),
+            probe_window: Duration::from_secs(60),
+        }
+    };
+
+    eprintln!(
+        "dht_durability ({mode} mode): {} nodes, {} records, {}+{} crashes mid-storm",
+        p.nodes,
+        p.publishers * p.guests_per_publisher,
+        p.owners_crashed,
+        p.hops_crashed,
+    );
+    let r = run(&p, 0xD47A_B111);
+    let rate = if r.records == 0 {
+        1.0
+    } else {
+        r.resolved as f64 / r.records as f64
+    };
+    eprintln!(
+        "  survival: {}/{} records resolved ({:.1}%)",
+        r.resolved,
+        r.records,
+        rate * 100.0
+    );
+    eprintln!(
+        "  reconverge: mean {:.2} s / max {:.2} s (bound {:.1} s; pre-durability window 45 s)",
+        mean(&r.reconverge_s),
+        fmax(&r.reconverge_s),
+        reconverge_bound_s(&p),
+    );
+    eprintln!(
+        "  link monitor: {} probes, {} timeouts, {} dead edges; anti-entropy: {} digests, {} pulls, {} pushes",
+        r.probes_sent, r.probe_timeouts, r.dead_edges, r.sync_digests, r.sync_pulls, r.sync_pushes,
+    );
+    if r.resolved < r.records {
+        eprintln!(
+            "  WARNING: {} records never resolved inside the probe window",
+            r.records - r.resolved
+        );
+    }
+    if fmax(&r.reconverge_s) > reconverge_bound_s(&p) {
+        eprintln!(
+            "  WARNING: reconvergence exceeded the sweep-derived bound ({:.1} s)",
+            reconverge_bound_s(&p)
+        );
+    }
+
+    let json = render_json(mode, &p, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_durability.json");
+    eprintln!("wrote {out_path}");
+}

@@ -90,6 +90,14 @@ pub struct DeployOptions {
     /// Virtual addresses dynamic members must never claim (guest-VM IPs a
     /// workload assigns by hand), besides the gateway.
     pub reserved_ips: Vec<Ipv4Addr>,
+    /// Idle interval before the overlay link monitor probes an edge; `None`
+    /// keeps the per-node default. Bounds how long packets keep being
+    /// forwarded into a crashed hop.
+    pub link_probe_interval: Option<Duration>,
+    /// Interval between DHT anti-entropy sweeps; `None` keeps the per-node
+    /// default. Bounds the post-crash window in which a lost put stays
+    /// unresolvable.
+    pub dht_sweep_interval: Option<Duration>,
 }
 
 impl Default for DeployOptions {
@@ -102,6 +110,8 @@ impl Default for DeployOptions {
             lease_ttl: Duration::from_secs(120),
             arp_cache_ttl: None,
             reserved_ips: Vec::new(),
+            link_probe_interval: None,
+            dht_sweep_interval: None,
         }
     }
 }
@@ -143,6 +153,18 @@ impl DeployOptions {
         self.reserved_ips = ips;
         self
     }
+
+    /// Builder: set every member's link-monitor probe interval.
+    pub fn with_link_probe_interval(mut self, interval: Duration) -> Self {
+        self.link_probe_interval = Some(interval);
+        self
+    }
+
+    /// Builder: set every member's DHT anti-entropy sweep interval.
+    pub fn with_dht_sweep_interval(mut self, interval: Duration) -> Self {
+        self.dht_sweep_interval = Some(interval);
+        self
+    }
 }
 
 /// Install an [`IpopHostAgent`] on every member host. The first *publicly
@@ -179,6 +201,12 @@ pub fn deploy_ipop(
         .with_lease_ttl(options.lease_ttl);
         if let Some(ttl) = options.arp_cache_ttl {
             cfg = cfg.with_brunet_arp_cache_ttl(ttl);
+        }
+        if let Some(interval) = options.link_probe_interval {
+            cfg = cfg.with_link_probe_interval(interval);
+        }
+        if let Some(interval) = options.dht_sweep_interval {
+            cfg = cfg.with_dht_sweep_interval(interval);
         }
         if !options.reserved_ips.is_empty() {
             cfg = cfg.with_reserved_ips(options.reserved_ips.clone());

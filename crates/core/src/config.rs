@@ -54,6 +54,12 @@ pub struct IpopConfig {
     pub overlay_tick: Duration,
     /// Disable shortcut connections (ablation switch, Section V.1 discussion).
     pub shortcuts: bool,
+    /// Idle interval before the overlay link monitor probes an edge (fast
+    /// dead-edge detection; see `ipop_overlay::OverlayConfig`).
+    pub link_probe_interval: Duration,
+    /// Interval between DHT anti-entropy sweeps (replica-set digest
+    /// exchanges that converge diverged copies without waiting for a read).
+    pub dht_sweep_interval: Duration,
 }
 
 impl IpopConfig {
@@ -76,6 +82,8 @@ impl IpopConfig {
             brunet_arp_cache_ttl: Duration::from_secs(300),
             overlay_tick: Duration::from_millis(500),
             shortcuts: true,
+            link_probe_interval: Duration::from_secs(1),
+            dht_sweep_interval: Duration::from_secs(10),
         }
     }
 
@@ -146,6 +154,19 @@ impl IpopConfig {
     /// Builder: disable shortcut connections.
     pub fn without_shortcuts(mut self) -> Self {
         self.shortcuts = false;
+        self
+    }
+
+    /// Builder: set the idle interval before the link monitor probes an
+    /// overlay edge.
+    pub fn with_link_probe_interval(mut self, interval: Duration) -> Self {
+        self.link_probe_interval = interval;
+        self
+    }
+
+    /// Builder: set the interval between DHT anti-entropy sweeps.
+    pub fn with_dht_sweep_interval(mut self, interval: Duration) -> Self {
+        self.dht_sweep_interval = interval;
         self
     }
 

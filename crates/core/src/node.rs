@@ -95,9 +95,11 @@ pub struct IpopHostAgent {
     /// True once the deferred virtual side (tap, stacks, app) is live — from
     /// the start on static nodes, from lease binding on dynamic nodes.
     app_started: bool,
-    /// Overlay name service (hostname → virtual IP) resolver state.
+    /// Overlay name service (hostname → virtual IP, and reverse) resolver
+    /// state.
     name_service: NameService,
     name_results: Vec<(String, Option<Ipv4Addr>)>,
+    reverse_results: Vec<(Ipv4Addr, Option<String>)>,
     /// Outstanding Brunet-ARP probe tokens issued via
     /// [`IpopHostAgent::resolve_ip`] (diagnostics and churn experiments).
     probe_tokens: std::collections::BTreeSet<u64>,
@@ -161,7 +163,9 @@ impl IpopHostAgent {
             Address::from_ip(cfg.virtual_ip)
         };
         let mut overlay_cfg = OverlayConfig::new(overlay_addr, (phys_addr, cfg.overlay_port))
-            .with_bootstrap(cfg.bootstrap.clone());
+            .with_bootstrap(cfg.bootstrap.clone())
+            .with_probe_interval(cfg.link_probe_interval)
+            .with_sweep_interval(cfg.dht_sweep_interval);
         overlay_cfg.maintenance_interval = cfg.overlay_tick;
         if !cfg.shortcuts {
             overlay_cfg = overlay_cfg.without_shortcuts();
@@ -216,6 +220,7 @@ impl IpopHostAgent {
             app_started: false,
             name_service,
             name_results: Vec::new(),
+            reverse_results: Vec::new(),
             probe_tokens: std::collections::BTreeSet::new(),
             probe_results: Vec::new(),
             host_name: String::new(),
@@ -386,6 +391,22 @@ impl IpopHostAgent {
         std::mem::take(&mut self.name_results)
     }
 
+    /// Reverse-resolve a virtual IP to the hostname registered for it.
+    /// Returns the cached name when fresh; otherwise issues a DHT lookup
+    /// whose outcome arrives via [`IpopHostAgent::take_reverse_results`].
+    pub fn lookup_ip(&mut self, now: SimTime, ip: Ipv4Addr) -> Option<String> {
+        self.last_pass = None;
+        match self.name_service.lookup_ip(&mut self.overlay, now, ip) {
+            ipop_services::ReverseResolution::Cached(name) => Some(name),
+            ipop_services::ReverseResolution::Pending(_) => None,
+        }
+    }
+
+    /// Completed reverse lookups: `(IP, hostname if registered)`.
+    pub fn take_reverse_results(&mut self) -> Vec<(Ipv4Addr, Option<String>)> {
+        std::mem::take(&mut self.reverse_results)
+    }
+
     /// Gracefully leave the virtual network: release the dynamic lease and
     /// name/mapping registrations, hand stored DHT records off to ring
     /// neighbours and close every overlay edge. The queued goodbye traffic
@@ -397,7 +418,7 @@ impl IpopHostAgent {
         }
         if self.has_address() {
             if let Some(name) = self.cfg.hostname.clone() {
-                NameService::unregister(&mut self.overlay, now, &name);
+                NameService::unregister(&mut self.overlay, now, &name, self.cfg.virtual_ip);
             }
             // A dynamic node's own mapping is the lease the allocator just
             // released; a static node's must be deleted here.
@@ -633,6 +654,13 @@ impl IpopHostAgent {
                         self.name_results.push(res);
                         continue;
                     }
+                    if let Some(res) =
+                        self.name_service
+                            .on_reverse_reply(now, token, value.as_deref())
+                    {
+                        self.reverse_results.push(res);
+                        continue;
+                    }
                     if self.probe_tokens.remove(&token) {
                         self.probe_results
                             .push((token, value.as_deref().and_then(BrunetArp::decode_mapping)));
@@ -802,7 +830,7 @@ impl IpopHostAgent {
     /// would otherwise keep emitting segments sourced from the old address.
     fn relinquish_address(&mut self, now: SimTime) {
         if let Some(name) = self.cfg.hostname.clone() {
-            NameService::unregister(&mut self.overlay, now, &name);
+            NameService::unregister(&mut self.overlay, now, &name, self.cfg.virtual_ip);
         }
         self.cfg.virtual_ip = Ipv4Addr::UNSPECIFIED;
         self.label = format!("{}(unbound)", self.host_name);

@@ -47,6 +47,16 @@ pub struct DhtConfig {
     /// How long an unanswered lease-renewal `DhtCreate` stays outstanding
     /// before it is re-issued (and counted as a renewal timeout alarm).
     pub renewal_timeout: Duration,
+    /// Anti-entropy: when true, every [`DhtConfig::sweep_interval`] each node
+    /// exchanges compact record digests with the replica set of every key it
+    /// owns (and with the owner of every key it publishes), pulling/pushing
+    /// only the differing records — so replica sets converge even when no
+    /// read ever touches a key, and a put lost in a crashed hop is recovered
+    /// within one sweep instead of waiting out the publisher's TTL/2 refresh.
+    pub sweep: bool,
+    /// Interval between anti-entropy sweeps. Each node offsets its first
+    /// sweep by a random fraction of this so the fleet does not synchronize.
+    pub sweep_interval: Duration,
 }
 
 impl Default for DhtConfig {
@@ -57,6 +67,8 @@ impl Default for DhtConfig {
             quorum: true,
             quorum_timeout: Duration::from_secs(4),
             renewal_timeout: Duration::from_secs(10),
+            sweep: true,
+            sweep_interval: Duration::from_secs(10),
         }
     }
 }
@@ -110,6 +122,137 @@ impl DhtRecord {
     pub fn freshness(&self) -> (u64, SimTime, &[u8]) {
         (self.version, self.expires_at, &self.value)
     }
+}
+
+// ------------------------------------------------------------- anti-entropy
+
+/// Width of the remaining-TTL buckets in sync digests. A digest entry's TTL
+/// is built at the sender and compared at the receiver one transit later, so
+/// raw remaining-TTL comparison would flag every record as diverged; bucketing
+/// (plus the two-bucket threshold in [`sync_compare`]) tolerates that skew
+/// while still detecting genuine renewals, which extend expiry by TTL/2.
+pub const SYNC_TTL_BUCKET_MS: u64 = 4_000;
+
+/// Buckets two same-version, same-value copies may differ by before the
+/// older one counts as having missed a renewal.
+const SYNC_TTL_SLACK_BUCKETS: u64 = 2;
+
+/// One record's line in an anti-entropy digest: enough to detect a missing,
+/// stale, or conflicting copy without shipping the value bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncDigestEntry {
+    /// The record's DHT key.
+    pub key: Address,
+    /// The record's version at the sender.
+    pub version: u64,
+    /// Hash of the value bytes (see [`sync_value_hash`]): catches conflicting
+    /// values hiding behind an equal version.
+    pub value_hash: u64,
+    /// Remaining TTL quantized to [`SYNC_TTL_BUCKET_MS`] buckets.
+    pub ttl_bucket: u64,
+}
+
+/// Digest hash of a record value (FNV-1a 64): deterministic, cheap, and only
+/// used to *detect* divergence — the records themselves are exchanged and
+/// resolved under the byte-level freshness rules.
+pub fn sync_value_hash(value: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in value {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Build the digest entry for a live record at `now`.
+pub fn sync_digest_entry(key: Address, rec: &DhtRecord, now: SimTime) -> SyncDigestEntry {
+    SyncDigestEntry {
+        key,
+        version: rec.version,
+        value_hash: sync_value_hash(&rec.value),
+        ttl_bucket: rec.remaining_ttl_ms(now) / SYNC_TTL_BUCKET_MS,
+    }
+}
+
+/// What a digest receiver should do about one entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncAction {
+    /// The copies agree (within TTL-bucket slack): nothing to do.
+    InSync,
+    /// The sender's copy is fresher (or ours is missing): pull it.
+    Pull,
+    /// Our copy is fresher: push it back to the sender.
+    Push,
+    /// Equal versions but different values: pull *and* push, and let the
+    /// store-level freshness rule (which sees the value bytes the digest
+    /// hash abbreviates) pick the same winner on both sides.
+    Exchange,
+}
+
+/// Compare a digest entry against the local copy (if any, expired treated as
+/// absent) and decide the repair direction. Skew-tolerant: same-version,
+/// same-value copies only diverge when their TTL buckets differ by at least
+/// [`SYNC_TTL_SLACK_BUCKETS`].
+pub fn sync_compare(
+    entry: &SyncDigestEntry,
+    local: Option<&DhtRecord>,
+    now: SimTime,
+) -> SyncAction {
+    let Some(local) = local.filter(|rec| !rec.expired(now)) else {
+        return SyncAction::Pull;
+    };
+    if entry.version > local.version {
+        return SyncAction::Pull;
+    }
+    if local.version > entry.version {
+        return SyncAction::Push;
+    }
+    let local_hash = sync_value_hash(&local.value);
+    if local_hash != entry.value_hash {
+        return SyncAction::Exchange;
+    }
+    let local_bucket = local.remaining_ttl_ms(now) / SYNC_TTL_BUCKET_MS;
+    if entry.ttl_bucket >= local_bucket + SYNC_TTL_SLACK_BUCKETS {
+        SyncAction::Pull
+    } else if local_bucket >= entry.ttl_bucket + SYNC_TTL_SLACK_BUCKETS {
+        SyncAction::Push
+    } else {
+        SyncAction::InSync
+    }
+}
+
+/// Apply an incoming record copy (a replicate, repair, or anti-entropy push)
+/// to `store` under the replica conflict rule: the existing record survives
+/// when it outranks the incoming copy by `(version, expiry, value)`
+/// freshness. Returns true when the incoming copy was stored.
+pub fn apply_record_copy(
+    store: &mut dyn DhtStore,
+    key: Address,
+    value: &Bytes,
+    ttl_ms: u64,
+    version: u64,
+    replica: bool,
+    now: SimTime,
+) -> bool {
+    let expires_at = now + Duration::from_millis(ttl_ms);
+    let keep_existing = store
+        .get(&key)
+        .filter(|rec| !rec.expired(now))
+        .is_some_and(|rec| rec.freshness() > (version, expires_at, value.as_ref()));
+    if keep_existing {
+        return false;
+    }
+    store.insert(
+        key,
+        DhtRecord {
+            value: value.clone(),
+            expires_at,
+            version,
+            replica,
+            replicated_to: Vec::new(),
+        },
+    );
+    true
 }
 
 /// The narrow storage interface the overlay node drives.
@@ -314,6 +457,86 @@ mod tests {
         assert_eq!(r.remaining_ttl_ms(SimTime::ZERO), 1);
         let r2 = rec(1, SimTime::ZERO + Duration::from_millis(7), false);
         assert_eq!(r2.remaining_ttl_ms(SimTime::ZERO), 7);
+    }
+
+    #[test]
+    fn sync_compare_detects_each_divergence_class() {
+        let now = SimTime::ZERO + Duration::from_secs(100);
+        let live = |version, ttl_s| DhtRecord {
+            value: vec![7u8; 3].into(),
+            expires_at: now + Duration::from_secs(ttl_s),
+            version,
+            replica: true,
+            replicated_to: Vec::new(),
+        };
+        let entry_of = |rec: &DhtRecord| sync_digest_entry(key(1), rec, now);
+        // Missing local copy: pull.
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 60)), None, now),
+            SyncAction::Pull
+        );
+        // Expired local copy counts as missing.
+        let mut expired = live(9, 60);
+        expired.expires_at = now;
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 60)), Some(&expired), now),
+            SyncAction::Pull
+        );
+        // Version ordering dominates both directions.
+        assert_eq!(
+            sync_compare(&entry_of(&live(5, 60)), Some(&live(3, 600)), now),
+            SyncAction::Pull
+        );
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 600)), Some(&live(5, 60)), now),
+            SyncAction::Push
+        );
+        // Same version + value: small TTL skew is in sync, a renewal-sized
+        // gap pulls/pushes.
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 60)), Some(&live(3, 58)), now),
+            SyncAction::InSync
+        );
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 90)), Some(&live(3, 60)), now),
+            SyncAction::Pull
+        );
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 60)), Some(&live(3, 90)), now),
+            SyncAction::Push
+        );
+        // Same version, different value: exchange and let the byte-level
+        // freshness rule decide.
+        let mut other = live(3, 60);
+        other.value = vec![9u8; 3].into();
+        assert_eq!(
+            sync_compare(&entry_of(&live(3, 60)), Some(&other), now),
+            SyncAction::Exchange
+        );
+    }
+
+    #[test]
+    fn apply_record_copy_respects_freshness() {
+        let now = SimTime::ZERO + Duration::from_secs(10);
+        let mut s = SoftStateStore::new();
+        let v1: Bytes = b"one".to_vec().into();
+        let v2: Bytes = b"two".to_vec().into();
+        assert!(apply_record_copy(&mut s, key(1), &v1, 60_000, 5, true, now));
+        // A staler push is refused...
+        assert!(!apply_record_copy(
+            &mut s,
+            key(1),
+            &v2,
+            600_000,
+            4,
+            true,
+            now
+        ));
+        assert_eq!(s.get(&key(1)).unwrap().value, v1);
+        // ...a fresher one replaces.
+        assert!(apply_record_copy(&mut s, key(1), &v2, 60_000, 6, true, now));
+        assert_eq!(s.get(&key(1)).unwrap().value, v2);
+        assert_eq!(s.get(&key(1)).unwrap().version, 6);
     }
 
     #[test]

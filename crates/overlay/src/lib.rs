@@ -28,7 +28,7 @@ pub mod table;
 pub mod transport;
 
 pub use address::{Address, Distance};
-pub use dht::{DhtConfig, DhtRecord, DhtStore, SoftStateStore};
+pub use dht::{DhtConfig, DhtRecord, DhtStore, SoftStateStore, SyncAction, SyncDigestEntry};
 pub use node::{OverlayConfig, OverlayNode, OverlayStats};
 pub use packets::{
     ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload,

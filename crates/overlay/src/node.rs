@@ -14,7 +14,10 @@ use ipop_packet::Bytes;
 use ipop_simcore::{Duration, SimTime, StreamRng};
 
 use crate::address::{Address, Distance};
-use crate::dht::{DhtConfig, DhtRecord, DhtStore, SoftStateStore};
+use crate::dht::{
+    apply_record_copy, sync_compare, sync_digest_entry, sync_value_hash, DhtConfig, DhtRecord,
+    DhtStore, SoftStateStore, SyncAction, SyncDigestEntry,
+};
 use crate::packets::{
     ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload,
 };
@@ -39,8 +42,27 @@ pub struct OverlayConfig {
     pub maintenance_interval: Duration,
     /// Idle interval after which a keep-alive ping is sent on an edge.
     pub ping_interval: Duration,
-    /// Idle interval after which an edge is considered dead and removed.
+    /// Idle interval after which an edge is considered dead and removed
+    /// (the slow backstop; the link monitor below detects crashed peers in
+    /// seconds).
     pub connection_timeout: Duration,
+    /// Fast dead-edge detection: probe established edges that have gone
+    /// silent and drop them after a few missed acks, so routing stops
+    /// forwarding packets into a crashed hop long before
+    /// [`OverlayConfig::connection_timeout`].
+    pub link_monitor: bool,
+    /// Idle interval after which the link monitor probes an edge. Healthy
+    /// edges hear gossip every maintenance tick, so probes only flow to
+    /// peers that actually went silent.
+    pub probe_interval: Duration,
+    /// Consecutive unanswered probes before an edge is declared dead.
+    pub probe_failure_limit: u32,
+    /// How often a node with no live edge to any bootstrap endpoint re-sends
+    /// hellos there. With fast dead-edge detection a long partition scrubs
+    /// each side's knowledge of the other within seconds; this heartbeat is
+    /// what re-merges the sub-rings after the partition heals (the hellos
+    /// are simply lost while it lasts).
+    pub bootstrap_retry_interval: Duration,
     /// Configuration of the replicated soft-state DHT.
     pub dht: DhtConfig,
 }
@@ -58,6 +80,10 @@ impl OverlayConfig {
             maintenance_interval: Duration::from_millis(500),
             ping_interval: Duration::from_secs(10),
             connection_timeout: Duration::from_secs(45),
+            link_monitor: true,
+            probe_interval: Duration::from_secs(1),
+            probe_failure_limit: 3,
+            bootstrap_retry_interval: Duration::from_secs(30),
             dht: DhtConfig::default(),
         }
     }
@@ -84,6 +110,33 @@ impl OverlayConfig {
     /// (the pre-quorum behaviour; ablation switch).
     pub fn without_dht_quorum(mut self) -> Self {
         self.dht.quorum = false;
+        self
+    }
+
+    /// Builder: disable fast dead-edge detection — crashed peers linger in
+    /// the routing table until [`OverlayConfig::connection_timeout`] (the
+    /// pre-link-monitor behaviour; ablation switch).
+    pub fn without_link_monitor(mut self) -> Self {
+        self.link_monitor = false;
+        self
+    }
+
+    /// Builder: set the idle interval before the link monitor probes an edge.
+    pub fn with_probe_interval(mut self, interval: Duration) -> Self {
+        self.probe_interval = interval;
+        self
+    }
+
+    /// Builder: disable the anti-entropy sweep — replica sets reconcile only
+    /// opportunistically on reads and renewals (ablation switch).
+    pub fn without_anti_entropy(mut self) -> Self {
+        self.dht.sweep = false;
+        self
+    }
+
+    /// Builder: set the interval between anti-entropy sweeps.
+    pub fn with_sweep_interval(mut self, interval: Duration) -> Self {
+        self.dht.sweep_interval = interval;
         self
     }
 }
@@ -135,12 +188,55 @@ pub struct OverlayStats {
     /// Claimed leases lost because a renewal found a conflicting record (e.g.
     /// the other side of a healed partition won the key).
     pub dht_leases_lost: u64,
+    /// Link-monitor liveness probes sent on silent edges.
+    pub link_probes_sent: u64,
+    /// Probes whose ack missed the adaptive deadline.
+    pub link_probe_timeouts: u64,
+    /// Edges declared dead by the link monitor (consecutive probe misses) and
+    /// removed from the routing table — long before the connection timeout.
+    pub dead_edges_detected: u64,
+    /// Anti-entropy digest messages sent (owner→replica and publisher→owner).
+    pub dht_sync_digests: u64,
+    /// Records re-sent because a digest receiver pulled them (they were
+    /// missing or stale at the other end).
+    pub dht_sync_pulls: u64,
+    /// Fresher local copies pushed back at a digest sender.
+    pub dht_sync_pushes: u64,
 }
 
 struct PendingLink {
     kind: ConnectionKind,
     started: SimTime,
 }
+
+/// Link-monitor state of one established edge: an RTT estimator and the
+/// probe in flight. An edge accumulating [`OverlayConfig::probe_failure_limit`]
+/// consecutive probe misses is declared dead and dropped from the routing
+/// table, so packets stop being forwarded into a crashed hop within seconds
+/// instead of the 45 s connection timeout.
+#[derive(Default)]
+struct EdgeHealth {
+    /// Smoothed RTT in nanoseconds (RFC 6298-style), `None` before the first
+    /// sample.
+    srtt_ns: Option<u64>,
+    /// RTT variance estimate in nanoseconds.
+    rttvar_ns: u64,
+    /// Outstanding probe: `(nonce, sent_at, deadline)`.
+    outstanding: Option<(u64, SimTime, SimTime)>,
+    /// Consecutive probes that missed their deadline.
+    failures: u32,
+}
+
+/// Probe deadline bounds: the adaptive timeout (`srtt + 4·rttvar`, doubled
+/// per consecutive failure) is clamped into this range; before any RTT
+/// sample exists the initial timeout applies.
+const PROBE_TIMEOUT_MIN: Duration = Duration::from_millis(250);
+const PROBE_TIMEOUT_MAX: Duration = Duration::from_secs(3);
+const PROBE_TIMEOUT_INITIAL: Duration = Duration::from_secs(1);
+
+/// Cap on digest entries per anti-entropy message; larger key sets are
+/// chunked across several digests.
+const SYNC_DIGEST_CHUNK: usize = 64;
 
 /// A record this node publishes and keeps alive by renewing at TTL/2
 /// (DHCP-style lease renewal — paper Section III-E's soft-state mappings).
@@ -259,6 +355,19 @@ pub struct OverlayNode {
     /// agent drains this and re-allocates.
     lost_leases: VecDeque<Address>,
     pending_links: HashMap<u64, PendingLink>,
+    /// Link-monitor state per established peer. `BTreeMap` because the probe
+    /// scan iterates it while emitting messages.
+    edge_health: BTreeMap<Address, EdgeHealth>,
+    /// Instant of the next anti-entropy sweep; `None` until the first tick
+    /// draws a random initial offset (so a fleet started together does not
+    /// sweep in lockstep).
+    next_sweep: Option<SimTime>,
+    /// True once this node ever held an established edge — an isolated node
+    /// that *had* peers must not self-acknowledge quorum writes against a
+    /// copy set of one (see [`OverlayNode::commit_create`]).
+    ever_connected: bool,
+    /// When the bootstrap re-link heartbeat last fired.
+    last_bootstrap_probe: SimTime,
     /// Established-peer snapshot of the last re-replication scan; the scan
     /// only reruns when this set changes (new records and refresh puts
     /// replicate immediately on the store path instead).
@@ -291,6 +400,10 @@ impl OverlayNode {
             pending_quorum_reads: BTreeMap::new(),
             lost_leases: VecDeque::new(),
             pending_links: HashMap::new(),
+            edge_health: BTreeMap::new(),
+            next_sweep: None,
+            ever_connected: false,
+            last_bootstrap_probe: SimTime::ZERO,
             last_replica_peers: Vec::new(),
             candidates: BTreeMap::new(),
             next_token: 1,
@@ -619,6 +732,7 @@ impl OverlayNode {
                         last_heard: now,
                         last_ping_sent: now,
                     });
+                    self.ever_connected = true;
                     let ack = LinkMessage::HelloAck {
                         from: self.cfg.address,
                         kind,
@@ -645,6 +759,7 @@ impl OverlayNode {
                         last_heard: now,
                         last_ping_sent: now,
                     });
+                    self.ever_connected = true;
                 }
             }
             LinkMessage::Ping { from: peer, nonce } => {
@@ -660,9 +775,23 @@ impl OverlayNode {
             LinkMessage::Pong { .. } => {
                 // last_heard already updated above.
             }
+            LinkMessage::Probe { from: peer, nonce } => {
+                self.push_out(
+                    from,
+                    LinkMessage::ProbeAck {
+                        from: self.cfg.address,
+                        nonce,
+                    },
+                );
+                let _ = peer;
+            }
+            LinkMessage::ProbeAck { from: peer, nonce } => {
+                self.on_probe_ack(now, peer, nonce);
+            }
             LinkMessage::Close { from: peer } => {
                 self.table.remove(&peer);
                 self.candidates.remove(&peer);
+                self.edge_health.remove(&peer);
             }
             LinkMessage::Routed(pkt) => {
                 self.route(now, pkt);
@@ -682,8 +811,20 @@ impl OverlayNode {
         if !self.started {
             return;
         }
-        // 1. Bootstrap (or re-bootstrap after losing every edge).
-        if self.table.is_empty() {
+        // 1. Bootstrap (or re-bootstrap after losing every edge) — and the
+        //    re-link heartbeat: a node whose edges to every bootstrap
+        //    endpoint are gone re-hellos them periodically even while it has
+        //    other edges. A partitioned sub-ring scrubs all knowledge of the
+        //    other side in seconds (fast dead-edge detection), so this is
+        //    the path that re-merges the rings once the partition heals.
+        let relink_due = !self.cfg.bootstrap.is_empty()
+            && now.saturating_since(self.last_bootstrap_probe) >= self.cfg.bootstrap_retry_interval
+            && !self
+                .table
+                .established()
+                .any(|c| self.cfg.bootstrap.contains(&c.endpoint));
+        if self.table.is_empty() || relink_due {
+            self.last_bootstrap_probe = now;
             for ep in self.cfg.bootstrap.clone() {
                 self.send_hello(now, ep, ConnectionKind::Leaf);
             }
@@ -698,8 +839,11 @@ impl OverlayNode {
         {
             self.request_shortcut(now);
         }
-        // 4. Keep-alive and expiry.
+        // 4. Keep-alive and expiry — plus fast dead-edge detection.
         self.run_keepalive(now);
+        if self.cfg.link_monitor {
+            self.run_link_monitor(now);
+        }
         // 5. Drop stale pending links.
         let timeout = self.cfg.connection_timeout;
         self.pending_links
@@ -957,17 +1101,9 @@ impl OverlayNode {
                 version,
                 token,
             } => {
-                let expires_at = now + Duration::from_millis(*ttl_ms);
                 // Never let a stale copy clobber a fresher one: the existing
                 // record survives when it outranks the incoming push.
-                let keep_existing = self
-                    .dht
-                    .get(key)
-                    .filter(|rec| !rec.expired(now))
-                    .is_some_and(|rec| rec.freshness() > (*version, expires_at, value.as_ref()));
-                if !keep_existing {
-                    self.store_record(now, *key, value.clone(), *ttl_ms, true, *version);
-                }
+                apply_record_copy(self.dht.as_mut(), *key, value, *ttl_ms, *version, true, now);
                 if *token != 0 {
                     // `stored` only when this node now holds a live record
                     // with the pushed value; keeping a fresher *conflicting*
@@ -1103,6 +1239,17 @@ impl OverlayNode {
                 {
                     self.dht.remove(key);
                 }
+            }
+            RoutedPayload::DhtSyncDigest {
+                entries,
+                from_owner,
+            } => {
+                let entries = entries.clone();
+                self.handle_sync_digest(now, &entries, *from_owner, pkt.src);
+            }
+            RoutedPayload::DhtSyncPull { keys } => {
+                let keys = keys.clone();
+                self.handle_sync_pull(now, &keys, pkt.src);
             }
             RoutedPayload::IpTunnel(_) => {
                 self.delivered.push_back(pkt);
@@ -1255,6 +1402,115 @@ impl OverlayNode {
         // and opportunistically learn candidates from the table itself.
         for (addr, ep) in gossip {
             self.candidates.insert(addr, ep);
+        }
+    }
+
+    // ------------------------------------------------------------- link monitor
+
+    /// The adaptive probe deadline for one edge: `srtt + 4·rttvar`, doubled
+    /// per consecutive miss, clamped to the probe-timeout bounds.
+    fn probe_timeout(health: &EdgeHealth) -> Duration {
+        let base_ns = match health.srtt_ns {
+            Some(srtt) => srtt + 4 * health.rttvar_ns,
+            None => PROBE_TIMEOUT_INITIAL.as_nanos(),
+        };
+        let backed_off = base_ns.saturating_mul(1u64 << health.failures.min(4));
+        Duration::from_nanos(
+            backed_off.clamp(PROBE_TIMEOUT_MIN.as_nanos(), PROBE_TIMEOUT_MAX.as_nanos()),
+        )
+    }
+
+    /// Feed a probe ack into the edge's RTT estimator and clear the
+    /// outstanding probe.
+    fn on_probe_ack(&mut self, now: SimTime, peer: Address, nonce: u64) {
+        let Some(health) = self.edge_health.get_mut(&peer) else {
+            return;
+        };
+        let Some((expected, sent, _)) = health.outstanding else {
+            return;
+        };
+        if expected != nonce {
+            return; // an ack for an older, superseded probe
+        }
+        let sample = now.saturating_since(sent).as_nanos();
+        match health.srtt_ns {
+            // RFC 6298 smoothing (α = 1/8, β = 1/4).
+            Some(srtt) => {
+                let err = srtt.abs_diff(sample);
+                health.rttvar_ns = health.rttvar_ns - health.rttvar_ns / 4 + err / 4;
+                health.srtt_ns = Some(srtt - srtt / 8 + sample / 8);
+            }
+            None => {
+                health.srtt_ns = Some(sample);
+                health.rttvar_ns = sample / 2;
+            }
+        }
+        health.outstanding = None;
+        health.failures = 0;
+    }
+
+    /// Probe silent established edges and drop the ones that stopped
+    /// answering. Healthy edges hear gossip every tick, so in steady state
+    /// probes only flow to peers that actually went quiet — and a crashed
+    /// peer is detected after `probe_failure_limit` misses (a few seconds)
+    /// instead of the 45 s connection timeout.
+    fn run_link_monitor(&mut self, now: SimTime) {
+        // Drop monitor state for edges that left the table by other means.
+        let table = &self.table;
+        self.edge_health.retain(|peer, _| table.contains(peer));
+        let probe_interval = self.cfg.probe_interval;
+        let failure_limit = self.cfg.probe_failure_limit;
+        let me = self.cfg.address;
+        let mut to_probe: Vec<(Address, Endpoint)> = Vec::new();
+        let mut to_drop: Vec<(Address, Endpoint)> = Vec::new();
+        let peers: Vec<(Address, Endpoint, SimTime)> = self
+            .table
+            .established()
+            .map(|c| (c.peer, c.endpoint, c.last_heard))
+            .collect();
+        for (peer, endpoint, last_heard) in peers {
+            let health = self.edge_health.entry(peer).or_default();
+            if let Some((_, sent, deadline)) = health.outstanding {
+                if last_heard > sent {
+                    // The peer spoke since the probe went out (any message
+                    // proves liveness, the ack itself may still be in
+                    // flight): the edge is healthy.
+                    health.outstanding = None;
+                    health.failures = 0;
+                } else if now >= deadline {
+                    health.outstanding = None;
+                    health.failures += 1;
+                    self.stats.link_probe_timeouts += 1;
+                    if health.failures >= failure_limit {
+                        to_drop.push((peer, endpoint));
+                    } else {
+                        to_probe.push((peer, endpoint));
+                    }
+                }
+            } else if now.saturating_since(last_heard) >= probe_interval {
+                to_probe.push((peer, endpoint));
+            }
+        }
+        for (peer, endpoint) in to_drop {
+            self.table.remove(&peer);
+            self.candidates.remove(&peer);
+            self.edge_health.remove(&peer);
+            self.stats.dead_edges_detected += 1;
+            // Tell the peer too: if the verdict was a false positive (probe
+            // acks lost on a live link), a silent removal would leave a
+            // half-open edge — this node answers the peer's probes forever
+            // while never routing to it, and the two sides disagree on
+            // ownership and replica sets indefinitely. The Close is simply
+            // lost when the peer really is dead.
+            self.push_out(endpoint, LinkMessage::Close { from: me });
+        }
+        for (peer, endpoint) in to_probe {
+            let nonce = self.rng.next_u64();
+            let health = self.edge_health.entry(peer).or_default();
+            let deadline = now + Self::probe_timeout(health);
+            health.outstanding = Some((nonce, now, deadline));
+            self.stats.link_probes_sent += 1;
+            self.push_out(endpoint, LinkMessage::Probe { from: me, nonce });
         }
     }
 
@@ -1552,6 +1808,42 @@ impl OverlayNode {
         } else {
             Vec::new()
         };
+        if targets.is_empty()
+            && self.cfg.dht.quorum
+            && self.cfg.dht.replication > 1
+            && self.ever_connected
+        {
+            // This node *had* peers but is cut off from all of them (the link
+            // monitor drops dead edges in seconds, so an isolated node's
+            // table empties fast). Its single copy cannot speak for a
+            // majority of the intended copy set: fail the write as retryable
+            // instead of self-acknowledging — otherwise a partitioned
+            // minority of one could confirm claims (and renewals) against
+            // itself. A fresh claim is withdrawn from the local store too.
+            if extends_to.is_none()
+                && self
+                    .dht
+                    .get(&key)
+                    .is_some_and(|rec| rec.value == value && rec.version == version)
+            {
+                self.dht.remove(&key);
+            }
+            self.stats.dht_quorum_writes += 1;
+            self.stats.dht_quorum_write_timeouts += 1;
+            let reply = RoutedPacket::new(
+                self.cfg.address,
+                origin,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtCreateReply {
+                    token,
+                    created: false,
+                    existing: None,
+                },
+            );
+            self.stats.originated += 1;
+            self.route(now, reply);
+            return;
+        }
         if targets.is_empty() {
             // Single-copy set (or quorum disabled): acknowledge immediately
             // and replicate fire-and-forget as before.
@@ -1871,6 +2163,239 @@ impl OverlayNode {
             for key in self.dht.keys() {
                 self.replicate_key(now, key);
             }
+        }
+        // Anti-entropy: periodically exchange record digests so replica sets
+        // converge even when no read or renewal touches a key.
+        if self.cfg.dht.sweep {
+            self.anti_entropy_tick(now);
+        }
+    }
+
+    // ------------------------------------------------------------- anti-entropy
+
+    /// Run the anti-entropy sweep when due. The first sweep is offset by a
+    /// random fraction of the interval so a fleet started together does not
+    /// digest in lockstep.
+    fn anti_entropy_tick(&mut self, now: SimTime) {
+        match self.next_sweep {
+            None => {
+                let offset = self.cfg.dht.sweep_interval.mul_f64(self.rng.unit());
+                self.next_sweep = Some(now + offset);
+                return;
+            }
+            Some(t) if now < t => return,
+            Some(_) => {}
+        }
+        self.next_sweep = Some(now + self.cfg.dht.sweep_interval);
+        self.run_sweep(now);
+    }
+
+    /// One anti-entropy sweep: send each replica-set peer a digest of the
+    /// owned records it should hold, and route a digest of every publication
+    /// toward its key's owner. Receivers pull the records they are missing
+    /// (or hold stale) and push back fresher copies — see
+    /// [`OverlayNode::handle_sync_digest`].
+    fn run_sweep(&mut self, now: SimTime) {
+        // Owner → replica set: group digest entries per target peer.
+        let replication = self.cfg.dht.replication;
+        let mut per_peer: BTreeMap<Address, Vec<SyncDigestEntry>> = BTreeMap::new();
+        if replication > 1 {
+            for key in self.dht.keys() {
+                if !self.owns_key(&key) {
+                    continue;
+                }
+                let Some(rec) = self.dht.get(&key).filter(|rec| !rec.expired(now)) else {
+                    continue;
+                };
+                let entry = sync_digest_entry(key, rec, now);
+                for peer in self.replica_targets(&key, replication - 1) {
+                    per_peer.entry(peer).or_default().push(entry);
+                }
+            }
+        }
+        for (peer, entries) in per_peer {
+            for chunk in entries.chunks(SYNC_DIGEST_CHUNK) {
+                let pkt = RoutedPacket::new(
+                    self.cfg.address,
+                    peer,
+                    DeliveryMode::Exact,
+                    RoutedPayload::DhtSyncDigest {
+                        entries: chunk.to_vec(),
+                        from_owner: true,
+                    },
+                );
+                self.stats.dht_sync_digests += 1;
+                self.stats.originated += 1;
+                self.route(now, pkt);
+            }
+        }
+        // Publisher → owner: one digest per publication, routed to whichever
+        // node currently owns the key. This is what recovers a put that was
+        // lost in a crashed hop: the new owner sees a record it does not
+        // hold and pulls it, within one sweep instead of the TTL/2 refresh.
+        let digests: Vec<(Address, SyncDigestEntry)> = self
+            .published
+            .iter()
+            .map(|(key, p)| {
+                let expires_at = p.last_refresh + p.ttl;
+                let remaining_ms = expires_at.saturating_since(now).as_nanos() / 1_000_000;
+                (
+                    *key,
+                    SyncDigestEntry {
+                        key: *key,
+                        version: p.version,
+                        value_hash: sync_value_hash(&p.value),
+                        ttl_bucket: remaining_ms / crate::dht::SYNC_TTL_BUCKET_MS,
+                    },
+                )
+            })
+            .collect();
+        for (key, entry) in digests {
+            let pkt = RoutedPacket::new(
+                self.cfg.address,
+                key,
+                DeliveryMode::Closest,
+                RoutedPayload::DhtSyncDigest {
+                    entries: vec![entry],
+                    from_owner: false,
+                },
+            );
+            self.stats.dht_sync_digests += 1;
+            self.stats.originated += 1;
+            self.route(now, pkt);
+        }
+    }
+
+    /// Compare a received digest against the local store. Records the sender
+    /// has fresher are pulled (a `DhtSyncPull` goes back); records *we* hold
+    /// fresher are pushed back directly — but only for owner→replica sweeps:
+    /// a publisher is not part of the key's copy set, and a conflicting
+    /// owner record is the renewal path's business to surface.
+    fn handle_sync_digest(
+        &mut self,
+        now: SimTime,
+        entries: &[SyncDigestEntry],
+        from_owner: bool,
+        src: Address,
+    ) {
+        let mut pulls: Vec<Address> = Vec::new();
+        let mut pushes: Vec<Address> = Vec::new();
+        for entry in entries {
+            match sync_compare(entry, self.dht.get(&entry.key), now) {
+                SyncAction::InSync => {}
+                SyncAction::Pull => pulls.push(entry.key),
+                SyncAction::Push => {
+                    if from_owner {
+                        pushes.push(entry.key);
+                    }
+                }
+                SyncAction::Exchange => {
+                    // Equal versions, different values: exchange full records
+                    // and let byte-level freshness pick one winner everywhere.
+                    pulls.push(entry.key);
+                    if from_owner {
+                        pushes.push(entry.key);
+                    }
+                }
+            }
+        }
+        for key in pushes {
+            let Some(rec) = self.dht.get(&key).filter(|rec| !rec.expired(now)) else {
+                continue;
+            };
+            let (value, ttl_ms, version) =
+                (rec.value.clone(), rec.remaining_ttl_ms(now), rec.version);
+            let pkt = RoutedPacket::new(
+                self.cfg.address,
+                src,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReplicate {
+                    key,
+                    value,
+                    ttl_ms,
+                    version,
+                    token: 0,
+                },
+            );
+            self.stats.dht_sync_pushes += 1;
+            self.stats.originated += 1;
+            self.route(now, pkt);
+        }
+        if !pulls.is_empty() {
+            let pkt = RoutedPacket::new(
+                self.cfg.address,
+                src,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtSyncPull { keys: pulls },
+            );
+            self.stats.originated += 1;
+            self.route(now, pkt);
+        }
+    }
+
+    /// Answer a pull: re-send each requested record — publications through
+    /// their refresh path (a put, or an early renewal create for claimed
+    /// leases so conflict detection is never bypassed), stored records as
+    /// plain replicates.
+    fn handle_sync_pull(&mut self, now: SimTime, keys: &[Address], src: Address) {
+        for &key in keys {
+            if let Some(p) = self.published.get(&key) {
+                self.stats.dht_sync_pulls += 1;
+                if p.renew_with_create {
+                    // Claimed lease: recover through an early renewal create
+                    // (unless one is already in flight) so a conflicting
+                    // winner is detected, not clobbered.
+                    if p.renew_inflight.is_none() {
+                        let (value, ttl) = (p.value.clone(), p.ttl);
+                        let token = self.fresh_token();
+                        if let Some(p) = self.published.get_mut(&key) {
+                            p.renew_inflight = Some((token, now));
+                        }
+                        let ttl_ms = ttl.as_nanos() / 1_000_000;
+                        let pkt = RoutedPacket::new(
+                            self.cfg.address,
+                            key,
+                            DeliveryMode::Closest,
+                            RoutedPayload::DhtCreate {
+                                key,
+                                value,
+                                ttl_ms,
+                                token,
+                            },
+                        );
+                        self.stats.originated += 1;
+                        self.route(now, pkt);
+                    }
+                } else {
+                    let (value, ttl, version) = (p.value.clone(), p.ttl, p.version);
+                    if let Some(p) = self.published.get_mut(&key) {
+                        p.last_refresh = now;
+                    }
+                    self.stats.dht_refreshes += 1;
+                    self.send_put(now, key, value, ttl, version);
+                }
+                continue;
+            }
+            let Some(rec) = self.dht.get(&key).filter(|rec| !rec.expired(now)) else {
+                continue;
+            };
+            let (value, ttl_ms, version) =
+                (rec.value.clone(), rec.remaining_ttl_ms(now), rec.version);
+            let pkt = RoutedPacket::new(
+                self.cfg.address,
+                src,
+                DeliveryMode::Exact,
+                RoutedPayload::DhtReplicate {
+                    key,
+                    value,
+                    ttl_ms,
+                    version,
+                    token: 0,
+                },
+            );
+            self.stats.dht_sync_pulls += 1;
+            self.stats.originated += 1;
+            self.route(now, pkt);
         }
     }
 
@@ -2850,6 +3375,259 @@ mod tests {
         );
         node.on_message(t0, ep(1), withdraw(b"claim-A", 2));
         assert!(node.dht_store().get(&key).is_none(), "withdrawn claim gone");
+    }
+
+    #[test]
+    fn link_monitor_detects_dead_edge_within_seconds() {
+        let mut h = Harness::new(10);
+        h.start_all();
+        h.run(25);
+        let victim = 4;
+        let peers_of_victim: Vec<usize> = (0..h.nodes.len())
+            .filter(|&i| {
+                i != victim
+                    && h.nodes[i]
+                        .connections()
+                        .contains(&h.nodes[victim].address())
+            })
+            .collect();
+        assert!(!peers_of_victim.is_empty(), "victim had edges");
+        h.crash(victim);
+        // 20 ticks = 10 s: far less than the 45 s connection timeout, ample
+        // for probe_interval + probe_failure_limit adaptive misses.
+        h.run(20);
+        let victim_addr = h.nodes[victim].address();
+        for i in 0..h.nodes.len() {
+            if i != victim && !h.crashed[i] {
+                assert!(
+                    !h.nodes[i].connections().contains(&victim_addr),
+                    "node {i} still routes into the crashed peer 10 s later"
+                );
+            }
+        }
+        let detected: u64 = h
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !h.crashed[*i])
+            .map(|(_, n)| n.stats().dead_edges_detected)
+            .sum();
+        assert!(detected >= 1, "the link monitor declared the edges dead");
+        let probes: u64 = h.nodes.iter().map(|n| n.stats().link_probes_sent).sum();
+        assert!(probes >= 1, "probes were sent to the silent peer");
+    }
+
+    #[test]
+    fn link_monitor_is_quiet_on_healthy_edges() {
+        // Gossip refreshes last_heard every tick, so a healthy steady-state
+        // overlay sends (almost) no probes and never declares an edge dead.
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(40);
+        let detected: u64 = h.nodes.iter().map(|n| n.stats().dead_edges_detected).sum();
+        assert_eq!(detected, 0, "no false positives on live edges");
+        let timeouts: u64 = h.nodes.iter().map(|n| n.stats().link_probe_timeouts).sum();
+        assert_eq!(timeouts, 0, "no probe ever missed its deadline");
+    }
+
+    #[test]
+    fn link_monitor_disabled_keeps_edges_until_connection_timeout() {
+        let mut h = Harness::with_cfg(8, |c| c.without_link_monitor());
+        h.start_all();
+        h.run(20);
+        let victim = 3;
+        let victim_addr = h.nodes[victim].address();
+        h.crash(victim);
+        h.run(20); // 10 s — far short of the 45 s timeout
+        let still_pointing = (0..h.nodes.len())
+            .filter(|&i| i != victim && h.nodes[i].connections().contains(&victim_addr))
+            .count();
+        assert!(
+            still_pointing > 0,
+            "without the monitor the dead edges linger (the pre-PR behaviour)"
+        );
+        let probes: u64 = h.nodes.iter().map(|n| n.stats().link_probes_sent).sum();
+        assert_eq!(probes, 0, "no probes with the monitor disabled");
+    }
+
+    #[test]
+    fn anti_entropy_converges_diverged_replica_without_reads() {
+        let mut h = Harness::new(10);
+        h.start_all();
+        h.run(25);
+        let key = Address::from_key(b"172.16.9.60");
+        let now = h.now;
+        h.nodes[1].dht_put_ttl(now, key, b"host-A".to_vec(), Duration::from_secs(3600));
+        h.pump();
+        h.run(2);
+        assert_eq!(copies(&h, &key), 3);
+        let owner = h.owner_of(&key);
+        let holders: Vec<usize> = (0..h.nodes.len())
+            .filter(|&i| i != owner && h.nodes[i].dht_store().get(&key).is_some())
+            .collect();
+        // Partition one replica holder (no ticks run, so its edges survive),
+        // overwrite the record at the owner, heal: the replica now holds a
+        // stale v1 copy and nothing ever reads the key.
+        let stale = holders[0];
+        h.partition(&[stale]);
+        let put = RoutedPacket::new(
+            h.nodes[1].address(),
+            key,
+            DeliveryMode::Closest,
+            RoutedPayload::DhtPut {
+                key,
+                value: b"host-B".to_vec().into(),
+                ttl_ms: 3_600_000,
+                version: 1,
+            },
+        );
+        let now = h.now;
+        let fake_ep = ep(97);
+        h.nodes[owner].on_message(now, fake_ep, LinkMessage::Routed(put));
+        h.pump();
+        assert_eq!(
+            h.nodes[stale].dht_store().get(&key).unwrap().value,
+            ipop_packet::Bytes::from(b"host-A".as_slice()),
+            "partitioned replica missed the overwrite"
+        );
+        h.heal();
+        // Up to one random sweep offset plus one interval: 2 × 10 s = 40 ticks.
+        h.run(45);
+        let repaired = h.nodes[stale].dht_store().get(&key).expect("still held");
+        assert_eq!(
+            repaired.value,
+            ipop_packet::Bytes::from(b"host-B".as_slice()),
+            "the sweep converged the stale replica with no read in sight"
+        );
+        let digests: u64 = h.nodes.iter().map(|n| n.stats().dht_sync_digests).sum();
+        assert!(digests >= 1, "digests flowed: {digests}");
+        let reads: u64 = h.nodes.iter().map(|n| n.stats().dht_quorum_reads).sum();
+        assert_eq!(reads, 0, "no read repaired it — anti-entropy did");
+    }
+
+    #[test]
+    fn put_through_crashed_hop_is_recovered_within_a_sweep() {
+        let mut h = Harness::new(12);
+        h.start_all();
+        h.run(30);
+        // The key is a node's own address, so that node is its ring owner.
+        let owner = 7;
+        let key = h.nodes[owner].address();
+        assert_eq!(h.owner_of(&key), owner);
+        // The owner crashes; before anyone notices, a publisher stores a
+        // record under the key. Greedy routing forwards the put straight into
+        // the dead node: the record is lost in flight. The TTL is an hour, so
+        // the publisher's TTL/2 refresh cannot repair it inside the test —
+        // recovery (≤ ~25 s) beats both that and the 45 s timeout.
+        h.crash(owner);
+        let publisher = 2;
+        assert_ne!(publisher, owner);
+        let now = h.now;
+        h.nodes[publisher].dht_put_ttl(now, key, b"survivor".to_vec(), Duration::from_secs(3600));
+        h.pump();
+        assert_eq!(copies(&h, &key), 0, "the put died in the crashed hop");
+        // Link monitor kills the dead edges (~7 s), then the publisher's next
+        // sweep digest reaches the new owner, which pulls the record.
+        // Random sweep offset (≤10 s) + interval (10 s) + detection: 50 ticks = 25 s.
+        h.run(50);
+        assert!(
+            copies(&h, &key) >= 1,
+            "the publisher sweep recovered the lost put"
+        );
+        let querier = 5;
+        let now = h.now;
+        let token = h.nodes[querier].dht_get(now, key);
+        h.pump();
+        assert_eq!(
+            h.nodes[querier].take_dht_replies(),
+            vec![(
+                token,
+                Some(ipop_packet::Bytes::from(b"survivor".as_slice()))
+            )],
+            "the record resolves again within one sweep interval"
+        );
+        let pulls: u64 = h.nodes.iter().map(|n| n.stats().dht_sync_pulls).sum();
+        assert!(pulls >= 1, "recovery went through the pull path: {pulls}");
+    }
+
+    #[test]
+    fn healed_partition_remerges_via_bootstrap_heartbeat() {
+        // A long partition plus fast dead-edge detection scrubs each side's
+        // knowledge of the other completely (edges dropped, candidates
+        // purged, gossip dried up). The bootstrap re-link heartbeat must
+        // re-merge the sub-rings after the heal.
+        let mut h = Harness::new(12);
+        h.start_all();
+        h.run(25);
+        let minority = [8usize, 9, 10];
+        h.partition(&minority);
+        // 30 ticks = 15 s: the monitor kills every cross-group edge and each
+        // side re-forms its own ring.
+        h.run(30);
+        for &i in &minority {
+            for j in 0..h.nodes.len() {
+                if !minority.contains(&j) {
+                    assert!(
+                        !h.nodes[i].connections().contains(&h.nodes[j].address()),
+                        "cross-partition edge {i}->{j} survived the monitor"
+                    );
+                }
+            }
+        }
+        h.heal();
+        // 70 ticks = 35 s ≥ the 30 s heartbeat: the minority re-links to the
+        // bootstrap's component and gossip merges the rings.
+        h.run(70);
+        let bridged = minority.iter().any(|&i| {
+            (0..h.nodes.len())
+                .filter(|j| !minority.contains(j))
+                .any(|j| h.nodes[i].connections().contains(&h.nodes[j].address()))
+        });
+        assert!(bridged, "the healed sides re-linked");
+        // And traffic crosses the merged ring again.
+        let dst = h.nodes[2].address();
+        let now = h.now;
+        h.nodes[9].send_ip(now, dst, vec![0x42; 16]);
+        h.pump();
+        assert_eq!(
+            h.nodes[2].take_delivered().len(),
+            1,
+            "minority-to-majority delivery works after the heal"
+        );
+    }
+
+    #[test]
+    fn isolated_node_cannot_self_acknowledge_quorum_writes() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        // Cut a node off and let the link monitor empty its table: with zero
+        // peers its single copy must not satisfy a write quorum of a copy
+        // set that is supposed to span three nodes.
+        let claimant = 3;
+        h.partition(&[claimant]);
+        h.run(25);
+        assert_eq!(
+            h.nodes[claimant].connections().established().count(),
+            0,
+            "the monitor dropped every edge of the isolated node"
+        );
+        let key = Address::from_key(b"dhcp:172.16.9.66");
+        let now = h.now;
+        let token =
+            h.nodes[claimant].dht_create(now, key, b"mine".to_vec(), Duration::from_secs(600));
+        h.pump();
+        assert_eq!(
+            h.nodes[claimant].take_dht_create_replies(),
+            vec![(token, false, None)],
+            "the isolated claim fails retryably instead of self-acking"
+        );
+        assert!(
+            h.nodes[claimant].dht_store().get(&key).is_none(),
+            "no half-claimed record lingers"
+        );
+        assert!(h.nodes[claimant].stats().dht_quorum_write_timeouts >= 1);
+        h.heal();
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::net::Ipv4Addr;
 use ipop_packet::{Bytes, ParseError};
 
 use crate::address::Address;
+use crate::dht::SyncDigestEntry;
 
 /// A physical transport endpoint (address, UDP/TCP port).
 pub type Endpoint = (Ipv4Addr, u16);
@@ -187,6 +188,29 @@ pub enum RoutedPayload {
         /// The withdrawn claim's version.
         version: u64,
     },
+    /// Anti-entropy digest: a compact summary of records the sender holds
+    /// (or publishes), sent periodically so replica sets converge even when
+    /// no read ever touches a key. The receiver compares each entry with its
+    /// own store and answers with a [`RoutedPayload::DhtSyncPull`] for
+    /// records the sender has fresher — and, for owner-to-replica sweeps,
+    /// pushes back records *it* has fresher via plain replicates.
+    DhtSyncDigest {
+        /// Compact per-record summaries (see [`crate::dht::SyncDigestEntry`]).
+        entries: Vec<SyncDigestEntry>,
+        /// True for the owner→replica sweep (the receiver may push back
+        /// fresher copies); false for the publisher→owner sweep, where the
+        /// receiver only pulls — a conflicting owner record is the renewal
+        /// path's business, and the publisher is not a replica to push to.
+        from_owner: bool,
+    },
+    /// Answer to a [`RoutedPayload::DhtSyncDigest`]: the listed records are
+    /// missing or stale at the receiver — re-send them. The digest sender
+    /// responds with replicates (stored records) or refresh puts/renewals
+    /// (its own publications).
+    DhtSyncPull {
+        /// Keys whose records should be re-sent.
+        keys: Vec<Address>,
+    },
 }
 
 /// A packet routed hop-by-hop across the overlay ring.
@@ -284,6 +308,24 @@ pub enum LinkMessage {
     Close {
         /// Sender's overlay address.
         from: Address,
+    },
+    /// Link-monitor liveness probe: unlike the idle keep-alive
+    /// [`LinkMessage::Ping`], a probe demands a [`LinkMessage::ProbeAck`]
+    /// within an RTT-adaptive deadline — a few consecutive misses declare the
+    /// edge dead in seconds instead of waiting out the connection timeout.
+    Probe {
+        /// Sender's overlay address.
+        from: Address,
+        /// Probe nonce (matches the ack to the RTT sample).
+        nonce: u64,
+    },
+    /// Answer to a [`LinkMessage::Probe`]; the echoed nonce dates the probe
+    /// so the sender can take an RTT sample.
+    ProbeAck {
+        /// Sender's overlay address.
+        from: Address,
+        /// Nonce echoed from the probe.
+        nonce: u64,
     },
     /// A routed overlay packet being forwarded along this edge.
     Routed(RoutedPacket),
@@ -625,6 +667,27 @@ impl RoutedPacket {
                 w.u64(*version);
                 w.bytes32(value);
             }
+            RoutedPayload::DhtSyncDigest {
+                entries,
+                from_owner,
+            } => {
+                w.u8(14);
+                w.u8(u8::from(*from_owner));
+                w.u16(entries.len().min(u16::MAX as usize) as u16);
+                for e in entries.iter().take(u16::MAX as usize) {
+                    w.addr(&e.key);
+                    w.u64(e.version);
+                    w.u64(e.value_hash);
+                    w.u64(e.ttl_bucket);
+                }
+            }
+            RoutedPayload::DhtSyncPull { keys } => {
+                w.u8(15);
+                w.u16(keys.len().min(u16::MAX as usize) as u16);
+                for k in keys.iter().take(u16::MAX as usize) {
+                    w.addr(k);
+                }
+            }
         }
     }
 
@@ -722,6 +785,31 @@ impl RoutedPacket {
                 version: r.u64()?,
                 value: r.bytes32()?,
             },
+            14 => {
+                let from_owner = r.u8()? == 1;
+                let count = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(SyncDigestEntry {
+                        key: r.addr()?,
+                        version: r.u64()?,
+                        value_hash: r.u64()?,
+                        ttl_bucket: r.u64()?,
+                    });
+                }
+                RoutedPayload::DhtSyncDigest {
+                    entries,
+                    from_owner,
+                }
+            }
+            15 => {
+                let count = r.u16()? as usize;
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(r.addr()?);
+                }
+                RoutedPayload::DhtSyncPull { keys }
+            }
             _ => return Err(ParseError::Unsupported("routed payload")),
         };
         Ok(RoutedPacket {
@@ -795,6 +883,16 @@ impl LinkMessage {
                 w.u8(4);
                 w.addr(from);
             }
+            LinkMessage::Probe { from, nonce } => {
+                w.u8(7);
+                w.addr(from);
+                w.u64(*nonce);
+            }
+            LinkMessage::ProbeAck { from, nonce } => {
+                w.u8(8);
+                w.addr(from);
+                w.u64(*nonce);
+            }
             LinkMessage::Routed(pkt) => {
                 w.u8(5);
                 pkt.write(&mut w);
@@ -865,6 +963,14 @@ impl LinkMessage {
                 }
                 LinkMessage::Neighbors { from, neighbors }
             }
+            7 => LinkMessage::Probe {
+                from: r.addr()?,
+                nonce: r.u64()?,
+            },
+            8 => LinkMessage::ProbeAck {
+                from: r.addr()?,
+                nonce: r.u64()?,
+            },
             _ => return Err(ParseError::Unsupported("link message")),
         };
         Ok(msg)
@@ -878,6 +984,8 @@ impl LinkMessage {
             | LinkMessage::Ping { from, .. }
             | LinkMessage::Pong { from, .. }
             | LinkMessage::Close { from }
+            | LinkMessage::Probe { from, .. }
+            | LinkMessage::ProbeAck { from, .. }
             | LinkMessage::Neighbors { from, .. } => Some(*from),
             LinkMessage::Routed(_) => None,
         }
@@ -922,6 +1030,14 @@ mod tests {
                 nonce: 123_456,
             },
             LinkMessage::Close { from: a(5) },
+            LinkMessage::Probe {
+                from: a(10),
+                nonce: 987_654,
+            },
+            LinkMessage::ProbeAck {
+                from: a(11),
+                nonce: 987_654,
+            },
             LinkMessage::Neighbors {
                 from: a(6),
                 neighbors: vec![(a(7), ep(7, 4001)), (a(8), ep(8, 4002))],
@@ -1027,6 +1143,31 @@ mod tests {
                 copy: None,
             },
             RoutedPayload::DhtRemove { key: a(12) },
+            RoutedPayload::DhtSyncDigest {
+                entries: vec![
+                    SyncDigestEntry {
+                        key: a(15),
+                        version: 9,
+                        value_hash: 0xDEAD_BEEF_1234_5678,
+                        ttl_bucket: 14,
+                    },
+                    SyncDigestEntry {
+                        key: a(16),
+                        version: 2,
+                        value_hash: 1,
+                        ttl_bucket: 0,
+                    },
+                ],
+                from_owner: true,
+            },
+            RoutedPayload::DhtSyncDigest {
+                entries: vec![],
+                from_owner: false,
+            },
+            RoutedPayload::DhtSyncPull {
+                keys: vec![a(15), a(16)],
+            },
+            RoutedPayload::DhtSyncPull { keys: vec![] },
         ];
         for p in payloads {
             let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Closest, p);

@@ -145,3 +145,175 @@ proptest! {
         let _ = LinkMessage::from_bytes(&data);
     }
 }
+
+// ----------------------------------------------------------- anti-entropy
+
+use std::collections::BTreeMap;
+
+use ipop_overlay::dht::{
+    apply_record_copy, sync_compare, sync_digest_entry, DhtRecord, DhtStore, SoftStateStore,
+    SyncAction, SyncDigestEntry, SYNC_TTL_BUCKET_MS,
+};
+use ipop_simcore::{Duration, SimTime};
+
+/// `now` for the anti-entropy proptests: far enough from zero that expired
+/// records (negative TTL offsets) never underflow.
+fn sync_now() -> SimTime {
+    SimTime::ZERO + Duration::from_secs(60)
+}
+
+/// One generated record: `(key index, value index, version, expiry offset in
+/// ms relative to now — non-positive means already expired)`.
+type GenRecord = (u8, u8, u64, i64);
+
+/// The vendored proptest subset has no tuple strategies: generate packed
+/// `u64`s and unpack the record fields deterministically.
+fn arb_records() -> impl Strategy<Value = Vec<GenRecord>> {
+    proptest::collection::vec(any::<u64>(), 0..12).prop_map(|raw| {
+        raw.into_iter()
+            .map(|r| {
+                let key_idx = (r & 0xFF) as u8 % 6;
+                let value_idx = ((r >> 8) & 0xFF) as u8 % 4;
+                let version = 1 + ((r >> 16) & 0xFF) % 5;
+                let expiry_off_ms = ((r >> 24) % 630_000) as i64 - 30_000;
+                (key_idx, value_idx, version, expiry_off_ms)
+            })
+            .collect()
+    })
+}
+
+fn gen_key(idx: u8) -> Address {
+    let mut b = [0u8; 20];
+    b[0] = 0xA0 + idx;
+    Address(b)
+}
+
+fn gen_value(idx: u8) -> Vec<u8> {
+    vec![idx + 1; 3 + idx as usize]
+}
+
+fn build_store(records: &[GenRecord]) -> SoftStateStore {
+    let now = sync_now();
+    let mut store = SoftStateStore::new();
+    for &(k, v, version, off_ms) in records {
+        let expires_at = if off_ms <= 0 {
+            SimTime::ZERO + Duration::from_millis((60_000 + off_ms) as u64)
+        } else {
+            now + Duration::from_millis(off_ms as u64)
+        };
+        store.insert(
+            gen_key(k),
+            DhtRecord {
+                value: gen_value(v).into(),
+                expires_at,
+                version,
+                replica: true,
+                replicated_to: Vec::new(),
+            },
+        );
+    }
+    store
+}
+
+/// Live contents of a store as a comparable map: key → (value bytes, version).
+fn live_contents(store: &SoftStateStore, now: SimTime) -> BTreeMap<Address, (Vec<u8>, u64)> {
+    store
+        .keys()
+        .into_iter()
+        .filter_map(|k| {
+            store
+                .get(&k)
+                .filter(|r| !r.expired(now))
+                .map(|r| (k, (r.value.to_vec(), r.version)))
+        })
+        .collect()
+}
+
+/// One digest exchange from `src` to `dst`, exactly as the overlay node runs
+/// it: `dst` pulls records the digest has fresher and pushes back records it
+/// holds fresher, both applied under the store-level freshness rule.
+fn sweep_round(src: &mut SoftStateStore, dst: &mut SoftStateStore, now: SimTime) {
+    let entries: Vec<SyncDigestEntry> = src
+        .keys()
+        .into_iter()
+        .filter_map(|k| {
+            src.get(&k)
+                .filter(|r| !r.expired(now))
+                .map(|r| sync_digest_entry(k, r, now))
+        })
+        .collect();
+    let mut pulls = Vec::new();
+    let mut pushes = Vec::new();
+    for e in &entries {
+        match sync_compare(e, dst.get(&e.key), now) {
+            SyncAction::InSync => {}
+            SyncAction::Pull => pulls.push(e.key),
+            SyncAction::Push => pushes.push(e.key),
+            SyncAction::Exchange => {
+                pulls.push(e.key);
+                pushes.push(e.key);
+            }
+        }
+    }
+    for k in pulls {
+        if let Some(r) = src.get(&k).filter(|r| !r.expired(now)) {
+            let (value, ttl_ms, version) = (r.value.clone(), r.remaining_ttl_ms(now), r.version);
+            apply_record_copy(dst, k, &value, ttl_ms, version, true, now);
+        }
+    }
+    for k in pushes {
+        if let Some(r) = dst.get(&k).filter(|r| !r.expired(now)) {
+            let (value, ttl_ms, version) = (r.value.clone(), r.remaining_ttl_ms(now), r.version);
+            apply_record_copy(src, k, &value, ttl_ms, version, true, now);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn anti_entropy_converges_arbitrary_divergent_stores(
+        a_records in arb_records(),
+        b_records in arb_records(),
+    ) {
+        let now = sync_now();
+        let mut a = build_store(&a_records);
+        let mut b = build_store(&b_records);
+        // Everything that was live *somewhere* before the sync: the only
+        // records allowed to exist afterwards (nothing expired or absent may
+        // be resurrected).
+        let mut input_live: BTreeMap<Address, Vec<(Vec<u8>, u64)>> = BTreeMap::new();
+        for (k, vv) in live_contents(&a, now).into_iter().chain(live_contents(&b, now)) {
+            input_live.entry(k).or_default().push(vv);
+        }
+
+        // One full bidirectional exchange converges a two-store system.
+        sweep_round(&mut a, &mut b, now);
+        sweep_round(&mut b, &mut a, now);
+
+        let live_a = live_contents(&a, now);
+        let live_b = live_contents(&b, now);
+        prop_assert_eq!(&live_a, &live_b, "stores converged to identical live contents");
+        for (k, vv) in &live_a {
+            let candidates = input_live.get(k);
+            prop_assert!(
+                candidates.is_some_and(|c| c.contains(vv)),
+                "record under {:?} was resurrected from nothing: {:?}",
+                k, vv
+            );
+            // Expiries agree within the skew tolerance the bucket scheme allows.
+            let ea = a.get(k).unwrap().expires_at;
+            let eb = b.get(k).unwrap().expires_at;
+            let diff = ea.saturating_since(eb).max(eb.saturating_since(ea));
+            prop_assert!(
+                diff < Duration::from_millis(2 * SYNC_TTL_BUCKET_MS),
+                "expiry skew exceeds the bucket tolerance: {:?}", diff
+            );
+        }
+
+        // And the exchange is a fixpoint: a second full round moves nothing.
+        sweep_round(&mut a, &mut b, now);
+        sweep_round(&mut b, &mut a, now);
+        prop_assert_eq!(live_contents(&a, now), live_a);
+        prop_assert_eq!(live_contents(&b, now), live_b);
+    }
+}

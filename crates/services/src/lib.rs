@@ -26,7 +26,7 @@ pub mod dhcp;
 pub mod name;
 
 pub use dhcp::{DhcpAllocator, DhcpConfig, DhcpState, Subnet};
-pub use name::{NameService, Resolution};
+pub use name::{NameService, Resolution, ReverseResolution};
 
 /// The DHT operations the self-configuration services need — a narrow façade
 /// over the overlay node so services can be unit-tested against a fake.

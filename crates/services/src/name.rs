@@ -1,4 +1,4 @@
-//! The overlay name service: hostnames → virtual IPs.
+//! The overlay name service: hostnames → virtual IPs, and back.
 //!
 //! With dynamically allocated addresses (see [`crate::dhcp`]) no node knows
 //! another's virtual IP a priori, so the apps layer needs a symbolic handle.
@@ -6,6 +6,11 @@
 //! refreshed lease in the DHT; resolvers read the record, cache it, and
 //! re-resolve when the cache entry expires — the same soft-state pattern as
 //! Brunet-ARP, one level up.
+//!
+//! Registration also writes the reverse record
+//! `SHA-1("rname:" + ip octets) → hostname`, so diagnostics and
+//! accounting can turn an observed virtual IP back into a name
+//! ([`NameService::lookup_ip`]).
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -24,6 +29,14 @@ pub fn name_key(name: &str) -> Address {
     Address::from_key(&keyed)
 }
 
+/// The DHT key of a reverse (IP → hostname) record.
+pub fn reverse_key(ip: Ipv4Addr) -> Address {
+    let mut keyed = Vec::with_capacity(6 + 4);
+    keyed.extend_from_slice(b"rname:");
+    keyed.extend_from_slice(&ip.octets());
+    Address::from_key(&keyed)
+}
+
 /// Encode a virtual IP as a name-record value.
 pub fn encode_ip(ip: Ipv4Addr) -> Bytes {
     Bytes::copy_from_slice(&ip.octets())
@@ -33,6 +46,16 @@ pub fn encode_ip(ip: Ipv4Addr) -> Bytes {
 pub fn decode_ip(value: &[u8]) -> Option<Ipv4Addr> {
     let octets: [u8; 4] = value.try_into().ok()?;
     Some(Ipv4Addr::from(octets))
+}
+
+/// Encode a hostname as a reverse-record value.
+pub fn encode_name(name: &str) -> Bytes {
+    Bytes::copy_from_slice(name.as_bytes())
+}
+
+/// Decode a reverse-record value back into a hostname.
+pub fn decode_name(value: &[u8]) -> Option<String> {
+    String::from_utf8(value.to_vec()).ok()
 }
 
 /// Outcome of a resolution attempt.
@@ -45,12 +68,27 @@ pub enum Resolution {
     Pending(u64),
 }
 
+/// Outcome of a reverse (IP → hostname) resolution attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReverseResolution {
+    /// Answered from the local cache.
+    Cached(String),
+    /// A DHT read was issued under the given token; the answer arrives via
+    /// [`NameService::on_reverse_reply`].
+    Pending(u64),
+}
+
 /// Resolver-side (and registrar-side) name service state for one node.
 pub struct NameService {
     cache_ttl: Duration,
     cache: BTreeMap<String, (Ipv4Addr, SimTime)>,
+    /// Reverse cache: IP → (hostname, stored-at). `BTreeMap` for
+    /// deterministic iteration (Ipv4Addr orders by octets).
+    reverse_cache: BTreeMap<Ipv4Addr, (String, SimTime)>,
     /// Outstanding lookups: token → hostname. Never iterated, only keyed.
     pending: HashMap<u64, String>,
+    /// Outstanding reverse lookups: token → IP. Never iterated, only keyed.
+    pending_reverse: HashMap<u64, Ipv4Addr>,
     /// Lookups answered from the DHT with a mapping.
     pub resolved: u64,
     /// Lookups that found no record.
@@ -63,14 +101,17 @@ impl NameService {
         NameService {
             cache_ttl,
             cache: BTreeMap::new(),
+            reverse_cache: BTreeMap::new(),
             pending: HashMap::new(),
+            pending_reverse: HashMap::new(),
             resolved: 0,
             failed: 0,
         }
     }
 
     /// Register (or re-register, e.g. after migration) `name → ip` as a
-    /// refreshed lease with the given TTL.
+    /// refreshed lease with the given TTL — plus the reverse `ip → name`
+    /// record under [`reverse_key`].
     pub fn register(
         dht: &mut dyn DhtClient,
         now: SimTime,
@@ -79,11 +120,13 @@ impl NameService {
         ttl: Duration,
     ) {
         dht.put(now, name_key(name), encode_ip(ip), ttl);
+        dht.put(now, reverse_key(ip), encode_name(name), ttl);
     }
 
-    /// Remove the registration for `name`.
-    pub fn unregister(dht: &mut dyn DhtClient, now: SimTime, name: &str) {
+    /// Remove the registration for `name` and its reverse record for `ip`.
+    pub fn unregister(dht: &mut dyn DhtClient, now: SimTime, name: &str, ip: Ipv4Addr) {
         dht.remove(now, name_key(name));
+        dht.remove(now, reverse_key(ip));
     }
 
     /// Resolve `name`, from cache when fresh, otherwise via a DHT read.
@@ -120,6 +163,47 @@ impl NameService {
         Some((name, ip))
     }
 
+    /// Reverse-resolve `ip` to the hostname registered for it, from cache
+    /// when fresh, otherwise via a DHT read of the [`reverse_key`] record.
+    pub fn lookup_ip(
+        &mut self,
+        dht: &mut dyn DhtClient,
+        now: SimTime,
+        ip: Ipv4Addr,
+    ) -> ReverseResolution {
+        if let Some((name, stored_at)) = self.reverse_cache.get(&ip) {
+            if now.saturating_since(*stored_at) < self.cache_ttl {
+                return ReverseResolution::Cached(name.clone());
+            }
+            self.reverse_cache.remove(&ip);
+        }
+        let token = dht.get(now, reverse_key(ip));
+        self.pending_reverse.insert(token, ip);
+        ReverseResolution::Pending(token)
+    }
+
+    /// Feed a DHT get reply that may answer a reverse lookup. Returns
+    /// `Some((ip, hostname))` when the token belonged to an outstanding
+    /// reverse lookup (hostname is `None` when no record exists), `None`
+    /// when the token is not ours.
+    pub fn on_reverse_reply(
+        &mut self,
+        now: SimTime,
+        token: u64,
+        value: Option<&[u8]>,
+    ) -> Option<(Ipv4Addr, Option<String>)> {
+        let ip = self.pending_reverse.remove(&token)?;
+        let name = value.and_then(decode_name);
+        match &name {
+            Some(name) => {
+                self.resolved += 1;
+                self.reverse_cache.insert(ip, (name.clone(), now));
+            }
+            None => self.failed += 1,
+        }
+        Some((ip, name))
+    }
+
     /// Number of live cache entries.
     pub fn cached(&self) -> usize {
         self.cache.len()
@@ -138,6 +222,12 @@ mod tests {
         assert_eq!(decode_ip(&encode_ip(IP)), Some(IP));
         assert_eq!(decode_ip(&[1, 2, 3]), None);
         assert_ne!(name_key("worker-1"), name_key("worker-2"));
+        assert_eq!(
+            decode_name(&encode_name("worker-1")).as_deref(),
+            Some("worker-1")
+        );
+        assert_ne!(reverse_key(IP), name_key("worker-1"));
+        assert_ne!(reverse_key(IP), reverse_key(Ipv4Addr::new(172, 16, 9, 43)));
     }
 
     #[test]
@@ -153,6 +243,15 @@ mod tests {
                 encode_ip(IP),
                 Duration::from_secs(120)
             )
+        );
+        assert_eq!(
+            dht.ops[1],
+            Op::Put(
+                reverse_key(IP),
+                encode_name("worker-1"),
+                Duration::from_secs(120)
+            ),
+            "registration also writes the reverse record"
         );
         // First lookup goes to the DHT.
         let Resolution::Pending(token) = ns.resolve(&mut dht, t0, "worker-1") else {
@@ -194,9 +293,52 @@ mod tests {
     }
 
     #[test]
-    fn unregister_removes_the_record() {
+    fn unregister_removes_both_records() {
         let mut dht = FakeDht::default();
-        NameService::unregister(&mut dht, SimTime::ZERO, "worker-1");
-        assert_eq!(dht.ops, vec![Op::Remove(name_key("worker-1"))]);
+        NameService::unregister(&mut dht, SimTime::ZERO, "worker-1", IP);
+        assert_eq!(
+            dht.ops,
+            vec![
+                Op::Remove(name_key("worker-1")),
+                Op::Remove(reverse_key(IP)),
+            ]
+        );
+    }
+
+    #[test]
+    fn reverse_lookup_cycle() {
+        let mut ns = NameService::new(Duration::from_secs(60));
+        let mut dht = FakeDht::default();
+        let t0 = SimTime::ZERO;
+        // First reverse lookup goes to the DHT under the reverse key.
+        let ReverseResolution::Pending(token) = ns.lookup_ip(&mut dht, t0, IP) else {
+            panic!("expected a pending reverse lookup")
+        };
+        assert_eq!(dht.ops, vec![Op::Get(reverse_key(IP))]);
+        let v = encode_name("worker-1");
+        assert_eq!(
+            ns.on_reverse_reply(t0, token, Some(v.as_slice())),
+            Some((IP, Some("worker-1".to_string())))
+        );
+        assert_eq!(ns.resolved, 1);
+        // Second lookup is served from the reverse cache.
+        assert_eq!(
+            ns.lookup_ip(&mut dht, t0 + Duration::from_secs(10), IP),
+            ReverseResolution::Cached("worker-1".to_string())
+        );
+        // After the cache TTL the IP is re-resolved (re-registration pickup).
+        assert!(matches!(
+            ns.lookup_ip(&mut dht, t0 + Duration::from_secs(61), IP),
+            ReverseResolution::Pending(_)
+        ));
+        // An unregistered IP reverse-resolves to nothing.
+        let other = Ipv4Addr::new(172, 16, 9, 77);
+        let ReverseResolution::Pending(t2) = ns.lookup_ip(&mut dht, t0, other) else {
+            panic!()
+        };
+        assert_eq!(ns.on_reverse_reply(t0, t2, None), Some((other, None)));
+        assert_eq!(ns.failed, 1);
+        // A forward-lookup token is not a reverse one and vice versa.
+        assert_eq!(ns.on_reverse_reply(t0, 999, None), None);
     }
 }

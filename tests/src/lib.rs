@@ -1,1 +1,231 @@
-//! Shared helpers for workspace integration tests.
+//! Shared helpers for workspace integration tests — chiefly a declarative
+//! fault-injection harness for DHT/overlay durability scenarios.
+//!
+//! A [`FaultScenario`] lists crash / partition / heal / join events at
+//! virtual instants; [`FaultHarness`] replays them while stepping the
+//! simulation and exposes invariant helpers (record resolvability probes,
+//! duplicate-address census, aggregated overlay counters). Tests declare
+//! *what* goes wrong and *when*, and assert on what must still hold —
+//! new failure scenarios should extend the event list, not re-implement
+//! the stepping loop.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use ipop::prelude::*;
+use ipop::{deploy_plain, IpopHostAgent, NullApp};
+use ipop_netsim::HostId;
+use ipop_overlay::OverlayStats;
+use ipop_simcore::SimTime;
+
+/// One injected fault (or repair) at a virtual instant.
+pub enum FaultEvent {
+    /// Kill the member at this index without any goodbye: its agent is
+    /// replaced by a null agent, so queued traffic to it blackholes exactly
+    /// like a crashed process.
+    Crash(usize),
+    /// Move the member into partition group `group` (group 0 is the
+    /// majority; traffic between different groups is dropped in the core).
+    Partition(usize, u8),
+    /// Remove every partition.
+    Heal,
+    /// Anything else — mid-run joiners, agent surgery, extra workload. The
+    /// closure runs against the harness at the scheduled instant; joiners it
+    /// installs should be registered via [`FaultHarness::add_member`] so the
+    /// invariant helpers cover them.
+    Custom(Box<dyn FnOnce(&mut FaultHarness)>),
+}
+
+/// A declarative fault schedule: `(virtual time, event)` pairs, applied in
+/// time order while the harness steps the simulation.
+#[derive(Default)]
+pub struct FaultScenario {
+    events: Vec<(Duration, FaultEvent)>,
+}
+
+impl FaultScenario {
+    /// An empty scenario (a plain stepped run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: add `event` at virtual time `at` (measured from time zero).
+    pub fn at(mut self, at: Duration, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+}
+
+/// Replays a [`FaultScenario`] over a deployed simulation in fixed steps,
+/// tracking which members are dead and exposing invariant helpers.
+pub struct FaultHarness {
+    /// The simulation under test.
+    pub sim: NetworkSim,
+    /// Member hosts, in deployment order.
+    pub hosts: Vec<HostId>,
+    /// Indices of crashed members.
+    pub crashed: BTreeSet<usize>,
+    /// Pending events, soonest first (drained from the front as their
+    /// instants pass; same-instant events keep their declaration order).
+    pending: std::collections::VecDeque<(Duration, FaultEvent)>,
+    /// Step granularity for [`FaultHarness::run_until`].
+    pub step: Duration,
+}
+
+impl FaultHarness {
+    /// Wrap a deployed simulation and a scenario.
+    pub fn new(sim: NetworkSim, hosts: Vec<HostId>, scenario: FaultScenario) -> Self {
+        let mut pending = scenario.events;
+        // Stable sort: events at the same instant apply in declaration order.
+        pending.sort_by_key(|(at, _)| *at);
+        FaultHarness {
+            sim,
+            hosts,
+            crashed: BTreeSet::new(),
+            pending: pending.into(),
+            step: Duration::from_millis(500),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Register a host installed mid-run (a joiner spawned from a
+    /// [`FaultEvent::Custom`] closure) as a member, so `live()` and the
+    /// invariant helpers cover it. Returns its member index.
+    pub fn add_member(&mut self, host: HostId) -> usize {
+        self.hosts.push(host);
+        self.hosts.len() - 1
+    }
+
+    /// Step the simulation to `deadline`, applying every scheduled event as
+    /// its instant passes.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.sim.now() < deadline {
+            let now_d = Duration::from_nanos(self.sim.now().as_nanos());
+            while let Some((at, _)) = self.pending.front() {
+                if *at > now_d {
+                    break;
+                }
+                let (_, event) = self.pending.pop_front().expect("present");
+                self.apply(event);
+            }
+            let step = self.step.min(deadline.saturating_since(self.sim.now()));
+            self.sim.run_for(step);
+        }
+    }
+
+    /// Step the simulation for `d` from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.sim.now() + d;
+        self.run_until(deadline);
+    }
+
+    fn apply(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Crash(i) => {
+                self.crashed.insert(i);
+                deploy_plain(self.sim.net_mut(), self.hosts[i], Box::new(NullApp));
+            }
+            FaultEvent::Partition(i, group) => {
+                let host = self.hosts[i];
+                self.sim.net_mut().set_partition_group(host, group);
+            }
+            FaultEvent::Heal => self.sim.net_mut().heal_partition(),
+            FaultEvent::Custom(f) => f(self),
+        }
+    }
+
+    /// The IPOP agent of member `i`, unless crashed.
+    pub fn agent(&self, i: usize) -> Option<&IpopHostAgent> {
+        if self.crashed.contains(&i) {
+            return None;
+        }
+        self.sim.agent_as::<IpopHostAgent>(self.hosts[i])
+    }
+
+    /// Mutable access to the IPOP agent of member `i`, unless crashed.
+    pub fn agent_mut(&mut self, i: usize) -> Option<&mut IpopHostAgent> {
+        if self.crashed.contains(&i) {
+            return None;
+        }
+        self.sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(self.hosts[i])
+    }
+
+    /// Indices of live IPOP members.
+    pub fn live(&self) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|i| !self.crashed.contains(i) && self.agent(*i).is_some())
+            .collect()
+    }
+
+    /// Overlay counters summed across live members.
+    pub fn overlay_totals(&self) -> OverlayStats {
+        let mut total = OverlayStats::default();
+        for i in self.live() {
+            let s = self.agent(i).expect("live").overlay_stats();
+            total.dead_edges_detected += s.dead_edges_detected;
+            total.link_probes_sent += s.link_probes_sent;
+            total.link_probe_timeouts += s.link_probe_timeouts;
+            total.dht_sync_digests += s.dht_sync_digests;
+            total.dht_sync_pulls += s.dht_sync_pulls;
+            total.dht_sync_pushes += s.dht_sync_pushes;
+            total.dht_read_repairs += s.dht_read_repairs;
+            total.dht_leases_lost += s.dht_leases_lost;
+            total.dht_quorum_write_timeouts += s.dht_quorum_write_timeouts;
+            total.dht_refreshes += s.dht_refreshes;
+        }
+        total
+    }
+
+    /// Invariant: no two live members hold the same virtual IP.
+    pub fn assert_no_duplicate_addresses(&self) {
+        let mut seen: Vec<Ipv4Addr> = Vec::new();
+        for i in self.live() {
+            let agent = self.agent(i).expect("live");
+            if agent.has_address() {
+                let ip = agent.virtual_ip();
+                assert!(
+                    !seen.contains(&ip),
+                    "duplicate virtual address {ip} among live members"
+                );
+                seen.push(ip);
+            }
+        }
+    }
+
+    /// Probe (via cache-bypassing Brunet-ARP reads from member `prober`)
+    /// until the mapping for `ip` resolves, stepping the simulation between
+    /// probes. Returns how long resolution took, or `None` if `timeout`
+    /// elapsed first.
+    pub fn resolve_within(
+        &mut self,
+        prober: usize,
+        ip: Ipv4Addr,
+        timeout: Duration,
+    ) -> Option<Duration> {
+        let started = self.sim.now();
+        let deadline = started + timeout;
+        loop {
+            let now = self.sim.now();
+            self.agent_mut(prober)
+                .expect("prober alive")
+                .resolve_ip(now, ip);
+            self.run_for(self.step);
+            let results = self
+                .agent_mut(prober)
+                .expect("prober alive")
+                .take_probe_results();
+            if results.iter().any(|(_, addr)| addr.is_some()) {
+                return Some(self.sim.now().saturating_since(started));
+            }
+            if self.sim.now() >= deadline {
+                return None;
+            }
+        }
+    }
+}

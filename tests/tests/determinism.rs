@@ -73,20 +73,24 @@ fn run_fig4_ping(seed: u64) -> RunTrace {
     }
 }
 
-/// Outcome of the 64-node run, in byte-comparable form.
+/// Outcome of the 64-node run, in byte-comparable form. The overlay tuple
+/// covers the link-monitor path (probes sent, probe timeouts, dead edges
+/// detected) so crash-induced detection traffic is part of the
+/// byte-identical contract.
 #[derive(Debug, PartialEq)]
 struct BigRunTrace {
     events: u64,
     delivered: u64,
     rtts_ms: Vec<f64>,
     per_host: Vec<(u64, u64, u64, u64)>,
-    overlay: Vec<(u64, u64, u64)>,
+    overlay: Vec<(u64, u64, u64, u64, u64, u64)>,
 }
 
 /// A 64-node overlay across a mix of open sites, NATed sites (alternating cone
 /// types) and firewalled sites — the composition the paper targets — driven by
 /// the typed-event scheduler. One node pings across the ring while the rest
-/// route.
+/// route — and four nodes crash mid-run, so the link monitor's probe and
+/// dead-edge traffic is exercised under the same-seed replay contract.
 fn run_mixed_64(seed: u64) -> BigRunTrace {
     use ipop_netsim::firewall::Firewall;
     use ipop_netsim::link::LinkParams;
@@ -156,7 +160,14 @@ fn run_mixed_64(seed: u64) -> BigRunTrace {
     ipop::deploy_ipop(&mut net, members, DeployOptions::udp());
 
     let mut sim = NetworkSim::new(net);
-    sim.run_for(Duration::from_secs(15));
+    // Induced crashes: four routers die unannounced at 6 s (none of them the
+    // pinger or its target), and the link monitor must detect the dead edges
+    // identically across same-seed runs.
+    sim.run_for(Duration::from_secs(6));
+    for &victim in &[10usize, 20, 40, 50] {
+        ipop::deploy_plain(sim.net_mut(), hosts[victim], Box::new(ipop::NullApp));
+    }
+    sim.run_for(Duration::from_secs(9));
 
     let rtts_ms = sim
         .agent_as::<IpopHostAgent>(hosts[src_idx])
@@ -180,7 +191,14 @@ fn run_mixed_64(seed: u64) -> BigRunTrace {
                 sim.agent_as::<IpopHostAgent>(h)
                     .map(|a| {
                         let s = a.overlay_stats();
-                        (s.link_tx, s.link_rx, s.forwarded)
+                        (
+                            s.link_tx,
+                            s.link_rx,
+                            s.forwarded,
+                            s.link_probes_sent,
+                            s.link_probe_timeouts,
+                            s.dead_edges_detected,
+                        )
                     })
                     .unwrap_or_default()
             })
@@ -199,6 +217,14 @@ fn mixed_nat_public_64_node_runs_are_byte_identical() {
         "pings crossed the mixed overlay: {}",
         a.rtts_ms.len()
     );
+    // ...the crashed routers' edges were hunted down by the link monitor...
+    let dead_edges: u64 = a.overlay.iter().map(|o| o.5).sum();
+    assert!(
+        dead_edges >= 1,
+        "induced crashes produced dead-edge detections: {dead_edges}"
+    );
+    let probes: u64 = a.overlay.iter().map(|o| o.3).sum();
+    assert!(probes >= 1, "probes flowed: {probes}");
     // ...and the two same-seed runs are indistinguishable, field by field.
     assert_eq!(a, b);
 }
@@ -215,13 +241,18 @@ struct SelfConfigTrace {
     dht: Vec<(u64, u64, u64, u64, u64)>,
     /// Quorum machinery per node: coordinated reads, writes, repairs.
     quorum: Vec<(u64, u64, u64)>,
+    /// Anti-entropy machinery per node: digests sent, records pulled,
+    /// fresher copies pushed back.
+    sync: Vec<(u64, u64, u64)>,
     /// Resolution probes answered over the quorum read path.
     probes: Vec<(u64, bool)>,
 }
 
 /// A 12-node overlay where everyone but the bootstrap allocates its address
 /// through the DHCP-over-DHT claim path — the run exercises creates, confirm
-/// reads, replication, lease refreshes and name registrations.
+/// reads, replication, lease refreshes and name registrations. One allocated
+/// node crashes mid-run, so the anti-entropy sweep's recovery traffic (and
+/// the link monitor's detection of the dead edges) is part of the trace.
 fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
     use ipop_netsim::planetlab;
     const N: usize = 12;
@@ -241,7 +272,12 @@ fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
     .with_dynamic_subnet(Ipv4Addr::new(172, 16, 9, 0), 24);
     ipop::deploy_ipop(&mut net, members, options);
     let mut sim = NetworkSim::new(net);
-    sim.run_for(Duration::from_secs(75));
+    // Crash one allocated node at 55 s: the records it owned must come back
+    // through the sweep (and its own lease simply ages out) — identically
+    // across same-seed runs.
+    sim.run_for(Duration::from_secs(55));
+    ipop::deploy_plain(sim.net_mut(), plab.nodes[6], Box::new(ipop::NullApp));
+    sim.run_for(Duration::from_secs(20));
     // Drive the quorum read path explicitly: one node resolves every bound
     // address (replica polls, freshest-copy selection and any read repair all
     // land in the trace below).
@@ -269,38 +305,59 @@ fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
         .into_iter()
         .map(|(token, addr)| (token, addr.is_some()))
         .collect();
-    let agents: Vec<&IpopHostAgent> = plab
+    // The crashed node's agent is gone: its slots carry defaults so the
+    // trace stays index-aligned with the member list.
+    let agents: Vec<Option<&IpopHostAgent>> = plab
         .nodes
         .iter()
-        .map(|&h| sim.agent_as::<IpopHostAgent>(h).unwrap())
+        .map(|&h| sim.agent_as::<IpopHostAgent>(h))
         .collect();
     SelfConfigTrace {
         events: sim.events_executed(),
         delivered: sim.net().counters().delivered,
-        ips: agents.iter().map(|a| a.virtual_ip()).collect(),
+        ips: agents
+            .iter()
+            .map(|a| a.map_or(Ipv4Addr::UNSPECIFIED, |a| a.virtual_ip()))
+            .collect(),
         latencies_ns: agents
             .iter()
-            .map(|a| a.allocation_latency().map(|d| d.as_nanos()))
+            .map(|a| a.and_then(|a| a.allocation_latency()).map(|d| d.as_nanos()))
             .collect(),
-        collisions: agents.iter().map(|a| a.allocation_collisions()).collect(),
+        collisions: agents
+            .iter()
+            .map(|a| a.and_then(|a| a.allocation_collisions()))
+            .collect(),
         dht: agents
             .iter()
             .map(|a| {
-                let s = a.overlay_stats();
-                (
-                    s.dht_records,
-                    s.dht_bytes,
-                    s.dht_replicas,
-                    s.dht_refreshes,
-                    s.dht_expired,
-                )
+                a.map_or_else(Default::default, |a| {
+                    let s = a.overlay_stats();
+                    (
+                        s.dht_records,
+                        s.dht_bytes,
+                        s.dht_replicas,
+                        s.dht_refreshes,
+                        s.dht_expired,
+                    )
+                })
             })
             .collect(),
         quorum: agents
             .iter()
             .map(|a| {
-                let s = a.overlay_stats();
-                (s.dht_quorum_reads, s.dht_quorum_writes, s.dht_read_repairs)
+                a.map_or_else(Default::default, |a| {
+                    let s = a.overlay_stats();
+                    (s.dht_quorum_reads, s.dht_quorum_writes, s.dht_read_repairs)
+                })
+            })
+            .collect(),
+        sync: agents
+            .iter()
+            .map(|a| {
+                a.map_or_else(Default::default, |a| {
+                    let s = a.overlay_stats();
+                    (s.dht_sync_digests, s.dht_sync_pulls, s.dht_sync_pushes)
+                })
             })
             .collect(),
         probes,
@@ -311,11 +368,27 @@ fn run_dynamic_join(seed: u64) -> SelfConfigTrace {
 fn dynamic_join_runs_are_byte_identical() {
     let a = run_dynamic_join(0xD4C9_05EED);
     let b = run_dynamic_join(0xD4C9_05EED);
-    // The run exercised the allocator: every dynamic node bound...
+    // The run exercised the allocator: every surviving dynamic node bound
+    // (index 6 is the induced crash — its slot carries the default)...
     assert!(
-        a.ips.iter().skip(1).all(|ip| !ip.is_unspecified()),
-        "all dynamic nodes allocated: {:?}",
         a.ips
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(i, _)| *i != 6)
+            .all(|(_, ip)| !ip.is_unspecified()),
+        "all surviving dynamic nodes allocated: {:?}",
+        a.ips
+    );
+    assert!(
+        a.ips[6].is_unspecified(),
+        "the crashed member's slot is defaulted"
+    );
+    // The durability machinery ran: digests were exchanged and the crashed
+    // node's edges were detected dead.
+    assert!(
+        a.sync.iter().map(|s| s.0).sum::<u64>() > 0,
+        "anti-entropy digests flowed"
     );
     assert!(
         a.dht.iter().map(|d| d.3).sum::<u64>() > 0,
