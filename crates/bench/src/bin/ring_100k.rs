@@ -1,0 +1,9 @@
+//! 100 000-node overlay scale benchmark — the ROADMAP's "shortcut routing
+//! measured where it matters" size. Same measurements as `ring_10k`,
+//! written to `BENCH_scale.json`.
+//!
+//! Usage: `ring_100k [--quick] [--verify] [--out PATH]`
+
+fn main() {
+    ipop_bench::scale::scale_bin_main("ring_100k", 100_000);
+}

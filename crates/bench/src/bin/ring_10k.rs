@@ -1,0 +1,8 @@
+//! 10 000-node overlay scale benchmark: Kleinberg shortcut routing stretch
+//! and sharded-simulator throughput, written to `BENCH_scale.json`.
+//!
+//! Usage: `ring_10k [--quick] [--verify] [--out PATH]`
+
+fn main() {
+    ipop_bench::scale::scale_bin_main("ring_10k", 10_000);
+}

@@ -22,6 +22,7 @@
 pub mod ablations;
 pub mod fig5;
 pub mod report;
+pub mod scale;
 pub mod scenarios;
 pub mod table1;
 pub mod table2;

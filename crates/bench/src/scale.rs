@@ -1,0 +1,621 @@
+//! 10k–100k node overlay scale harness: Kleinberg shortcut routing measured
+//! where it matters.
+//!
+//! Every other experiment in this crate runs tens of nodes through the full
+//! physical-network model. This harness instead drives [`OverlayNode`]s
+//! directly on top of the interned flat substrate
+//! ([`ipop_netsim::ScaleNet`]) and the sharded deterministic simulator
+//! ([`ipop_simcore::ShardedSim`]), which is what makes 100k nodes tractable:
+//!
+//! * node identity is a dense `u32`; endpoints and link latencies are
+//!   computed, not stored;
+//! * the ring is warm-started — near edges and half of each node's shortcut
+//!   budget are seeded directly — then real maintenance runs: every node
+//!   ticks [`request_shortcut`-style] maintenance for a configurable number
+//!   of rounds, forming its remaining Far edges through routed
+//!   ConnectRequests over the live overlay;
+//! * after maintenance, a probe workload measures greedy routing: random
+//!   node pairs exchange Exact-mode packets and the delivered hop counts
+//!   give the routing stretch against the `log₂N` Kleinberg ideal.
+//!
+//! Identical seeds produce identical histories whether the shards run
+//! sequentially or fanned out over threads ([`ScaleReport::trace_hash`]
+//! proves it — `ring_10k --verify` and a tier-1 test compare the two).
+
+use std::sync::Arc;
+
+use ipop_netsim::ScaleNet;
+use ipop_overlay::address::Address;
+use ipop_overlay::node::{OverlayConfig, OverlayNode};
+use ipop_overlay::packets::{ConnectionKind, LinkMessage};
+use ipop_simcore::{
+    Duration, ShardCtl, ShardRunOutcome, ShardWorld, ShardedSim, SimTime, StreamRng,
+};
+
+/// Parameters of one scale run.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Overlay size.
+    pub nodes: u32,
+    /// Shard count for the parallel simulator (fixed, not machine-derived,
+    /// so reports are comparable across hosts).
+    pub shards: u32,
+    /// Root seed: addresses, latencies, probe pairs, node RNG streams.
+    pub seed: u64,
+    /// Structured-near connections per ring side.
+    pub near_per_side: usize,
+    /// Far (shortcut) connection budget per node.
+    pub max_shortcuts: usize,
+    /// Shortcuts seeded directly at start; the rest form through live
+    /// maintenance (`0..=max_shortcuts`).
+    pub seeded_shortcuts: usize,
+    /// Overlay maintenance cadence.
+    pub maintenance_interval: Duration,
+    /// Maintenance rounds each node runs before the probe phase.
+    pub maintenance_ticks: u32,
+    /// Number of routing probes (random src → random dst, Exact mode).
+    pub probes: u32,
+    /// Fan shards out over threads; `false` runs them sequentially.
+    /// Both settings produce identical histories.
+    pub parallel: bool,
+}
+
+impl ScaleConfig {
+    /// Defaults for an `nodes`-node ring: 8 shards, 2+2 near edges, 4-slot
+    /// shortcut budget half-seeded, 10 maintenance rounds at 500 ms, one
+    /// probe per node.
+    pub fn ring(nodes: u32) -> Self {
+        ScaleConfig {
+            nodes,
+            shards: 8,
+            seed: 0x5CA1E,
+            near_per_side: 2,
+            max_shortcuts: 4,
+            seeded_shortcuts: 2,
+            maintenance_interval: Duration::from_millis(500),
+            maintenance_ticks: 10,
+            probes: nodes,
+            parallel: true,
+        }
+    }
+}
+
+/// Outcome of one scale run.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    pub nodes: u32,
+    pub shards: u32,
+    /// Simulator events executed.
+    pub events: u64,
+    /// Virtual seconds simulated.
+    pub virtual_s: f64,
+    pub probes_sent: u64,
+    pub probes_delivered: u64,
+    /// Hop counts of delivered probes.
+    pub hops: Vec<u32>,
+    /// Established Far edges per node, averaged.
+    pub mean_far: f64,
+    /// Nodes that reached their full `max_shortcuts` budget.
+    pub full_budget_nodes: u32,
+    /// Exact-mode packets dropped at the closest-but-not-target node.
+    pub dropped_no_target: u64,
+    /// Packets dropped on TTL exhaustion.
+    pub dropped_ttl: u64,
+    /// FNV digest of the full `(time, seq)` execution history — identical
+    /// for sequential and parallel runs of the same config.
+    pub trace_hash: u64,
+    /// Whether the event queues drained before the time limit.
+    pub drained: bool,
+}
+
+impl ScaleReport {
+    pub fn mean_hops(&self) -> f64 {
+        if self.hops.is_empty() {
+            return f64::NAN;
+        }
+        self.hops.iter().map(|&h| h as f64).sum::<f64>() / self.hops.len() as f64
+    }
+
+    /// Hop count at the `q` quantile (`0.0..=1.0`) of delivered probes.
+    pub fn hops_quantile(&self, q: f64) -> u32 {
+        if self.hops.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.hops.clone();
+        sorted.sort_unstable();
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    }
+
+    pub fn log2n(&self) -> f64 {
+        (self.nodes as f64).log2()
+    }
+
+    /// Mean hops over the `log₂N` Kleinberg ideal.
+    pub fn stretch(&self) -> f64 {
+        self.mean_hops() / self.log2n()
+    }
+
+    pub fn delivery_rate(&self) -> f64 {
+        if self.probes_sent == 0 {
+            return f64::NAN;
+        }
+        self.probes_delivered as f64 / self.probes_sent as f64
+    }
+}
+
+/// Events driving the scale world.
+enum ScaleEv {
+    /// A link message from node `src` arriving at node `dst`.
+    Deliver {
+        src: u32,
+        dst: u32,
+        msg: LinkMessage,
+    },
+    /// Maintenance tick on `dst`; reschedules itself `remaining` more times.
+    Tick { dst: u32, remaining: u32 },
+    /// Node `src` originates an Exact-mode probe to node `target`'s address.
+    Probe { src: u32, target: u32 },
+}
+
+/// One shard: a contiguous block of nodes plus local measurement state.
+struct ScaleShardWorld {
+    net: ScaleNet,
+    /// Maintenance tick cadence.
+    interval: Duration,
+    /// First node id of this shard.
+    lo: u32,
+    nodes: Vec<OverlayNode>,
+    /// Global id → overlay address (shared, read-only).
+    addrs: Arc<Vec<Address>>,
+    hops: Vec<u32>,
+    probes_sent: u64,
+    probes_delivered: u64,
+}
+
+impl ScaleShardWorld {
+    /// Flush node `idx`'s outbox into the event fabric and harvest delivered
+    /// probe packets. Every link message — same shard or not — crosses the
+    /// slice barrier with its full link latency, so shard layout never
+    /// affects delivery times.
+    fn pump(&mut self, idx: usize, now: SimTime, ctl: &mut ShardCtl<ScaleEv>) {
+        let src = self.lo + idx as u32;
+        let node = &mut self.nodes[idx];
+        for (ep, msg) in node.take_outbox() {
+            let Some(dst) = self.net.node_of(&ep) else {
+                continue;
+            };
+            let at = now + self.net.latency(src, dst);
+            ctl.send(
+                self.net.shard_of(dst) as usize,
+                at,
+                ScaleEv::Deliver { src, dst, msg },
+            );
+        }
+        for pkt in node.take_delivered() {
+            self.probes_delivered += 1;
+            self.hops.push(pkt.hops as u32);
+        }
+    }
+}
+
+impl ShardWorld for ScaleShardWorld {
+    type Ev = ScaleEv;
+
+    fn handle(&mut self, now: SimTime, ev: ScaleEv, ctl: &mut ShardCtl<ScaleEv>) {
+        match ev {
+            ScaleEv::Deliver { src, dst, msg } => {
+                let idx = (dst - self.lo) as usize;
+                let from = self.net.endpoint(src);
+                self.nodes[idx].on_message(now, from, msg);
+                self.pump(idx, now, ctl);
+            }
+            ScaleEv::Tick { dst, remaining } => {
+                let idx = (dst - self.lo) as usize;
+                self.nodes[idx].on_tick(now);
+                self.pump(idx, now, ctl);
+                if remaining > 0 {
+                    ctl.send_local(
+                        now + self.interval,
+                        ScaleEv::Tick {
+                            dst,
+                            remaining: remaining - 1,
+                        },
+                    );
+                }
+            }
+            ScaleEv::Probe { src, target } => {
+                let idx = (src - self.lo) as usize;
+                let dst_addr = self.addrs[target as usize];
+                self.probes_sent += 1;
+                self.nodes[idx].send_ip(now, dst_addr, vec![0u8; 8]);
+                self.pump(idx, now, ctl);
+            }
+        }
+    }
+}
+
+/// Deterministic unique ring addresses for `n` nodes, in ascending ring
+/// order (node `i` is node `i+1`'s counter-clockwise neighbour).
+fn ring_addresses(n: u32, seed: u64) -> Vec<Address> {
+    let mut rng = StreamRng::new(seed, "scale-addresses");
+    let mut addrs: Vec<Address> = (0..n)
+        .map(|_| {
+            let mut b = [0u8; 20];
+            for chunk in b.chunks_mut(8) {
+                let w = rng.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+            Address(b)
+        })
+        .collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    assert_eq!(addrs.len(), n as usize, "160-bit address collision");
+    addrs
+}
+
+/// Run one scale experiment.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+    assert!(cfg.nodes >= 8, "ring too small to be interesting");
+    assert!(cfg.seeded_shortcuts <= cfg.max_shortcuts);
+    let slice = Duration::from_millis(1);
+    let net = ScaleNet::new(
+        cfg.nodes,
+        cfg.shards,
+        cfg.seed,
+        slice,
+        Duration::from_millis(9),
+    );
+    let n = cfg.nodes as usize;
+    let addrs = Arc::new(ring_addresses(cfg.nodes, cfg.seed));
+    // Hop budget: greedy tail paths run a small multiple of log₂N; the wire
+    // default (32) starts truncating the tail beyond ~10k nodes.
+    let packet_ttl = ((4.0 * (cfg.nodes as f64).log2()) as u8).clamp(32, 128);
+
+    // Build every node, then warm-start the ring: near edges to the
+    // `near_per_side` ring neighbours on each side, plus `seeded_shortcuts`
+    // harmonically-drawn Far edges (both directions, like a completed
+    // handshake). The remaining shortcut budget is left for live maintenance
+    // to fill.
+    let mut nodes: Vec<OverlayNode> = (0..n)
+        .map(|i| {
+            let oc = OverlayConfig::new(addrs[i], net.endpoint(i as u32))
+                .without_link_monitor()
+                .without_anti_entropy()
+                .with_near_per_side(cfg.near_per_side)
+                .with_max_shortcuts(cfg.max_shortcuts)
+                .with_maintenance_interval(cfg.maintenance_interval)
+                .with_packet_ttl(packet_ttl);
+            OverlayNode::new(oc, StreamRng::new(cfg.seed, &format!("scale-node-{i}")))
+        })
+        .collect();
+
+    let t0 = SimTime::ZERO;
+    for (i, node) in nodes.iter_mut().enumerate() {
+        for d in 1..=cfg.near_per_side.min(n / 2) {
+            for j in [(i + d) % n, (i + n - d) % n] {
+                if j != i {
+                    node.seed_connection(
+                        t0,
+                        addrs[j],
+                        net.endpoint(j as u32),
+                        ConnectionKind::Near,
+                    );
+                }
+            }
+        }
+    }
+    let mut far_rng = StreamRng::new(cfg.seed, "scale-seed-far");
+    for i in 0..n {
+        for _ in 0..cfg.seeded_shortcuts {
+            // Symphony/Kleinberg harmonic draw over ring offsets: n^u with
+            // u uniform in (0,1) gives P(offset = d) ∝ 1/d.
+            let offset = ((n as f64).powf(far_rng.unit()) as usize).clamp(1, n - 1);
+            let j = (i + offset) % n;
+            if j == i
+                || nodes[i].connections().contains(&addrs[j])
+                || nodes[j].connections().contains(&addrs[i])
+            {
+                continue; // degenerate draw; maintenance will top the budget up
+            }
+            nodes[i].seed_connection(t0, addrs[j], net.endpoint(j as u32), ConnectionKind::Far);
+            nodes[j].seed_connection(t0, addrs[i], net.endpoint(i as u32), ConnectionKind::Far);
+        }
+    }
+
+    // Partition into contiguous shards (ring neighbours share a shard).
+    let mut worlds = Vec::with_capacity(net.shards() as usize);
+    let mut nodes = nodes.into_iter();
+    for s in 0..net.shards() {
+        let count = (net.shard_end(s) - net.shard_start(s)) as usize;
+        worlds.push(ScaleShardWorld {
+            net,
+            interval: cfg.maintenance_interval,
+            lo: net.shard_start(s),
+            nodes: nodes.by_ref().take(count).collect(),
+            addrs: Arc::clone(&addrs),
+            hops: Vec::new(),
+            probes_sent: 0,
+            probes_delivered: 0,
+        });
+    }
+
+    let mut sim = ShardedSim::new(worlds, slice, cfg.parallel);
+
+    // Maintenance ticks, staggered across one interval so 100k nodes do not
+    // all tick in the same slice.
+    let interval_ns = cfg.maintenance_interval.as_nanos();
+    for i in 0..cfg.nodes {
+        let at = t0 + Duration::from_nanos(i as u64 * interval_ns / cfg.nodes as u64);
+        sim.schedule(
+            net.shard_of(i) as usize,
+            at,
+            ScaleEv::Tick {
+                dst: i,
+                remaining: cfg.maintenance_ticks,
+            },
+        );
+    }
+
+    // Probe phase: random pairs, spaced 1 ms apart after maintenance settles.
+    let probe_start = t0 + Duration::from_nanos(interval_ns * (cfg.maintenance_ticks as u64 + 2));
+    let mut probe_rng = StreamRng::new(cfg.seed, "scale-probes");
+    for p in 0..cfg.probes {
+        let src = probe_rng.index(n) as u32;
+        let mut target = probe_rng.index(n) as u32;
+        if target == src {
+            target = (src + 1) % cfg.nodes;
+        }
+        sim.schedule(
+            net.shard_of(src) as usize,
+            probe_start + Duration::from_millis(p as u64),
+            ScaleEv::Probe { src, target },
+        );
+    }
+
+    // Generous limit: probes plus a minute of routing time; the run drains
+    // long before it (ticks are finite, probes terminate or TTL out).
+    let limit = probe_start + Duration::from_millis(cfg.probes as u64) + Duration::from_secs(60);
+    let outcome = sim.run_until(limit);
+
+    let mut hops = Vec::new();
+    let mut probes_sent = 0;
+    let mut probes_delivered = 0;
+    let mut far_total = 0usize;
+    let mut full_budget = 0u32;
+    let mut dropped_no_target = 0;
+    let mut dropped_ttl = 0;
+    for w in sim.worlds() {
+        hops.extend_from_slice(&w.hops);
+        probes_sent += w.probes_sent;
+        probes_delivered += w.probes_delivered;
+        for node in &w.nodes {
+            let far = node.connections().count_kind(ConnectionKind::Far);
+            far_total += far;
+            if far >= cfg.max_shortcuts {
+                full_budget += 1;
+            }
+            let s = node.stats();
+            dropped_no_target += s.dropped_no_target;
+            dropped_ttl += s.dropped_ttl;
+        }
+    }
+
+    ScaleReport {
+        nodes: cfg.nodes,
+        shards: net.shards(),
+        events: sim.executed(),
+        virtual_s: sim.now().saturating_since(SimTime::ZERO).as_secs_f64(),
+        probes_sent,
+        probes_delivered,
+        hops,
+        mean_far: far_total as f64 / cfg.nodes as f64,
+        full_budget_nodes: full_budget,
+        dropped_no_target,
+        dropped_ttl,
+        trace_hash: sim.trace_hash(),
+        drained: outcome == ShardRunOutcome::Drained,
+    }
+}
+
+/// Run the same config sequentially and in parallel; return the two reports.
+/// Histories must match bit-for-bit (`trace_hash` and all measurements) —
+/// the `--verify` mode of the scale binaries and a tier-1 test assert it.
+pub fn run_both_modes(cfg: &ScaleConfig) -> (ScaleReport, ScaleReport) {
+    let mut seq = cfg.clone();
+    seq.parallel = false;
+    let mut par = cfg.clone();
+    par.parallel = true;
+    (run_scale(&seq), run_scale(&par))
+}
+
+/// Shared `main` for the `ring_10k`/`ring_100k` binaries.
+///
+/// Flags: `--quick` (fewer maintenance rounds and probes, CI-sized),
+/// `--out PATH` (default `BENCH_scale.json` at the repo root),
+/// `--verify` (additionally run a 1k-node config both sequentially and in
+/// parallel and fail unless the histories match bit-for-bit).
+pub fn scale_bin_main(scenario: &'static str, nodes: u32) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let verify = args.iter().any(|a| a == "--verify");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut cfg = ScaleConfig::ring(nodes);
+    if quick {
+        cfg.maintenance_ticks = 6;
+        cfg.probes = (nodes / 5).max(1000).min(nodes);
+    }
+
+    let verified = if verify {
+        eprintln!("{scenario}: verifying parallel == sequential on a 1k ring…");
+        let (seq, par) = run_both_modes(&ScaleConfig {
+            shards: 8,
+            maintenance_ticks: 4,
+            probes: 500,
+            ..ScaleConfig::ring(1000)
+        });
+        let ok = seq.trace_hash == par.trace_hash && seq.hops == par.hops;
+        assert!(
+            ok,
+            "determinism violation: sequential {:#x} vs parallel {:#x}",
+            seq.trace_hash, par.trace_hash
+        );
+        eprintln!(
+            "  ok: trace {:#018x}, {} events",
+            par.trace_hash, par.events
+        );
+        Some(true)
+    } else {
+        None
+    };
+
+    eprintln!(
+        "{scenario} ({mode} mode): {} nodes, {} shards, {} maintenance rounds, {} probes",
+        cfg.nodes, cfg.shards, cfg.maintenance_ticks, cfg.probes
+    );
+    let started = std::time::Instant::now();
+    let r = run_scale(&cfg);
+    let wall_s = started.elapsed().as_secs_f64();
+    let ev_s = r.events as f64 / wall_s;
+
+    eprintln!(
+        "  {} events in {:.2}s wall / {:.1}s virtual -> {:.0} ev/s",
+        r.events, wall_s, r.virtual_s, ev_s
+    );
+    eprintln!(
+        "  probes: {}/{} delivered ({:.2}%), hops mean {:.2} p99 {} max {} | log2N {:.2} -> stretch {:.2}",
+        r.probes_delivered,
+        r.probes_sent,
+        100.0 * r.delivery_rate(),
+        r.mean_hops(),
+        r.hops_quantile(0.99),
+        r.hops_quantile(1.0),
+        r.log2n(),
+        r.stretch()
+    );
+    eprintln!(
+        "  shortcuts: mean Far {:.2}, {} / {} nodes at full budget; drops: no_target {}, ttl {}",
+        r.mean_far, r.full_budget_nodes, r.nodes, r.dropped_no_target, r.dropped_ttl
+    );
+
+    let verified_json = match verified {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"scale\",\n");
+    json.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!("  \"nodes\": {},\n", r.nodes));
+    json.push_str(&format!("  \"shards\": {},\n", r.shards));
+    json.push_str(&format!("  \"events\": {},\n", r.events));
+    json.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    json.push_str(&format!("  \"virtual_s\": {:.1},\n", r.virtual_s));
+    json.push_str(&format!("  \"events_per_sec\": {ev_s:.1},\n"));
+    json.push_str(&format!(
+        "  \"probes\": {{ \"sent\": {}, \"delivered\": {}, \"delivery_rate\": {:.4} }},\n",
+        r.probes_sent,
+        r.probes_delivered,
+        r.delivery_rate()
+    ));
+    json.push_str(&format!(
+        "  \"hops\": {{ \"mean\": {:.3}, \"p50\": {}, \"p99\": {}, \"max\": {} }},\n",
+        r.mean_hops(),
+        r.hops_quantile(0.5),
+        r.hops_quantile(0.99),
+        r.hops_quantile(1.0)
+    ));
+    json.push_str(&format!("  \"log2n\": {:.3},\n", r.log2n()));
+    json.push_str(&format!("  \"stretch\": {:.3},\n", r.stretch()));
+    json.push_str(&format!(
+        "  \"shortcuts\": {{ \"mean_far\": {:.3}, \"full_budget_nodes\": {} }},\n",
+        r.mean_far, r.full_budget_nodes
+    ));
+    json.push_str(&format!(
+        "  \"dropped\": {{ \"no_target\": {}, \"ttl\": {} }},\n",
+        r.dropped_no_target, r.dropped_ttl
+    ));
+    json.push_str(&format!(
+        "  \"determinism\": {{ \"verified\": {verified_json}, \"trace_hash\": \"{:#018x}\" }}\n",
+        r.trace_hash
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    eprintln!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScaleConfig {
+        ScaleConfig {
+            shards: 4,
+            maintenance_ticks: 4,
+            probes: 64,
+            ..ScaleConfig::ring(128)
+        }
+    }
+
+    #[test]
+    fn small_ring_routes_all_probes() {
+        let r = run_scale(&small());
+        assert!(r.drained, "run must drain");
+        assert_eq!(r.probes_sent, 64);
+        assert_eq!(r.probes_delivered, 64, "every probe must arrive");
+        assert_eq!(r.dropped_no_target, 0, "no blackholed probes");
+        assert!(r.mean_far >= 2.0, "seeded shortcuts survive maintenance");
+        // 128 nodes: log2 = 7; greedy with shortcuts must beat ring walking
+        // (mean ~32 hops on a bare 128-ring with 2 near per side).
+        assert!(
+            r.mean_hops() < 3.0 * r.log2n(),
+            "mean hops {} vs log2N {}",
+            r.mean_hops(),
+            r.log2n()
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_histories_match() {
+        let (seq, par) = run_both_modes(&small());
+        assert_eq!(seq.trace_hash, par.trace_hash);
+        assert_eq!(seq.events, par.events);
+        assert_eq!(seq.hops, par.hops);
+        assert_eq!(seq.probes_delivered, par.probes_delivered);
+        assert_eq!(seq.mean_far, par.mean_far);
+    }
+
+    #[test]
+    fn same_config_replays_identically() {
+        let a = run_scale(&small());
+        let b = run_scale(&small());
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.hops, b.hops);
+    }
+
+    #[test]
+    fn maintenance_fills_the_shortcut_budget() {
+        // Zero seeded shortcuts: every Far edge must come from live
+        // request_shortcut maintenance over the seeded ring.
+        let mut cfg = small();
+        cfg.seeded_shortcuts = 0;
+        cfg.maintenance_ticks = 8;
+        cfg.probes = 16;
+        let r = run_scale(&cfg);
+        assert!(r.drained);
+        assert!(
+            r.mean_far >= 1.0,
+            "maintenance formed shortcuts (mean_far {})",
+            r.mean_far
+        );
+        assert_eq!(r.probes_delivered, r.probes_sent);
+    }
+}

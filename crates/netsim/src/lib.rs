@@ -17,6 +17,7 @@ pub mod host;
 pub mod link;
 pub mod nat;
 pub mod network;
+pub mod scale;
 pub mod site;
 pub mod topology;
 
@@ -26,5 +27,6 @@ pub use host::{Host, HostAgent, HostCounters, HostCtx, HostId};
 pub use link::{Link, LinkOutcome, LinkParams, LinkState};
 pub use nat::{Endpoint, NatBox, NatType};
 pub use network::{Control, CoreParams, NetCounters, NetEvent, Network, NetworkSim, SiteId};
+pub use scale::ScaleNet;
 pub use site::{Prefix, Site, SiteSpec};
 pub use topology::{fig4_testbed, lan_pair, planetlab, wan_pair, Fig4Testbed, PlanetLab};

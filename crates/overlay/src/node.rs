@@ -63,6 +63,10 @@ pub struct OverlayConfig {
     /// what re-merges the sub-rings after the partition heals (the hellos
     /// are simply lost while it lasts).
     pub bootstrap_retry_interval: Duration,
+    /// Hop budget stamped on packets this node originates. The wire default
+    /// (32) suits rings up to ~10k nodes; greedy tail paths at 100k need
+    /// more, so scale deployments raise it to a few multiples of `log₂N`.
+    pub packet_ttl: u8,
     /// Configuration of the replicated soft-state DHT.
     pub dht: DhtConfig,
 }
@@ -84,6 +88,7 @@ impl OverlayConfig {
             probe_interval: Duration::from_secs(1),
             probe_failure_limit: 3,
             bootstrap_retry_interval: Duration::from_secs(30),
+            packet_ttl: 32,
             dht: DhtConfig::default(),
         }
     }
@@ -137,6 +142,30 @@ impl OverlayConfig {
     /// Builder: set the interval between anti-entropy sweeps.
     pub fn with_sweep_interval(mut self, interval: Duration) -> Self {
         self.dht.sweep_interval = interval;
+        self
+    }
+
+    /// Builder: set the shortcut (Far connection) budget.
+    pub fn with_max_shortcuts(mut self, max_shortcuts: usize) -> Self {
+        self.max_shortcuts = max_shortcuts;
+        self
+    }
+
+    /// Builder: set the number of structured-near neighbours kept per side.
+    pub fn with_near_per_side(mut self, near_per_side: usize) -> Self {
+        self.near_per_side = near_per_side.max(1);
+        self
+    }
+
+    /// Builder: set the interval between maintenance ticks.
+    pub fn with_maintenance_interval(mut self, interval: Duration) -> Self {
+        self.maintenance_interval = interval;
+        self
+    }
+
+    /// Builder: set the hop budget for packets this node originates.
+    pub fn with_packet_ttl(mut self, ttl: u8) -> Self {
+        self.packet_ttl = ttl.max(1);
         self
     }
 }
@@ -202,6 +231,9 @@ pub struct OverlayStats {
     pub dht_sync_pulls: u64,
     /// Fresher local copies pushed back at a digest sender.
     pub dht_sync_pushes: u64,
+    /// Shortcut target draws rejected because the predicted responder was
+    /// already a connected peer (the draw was retried at no protocol cost).
+    pub shortcut_redraws: u64,
 }
 
 struct PendingLink {
@@ -337,7 +369,7 @@ pub struct OverlayNode {
     table: ConnectionTable,
     outbox: Vec<(Endpoint, LinkMessage)>,
     delivered: VecDeque<RoutedPacket>,
-    dht: Box<dyn DhtStore>,
+    dht: Box<dyn DhtStore + Send>,
     dht_replies: VecDeque<(u64, Option<Bytes>)>,
     dht_create_replies: VecDeque<(u64, bool, Option<Bytes>)>,
     /// Records this node publishes, keyed by DHT key. `BTreeMap` so the
@@ -432,6 +464,11 @@ impl OverlayNode {
         s
     }
 
+    /// The node's configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.cfg
+    }
+
     /// The connection table (read-only).
     pub fn connections(&self) -> &ConnectionTable {
         &self.table
@@ -460,6 +497,31 @@ impl OverlayNode {
         for ep in self.cfg.bootstrap.clone() {
             self.send_hello(now, ep, ConnectionKind::Leaf);
         }
+    }
+
+    /// Install an already-established edge without a handshake, marking the
+    /// node started and connected. Scale harnesses use this to warm-start a
+    /// converged ring (seeding both directions of each Near edge) so 10k+
+    /// node runs skip the bootstrap phase; protocol-level convergence stays
+    /// covered by the smaller end-to-end tests.
+    pub fn seed_connection(
+        &mut self,
+        now: SimTime,
+        peer: Address,
+        endpoint: Endpoint,
+        kind: ConnectionKind,
+    ) {
+        debug_assert_ne!(peer, self.cfg.address, "cannot seed an edge to self");
+        self.started = true;
+        self.ever_connected = true;
+        self.table.upsert(Connection {
+            peer,
+            endpoint,
+            kind,
+            state: ConnectionState::Established,
+            last_heard: now,
+            last_ping_sent: now,
+        });
     }
 
     /// Gracefully leave: hand every stored DHT record off to the ring
@@ -724,10 +786,11 @@ impl OverlayNode {
             } => {
                 self.learn_observed(observed);
                 if peer != self.cfg.address {
+                    let merged = self.merged_kind(&peer, kind);
                     self.table.upsert(Connection {
                         peer,
                         endpoint: from,
-                        kind,
+                        kind: merged,
                         state: ConnectionState::Established,
                         last_heard: now,
                         last_ping_sent: now,
@@ -751,10 +814,11 @@ impl OverlayNode {
                 self.learn_observed(observed);
                 self.pending_links.remove(&token);
                 if peer != self.cfg.address {
+                    let merged = self.merged_kind(&peer, kind);
                     self.table.upsert(Connection {
                         peer,
                         endpoint: from,
-                        kind,
+                        kind: merged,
                         state: ConnectionState::Established,
                         last_heard: now,
                         last_ping_sent: now,
@@ -832,6 +896,14 @@ impl OverlayNode {
         // 2. Ring repair: request a connection to the node nearest ourselves, and
         //    link towards any gossip candidate that improves our neighbour set.
         self.request_near_connections(now);
+        // 2b. Reclassify Near edges that fell outside the near set: connect
+        //     requests issued while the ring is still converging terminate at
+        //     whatever node is closest within a tiny connected component, so
+        //     early hubs accumulate dozens of symmetric "Near" edges to
+        //     distant peers. Those edges are, in truth, far links — counting
+        //     them against the shortcut budget (instead of leaving the near
+        //     count inflated forever) is what lets the far budget fill.
+        self.reclassify_near_edges();
         // 3. Shortcuts.
         if self.cfg.shortcuts_enabled
             && self.table.count_kind(ConnectionKind::Far) < self.cfg.max_shortcuts
@@ -939,6 +1011,11 @@ impl OverlayNode {
             }
             _ => None,
         };
+        // Origination (a forwarded packet always arrives with `hops >= 1`):
+        // stamp this node's configured hop budget.
+        if pkt.hops == 0 {
+            pkt.ttl = self.cfg.packet_ttl;
+        }
         let my_dist = self.cfg.address.ring_distance(&pkt.dst);
         let next = self
             .table
@@ -1015,11 +1092,16 @@ impl OverlayNode {
                 if *responder == self.cfg.address {
                     return;
                 }
-                let kind = self
-                    .pending_links
-                    .get(token)
-                    .map(|p| p.kind)
-                    .unwrap_or(ConnectionKind::Near);
+                // Only act while the request is still pending. The responder
+                // hellos our endpoints directly as well, and those usually win
+                // the race: the HelloAck consumes the token. Falling back to
+                // `Near` here re-helloed every completed *shortcut* as Near,
+                // promoting the fresh Far edge on both ends — heavily-chosen
+                // responders snowballed into full Near meshes and their far
+                // budget could never fill.
+                let Some(kind) = self.pending_links.get(token).map(|p| p.kind) else {
+                    return;
+                };
                 for ep in endpoints.clone() {
                     self.send_hello(now, ep, kind);
                 }
@@ -1316,36 +1398,183 @@ impl OverlayNode {
             .collect();
         let worst_right = current_right.last().map(|a| me.clockwise_distance(a));
         let worst_left = current_left.last().map(|a| a.clockwise_distance(&me));
-        let candidates: Vec<(Address, Endpoint)> = self
+        // Peers already linked as Near are settled; an existing Far or Leaf
+        // edge stays eligible — when a true ring neighbour first joined us
+        // via a shortcut or bootstrap handshake, re-helloing it as Near
+        // promotes the edge on both ends (freeing the shortcut budget slot
+        // it may have been occupying).
+        let mut candidates: Vec<(Address, Endpoint)> = self
             .candidates
             .iter()
-            .filter(|(a, _)| **a != me && !self.table.contains(a))
+            .filter(|(a, _)| {
+                **a != me
+                    && self
+                        .table
+                        .get(a)
+                        .is_none_or(|c| c.kind != ConnectionKind::Near)
+            })
             .map(|(a, e)| (*a, *e))
             .collect();
-        for (addr, ep) in candidates {
-            let improves_right = current_right.len() < self.cfg.near_per_side
+        // Of the improving candidates, link only towards the best
+        // `near_per_side` per side. While the near set is underfull every
+        // candidate "improves", and helloing the whole gossip backlog at once
+        // permanently meshed small rings (and at scale would flood a joining
+        // node); the nearest candidates are the only ones that can end up in
+        // the converged near set anyway.
+        candidates.sort_by_key(|(a, _)| me.clockwise_distance(a));
+        let mut picked: Vec<(Address, Endpoint)> = Vec::new();
+        for &(addr, ep) in candidates.iter().take(self.cfg.near_per_side) {
+            let improves = current_right.len() < self.cfg.near_per_side
                 || worst_right.is_some_and(|w| me.clockwise_distance(&addr) < w);
-            let improves_left = current_left.len() < self.cfg.near_per_side
-                || worst_left.is_some_and(|w| addr.clockwise_distance(&me) < w);
-            if improves_right || improves_left {
-                self.send_hello(now, ep, ConnectionKind::Near);
-                // Consume the candidate: if the hello lands, the edge appears in
-                // the table; if the peer is gone, gossip will not resurrect it
-                // and we stop retrying a dead endpoint every tick.
-                self.candidates.remove(&addr);
+            if improves {
+                picked.push((addr, ep));
             }
         }
+        candidates.sort_by_key(|(a, _)| a.clockwise_distance(&me));
+        for &(addr, ep) in candidates.iter().take(self.cfg.near_per_side) {
+            let improves = current_left.len() < self.cfg.near_per_side
+                || worst_left.is_some_and(|w| addr.clockwise_distance(&me) < w);
+            if improves && !picked.contains(&(addr, ep)) {
+                picked.push((addr, ep));
+            }
+        }
+        for (addr, ep) in picked {
+            self.send_hello(now, ep, ConnectionKind::Near);
+            // Consume the candidate: if the hello lands, the edge appears in
+            // the table; if the peer is gone, gossip will not resurrect it
+            // and we stop retrying a dead endpoint every tick.
+            self.candidates.remove(&addr);
+        }
+    }
+
+    /// Demote established `Near` edges that are not among the
+    /// `near_per_side` nearest established peers on either side: they are far
+    /// links in fact, and belong to the shortcut budget. Adjacency is decided
+    /// purely from local state, so the classification is stable — unlike the
+    /// old behaviour of trusting whatever kind the last handshake carried.
+    fn reclassify_near_edges(&mut self) {
+        let me = self.cfg.address;
+        let near_set: Vec<Address> = self
+            .table
+            .right_neighbors(&me, self.cfg.near_per_side)
+            .iter()
+            .chain(
+                self.table
+                    .left_neighbors(&me, self.cfg.near_per_side)
+                    .iter(),
+            )
+            .map(|c| c.peer)
+            .collect();
+        // Outside the near set, a Near label is a leftover from an
+        // unconverged handshake: demote to Far. The reverse (a true ring
+        // neighbour labelled Far) heals through the handshake path — the
+        // candidate scan re-hellos it as Near and `merged_kind` promotes —
+        // so ring repair keeps its "fewer Near edges than budget" trigger.
+        let demote: Vec<Connection> = self
+            .table
+            .established()
+            .filter(|c| c.kind == ConnectionKind::Near && !near_set.contains(&c.peer))
+            .cloned()
+            .collect();
+        for mut conn in demote {
+            conn.kind = ConnectionKind::Far;
+            self.table.upsert(conn);
+        }
+    }
+
+    /// Kind to record for an edge a handshake proposes as `proposed`: an
+    /// existing edge keeps its classification unless the proposal outranks it
+    /// (`Leaf < Far < Near`). Without this, a shortcut handshake landing on a
+    /// current Near neighbour silently demoted it to Far — the near count
+    /// dropped, ring repair re-requested the same neighbour, and both
+    /// budgets were miscounted under load.
+    fn merged_kind(&self, peer: &Address, proposed: ConnectionKind) -> ConnectionKind {
+        fn rank(k: ConnectionKind) -> u8 {
+            match k {
+                ConnectionKind::Leaf => 0,
+                ConnectionKind::Far => 1,
+                ConnectionKind::Near => 2,
+            }
+        }
+        match self.table.get(peer) {
+            Some(existing) if rank(existing.kind) >= rank(proposed) => existing.kind,
+            _ => proposed,
+        }
+    }
+
+    /// Draw one Kleinberg shortcut offset: `d = 2^bits` with `bits` uniform in
+    /// `[floor_bits, 160)` (log-uniform over ring distances) and an 8-bit
+    /// mantissa so targets fall between the powers of two rather than on them.
+    fn draw_shortcut_distance(&mut self, floor_bits: f64) -> Distance {
+        let bits = floor_bits + self.rng.unit() * (160.0 - floor_bits);
+        let exp = (bits as u32).min(159);
+        // d = m << (exp - 8) with a 9-bit mantissa m ∈ [256, 512).
+        let m = ((bits - exp as f64).exp2() * 256.0) as u64;
+        let mut out = [0u8; 20];
+        if exp < 8 {
+            out[19] = 1u8 << exp;
+        } else {
+            let shift = exp - 8;
+            let mut v = m << (shift % 8);
+            let mut byte = 19 - (shift / 8) as usize;
+            while v > 0 {
+                out[byte] = (v & 0xFF) as u8;
+                v >>= 8;
+                if byte == 0 {
+                    break;
+                }
+                byte -= 1;
+            }
+        }
+        Distance(out)
     }
 
     fn request_shortcut(&mut self, now: SimTime) {
         // Kleinberg / Symphony harmonic distance: pick d = 2^(160·u) with u ∈ (0,1),
         // i.e. uniform in log-space, and connect to the node closest to self + d.
-        let u = self.rng.unit().max(1e-9);
-        let bits = (160.0 * u) as u32;
-        let mut dist = [0u8; 20];
-        let byte = 19 - (bits / 8) as usize;
-        dist[byte] = 1u8 << (bits % 8) as u8;
-        let target = self.cfg.address.add_distance(&Distance(dist));
+        //
+        // Two degenerate draw classes only show up at scale and silently burn
+        // the maintenance tick (pinning nodes below `max_shortcuts` for long
+        // stretches):
+        //  - d smaller than the gap to our nearest neighbour: the request
+        //    terminates at a node we are already connected to;
+        //  - d landing the target next to an existing Far peer: ditto.
+        // So the log-space draw is floored just above the nearest-neighbour
+        // gap, and draws whose locally-predicted responder is already a
+        // connected peer adjacent to the target are redrawn (bounded).
+        let me = self.cfg.address;
+        let nearest = self.table.best_distance_to(&me);
+        // Bit-length of the nearest-neighbour gap; draws below it are wasted.
+        let floor_bits = (161 - nearest.leading_zero_bits()).min(156) as f64;
+        let mut target = None;
+        for _ in 0..8 {
+            let d = self.draw_shortcut_distance(floor_bits);
+            let t = me.add_distance(&d);
+            let predicted = self
+                .table
+                .closest_to(&t)
+                .map(|c| (c.peer, c.peer.ring_distance(&t)));
+            match predicted {
+                // The draw most likely terminates at an already-connected
+                // peer (it sits within about one ring gap of the target):
+                // retry in a different octave.
+                Some((peer, pd)) if peer != me && pd <= nearest => {
+                    self.stats.shortcut_redraws += 1;
+                }
+                _ => {
+                    target = Some(t);
+                    break;
+                }
+            }
+        }
+        let Some(target) = target else {
+            // Every draw predicted an already-connected responder (the
+            // prediction is local, but eight straight hits mean the table
+            // already covers the draw range): skip the tick instead of
+            // burning a routed request and a pending link on a duplicate.
+            // Next tick redraws afresh.
+            return;
+        };
         let token = self.fresh_token();
         self.pending_links.insert(
             token,
@@ -2735,6 +2964,28 @@ mod tests {
             .map(|n| n.connections().count_kind(ConnectionKind::Far))
             .sum();
         assert!(far_edges > 0, "some shortcut connections should exist");
+    }
+
+    /// Regression: a node with free shortcut budget and reachable far targets
+    /// must converge to (at least) `max_shortcuts` Far edges. Before the
+    /// floored, mantissa-bearing draw in `request_shortcut`, degenerate draws
+    /// (distances inside the node's own neighbour gap, or re-draws of already
+    /// connected peers) silently burnt maintenance ticks and could pin a node
+    /// below its budget indefinitely.
+    #[test]
+    fn shortcut_budget_converges_to_max_shortcuts() {
+        let mut h = Harness::new(32);
+        h.start_all();
+        h.run(120);
+        for (i, n) in h.nodes.iter().enumerate() {
+            let far = n.connections().count_kind(ConnectionKind::Far);
+            assert!(
+                far >= n.config().max_shortcuts,
+                "node {i} ({}) stuck at {far}/{} Far edges",
+                n.address().short(),
+                n.config().max_shortcuts
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! table: a packet is forwarded to the connection whose address is closest to the
 //! destination.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
 use ipop_simcore::SimTime;
 
@@ -45,17 +46,23 @@ pub struct Connection {
 /// Keyed by a `BTreeMap` so every iteration order is deterministic: edge scans
 /// feed directly into message emission order, and the simulator guarantees
 /// that identical seeds replay identically.
+///
+/// A secondary ordered index over the *established* peer addresses makes the
+/// per-hop lookups (`closest_to`, `right_neighbors`, …) O(log E) range queries
+/// instead of full-table scans: the closest peer to a target on a ring is
+/// always the target's predecessor or successor in circular address order.
 #[derive(Debug, Default)]
 pub struct ConnectionTable {
     connections: BTreeMap<Address, Connection>,
+    /// Addresses of connections in `Established` state, in ring order.
+    /// Maintained by `upsert`/`remove`; state never changes in place.
+    established: BTreeSet<Address>,
 }
 
 impl ConnectionTable {
     /// An empty table.
     pub fn new() -> Self {
-        ConnectionTable {
-            connections: BTreeMap::new(),
-        }
+        ConnectionTable::default()
     }
 
     /// Number of edges (any state).
@@ -70,11 +77,19 @@ impl ConnectionTable {
 
     /// Insert or update an edge.
     pub fn upsert(&mut self, conn: Connection) {
-        self.connections.insert(conn.peer, conn);
+        let peer = conn.peer;
+        let established = conn.state == ConnectionState::Established;
+        self.connections.insert(peer, conn);
+        if established {
+            self.established.insert(peer);
+        } else {
+            self.established.remove(&peer);
+        }
     }
 
     /// Remove an edge.
     pub fn remove(&mut self, peer: &Address) -> Option<Connection> {
+        self.established.remove(peer);
         self.connections.remove(peer)
     }
 
@@ -83,7 +98,10 @@ impl ConnectionTable {
         self.connections.get(peer)
     }
 
-    /// Borrow an edge mutably.
+    /// Borrow an edge mutably — for liveness bookkeeping (`last_heard`,
+    /// `last_ping_sent`, `endpoint`) only. `peer` and `state` must not change
+    /// through this handle or the established index desynchronises; state
+    /// transitions go through [`ConnectionTable::upsert`].
     pub fn get_mut(&mut self, peer: &Address) -> Option<&mut Connection> {
         self.connections.get_mut(peer)
     }
@@ -98,16 +116,9 @@ impl ConnectionTable {
         self.connections.values()
     }
 
-    /// Iterate over all edges mutably.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Connection> {
-        self.connections.values_mut()
-    }
-
-    /// Established edges only.
+    /// Established edges only, in ascending address order.
     pub fn established(&self) -> impl Iterator<Item = &Connection> {
-        self.connections
-            .values()
-            .filter(|c| c.state == ConnectionState::Established)
+        self.established.iter().map(|a| &self.connections[a])
     }
 
     /// Number of established edges of a given kind.
@@ -125,14 +136,42 @@ impl ConnectionTable {
     /// `exclude`. Used when routing a connect request toward the initiator's own
     /// address: the packet must terminate at the initiator's nearest *other*
     /// node, not bounce straight back to the initiator.
+    ///
+    /// Ring distance is unimodal in circular address order from `target`
+    /// (it grows with the clockwise offset up to the antipode, then shrinks),
+    /// so the minimum over any peer subset is attained at the subset's first
+    /// or last element in that order. With at most one excluded peer it is
+    /// enough to inspect the first non-excluded peer on each side of `target`
+    /// — two O(log E) range probes instead of a full scan. Distance ties
+    /// resolve to the smaller address, matching what a `min_by_key` over
+    /// ascending-address iteration returned.
     pub fn closest_to_excluding(
         &self,
         target: &Address,
         exclude: Option<&Address>,
     ) -> Option<&Connection> {
-        self.established()
-            .filter(|c| exclude != Some(&c.peer))
-            .min_by_key(|c| c.peer.ring_distance(target))
+        let not_excluded = |a: &&Address| exclude != Some(*a);
+        // Successor side: `target` and up, wrapping to the bottom of the ring.
+        let cw = self
+            .established
+            .range(*target..)
+            .chain(self.established.range(..*target))
+            .find(not_excluded);
+        // Predecessor side: just below `target`, wrapping to the top.
+        let ccw = self
+            .established
+            .range(..*target)
+            .rev()
+            .chain(self.established.range(*target..).rev())
+            .find(not_excluded);
+        let mut best: Option<(Distance, &Address)> = None;
+        for cand in [cw, ccw].into_iter().flatten() {
+            let key = (cand.ring_distance(target), cand);
+            if best.is_none_or(|(d, a)| key < (d, a)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, a)| &self.connections[a])
     }
 
     /// The ring distance from the closest established connection to `target`
@@ -143,24 +182,36 @@ impl ConnectionTable {
     }
 
     /// The `count` established peers nearest to `me` in the clockwise (right)
-    /// direction, closest first.
+    /// direction, closest first: ascending addresses from `me`, wrapping.
     pub fn right_neighbors(&self, me: &Address, count: usize) -> Vec<&Connection> {
-        let mut peers: Vec<&Connection> = self.established().collect();
-        peers.sort_by_key(|c| me.clockwise_distance(&c.peer));
-        peers.into_iter().take(count).collect()
+        self.established
+            .range(*me..)
+            .chain(self.established.range(..*me))
+            .take(count)
+            .map(|a| &self.connections[a])
+            .collect()
     }
 
     /// The `count` established peers nearest to `me` in the counter-clockwise
-    /// (left) direction, closest first.
+    /// (left) direction, closest first: descending addresses from `me`, wrapping.
     pub fn left_neighbors(&self, me: &Address, count: usize) -> Vec<&Connection> {
-        let mut peers: Vec<&Connection> = self.established().collect();
-        peers.sort_by_key(|c| c.peer.clockwise_distance(me));
-        peers.into_iter().take(count).collect()
+        self.established
+            .get(me)
+            .into_iter()
+            .chain(self.established.range(..*me).rev())
+            .chain(
+                self.established
+                    .range((Bound::Excluded(*me), Bound::Unbounded))
+                    .rev(),
+            )
+            .take(count)
+            .map(|a| &self.connections[a])
+            .collect()
     }
 
     /// All established peer addresses.
     pub fn peers(&self) -> Vec<Address> {
-        self.established().map(|c| c.peer).collect()
+        self.established.iter().copied().collect()
     }
 }
 

@@ -146,6 +146,120 @@ proptest! {
     }
 }
 
+// ------------------------------------------------- ordered connection table
+
+use ipop_overlay::packets::ConnectionKind;
+use ipop_overlay::table::{Connection, ConnectionState, ConnectionTable};
+
+/// Build a table from generated words: each word yields a peer address (low
+/// byte stretched over the top bytes so distance ties across the ring are
+/// common), a state and a kind. Returns the table plus the established
+/// connections for the linear reference scan.
+fn build_table(words: &[u64]) -> (ConnectionTable, Vec<(Address, ConnectionKind)>) {
+    let mut table = ConnectionTable::new();
+    let mut reference = Vec::new();
+    for &w in words {
+        let mut b = [0u8; 20];
+        // Tiny address space (16 distinct values) to force collisions, exact
+        // hits, and equidistant pairs around any target.
+        b[0] = ((w & 0xF) as u8) << 4;
+        let peer = Address(b);
+        let state = if w & 0x10 != 0 {
+            ConnectionState::Established
+        } else {
+            ConnectionState::Connecting
+        };
+        let kind = match (w >> 5) & 0x3 {
+            0 => ConnectionKind::Near,
+            1 => ConnectionKind::Far,
+            _ => ConnectionKind::Leaf,
+        };
+        table.upsert(Connection {
+            peer,
+            endpoint: (std::net::Ipv4Addr::new(10, 0, 0, 1), 4001),
+            kind,
+            state,
+            last_heard: SimTime::ZERO,
+            last_ping_sent: SimTime::ZERO,
+        });
+        reference.retain(|(p, _)| *p != peer);
+        if state == ConnectionState::Established {
+            reference.push((peer, kind));
+        }
+        if w & 0x100 != 0 {
+            // Occasionally delete, so the index sees removals too.
+            table.remove(&peer);
+            reference.retain(|(p, _)| *p != peer);
+        }
+    }
+    reference.sort_by_key(|(p, _)| *p);
+    (table, reference)
+}
+
+fn target_addr(sel: u8) -> Address {
+    let mut b = [0u8; 20];
+    b[0] = sel;
+    Address(b)
+}
+
+proptest! {
+    #[test]
+    fn ordered_table_matches_linear_reference(
+        words in proptest::collection::vec(any::<u64>(), 0..24),
+        target_sel in any::<u8>(),
+        exclude_sel in any::<u8>(),
+    ) {
+        let (table, reference) = build_table(&words);
+        let target = target_addr(target_sel);
+        let exclude = target_addr((exclude_sel & 0xF) << 4);
+
+        // closest_to / closest_to_excluding == min_by_key over an
+        // ascending-address linear scan (first minimum wins ties).
+        for excl in [None, Some(&exclude)] {
+            let expect = reference
+                .iter()
+                .filter(|(p, _)| excl != Some(p))
+                .min_by_key(|(p, _)| p.ring_distance(&target))
+                .map(|(p, _)| *p);
+            let got = table.closest_to_excluding(&target, excl).map(|c| c.peer);
+            prop_assert_eq!(got, expect, "target {:?} exclude {:?}", target, excl);
+        }
+
+        // right/left neighbors == stable sort by clockwise distance.
+        for count in [1usize, 3, reference.len() + 1] {
+            let mut right: Vec<Address> = reference.iter().map(|(p, _)| *p).collect();
+            right.sort_by_key(|p| target.clockwise_distance(p));
+            let got_right: Vec<Address> = table
+                .right_neighbors(&target, count)
+                .iter()
+                .map(|c| c.peer)
+                .collect();
+            prop_assert_eq!(&got_right[..], &right[..count.min(right.len())]);
+
+            let mut left: Vec<Address> = reference.iter().map(|(p, _)| *p).collect();
+            left.sort_by_key(|p| p.clockwise_distance(&target));
+            let got_left: Vec<Address> = table
+                .left_neighbors(&target, count)
+                .iter()
+                .map(|c| c.peer)
+                .collect();
+            prop_assert_eq!(&got_left[..], &left[..count.min(left.len())]);
+        }
+
+        // Established iteration, peers() and kind counts agree with the
+        // reference set.
+        let got_peers: Vec<Address> = table.peers();
+        let expect_peers: Vec<Address> = reference.iter().map(|(p, _)| *p).collect();
+        prop_assert_eq!(got_peers, expect_peers);
+        for kind in [ConnectionKind::Near, ConnectionKind::Far, ConnectionKind::Leaf] {
+            prop_assert_eq!(
+                table.count_kind(kind),
+                reference.iter().filter(|(_, k)| *k == kind).count()
+            );
+        }
+    }
+}
+
 // ----------------------------------------------------------- anti-entropy
 
 use std::collections::BTreeMap;
@@ -316,4 +430,184 @@ proptest! {
         prop_assert_eq!(live_contents(&a, now), live_a);
         prop_assert_eq!(live_contents(&b, now), live_b);
     }
+}
+
+// --------------------------------------------------------------------------
+// Greedy routing over a converged ring with shortcuts: every Exact-mode
+// packet reaches its target, with no loops, over *real* OverlayNodes (the
+// same `route` path production runs), including asymmetric Far edges.
+
+use std::net::Ipv4Addr;
+
+use ipop_overlay::node::{OverlayConfig, OverlayNode};
+use ipop_simcore::StreamRng;
+
+fn ep_of(i: usize) -> (Ipv4Addr, u16) {
+    (
+        Ipv4Addr::new(10, 9, (i / 200) as u8, (i % 200 + 1) as u8),
+        4001,
+    )
+}
+
+fn idx_of(ep: &(Ipv4Addr, u16)) -> usize {
+    let o = ep.0.octets();
+    o[2] as usize * 200 + o[3] as usize - 1
+}
+
+/// A ring of `n` real nodes at the given addresses with `near_per_side = 2`
+/// near edges seeded both ways.
+fn converged_ring(addrs: &[Address]) -> Vec<OverlayNode> {
+    let n = addrs.len();
+    let now = SimTime::ZERO;
+    let mut nodes: Vec<OverlayNode> = (0..n)
+        .map(|i| {
+            let cfg = OverlayConfig::new(addrs[i], ep_of(i))
+                .without_link_monitor()
+                .without_anti_entropy();
+            OverlayNode::new(cfg, StreamRng::new(7, &format!("route-{i}")))
+        })
+        .collect();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        for d in 1..=2usize.min(n / 2) {
+            for j in [(i + d) % n, (i + n - d) % n] {
+                if j != i {
+                    node.seed_connection(now, addrs[j], ep_of(j), ConnectionKind::Near);
+                }
+            }
+        }
+    }
+    nodes
+}
+
+/// Deliver every queued link message (zero latency) until the network goes
+/// quiet; panics if it fails to quiesce (a routing loop would spin forever).
+fn pump_until_quiet(nodes: &mut [OverlayNode]) {
+    let now = SimTime::ZERO;
+    for _ in 0..10_000 {
+        let mut moved = false;
+        for i in 0..nodes.len() {
+            for (ep, msg) in nodes[i].take_outbox() {
+                nodes[idx_of(&ep)].on_message(now, ep_of(i), msg);
+                moved = true;
+            }
+        }
+        if !moved {
+            return;
+        }
+    }
+    panic!("network failed to quiesce: routing loop");
+}
+
+proptest! {
+    /// Over a converged ring plus arbitrary (possibly one-directional) Far
+    /// shortcuts, every Exact-mode probe is delivered to its target in at
+    /// most N hops with nothing dropped — greedy routing's
+    /// strictly-decreasing-distance rule can neither loop nor blackhole.
+    #[test]
+    fn greedy_routing_reaches_every_target(
+        words in proptest::collection::vec(any::<u64>(), 12..24),
+        shortcuts in proptest::collection::vec(any::<u64>(), 0..32),
+        pairs in proptest::collection::vec(any::<u64>(), 1..24),
+    ) {
+        // Distinct ring addresses from the generated words.
+        let mut addrs: Vec<Address> = words
+            .iter()
+            .map(|&w| {
+                let mut b = [0u8; 20];
+                b[..8].copy_from_slice(&w.to_be_bytes());
+                Address(b)
+            })
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        if addrs.len() < 8 {
+            return; // too many collisions in the drawn words; skip the case
+        }
+        let n = addrs.len();
+        let mut nodes = converged_ring(&addrs);
+
+        // Asymmetric shortcuts: seeded in ONE direction only.
+        for &w in &shortcuts {
+            let i = (w % n as u64) as usize;
+            let j = ((w >> 16) % n as u64) as usize;
+            if i != j {
+                nodes[i].seed_connection(
+                    SimTime::ZERO, addrs[j], ep_of(j), ConnectionKind::Far,
+                );
+            }
+        }
+
+        for &w in &pairs {
+            let src = (w % n as u64) as usize;
+            let mut dst = ((w >> 16) % n as u64) as usize;
+            if dst == src {
+                dst = (src + 1) % n;
+            }
+            nodes[src].send_ip(SimTime::ZERO, addrs[dst], vec![0xAB; 4]);
+            pump_until_quiet(&mut nodes);
+            let got = nodes[dst].take_delivered();
+            prop_assert_eq!(got.len(), 1, "probe {}->{} not delivered", src, dst);
+            prop_assert!(
+                (got[0].hops as usize) < n,
+                "{} hops on an {}-node ring: a loop slipped through",
+                got[0].hops, n
+            );
+        }
+        for node in &nodes {
+            let s = node.stats();
+            prop_assert_eq!(s.dropped_no_target, 0, "blackholed packet");
+            prop_assert_eq!(s.dropped_ttl, 0, "TTL exhaustion on a converged ring");
+        }
+    }
+}
+
+/// Two nodes exactly equidistant from a key, each holding a Far edge to the
+/// other (the shape left behind by asymmetric shortcut formation): the
+/// strictly-decreasing-distance rule forbids the equal-distance forward, so
+/// the packet is dropped at the first of the pair instead of ping-ponging
+/// between them until TTL death.
+#[test]
+fn exact_mode_never_ping_pongs_between_equidistant_nodes() {
+    let mk = |hi: u8| {
+        let mut b = [0u8; 20];
+        b[0] = hi;
+        Address(b)
+    };
+    let (a, b, key) = (mk(0x10), mk(0x30), mk(0x20));
+    assert_eq!(a.ring_distance(&key), b.ring_distance(&key), "test shape");
+
+    let now = SimTime::ZERO;
+    let mut node_a = OverlayNode::new(
+        OverlayConfig::new(a, ep_of(0)).without_link_monitor(),
+        StreamRng::new(1, "pp-a"),
+    );
+    let mut node_b = OverlayNode::new(
+        OverlayConfig::new(b, ep_of(1)).without_link_monitor(),
+        StreamRng::new(1, "pp-b"),
+    );
+    node_a.seed_connection(now, b, ep_of(1), ConnectionKind::Far);
+    node_b.seed_connection(now, a, ep_of(0), ConnectionKind::Far);
+
+    // A originates an Exact packet for the key. B is no closer than A, so A
+    // must not forward: the packet dies at A as closest-but-not-target.
+    node_a.send_ip(now, key, vec![1, 2, 3]);
+    assert!(
+        node_a.take_outbox().is_empty(),
+        "equal-distance forward would start the ping-pong"
+    );
+    assert_eq!(node_a.stats().dropped_no_target, 1);
+    assert_eq!(node_a.stats().forwarded, 0);
+
+    // The mirror image behaves identically.
+    node_b.send_ip(now, key, vec![4, 5, 6]);
+    assert!(node_b.take_outbox().is_empty());
+    assert_eq!(node_b.stats().dropped_no_target, 1);
+
+    // Sanity: a strictly closer neighbour IS used.
+    let c = mk(0x1E);
+    node_a.seed_connection(now, c, ep_of(2), ConnectionKind::Far);
+    node_a.send_ip(now, key, vec![7]);
+    let out = node_a.take_outbox();
+    assert_eq!(out.len(), 1, "closer hop must be taken");
+    assert_eq!(out[0].0, ep_of(2));
 }

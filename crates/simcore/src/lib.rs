@@ -7,8 +7,11 @@
 //! ([`stats`]). All protocol logic in the workspace (the physical network model,
 //! the host TCP/IP stacks, the Brunet-like overlay and the IPOP node itself) runs
 //! as events inside one single-threaded simulation, so a given seed always
-//! reproduces the exact same packet trace. Parallelism is applied only *across*
-//! independent simulations (parameter sweeps in the benchmark harness).
+//! reproduces the exact same packet trace. Parallelism is applied *across*
+//! independent simulations (parameter sweeps in the benchmark harness), and —
+//! for very large worlds — *inside* one run via the sharded simulator
+//! ([`shard::ShardedSim`]), which partitions the world and fans slices out to
+//! threads behind a deterministic barrier merge.
 //!
 //! # Quick example
 //!
@@ -30,12 +33,14 @@
 
 pub mod event;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, EventQueue, ScheduledEvent};
 pub use rng::StreamRng;
+pub use shard::{ShardCtl, ShardRunOutcome, ShardWorld, ShardedSim};
 pub use sim::{Control, Event, EventFn, RunOutcome, Simulator, TimerToken};
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::{Duration, SimTime};
