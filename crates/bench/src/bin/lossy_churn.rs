@@ -1,0 +1,497 @@
+//! Adversarial-network benchmark: the DHT durability workload (write storm
+//! with mid-storm owner/hop crashes) replayed over a network that is never
+//! clean — 1 % loss plus bounded reordering on every path, packet
+//! duplication, and one actively corrupting link through the bootstrap.
+//! Proves the robustness stack end to end: hardened decoders drop corrupted
+//! datagrams at ingress instead of panicking or mis-parsing, phi-accrual
+//! suspicion keeps lossy-but-live edges out of the dead list, duplicated
+//! packets never mint duplicate address allocations, and every record still
+//! survives and reconverges. Tracked across PRs in `BENCH_adversarial.json`.
+//!
+//! The scenario:
+//!
+//! 1. **Converge dirty** — N members form the ring while every path already
+//!    drops, duplicates and reorders packets, and the bootstrap's links
+//!    additionally flip bytes.
+//! 2. **Write storm under fire** — publishers register guest mappings;
+//!    halfway through, ring owners and hop nodes crash unannounced.
+//! 3. **Reconverge** — a prober retries cache-bypassing reads until every
+//!    mapping resolves. Invariants: 100 % survival, zero duplicate virtual
+//!    address allocations, zero dead-edge verdicts between convergence and
+//!    the crash (no false positives from loss — join-time verdicts are the
+//!    monitor garbage-collecting phantom peers minted by corrupted-but-
+//!    parseable packets, reported separately), corrupted datagrams counted
+//!    and dropped.
+//!
+//! Usage: `lossy_churn [--quick] [--out PATH]`
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use ipop::prelude::*;
+use ipop::IpopHostAgent;
+use ipop_netsim::{planetlab, LinkImpairment};
+use ipop_overlay::Address;
+use ipop_simcore::SimTime;
+
+struct Params {
+    nodes: usize,
+    publishers: usize,
+    guests_per_publisher: usize,
+    owners_crashed: usize,
+    hops_crashed: usize,
+    lease_ttl: Duration,
+    sweep_interval: Duration,
+    probe_window: Duration,
+    loss: f64,
+    duplicate: f64,
+    reorder: f64,
+    corrupt: f64,
+}
+
+struct Results {
+    records: usize,
+    resolved: usize,
+    reconverge_s: Vec<f64>,
+    crashed: usize,
+    duplicate_allocations: usize,
+    ghost_edges_collected: u64,
+    false_dead_edges: u64,
+    dead_edges: u64,
+    probes_sent: u64,
+    probe_timeouts: u64,
+    malformed_dropped: u64,
+    impair_dropped: u64,
+    impair_duplicated: u64,
+    impair_corrupted: u64,
+    impair_reordered: u64,
+    events: u64,
+    wall_s: f64,
+}
+
+fn vip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(172, 16, 7, (i + 1) as u8)
+}
+
+fn guest_ip(publisher: usize, g: usize) -> Ipv4Addr {
+    Ipv4Addr::new(172, 16, 8, (publisher * 8 + g + 1) as u8)
+}
+
+/// Count live members sharing a virtual IP — must be zero even when the
+/// network duplicates the datagrams that carried the allocations.
+fn duplicate_allocations(
+    sim: &NetworkSim,
+    hosts: &[ipop_netsim::HostId],
+    crashed: &BTreeSet<usize>,
+) -> usize {
+    let mut seen: Vec<Ipv4Addr> = Vec::new();
+    let mut dups = 0;
+    for (i, &h) in hosts.iter().enumerate() {
+        if crashed.contains(&i) {
+            continue;
+        }
+        let Some(agent) = sim.agent_as::<IpopHostAgent>(h) else {
+            continue;
+        };
+        if agent.has_address() {
+            let ip = agent.virtual_ip();
+            if seen.contains(&ip) {
+                dups += 1;
+            } else {
+                seen.push(ip);
+            }
+        }
+    }
+    dups
+}
+
+fn dead_edge_total(
+    sim: &NetworkSim,
+    hosts: &[ipop_netsim::HostId],
+    crashed: &BTreeSet<usize>,
+) -> u64 {
+    hosts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !crashed.contains(i))
+        .filter_map(|(_, &h)| sim.agent_as::<IpopHostAgent>(h))
+        .map(|a| a.overlay_stats().dead_edges_detected)
+        .sum()
+}
+
+fn run(p: &Params, seed: u64) -> Results {
+    let started = Instant::now();
+    let mut net = Network::new(seed);
+    let plab = planetlab(&mut net, p.nodes, 1.0, seed);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| IpopMember::router(h, vip(i)))
+        .collect();
+    let options = DeployOptions {
+        brunet_arp: true,
+        ..DeployOptions::udp()
+    }
+    .with_lease_ttl(p.lease_ttl)
+    .with_dht_sweep_interval(p.sweep_interval);
+    let hosts = ipop::deploy_ipop(&mut net, members, options);
+
+    // The whole run happens on a dirty WAN: every path loses, duplicates and
+    // reorders packets...
+    net.set_default_impairment(
+        LinkImpairment::none()
+            .with_loss(p.loss)
+            .with_duplicate(p.duplicate)
+            .with_reorder(p.reorder, Duration::from_millis(20)),
+    );
+    // ...and the bootstrap's links also flip bytes (pair entries replace the
+    // default, so they carry the loss/dup/reorder rates too). Every member
+    // talks to the bootstrap while joining, so the corruption is guaranteed
+    // to hit real traffic.
+    for &h in &plab.nodes[1..] {
+        net.set_link_impairment(
+            plab.nodes[0],
+            h,
+            LinkImpairment::none()
+                .with_loss(p.loss)
+                .with_duplicate(p.duplicate)
+                .with_reorder(p.reorder, Duration::from_millis(20))
+                .with_corrupt(p.corrupt),
+        );
+    }
+    let mut sim = NetworkSim::new(net);
+
+    // Phase 1: converge under impairment. Corrupted-but-parseable packets
+    // (a flipped byte inside a 20-byte overlay address survives every
+    // checksum) mint phantom peers during the join storm; the link monitor
+    // garbage-collects those ghost edges — their probes are acked under the
+    // real peer's address, so they accumulate genuine misses. Snapshot the
+    // verdict count here: everything up to now is ghost GC, anything *after*
+    // is a live edge falsely killed.
+    sim.run_for(Duration::from_secs(60));
+    let none = BTreeSet::new();
+    let converge_dead_edges = dead_edge_total(&sim, &hosts, &none);
+
+    // Phase 2: write storm with mid-storm crashes (same shape as the
+    // dht_durability bench: victims are ring owners of already-written keys
+    // plus uninvolved hop nodes, never publishers or the prober).
+    let publishers: Vec<usize> = (1..=p.publishers).collect();
+    let mut crashed: BTreeSet<usize> = BTreeSet::new();
+    let mut crash_time = SimTime::ZERO;
+    let mut false_dead_edges = 0;
+    let mut publish_time: Vec<(Ipv4Addr, SimTime)> = Vec::new();
+    for batch in 0..p.guests_per_publisher {
+        for &pb in &publishers {
+            let now = sim.now();
+            let ip = guest_ip(pb, batch);
+            sim.net_mut()
+                .agent_as_mut::<IpopHostAgent>(hosts[pb])
+                .unwrap()
+                .route_for(now, ip);
+            publish_time.push((ip, now));
+        }
+        sim.run_for(Duration::from_millis(500));
+        if batch == p.guests_per_publisher / 2 && crashed.is_empty() {
+            // Every dead-edge verdict since convergence condemned a
+            // live-but-lossy peer: the false-positive count the phi layer
+            // must hold at 0 (pre-convergence verdicts are ghost-edge GC,
+            // excluded via the snapshot).
+            false_dead_edges =
+                dead_edge_total(&sim, &hosts, &crashed).saturating_sub(converge_dead_edges);
+            let mut victims: Vec<usize> = Vec::new();
+            for &(ip, _) in &publish_time {
+                if victims.len() >= p.owners_crashed {
+                    break;
+                }
+                let key = Address::from_ip(ip);
+                let owner = (0..p.nodes)
+                    .filter(|i| !crashed.contains(i) && !victims.contains(i))
+                    .filter(|i| !publishers.contains(i) && *i != 0)
+                    .min_by_key(|&i| Address::from_ip(vip(i)).ring_distance(&key));
+                if let Some(o) = owner {
+                    victims.push(o);
+                }
+            }
+            let mut hops = 0usize;
+            for i in (1..p.nodes).rev() {
+                if hops >= p.hops_crashed {
+                    break;
+                }
+                if !publishers.contains(&i) && !victims.contains(&i) {
+                    victims.push(i);
+                    hops += 1;
+                }
+            }
+            crash_time = sim.now();
+            for &v in &victims {
+                crashed.insert(v);
+                ipop::deploy_plain(sim.net_mut(), hosts[v], Box::new(ipop::NullApp));
+            }
+        }
+    }
+
+    // Phase 3: reconvergence through the still-impaired network.
+    let records = publish_time.len();
+    let mut unresolved: Vec<(Ipv4Addr, SimTime)> = publish_time
+        .iter()
+        .map(|&(ip, at)| (ip, at.max(crash_time)))
+        .collect();
+    let mut reconverge_s: Vec<f64> = Vec::new();
+    let deadline = sim.now() + p.probe_window;
+    while !unresolved.is_empty() && sim.now() < deadline {
+        let now = sim.now();
+        let mut tokens: Vec<(u64, usize)> = Vec::new();
+        {
+            let prober = sim
+                .net_mut()
+                .agent_as_mut::<IpopHostAgent>(hosts[0])
+                .unwrap();
+            let _ = prober.take_probe_results();
+            for (idx, &(ip, _)) in unresolved.iter().enumerate() {
+                tokens.push((prober.resolve_ip(now, ip), idx));
+            }
+        }
+        sim.run_for(Duration::from_millis(500));
+        let results = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(hosts[0])
+            .unwrap()
+            .take_probe_results();
+        let resolved_now: Vec<usize> = results
+            .iter()
+            .filter(|(_, addr)| addr.is_some())
+            .filter_map(|(token, _)| tokens.iter().find(|(t, _)| t == token).map(|&(_, idx)| idx))
+            .collect();
+        let at = sim.now();
+        let mut remove: Vec<usize> = resolved_now;
+        remove.sort_unstable();
+        remove.dedup();
+        for &idx in remove.iter().rev() {
+            let (_, since) = unresolved.remove(idx);
+            reconverge_s.push(at.saturating_since(since).as_secs_f64());
+        }
+    }
+
+    // Census.
+    let mut probes_sent = 0;
+    let mut probe_timeouts = 0;
+    let mut malformed_dropped = 0;
+    for (i, &h) in hosts.iter().enumerate() {
+        if crashed.contains(&i) {
+            continue;
+        }
+        let Some(agent) = sim.agent_as::<IpopHostAgent>(h) else {
+            continue;
+        };
+        let s = agent.overlay_stats();
+        probes_sent += s.link_probes_sent;
+        probe_timeouts += s.link_probe_timeouts;
+        malformed_dropped += s.malformed_dropped;
+    }
+    let net_counters = sim.net().counters();
+
+    Results {
+        records,
+        resolved: reconverge_s.len(),
+        reconverge_s,
+        crashed: crashed.len(),
+        duplicate_allocations: duplicate_allocations(&sim, &hosts, &crashed),
+        ghost_edges_collected: converge_dead_edges,
+        false_dead_edges,
+        dead_edges: dead_edge_total(&sim, &hosts, &crashed),
+        probes_sent,
+        probe_timeouts,
+        malformed_dropped,
+        impair_dropped: net_counters.impair_dropped,
+        impair_duplicated: net_counters.impair_duplicated,
+        impair_corrupted: net_counters.impair_corrupted,
+        impair_reordered: net_counters.impair_reordered,
+        events: sim.events_executed(),
+        wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn fmax(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(0.0, f64::max)
+}
+
+fn render_json(mode: &str, p: &Params, r: &Results) -> String {
+    let rate = if r.records == 0 {
+        1.0
+    } else {
+        r.resolved as f64 / r.records as f64
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"lossy_churn\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"nodes\": {nodes},\n",
+            "  \"records\": {records},\n",
+            "  \"crashed_total\": {crashed},\n",
+            "  \"impairment\": {{\n",
+            "    \"loss\": {loss:.3},\n",
+            "    \"duplicate\": {dup:.3},\n",
+            "    \"reorder\": {reorder:.3},\n",
+            "    \"corrupt_bootstrap_links\": {corrupt:.3},\n",
+            "    \"packets_dropped\": {idrop},\n",
+            "    \"packets_duplicated\": {idup},\n",
+            "    \"packets_corrupted\": {icorr},\n",
+            "    \"packets_reordered\": {ireord}\n",
+            "  }},\n",
+            "  \"invariants\": {{\n",
+            "    \"duplicate_allocations\": {dupalloc},\n",
+            "    \"ghost_edges_collected_during_join\": {ghosts},\n",
+            "    \"false_dead_edges_post_convergence\": {falsedead},\n",
+            "    \"malformed_dropped\": {malformed},\n",
+            "    \"survival_rate\": {rate:.4}\n",
+            "  }},\n",
+            "  \"survival\": {{\n",
+            "    \"resolved\": {resolved},\n",
+            "    \"rate\": {rate:.4}\n",
+            "  }},\n",
+            "  \"reconverge\": {{\n",
+            "    \"mean_s\": {rmean:.3},\n",
+            "    \"max_s\": {rmax:.3}\n",
+            "  }},\n",
+            "  \"link_monitor\": {{\n",
+            "    \"probes_sent\": {probes},\n",
+            "    \"probe_timeouts\": {ptimeouts},\n",
+            "    \"dead_edges_detected\": {dead}\n",
+            "  }},\n",
+            "  \"events\": {events},\n",
+            "  \"wall_s\": {wall:.3}\n",
+            "}}\n",
+        ),
+        mode = mode,
+        nodes = p.nodes,
+        records = r.records,
+        crashed = r.crashed,
+        loss = p.loss,
+        dup = p.duplicate,
+        reorder = p.reorder,
+        corrupt = p.corrupt,
+        idrop = r.impair_dropped,
+        idup = r.impair_duplicated,
+        icorr = r.impair_corrupted,
+        ireord = r.impair_reordered,
+        dupalloc = r.duplicate_allocations,
+        ghosts = r.ghost_edges_collected,
+        falsedead = r.false_dead_edges,
+        malformed = r.malformed_dropped,
+        rate = rate,
+        resolved = r.resolved,
+        rmean = mean(&r.reconverge_s),
+        rmax = fmax(&r.reconverge_s),
+        probes = r.probes_sent,
+        ptimeouts = r.probe_timeouts,
+        dead = r.dead_edges,
+        events = r.events,
+        wall = r.wall_s,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            format!(
+                "{}/../../BENCH_adversarial.json",
+                env!("CARGO_MANIFEST_DIR")
+            )
+        });
+    let mode = if quick { "quick" } else { "full" };
+    let p = if quick {
+        Params {
+            nodes: 20,
+            publishers: 8,
+            guests_per_publisher: 2,
+            owners_crashed: 2,
+            hops_crashed: 1,
+            lease_ttl: Duration::from_secs(600),
+            sweep_interval: Duration::from_secs(10),
+            probe_window: Duration::from_secs(90),
+            loss: 0.01,
+            duplicate: 0.01,
+            reorder: 0.02,
+            corrupt: 0.02,
+        }
+    } else {
+        Params {
+            nodes: 40,
+            publishers: 12,
+            guests_per_publisher: 3,
+            owners_crashed: 4,
+            hops_crashed: 2,
+            lease_ttl: Duration::from_secs(600),
+            sweep_interval: Duration::from_secs(10),
+            probe_window: Duration::from_secs(90),
+            loss: 0.01,
+            duplicate: 0.01,
+            reorder: 0.02,
+            corrupt: 0.02,
+        }
+    };
+
+    eprintln!(
+        "lossy_churn ({mode} mode): {} nodes, {} records, {}+{} crashes, {:.0}% loss + dup + reorder, corrupting bootstrap links",
+        p.nodes,
+        p.publishers * p.guests_per_publisher,
+        p.owners_crashed,
+        p.hops_crashed,
+        p.loss * 100.0,
+    );
+    let r = run(&p, 0xAD5E_7A1A);
+    let rate = if r.records == 0 {
+        1.0
+    } else {
+        r.resolved as f64 / r.records as f64
+    };
+    eprintln!(
+        "  survival: {}/{} records resolved ({:.1}%); reconverge mean {:.2} s / max {:.2} s",
+        r.resolved,
+        r.records,
+        rate * 100.0,
+        mean(&r.reconverge_s),
+        fmax(&r.reconverge_s),
+    );
+    eprintln!(
+        "  invariants: {} duplicate allocations, {} false dead edges post-convergence, {} malformed dropped ({} ghost edges collected during join)",
+        r.duplicate_allocations, r.false_dead_edges, r.malformed_dropped, r.ghost_edges_collected,
+    );
+    eprintln!(
+        "  impairment: {} dropped / {} duplicated / {} corrupted / {} reordered packets",
+        r.impair_dropped, r.impair_duplicated, r.impair_corrupted, r.impair_reordered,
+    );
+    if r.resolved < r.records {
+        eprintln!(
+            "  WARNING: {} records never resolved inside the probe window",
+            r.records - r.resolved
+        );
+    }
+    if r.duplicate_allocations > 0 {
+        eprintln!("  WARNING: duplicate virtual address allocations under duplication");
+    }
+    if r.false_dead_edges > 0 {
+        eprintln!("  WARNING: live edges were declared dead after convergence, before any crash");
+    }
+
+    let json = render_json(mode, &p, &r);
+    std::fs::write(&out_path, &json).expect("write BENCH_adversarial.json");
+    eprintln!("wrote {out_path}");
+}

@@ -98,6 +98,12 @@ pub struct DeployOptions {
     /// default. Bounds the post-crash window in which a lost put stays
     /// unresolvable.
     pub dht_sweep_interval: Option<Duration>,
+    /// Phi-accrual edge suspicion (loss-rate-weighted probe misses); false
+    /// restores the fixed consecutive-miss verdict (ablation switch).
+    pub phi_accrual: bool,
+    /// Phi threshold at which an edge is declared dead; `None` keeps the
+    /// per-node default.
+    pub phi_threshold: Option<f64>,
 }
 
 impl Default for DeployOptions {
@@ -112,6 +118,8 @@ impl Default for DeployOptions {
             reserved_ips: Vec::new(),
             link_probe_interval: None,
             dht_sweep_interval: None,
+            phi_accrual: true,
+            phi_threshold: None,
         }
     }
 }
@@ -165,6 +173,19 @@ impl DeployOptions {
         self.dht_sweep_interval = Some(interval);
         self
     }
+
+    /// Builder: restore the fixed consecutive-miss edge verdict on every
+    /// member (phi-accrual ablation).
+    pub fn without_phi_accrual(mut self) -> Self {
+        self.phi_accrual = false;
+        self
+    }
+
+    /// Builder: set every member's phi-accrual suspicion threshold.
+    pub fn with_phi_threshold(mut self, threshold: f64) -> Self {
+        self.phi_threshold = Some(threshold);
+        self
+    }
 }
 
 /// Install an [`IpopHostAgent`] on every member host. The first *publicly
@@ -207,6 +228,12 @@ pub fn deploy_ipop(
         }
         if let Some(interval) = options.dht_sweep_interval {
             cfg = cfg.with_dht_sweep_interval(interval);
+        }
+        if !options.phi_accrual {
+            cfg = cfg.without_phi_accrual();
+        }
+        if let Some(threshold) = options.phi_threshold {
+            cfg = cfg.with_phi_threshold(threshold);
         }
         if !options.reserved_ips.is_empty() {
             cfg = cfg.with_reserved_ips(options.reserved_ips.clone());

@@ -57,6 +57,12 @@ pub struct IpopConfig {
     /// Idle interval before the overlay link monitor probes an edge (fast
     /// dead-edge detection; see `ipop_overlay::OverlayConfig`).
     pub link_probe_interval: Duration,
+    /// Phi-accrual edge suspicion: weigh probe misses by the edge's observed
+    /// loss rate instead of a fixed consecutive-miss limit (see
+    /// `ipop_overlay::OverlayConfig::phi_accrual`).
+    pub phi_accrual: bool,
+    /// Suspicion threshold at which an edge is declared dead (φ units).
+    pub phi_threshold: f64,
     /// Interval between DHT anti-entropy sweeps (replica-set digest
     /// exchanges that converge diverged copies without waiting for a read).
     pub dht_sweep_interval: Duration,
@@ -83,6 +89,8 @@ impl IpopConfig {
             overlay_tick: Duration::from_millis(500),
             shortcuts: true,
             link_probe_interval: Duration::from_secs(1),
+            phi_accrual: true,
+            phi_threshold: 6.0,
             dht_sweep_interval: Duration::from_secs(10),
         }
     }
@@ -161,6 +169,19 @@ impl IpopConfig {
     /// overlay edge.
     pub fn with_link_probe_interval(mut self, interval: Duration) -> Self {
         self.link_probe_interval = interval;
+        self
+    }
+
+    /// Builder: fall back to the fixed consecutive-miss edge verdict
+    /// (pre-phi behaviour; ablation switch).
+    pub fn without_phi_accrual(mut self) -> Self {
+        self.phi_accrual = false;
+        self
+    }
+
+    /// Builder: set the phi-accrual suspicion threshold.
+    pub fn with_phi_threshold(mut self, threshold: f64) -> Self {
+        self.phi_threshold = threshold;
         self
     }
 

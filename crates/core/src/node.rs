@@ -135,6 +135,9 @@ pub struct IpopHostAgent {
     /// to service redundant same-instant wakeups without re-running the pump.
     last_pass: Option<(SimTime, SimTime)>,
     last_forwarded: u64,
+    /// Transport parse-error count at the last pump pass; the delta per poll
+    /// is charged to the overlay's malformed-drop counter.
+    last_parse_errors: u64,
     metrics: IpopMetrics,
 }
 
@@ -167,6 +170,10 @@ impl IpopHostAgent {
             .with_probe_interval(cfg.link_probe_interval)
             .with_sweep_interval(cfg.dht_sweep_interval);
         overlay_cfg.maintenance_interval = cfg.overlay_tick;
+        overlay_cfg = overlay_cfg.with_phi_threshold(cfg.phi_threshold);
+        if !cfg.phi_accrual {
+            overlay_cfg = overlay_cfg.without_phi_accrual();
+        }
         if !cfg.shortcuts {
             overlay_cfg = overlay_cfg.without_shortcuts();
         }
@@ -234,6 +241,7 @@ impl IpopHostAgent {
             scheduled_wakeup: None,
             last_pass: None,
             last_forwarded: 0,
+            last_parse_errors: 0,
             metrics: IpopMetrics::default(),
         }
     }
@@ -531,6 +539,15 @@ impl IpopHostAgent {
             self.phys.poll(now);
             for (ep, msg) in self.transport.poll(&mut self.phys, now) {
                 self.overlay.on_message(now, ep, msg);
+                progress = true;
+            }
+            // Malformed datagrams the transport dropped while decoding:
+            // surface the delta in the overlay's stats.
+            let parse_errors = self.transport.parse_errors();
+            if parse_errors > self.last_parse_errors {
+                self.overlay
+                    .note_malformed(parse_errors - self.last_parse_errors);
+                self.last_parse_errors = parse_errors;
                 progress = true;
             }
 

@@ -14,6 +14,7 @@
 pub mod calibration;
 pub mod firewall;
 pub mod host;
+pub mod impair;
 pub mod link;
 pub mod nat;
 pub mod network;
@@ -24,6 +25,7 @@ pub mod topology;
 pub use calibration::Calibration;
 pub use firewall::{Direction, Firewall, HostMatch, ProtoMatch, Rule};
 pub use host::{Host, HostAgent, HostCounters, HostCtx, HostId};
+pub use impair::{ImpairmentCounters, LinkImpairment};
 pub use link::{Link, LinkOutcome, LinkParams, LinkState};
 pub use nat::{Endpoint, NatBox, NatType};
 pub use network::{Control, CoreParams, NetCounters, NetEvent, Network, NetworkSim, SiteId};

@@ -10,7 +10,7 @@
 //! [`NetworkSim`] wraps a `Network` in a [`Simulator`] and provides the run loop
 //! used by the examples, tests and the experiment harness.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
@@ -20,6 +20,7 @@ use ipop_simcore::{Duration, SimTime, Simulator, StreamRng, TimerToken};
 use crate::calibration::Calibration;
 use crate::firewall::Direction;
 use crate::host::{Host, HostAgent, HostCtx, HostId};
+use crate::impair::{corrupt_packet, ImpairmentCounters, LinkImpairment};
 use crate::link::LinkOutcome;
 use crate::site::{Site, SiteSpec};
 
@@ -97,6 +98,15 @@ pub struct NetCounters {
     /// Packets dropped because source and destination host are currently in
     /// different partition groups (see [`Network::set_partition_group`]).
     pub partition_dropped: u64,
+    /// Packets dropped by a link impairment (see
+    /// [`Network::set_link_impairment`]).
+    pub impair_dropped: u64,
+    /// Extra packet copies delivered by a duplicating impairment.
+    pub impair_duplicated: u64,
+    /// Packets whose payload bytes a corrupting impairment flipped.
+    pub impair_corrupted: u64,
+    /// Packets a reordering impairment held back past later traffic.
+    pub impair_reordered: u64,
 }
 
 /// The core latency/jitter applied between any two distinct sites.
@@ -133,6 +143,16 @@ pub struct Network {
     /// Partition group per host (indexed by `HostId`); packets between hosts
     /// in different groups are dropped in the core. Empty = no partition.
     partition: Vec<u8>,
+    /// Per-pair link impairments (normalized `(min, max)` host keys — an
+    /// impairment is symmetric) with their per-link counters. `BTreeMap` for
+    /// deterministic iteration in diagnostics.
+    impairments: BTreeMap<(usize, usize), (LinkImpairment, ImpairmentCounters)>,
+    /// Impairment applied to every pair without a specific entry.
+    default_impairment: Option<(LinkImpairment, ImpairmentCounters)>,
+    /// Dedicated stream for impairment draws: seeded separately from the link
+    /// stream so enabling an impairment never perturbs link-level jitter/loss
+    /// draws of unimpaired runs.
+    impair_rng: StreamRng,
 }
 
 impl Network {
@@ -149,6 +169,9 @@ impl Network {
             link_rng: StreamRng::new(seed, "netsim.links"),
             host_rng_seed: seed,
             partition: Vec::new(),
+            impairments: BTreeMap::new(),
+            default_impairment: None,
+            impair_rng: StreamRng::new(seed, "netsim.impair"),
         }
     }
 
@@ -281,6 +304,51 @@ impl Network {
         }
         let group = |h: HostId| self.partition.get(h.0).copied().unwrap_or(0);
         group(a) != group(b)
+    }
+
+    /// Normalized (symmetric) impairment key for a host pair.
+    fn impair_key(a: HostId, b: HostId) -> (usize, usize) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Impair the path between `a` and `b` (both directions): every packet
+    /// between them is subjected to the impairment's loss / duplication /
+    /// corruption / reordering draws on the delivery path. Replaces any
+    /// previous impairment on the pair; composes with partitions (a partition
+    /// drops the packet before the impairment is consulted).
+    pub fn set_link_impairment(&mut self, a: HostId, b: HostId, imp: LinkImpairment) {
+        self.impairments
+            .insert(Self::impair_key(a, b), (imp, ImpairmentCounters::default()));
+    }
+
+    /// Remove the impairment between `a` and `b` (pair-specific entries only;
+    /// the default impairment, if any, applies again).
+    pub fn clear_link_impairment(&mut self, a: HostId, b: HostId) {
+        self.impairments.remove(&Self::impair_key(a, b));
+    }
+
+    /// Impair every host pair without a pair-specific entry (e.g. 1% global
+    /// loss). Pair-specific impairments take precedence.
+    pub fn set_default_impairment(&mut self, imp: LinkImpairment) {
+        self.default_impairment = Some((imp, ImpairmentCounters::default()));
+    }
+
+    /// Remove every impairment — pair-specific and default.
+    pub fn heal_impairments(&mut self) {
+        self.impairments.clear();
+        self.default_impairment = None;
+    }
+
+    /// Counters of the impairment on pair `(a, b)`, if one is set.
+    pub fn impairment_counters(&self, a: HostId, b: HostId) -> Option<ImpairmentCounters> {
+        self.impairments
+            .get(&Self::impair_key(a, b))
+            .map(|(_, c)| *c)
+    }
+
+    /// Counters of the default (all-pairs) impairment, if one is set.
+    pub fn default_impairment_counters(&self) -> Option<ImpairmentCounters> {
+        self.default_impairment.as_ref().map(|(_, c)| *c)
     }
 
     /// Downcast a host's agent to a concrete type.
@@ -498,6 +566,52 @@ impl Network {
         if self.partitioned(src, dst) {
             self.counters.partition_dropped += 1;
             return;
+        }
+        // Impairment layer: the pair-specific entry wins over the default.
+        let slot = match self.impairments.get_mut(&Self::impair_key(src, dst)) {
+            Some(slot) => Some(slot),
+            None => self.default_impairment.as_mut(),
+        };
+        let Some((imp, counters)) = slot else {
+            ctl.schedule_event_at(
+                arrival,
+                NetEvent::Arrival {
+                    dst,
+                    pkt: Box::new(pkt),
+                },
+            );
+            return;
+        };
+        let rng = &mut self.impair_rng;
+        if imp.loss > 0.0 && rng.chance(imp.loss) {
+            counters.dropped += 1;
+            self.counters.impair_dropped += 1;
+            return;
+        }
+        let mut pkt = pkt;
+        if imp.corrupt > 0.0 && rng.chance(imp.corrupt) && corrupt_packet(&mut pkt, rng) {
+            counters.corrupted += 1;
+            self.counters.impair_corrupted += 1;
+        }
+        let window_ns = imp.reorder_window.max(Duration::from_micros(1)).as_nanos();
+        if imp.duplicate > 0.0 && rng.chance(imp.duplicate) {
+            counters.duplicated += 1;
+            self.counters.impair_duplicated += 1;
+            let copy_at = arrival + Duration::from_nanos(rng.range_u64(1, window_ns + 1));
+            ctl.schedule_event_at(
+                copy_at,
+                NetEvent::Arrival {
+                    dst,
+                    pkt: Box::new(pkt.clone()),
+                },
+            );
+        }
+        let mut arrival = arrival;
+        if imp.reorder > 0.0 && rng.chance(imp.reorder) {
+            counters.reordered += 1;
+            self.counters.impair_reordered += 1;
+            // Hold the packet back so later traffic can overtake it.
+            arrival += Duration::from_nanos(rng.range_u64(1, window_ns + 1));
         }
         ctl.schedule_event_at(
             arrival,
@@ -984,5 +1098,155 @@ mod tests {
         let s = net.add_site(SiteSpec::open("X"));
         net.add_host("A", s, ip(10, 0, 0, 1));
         net.add_host("B", s, ip(10, 0, 0, 1));
+    }
+
+    /// One site, two hosts, A pings B. Returns (net, a, b).
+    fn ping_pair(seed: u64) -> (Network, HostId, HostId) {
+        let mut net = Network::new(seed);
+        let s = net.add_site(SiteSpec::open("X"));
+        let a = net.add_host("A", s, ip(10, 0, 0, 1));
+        let b = net.add_host("B", s, ip(10, 0, 0, 2));
+        net.set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 0, 0, 2), 9000)))));
+        net.set_agent(b, Box::new(EchoAgent::new(None)));
+        (net, a, b)
+    }
+
+    #[test]
+    fn full_loss_impairment_drops_and_counts() {
+        let (mut net, a, b) = ping_pair(20);
+        net.set_link_impairment(a, b, LinkImpairment::none().with_loss(1.0));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().delivered, 0);
+        assert_eq!(sim.net().counters().impair_dropped, 1);
+        let per_pair = sim.net().impairment_counters(a, b).unwrap();
+        assert_eq!(per_pair.dropped, 1);
+        // The per-pair key is symmetric.
+        assert_eq!(sim.net().impairment_counters(b, a), Some(per_pair));
+    }
+
+    #[test]
+    fn duplication_delivers_an_extra_copy() {
+        let (mut net, a, b) = ping_pair(21);
+        net.set_link_impairment(
+            a,
+            b,
+            LinkImpairment::none()
+                .with_duplicate(1.0)
+                .with_reorder(0.0, Duration::from_millis(2)),
+        );
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        // The ping and each pong it triggers are all duplicated.
+        let pings = sim
+            .agent_as::<EchoAgent>(b)
+            .unwrap()
+            .received
+            .iter()
+            .filter(|(_, d)| d == b"ping")
+            .count();
+        assert_eq!(pings, 2, "one original + one duplicate");
+        assert!(sim.net().counters().impair_duplicated >= 1);
+        assert!(sim.net().impairment_counters(a, b).unwrap().duplicated >= 1);
+    }
+
+    #[test]
+    fn corruption_flips_payload_but_still_delivers() {
+        let (mut net, a, b) = ping_pair(22);
+        net.set_link_impairment(a, b, LinkImpairment::none().with_corrupt(1.0));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        let received = &sim.agent_as::<EchoAgent>(b).unwrap().received;
+        assert_eq!(received.len(), 1, "corrupted packets are still delivered");
+        assert_ne!(received[0].1, b"ping", "payload bytes were flipped");
+        assert_eq!(sim.net().counters().impair_corrupted, 1);
+        assert_eq!(sim.net().impairment_counters(a, b).unwrap().corrupted, 1);
+    }
+
+    #[test]
+    fn reordering_delays_but_still_delivers() {
+        let (mut net, a, b) = ping_pair(23);
+        net.set_link_impairment(
+            a,
+            b,
+            LinkImpairment::none().with_reorder(1.0, Duration::from_millis(50)),
+        );
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        let agent = sim.agent_as::<EchoAgent>(b).unwrap();
+        assert_eq!(agent.received.len(), 1);
+        assert!(sim.net().counters().impair_reordered >= 1);
+    }
+
+    #[test]
+    fn default_impairment_applies_everywhere_but_pair_entry_wins() {
+        let (mut net, a, b) = ping_pair(24);
+        // Default: total loss. Pair override: clean. The override wins, so the
+        // ping goes through and the default counters stay untouched.
+        net.set_default_impairment(LinkImpairment::none().with_loss(1.0));
+        net.set_link_impairment(a, b, LinkImpairment::none());
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert!(sim.net().counters().delivered >= 2, "ping + pong delivered");
+        assert_eq!(sim.net().default_impairment_counters().unwrap().dropped, 0);
+        // Now drop the override: the lossy default applies again.
+        sim.net_mut().clear_link_impairment(a, b);
+        sim.net_mut()
+            .set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 0, 0, 2), 9000)))));
+        sim.start_host(a);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().default_impairment_counters().unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn heal_impairments_restores_clean_delivery() {
+        let (mut net, a, b) = ping_pair(25);
+        net.set_default_impairment(LinkImpairment::none().with_loss(1.0));
+        net.set_link_impairment(a, b, LinkImpairment::none().with_loss(1.0));
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().delivered, 0);
+        sim.net_mut().heal_impairments();
+        sim.net_mut()
+            .set_agent(a, Box::new(EchoAgent::new(Some((ip(10, 0, 0, 2), 9000)))));
+        sim.start_host(a);
+        sim.run_for(Duration::from_secs(1));
+        assert!(sim.net().counters().delivered >= 2, "healed link delivers");
+        assert!(sim.net().impairment_counters(a, b).is_none());
+        assert!(sim.net().default_impairment_counters().is_none());
+    }
+
+    #[test]
+    fn partition_drop_takes_precedence_over_impairment() {
+        let (mut net, a, b) = ping_pair(26);
+        net.set_link_impairment(a, b, LinkImpairment::none().with_loss(1.0));
+        net.set_partition_group(a, 1);
+        let mut sim = NetworkSim::new(net);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.net().counters().partition_dropped, 1);
+        // The impairment was never consulted for the partition-dropped packet.
+        assert_eq!(sim.net().counters().impair_dropped, 0);
+        assert_eq!(sim.net().impairment_counters(a, b).unwrap().dropped, 0);
+    }
+
+    #[test]
+    fn impaired_runs_are_deterministic() {
+        let run = || {
+            let (mut net, a, b) = ping_pair(27);
+            net.set_link_impairment(
+                a,
+                b,
+                LinkImpairment::none()
+                    .with_loss(0.3)
+                    .with_duplicate(0.3)
+                    .with_corrupt(0.3)
+                    .with_reorder(0.3, Duration::from_millis(5)),
+            );
+            let mut sim = NetworkSim::new(net);
+            sim.run_for(Duration::from_secs(2));
+            let c = sim.net().impairment_counters(a, b).unwrap();
+            (c, sim.net().counters().delivered)
+        };
+        assert_eq!(run(), run(), "same seed, same impairment outcome");
     }
 }

@@ -55,8 +55,21 @@ pub struct OverlayConfig {
     /// edges hear gossip every maintenance tick, so probes only flow to
     /// peers that actually went silent.
     pub probe_interval: Duration,
-    /// Consecutive unanswered probes before an edge is declared dead.
+    /// Consecutive unanswered probes before an edge is declared dead (used
+    /// when [`OverlayConfig::phi_accrual`] is off).
     pub probe_failure_limit: u32,
+    /// Phi-accrual suspicion: weigh consecutive probe misses by the edge's
+    /// observed loss rate instead of counting them against a fixed limit. A
+    /// clean edge still dies after 3 misses, but an edge that routinely
+    /// drops probes (1–5% loss) needs proportionally more consecutive
+    /// misses — eliminating false dead-edge verdicts on lossy links while a
+    /// real crash is still detected in seconds.
+    pub phi_accrual: bool,
+    /// Suspicion threshold: an edge is declared dead when
+    /// `φ = misses × -log₁₀(loss estimate)` reaches this value. The default
+    /// (6.0) reproduces the 3-miss behaviour exactly on clean edges (whose
+    /// loss estimate is floored at 1%, worth φ = 2 per miss).
+    pub phi_threshold: f64,
     /// How often a node with no live edge to any bootstrap endpoint re-sends
     /// hellos there. With fast dead-edge detection a long partition scrubs
     /// each side's knowledge of the other within seconds; this heartbeat is
@@ -87,6 +100,8 @@ impl OverlayConfig {
             link_monitor: true,
             probe_interval: Duration::from_secs(1),
             probe_failure_limit: 3,
+            phi_accrual: true,
+            phi_threshold: 6.0,
             bootstrap_retry_interval: Duration::from_secs(30),
             packet_ttl: 32,
             dht: DhtConfig::default(),
@@ -129,6 +144,19 @@ impl OverlayConfig {
     /// Builder: set the idle interval before the link monitor probes an edge.
     pub fn with_probe_interval(mut self, interval: Duration) -> Self {
         self.probe_interval = interval;
+        self
+    }
+
+    /// Builder: fall back to the fixed consecutive-miss limit instead of
+    /// phi-accrual suspicion (the pre-phi behaviour; ablation switch).
+    pub fn without_phi_accrual(mut self) -> Self {
+        self.phi_accrual = false;
+        self
+    }
+
+    /// Builder: set the phi-accrual suspicion threshold.
+    pub fn with_phi_threshold(mut self, threshold: f64) -> Self {
+        self.phi_threshold = threshold;
         self
     }
 
@@ -234,6 +262,14 @@ pub struct OverlayStats {
     /// Shortcut target draws rejected because the predicted responder was
     /// already a connected peer (the draw was retried at no protocol cost).
     pub shortcut_redraws: u64,
+    /// Inbound datagrams/frames dropped at the overlay ingress because they
+    /// failed to decode as a link message (truncated or corrupted in flight,
+    /// or garbage from a misbehaving sender).
+    pub malformed_dropped: u64,
+    /// Probe deadlines re-armed instead of counted as misses because this
+    /// node itself stalled past them (no pump tick ran while the deadline
+    /// expired) — self-inflicted silence is not evidence against the peer.
+    pub link_probe_deadline_clamps: u64,
 }
 
 struct PendingLink {
@@ -257,6 +293,42 @@ struct EdgeHealth {
     outstanding: Option<(u64, SimTime, SimTime)>,
     /// Consecutive probes that missed their deadline.
     failures: u32,
+    /// Sliding window of recent probe outcomes, newest at bit 0 (1 = miss).
+    /// This is the per-edge loss history the phi estimator reads.
+    window: u64,
+    /// Number of valid bits in `window` (saturates at 64).
+    window_len: u32,
+    /// Suspicion added per consecutive miss, frozen when the current miss
+    /// episode started (`failures` 0 → 1). Freezing keeps the misses of a
+    /// genuine crash from inflating the loss estimate mid-episode and
+    /// stalling their own verdict.
+    phi_per_miss: f64,
+}
+
+impl EdgeHealth {
+    /// Record one probe outcome in the sliding loss window.
+    fn record_outcome(&mut self, missed: bool) {
+        self.window = (self.window << 1) | u64::from(missed);
+        self.window_len = (self.window_len + 1).min(64);
+    }
+
+    /// The edge's estimated probe-loss probability, clamped into
+    /// `[PHI_LOSS_FLOOR, PHI_LOSS_CAP]`. With no history yet, the floor —
+    /// i.e. assume a clean link until misses prove otherwise.
+    fn loss_estimate(&self) -> f64 {
+        if self.window_len == 0 {
+            return PHI_LOSS_FLOOR;
+        }
+        let p = f64::from(self.window.count_ones()) / f64::from(self.window_len);
+        p.clamp(PHI_LOSS_FLOOR, PHI_LOSS_CAP)
+    }
+
+    /// Current suspicion level: the probability that a *live* edge with this
+    /// loss rate misses `failures` consecutive probes is `p^failures`, and
+    /// φ = -log₁₀ of that — so φ = failures × -log₁₀(p).
+    fn phi(&self) -> f64 {
+        f64::from(self.failures) * self.phi_per_miss
+    }
 }
 
 /// Probe deadline bounds: the adaptive timeout (`srtt + 4·rttvar`, doubled
@@ -265,6 +337,14 @@ struct EdgeHealth {
 const PROBE_TIMEOUT_MIN: Duration = Duration::from_millis(250);
 const PROBE_TIMEOUT_MAX: Duration = Duration::from_secs(3);
 const PROBE_TIMEOUT_INITIAL: Duration = Duration::from_secs(1);
+
+/// Bounds on the phi estimator's per-edge loss estimate. The floor makes a
+/// clean edge's suspicion grow at -log₁₀(0.01) = 2 per miss — with the
+/// default threshold of 6, exactly the historical 3-miss verdict. The cap
+/// keeps an extremely lossy edge (> 10% probe loss) from becoming
+/// effectively undroppable.
+const PHI_LOSS_FLOOR: f64 = 0.01;
+const PHI_LOSS_CAP: f64 = 0.1;
 
 /// Cap on digest entries per anti-entropy message; larger key sets are
 /// chunked across several digests.
@@ -400,6 +480,11 @@ pub struct OverlayNode {
     ever_connected: bool,
     /// When the bootstrap re-link heartbeat last fired.
     last_bootstrap_probe: SimTime,
+    /// When the link monitor last ran. A gap much larger than the
+    /// maintenance interval means this node itself stalled (CPU-saturated
+    /// host, paused pump): probe deadlines that expired inside the gap are
+    /// re-armed instead of counted as misses.
+    last_monitor_run: SimTime,
     /// Established-peer snapshot of the last re-replication scan; the scan
     /// only reruns when this set changes (new records and refresh puts
     /// replicate immediately on the store path instead).
@@ -436,6 +521,7 @@ impl OverlayNode {
             next_sweep: None,
             ever_connected: false,
             last_bootstrap_probe: SimTime::ZERO,
+            last_monitor_run: SimTime::ZERO,
             last_replica_peers: Vec::new(),
             candidates: BTreeMap::new(),
             next_token: 1,
@@ -1637,13 +1723,17 @@ impl OverlayNode {
     // ------------------------------------------------------------- link monitor
 
     /// The adaptive probe deadline for one edge: `srtt + 4·rttvar`, doubled
-    /// per consecutive miss, clamped to the probe-timeout bounds.
+    /// per consecutive miss, clamped to the probe-timeout bounds. The backoff
+    /// shift is capped at 2 so a lossy edge — which legitimately accumulates
+    /// more consecutive misses under phi-accrual before a verdict — still
+    /// detects a real crash within seconds rather than paying the 3 s
+    /// ceiling on every extra round.
     fn probe_timeout(health: &EdgeHealth) -> Duration {
         let base_ns = match health.srtt_ns {
             Some(srtt) => srtt + 4 * health.rttvar_ns,
             None => PROBE_TIMEOUT_INITIAL.as_nanos(),
         };
-        let backed_off = base_ns.saturating_mul(1u64 << health.failures.min(4));
+        let backed_off = base_ns.saturating_mul(1u64 << health.failures.min(2));
         Duration::from_nanos(
             backed_off.clamp(PROBE_TIMEOUT_MIN.as_nanos(), PROBE_TIMEOUT_MAX.as_nanos()),
         )
@@ -1676,6 +1766,13 @@ impl OverlayNode {
         }
         health.outstanding = None;
         health.failures = 0;
+        health.record_outcome(false);
+    }
+
+    /// Account inbound traffic that failed to decode as a link message (the
+    /// transport already dropped it; this surfaces the count in the stats).
+    pub fn note_malformed(&mut self, count: u64) {
+        self.stats.malformed_dropped += count;
     }
 
     /// Probe silent established edges and drop the ones that stopped
@@ -1689,7 +1786,18 @@ impl OverlayNode {
         self.edge_health.retain(|peer, _| table.contains(peer));
         let probe_interval = self.cfg.probe_interval;
         let failure_limit = self.cfg.probe_failure_limit;
+        let phi_accrual = self.cfg.phi_accrual;
+        let phi_threshold = self.cfg.phi_threshold;
         let me = self.cfg.address;
+        // Did this node itself stall past the deadlines? The monitor runs
+        // every maintenance tick; a gap of more than two intervals means the
+        // pump was starved (CPU-saturated host), so deadlines that expired
+        // inside the gap say nothing about the peer.
+        let prev_run = self.last_monitor_run;
+        let stalled = prev_run != SimTime::ZERO
+            && now.saturating_since(prev_run)
+                > self.cfg.maintenance_interval + self.cfg.maintenance_interval;
+        self.last_monitor_run = now;
         let mut to_probe: Vec<(Address, Endpoint)> = Vec::new();
         let mut to_drop: Vec<(Address, Endpoint)> = Vec::new();
         let peers: Vec<(Address, Endpoint, SimTime)> = self
@@ -1699,22 +1807,54 @@ impl OverlayNode {
             .collect();
         for (peer, endpoint, last_heard) in peers {
             let health = self.edge_health.entry(peer).or_default();
-            if let Some((_, sent, deadline)) = health.outstanding {
+            if let Some((nonce, sent, deadline)) = health.outstanding {
+                // The probe runs to its deadline even if other traffic from
+                // the peer arrives meanwhile — the exchange is then a loss
+                // *measurement* (did the ack make it back?) feeding the phi
+                // window, not just a liveness check.
+                if now < deadline {
+                    continue;
+                }
+                if stalled && deadline > prev_run {
+                    // The deadline was still in the future the last time
+                    // this node got to run — it expired while *we* were
+                    // stalled, not while the peer was silent for its own
+                    // full timeout. Clamp the deadline forward to this
+                    // pump tick instead of charging the peer a miss.
+                    let extended = now + Self::probe_timeout(health);
+                    health.outstanding = Some((nonce, sent, extended));
+                    self.stats.link_probe_deadline_clamps += 1;
+                    continue;
+                }
+                health.outstanding = None;
                 if last_heard > sent {
                     // The peer spoke since the probe went out (any message
-                    // proves liveness, the ack itself may still be in
-                    // flight): the edge is healthy.
-                    health.outstanding = None;
+                    // proves liveness) but the ack itself never came back:
+                    // the link ate the exchange. A pure loss sample — the
+                    // window learns the edge's loss rate with no suspicion
+                    // attached.
                     health.failures = 0;
-                } else if now >= deadline {
-                    health.outstanding = None;
-                    health.failures += 1;
-                    self.stats.link_probe_timeouts += 1;
-                    if health.failures >= failure_limit {
-                        to_drop.push((peer, endpoint));
-                    } else {
-                        to_probe.push((peer, endpoint));
-                    }
+                    health.record_outcome(true);
+                    continue;
+                }
+                health.failures += 1;
+                if health.failures == 1 {
+                    // A new miss episode: freeze the per-miss suspicion
+                    // at the loss rate observed *before* this episode,
+                    // so a crash's own misses cannot dilute it.
+                    health.phi_per_miss = -health.loss_estimate().log10();
+                }
+                health.record_outcome(true);
+                self.stats.link_probe_timeouts += 1;
+                let dead = if phi_accrual {
+                    health.phi() >= phi_threshold
+                } else {
+                    health.failures >= failure_limit
+                };
+                if dead {
+                    to_drop.push((peer, endpoint));
+                } else {
+                    to_probe.push((peer, endpoint));
                 }
             } else if now.saturating_since(last_heard) >= probe_interval {
                 to_probe.push((peer, endpoint));
@@ -3679,6 +3819,77 @@ mod tests {
         assert_eq!(detected, 0, "no false positives on live edges");
         let timeouts: u64 = h.nodes.iter().map(|n| n.stats().link_probe_timeouts).sum();
         assert_eq!(timeouts, 0, "no probe ever missed its deadline");
+    }
+
+    #[test]
+    fn phi_verdict_adapts_to_observed_loss() {
+        // A clean window sits on the loss floor: two phi units per miss, so
+        // three consecutive silent misses cross the default threshold of 6 —
+        // bit-identical to the old fixed limit.
+        let mut clean = EdgeHealth::default();
+        clean.phi_per_miss = -clean.loss_estimate().log10();
+        for _ in 0..3 {
+            clean.failures += 1;
+            clean.record_outcome(true);
+        }
+        assert!(clean.phi() >= 6.0, "clean edge: 3 misses suffice");
+
+        // A window that has watched one probe exchange in five vanish sits on
+        // the loss cap: one phi unit per miss, so the same three misses stay
+        // well under the threshold and only six reach it.
+        let mut lossy = EdgeHealth::default();
+        for i in 0..30 {
+            lossy.record_outcome(i % 5 == 0);
+        }
+        lossy.phi_per_miss = -lossy.loss_estimate().log10();
+        for _ in 0..3 {
+            lossy.failures += 1;
+            lossy.record_outcome(true);
+        }
+        assert!(lossy.phi() < 6.0, "lossy edge: 3 misses are not a verdict");
+        for _ in 0..3 {
+            lossy.failures += 1;
+            lossy.record_outcome(true);
+        }
+        assert!(lossy.phi() >= 6.0, "lossy edge: 6 misses are");
+    }
+
+    #[test]
+    fn stalled_monitor_clamps_deadlines_instead_of_charging_misses() {
+        let mut h = Harness::new(4);
+        h.start_all();
+        h.run(20);
+        let victim = 2;
+        h.crash(victim);
+        // Three ticks: the silent peer's edges go idle past probe_interval
+        // and probes are armed (the initial deadline is one second, so no
+        // miss has been charged yet).
+        h.run(3);
+        let probes: u64 = h.nodes.iter().map(|n| n.stats().link_probes_sent).sum();
+        assert!(probes >= 1, "a probe went out to the silent peer");
+        // Every node stalls for six seconds (a CPU-starved host): the armed
+        // deadlines expire inside the gap. The next monitor pass must clamp
+        // them forward instead of charging the peers misses.
+        h.now += Duration::from_secs(6);
+        h.run(1);
+        let clamps: u64 = h
+            .nodes
+            .iter()
+            .map(|n| n.stats().link_probe_deadline_clamps)
+            .sum();
+        assert!(clamps >= 1, "the stalled watchers clamped their deadlines");
+        let timeouts: u64 = h.nodes.iter().map(|n| n.stats().link_probe_timeouts).sum();
+        assert_eq!(timeouts, 0, "no miss was charged straight out of the stall");
+        let dead: u64 = h.nodes.iter().map(|n| n.stats().dead_edges_detected).sum();
+        assert_eq!(dead, 0, "no verdict straight out of the stall");
+        // The clamp only defers: with ticks back to normal the genuinely
+        // crashed peer is still detected dead within seconds.
+        h.run(20);
+        let dead: u64 = h.nodes.iter().map(|n| n.stats().dead_edges_detected).sum();
+        assert!(
+            dead >= 1,
+            "the crashed peer was still detected after the stall"
+        );
     }
 
     #[test]

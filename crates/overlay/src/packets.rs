@@ -455,6 +455,20 @@ impl<'a> Reader<'a> {
             None => Bytes::from(slice),
         })
     }
+    /// Bytes left to read.
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    /// Validate an element count read off the wire against the bytes actually
+    /// present (`per_elem` is each element's minimum encoded size). A mutated
+    /// count field otherwise turns into a huge `Vec::with_capacity` before the
+    /// element reads fail — this rejects it up front, allocation-free.
+    fn counted(&self, count: usize, per_elem: usize) -> Result<usize, ParseError> {
+        if count * per_elem > self.remaining() {
+            return Err(ParseError::BadLength("overlay element count"));
+        }
+        Ok(count)
+    }
 }
 
 fn write_endpoints(w: &mut Writer, eps: &[Endpoint]) {
@@ -465,7 +479,8 @@ fn write_endpoints(w: &mut Writer, eps: &[Endpoint]) {
 }
 
 fn read_endpoints(r: &mut Reader<'_>) -> Result<Vec<Endpoint>, ParseError> {
-    let n = r.u8()? as usize;
+    let raw = r.u8()? as usize;
+    let n = r.counted(raw, 6)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(r.endpoint()?);
@@ -787,7 +802,8 @@ impl RoutedPacket {
             },
             14 => {
                 let from_owner = r.u8()? == 1;
-                let count = r.u16()? as usize;
+                let raw = r.u16()? as usize;
+                let count = r.counted(raw, 44)?;
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     entries.push(SyncDigestEntry {
@@ -803,7 +819,8 @@ impl RoutedPacket {
                 }
             }
             15 => {
-                let count = r.u16()? as usize;
+                let raw = r.u16()? as usize;
+                let count = r.counted(raw, 20)?;
                 let mut keys = Vec::with_capacity(count);
                 for _ in 0..count {
                     keys.push(r.addr()?);
@@ -916,6 +933,9 @@ impl LinkMessage {
     pub fn from_wire(data: &Bytes) -> Result<Self, ParseError> {
         let mut r = Reader::shared(data);
         let mut msg = Self::read(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(ParseError::BadLength("overlay trailing bytes"));
+        }
         if let LinkMessage::Routed(pkt) = &mut msg {
             if matches!(pkt.payload, RoutedPayload::IpTunnel(_)) {
                 pkt.wire = Some(data.clone());
@@ -927,7 +947,14 @@ impl LinkMessage {
     /// Parse from wire bytes.
     pub fn from_bytes(data: &[u8]) -> Result<Self, ParseError> {
         let mut r = Reader::new(data);
-        Self::read(&mut r)
+        let msg = Self::read(&mut r)?;
+        if r.remaining() != 0 {
+            // A message followed by garbage is not a valid wire image; strict
+            // rejection keeps a mutated length field from silently shortening
+            // the decoded payload.
+            return Err(ParseError::BadLength("overlay trailing bytes"));
+        }
+        Ok(msg)
     }
 
     fn read(r: &mut Reader<'_>) -> Result<Self, ParseError> {
@@ -956,8 +983,9 @@ impl LinkMessage {
             5 => LinkMessage::Routed(RoutedPacket::read(r)?),
             6 => {
                 let from = r.addr()?;
-                let count = r.u8()?;
-                let mut neighbors = Vec::with_capacity(count as usize);
+                let raw = r.u8()? as usize;
+                let count = r.counted(raw, 26)?;
+                let mut neighbors = Vec::with_capacity(count);
                 for _ in 0..count {
                     neighbors.push((r.addr()?, r.endpoint()?));
                 }
@@ -1219,5 +1247,79 @@ mod tests {
         assert!(LinkMessage::from_bytes(&[]).is_err());
         assert!(LinkMessage::from_bytes(&[99]).is_err());
         assert!(LinkMessage::from_bytes(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut wire = LinkMessage::Ping {
+            from: a(1),
+            nonce: 7,
+        }
+        .to_bytes();
+        assert!(LinkMessage::from_bytes(&wire).is_ok());
+        wire.push(0);
+        assert_eq!(
+            LinkMessage::from_bytes(&wire),
+            Err(ParseError::BadLength("overlay trailing bytes"))
+        );
+        assert!(LinkMessage::from_wire(&Bytes::from(wire)).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_a_typed_error() {
+        // Every proper prefix of a valid message must fail cleanly, never
+        // panic or decode to something else.
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Closest,
+            RoutedPayload::DhtSyncDigest {
+                entries: vec![SyncDigestEntry {
+                    key: a(15),
+                    version: 9,
+                    value_hash: 3,
+                    ttl_bucket: 14,
+                }],
+                from_owner: true,
+            },
+        );
+        let wire = LinkMessage::Routed(pkt).to_bytes();
+        for cut in 0..wire.len() {
+            assert!(
+                LinkMessage::from_bytes(&wire[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn inflated_count_fields_are_rejected_before_allocating() {
+        // A DhtSyncPull claiming u16::MAX keys with no key bytes behind the
+        // count must be rejected by the length pre-check.
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Closest,
+            RoutedPayload::DhtSyncPull { keys: vec![] },
+        );
+        let mut wire = LinkMessage::Routed(pkt).to_bytes();
+        let count_at = wire.len() - 2;
+        wire[count_at..].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(
+            LinkMessage::from_bytes(&wire),
+            Err(ParseError::BadLength("overlay element count"))
+        );
+        // Same for a Neighbors gossip claiming 255 entries.
+        let mut wire = LinkMessage::Neighbors {
+            from: a(3),
+            neighbors: vec![],
+        }
+        .to_bytes();
+        let count_at = wire.len() - 1;
+        wire[count_at] = 255;
+        assert_eq!(
+            LinkMessage::from_bytes(&wire),
+            Err(ParseError::BadLength("overlay element count"))
+        );
     }
 }

@@ -31,6 +31,10 @@ pub trait OverlayTransport {
     fn send(&mut self, stack: &mut NetStack, now: SimTime, dst: Endpoint, msg: &LinkMessage);
     /// Collect received messages as `(source endpoint, message)` pairs.
     fn poll(&mut self, stack: &mut NetStack, now: SimTime) -> Vec<(Endpoint, LinkMessage)>;
+    /// Running count of datagrams/frames that arrived but failed to decode as
+    /// a [`LinkMessage`]. The host agent diffs this across polls to account
+    /// malformed traffic in overlay stats.
+    fn parse_errors(&self) -> u64;
 }
 
 /// UDP transport: one datagram per message.
@@ -69,6 +73,10 @@ impl OverlayTransport for UdpTransport {
             }
         }
         out
+    }
+
+    fn parse_errors(&self) -> u64 {
+        self.parse_errors
     }
 }
 
@@ -199,6 +207,10 @@ impl OverlayTransport for TcpTransport {
             }
         }
         out
+    }
+
+    fn parse_errors(&self) -> u64 {
+        self.parse_errors
     }
 }
 

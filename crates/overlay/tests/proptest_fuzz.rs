@@ -1,0 +1,147 @@
+//! Deterministic in-tree fuzzing of the overlay wire decoders. Two corpora
+//! per message family: pure byte soup, and valid wire images put through the
+//! mutations a hostile or lossy network actually performs (byte flips,
+//! truncation, trailing garbage). Every input must decode to a value or a
+//! typed [`ipop_packet::ParseError`] — never panic, never mis-parse into an
+//! allocation bomb — and whatever decodes must re-encode without panicking.
+
+use proptest::prelude::*;
+
+use ipop_overlay::address::Address;
+use ipop_overlay::dht::SyncDigestEntry;
+use ipop_overlay::packets::{
+    ConnectionKind, DeliveryMode, LinkMessage, RoutedPacket, RoutedPayload,
+};
+use ipop_packet::Bytes;
+
+fn arb_addr() -> impl Strategy<Value = Address> {
+    any::<[u8; 20]>().prop_map(Address)
+}
+
+/// One valid wire image from every message family the overlay speaks, with
+/// arbitrary field values: the seed corpus the mutations start from.
+fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> Vec<Vec<u8>> {
+    let ep = (std::net::Ipv4Addr::new(10, 9, 8, 7), 4001);
+    let digest = (0..entries)
+        .map(|i| SyncDigestEntry {
+            key: Address([i; 20]),
+            version: u64::from(i),
+            value_hash: token ^ u64::from(i),
+            ttl_bucket: u64::from(i) * 3,
+        })
+        .collect();
+    let neighbors = (0..entries).map(|i| (Address([i; 20]), ep)).collect();
+    let routed = |p: RoutedPayload| {
+        LinkMessage::Routed(RoutedPacket::new(a, b, DeliveryMode::Closest, p)).to_bytes()
+    };
+    vec![
+        LinkMessage::Hello {
+            from: a,
+            kind: ConnectionKind::Near,
+            observed: ep,
+            token,
+        }
+        .to_bytes(),
+        LinkMessage::Ping {
+            from: a,
+            nonce: token,
+        }
+        .to_bytes(),
+        LinkMessage::Probe {
+            from: a,
+            nonce: token,
+        }
+        .to_bytes(),
+        LinkMessage::ProbeAck {
+            from: b,
+            nonce: token,
+        }
+        .to_bytes(),
+        LinkMessage::Neighbors { from: a, neighbors }.to_bytes(),
+        routed(RoutedPayload::IpTunnel(payload.clone().into())),
+        routed(RoutedPayload::ConnectRequest {
+            token,
+            initiator: a,
+            kind: ConnectionKind::Far,
+            endpoints: vec![ep, ep],
+        }),
+        routed(RoutedPayload::DhtPut {
+            key: b,
+            value: Bytes::from(payload),
+            ttl_ms: token,
+            version: token,
+        }),
+        routed(RoutedPayload::DhtSyncDigest {
+            entries: digest,
+            from_owner: true,
+        }),
+        routed(RoutedPayload::DhtSyncPull { keys: vec![a, b] }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mutated_wire_images_never_panic_the_decoders(
+        a in arb_addr(), b in arb_addr(), token: u64,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        entries in 0u8..12,
+        flip_at: [usize; 3],
+        flip_mask in proptest::collection::vec(1u8..=255, 3..4),
+        cut: usize,
+        garbage in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        for image in corpus(a, b, token, payload.clone(), entries) {
+            // Byte flips anywhere in the image (what a corrupting link does).
+            let mut flipped = image.clone();
+            for (idx, x) in flip_at.iter().zip(&flip_mask) {
+                let i = idx % flipped.len().max(1);
+                if let Some(byte) = flipped.get_mut(i) {
+                    *byte ^= *x;
+                }
+            }
+            if let Ok(msg) = LinkMessage::from_bytes(&flipped) {
+                let _ = msg.to_bytes();
+            }
+            let shared = Bytes::from(flipped);
+            if let Ok(msg) = LinkMessage::from_wire(&shared) {
+                let _ = msg.to_wire();
+            }
+
+            // Truncation at an arbitrary point (what loss mid-fragment does).
+            let cut_at = cut % (image.len() + 1);
+            prop_assert!(
+                cut_at == image.len() || LinkMessage::from_bytes(&image[..cut_at]).is_err(),
+                "a strict prefix decoded as a whole message"
+            );
+
+            // Trailing garbage must be rejected, not silently swallowed.
+            if !garbage.is_empty() {
+                let mut padded = image.clone();
+                padded.extend_from_slice(&garbage);
+                prop_assert!(
+                    LinkMessage::from_bytes(&padded).is_err(),
+                    "trailing bytes were silently accepted"
+                );
+            }
+
+            // And the untouched image still round-trips, both decode paths.
+            let msg = LinkMessage::from_bytes(&image).unwrap();
+            prop_assert_eq!(msg.to_bytes(), image.clone());
+            let shared = Bytes::from(image.clone());
+            let via_wire = LinkMessage::from_wire(&shared).unwrap();
+            prop_assert_eq!(via_wire.to_wire().as_slice(), image.as_slice());
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics_the_shared_buffer_decoder(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        // `from_bytes` soup coverage lives in proptest_overlay.rs; this is
+        // the `from_wire` (shared-buffer, wire-image-caching) path.
+        let shared = Bytes::from(data);
+        if let Ok(msg) = LinkMessage::from_wire(&shared) {
+            let _ = msg.to_wire();
+        }
+    }
+}

@@ -243,7 +243,10 @@ impl TcpSegment {
                 0 => break,           // end of options
                 1 => opt = &opt[1..], // NOP
                 2 => {
-                    if opt.len() < 4 {
+                    // The MSS option is exactly 4 bytes; a mutated length
+                    // byte would silently desynchronize the rest of the
+                    // option list if it were not validated here.
+                    if opt.len() < 4 || opt[1] != 4 {
                         return Err(ParseError::BadLength("tcp mss option"));
                     }
                     mss = Some(u16::from_be_bytes([opt[2], opt[3]]));
@@ -350,6 +353,26 @@ mod tests {
         assert!(matches!(
             TcpSegment::from_bytes(&[0u8; 8], s, d),
             Err(ParseError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn mss_option_length_byte_is_validated() {
+        let (s, d) = addrs();
+        let seg = TcpSegment::syn(5001, 5201, 1000, 65535, 1460);
+        let mut bytes = seg.to_bytes(s, d);
+        // Corrupt the MSS option's length byte (kind at 20, length at 21) and
+        // re-seal the checksum so the mutation reaches the option parser —
+        // modelling corruption that slipped past the transport checksum.
+        bytes[21] = 8;
+        bytes[16..18].copy_from_slice(&[0, 0]);
+        let mut acc = pseudo_header_sum(s.octets(), d.octets(), 6, bytes.len() as u16);
+        acc = sum_words(acc, &bytes);
+        let csum = finish(acc);
+        bytes[16..18].copy_from_slice(&csum.to_be_bytes());
+        assert!(matches!(
+            TcpSegment::from_bytes(&bytes, s, d),
+            Err(ParseError::BadLength("tcp mss option"))
         ));
     }
 

@@ -14,7 +14,7 @@ use std::net::Ipv4Addr;
 
 use ipop::prelude::*;
 use ipop::{deploy_plain, IpopHostAgent, NullApp};
-use ipop_netsim::HostId;
+use ipop_netsim::{HostId, LinkImpairment};
 use ipop_overlay::OverlayStats;
 use ipop_simcore::SimTime;
 
@@ -29,6 +29,17 @@ pub enum FaultEvent {
     Partition(usize, u8),
     /// Remove every partition.
     Heal,
+    /// Impair the path between two members (by index): seeded loss,
+    /// duplication, corruption and reordering on every packet between them.
+    ImpairLink(usize, usize, LinkImpairment),
+    /// Impair every path without a pair-specific impairment (e.g. 1% global
+    /// loss — a uniformly dirty wide-area network).
+    ImpairAll(LinkImpairment),
+    /// Remove the impairment between two members (the all-pairs default, if
+    /// any, applies to them again).
+    HealLink(usize, usize),
+    /// Remove every impairment, pair-specific and default.
+    HealAllLinks,
     /// Anything else — mid-run joiners, agent surgery, extra workload. The
     /// closure runs against the harness at the scheduled instant; joiners it
     /// installs should be registered via [`FaultHarness::add_member`] so the
@@ -134,6 +145,16 @@ impl FaultHarness {
                 self.sim.net_mut().set_partition_group(host, group);
             }
             FaultEvent::Heal => self.sim.net_mut().heal_partition(),
+            FaultEvent::ImpairLink(i, j, imp) => {
+                let (a, b) = (self.hosts[i], self.hosts[j]);
+                self.sim.net_mut().set_link_impairment(a, b, imp);
+            }
+            FaultEvent::ImpairAll(imp) => self.sim.net_mut().set_default_impairment(imp),
+            FaultEvent::HealLink(i, j) => {
+                let (a, b) = (self.hosts[i], self.hosts[j]);
+                self.sim.net_mut().clear_link_impairment(a, b);
+            }
+            FaultEvent::HealAllLinks => self.sim.net_mut().heal_impairments(),
             FaultEvent::Custom(f) => f(self),
         }
     }
@@ -178,6 +199,8 @@ impl FaultHarness {
             total.dht_leases_lost += s.dht_leases_lost;
             total.dht_quorum_write_timeouts += s.dht_quorum_write_timeouts;
             total.dht_refreshes += s.dht_refreshes;
+            total.malformed_dropped += s.malformed_dropped;
+            total.link_probe_deadline_clamps += s.link_probe_deadline_clamps;
         }
         total
     }

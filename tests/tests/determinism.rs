@@ -75,23 +75,29 @@ fn run_fig4_ping(seed: u64) -> RunTrace {
 
 /// Outcome of the 64-node run, in byte-comparable form. The overlay tuple
 /// covers the link-monitor path (probes sent, probe timeouts, dead edges
-/// detected) so crash-induced detection traffic is part of the
-/// byte-identical contract.
+/// detected) and the malformed-ingress counter, so crash-induced detection
+/// traffic and corruption-induced decode drops are part of the
+/// byte-identical contract; `impair` carries the network-wide impairment
+/// counters (dropped, duplicated, corrupted, reordered).
 #[derive(Debug, PartialEq)]
 struct BigRunTrace {
     events: u64,
     delivered: u64,
     rtts_ms: Vec<f64>,
     per_host: Vec<(u64, u64, u64, u64)>,
-    overlay: Vec<(u64, u64, u64, u64, u64, u64)>,
+    overlay: Vec<(u64, u64, u64, u64, u64, u64, u64)>,
+    impair: (u64, u64, u64, u64),
 }
 
 /// A 64-node overlay across a mix of open sites, NATed sites (alternating cone
 /// types) and firewalled sites — the composition the paper targets — driven by
 /// the typed-event scheduler. One node pings across the ring while the rest
 /// route — and four nodes crash mid-run, so the link monitor's probe and
-/// dead-edge traffic is exercised under the same-seed replay contract.
-fn run_mixed_64(seed: u64) -> BigRunTrace {
+/// dead-edge traffic is exercised under the same-seed replay contract. With
+/// `lossy` the whole fabric additionally runs under a 1 % loss + reorder +
+/// corruption impairment, so every impairment draw and every
+/// malformed-datagram drop joins the byte-identical contract too.
+fn run_mixed_64(seed: u64, lossy: bool) -> BigRunTrace {
     use ipop_netsim::firewall::Firewall;
     use ipop_netsim::link::LinkParams;
     use ipop_netsim::nat::{NatBox, NatType};
@@ -158,6 +164,18 @@ fn run_mixed_64(seed: u64) -> BigRunTrace {
         })
         .collect();
     ipop::deploy_ipop(&mut net, members, DeployOptions::udp());
+    if lossy {
+        use ipop_netsim::LinkImpairment;
+        // A uniformly hostile fabric: loss, reordering and byte-flipping
+        // corruption on every path, so the hardened decoders' drop path runs
+        // inside the replay contract.
+        net.set_default_impairment(
+            LinkImpairment::none()
+                .with_loss(0.01)
+                .with_reorder(0.02, Duration::from_millis(10))
+                .with_corrupt(0.02),
+        );
+    }
 
     let mut sim = NetworkSim::new(net);
     // Induced crashes: four routers die unannounced at 6 s (none of them the
@@ -198,18 +216,28 @@ fn run_mixed_64(seed: u64) -> BigRunTrace {
                             s.link_probes_sent,
                             s.link_probe_timeouts,
                             s.dead_edges_detected,
+                            s.malformed_dropped,
                         )
                     })
                     .unwrap_or_default()
             })
             .collect(),
+        impair: {
+            let c = sim.net().counters();
+            (
+                c.impair_dropped,
+                c.impair_duplicated,
+                c.impair_corrupted,
+                c.impair_reordered,
+            )
+        },
     }
 }
 
 #[test]
 fn mixed_nat_public_64_node_runs_are_byte_identical() {
-    let a = run_mixed_64(0xB16_5EED);
-    let b = run_mixed_64(0xB16_5EED);
+    let a = run_mixed_64(0xB16_5EED, false);
+    let b = run_mixed_64(0xB16_5EED, false);
     // The overlay actually formed and carried traffic...
     assert!(a.delivered > 10_000, "delivered {}", a.delivered);
     assert!(
@@ -226,6 +254,39 @@ fn mixed_nat_public_64_node_runs_are_byte_identical() {
     let probes: u64 = a.overlay.iter().map(|o| o.3).sum();
     assert!(probes >= 1, "probes flowed: {probes}");
     // ...and the two same-seed runs are indistinguishable, field by field.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lossy_mixed_64_node_runs_are_byte_identical() {
+    let a = run_mixed_64(0x0010_55ED, true);
+    let b = run_mixed_64(0x0010_55ED, true);
+    // The impairments actually bit: packets were dropped, reordered and
+    // corrupted by the seeded draws...
+    assert!(a.impair.0 > 0, "loss draws dropped packets: {:?}", a.impair);
+    assert!(
+        a.impair.3 > 0,
+        "reorder draws delayed packets: {:?}",
+        a.impair
+    );
+    assert!(
+        a.impair.2 > 0,
+        "corruption draws flipped packets: {:?}",
+        a.impair
+    );
+    // ...corrupted overlay datagrams were counted out at ingress instead of
+    // crashing a decoder...
+    let malformed: u64 = a.overlay.iter().map(|o| o.6).sum();
+    assert!(malformed >= 1, "corruption surfaced as malformed drops");
+    // ...the overlay still carried the workload end to end...
+    assert!(a.delivered > 10_000, "delivered {}", a.delivered);
+    assert!(
+        a.rtts_ms.len() >= 10,
+        "pings crossed the lossy overlay: {}",
+        a.rtts_ms.len()
+    );
+    // ...and every impairment draw, malformed drop and detection verdict
+    // replays byte-identically under the same seed.
     assert_eq!(a, b);
 }
 
