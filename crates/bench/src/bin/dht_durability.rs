@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use ipop::prelude::*;
 use ipop::IpopHostAgent;
+use ipop_bench::harness::{bench_cli, fmax, mean, rate};
 use ipop_netsim::planetlab;
 use ipop_overlay::Address;
 use ipop_simcore::SimTime;
@@ -239,24 +240,7 @@ fn run(p: &Params, seed: u64) -> Results {
     }
 }
 
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-fn fmax(xs: &[f64]) -> f64 {
-    xs.iter().cloned().fold(0.0, f64::max)
-}
-
 fn render_json(mode: &str, p: &Params, r: &Results) -> String {
-    let rate = if r.records == 0 {
-        1.0
-    } else {
-        r.resolved as f64 / r.records as f64
-    };
     format!(
         concat!(
             "{{\n",
@@ -304,7 +288,7 @@ fn render_json(mode: &str, p: &Params, r: &Results) -> String {
         lease = p.lease_ttl.as_secs_f64(),
         sweep = p.sweep_interval.as_secs_f64(),
         resolved = r.resolved,
-        rate = rate,
+        rate = rate(r.resolved, r.records),
         rmean = mean(&r.reconverge_s),
         rmax = fmax(&r.reconverge_s),
         bound = reconverge_bound_s(p),
@@ -322,16 +306,9 @@ fn render_json(mode: &str, p: &Params, r: &Results) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| format!("{}/../../BENCH_durability.json", env!("CARGO_MANIFEST_DIR")));
-    let mode = if quick { "quick" } else { "full" };
-    let p = if quick {
+    let cli = bench_cli("BENCH_durability.json");
+    let mode = cli.mode();
+    let p = if cli.quick {
         Params {
             nodes: 20,
             publishers: 8,
@@ -363,16 +340,11 @@ fn main() {
         p.hops_crashed,
     );
     let r = run(&p, 0xD47A_B111);
-    let rate = if r.records == 0 {
-        1.0
-    } else {
-        r.resolved as f64 / r.records as f64
-    };
     eprintln!(
         "  survival: {}/{} records resolved ({:.1}%)",
         r.resolved,
         r.records,
-        rate * 100.0
+        rate(r.resolved, r.records) * 100.0
     );
     eprintln!(
         "  reconverge: mean {:.2} s / max {:.2} s (bound {:.1} s; pre-durability window 45 s)",
@@ -398,6 +370,5 @@ fn main() {
     }
 
     let json = render_json(mode, &p, &r);
-    std::fs::write(&out_path, &json).expect("write BENCH_durability.json");
-    eprintln!("wrote {out_path}");
+    cli.write_artifact(&json);
 }

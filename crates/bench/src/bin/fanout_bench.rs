@@ -1,0 +1,96 @@
+//! Heavy-traffic pub/sub fan-out benchmark: 1k publishers × 10k subscribers
+//! on one hot topic over a 12k-node ring, written to `BENCH_fanout.json`.
+//!
+//! Usage: `fanout_bench [--quick] [--out PATH]`
+
+use ipop_bench::fanout::{run_fanout, FanoutConfig};
+use ipop_bench::harness::{self, bench_cli};
+
+fn main() {
+    let cli = bench_cli("BENCH_fanout.json");
+    let cfg = if cli.quick {
+        FanoutConfig::quick()
+    } else {
+        FanoutConfig::full()
+    };
+
+    eprintln!(
+        "fanout_bench ({} mode): {} nodes / {} shards, {} publishers x {} subscribers, fan-out {}",
+        cli.mode(),
+        cfg.scale.nodes,
+        cfg.scale.shards,
+        cfg.publishers,
+        cfg.subscribers,
+        cfg.scale.pubsub_fanout
+    );
+    let started = std::time::Instant::now();
+    let r = run_fanout(&cfg);
+    let wall_s = started.elapsed().as_secs_f64();
+    let ev_s = r.events as f64 / wall_s;
+
+    eprintln!(
+        "  {} events in {:.2}s wall / {:.1}s virtual -> {:.0} ev/s",
+        r.events, wall_s, r.virtual_s, ev_s
+    );
+    eprintln!(
+        "  delivery: {}/{} ({:.4}%), latency ms p50 {:.1} p90 {:.1} p99 {:.1} max {:.1}",
+        r.delivered,
+        r.expected,
+        100.0 * r.delivery_rate(),
+        harness::quantile(&r.latencies_ms, 0.5),
+        harness::quantile(&r.latencies_ms, 0.9),
+        harness::quantile(&r.latencies_ms, 0.99),
+        harness::fmax(&r.latencies_ms)
+    );
+    eprintln!(
+        "  relay tree: {} direct sends, {} delegated re-fans, {} salvaged",
+        r.fanout_sent, r.relayed, r.salvaged
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fanout\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", cli.mode()));
+    json.push_str(&format!("  \"nodes\": {},\n", r.nodes));
+    json.push_str(&format!("  \"shards\": {},\n", r.shards));
+    json.push_str(&format!("  \"publishers\": {},\n", r.publishers));
+    json.push_str(&format!("  \"subscribers\": {},\n", r.subscribers));
+    json.push_str(&format!("  \"fanout\": {},\n", r.fanout));
+    json.push_str(&format!("  \"payload_bytes\": {},\n", cfg.payload_bytes));
+    json.push_str(&format!("  \"events\": {},\n", r.events));
+    json.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    json.push_str(&format!("  \"virtual_s\": {:.1},\n", r.virtual_s));
+    json.push_str(&format!("  \"events_per_sec\": {ev_s:.1},\n"));
+    json.push_str(&format!(
+        "  \"delivery\": {{ \"publishes\": {}, \"expected\": {}, \"delivered\": {}, \"rate\": {:.6} }},\n",
+        r.publishes,
+        r.expected,
+        r.delivered,
+        r.delivery_rate()
+    ));
+    json.push_str(&format!(
+        "  \"latency_ms\": {{ \"mean\": {:.2}, \"p50\": {:.2}, \"p90\": {:.2}, \"p99\": {:.2}, \"max\": {:.2} }},\n",
+        harness::mean(&r.latencies_ms),
+        harness::quantile(&r.latencies_ms, 0.5),
+        harness::quantile(&r.latencies_ms, 0.9),
+        harness::quantile(&r.latencies_ms, 0.99),
+        harness::fmax(&r.latencies_ms)
+    ));
+    json.push_str(&format!(
+        "  \"relay_tree\": {{ \"fanout_sent\": {}, \"relayed\": {}, \"salvaged\": {} }},\n",
+        r.fanout_sent, r.relayed, r.salvaged
+    ));
+    json.push_str(&format!(
+        "  \"determinism\": {{ \"drained\": {}, \"trace_hash\": \"{:#018x}\" }}\n",
+        r.drained, r.trace_hash
+    ));
+    json.push_str("}\n");
+    cli.write_artifact(&json);
+
+    assert!(r.drained, "fan-out run failed to drain");
+    assert!(
+        r.delivery_rate() >= 0.999,
+        "delivery rate {:.6} below the 99.9% floor",
+        r.delivery_rate()
+    );
+}

@@ -23,6 +23,11 @@
 //!    parseable packets, reported separately), corrupted datagrams counted
 //!    and dropped.
 //!
+//! The whole scenario then runs a second time with the FNV-64 link
+//! integrity tag enabled: corrupted-but-parseable datagrams are now rejected
+//! at ingress before they can mint phantom peers, so the artefact reports
+//! the ghost-edge delta between the two runs alongside the tag-reject count.
+//!
 //! Usage: `lossy_churn [--quick] [--out PATH]`
 
 use std::collections::BTreeSet;
@@ -31,6 +36,7 @@ use std::time::Instant;
 
 use ipop::prelude::*;
 use ipop::IpopHostAgent;
+use ipop_bench::harness::{bench_cli, fmax, mean, rate};
 use ipop_netsim::{planetlab, LinkImpairment};
 use ipop_overlay::Address;
 use ipop_simcore::SimTime;
@@ -62,6 +68,7 @@ struct Results {
     probes_sent: u64,
     probe_timeouts: u64,
     malformed_dropped: u64,
+    tag_rejects: u64,
     impair_dropped: u64,
     impair_duplicated: u64,
     impair_corrupted: u64,
@@ -120,7 +127,7 @@ fn dead_edge_total(
         .sum()
 }
 
-fn run(p: &Params, seed: u64) -> Results {
+fn run(p: &Params, seed: u64, integrity_tag: bool) -> Results {
     let started = Instant::now();
     let mut net = Network::new(seed);
     let plab = planetlab(&mut net, p.nodes, 1.0, seed);
@@ -130,12 +137,15 @@ fn run(p: &Params, seed: u64) -> Results {
         .enumerate()
         .map(|(i, &h)| IpopMember::router(h, vip(i)))
         .collect();
-    let options = DeployOptions {
+    let mut options = DeployOptions {
         brunet_arp: true,
         ..DeployOptions::udp()
     }
     .with_lease_ttl(p.lease_ttl)
     .with_dht_sweep_interval(p.sweep_interval);
+    if integrity_tag {
+        options = options.with_link_integrity_tag();
+    }
     let hosts = ipop::deploy_ipop(&mut net, members, options);
 
     // The whole run happens on a dirty WAN: every path loses, duplicates and
@@ -278,6 +288,7 @@ fn run(p: &Params, seed: u64) -> Results {
     let mut probes_sent = 0;
     let mut probe_timeouts = 0;
     let mut malformed_dropped = 0;
+    let mut tag_rejects = 0;
     for (i, &h) in hosts.iter().enumerate() {
         if crashed.contains(&i) {
             continue;
@@ -289,6 +300,7 @@ fn run(p: &Params, seed: u64) -> Results {
         probes_sent += s.link_probes_sent;
         probe_timeouts += s.link_probe_timeouts;
         malformed_dropped += s.malformed_dropped;
+        tag_rejects += agent.transport_tag_rejects();
     }
     let net_counters = sim.net().counters();
 
@@ -304,6 +316,7 @@ fn run(p: &Params, seed: u64) -> Results {
         probes_sent,
         probe_timeouts,
         malformed_dropped,
+        tag_rejects,
         impair_dropped: net_counters.impair_dropped,
         impair_duplicated: net_counters.impair_duplicated,
         impair_corrupted: net_counters.impair_corrupted,
@@ -313,24 +326,7 @@ fn run(p: &Params, seed: u64) -> Results {
     }
 }
 
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-fn fmax(xs: &[f64]) -> f64 {
-    xs.iter().cloned().fold(0.0, f64::max)
-}
-
-fn render_json(mode: &str, p: &Params, r: &Results) -> String {
-    let rate = if r.records == 0 {
-        1.0
-    } else {
-        r.resolved as f64 / r.records as f64
-    };
+fn render_json(mode: &str, p: &Params, r: &Results, tagged: &Results) -> String {
     format!(
         concat!(
             "{{\n",
@@ -369,6 +365,14 @@ fn render_json(mode: &str, p: &Params, r: &Results) -> String {
             "    \"probe_timeouts\": {ptimeouts},\n",
             "    \"dead_edges_detected\": {dead}\n",
             "  }},\n",
+            "  \"integrity_tag\": {{\n",
+            "    \"ghost_edges_plain\": {ghosts},\n",
+            "    \"ghost_edges_tagged\": {tghosts},\n",
+            "    \"ghost_edge_delta\": {gdelta},\n",
+            "    \"tag_rejects\": {trejects},\n",
+            "    \"tagged_survival_rate\": {trate:.4},\n",
+            "    \"tagged_duplicate_allocations\": {tdupalloc}\n",
+            "  }},\n",
             "  \"events\": {events},\n",
             "  \"wall_s\": {wall:.3}\n",
             "}}\n",
@@ -389,34 +393,27 @@ fn render_json(mode: &str, p: &Params, r: &Results) -> String {
         ghosts = r.ghost_edges_collected,
         falsedead = r.false_dead_edges,
         malformed = r.malformed_dropped,
-        rate = rate,
+        rate = rate(r.resolved, r.records),
         resolved = r.resolved,
         rmean = mean(&r.reconverge_s),
         rmax = fmax(&r.reconverge_s),
         probes = r.probes_sent,
         ptimeouts = r.probe_timeouts,
         dead = r.dead_edges,
+        tghosts = tagged.ghost_edges_collected,
+        gdelta = r.ghost_edges_collected as i64 - tagged.ghost_edges_collected as i64,
+        trejects = tagged.tag_rejects,
+        trate = rate(tagged.resolved, tagged.records),
+        tdupalloc = tagged.duplicate_allocations,
         events = r.events,
-        wall = r.wall_s,
+        wall = r.wall_s + tagged.wall_s,
     )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| {
-            format!(
-                "{}/../../BENCH_adversarial.json",
-                env!("CARGO_MANIFEST_DIR")
-            )
-        });
-    let mode = if quick { "quick" } else { "full" };
-    let p = if quick {
+    let cli = bench_cli("BENCH_adversarial.json");
+    let mode = cli.mode();
+    let p = if cli.quick {
         Params {
             nodes: 20,
             publishers: 8,
@@ -456,17 +453,12 @@ fn main() {
         p.hops_crashed,
         p.loss * 100.0,
     );
-    let r = run(&p, 0xAD5E_7A1A);
-    let rate = if r.records == 0 {
-        1.0
-    } else {
-        r.resolved as f64 / r.records as f64
-    };
+    let r = run(&p, 0xAD5E_7A1A, false);
     eprintln!(
         "  survival: {}/{} records resolved ({:.1}%); reconverge mean {:.2} s / max {:.2} s",
         r.resolved,
         r.records,
-        rate * 100.0,
+        rate(r.resolved, r.records) * 100.0,
         mean(&r.reconverge_s),
         fmax(&r.reconverge_s),
     );
@@ -491,7 +483,23 @@ fn main() {
         eprintln!("  WARNING: live edges were declared dead after convergence, before any crash");
     }
 
-    let json = render_json(mode, &p, &r);
-    std::fs::write(&out_path, &json).expect("write BENCH_adversarial.json");
-    eprintln!("wrote {out_path}");
+    // Second run, same seed, with the FNV-64 link integrity tag on: corrupted
+    // datagrams die at ingress, so the ghost-edge count should collapse.
+    eprintln!("lossy_churn ({mode} mode): re-running with the link integrity tag enabled");
+    let tagged = run(&p, 0xAD5E_7A1A, true);
+    eprintln!(
+        "  integrity tag: ghost edges {} -> {} (delta {}), {} tag rejects, survival {:.1}%, {} duplicate allocations",
+        r.ghost_edges_collected,
+        tagged.ghost_edges_collected,
+        r.ghost_edges_collected as i64 - tagged.ghost_edges_collected as i64,
+        tagged.tag_rejects,
+        rate(tagged.resolved, tagged.records) * 100.0,
+        tagged.duplicate_allocations,
+    );
+    if tagged.ghost_edges_collected > r.ghost_edges_collected {
+        eprintln!("  WARNING: the integrity tag increased the ghost-edge count");
+    }
+
+    let json = render_json(mode, &p, &r, &tagged);
+    cli.write_artifact(&json);
 }

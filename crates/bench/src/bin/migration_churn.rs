@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use ipop::prelude::*;
 use ipop_apps::ping::PingApp;
+use ipop_bench::harness::{bench_cli, fmax, mean};
 use ipop_netsim::{planetlab, HostId};
 use ipop_overlay::{Address, Distance};
 use ipop_packet::ipv4::Ipv4Payload;
@@ -447,18 +448,6 @@ fn blackout_bound_s(p: &Params) -> f64 {
     p.arp_cache_ttl.as_secs_f64() + 5.0
 }
 
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-fn fmax(xs: &[f64]) -> f64 {
-    xs.iter().cloned().fold(0.0, f64::max)
-}
-
 fn render_json(mode: &str, p: &Params, r: &Results) -> String {
     format!(
         concat!(
@@ -531,16 +520,9 @@ fn render_json(mode: &str, p: &Params, r: &Results) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| format!("{}/../../BENCH_migration.json", env!("CARGO_MANIFEST_DIR")));
-    let mode = if quick { "quick" } else { "full" };
-    let p = if quick {
+    let cli = bench_cli("BENCH_migration.json");
+    let mode = cli.mode();
+    let p = if cli.quick {
         Params {
             nodes: 24,
             spares: 4,
@@ -602,6 +584,5 @@ fn main() {
     }
 
     let json = render_json(mode, &p, &r);
-    std::fs::write(&out_path, &json).expect("write BENCH_migration.json");
-    eprintln!("wrote {out_path}");
+    cli.write_artifact(&json);
 }

@@ -21,6 +21,7 @@ use std::net::Ipv4Addr;
 use std::time::Instant;
 
 use ipop::prelude::*;
+use ipop_bench::harness::{bench_cli, fmax, mean, rate};
 use ipop_netsim::planetlab;
 use ipop_overlay::Address;
 use ipop_simcore::SimTime;
@@ -100,12 +101,8 @@ fn run(nodes: usize, churn: usize, seed: u64) -> Results {
         *seen.entry(*ip).or_insert(0usize) += 1;
     }
     let duplicates = seen.values().filter(|&&c| c > 1).count();
-    let latency_mean_s = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<f64>() / latencies.len() as f64
-    };
-    let latency_max_s = latencies.iter().cloned().fold(0.0, f64::max);
+    let latency_mean_s = mean(&latencies);
+    let latency_max_s = fmax(&latencies);
 
     // Pre-churn mapping census: every bound node's address, overlay address,
     // and which node owns its mapping key on the ring (the node ring-closest
@@ -237,13 +234,6 @@ fn run(nodes: usize, churn: usize, seed: u64) -> Results {
 }
 
 fn render_json(mode: &str, r: &Results) -> String {
-    let rate = |num: usize, den: usize| {
-        if den == 0 {
-            1.0
-        } else {
-            num as f64 / den as f64
-        }
-    };
     format!(
         concat!(
             "{{\n",
@@ -306,16 +296,9 @@ fn render_json(mode: &str, r: &Results) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| format!("{}/../../BENCH_selfconfig.json", env!("CARGO_MANIFEST_DIR")));
-    let mode = if quick { "quick" } else { "full" };
-    let (nodes, churn) = if quick { (32, 4) } else { (64, 6) };
+    let cli = bench_cli("BENCH_selfconfig.json");
+    let mode = cli.mode();
+    let (nodes, churn) = if cli.quick { (32, 4) } else { (64, 6) };
 
     eprintln!("selfconfig_churn ({mode} mode): {nodes} nodes, crashing up to {churn} DHT owners");
     let r = run(nodes, churn, 0x5e1f_c0f6);
@@ -343,6 +326,5 @@ fn main() {
     }
 
     let json = render_json(mode, &r);
-    std::fs::write(&out_path, &json).expect("write BENCH_selfconfig.json");
-    eprintln!("wrote {out_path}");
+    cli.write_artifact(&json);
 }

@@ -1,0 +1,403 @@
+//! Heavy-traffic pub/sub fan-out workload: many publishers, one hot topic,
+//! thousands of subscribers.
+//!
+//! Runs on the same interned substrate and sharded simulator as the
+//! [`crate::scale`] harness: the ring is warm-started, then a block of
+//! subscriber nodes subscribes to one topic (staggered, soft-state records
+//! converging at the topic root), and after a settle window a block of
+//! publisher nodes publishes one message each (staggered). Every publish
+//! routes to the topic root and fans out along the bounded-degree relay
+//! tree; the workload measures the fan-out latency distribution
+//! (publish instant → delivery instant per subscriber), the delivery rate
+//! against the `publishers × subscribers` ideal, and simulator throughput.
+//!
+//! Because simulator events carry [`LinkMessage`] structs rather than
+//! encoded datagrams, the published body is one shared `Bytes` region across
+//! every copy at every relay depth — the zero-copy fan-out path the wire
+//! codec's cached-image tests pin down, exercised at workload scale.
+
+use ipop_overlay::address::Address;
+use ipop_overlay::node::OverlayNode;
+use ipop_overlay::packets::LinkMessage;
+use ipop_overlay::pubsub::topic_key;
+use ipop_packet::Bytes;
+use ipop_simcore::{
+    Duration, ShardCtl, ShardRunOutcome, ShardWorld, ShardedSim, SimTime, StreamRng,
+};
+
+use crate::scale::{build_warm_ring, ScaleConfig, WarmRing};
+
+/// Parameters of one fan-out run.
+#[derive(Clone, Debug)]
+pub struct FanoutConfig {
+    /// Ring substrate (size, shards, seeding, relay-tree out-degree).
+    pub scale: ScaleConfig,
+    /// Nodes `0..subscribers` subscribe to the topic.
+    pub subscribers: u32,
+    /// Nodes `subscribers..subscribers + publishers` publish one message
+    /// each. The two blocks must fit the ring, disjoint.
+    pub publishers: u32,
+    /// Published body size.
+    pub payload_bytes: usize,
+    /// Gap between consecutive subscribes (staggered so the root merges a
+    /// stream, not one burst).
+    pub subscribe_spacing: Duration,
+    /// Gap between consecutive publishes.
+    pub publish_spacing: Duration,
+    /// Quiet window between the last subscribe and the first publish, for
+    /// the subscriber record (and its replicas) to settle.
+    pub settle: Duration,
+    /// Subscription TTL. Kept far above the run length so no renewals fire
+    /// mid-measurement.
+    pub sub_ttl: Duration,
+}
+
+impl FanoutConfig {
+    /// The paper-scale workload: 1k publishers × 10k subscribers on a 12k
+    /// ring, fan-out 4, 64-byte bodies.
+    pub fn full() -> Self {
+        FanoutConfig {
+            scale: ScaleConfig {
+                maintenance_ticks: 4,
+                probes: 0,
+                ..ScaleConfig::ring(12_000)
+            },
+            subscribers: 10_000,
+            publishers: 1_000,
+            payload_bytes: 64,
+            subscribe_spacing: Duration::from_millis(1),
+            publish_spacing: Duration::from_millis(1),
+            settle: Duration::from_secs(5),
+            sub_ttl: Duration::from_secs(3600),
+        }
+    }
+
+    /// CI-sized: 32 publishers × 256 subscribers on a 512-node ring.
+    pub fn quick() -> Self {
+        FanoutConfig {
+            scale: ScaleConfig {
+                shards: 4,
+                maintenance_ticks: 4,
+                probes: 0,
+                ..ScaleConfig::ring(512)
+            },
+            subscribers: 256,
+            publishers: 32,
+            ..Self::full()
+        }
+    }
+}
+
+/// Outcome of one fan-out run.
+#[derive(Clone, Debug)]
+pub struct FanoutReport {
+    pub nodes: u32,
+    pub shards: u32,
+    pub subscribers: u32,
+    pub publishers: u32,
+    pub fanout: usize,
+    /// Messages actually published (one per publisher).
+    pub publishes: u64,
+    /// `publishes × subscribers`: every subscriber must see every message.
+    pub expected: u64,
+    /// Deliveries harvested at subscribers.
+    pub delivered: u64,
+    /// Publish-to-delivery latency of every delivery, in virtual ms.
+    pub latencies_ms: Vec<f64>,
+    /// Direct relay-tree sends (root + delegated heads).
+    pub fanout_sent: u64,
+    /// Deliveries that also carried a delegated chunk to re-fan.
+    pub relayed: u64,
+    /// Salvage re-fans (should be 0 without churn).
+    pub salvaged: u64,
+    /// Simulator events executed.
+    pub events: u64,
+    /// Virtual seconds simulated.
+    pub virtual_s: f64,
+    /// FNV digest of the full execution history (determinism witness).
+    pub trace_hash: u64,
+    /// Whether the event queues drained before the time limit.
+    pub drained: bool,
+}
+
+impl FanoutReport {
+    pub fn delivery_rate(&self) -> f64 {
+        if self.expected == 0 {
+            return f64::NAN;
+        }
+        self.delivered as f64 / self.expected as f64
+    }
+}
+
+/// Events driving the fan-out world.
+enum FanEv {
+    /// A link message from node `src` arriving at node `dst`.
+    Deliver {
+        src: u32,
+        dst: u32,
+        msg: LinkMessage,
+    },
+    /// Maintenance tick on `dst`; reschedules itself `remaining` more times.
+    Tick { dst: u32, remaining: u32 },
+    /// Node `dst` subscribes to the topic.
+    Subscribe { dst: u32 },
+    /// Node `src` publishes one message on the topic.
+    Publish { src: u32 },
+}
+
+/// One shard: a contiguous block of nodes plus local measurement state.
+struct FanoutShardWorld {
+    net: ipop_netsim::ScaleNet,
+    interval: Duration,
+    topic: Address,
+    /// The published body, one shared region for every publish and copy.
+    payload: Bytes,
+    sub_ttl: Duration,
+    lo: u32,
+    nodes: Vec<OverlayNode>,
+    /// `(msg_id, publish instant)` of publishes originated in this shard.
+    publishes: Vec<(u64, SimTime)>,
+    /// `(msg_id, delivery instant)` of messages delivered in this shard.
+    arrivals: Vec<(u64, SimTime)>,
+}
+
+impl FanoutShardWorld {
+    /// Flush node `idx`'s outbox into the event fabric and harvest delivered
+    /// topic messages. Identical latency handling to the scale harness: every
+    /// link message crosses the slice barrier with its full link latency.
+    fn pump(&mut self, idx: usize, now: SimTime, ctl: &mut ShardCtl<FanEv>) {
+        let src = self.lo + idx as u32;
+        let node = &mut self.nodes[idx];
+        for (ep, msg) in node.take_outbox() {
+            let Some(dst) = self.net.node_of(&ep) else {
+                continue;
+            };
+            let at = now + self.net.latency(src, dst);
+            ctl.send(
+                self.net.shard_of(dst) as usize,
+                at,
+                FanEv::Deliver { src, dst, msg },
+            );
+        }
+        for (_topic, msg_id, _payload) in node.take_pubsub_delivered() {
+            self.arrivals.push((msg_id, now));
+        }
+    }
+}
+
+impl ShardWorld for FanoutShardWorld {
+    type Ev = FanEv;
+
+    fn handle(&mut self, now: SimTime, ev: FanEv, ctl: &mut ShardCtl<FanEv>) {
+        match ev {
+            FanEv::Deliver { src, dst, msg } => {
+                let idx = (dst - self.lo) as usize;
+                let from = self.net.endpoint(src);
+                self.nodes[idx].on_message(now, from, msg);
+                self.pump(idx, now, ctl);
+            }
+            FanEv::Tick { dst, remaining } => {
+                let idx = (dst - self.lo) as usize;
+                self.nodes[idx].on_tick(now);
+                self.pump(idx, now, ctl);
+                if remaining > 0 {
+                    ctl.send_local(
+                        now + self.interval,
+                        FanEv::Tick {
+                            dst,
+                            remaining: remaining - 1,
+                        },
+                    );
+                }
+            }
+            FanEv::Subscribe { dst } => {
+                let idx = (dst - self.lo) as usize;
+                let (topic, ttl) = (self.topic, self.sub_ttl);
+                self.nodes[idx].pubsub_subscribe(now, topic, ttl);
+                self.pump(idx, now, ctl);
+            }
+            FanEv::Publish { src } => {
+                let idx = (src - self.lo) as usize;
+                let (topic, body) = (self.topic, self.payload.clone());
+                let msg_id = self.nodes[idx].pubsub_publish(now, topic, body);
+                self.publishes.push((msg_id, now));
+                self.pump(idx, now, ctl);
+            }
+        }
+    }
+}
+
+/// Run one fan-out experiment.
+pub fn run_fanout(cfg: &FanoutConfig) -> FanoutReport {
+    let scfg = &cfg.scale;
+    assert!(
+        cfg.subscribers + cfg.publishers <= scfg.nodes,
+        "subscriber and publisher blocks must fit the ring"
+    );
+    let WarmRing {
+        net,
+        addrs: _addrs,
+        nodes,
+        slice,
+    } = build_warm_ring(scfg);
+    let topic = topic_key("bench");
+    let mut body_rng = StreamRng::new(scfg.seed, "fanout-body");
+    let payload = Bytes::from(
+        (0..cfg.payload_bytes)
+            .map(|_| (body_rng.next_u64() & 0xFF) as u8)
+            .collect::<Vec<u8>>(),
+    );
+    let t0 = SimTime::ZERO;
+
+    // Partition into contiguous shards (ring neighbours share a shard).
+    let mut worlds = Vec::with_capacity(net.shards() as usize);
+    let mut nodes = nodes.into_iter();
+    for s in 0..net.shards() {
+        let count = (net.shard_end(s) - net.shard_start(s)) as usize;
+        worlds.push(FanoutShardWorld {
+            net,
+            interval: scfg.maintenance_interval,
+            topic,
+            payload: payload.clone(),
+            sub_ttl: cfg.sub_ttl,
+            lo: net.shard_start(s),
+            nodes: nodes.by_ref().take(count).collect(),
+            publishes: Vec::new(),
+            arrivals: Vec::new(),
+        });
+    }
+    let mut sim = ShardedSim::new(worlds, slice, scfg.parallel);
+
+    // Maintenance ticks, staggered across one interval.
+    let interval_ns = scfg.maintenance_interval.as_nanos();
+    for i in 0..scfg.nodes {
+        let at = t0 + Duration::from_nanos(i as u64 * interval_ns / scfg.nodes as u64);
+        sim.schedule(
+            net.shard_of(i) as usize,
+            at,
+            FanEv::Tick {
+                dst: i,
+                remaining: scfg.maintenance_ticks,
+            },
+        );
+    }
+
+    // Subscribe phase after maintenance settles, staggered.
+    let sub_start = t0 + Duration::from_nanos(interval_ns * (scfg.maintenance_ticks as u64 + 2));
+    for s in 0..cfg.subscribers {
+        sim.schedule(
+            net.shard_of(s) as usize,
+            sub_start + cfg.subscribe_spacing * s as u64,
+            FanEv::Subscribe { dst: s },
+        );
+    }
+
+    // Publish phase after the settle window, staggered.
+    let pub_start = sub_start + cfg.subscribe_spacing * cfg.subscribers as u64 + cfg.settle;
+    for p in 0..cfg.publishers {
+        let src = cfg.subscribers + p;
+        sim.schedule(
+            net.shard_of(src) as usize,
+            pub_start + cfg.publish_spacing * p as u64,
+            FanEv::Publish { src },
+        );
+    }
+
+    // Generous drain limit: the publish window plus a minute of relay time.
+    let limit = pub_start + cfg.publish_spacing * cfg.publishers as u64 + Duration::from_secs(60);
+    let outcome = sim.run_until(limit);
+
+    // Harvest: publish instants by message id, then latency per arrival.
+    let mut publish_at: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut publishes = 0u64;
+    for w in sim.worlds() {
+        for &(id, at) in &w.publishes {
+            publish_at.insert(id, at);
+            publishes += 1;
+        }
+    }
+    let mut latencies_ms = Vec::new();
+    let mut delivered = 0u64;
+    let mut fanout_sent = 0u64;
+    let mut relayed = 0u64;
+    let mut salvaged = 0u64;
+    for w in sim.worlds() {
+        for &(id, at) in &w.arrivals {
+            if let Some(&sent) = publish_at.get(&id) {
+                delivered += 1;
+                latencies_ms.push(at.saturating_since(sent).as_secs_f64() * 1e3);
+            }
+        }
+        for node in &w.nodes {
+            let s = node.stats();
+            fanout_sent += s.pubsub_fanout_sent;
+            relayed += s.pubsub_relayed;
+            salvaged += s.pubsub_salvaged;
+        }
+    }
+
+    FanoutReport {
+        nodes: scfg.nodes,
+        shards: net.shards(),
+        subscribers: cfg.subscribers,
+        publishers: cfg.publishers,
+        fanout: scfg.pubsub_fanout,
+        publishes,
+        expected: publishes * cfg.subscribers as u64,
+        delivered,
+        latencies_ms,
+        fanout_sent,
+        relayed,
+        salvaged,
+        events: sim.executed(),
+        virtual_s: sim.now().saturating_since(SimTime::ZERO).as_secs_f64(),
+        trace_hash: sim.trace_hash(),
+        drained: outcome == ShardRunOutcome::Drained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FanoutConfig {
+        FanoutConfig {
+            scale: ScaleConfig {
+                shards: 4,
+                maintenance_ticks: 3,
+                probes: 0,
+                ..ScaleConfig::ring(96)
+            },
+            subscribers: 48,
+            publishers: 8,
+            settle: Duration::from_secs(2),
+            ..FanoutConfig::full()
+        }
+    }
+
+    #[test]
+    fn every_subscriber_gets_every_message() {
+        let r = run_fanout(&tiny());
+        assert!(r.drained, "run must drain");
+        assert_eq!(r.publishes, 8);
+        assert_eq!(r.expected, 8 * 48);
+        assert_eq!(
+            r.delivered, r.expected,
+            "lossless substrate: delivery must be exact"
+        );
+        assert_eq!(r.latencies_ms.len() as u64, r.delivered);
+        assert!(r.relayed > 0, "bounded fan-out must delegate");
+        assert_eq!(r.salvaged, 0, "no churn, no salvage");
+    }
+
+    #[test]
+    fn fanout_runs_are_deterministic_and_mode_independent() {
+        let mut seq = tiny();
+        seq.scale.parallel = false;
+        let a = run_fanout(&seq);
+        let b = run_fanout(&tiny());
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.latencies_ms.len(), b.latencies_ms.len());
+    }
+}

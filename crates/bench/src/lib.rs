@@ -20,7 +20,9 @@
 //! | §III-E Brunet-ARP        | [`ablations::brunet_arp`] | `ablation_brunet_arp` |
 
 pub mod ablations;
+pub mod fanout;
 pub mod fig5;
+pub mod harness;
 pub mod report;
 pub mod scale;
 pub mod scenarios;

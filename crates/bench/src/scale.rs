@@ -58,6 +58,9 @@ pub struct ScaleConfig {
     /// Fan shards out over threads; `false` runs them sequentially.
     /// Both settings produce identical histories.
     pub parallel: bool,
+    /// Pub/sub relay-tree out-degree on every node (only exercised by the
+    /// fan-out workload, [`crate::fanout`]).
+    pub pubsub_fanout: usize,
 }
 
 impl ScaleConfig {
@@ -76,6 +79,7 @@ impl ScaleConfig {
             maintenance_ticks: 10,
             probes: nodes,
             parallel: true,
+            pubsub_fanout: 4,
         }
     }
 }
@@ -254,8 +258,26 @@ fn ring_addresses(n: u32, seed: u64) -> Vec<Address> {
     addrs
 }
 
-/// Run one scale experiment.
-pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+/// The interned substrate plus warm-started overlay nodes shared by the
+/// scale and fan-out workloads.
+pub struct WarmRing {
+    /// The interned flat substrate (`Copy`; every shard keeps one).
+    pub net: ScaleNet,
+    /// Global node id → overlay address, in ascending ring order.
+    pub addrs: Arc<Vec<Address>>,
+    /// One warm-started node per id: near edges to `near_per_side` ring
+    /// neighbours each side, `seeded_shortcuts` harmonically-drawn Far edges.
+    pub nodes: Vec<OverlayNode>,
+    /// The event-slice width the substrate was built with.
+    pub slice: Duration,
+}
+
+/// Build the substrate and warm-start the ring: near edges to the
+/// `near_per_side` ring neighbours on each side, plus `seeded_shortcuts`
+/// harmonically-drawn Far edges (both directions, like a completed
+/// handshake). The remaining shortcut budget is left for live maintenance
+/// to fill.
+pub fn build_warm_ring(cfg: &ScaleConfig) -> WarmRing {
     assert!(cfg.nodes >= 8, "ring too small to be interesting");
     assert!(cfg.seeded_shortcuts <= cfg.max_shortcuts);
     let slice = Duration::from_millis(1);
@@ -272,11 +294,6 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
     // default (32) starts truncating the tail beyond ~10k nodes.
     let packet_ttl = ((4.0 * (cfg.nodes as f64).log2()) as u8).clamp(32, 128);
 
-    // Build every node, then warm-start the ring: near edges to the
-    // `near_per_side` ring neighbours on each side, plus `seeded_shortcuts`
-    // harmonically-drawn Far edges (both directions, like a completed
-    // handshake). The remaining shortcut budget is left for live maintenance
-    // to fill.
     let mut nodes: Vec<OverlayNode> = (0..n)
         .map(|i| {
             let oc = OverlayConfig::new(addrs[i], net.endpoint(i as u32))
@@ -285,7 +302,8 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
                 .with_near_per_side(cfg.near_per_side)
                 .with_max_shortcuts(cfg.max_shortcuts)
                 .with_maintenance_interval(cfg.maintenance_interval)
-                .with_packet_ttl(packet_ttl);
+                .with_packet_ttl(packet_ttl)
+                .with_pubsub_fanout(cfg.pubsub_fanout);
             OverlayNode::new(oc, StreamRng::new(cfg.seed, &format!("scale-node-{i}")))
         })
         .collect();
@@ -322,6 +340,24 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
             nodes[j].seed_connection(t0, addrs[i], net.endpoint(i as u32), ConnectionKind::Far);
         }
     }
+    WarmRing {
+        net,
+        addrs,
+        nodes,
+        slice,
+    }
+}
+
+/// Run one scale experiment.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+    let WarmRing {
+        net,
+        addrs,
+        nodes,
+        slice,
+    } = build_warm_ring(cfg);
+    let n = cfg.nodes as usize;
+    let t0 = SimTime::ZERO;
 
     // Partition into contiguous shards (ring neighbours share a shard).
     let mut worlds = Vec::with_capacity(net.shards() as usize);

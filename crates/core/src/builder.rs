@@ -104,6 +104,14 @@ pub struct DeployOptions {
     /// Phi threshold at which an edge is declared dead; `None` keeps the
     /// per-node default.
     pub phi_threshold: Option<f64>,
+    /// Maximum out-degree of the pub/sub relay tree; `None` keeps the
+    /// per-node default.
+    pub pubsub_fanout: Option<usize>,
+    /// Topic subscription TTL; `None` keeps the per-node default.
+    pub pubsub_ttl: Option<Duration>,
+    /// Require the FNV-64 link integrity tag on every member (all-or-nothing:
+    /// tagged and untagged nodes cannot interoperate).
+    pub link_integrity_tag: bool,
 }
 
 impl Default for DeployOptions {
@@ -120,6 +128,9 @@ impl Default for DeployOptions {
             dht_sweep_interval: None,
             phi_accrual: true,
             phi_threshold: None,
+            pubsub_fanout: None,
+            pubsub_ttl: None,
+            link_integrity_tag: false,
         }
     }
 }
@@ -186,6 +197,24 @@ impl DeployOptions {
         self.phi_threshold = Some(threshold);
         self
     }
+
+    /// Builder: set every member's pub/sub relay-tree fan-out.
+    pub fn with_pubsub_fanout(mut self, fanout: usize) -> Self {
+        self.pubsub_fanout = Some(fanout);
+        self
+    }
+
+    /// Builder: set every member's topic subscription TTL.
+    pub fn with_pubsub_ttl(mut self, ttl: Duration) -> Self {
+        self.pubsub_ttl = Some(ttl);
+        self
+    }
+
+    /// Builder: enable the FNV-64 link integrity tag on every member.
+    pub fn with_link_integrity_tag(mut self) -> Self {
+        self.link_integrity_tag = true;
+        self
+    }
 }
 
 /// Install an [`IpopHostAgent`] on every member host. The first *publicly
@@ -234,6 +263,15 @@ pub fn deploy_ipop(
         }
         if let Some(threshold) = options.phi_threshold {
             cfg = cfg.with_phi_threshold(threshold);
+        }
+        if let Some(fanout) = options.pubsub_fanout {
+            cfg = cfg.with_pubsub_fanout(fanout);
+        }
+        if let Some(ttl) = options.pubsub_ttl {
+            cfg = cfg.with_pubsub_ttl(ttl);
+        }
+        if options.link_integrity_tag {
+            cfg = cfg.with_link_integrity_tag(true);
         }
         if !options.reserved_ips.is_empty() {
             cfg = cfg.with_reserved_ips(options.reserved_ips.clone());

@@ -66,6 +66,17 @@ pub struct IpopConfig {
     /// Interval between DHT anti-entropy sweeps (replica-set digest
     /// exchanges that converge diverged copies without waiting for a read).
     pub dht_sweep_interval: Duration,
+    /// Maximum out-degree of the pub/sub relay tree at every node (see
+    /// `ipop_overlay::pubsub`).
+    pub pubsub_fanout: usize,
+    /// Lifetime of this node's topic subscriptions; renewed at half this
+    /// interval while subscribed, aged out one TTL after a crash.
+    pub pubsub_ttl: Duration,
+    /// Append (and require) an FNV-64 integrity tag on every overlay link
+    /// message, so corrupted-but-parseable datagrams are dropped at the
+    /// transport instead of minting phantom peers. Every node in a deployment
+    /// must agree on this switch.
+    pub link_integrity_tag: bool,
 }
 
 impl IpopConfig {
@@ -92,6 +103,9 @@ impl IpopConfig {
             phi_accrual: true,
             phi_threshold: 6.0,
             dht_sweep_interval: Duration::from_secs(10),
+            pubsub_fanout: 4,
+            pubsub_ttl: Duration::from_secs(120),
+            link_integrity_tag: false,
         }
     }
 
@@ -191,6 +205,25 @@ impl IpopConfig {
         self
     }
 
+    /// Builder: set the maximum out-degree of the pub/sub relay tree.
+    pub fn with_pubsub_fanout(mut self, fanout: usize) -> Self {
+        self.pubsub_fanout = fanout.max(1);
+        self
+    }
+
+    /// Builder: set the topic subscription TTL.
+    pub fn with_pubsub_ttl(mut self, ttl: Duration) -> Self {
+        self.pubsub_ttl = ttl;
+        self
+    }
+
+    /// Builder: enable the FNV-64 link integrity tag. Both ends of every
+    /// link must enable it — tagged and untagged nodes cannot interoperate.
+    pub fn with_link_integrity_tag(mut self, on: bool) -> Self {
+        self.link_integrity_tag = on;
+        self
+    }
+
     /// Is `ip` inside the virtual address space?
     pub fn in_virtual_space(&self, ip: Ipv4Addr) -> bool {
         let (net, len) = self.virtual_prefix;
@@ -239,10 +272,16 @@ mod tests {
             .with_transport(TransportMode::Tcp)
             .with_bootstrap(vec![(Ipv4Addr::new(128, 227, 56, 83), 4001)])
             .with_brunet_arp()
-            .without_shortcuts();
+            .without_shortcuts()
+            .with_pubsub_fanout(0)
+            .with_pubsub_ttl(Duration::from_secs(30))
+            .with_link_integrity_tag(true);
         assert_eq!(cfg.transport, TransportMode::Tcp);
         assert_eq!(cfg.bootstrap.len(), 1);
         assert!(cfg.brunet_arp);
         assert!(!cfg.shortcuts);
+        assert_eq!(cfg.pubsub_fanout, 1, "fan-out is clamped to at least 1");
+        assert_eq!(cfg.pubsub_ttl, Duration::from_secs(30));
+        assert!(cfg.link_integrity_tag);
     }
 }

@@ -35,6 +35,7 @@ use ipop_packet::ether::{EthernetFrame, FramePayload, MacAddr};
 use ipop_packet::ipv4::Ipv4Packet;
 use ipop_services::dhcp::{DhcpAllocator, DhcpConfig, DhcpState};
 use ipop_services::name::NameService;
+use ipop_services::pubsub::{PubSub, TopicMessage};
 use ipop_services::Subnet;
 use ipop_simcore::{Duration, SimTime, StreamRng, TimerToken};
 
@@ -98,6 +99,11 @@ pub struct IpopHostAgent {
     /// Overlay name service (hostname → virtual IP, and reverse) resolver
     /// state.
     name_service: NameService,
+    /// Topic pub/sub client state (name bookkeeping and counters).
+    pubsub: PubSub,
+    /// Messages delivered on subscribed topics, drained by the application
+    /// via [`IpopHostAgent::take_topic_messages`].
+    topic_messages: Vec<TopicMessage>,
     name_results: Vec<(String, Option<Ipv4Addr>)>,
     reverse_results: Vec<(Ipv4Addr, Option<String>)>,
     /// Outstanding Brunet-ARP probe tokens issued via
@@ -154,8 +160,14 @@ impl IpopHostAgent {
         };
         let mut phys = NetStack::new(StackConfig::new(phys_addr));
         let transport: Box<dyn OverlayTransport> = match cfg.transport {
-            TransportMode::Udp => Box::new(UdpTransport::bind(&mut phys, cfg.overlay_port)),
-            TransportMode::Tcp => Box::new(TcpTransport::bind(&mut phys, cfg.overlay_port)),
+            TransportMode::Udp => Box::new(
+                UdpTransport::bind(&mut phys, cfg.overlay_port)
+                    .with_integrity_tag(cfg.link_integrity_tag),
+            ),
+            TransportMode::Tcp => Box::new(
+                TcpTransport::bind(&mut phys, cfg.overlay_port)
+                    .with_integrity_tag(cfg.link_integrity_tag),
+            ),
         };
         // A dynamic node cannot hash an IP it does not have: its overlay
         // address is random (deterministic per host), and Brunet-ARP carries
@@ -168,7 +180,8 @@ impl IpopHostAgent {
         let mut overlay_cfg = OverlayConfig::new(overlay_addr, (phys_addr, cfg.overlay_port))
             .with_bootstrap(cfg.bootstrap.clone())
             .with_probe_interval(cfg.link_probe_interval)
-            .with_sweep_interval(cfg.dht_sweep_interval);
+            .with_sweep_interval(cfg.dht_sweep_interval)
+            .with_pubsub_fanout(cfg.pubsub_fanout);
         overlay_cfg.maintenance_interval = cfg.overlay_tick;
         overlay_cfg = overlay_cfg.with_phi_threshold(cfg.phi_threshold);
         if !cfg.phi_accrual {
@@ -205,6 +218,7 @@ impl IpopHostAgent {
         });
         let label = format!("ipop-{}", cfg.virtual_ip);
         let name_service = NameService::new(cfg.brunet_arp_cache_ttl);
+        let pubsub = PubSub::new(cfg.pubsub_ttl);
 
         IpopHostAgent {
             cfg,
@@ -226,6 +240,8 @@ impl IpopHostAgent {
             alloc_rng: StreamRng::new(seed, "ipop.dhcp"),
             app_started: false,
             name_service,
+            pubsub,
+            topic_messages: Vec::new(),
             name_results: Vec::new(),
             reverse_results: Vec::new(),
             probe_tokens: std::collections::BTreeSet::new(),
@@ -264,6 +280,12 @@ impl IpopHostAgent {
     /// Overlay routing statistics.
     pub fn overlay_stats(&self) -> OverlayStats {
         self.overlay.stats()
+    }
+
+    /// Link messages the transport dropped for a bad FNV-64 integrity tag
+    /// (always 0 with [`IpopConfig::link_integrity_tag`] off).
+    pub fn transport_tag_rejects(&self) -> u64 {
+        self.transport.tag_rejects()
     }
 
     /// True once the node has at least one established overlay connection.
@@ -413,6 +435,42 @@ impl IpopHostAgent {
     /// Completed reverse lookups: `(IP, hostname if registered)`.
     pub fn take_reverse_results(&mut self) -> Vec<(Ipv4Addr, Option<String>)> {
         std::mem::take(&mut self.reverse_results)
+    }
+
+    /// Subscribe to a pub/sub topic by name. The subscription is soft state,
+    /// renewed at half [`IpopConfig::pubsub_ttl`] until unsubscribed;
+    /// messages arrive via [`IpopHostAgent::take_topic_messages`].
+    pub fn subscribe(&mut self, now: SimTime, topic: &str) {
+        self.last_pass = None;
+        self.pubsub.subscribe(&mut self.overlay, now, topic);
+    }
+
+    /// Withdraw a topic subscription.
+    pub fn unsubscribe(&mut self, now: SimTime, topic: &str) {
+        self.last_pass = None;
+        self.pubsub.unsubscribe(&mut self.overlay, now, topic);
+    }
+
+    /// Publish `payload` on a topic (no subscription needed); returns the
+    /// assigned message id. The publish routes to the topic root, which fans
+    /// it out to every subscriber along a bounded-degree relay tree.
+    pub fn publish(&mut self, now: SimTime, topic: &str, payload: ipop_packet::Bytes) -> u64 {
+        self.last_pass = None;
+        self.pubsub.publish(&mut self.overlay, now, topic, payload)
+    }
+
+    /// Messages delivered on subscribed topics since the last call.
+    pub fn take_topic_messages(&mut self) -> Vec<TopicMessage> {
+        std::mem::take(&mut self.topic_messages)
+    }
+
+    /// Pub/sub client counters: `(published, received, unknown-topic drops)`.
+    pub fn pubsub_counters(&self) -> (u64, u64, u64) {
+        (
+            self.pubsub.published,
+            self.pubsub.received,
+            self.pubsub.unknown_topic,
+        )
     }
 
     /// Gracefully leave the virtual network: release the dynamic lease and
@@ -565,6 +623,13 @@ impl IpopHostAgent {
                     }
                     progress = true;
                 }
+            }
+
+            // Pub/sub deliveries → the application-facing topic queue.
+            let topic_msgs = self.pubsub.poll(&mut self.overlay);
+            if !topic_msgs.is_empty() {
+                self.topic_messages.extend(topic_msgs);
+                progress = true;
             }
 
             // Dynamic address allocation: drive the DHCP-over-DHT state

@@ -24,6 +24,7 @@ pub mod address;
 pub mod dht;
 pub mod node;
 pub mod packets;
+pub mod pubsub;
 pub mod table;
 pub mod transport;
 

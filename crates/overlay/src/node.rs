@@ -8,7 +8,7 @@
 //! messages to hand to the physical transport and [`OverlayNode::take_delivered`]
 //! for payloads addressed to this node (IPOP picks up tunnelled IP packets there).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use ipop_packet::Bytes;
 use ipop_simcore::{Duration, SimTime, StreamRng};
@@ -21,6 +21,7 @@ use crate::dht::{
 use crate::packets::{
     ConnectionKind, DeliveryMode, Endpoint, LinkMessage, RoutedPacket, RoutedPayload,
 };
+use crate::pubsub::{decode_subscriber_set, encode_subscriber_set, plan_fanout};
 use crate::table::{Connection, ConnectionState, ConnectionTable};
 
 /// Configuration of an overlay node.
@@ -80,6 +81,12 @@ pub struct OverlayConfig {
     /// (32) suits rings up to ~10k nodes; greedy tail paths at 100k need
     /// more, so scale deployments raise it to a few multiples of `log₂N`.
     pub packet_ttl: u8,
+    /// Maximum out-degree of the pub/sub relay tree: a topic root (and each
+    /// relay below it) splits the subscribers it is responsible for into at
+    /// most this many delegated chunks per publish. Higher values shorten the
+    /// tree (lower fan-out latency) at the cost of more concurrent sends per
+    /// node.
+    pub pubsub_fanout: usize,
     /// Configuration of the replicated soft-state DHT.
     pub dht: DhtConfig,
 }
@@ -104,6 +111,7 @@ impl OverlayConfig {
             phi_threshold: 6.0,
             bootstrap_retry_interval: Duration::from_secs(30),
             packet_ttl: 32,
+            pubsub_fanout: 4,
             dht: DhtConfig::default(),
         }
     }
@@ -196,6 +204,12 @@ impl OverlayConfig {
         self.packet_ttl = ttl.max(1);
         self
     }
+
+    /// Builder: set the maximum out-degree of the pub/sub relay tree.
+    pub fn with_pubsub_fanout(mut self, fanout: usize) -> Self {
+        self.pubsub_fanout = fanout.max(1);
+        self
+    }
 }
 
 /// Counters describing a node's routing activity.
@@ -270,6 +284,33 @@ pub struct OverlayStats {
     /// node itself stalled past them (no pump tick ran while the deadline
     /// expired) — self-inflicted silence is not evidence against the peer.
     pub link_probe_deadline_clamps: u64,
+    /// Pub/sub subscribes (and soft-state renewals) this node merged into a
+    /// topic record as the topic's root.
+    pub pubsub_subscriptions: u64,
+    /// Pub/sub publishes this node fanned out as the topic's root.
+    pub pubsub_publishes: u64,
+    /// `PubSubDeliver` packets originated here (root fan-out plus relay
+    /// re-delegation).
+    pub pubsub_fanout_sent: u64,
+    /// Pub/sub messages delivered to this node's local subscriber inbox.
+    pub pubsub_delivered: u64,
+    /// Deliver packets whose delegated relay list this node re-fanned onward.
+    pub pubsub_relayed: u64,
+    /// Dead subscribers removed from owned topic records when the link
+    /// monitor declared their edge dead (receipt-driven cleanup).
+    pub pubsub_pruned: u64,
+    /// Delegations salvaged at the ring-closest node after their chunk head
+    /// left the overlay — the rest of the chunk still gets the message, only
+    /// the departed head's own copy is lost.
+    pub pubsub_salvaged: u64,
+}
+
+/// A topic this node subscribes to: the soft-state TTL it asked for and when
+/// the subscription was last (re-)announced. Renewed at TTL/2 like any other
+/// soft-state publication.
+struct PubSubSubscription {
+    ttl: Duration,
+    last_renew: SimTime,
 }
 
 struct PendingLink {
@@ -492,6 +533,16 @@ pub struct OverlayNode {
     /// Neighbour candidates learned from gossip: address → endpoint. Ordered so
     /// candidate scans (which emit hellos) are deterministic across runs.
     candidates: BTreeMap<Address, Endpoint>,
+    /// Topics this node subscribes to, keyed by topic key. `BTreeMap` so the
+    /// renewal scan emits subscribes in a deterministic order.
+    pubsub_subs: BTreeMap<Address, PubSubSubscription>,
+    /// Topic keys this node has served as root for (merged a subscribe or
+    /// rewrote the record). Scanned on dead-edge verdicts to prune the dead
+    /// peer out of owned subscriber sets; entries fall away once the record
+    /// is gone or owned elsewhere.
+    pubsub_topics_seen: BTreeSet<Address>,
+    /// Pub/sub messages delivered to this node: `(topic key, msg id, body)`.
+    pubsub_inbox: VecDeque<(Address, u64, Bytes)>,
     next_token: u64,
     rng: StreamRng,
     stats: OverlayStats,
@@ -524,6 +575,9 @@ impl OverlayNode {
             last_monitor_run: SimTime::ZERO,
             last_replica_peers: Vec::new(),
             candidates: BTreeMap::new(),
+            pubsub_subs: BTreeMap::new(),
+            pubsub_topics_seen: BTreeSet::new(),
+            pubsub_inbox: VecDeque::new(),
             next_token: 1,
             rng,
             stats: OverlayStats::default(),
@@ -615,6 +669,12 @@ impl OverlayNode {
     /// away. Handoff runs before the Close messages so receivers still accept
     /// the records while the edges exist.
     pub fn leave(&mut self, now: SimTime) {
+        // Withdraw our subscriptions while the routes still exist, so topic
+        // roots stop fanning out to a node that is gone.
+        let topics: Vec<Address> = self.pubsub_subs.keys().copied().collect();
+        for topic in topics {
+            self.pubsub_unsubscribe(now, topic);
+        }
         let replication = self.cfg.dht.replication;
         for key in self.dht.keys() {
             let Some(rec) = self.dht.get(&key) else {
@@ -670,6 +730,11 @@ impl OverlayNode {
     /// Routed packets delivered to this node (IP tunnel payloads and the like).
     pub fn take_delivered(&mut self) -> Vec<RoutedPacket> {
         self.delivered.drain(..).collect()
+    }
+
+    /// Pub/sub messages delivered to this node: `(topic key, msg id, body)`.
+    pub fn take_pubsub_delivered(&mut self) -> Vec<(Address, u64, Bytes)> {
+        self.pubsub_inbox.drain(..).collect()
     }
 
     /// Completed DHT lookups: `(token, value)`.
@@ -847,6 +912,220 @@ impl OverlayNode {
         self.route(now, pkt);
     }
 
+    // ------------------------------------------------------------------ pub/sub
+
+    /// Subscribe to the topic at `topic` (see [`crate::pubsub::topic_key`])
+    /// with soft-state lifetime `ttl`. The subscription is announced now and
+    /// renewed at TTL/2 until [`OverlayNode::pubsub_unsubscribe`]; delivered
+    /// messages arrive via [`OverlayNode::take_pubsub_delivered`].
+    pub fn pubsub_subscribe(&mut self, now: SimTime, topic: Address, ttl: Duration) {
+        self.pubsub_subs.insert(
+            topic,
+            PubSubSubscription {
+                ttl,
+                last_renew: now,
+            },
+        );
+        self.send_subscribe(now, topic, ttl);
+    }
+
+    /// Leave the topic: stop renewing and ask the root to drop this node from
+    /// the subscriber set immediately.
+    pub fn pubsub_unsubscribe(&mut self, now: SimTime, topic: Address) {
+        self.pubsub_subs.remove(&topic);
+        let pkt = RoutedPacket::new(
+            self.cfg.address,
+            topic,
+            DeliveryMode::Closest,
+            RoutedPayload::PubSubUnsubscribe {
+                topic,
+                subscriber: self.cfg.address,
+            },
+        );
+        self.stats.originated += 1;
+        self.route(now, pkt);
+    }
+
+    /// Publish `payload` to the topic: the message routes to the topic root,
+    /// which fans it out to every live subscriber. Returns the message id
+    /// echoed in every delivery (latency bookkeeping for workloads).
+    pub fn pubsub_publish(
+        &mut self,
+        now: SimTime,
+        topic: Address,
+        payload: impl Into<Bytes>,
+    ) -> u64 {
+        let msg_id = self.rng.next_u64();
+        let pkt = RoutedPacket::new(
+            self.cfg.address,
+            topic,
+            DeliveryMode::Closest,
+            RoutedPayload::PubSubPublish {
+                topic,
+                msg_id,
+                payload: payload.into(),
+            },
+        );
+        self.stats.originated += 1;
+        self.route(now, pkt);
+        msg_id
+    }
+
+    fn send_subscribe(&mut self, now: SimTime, topic: Address, ttl: Duration) {
+        let ttl_ms = ttl.as_nanos() / 1_000_000;
+        let pkt = RoutedPacket::new(
+            self.cfg.address,
+            topic,
+            DeliveryMode::Closest,
+            RoutedPayload::PubSubSubscribe {
+                topic,
+                subscriber: self.cfg.address,
+                ttl_ms,
+            },
+        );
+        self.stats.originated += 1;
+        self.route(now, pkt);
+    }
+
+    /// Root-side view of a topic record: the live (unexpired) subscriber
+    /// entries, in ring order. Missing, expired or undecodable records read
+    /// as empty.
+    fn pubsub_live_entries(&self, now: SimTime, topic: &Address) -> Vec<(Address, u64)> {
+        let now_ms = now.as_nanos() / 1_000_000;
+        let Some(rec) = self.dht.get(topic).filter(|rec| !rec.expired(now)) else {
+            return Vec::new();
+        };
+        let Ok(mut entries) = decode_subscriber_set(&rec.value) else {
+            return Vec::new();
+        };
+        entries.retain(|(_, expires_ms)| *expires_ms > now_ms);
+        entries
+    }
+
+    /// Root-side rewrite of a topic record after a membership change. An
+    /// empty set deletes the record (propagating the removal to replicas,
+    /// like a `DhtRemove`); otherwise the record is re-stored strictly above
+    /// the previous version — so replicas accept the rewrite — with a TTL
+    /// covering the longest-lived entry, and re-replicated.
+    fn pubsub_store_entries(&mut self, now: SimTime, topic: Address, entries: &[(Address, u64)]) {
+        if entries.is_empty() {
+            self.pubsub_topics_seen.remove(&topic);
+            if let Some(rec) = self.dht.remove(&topic) {
+                for peer in rec.replicated_to {
+                    let fwd = RoutedPacket::new(
+                        self.cfg.address,
+                        peer,
+                        DeliveryMode::Exact,
+                        RoutedPayload::DhtRemove { key: topic },
+                    );
+                    self.stats.originated += 1;
+                    self.route(now, fwd);
+                }
+            }
+            return;
+        }
+        let now_ms = now.as_nanos() / 1_000_000;
+        let ttl_ms = entries
+            .iter()
+            .map(|(_, expires_ms)| expires_ms.saturating_sub(now_ms))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let version = match self.dht.get(&topic).filter(|rec| !rec.expired(now)) {
+            Some(rec) => (rec.version + 1).max(Self::version_for(now)),
+            None => Self::version_for(now),
+        };
+        self.pubsub_topics_seen.insert(topic);
+        self.store_record(
+            now,
+            topic,
+            encode_subscriber_set(entries),
+            ttl_ms,
+            false,
+            version,
+        );
+        self.replicate_key(now, topic);
+    }
+
+    /// Send one relay-tree level: split `recipients` into at most
+    /// `pubsub_fanout` chunks and deliver to each chunk head, delegating the
+    /// rest of its chunk. The body `Bytes` is shared across every copy — the
+    /// fan-out never re-encodes or re-copies the message itself.
+    fn pubsub_fan_out(
+        &mut self,
+        now: SimTime,
+        topic: Address,
+        msg_id: u64,
+        payload: &Bytes,
+        recipients: &[Address],
+    ) {
+        for (head, relay_to) in plan_fanout(recipients, self.cfg.pubsub_fanout) {
+            let pkt = RoutedPacket::new(
+                self.cfg.address,
+                head,
+                DeliveryMode::Exact,
+                RoutedPayload::PubSubDeliver {
+                    topic,
+                    msg_id,
+                    relay_to,
+                    payload: payload.clone(),
+                },
+            );
+            self.stats.originated += 1;
+            self.stats.pubsub_fanout_sent += 1;
+            self.route(now, pkt);
+        }
+    }
+
+    /// Renew soft-state subscriptions at TTL/2 (run from the maintenance
+    /// tick). The re-sent subscribe also re-homes the subscription after a
+    /// root crash: it routes to whichever node owns the topic key *now*.
+    fn pubsub_tick(&mut self, now: SimTime) {
+        let due: Vec<(Address, Duration)> = self
+            .pubsub_subs
+            .iter()
+            .filter(|(_, s)| now.saturating_since(s.last_renew) >= s.ttl / 2)
+            .map(|(topic, s)| (*topic, s.ttl))
+            .collect();
+        for (topic, ttl) in due {
+            if let Some(s) = self.pubsub_subs.get_mut(&topic) {
+                s.last_renew = now;
+            }
+            self.send_subscribe(now, topic, ttl);
+        }
+    }
+
+    /// Receipt-driven cleanup: when the link monitor declares `peer` dead,
+    /// drop it from every owned topic record so subsequent publishes stop
+    /// fanning out to it — TTL expiry would take half a subscription lifetime
+    /// to do the same.
+    fn pubsub_prune_subscriber(&mut self, now: SimTime, peer: Address) {
+        let topics: Vec<Address> = self.pubsub_topics_seen.iter().copied().collect();
+        for topic in topics {
+            if self
+                .dht
+                .get(&topic)
+                .filter(|rec| !rec.expired(now))
+                .is_none()
+            {
+                // Record gone (last subscriber left, or aged out): stop
+                // scanning this topic on future verdicts.
+                self.pubsub_topics_seen.remove(&topic);
+                continue;
+            }
+            if !self.owns_key(&topic) {
+                continue;
+            }
+            let mut entries = self.pubsub_live_entries(now, &topic);
+            let before = entries.len();
+            entries.retain(|(addr, _)| *addr != peer);
+            if entries.len() != before {
+                self.stats.pubsub_pruned += 1;
+                self.pubsub_store_entries(now, topic, &entries);
+            }
+        }
+    }
+
     // ------------------------------------------------------------------- intake
 
     /// Process a link message received from physical endpoint `from`.
@@ -1008,6 +1287,9 @@ impl OverlayNode {
             .retain(|_, p| now.saturating_since(p.started) < timeout);
         // 6. DHT soft-state maintenance: expiry, lease renewal, re-replication.
         self.dht_tick(now);
+        // 6b. Pub/sub soft state: renew this node's subscriptions at TTL/2
+        //     (the renewal also re-homes them after a topic-root crash).
+        self.pubsub_tick(now);
         // 7. Gossip our neighbour view to every established peer: ring
         //    neighbours on both sides plus a random sample, so knowledge of a
         //    node spreads along the ring and the near sets can converge.
@@ -1132,6 +1414,23 @@ impl OverlayNode {
                     RoutedPayload::ConnectRequest { .. }
                     | RoutedPayload::ConnectResponse { .. } => {
                         self.stats.dropped_maintenance += 1;
+                    }
+                    RoutedPayload::PubSubDeliver {
+                        topic,
+                        msg_id,
+                        relay_to,
+                        payload,
+                    } if !relay_to.is_empty() => {
+                        // The chunk head left the ring between fan-out
+                        // planning and delivery. This node — the closest
+                        // remaining one — salvages the delegation so the
+                        // rest of the chunk still gets the message; only
+                        // the departed head's own copy is lost.
+                        self.stats.dropped_no_target += 1;
+                        self.stats.pubsub_salvaged += 1;
+                        let (topic, msg_id, payload) = (*topic, *msg_id, payload.clone());
+                        let relay_to = relay_to.clone();
+                        self.pubsub_fan_out(now, topic, msg_id, &payload, &relay_to);
                     }
                     _ => self.stats.dropped_no_target += 1,
                 }
@@ -1421,6 +1720,73 @@ impl OverlayNode {
             }
             RoutedPayload::IpTunnel(_) => {
                 self.delivered.push_back(pkt);
+            }
+            RoutedPayload::PubSubSubscribe {
+                topic,
+                subscriber,
+                ttl_ms,
+            } => {
+                // We own the topic key (Closest delivery): merge the
+                // subscriber into the record, pruning entries whose soft
+                // state already lapsed.
+                let (topic, subscriber, ttl_ms) = (*topic, *subscriber, *ttl_ms);
+                self.stats.pubsub_subscriptions += 1;
+                let now_ms = now.as_nanos() / 1_000_000;
+                let mut entries = self.pubsub_live_entries(now, &topic);
+                entries.retain(|(addr, _)| *addr != subscriber);
+                entries.push((subscriber, now_ms + ttl_ms));
+                entries.sort_by_key(|(addr, _)| *addr);
+                self.pubsub_store_entries(now, topic, &entries);
+            }
+            RoutedPayload::PubSubUnsubscribe { topic, subscriber } => {
+                let (topic, subscriber) = (*topic, *subscriber);
+                let mut entries = self.pubsub_live_entries(now, &topic);
+                let before = entries.len();
+                entries.retain(|(addr, _)| *addr != subscriber);
+                if entries.len() != before || entries.is_empty() {
+                    self.pubsub_store_entries(now, topic, &entries);
+                }
+            }
+            RoutedPayload::PubSubPublish {
+                topic,
+                msg_id,
+                payload,
+            } => {
+                // Topic-root fan-out. The subscriber set is read in ring
+                // order; if this node subscribes too it takes its copy
+                // directly instead of sending itself a Deliver.
+                let (topic, msg_id, payload) = (*topic, *msg_id, payload.clone());
+                self.stats.pubsub_publishes += 1;
+                let mut recipients: Vec<Address> = self
+                    .pubsub_live_entries(now, &topic)
+                    .into_iter()
+                    .map(|(addr, _)| addr)
+                    .collect();
+                if let Some(at) = recipients.iter().position(|a| *a == self.cfg.address) {
+                    recipients.remove(at);
+                    self.stats.pubsub_delivered += 1;
+                    self.pubsub_inbox
+                        .push_back((topic, msg_id, payload.clone()));
+                }
+                self.pubsub_fan_out(now, topic, msg_id, &payload, &recipients);
+            }
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id,
+                relay_to,
+                payload,
+            } => {
+                let (topic, msg_id, payload) = (*topic, *msg_id, payload.clone());
+                let relay_to = relay_to.clone();
+                self.stats.pubsub_delivered += 1;
+                self.pubsub_inbox
+                    .push_back((topic, msg_id, payload.clone()));
+                if !relay_to.is_empty() {
+                    // Delegated chunk: re-apply the bounded split one tree
+                    // level down, sharing the same body bytes.
+                    self.stats.pubsub_relayed += 1;
+                    self.pubsub_fan_out(now, topic, msg_id, &payload, &relay_to);
+                }
             }
         }
     }
@@ -1865,6 +2231,9 @@ impl OverlayNode {
             self.candidates.remove(&peer);
             self.edge_health.remove(&peer);
             self.stats.dead_edges_detected += 1;
+            // Receipt-driven pub/sub cleanup: a dead peer stops receiving
+            // fan-out immediately instead of aging out of topic records.
+            self.pubsub_prune_subscriber(now, peer);
             // Tell the peer too: if the verdict was a false positive (probe
             // acks lost on a live link), a silent removal would leave a
             // half-open edge — this node answers the peer's probes forever
@@ -4144,5 +4513,208 @@ mod tests {
         );
         assert!(node.advertised_endpoints().contains(&translated));
         assert!(node.advertised_endpoints().contains(&ep(0)));
+    }
+
+    #[test]
+    fn pubsub_publish_reaches_every_subscriber() {
+        let mut h = Harness::new(12);
+        h.start_all();
+        h.run(30);
+        let topic = crate::pubsub::topic_key("chat");
+        let subscribers = [1usize, 3, 5, 7, 9, 11];
+        let now = h.now;
+        for &i in &subscribers {
+            h.nodes[i].pubsub_subscribe(now, topic, Duration::from_secs(60));
+        }
+        h.pump();
+        // The topic record lives at the key's ring owner and replicates.
+        let root = h.owner_of(&topic);
+        assert!(h.nodes[root].dht_store().get(&topic).is_some());
+        let now = h.now;
+        let msg_id = h.nodes[2].pubsub_publish(now, topic, b"hello room".to_vec());
+        h.pump();
+        for &i in &subscribers {
+            let got = h.nodes[i].take_pubsub_delivered();
+            assert_eq!(
+                got,
+                vec![(topic, msg_id, Bytes::from(b"hello room".as_slice()))],
+                "subscriber {i} missed the publish"
+            );
+        }
+        // Non-subscribers got nothing.
+        for i in [0usize, 2, 4] {
+            assert!(h.nodes[i].take_pubsub_delivered().is_empty());
+        }
+        // The relay tree stayed bounded: no node sent more than
+        // `pubsub_fanout` deliveries for the single publish.
+        for n in &h.nodes {
+            assert!(n.stats().pubsub_fanout_sent <= n.config().pubsub_fanout as u64);
+        }
+        let relayed: u64 = h.nodes.iter().map(|n| n.stats().pubsub_relayed).sum();
+        assert!(relayed >= 1, "6 subscribers at fanout 4 need relaying");
+    }
+
+    #[test]
+    fn pubsub_unsubscribe_stops_delivery() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(25);
+        let topic = crate::pubsub::topic_key("ephemeral");
+        let now = h.now;
+        h.nodes[2].pubsub_subscribe(now, topic, Duration::from_secs(60));
+        h.nodes[5].pubsub_subscribe(now, topic, Duration::from_secs(60));
+        h.pump();
+        let now = h.now;
+        h.nodes[2].pubsub_unsubscribe(now, topic);
+        h.pump();
+        let now = h.now;
+        h.nodes[6].pubsub_publish(now, topic, vec![1, 2, 3]);
+        h.pump();
+        assert!(h.nodes[2].take_pubsub_delivered().is_empty());
+        assert_eq!(h.nodes[5].take_pubsub_delivered().len(), 1);
+        // Last subscriber out deletes the record everywhere.
+        let now = h.now;
+        h.nodes[5].pubsub_unsubscribe(now, topic);
+        h.pump();
+        h.run(2);
+        let stored: usize = h
+            .nodes
+            .iter()
+            .filter(|n| n.dht_store().get(&topic).is_some())
+            .count();
+        assert_eq!(stored, 0, "empty topic record must be removed");
+    }
+
+    #[test]
+    fn pubsub_root_crash_rehomes_subscriptions() {
+        let mut h = Harness::new(10);
+        h.start_all();
+        h.run(30);
+        let topic = crate::pubsub::topic_key("durable");
+        let root = h.owner_of(&topic);
+        // Everyone except the root subscribes, with a short TTL so renewals
+        // fire within a few seconds.
+        let subscribers: Vec<usize> = (0..h.nodes.len()).filter(|&i| i != root).collect();
+        let now = h.now;
+        for &i in &subscribers {
+            h.nodes[i].pubsub_subscribe(now, topic, Duration::from_secs(8));
+        }
+        h.pump();
+        h.crash(root);
+        // 30 ticks = 15 s: the ring repairs, dead edges are scrubbed, and
+        // every subscription passes its TTL/2 renewal — which routes to the
+        // key's *new* owner.
+        h.run(30);
+        let now = h.now;
+        let publisher = subscribers[0];
+        let msg_id = h.nodes[publisher].pubsub_publish(now, topic, b"after crash".to_vec());
+        h.pump();
+        for &i in &subscribers {
+            let got = h.nodes[i].take_pubsub_delivered();
+            assert!(
+                got.contains(&(topic, msg_id, Bytes::from(b"after crash".as_slice()))),
+                "subscriber {i} lost its subscription to the root crash"
+            );
+        }
+    }
+
+    #[test]
+    fn pubsub_dead_subscriber_is_pruned_from_topic_record() {
+        // 4 nodes form a full mesh, so the topic root holds a direct edge to
+        // every subscriber and the link monitor's verdict reaches the record.
+        let mut h = Harness::new(4);
+        h.start_all();
+        h.run(25);
+        let topic = crate::pubsub::topic_key("pruned");
+        let now = h.now;
+        for i in 0..4 {
+            h.nodes[i].pubsub_subscribe(now, topic, Duration::from_secs(600));
+        }
+        h.pump();
+        let root = h.owner_of(&topic);
+        let victim = (0..4).find(|&i| i != root).unwrap();
+        let victim_addr = h.nodes[victim].address();
+        h.crash(victim);
+        h.run(25);
+        let now = h.now;
+        let entries = h.nodes[root].pubsub_live_entries(now, &topic);
+        assert!(
+            !entries.iter().any(|(a, _)| *a == victim_addr),
+            "crashed subscriber still in the topic record"
+        );
+        let pruned: u64 = h
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !h.crashed[*i])
+            .map(|(_, n)| n.stats().pubsub_pruned)
+            .sum();
+        assert!(pruned >= 1, "the dead-edge verdict pruned the subscriber");
+    }
+
+    #[test]
+    fn pubsub_deliver_to_absent_head_salvages_delegation() {
+        // A Deliver whose Exact target is not in the overlay ends at the
+        // ring-closest node, which must re-fan the delegated chunk instead of
+        // dropping it with the head.
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let topic = crate::pubsub::topic_key("salvage-direct");
+        let mut rng = StreamRng::new(9, "absent-head");
+        let absent = Address::random(&mut rng);
+        let relay_to = vec![h.nodes[2].address(), h.nodes[6].address()];
+        let pkt = RoutedPacket::new(
+            h.nodes[0].address(),
+            absent,
+            DeliveryMode::Exact,
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id: 42,
+                relay_to,
+                payload: vec![7, 7].into(),
+            },
+        );
+        let now = h.now;
+        h.nodes[0].route(now, pkt);
+        h.pump();
+        assert_eq!(h.nodes[2].take_pubsub_delivered().len(), 1);
+        assert_eq!(h.nodes[6].take_pubsub_delivered().len(), 1);
+        let salvaged: u64 = h.nodes.iter().map(|n| n.stats().pubsub_salvaged).sum();
+        assert_eq!(salvaged, 1, "exactly one node salvaged the delegation");
+    }
+
+    #[test]
+    fn pubsub_fanout_survives_a_crashed_subscriber() {
+        let mut h = Harness::new(12);
+        h.start_all();
+        h.run(30);
+        let topic = crate::pubsub::topic_key("salvage");
+        let subscribers = [1usize, 3, 5, 7, 9, 11];
+        let now = h.now;
+        for &i in &subscribers {
+            h.nodes[i].pubsub_subscribe(now, topic, Duration::from_secs(600));
+        }
+        h.pump();
+        // Kill one subscriber and publish immediately — before any TTL,
+        // renewal or dead-edge verdict can remove it from the record. Its
+        // delegated chunk must still reach everyone else via the salvage
+        // path at the ring-closest node.
+        let victim = 5;
+        h.crash(victim);
+        h.run(22); // let the monitor scrub the dead edges so routing moves on
+        let now = h.now;
+        let msg_id = h.nodes[0].pubsub_publish(now, topic, b"survivors".to_vec());
+        h.pump();
+        for &i in &subscribers {
+            if i == victim {
+                continue;
+            }
+            let got = h.nodes[i].take_pubsub_delivered();
+            assert!(
+                got.contains(&(topic, msg_id, Bytes::from(b"survivors".as_slice()))),
+                "live subscriber {i} lost the message to the dead chunk head"
+            );
+        }
     }
 }

@@ -211,6 +211,57 @@ pub enum RoutedPayload {
         /// Keys whose records should be re-sent.
         keys: Vec<Address>,
     },
+    /// Join (or renew membership in) a topic's subscriber set. Routed
+    /// `Closest` to the topic key — `SHA-1("topic:" + name)` — so whichever
+    /// node currently owns that point of the ring (the topic *root*) merges
+    /// the subscriber into the topic's DHT record. Subscriptions are soft
+    /// state: the subscriber re-sends this at half the TTL, and an entry
+    /// that stops being renewed ages out of the record.
+    PubSubSubscribe {
+        /// The topic's DHT key.
+        topic: Address,
+        /// The subscriber's overlay address.
+        subscriber: Address,
+        /// Soft-state lifetime of this subscription, in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Leave a topic's subscriber set (graceful unsubscribe; a crashed
+    /// subscriber is instead pruned by TTL expiry or a dead-edge verdict).
+    PubSubUnsubscribe {
+        /// The topic's DHT key.
+        topic: Address,
+        /// The subscriber's overlay address.
+        subscriber: Address,
+    },
+    /// A published message, routed `Closest` to the topic key. The topic
+    /// root reads the subscriber set from its DHT record and fans the
+    /// message out along a bounded-degree relay tree of
+    /// [`RoutedPayload::PubSubDeliver`] packets.
+    PubSubPublish {
+        /// The topic's DHT key.
+        topic: Address,
+        /// Publisher-drawn message id (latency bookkeeping for workloads).
+        msg_id: u64,
+        /// Message body (shared — fan-out clones never copy it).
+        payload: Bytes,
+    },
+    /// One edge of the relay-tree fan-out, routed `Exact` to a subscriber.
+    /// Besides delivering locally, the receiver is delegated `relay_to`: it
+    /// re-partitions that list into at most `pubsub_fanout` chunks and sends
+    /// each chunk onward — the tree's degree stays bounded while the whole
+    /// subscriber set is covered. The body is encoded *last* so a forwarding
+    /// hop can reuse the cached wire image (patching only hops/TTL) and the
+    /// body bytes are sliced, never copied, on decode.
+    PubSubDeliver {
+        /// The topic's DHT key.
+        topic: Address,
+        /// Message id echoed from the publish.
+        msg_id: u64,
+        /// Subscribers this receiver must forward the message to.
+        relay_to: Vec<Address>,
+        /// Message body (shared).
+        payload: Bytes,
+    },
 }
 
 /// A packet routed hop-by-hop across the overlay ring.
@@ -228,7 +279,8 @@ pub struct RoutedPacket {
     pub ttl: u8,
     /// Payload.
     pub payload: RoutedPayload,
-    /// Wire image this packet was decoded from, when it carries an IP tunnel.
+    /// Wire image this packet was decoded from, when it carries an IP tunnel
+    /// or a pub/sub delivery (the two payloads forwarded verbatim in bulk).
     /// Forwarding nodes re-encode by patching the hop/TTL bytes of this image
     /// instead of re-serializing the whole tunnelled payload; validity is
     /// checked structurally in [`LinkMessage::to_wire`], so mutating header
@@ -348,6 +400,10 @@ const ROUTED_HOPS_OFFSET: usize = 42;
 const ROUTED_TTL_OFFSET: usize = 43;
 /// Offset of the tunnelled payload bytes (header + payload tag 1 + length 4).
 const ROUTED_TUNNEL_OFFSET: usize = 49;
+/// Fixed bytes of an encoded `PubSubDeliver` besides the relay list and body:
+/// routed header 44 + payload tag 1 + topic 20 + msg_id 8 + relay count 2 +
+/// body length 4. The body starts at `PUBSUB_DELIVER_FIXED + 20 × relays`.
+const PUBSUB_DELIVER_FIXED: usize = 79;
 
 // --------------------------------------------------------------------- encoding
 
@@ -508,14 +564,13 @@ impl ConnectionKind {
 
 impl RoutedPacket {
     /// The cached wire image with `hops`/`ttl` patched in, if the cache is
-    /// still structurally valid for this packet (same src/dst/mode and the
-    /// payload is the exact buffer region the image was decoded from).
+    /// still structurally valid for this packet (same src/dst/mode, the same
+    /// payload fields, and a body that is the exact buffer region the image
+    /// was decoded from). Covers the two payloads that get forwarded or
+    /// fanned out verbatim: `IpTunnel` and `PubSubDeliver`.
     fn patched_wire(&self) -> Option<Bytes> {
         let wire = self.wire.as_ref()?;
-        let RoutedPayload::IpTunnel(payload) = &self.payload else {
-            return None;
-        };
-        if wire.len() != ROUTED_TUNNEL_OFFSET + payload.len()
+        if wire.len() < ROUTED_TUNNEL_OFFSET
             || wire[0] != 5
             || wire[1..21] != self.src.0
             || wire[21..41] != self.dst.0
@@ -524,9 +579,36 @@ impl RoutedPacket {
                     DeliveryMode::Exact => 0,
                     DeliveryMode::Closest => 1,
                 }
-            || wire[44] != 0
-            || !payload.same_region(&wire.slice(ROUTED_TUNNEL_OFFSET..))
         {
+            return None;
+        }
+        let body_matches = match &self.payload {
+            RoutedPayload::IpTunnel(payload) => {
+                wire.len() == ROUTED_TUNNEL_OFFSET + payload.len()
+                    && wire[44] == 0
+                    && payload.same_region(&wire.slice(ROUTED_TUNNEL_OFFSET..))
+            }
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id,
+                relay_to,
+                payload,
+            } => {
+                let body_at = PUBSUB_DELIVER_FIXED + 20 * relay_to.len();
+                wire.len() == body_at + payload.len()
+                    && wire[44] == 19
+                    && wire[45..65] == topic.0
+                    && wire[65..73] == msg_id.to_be_bytes()
+                    && wire[73..75] == (relay_to.len() as u16).to_be_bytes()
+                    && relay_to
+                        .iter()
+                        .enumerate()
+                        .all(|(i, addr)| wire[75 + 20 * i..95 + 20 * i] == addr.0)
+                    && payload.same_region(&wire.slice(body_at..))
+            }
+            _ => return None,
+        };
+        if !body_matches {
             return None;
         }
         if wire[ROUTED_HOPS_OFFSET] == self.hops && wire[ROUTED_TTL_OFFSET] == self.ttl {
@@ -703,6 +785,48 @@ impl RoutedPacket {
                     w.addr(k);
                 }
             }
+            RoutedPayload::PubSubSubscribe {
+                topic,
+                subscriber,
+                ttl_ms,
+            } => {
+                w.u8(16);
+                w.addr(topic);
+                w.addr(subscriber);
+                w.u64(*ttl_ms);
+            }
+            RoutedPayload::PubSubUnsubscribe { topic, subscriber } => {
+                w.u8(17);
+                w.addr(topic);
+                w.addr(subscriber);
+            }
+            RoutedPayload::PubSubPublish {
+                topic,
+                msg_id,
+                payload,
+            } => {
+                w.u8(18);
+                w.addr(topic);
+                w.u64(*msg_id);
+                w.bytes32(payload);
+            }
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id,
+                relay_to,
+                payload,
+            } => {
+                // Body last, so a forwarding hop's patch path and the fan-out
+                // decode can share the buffer region (see PUBSUB_DELIVER_FIXED).
+                w.u8(19);
+                w.addr(topic);
+                w.u64(*msg_id);
+                w.u16(relay_to.len().min(u16::MAX as usize) as u16);
+                for addr in relay_to.iter().take(u16::MAX as usize) {
+                    w.addr(addr);
+                }
+                w.bytes32(payload);
+            }
         }
     }
 
@@ -827,6 +951,36 @@ impl RoutedPacket {
                 }
                 RoutedPayload::DhtSyncPull { keys }
             }
+            16 => RoutedPayload::PubSubSubscribe {
+                topic: r.addr()?,
+                subscriber: r.addr()?,
+                ttl_ms: r.u64()?,
+            },
+            17 => RoutedPayload::PubSubUnsubscribe {
+                topic: r.addr()?,
+                subscriber: r.addr()?,
+            },
+            18 => RoutedPayload::PubSubPublish {
+                topic: r.addr()?,
+                msg_id: r.u64()?,
+                payload: r.bytes32()?,
+            },
+            19 => {
+                let topic = r.addr()?;
+                let msg_id = r.u64()?;
+                let raw = r.u16()? as usize;
+                let count = r.counted(raw, 20)?;
+                let mut relay_to = Vec::with_capacity(count);
+                for _ in 0..count {
+                    relay_to.push(r.addr()?);
+                }
+                RoutedPayload::PubSubDeliver {
+                    topic,
+                    msg_id,
+                    relay_to,
+                    payload: r.bytes32()?,
+                }
+            }
             _ => return Err(ParseError::Unsupported("routed payload")),
         };
         Ok(RoutedPacket {
@@ -927,9 +1081,10 @@ impl LinkMessage {
         w.buf
     }
 
-    /// Parse from a shared wire buffer. Tunnelled payloads are sliced out of
-    /// `data` (zero copy), and routed IP-tunnel packets remember the wire
-    /// image so forwarding can patch instead of re-encode.
+    /// Parse from a shared wire buffer. Tunnelled and pub/sub bodies are
+    /// sliced out of `data` (zero copy), and routed IP-tunnel / pub/sub
+    /// delivery packets remember the wire image so forwarding can patch
+    /// instead of re-encode.
     pub fn from_wire(data: &Bytes) -> Result<Self, ParseError> {
         let mut r = Reader::shared(data);
         let mut msg = Self::read(&mut r)?;
@@ -937,7 +1092,10 @@ impl LinkMessage {
             return Err(ParseError::BadLength("overlay trailing bytes"));
         }
         if let LinkMessage::Routed(pkt) = &mut msg {
-            if matches!(pkt.payload, RoutedPayload::IpTunnel(_)) {
+            if matches!(
+                pkt.payload,
+                RoutedPayload::IpTunnel(_) | RoutedPayload::PubSubDeliver { .. }
+            ) {
                 pkt.wire = Some(data.clone());
             }
         }
@@ -1196,6 +1354,32 @@ mod tests {
                 keys: vec![a(15), a(16)],
             },
             RoutedPayload::DhtSyncPull { keys: vec![] },
+            RoutedPayload::PubSubSubscribe {
+                topic: a(20),
+                subscriber: a(21),
+                ttl_ms: 120_000,
+            },
+            RoutedPayload::PubSubUnsubscribe {
+                topic: a(20),
+                subscriber: a(21),
+            },
+            RoutedPayload::PubSubPublish {
+                topic: a(20),
+                msg_id: 0xFEED_FACE_CAFE_BEEF,
+                payload: vec![0x42; 600].into(),
+            },
+            RoutedPayload::PubSubDeliver {
+                topic: a(20),
+                msg_id: 7,
+                relay_to: vec![a(22), a(23), a(24)],
+                payload: vec![0x43; 600].into(),
+            },
+            RoutedPayload::PubSubDeliver {
+                topic: a(20),
+                msg_id: 8,
+                relay_to: vec![],
+                payload: vec![].into(),
+            },
         ];
         for p in payloads {
             let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Closest, p);
@@ -1321,5 +1505,103 @@ mod tests {
             LinkMessage::from_bytes(&wire),
             Err(ParseError::BadLength("overlay element count"))
         );
+        // And for a PubSubDeliver whose relay count is inflated past the
+        // bytes actually present.
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::PubSubDeliver {
+                topic: a(20),
+                msg_id: 1,
+                relay_to: vec![],
+                payload: vec![].into(),
+            },
+        );
+        let mut wire = LinkMessage::Routed(pkt).to_bytes();
+        // relay count sits just before the 4-byte body length (empty body).
+        let count_at = wire.len() - 6;
+        wire[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(
+            LinkMessage::from_bytes(&wire),
+            Err(ParseError::BadLength("overlay element count"))
+        );
+    }
+
+    #[test]
+    fn pubsub_deliver_forwarding_patches_cached_wire() {
+        // A relay hop that bumps hops/ttl must produce exactly the bytes a
+        // full re-encode would, without touching the body region.
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::PubSubDeliver {
+                topic: a(20),
+                msg_id: 99,
+                relay_to: vec![a(3), a(4)],
+                payload: vec![0x55; 900].into(),
+            },
+        );
+        let wire = LinkMessage::Routed(pkt).to_wire();
+        let LinkMessage::Routed(mut decoded) = LinkMessage::from_wire(&wire).unwrap() else {
+            panic!("expected routed")
+        };
+        // Unmutated: the cached image is reused as-is, zero copy.
+        assert!(LinkMessage::Routed(decoded.clone())
+            .to_wire()
+            .same_region(&wire));
+        decoded.hops += 1;
+        decoded.ttl -= 1;
+        let patched = LinkMessage::Routed(decoded.clone()).to_wire();
+        assert_eq!(
+            patched.as_slice(),
+            LinkMessage::Routed(decoded).to_bytes().as_slice()
+        );
+    }
+
+    #[test]
+    fn pubsub_fanout_copies_share_one_wire_body() {
+        // Decoding a deliver and re-addressing it to N subscribers must keep
+        // every copy's body in the original wire buffer (no re-encode of the
+        // message bytes per delivery).
+        let body: Bytes = vec![0x77; 1200].into();
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::PubSubDeliver {
+                topic: a(20),
+                msg_id: 5,
+                relay_to: vec![a(3), a(4), a(5)],
+                payload: body,
+            },
+        );
+        let wire = LinkMessage::Routed(pkt).to_wire();
+        let LinkMessage::Routed(decoded) = LinkMessage::from_wire(&wire).unwrap() else {
+            panic!("expected routed")
+        };
+        let RoutedPayload::PubSubDeliver { payload, .. } = &decoded.payload else {
+            panic!("expected deliver")
+        };
+        let body_at = wire.len() - payload.len();
+        assert!(payload.same_region(&wire.slice(body_at..)));
+        for i in 0..8u8 {
+            let copy = RoutedPacket::new(
+                a(1),
+                a(30 + i),
+                DeliveryMode::Exact,
+                RoutedPayload::PubSubDeliver {
+                    topic: a(20),
+                    msg_id: 5,
+                    relay_to: vec![],
+                    payload: payload.clone(),
+                },
+            );
+            let RoutedPayload::PubSubDeliver { payload: p, .. } = &copy.payload else {
+                unreachable!()
+            };
+            assert!(p.same_region(&wire.slice(body_at..)));
+        }
     }
 }

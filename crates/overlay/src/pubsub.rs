@@ -1,0 +1,182 @@
+//! Topic-based publish/subscribe over the ring (pure helpers).
+//!
+//! A topic lives at `SHA-1("topic:" + name)`: the ring owner of that key — the
+//! *topic root* — keeps the subscriber set as an ordinary replicated DHT
+//! record, so root crashes re-home the topic exactly like any other key (the
+//! new owner already holds a replica, and soft-state subscription renewals
+//! repopulate whatever the crash lost). Publishes are routed `Closest` to the
+//! topic key; the root fans each one out along a bounded-degree relay tree:
+//! the subscriber set is split into at most `fanout` contiguous chunks, the
+//! first member of each chunk receives a [`crate::packets::RoutedPayload::PubSubDeliver`]
+//! carrying the rest of its chunk as `relay_to`, and re-applies the same split
+//! one level down. Every copy shares one wire image of the message body.
+//!
+//! This module holds the protocol's pure pieces — key derivation, the
+//! subscriber-set record codec, and the fan-out planner — so they can be
+//! tested without a ring. The stateful half lives in [`crate::node`].
+
+use ipop_packet::{Bytes, ParseError};
+
+use crate::address::Address;
+
+/// Bytes of one encoded subscriber-set entry: address 20 + expiry ms 8.
+const SUB_ENTRY_BYTES: usize = 28;
+
+/// The DHT key a topic name maps to: `SHA-1("topic:" + name)`. The prefix
+/// keeps topic keys from colliding with Brunet-ARP keys derived from raw
+/// virtual-IP bytes.
+pub fn topic_key(name: &str) -> Address {
+    let mut keyed = Vec::with_capacity(6 + name.len());
+    keyed.extend_from_slice(b"topic:");
+    keyed.extend_from_slice(name.as_bytes());
+    Address::from_key(&keyed)
+}
+
+/// Encode a subscriber set — `(address, absolute expiry in virtual ms)` pairs
+/// — as a DHT record value. Entries must already be in ring order (the
+/// `BTreeMap` iteration order of the caller), which keeps re-encodes
+/// byte-stable and fan-out plans deterministic.
+pub fn encode_subscriber_set(entries: &[(Address, u64)]) -> Bytes {
+    let mut buf = Vec::with_capacity(4 + entries.len() * SUB_ENTRY_BYTES);
+    buf.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (addr, expires_ms) in entries {
+        buf.extend_from_slice(&addr.0);
+        buf.extend_from_slice(&expires_ms.to_be_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Decode a subscriber-set record value. Rejects inflated counts before
+/// allocating and trailing bytes after the last entry, consistent with the
+/// wire codec's hardening.
+pub fn decode_subscriber_set(value: &Bytes) -> Result<Vec<(Address, u64)>, ParseError> {
+    let data = value.as_slice();
+    if data.len() < 4 {
+        return Err(ParseError::Truncated("subscriber set"));
+    }
+    let count = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    if count * SUB_ENTRY_BYTES != data.len() - 4 {
+        return Err(ParseError::BadLength("subscriber set count"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 4 + i * SUB_ENTRY_BYTES;
+        let mut addr = [0u8; 20];
+        addr.copy_from_slice(&data[at..at + 20]);
+        let mut ms = [0u8; 8];
+        ms.copy_from_slice(&data[at + 20..at + 28]);
+        out.push((Address(addr), u64::from_be_bytes(ms)));
+    }
+    Ok(out)
+}
+
+/// Split `recipients` into at most `fanout` contiguous chunks and return one
+/// `(head, rest-of-chunk)` pair per chunk: the head is sent the message
+/// directly and delegated the rest as `relay_to`. Applied recursively at each
+/// head, this covers every recipient exactly once with out-degree ≤ `fanout`
+/// at every tree node and depth O(log_fanout N).
+pub fn plan_fanout(recipients: &[Address], fanout: usize) -> Vec<(Address, Vec<Address>)> {
+    let fanout = fanout.max(1);
+    let n = recipients.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = fanout.min(n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut at = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        let chunk = &recipients[at..at + len];
+        out.push((chunk[0], chunk[1..].to_vec()));
+        at += len;
+    }
+    debug_assert_eq!(at, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u8) -> Address {
+        let mut b = [0u8; 20];
+        b[19] = n;
+        Address(b)
+    }
+
+    #[test]
+    fn topic_key_is_prefixed_sha1() {
+        assert_eq!(topic_key("chat"), Address::from_key(b"topic:chat"));
+        assert_ne!(topic_key("chat"), Address::from_key(b"chat"));
+        assert_ne!(topic_key("chat"), topic_key("chat2"));
+    }
+
+    #[test]
+    fn subscriber_set_round_trips() {
+        let entries = vec![(a(1), 1000), (a(2), 2000), (a(9), u64::MAX)];
+        let encoded = encode_subscriber_set(&entries);
+        assert_eq!(decode_subscriber_set(&encoded).unwrap(), entries);
+        assert_eq!(
+            decode_subscriber_set(&encode_subscriber_set(&[])).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn subscriber_set_rejects_bad_lengths() {
+        let encoded = encode_subscriber_set(&[(a(1), 7)]);
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_subscriber_set(&encoded.slice(..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Inflated count with no entry bytes behind it.
+        let mut bad = encoded.to_vec();
+        bad[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            decode_subscriber_set(&Bytes::from(bad)),
+            Err(ParseError::BadLength("subscriber set count"))
+        );
+        // Trailing garbage after the last entry.
+        let mut long = encoded.to_vec();
+        long.push(0);
+        assert!(decode_subscriber_set(&Bytes::from(long)).is_err());
+    }
+
+    #[test]
+    fn fanout_plan_covers_every_recipient_once() {
+        for n in 0..40usize {
+            for fanout in 1..8usize {
+                let recipients: Vec<Address> = (0..n).map(|i| a(i as u8)).collect();
+                let plan = plan_fanout(&recipients, fanout);
+                assert!(plan.len() <= fanout);
+                let mut covered: Vec<Address> = Vec::new();
+                for (head, rest) in &plan {
+                    covered.push(*head);
+                    covered.extend_from_slice(rest);
+                }
+                assert_eq!(covered, recipients, "n={n} fanout={fanout}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_tree_depth_is_logarithmic() {
+        // Recursively expand the plan and measure the deepest chain.
+        fn depth(recipients: &[Address], fanout: usize) -> usize {
+            plan_fanout(recipients, fanout)
+                .iter()
+                .map(|(_, rest)| 1 + depth(rest, fanout))
+                .max()
+                .unwrap_or(0)
+        }
+        let recipients: Vec<Address> = (0..=255u8).map(a).collect();
+        // 256 nodes at fanout 4: depth must be near log₄ 256 = 4, far from
+        // the 256 a linear chain would give.
+        assert!(depth(&recipients, 4) <= 6);
+        assert_eq!(depth(&recipients[..1], 4), 1);
+    }
+}

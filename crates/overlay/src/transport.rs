@@ -10,9 +10,37 @@
 use std::collections::BTreeMap;
 
 use ipop_netstack::{NetStack, SocketHandle};
+use ipop_packet::Bytes;
 use ipop_simcore::SimTime;
 
 use crate::packets::{Endpoint, LinkMessage};
+
+/// Bytes of the optional end-of-message integrity tag.
+const TAG_BYTES: usize = 8;
+
+/// FNV-1a over the encoded message. Not cryptographic — it exists to stop
+/// corrupted-but-still-parseable packets (the kind an unlucky byte flip
+/// produces) from reaching the overlay and minting phantom peers, at a cost
+/// of one multiply per byte.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Verify and strip a trailing integrity tag. Returns the body without the
+/// tag (a zero-copy sub-slice) or `None` on a short or mismatched tag.
+fn check_tag(data: &Bytes) -> Option<Bytes> {
+    let len = data.len().checked_sub(TAG_BYTES)?;
+    let want = u64::from_be_bytes(data.as_slice()[len..].try_into().ok()?);
+    if fnv64(&data.as_slice()[..len]) != want {
+        return None;
+    }
+    Some(data.slice(..len))
+}
 
 /// Which physical transport carries overlay traffic.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -35,13 +63,23 @@ pub trait OverlayTransport {
     /// a [`LinkMessage`]. The host agent diffs this across polls to account
     /// malformed traffic in overlay stats.
     fn parse_errors(&self) -> u64;
+    /// Running count of messages dropped for a missing or mismatched
+    /// integrity tag (a subset of [`Self::parse_errors`]). Zero for adapters
+    /// without tag support or with the tag disabled.
+    fn tag_rejects(&self) -> u64 {
+        0
+    }
 }
 
 /// UDP transport: one datagram per message.
 pub struct UdpTransport {
     socket: SocketHandle,
+    /// Append and require the FNV-64 integrity tag on every datagram.
+    integrity_tag: bool,
     /// Messages that failed to parse (diagnostics).
     pub parse_errors: u64,
+    /// Messages dropped for a bad integrity tag (diagnostics).
+    pub tag_rejects: u64,
 }
 
 impl UdpTransport {
@@ -50,8 +88,18 @@ impl UdpTransport {
         let socket = stack.udp_bind(port).expect("overlay UDP port available");
         UdpTransport {
             socket,
+            integrity_tag: false,
             parse_errors: 0,
+            tag_rejects: 0,
         }
+    }
+
+    /// Enable or disable the per-datagram integrity tag. Both ends of every
+    /// link must agree: a tagged datagram does not decode untagged and vice
+    /// versa.
+    pub fn with_integrity_tag(mut self, on: bool) -> Self {
+        self.integrity_tag = on;
+        self
     }
 }
 
@@ -61,13 +109,33 @@ impl OverlayTransport for UdpTransport {
     }
 
     fn send(&mut self, stack: &mut NetStack, _now: SimTime, dst: Endpoint, msg: &LinkMessage) {
-        let _ = stack.udp_send(self.socket, dst.0, dst.1, msg.to_wire());
+        if self.integrity_tag {
+            let body = msg.to_wire();
+            let mut tagged = Vec::with_capacity(body.len() + TAG_BYTES);
+            tagged.extend_from_slice(&body);
+            tagged.extend_from_slice(&fnv64(&body).to_be_bytes());
+            let _ = stack.udp_send(self.socket, dst.0, dst.1, tagged);
+        } else {
+            let _ = stack.udp_send(self.socket, dst.0, dst.1, msg.to_wire());
+        }
     }
 
     fn poll(&mut self, stack: &mut NetStack, _now: SimTime) -> Vec<(Endpoint, LinkMessage)> {
         let mut out = Vec::new();
         while let Ok(Some(msg)) = stack.udp_recv(self.socket) {
-            match LinkMessage::from_wire(&msg.data) {
+            let body = if self.integrity_tag {
+                match check_tag(&msg.data) {
+                    Some(body) => body,
+                    None => {
+                        self.tag_rejects += 1;
+                        self.parse_errors += 1;
+                        continue;
+                    }
+                }
+            } else {
+                msg.data
+            };
+            match LinkMessage::from_wire(&body) {
                 Ok(parsed) => out.push(((msg.src, msg.src_port), parsed)),
                 Err(_) => self.parse_errors += 1,
             }
@@ -77,6 +145,10 @@ impl OverlayTransport for UdpTransport {
 
     fn parse_errors(&self) -> u64 {
         self.parse_errors
+    }
+
+    fn tag_rejects(&self) -> u64 {
+        self.tag_rejects
     }
 }
 
@@ -93,8 +165,12 @@ pub struct TcpTransport {
     /// Ordered map: `poll` iterates the peers, and the order in which their
     /// messages surface must be deterministic for same-seed replays.
     peers: BTreeMap<Endpoint, TcpPeer>,
+    /// Append and require the FNV-64 integrity tag inside every frame.
+    integrity_tag: bool,
     /// Messages that failed to parse (diagnostics).
     pub parse_errors: u64,
+    /// Messages dropped for a bad integrity tag (diagnostics).
+    pub tag_rejects: u64,
 }
 
 impl TcpTransport {
@@ -104,8 +180,18 @@ impl TcpTransport {
         TcpTransport {
             listener,
             peers: BTreeMap::new(),
+            integrity_tag: false,
             parse_errors: 0,
+            tag_rejects: 0,
         }
+    }
+
+    /// Enable or disable the per-frame integrity tag. Both ends of every
+    /// connection must agree; the tag lives inside the frame body so the
+    /// length prefix covers it.
+    pub fn with_integrity_tag(mut self, on: bool) -> Self {
+        self.integrity_tag = on;
+        self
     }
 
     /// Number of live peer connections.
@@ -113,11 +199,15 @@ impl TcpTransport {
         self.peers.len()
     }
 
-    fn frame(msg: &LinkMessage) -> Vec<u8> {
+    fn frame(msg: &LinkMessage, integrity_tag: bool) -> Vec<u8> {
         let body = msg.to_wire();
-        let mut out = Vec::with_capacity(body.len() + 4);
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        let tag_len = if integrity_tag { TAG_BYTES } else { 0 };
+        let mut out = Vec::with_capacity(body.len() + 4 + tag_len);
+        out.extend_from_slice(&((body.len() + tag_len) as u32).to_be_bytes());
         out.extend_from_slice(&body);
+        if integrity_tag {
+            out.extend_from_slice(&fnv64(&body).to_be_bytes());
+        }
         out
     }
 
@@ -130,7 +220,12 @@ impl TcpTransport {
         }
     }
 
-    fn extract_frames(rx: &mut Vec<u8>, errors: &mut u64) -> Vec<LinkMessage> {
+    fn extract_frames(
+        rx: &mut Vec<u8>,
+        integrity_tag: bool,
+        errors: &mut u64,
+        rejects: &mut u64,
+    ) -> Vec<LinkMessage> {
         let mut out = Vec::new();
         loop {
             if rx.len() < 4 {
@@ -140,8 +235,20 @@ impl TcpTransport {
             if rx.len() < 4 + len {
                 break;
             }
-            let body = ipop_packet::Bytes::from(&rx[4..4 + len]);
+            let body = Bytes::from(&rx[4..4 + len]);
             rx.drain(..4 + len);
+            let body = if integrity_tag {
+                match check_tag(&body) {
+                    Some(body) => body,
+                    None => {
+                        *rejects += 1;
+                        *errors += 1;
+                        continue;
+                    }
+                }
+            } else {
+                body
+            };
             match LinkMessage::from_wire(&body) {
                 Ok(msg) => out.push(msg),
                 Err(_) => *errors += 1,
@@ -157,7 +264,7 @@ impl OverlayTransport for TcpTransport {
     }
 
     fn send(&mut self, stack: &mut NetStack, now: SimTime, dst: Endpoint, msg: &LinkMessage) {
-        let framed = Self::frame(msg);
+        let framed = Self::frame(msg, self.integrity_tag);
         let peer = self.peers.entry(dst).or_insert_with(|| {
             let handle = stack
                 .tcp_connect(dst.0, dst.1, now)
@@ -194,7 +301,12 @@ impl OverlayTransport for TcpTransport {
                 }
                 peer.rx.extend_from_slice(&chunk);
             }
-            for msg in Self::extract_frames(&mut peer.rx, &mut self.parse_errors) {
+            for msg in Self::extract_frames(
+                &mut peer.rx,
+                self.integrity_tag,
+                &mut self.parse_errors,
+                &mut self.tag_rejects,
+            ) {
                 out.push((*ep, msg));
             }
             if stack.tcp_is_closed(peer.handle) && peer.rx.is_empty() {
@@ -211,6 +323,10 @@ impl OverlayTransport for TcpTransport {
 
     fn parse_errors(&self) -> u64 {
         self.parse_errors
+    }
+
+    fn tag_rejects(&self) -> u64 {
+        self.tag_rejects
     }
 }
 
@@ -322,6 +438,94 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].1, ping_msg(3));
         assert_eq!(tb.peer_count(), 1);
+    }
+
+    #[test]
+    fn udp_integrity_tag_round_trips_and_rejects_corruption() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let mut ta = UdpTransport::bind(&mut sa, 4001).with_integrity_tag(true);
+        let mut tb = UdpTransport::bind(&mut sb, 4001).with_integrity_tag(true);
+        let mut now = SimTime::ZERO;
+
+        // Clean round trip with the tag on.
+        ta.send(&mut sa, now, (B, 4001), &ping_msg(7));
+        pump(&mut sa, &mut sb, &mut now);
+        let got = tb.poll(&mut sb, now);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, ping_msg(7));
+        assert_eq!(tb.tag_rejects(), 0);
+
+        // A corrupted-but-parseable datagram: flip one payload byte and
+        // recompute nothing. Without the tag this would decode as a valid
+        // message from a phantom address; with it, the receiver drops it.
+        let mut wire = ping_msg(7).to_wire().to_vec();
+        let tag = fnv64(&wire).to_be_bytes();
+        wire[5] ^= 0x40;
+        wire.extend_from_slice(&tag);
+        assert!(
+            LinkMessage::from_bytes(&wire[..wire.len() - TAG_BYTES]).is_ok(),
+            "the corrupted body must still parse, or the tag proves nothing"
+        );
+        let raw = sa.udp_bind(9998).unwrap();
+        sa.udp_send(raw, B, 4001, wire).unwrap();
+        pump(&mut sa, &mut sb, &mut now);
+        assert!(tb.poll(&mut sb, now).is_empty());
+        assert_eq!(tb.tag_rejects(), 1);
+        assert_eq!(tb.parse_errors, 1);
+
+        // Too short to even hold a tag.
+        sa.udp_send(raw, B, 4001, vec![1, 2, 3]).unwrap();
+        pump(&mut sa, &mut sb, &mut now);
+        assert!(tb.poll(&mut sb, now).is_empty());
+        assert_eq!(tb.tag_rejects(), 2);
+    }
+
+    #[test]
+    fn tcp_integrity_tag_round_trips_and_rejects_corruption() {
+        let mut sa = NetStack::new(StackConfig::new(A));
+        let mut sb = NetStack::new(StackConfig::new(B));
+        let mut ta = TcpTransport::bind(&mut sa, 4001).with_integrity_tag(true);
+        let mut tb = TcpTransport::bind(&mut sb, 4001).with_integrity_tag(true);
+        let mut now = SimTime::ZERO;
+        ta.send(&mut sa, now, (B, 4001), &ping_msg(9));
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            pump(&mut sa, &mut sb, &mut now);
+            got.extend(tb.poll(&mut sb, now));
+            ta.poll(&mut sa, now);
+            if !got.is_empty() {
+                break;
+            }
+            now += Duration::from_millis(10);
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, ping_msg(9));
+        assert_eq!(tb.tag_rejects(), 0);
+
+        // Corrupt one body byte inside an otherwise well-formed frame; the
+        // stream resynchronises on the next frame because the length prefix
+        // is intact.
+        let mut frame = TcpTransport::frame(&ping_msg(9), true);
+        frame[6] ^= 0x04;
+        frame.extend_from_slice(&TcpTransport::frame(&ping_msg(10), true));
+        let mut rx = frame;
+        let (mut errors, mut rejects) = (0, 0);
+        let out = TcpTransport::extract_frames(&mut rx, true, &mut errors, &mut rejects);
+        assert_eq!(out, vec![ping_msg(10)]);
+        assert_eq!((errors, rejects), (1, 1));
+    }
+
+    #[test]
+    fn integrity_tag_off_keeps_the_wire_format_unchanged() {
+        // Tag-off peers speak the seed wire format byte for byte.
+        assert_eq!(
+            TcpTransport::frame(&ping_msg(1), false).len(),
+            TcpTransport::frame(&ping_msg(1), true).len() - TAG_BYTES
+        );
+        let body = ping_msg(1).to_wire();
+        let framed = TcpTransport::frame(&ping_msg(1), false);
+        assert_eq!(&framed[4..], body.as_slice());
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> 
         }),
         routed(RoutedPayload::DhtPut {
             key: b,
-            value: Bytes::from(payload),
+            value: Bytes::from(payload.clone()),
             ttl_ms: token,
             version: token,
         }),
@@ -76,6 +76,22 @@ fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> 
             from_owner: true,
         }),
         routed(RoutedPayload::DhtSyncPull { keys: vec![a, b] }),
+        routed(RoutedPayload::PubSubSubscribe {
+            topic: a,
+            subscriber: b,
+            ttl_ms: token,
+        }),
+        routed(RoutedPayload::PubSubPublish {
+            topic: a,
+            msg_id: token,
+            payload: Bytes::from(payload.clone()),
+        }),
+        routed(RoutedPayload::PubSubDeliver {
+            topic: a,
+            msg_id: token,
+            relay_to: (0..entries).map(|i| Address([i; 20])).collect(),
+            payload: Bytes::from(payload),
+        }),
     ]
 }
 

@@ -140,9 +140,131 @@ proptest! {
     }
 
     #[test]
+    fn pubsub_messages_round_trip(src in arb_addr(), dst in arb_addr(), topic in arb_addr(),
+                                  subscriber in arb_addr(), msg_id: u64,
+                                  ttl_ms in 0u64..86_400_000,
+                                  relay_to in proptest::collection::vec(arb_addr(), 0..24),
+                                  body in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        for payload in [
+            RoutedPayload::PubSubSubscribe { topic, subscriber, ttl_ms },
+            RoutedPayload::PubSubUnsubscribe { topic, subscriber },
+            RoutedPayload::PubSubPublish { topic, msg_id, payload: body.clone().into() },
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id,
+                relay_to: relay_to.clone(),
+                payload: body.clone().into(),
+            },
+        ] {
+            let msg = LinkMessage::Routed(RoutedPacket::new(src, dst, DeliveryMode::Closest, payload));
+            let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();
+            prop_assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn pubsub_deliver_patch_path_matches_full_reencode(
+        src in arb_addr(), dst in arb_addr(), topic in arb_addr(),
+        msg_id: u64, hops in 0u8..64, ttl in 1u8..64, extra_hops in 1u8..8,
+        relay_to in proptest::collection::vec(arb_addr(), 0..24),
+        body in proptest::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        // Mirror of `forwarding_patch_path_matches_full_reencode` for the
+        // pub/sub fan-out payload: a relay hop patching hops/ttl into the
+        // cached wire image must be byte-identical to a full re-encode.
+        let mut pkt = RoutedPacket::new(src, dst, DeliveryMode::Exact,
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id,
+                relay_to,
+                payload: body.into(),
+            });
+        pkt.hops = hops;
+        pkt.ttl = ttl;
+        let origin_wire = LinkMessage::Routed(pkt).to_wire();
+
+        let via_shared = LinkMessage::from_wire(&origin_wire).unwrap();
+        let via_slice = LinkMessage::from_bytes(&origin_wire).unwrap();
+        prop_assert_eq!(&via_shared, &via_slice);
+
+        for mut msg in [via_shared, via_slice] {
+            let LinkMessage::Routed(fwd) = &mut msg else { panic!("routed") };
+            fwd.hops = fwd.hops.saturating_add(extra_hops);
+            fwd.ttl = fwd.ttl.saturating_sub(1);
+            let fast = msg.to_wire();
+            let slow = msg.to_bytes();
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
+            prop_assert_eq!(&LinkMessage::from_wire(&fast).unwrap(), &msg);
+        }
+    }
+
+    #[test]
+    fn pubsub_fanout_shares_one_wire_image(
+        src in arb_addr(), topic in arb_addr(), msg_id: u64,
+        recipients in proptest::collection::vec(arb_addr(), 1..32),
+        fanout in 1usize..8,
+        body in proptest::collection::vec(any::<u8>(), 1..2000),
+    ) {
+        // Decoding one Deliver off the wire and re-addressing its body to N
+        // subscribers (what a relay does) must keep every copy's body inside
+        // the original receive buffer — same Arc region, no copies.
+        let wire = LinkMessage::Routed(RoutedPacket::new(
+            src, recipients[0], DeliveryMode::Exact,
+            RoutedPayload::PubSubDeliver {
+                topic,
+                msg_id,
+                relay_to: recipients.clone(),
+                payload: body.clone().into(),
+            },
+        )).to_wire();
+        let LinkMessage::Routed(decoded) = LinkMessage::from_wire(&wire).unwrap() else {
+            panic!("routed")
+        };
+        let RoutedPayload::PubSubDeliver { payload, .. } = &decoded.payload else {
+            panic!("deliver")
+        };
+        let body_at = wire.len() - payload.len();
+        prop_assert!(payload.same_region(&wire.slice(body_at..)));
+        // Plan the next tree level and re-address the shared body to each head.
+        for (head, rest) in ipop_overlay::pubsub::plan_fanout(&recipients, fanout) {
+            let copy = RoutedPacket::new(src, head, DeliveryMode::Exact,
+                RoutedPayload::PubSubDeliver {
+                    topic,
+                    msg_id,
+                    relay_to: rest,
+                    payload: payload.clone(),
+                });
+            let RoutedPayload::PubSubDeliver { payload: shared, .. } = &copy.payload else {
+                panic!("deliver")
+            };
+            prop_assert!(shared.same_region(&wire.slice(body_at..)),
+                "fan-out copy re-copied the message body");
+        }
+    }
+
+    #[test]
+    fn subscriber_set_codec_round_trips(
+        addrs in proptest::collection::vec(arb_addr(), 0..64),
+        expiries in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let entries: Vec<(Address, u64)> =
+            addrs.into_iter().zip(expiries).collect();
+        let encoded = ipop_overlay::pubsub::encode_subscriber_set(&entries);
+        let decoded = ipop_overlay::pubsub::decode_subscriber_set(&encoded).unwrap();
+        prop_assert_eq!(decoded, entries);
+    }
+
+    #[test]
     fn arbitrary_bytes_never_panic_the_parser(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         // Parsing untrusted bytes must either succeed or return an error — never panic.
         let _ = LinkMessage::from_bytes(&data);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_subscriber_set_decoder(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = ipop_overlay::pubsub::decode_subscriber_set(&ipop_packet::Bytes::from(data));
     }
 }
 

@@ -14,9 +14,12 @@
 //!   winning an address simultaneously makes it resolvable.
 //! * [`name`] — an overlay name service mapping hostnames to virtual IPs, so
 //!   applications can address peers symbolically before any IP is known.
+//! * [`pubsub`] — a topic pub/sub client translating topic names to overlay
+//!   keys and deliveries back to names.
 //!
-//! Both services drive the DHT through the narrow [`DhtClient`] trait, which
-//! [`ipop_overlay::OverlayNode`] implements; tests substitute a scripted fake.
+//! The services drive the overlay through narrow traits ([`DhtClient`],
+//! [`pubsub::PubSubClient`]) which [`ipop_overlay::OverlayNode`] implements;
+//! tests substitute scripted fakes.
 
 use ipop_overlay::{Address, OverlayNode};
 use ipop_packet::Bytes;
@@ -24,9 +27,11 @@ use ipop_simcore::{Duration, SimTime};
 
 pub mod dhcp;
 pub mod name;
+pub mod pubsub;
 
 pub use dhcp::{DhcpAllocator, DhcpConfig, DhcpState, Subnet};
 pub use name::{NameService, Resolution, ReverseResolution};
+pub use pubsub::{PubSub, PubSubClient, TopicMessage};
 
 /// The DHT operations the self-configuration services need — a narrow façade
 /// over the overlay node so services can be unit-tested against a fake.

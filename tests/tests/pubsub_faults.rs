@@ -1,0 +1,130 @@
+//! Pub/sub under faults: the topic root (the ring owner of the topic key,
+//! which holds the subscriber set and fans publishes out) crashes, and the
+//! soft-state machinery must re-home the topic on the new ring owner without
+//! permanently losing a single subscriber — the subscriber records come back
+//! through DHT replication/anti-entropy and the subscribers' own TTL/2
+//! renewals, and the next publish reaches everyone.
+
+use std::net::Ipv4Addr;
+
+use ipop::prelude::*;
+use ipop_netsim::planetlab;
+use ipop_overlay::pubsub::topic_key;
+use ipop_overlay::Address;
+use ipop_tests::{FaultEvent, FaultHarness, FaultScenario};
+
+fn vip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(172, 16, 6, (i + 1) as u8)
+}
+
+#[test]
+fn topic_root_crash_loses_no_subscribers() {
+    const N: usize = 16;
+    const TOPIC: &str = "vm-events";
+    let mut net = Network::new(0x70B1_C007);
+    let plab = planetlab(&mut net, N, 1.0, 13);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| IpopMember::router(h, vip(i)))
+        .collect();
+    let options = DeployOptions::udp()
+        // Short subscription TTL: renewals fire every 10 s, so the re-homed
+        // root re-learns its subscribers quickly after the crash.
+        .with_pubsub_ttl(Duration::from_secs(20))
+        .with_dht_sweep_interval(Duration::from_secs(10));
+    let hosts = ipop::deploy_ipop(&mut net, members, options);
+
+    // Static members: overlay addresses are the SHA-1 of their virtual IPs,
+    // so the topic root — the member ring-closest to the topic key — is known
+    // before the run.
+    let key = topic_key(TOPIC);
+    let root = (0..N)
+        .min_by_key(|&i| Address::from_ip(vip(i)).ring_distance(&key))
+        .expect("members exist");
+    let publisher = (0..N)
+        .find(|&i| i != root)
+        .expect("a publisher distinct from the root");
+    let subscribers: Vec<usize> = (0..N)
+        .filter(|&i| i != root && i != publisher)
+        .take(5)
+        .collect();
+
+    let scenario = FaultScenario::new().at(Duration::from_secs(75), FaultEvent::Crash(root));
+    let mut h = FaultHarness::new(NetworkSim::new(net), hosts, scenario);
+
+    // Converge, then subscribe.
+    h.run_until(SimTime::ZERO + Duration::from_secs(60));
+    for &s in &subscribers {
+        let now = h.now();
+        h.agent_mut(s)
+            .expect("subscriber alive")
+            .subscribe(now, TOPIC);
+    }
+    h.run_for(Duration::from_secs(5));
+
+    // Baseline: a pre-crash publish reaches every subscriber through the
+    // still-live root.
+    let now = h.now();
+    h.agent_mut(publisher).expect("publisher alive").publish(
+        now,
+        TOPIC,
+        ipop_packet::Bytes::copy_from_slice(b"before"),
+    );
+    h.run_for(Duration::from_secs(5));
+    for &s in &subscribers {
+        let msgs = h
+            .agent_mut(s)
+            .expect("subscriber alive")
+            .take_topic_messages();
+        assert_eq!(
+            msgs.len(),
+            1,
+            "subscriber {s} got the pre-crash publish: {msgs:?}"
+        );
+        assert_eq!(msgs[0].payload.as_slice(), b"before");
+    }
+
+    // The root crashes at 75 s; give the overlay time to detect the dead
+    // edges, repair the ring, and re-home the subscriber records on the new
+    // owner (replica sweep + the subscribers' own 10 s renewals).
+    h.run_until(SimTime::ZERO + Duration::from_secs(120));
+    assert!(h.crashed.contains(&root), "the root crashed on schedule");
+    let totals = h.overlay_totals();
+    assert!(
+        totals.dead_edges_detected >= 1,
+        "the crashed root's edges were detected dead"
+    );
+
+    // The post-crash publish must reach every subscriber: zero permanently
+    // lost subscriptions.
+    let now = h.now();
+    h.agent_mut(publisher).expect("publisher alive").publish(
+        now,
+        TOPIC,
+        ipop_packet::Bytes::copy_from_slice(b"after"),
+    );
+    h.run_for(Duration::from_secs(10));
+    for &s in &subscribers {
+        let msgs = h
+            .agent_mut(s)
+            .expect("subscriber alive")
+            .take_topic_messages();
+        assert_eq!(
+            msgs.len(),
+            1,
+            "subscriber {s} survived the root crash: {msgs:?}"
+        );
+        assert_eq!(msgs[0].topic, TOPIC);
+        assert_eq!(msgs[0].payload.as_slice(), b"after");
+    }
+
+    // And the subscriptions stayed registered app-side, not just delivered.
+    for &s in &subscribers {
+        let (_published, received, unknown) =
+            h.agent_mut(s).expect("subscriber alive").pubsub_counters();
+        assert_eq!(received, 2, "subscriber {s} received both publishes");
+        assert_eq!(unknown, 0, "no deliveries on unknown topics");
+    }
+}
