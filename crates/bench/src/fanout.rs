@@ -308,7 +308,8 @@ pub fn run_fanout(cfg: &FanoutConfig) -> FanoutReport {
     let outcome = sim.run_until(limit);
 
     // Harvest: publish instants by message id, then latency per arrival.
-    let mut publish_at: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut publish_at: std::collections::BTreeMap<u64, SimTime> =
+        std::collections::BTreeMap::new();
     let mut publishes = 0u64;
     for w in sim.worlds() {
         for &(id, at) in &w.publishes {

@@ -387,7 +387,7 @@ mod tests {
     #[test]
     fn fig4_virtual_ips_are_unique() {
         let vips = fig4_virtual_ips();
-        let set: std::collections::HashSet<_> = vips.iter().map(|(_, ip)| ip).collect();
+        let set: std::collections::BTreeSet<_> = vips.iter().map(|(_, ip)| ip).collect();
         assert_eq!(set.len(), 6);
     }
 }

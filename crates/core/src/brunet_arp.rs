@@ -12,7 +12,7 @@
 //! This module holds the sender-side resolver state (cache, pending packets and
 //! outstanding queries); the DHT itself is the overlay's.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use ipop_overlay::Address;
@@ -46,15 +46,15 @@ pub enum Resolution {
 /// Sender-side Brunet-ARP resolver.
 pub struct BrunetArp {
     cache_ttl: Duration,
-    cache: HashMap<Ipv4Addr, (Address, SimTime)>,
+    cache: BTreeMap<Ipv4Addr, (Address, SimTime)>,
     /// Packets waiting for a resolution, per destination IP. Bounded to
     /// `park_limit` per destination, drop-oldest.
-    parked: HashMap<Ipv4Addr, VecDeque<Ipv4Packet>>,
+    parked: BTreeMap<Ipv4Addr, VecDeque<Ipv4Packet>>,
     park_limit: usize,
     /// Outstanding DHT query tokens → the IP they resolve and when the query
     /// was issued (queries older than [`QUERY_TIMEOUT`] no longer block a
     /// fresh query; their late replies are still accepted).
-    outstanding: HashMap<u64, (Ipv4Addr, SimTime)>,
+    outstanding: BTreeMap<u64, (Ipv4Addr, SimTime)>,
     /// Statistics.
     pub cache_hits: u64,
     /// Statistics.
@@ -70,10 +70,10 @@ impl BrunetArp {
     pub fn new(cache_ttl: Duration) -> Self {
         BrunetArp {
             cache_ttl,
-            cache: HashMap::new(),
-            parked: HashMap::new(),
+            cache: BTreeMap::new(),
+            parked: BTreeMap::new(),
             park_limit: DEFAULT_PARK_LIMIT,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             cache_hits: 0,
             cache_misses: 0,
             failed: 0,

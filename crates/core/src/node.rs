@@ -117,7 +117,7 @@ pub struct IpopHostAgent {
     /// Cache of virtual IP → overlay address (SHA-1 of the IP). The mapping is
     /// a pure function, and hashing on every tunnelled packet is measurable on
     /// the data path.
-    addr_cache: std::collections::HashMap<Ipv4Addr, Address>,
+    addr_cache: std::collections::BTreeMap<Ipv4Addr, Address>,
 
     /// Tunnel packets whose receive-side user-level processing completes at the
     /// given instant (so latency measurements include that cost).
@@ -248,7 +248,7 @@ impl IpopHostAgent {
             probe_results: Vec::new(),
             host_name: String::new(),
             overlay_started_at: SimTime::ZERO,
-            addr_cache: std::collections::HashMap::new(),
+            addr_cache: std::collections::BTreeMap::new(),
             rx_pending: Vec::new(),
             rx_pending_min: None,
             tx_pending: Vec::new(),

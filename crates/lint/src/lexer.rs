@@ -1,0 +1,411 @@
+//! A small Rust lexer — just enough fidelity for lint rules.
+//!
+//! The rules in this crate only need a *token stream with line numbers* plus
+//! the comments (for `lint:allow` suppressions). That is a much easier target
+//! than full parsing, but it still has to get the hard lexical cases right, or
+//! a `HashMap` inside a string literal would trip rule D1: nested block
+//! comments, escapes in string/char literals, raw strings with arbitrary `#`
+//! fences, byte strings, and the `'a` lifetime vs `'a'` char ambiguity.
+
+/// Kind of a lexed token. Comments are collected separately, not as tokens.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the scanner distinguishes keywords by text).
+    Ident,
+    /// Integer literal, suffix included (`13`, `0xFF`, `42u8`).
+    Int,
+    /// Float literal (`1.5`, `2.0f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Operator or delimiter, maximal-munch (`::`, `=>`, `+=`, `[`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain) with the line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest first so maximal munch is a prefix scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lex `src`. Never fails: unterminated literals are closed at end of input,
+/// and any unrecognised byte becomes a single-char `Punct`, so the rules can
+/// run on slightly malformed input (fixtures, mid-edit files) without panics.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Count newlines in chars[from..to] into `line`.
+    let bump = |line: &mut u32, chars: &[char]| {
+        *line += chars.iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let (start, l0) = (i, line);
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: l0,
+            });
+            continue;
+        }
+
+        // Identifiers, keywords, and string-literal prefixes (r, b, br, rb).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let next = chars.get(i).copied();
+            let is_raw_prefix = matches!(word.as_str(), "r" | "br" | "rb");
+            let is_byte_prefix = matches!(word.as_str(), "b" | "br" | "rb");
+            if (is_raw_prefix || word == "b") && next == Some('"') {
+                // b"…" escapes like a normal string; r"…" / br"…" do not.
+                let end = if is_raw_prefix {
+                    scan_raw_string(&chars, i, 0)
+                } else {
+                    scan_string(&chars, i)
+                };
+                bump(&mut line, &chars[i..end]);
+                i = end;
+                out.tokens.push(tok(TokKind::Str, &word, line));
+                continue;
+            }
+            if is_raw_prefix && next == Some('#') {
+                let mut hashes = 0usize;
+                while i + hashes < n && chars[i + hashes] == '#' {
+                    hashes += 1;
+                }
+                if chars.get(i + hashes) == Some(&'"') {
+                    let end = scan_raw_string(&chars, i + hashes, hashes);
+                    bump(&mut line, &chars[i..end]);
+                    i = end;
+                    out.tokens.push(tok(TokKind::Str, &word, line));
+                    continue;
+                }
+                // r#ident — a raw identifier; fold the `r#` into the name.
+                if word == "r" {
+                    i += 1; // consume '#'
+                    let istart = i;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let name: String = chars[istart..i].iter().collect();
+                    out.tokens.push(tok(TokKind::Ident, &name, line));
+                    continue;
+                }
+            }
+            if is_byte_prefix && !is_raw_prefix && next == Some('\'') {
+                let end = scan_char(&chars, i);
+                bump(&mut line, &chars[i..end]);
+                i = end;
+                out.tokens.push(tok(TokKind::Char, &word, line));
+                continue;
+            }
+            out.tokens.push(tok(TokKind::Ident, &word, line));
+            continue;
+        }
+
+        // Numbers. Suffixes ride along in the text (`42u8`); `1..9` must not
+        // lex `1.` as a float.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut kind = TokKind::Int;
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+                i += 2;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    kind = TokKind::Float;
+                    i += 1;
+                    while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Type suffix (u8, usize, f64, e-notation).
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if kind == TokKind::Int && chars[start..i].contains(&'f') {
+                    kind = TokKind::Float; // 2f64
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(tok(kind, &text, line));
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let end = scan_string(&chars, i);
+            bump(&mut line, &chars[i..end]);
+            i = end;
+            out.tokens.push(tok(TokKind::Str, "\"", line));
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let one = chars.get(i + 1).copied();
+            let two = chars.get(i + 2).copied();
+            let is_lifetime = match one {
+                Some(x) if x.is_alphabetic() || x == '_' => two != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                let start = i + 1;
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.tokens.push(tok(TokKind::Lifetime, &text, line));
+            } else {
+                let end = scan_char(&chars, i);
+                bump(&mut line, &chars[i..end]);
+                i = end;
+                out.tokens.push(tok(TokKind::Char, "'", line));
+            }
+            continue;
+        }
+
+        // Operators and delimiters, longest match first.
+        let rest_len = n - i;
+        let mut matched = None;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if pc.len() <= rest_len && chars[i..i + pc.len()] == pc[..] {
+                matched = Some(p.to_string());
+                break;
+            }
+        }
+        let text = matched.unwrap_or_else(|| c.to_string());
+        i += text.chars().count();
+        out.tokens.push(tok(TokKind::Punct, &text, line));
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Token {
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// From the opening `"` at `chars[at]`, return the index just past the
+/// closing quote, honouring `\` escapes (including `\"` and `\\`).
+fn scan_string(chars: &[char], at: usize) -> usize {
+    let mut i = at + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+/// From the opening `"` at `chars[at]` of a raw string with `hashes` fence
+/// characters, return the index just past the closing `"##…`. No escapes.
+fn scan_raw_string(chars: &[char], at: usize, hashes: usize) -> usize {
+    let n = chars.len();
+    let mut i = at + 1;
+    while i < n {
+        if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    n
+}
+
+/// From the opening `'` at `chars[at]`, return the index just past the
+/// closing quote of a char literal, honouring escapes.
+fn scan_char(chars: &[char], at: usize) -> usize {
+    // `at` may point at the `b` of a byte literal; find the quote first.
+    let mut i = at;
+    while i < chars.len() && chars[i] != '\'' {
+        i += 1;
+    }
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap /* nested */ still comment */
+            let b = r#"HashMap in a raw "quoted" string"#;
+            let c = b"HashMap bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let charlits: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(charlits.len(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        // '\'' must not end the literal early and swallow the rest.
+        let ids = idents(r"let q = '\''; let after = 1;");
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = lex("for i in 0..19 {}").tokens;
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, ["0", "19"]);
+        assert!(toks.iter().any(|t| t.text == ".."));
+    }
+
+    #[test]
+    fn multi_char_operators_munch_maximally() {
+        let toks = lex("a += b; c => d; e == f; g <<= 2;").tokens;
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"<<="));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 9;";
+        let toks = lex(src).tokens;
+        let t9 = toks.iter().find(|t| t.text == "9").unwrap();
+        assert_eq!(t9.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#match = 1;");
+        assert!(ids.contains(&"match".to_string()));
+    }
+}

@@ -1,0 +1,147 @@
+//! `ipop-lint`: project-specific static analysis for the IPOP workspace.
+//!
+//! The deterministic simulator's guarantees — byte-identical traces per seed,
+//! total wire decoders, honest counters — are invariants the compiler cannot
+//! see. This crate checks them mechanically with five rules (see README's
+//! "Static analysis" table and CONTRACTS.md):
+//!
+//! * **d1** — no `HashMap`/`HashSet` in deterministic crates
+//! * **d2** — no wall clock / ambient randomness outside entry points
+//! * **d3** — no panics or direct indexing inside wire decoders
+//! * **d4** — wire-tag / enum-variant / fuzz-corpus exhaustiveness
+//! * **d5** — every stats counter field has an increment site
+//!
+//! It is self-contained by design: its own lexer and item scanner instead of
+//! `syn`, so the workspace keeps building offline with no new dependencies.
+//! Findings are suppressed per site with `// lint:allow(<rule>): <why>` (or
+//! `// lint:allow(<rule>, fn): <why>` for a whole function); a suppression
+//! without a justification is itself a finding.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use report::Finding;
+use scan::KNOWN_RULES;
+
+/// One analyzed source file: the lexed token stream plus the item scan.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (rule scoping keys on it).
+    pub path: String,
+    pub lexed: lexer::Lexed,
+    pub scan: scan::Scan,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, source: &str) -> Self {
+        let lexed = lexer::lex(source);
+        let scan = scan::scan(&lexed);
+        SourceFile {
+            path: path.to_string(),
+            lexed,
+            scan,
+        }
+    }
+}
+
+/// Analyze an in-memory file set: run every rule, apply suppressions, add
+/// suppression-hygiene findings, and return the survivors in stable order.
+/// `(path, source)` pairs use workspace-relative paths — rules scope by path
+/// prefix, which is what makes this callable on fixtures.
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+
+    let mut findings = Vec::new();
+    findings.extend(rules::d1(&parsed));
+    findings.extend(rules::d2(&parsed));
+    findings.extend(rules::d3(&parsed));
+    findings.extend(rules::d4(&parsed));
+    findings.extend(rules::d5(&parsed));
+
+    // Apply suppressions: a finding is dropped when a *justified* allow for
+    // its rule covers its line. An unjustified or unknown-rule allow never
+    // suppresses — it produces its own finding instead, so a bare
+    // `lint:allow` cannot silently disable a rule.
+    findings.retain(|f| {
+        let Some(src) = parsed.iter().find(|s| s.path == f.file) else {
+            return true;
+        };
+        !src.scan.suppressions.iter().any(|s| {
+            s.rule == f.rule && s.justified && s.covers.0 <= f.line && f.line <= s.covers.1
+        })
+    });
+
+    for src in &parsed {
+        for s in &src.scan.suppressions {
+            if !KNOWN_RULES.contains(&s.rule.as_str()) {
+                findings.push(Finding::new(
+                    "allow",
+                    &src.path,
+                    s.comment_line,
+                    format!(
+                        "lint:allow({}) names an unknown rule (known: {})",
+                        s.rule,
+                        KNOWN_RULES.join(", ")
+                    ),
+                ));
+            } else if !s.justified {
+                findings.push(Finding::new(
+                    "allow",
+                    &src.path,
+                    s.comment_line,
+                    format!(
+                        "lint:allow({}) has no justification — write \
+                         `// lint:allow({}): <why this site is safe>`",
+                        s.rule, s.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    report::sort(&mut findings);
+    findings
+}
+
+/// Analyze a real workspace: every `.rs` file under `<root>/crates`, paths
+/// made root-relative. Files are gathered in sorted order so the report is
+/// identical across platforms and filesystems.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut paths = Vec::new();
+    collect_rs(&root.join("crates"), &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let source = fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, source));
+    }
+    Ok(analyze_files(&files))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! CLI for `ipop-lint`.
+//!
+//! ```text
+//! cargo run -p ipop-lint                    # human report, exit 1 on findings
+//! cargo run -p ipop-lint -- --json          # JSON on stdout, human on stderr
+//! cargo run -p ipop-lint -- --baseline F    # ignore findings listed in F
+//! cargo run -p ipop-lint -- --root DIR      # workspace root (default: cwd)
+//! ```
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 findings, 2 usage/IO error.
+//!
+//! The baseline file is line-oriented: `rule<TAB>file[<TAB>line]`, `#`
+//! comments and blank lines ignored. Entries without a line number baseline
+//! every finding of that rule in that file. The checked-in baseline is empty
+//! and should stay that way — it exists so a future rule tightening can land
+//! before its last fixes do.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ipop_lint::report::{to_json, Finding};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ipop-lint [--json] [--baseline FILE] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        eprintln!(
+            "ipop-lint: {} does not look like the workspace root (no Cargo.toml/crates)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = match ipop_lint::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ipop-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baselined = match baseline.as_deref().map(load_baseline).transpose() {
+        Ok(b) => b.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("ipop-lint: baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (old, new): (Vec<&Finding>, Vec<&Finding>) = findings
+        .iter()
+        .partition(|f| baselined.iter().any(|b| b.matches(f)));
+
+    let new_owned: Vec<Finding> = new.iter().map(|f| (*f).clone()).collect();
+    if json {
+        println!("{}", to_json(&new_owned));
+    }
+    let human = if json {
+        |line: String| eprintln!("{line}")
+    } else {
+        |line: String| println!("{line}")
+    };
+    for f in &new {
+        human(f.human());
+    }
+    if !old.is_empty() {
+        human(format!("({} baselined finding(s) ignored)", old.len()));
+    }
+    if new.is_empty() {
+        human("ipop-lint: clean".to_string());
+        ExitCode::SUCCESS
+    } else {
+        human(format!("ipop-lint: {} finding(s)", new.len()));
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ipop-lint: {msg}\nusage: ipop-lint [--json] [--baseline FILE] [--root DIR]");
+    ExitCode::from(2)
+}
+
+struct BaselineEntry {
+    rule: String,
+    file: String,
+    line: Option<u32>,
+}
+
+impl BaselineEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && self.file == f.file && self.line.is_none_or(|l| l == f.line)
+    }
+}
+
+fn load_baseline(path: &Path) -> std::io::Result<Vec<BaselineEntry>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(rule), Some(file)) = (cols.next(), cols.next()) else {
+            continue;
+        };
+        out.push(BaselineEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line: cols.next().and_then(|c| c.parse().ok()),
+        });
+    }
+    Ok(out)
+}

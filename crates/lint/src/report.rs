@@ -1,0 +1,97 @@
+//! Findings and their two output forms: line-oriented human text, and a
+//! small hand-rolled JSON document (no serde — this crate has no deps).
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id: `d1`…`d5`, or `allow` for suppression-hygiene findings.
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &str, file: &str, line: u32, message: String) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// `file:line: [rule] message` — clickable in most terminals.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Stable order: file, then line, then rule — so output diffs cleanly.
+pub fn sort(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    findings.dedup();
+}
+
+/// The whole report as a JSON document.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(&f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    s.push_str(&format!("],\"total\":{}}}", findings.len()));
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let f = vec![Finding::new(
+            "d1",
+            "a.rs",
+            3,
+            "uses \"HashMap\"\n".to_string(),
+        )];
+        let j = to_json(&f);
+        assert!(j.contains("\\\"HashMap\\\"\\n"));
+        assert!(j.ends_with("\"total\":1}"));
+        assert!(to_json(&[]).contains("\"total\":0"));
+    }
+}

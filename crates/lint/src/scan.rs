@@ -1,0 +1,551 @@
+//! Item-level scan of a token stream: functions (with owner impl and return
+//! type), struct fields, enum variants, and `lint:allow` suppressions.
+//!
+//! This is deliberately not a parser. It walks the token stream once, matches
+//! braces, and recognises the handful of shapes the rules need. Anything it
+//! does not understand it skips — a lint must degrade to "no finding", never
+//! to a crash or a false parse.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// A `fn` item: free function, inherent/trait method, or trait signature.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// The `Self` type of the enclosing `impl` block, if any.
+    pub owner: Option<String>,
+    /// Textual return type (tokens after `->`, space-joined); empty for `()`.
+    pub ret: String,
+    /// Token-index range of the body, *inclusive* of both braces. Empty
+    /// (`start == end == 0`) for bodiless trait signatures.
+    pub body: (usize, usize),
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+    /// Line of the closing brace (or of the `;` for signatures).
+    pub end_line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct StructField {
+    pub name: String,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub fields: Vec<StructField>,
+}
+
+#[derive(Clone, Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub variants: Vec<String>,
+}
+
+/// A parsed `// lint:allow(<rule>[, fn])[: justification]` comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    pub rule: String,
+    /// `true` for the `fn` scope variant, which covers the whole following
+    /// function body instead of a single line.
+    pub fn_scope: bool,
+    /// `true` when a non-empty justification follows the closing paren.
+    pub justified: bool,
+    pub comment_line: u32,
+    /// Inclusive line range the suppression covers: the first code line at or
+    /// after the comment, widened to the whole fn for `fn`-scope.
+    pub covers: (u32, u32),
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Scan {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub enums: Vec<EnumItem>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Keywords that may legitimately precede `[` without it being an index
+/// expression (pattern or expression-start position).
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "mut", "ref", "return", "match", "if", "else", "move", "as", "break", "continue",
+    "loop", "while", "for", "unsafe", "box", "dyn", "where", "yield", "const", "static",
+];
+
+pub fn scan(lexed: &Lexed) -> Scan {
+    let toks = &lexed.tokens;
+    let close = match_braces(toks);
+    let mut out = Scan::default();
+
+    // Stack of (impl owner, token index of the impl body's closing brace).
+    let mut impls: Vec<(String, usize)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        while matches!(impls.last(), Some((_, end)) if *end <= i) {
+            impls.pop();
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                // Owner = last ident at angle-depth 0 before the body brace,
+                // restarting after `for` so `impl Trait for Type` names Type.
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                let mut owner = String::new();
+                while j < toks.len() {
+                    let tj = &toks[j];
+                    match (tj.kind, tj.text.as_str()) {
+                        (TokKind::Punct, "<") => depth += 1,
+                        (TokKind::Punct, ">") => depth -= 1,
+                        (TokKind::Punct, "<<") => depth += 2,
+                        (TokKind::Punct, ">>") => depth -= 2,
+                        (TokKind::Punct, "{") if depth <= 0 => break,
+                        (TokKind::Punct, ";") if depth <= 0 => break, // impl Trait for T;
+                        (TokKind::Ident, "for") if depth <= 0 => owner.clear(),
+                        (TokKind::Ident, "where") if depth <= 0 => break,
+                        (TokKind::Ident, name) if depth <= 0 => owner = name.to_string(),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].text == "{" {
+                    let end = close[j].unwrap_or(toks.len().saturating_sub(1));
+                    impls.push((owner, end));
+                }
+                i = j + 1;
+            }
+            "fn" => {
+                if let Some((item, next)) = scan_fn(toks, &close, i, impls.last().map(|(o, _)| o)) {
+                    out.fns.push(item);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            "struct" => {
+                let (item, next) = scan_struct(toks, &close, i);
+                if let Some(item) = item {
+                    out.structs.push(item);
+                }
+                i = next;
+            }
+            "enum" => {
+                let (item, next) = scan_enum(toks, &close, i);
+                if let Some(item) = item {
+                    out.enums.push(item);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+
+    out.suppressions = scan_suppressions(&lexed.comments, toks, &out.fns);
+    out
+}
+
+/// For every `{` token index, the index of its matching `}`.
+fn match_braces(toks: &[Token]) -> Vec<Option<usize>> {
+    let mut close = vec![None; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => stack.push(i),
+                "}" => {
+                    if let Some(open) = stack.pop() {
+                        close[open] = Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    close
+}
+
+/// Parse the `fn` starting at token `at`. Returns the item and the index to
+/// resume scanning from — just *inside* the body, so nested items are seen.
+fn scan_fn(
+    toks: &[Token],
+    close: &[Option<usize>],
+    at: usize,
+    owner: Option<&String>,
+) -> Option<(FnItem, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(` — a function-pointer type, not an item.
+    }
+    let name = name_tok.text.clone();
+    let mut j = at + 2;
+
+    // Skip generic parameters after the name.
+    if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            j += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+
+    // Parameter list.
+    if toks.get(j).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let mut pdepth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => pdepth += 1,
+            ")" => pdepth -= 1,
+            _ => {}
+        }
+        j += 1;
+        if pdepth == 0 {
+            break;
+        }
+    }
+
+    // Return type and where clause, up to `{` or `;`. Angle depth guards
+    // against `Fn() -> T` bounds confusing the arrow capture.
+    let mut ret = String::new();
+    let mut in_ret = false;
+    let mut adepth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") if adepth <= 0 => break,
+            (TokKind::Punct, ";") if adepth <= 0 => {
+                // Trait signature without a body.
+                return Some((
+                    FnItem {
+                        name,
+                        owner: owner.cloned(),
+                        ret,
+                        body: (0, 0),
+                        sig_line: toks[at].line,
+                        end_line: t.line,
+                    },
+                    j + 1,
+                ));
+            }
+            (TokKind::Ident, "where") if adepth <= 0 => in_ret = false,
+            (TokKind::Punct, "->") if adepth <= 0 => in_ret = true,
+            _ => {
+                match t.text.as_str() {
+                    "<" => adepth += 1,
+                    ">" => adepth -= 1,
+                    "<<" => adepth += 2,
+                    ">>" => adepth -= 2,
+                    _ => {}
+                }
+                if in_ret {
+                    if !ret.is_empty() {
+                        ret.push(' ');
+                    }
+                    ret.push_str(&t.text);
+                }
+            }
+        }
+        j += 1;
+    }
+    let open = j;
+    let end = *close.get(open)?;
+    let end = end?;
+    Some((
+        FnItem {
+            name,
+            owner: owner.cloned(),
+            ret,
+            body: (open, end),
+            sig_line: toks[at].line,
+            end_line: toks[end].line,
+        },
+        open + 1,
+    ))
+}
+
+fn scan_struct(toks: &[Token], close: &[Option<usize>], at: usize) -> (Option<StructItem>, usize) {
+    let Some(name_tok) = toks.get(at + 1) else {
+        return (None, at + 1);
+    };
+    if name_tok.kind != TokKind::Ident {
+        return (None, at + 1);
+    }
+    let name = name_tok.text.clone();
+    let mut j = at + 2;
+    // Skip generics / where clause up to the deciding delimiter.
+    let mut adepth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => adepth += 1,
+            ">" => adepth -= 1,
+            "<<" => adepth += 2,
+            ">>" => adepth -= 2,
+            "{" if adepth <= 0 => break,
+            "(" | ";" if adepth <= 0 => {
+                // Tuple or unit struct: no named fields to check.
+                return (
+                    Some(StructItem {
+                        name,
+                        fields: Vec::new(),
+                    }),
+                    j,
+                );
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(Some(end)) = close.get(j).copied() else {
+        return (None, j + 1);
+    };
+
+    // Fields: comma-separated at depth 0; name = ident right before the
+    // first `:` of each chunk (skips `pub`, attributes, nested generics).
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut chunk_start = j + 1;
+    let mut k = j + 1;
+    while k <= end {
+        let t = &toks[k];
+        let d0 = depth == 0;
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        if (t.text == "," && d0 && t.kind == TokKind::Punct) || k == end {
+            if let Some(f) = field_of_chunk(&toks[chunk_start..k]) {
+                fields.push(f);
+            }
+            chunk_start = k + 1;
+        }
+        k += 1;
+    }
+    (Some(StructItem { name, fields }), j + 1)
+}
+
+/// From one field chunk (tokens between commas), the ident preceding the
+/// first top-level `:`.
+fn field_of_chunk(chunk: &[Token]) -> Option<StructField> {
+    let mut depth = 0i32;
+    for (i, t) in chunk.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            ":" if depth == 0 && t.kind == TokKind::Punct => {
+                let prev = chunk[..i].iter().rev().find(|t| t.kind == TokKind::Ident)?;
+                return Some(StructField {
+                    name: prev.text.clone(),
+                    line: prev.line,
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn scan_enum(toks: &[Token], close: &[Option<usize>], at: usize) -> (Option<EnumItem>, usize) {
+    let Some(name_tok) = toks.get(at + 1) else {
+        return (None, at + 1);
+    };
+    if name_tok.kind != TokKind::Ident {
+        return (None, at + 1);
+    }
+    let name = name_tok.text.clone();
+    let mut j = at + 2;
+    let mut adepth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => adepth += 1,
+            ">" => adepth -= 1,
+            "{" if adepth <= 0 => break,
+            ";" if adepth <= 0 => return (None, j),
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(Some(end)) = close.get(j).copied() else {
+        return (None, j + 1);
+    };
+
+    // Variants: first ident of each depth-0 comma chunk, skipping attributes.
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut want_name = true;
+    let mut in_attr = 0i32;
+    let mut k = j + 1;
+    while k < end {
+        let t = &toks[k];
+        let d0 = depth == 0;
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        if t.text == "#" && d0 {
+            in_attr = depth + 1; // the `[` that follows bumps depth to this
+        }
+        if in_attr > 0 && depth < in_attr {
+            in_attr = 0;
+        }
+        if want_name && d0 && in_attr == 0 && t.kind == TokKind::Ident && t.text != "#" {
+            variants.push(t.text.clone());
+            want_name = false;
+        }
+        if t.text == "," && depth == 0 && t.kind == TokKind::Punct {
+            want_name = true;
+        }
+        k += 1;
+    }
+    (Some(EnumItem { name, variants }), j + 1)
+}
+
+/// Rules this crate knows. Anything else in a `lint:allow` is itself flagged.
+pub const KNOWN_RULES: &[&str] = &["d1", "d2", "d3", "d4", "d5"];
+
+fn scan_suppressions(comments: &[Comment], toks: &[Token], fns: &[FnItem]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        // The directive must *start* the comment (after the `//`/`/*`/doc
+        // markers) — prose that merely mentions `lint:allow(...)` mid-sentence
+        // is not a suppression.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(after) = body.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close_at) = after.find(')') else {
+            continue;
+        };
+        let inside = &after[..close_at];
+        let mut parts = inside.split(',').map(str::trim);
+        let rule = parts.next().unwrap_or("").to_ascii_lowercase();
+        let fn_scope = parts.next().map(str::trim) == Some("fn");
+        let tail = after[close_at + 1..].trim_start();
+        let justified = tail.strip_prefix(':').is_some_and(|j| !j.trim().is_empty());
+
+        // The suppression targets the first code line at/after the comment.
+        let target = toks
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l >= c.line)
+            .unwrap_or(c.line);
+        let covers = if fn_scope {
+            // Widen to the first fn that is still open at the target line.
+            fns.iter()
+                .find(|f| f.end_line >= target)
+                .map(|f| (f.sig_line.min(target), f.end_line))
+                .unwrap_or((target, target))
+        } else {
+            (target, target)
+        };
+        out.push(Suppression {
+            rule,
+            fn_scope,
+            justified,
+            comment_line: c.line,
+            covers,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str) -> Scan {
+        scan(&lex(src))
+    }
+
+    #[test]
+    fn fns_capture_owner_and_return_type() {
+        let s = scan_src(
+            "impl Reader<'_> {\n\
+                 fn u8(&mut self) -> Result<u8, ParseError> { self.take(1) }\n\
+             }\n\
+             fn free() {}\n\
+             impl Display for Thing {\n\
+                 fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result { Ok(()) }\n\
+             }",
+        );
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Reader"));
+        assert!(s.fns[0].ret.contains("ParseError"));
+        assert_eq!(s.fns[1].owner, None);
+        assert_eq!(s.fns[1].ret, "");
+        assert_eq!(s.fns[2].owner.as_deref(), Some("Thing"));
+    }
+
+    #[test]
+    fn struct_fields_and_enum_variants() {
+        let s = scan_src(
+            "pub struct Stats {\n\
+                 pub delivered: u64,\n\
+                 dropped: u64,\n\
+                 nested: Vec<(u8, u16)>,\n\
+             }\n\
+             enum Msg { Hello { from: A }, Ping(u64), #[doc = \"x\"] Close, }",
+        );
+        let st = &s.structs[0];
+        let names: Vec<_> = st.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["delivered", "dropped", "nested"]);
+        let en = &s.enums[0];
+        assert_eq!(en.variants, ["Hello", "Ping", "Close"]);
+    }
+
+    #[test]
+    fn fn_scope_suppression_covers_the_whole_body() {
+        let s = scan_src(
+            "// lint:allow(d3, fn): offsets are pre-checked\n\
+             fn from_bytes(d: &[u8]) -> Result<X, ParseError> {\n\
+                 let a = d[0];\n\
+                 let b = d[1];\n\
+             }",
+        );
+        let sup = &s.suppressions[0];
+        assert!(sup.fn_scope && sup.justified);
+        assert_eq!(sup.covers, (2, 5));
+    }
+
+    #[test]
+    fn line_suppression_targets_next_code_line() {
+        let s = scan_src(
+            "// lint:allow(d1): never iterated, and that is fine because\n\
+             // the id bitmap in front absorbs the ordering question\n\
+             use std::collections::HashSet;",
+        );
+        assert_eq!(s.suppressions[0].covers, (3, 3));
+        assert!(s.suppressions[0].justified);
+    }
+
+    #[test]
+    fn unjustified_and_unknown_suppressions_are_recorded() {
+        let s = scan_src("// lint:allow(d1)\nlet x = 1;\n// lint:allow(d9): what\nlet y = 2;");
+        assert!(!s.suppressions[0].justified);
+        assert_eq!(s.suppressions[1].rule, "d9");
+    }
+}

@@ -1,0 +1,10 @@
+//! Suppression-hygiene fixture: a bare allow (no justification) and an
+//! unknown rule. Neither suppresses anything.
+
+// lint:allow(d1)
+use std::collections::HashMap;
+
+// lint:allow(d9): not a rule this linter has
+pub struct X {
+    m: HashMap<u8, u8>,
+}

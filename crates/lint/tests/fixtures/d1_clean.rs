@@ -1,0 +1,19 @@
+//! D1 fixture: ordered containers, plus one justified never-iterated set.
+
+use std::collections::{BTreeMap, BTreeSet};
+// lint:allow(d1): membership-only overflow set; no code path iterates it, so
+// the per-instance hash seed cannot reach any trace.
+use std::collections::HashSet;
+
+pub struct Router {
+    routes: BTreeMap<u32, u32>,
+    ordered: BTreeSet<u64>,
+    // lint:allow(d1): same membership-only set as above.
+    overflow: HashSet<u64>,
+}
+
+pub fn hash_map_in_prose_is_fine() {
+    let s = "a HashMap mentioned in a string literal";
+    // And a HashMap mentioned in a comment.
+    let _ = s;
+}

@@ -1,0 +1,9 @@
+//! D1 fixture: hash containers in a deterministic crate, no justification.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Router {
+    routes: HashMap<u32, u32>,
+    seen: HashSet<u64>,
+}

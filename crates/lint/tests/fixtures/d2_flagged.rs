@@ -1,0 +1,11 @@
+//! D2 fixture: wall clock and ambient entropy inside simulated code.
+
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _sys = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    t0.elapsed().as_millis() as u64
+}

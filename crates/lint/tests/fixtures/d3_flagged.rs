@@ -1,0 +1,11 @@
+//! D3 fixture: a decoder that can panic on hostile input.
+
+pub fn from_bytes(data: &[u8]) -> Result<Header, ParseError> {
+    let version = data[0];
+    let length = u16::from_be_bytes(data[1..3].try_into().unwrap());
+    if version != 4 {
+        panic!("bad version");
+    }
+    assert!(length > 0);
+    Ok(Header { version, length })
+}

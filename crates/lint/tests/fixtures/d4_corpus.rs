@@ -1,0 +1,9 @@
+//! D4 fixture corpus: constructs every clean-fixture variant.
+
+fn corpus() -> Vec<Vec<u8>> {
+    vec![
+        LinkMessage::Hello.to_bytes(),
+        LinkMessage::Routed(RoutedPacket::new(RoutedPayload::Data(7))).to_bytes(),
+        LinkMessage::Routed(RoutedPacket::new(RoutedPayload::Ack)).to_bytes(),
+    ]
+}

@@ -1,0 +1,56 @@
+//! D4 fixture: contiguous tags, matching decoder arms, full variant cover.
+
+pub enum RoutedPayload {
+    Data(u8),
+    Ack,
+}
+
+pub enum LinkMessage {
+    Hello,
+    Routed(RoutedPacket),
+}
+
+impl RoutedPacket {
+    fn write(&self, w: &mut Writer) {
+        match &self.payload {
+            RoutedPayload::Data(x) => {
+                w.u8(0);
+                w.u8(*x);
+            }
+            RoutedPayload::Ack => {
+                w.u8(1);
+            }
+        }
+    }
+
+    fn read(r: &mut Reader) -> Result<Self, ParseError> {
+        let payload = match r.u8()? {
+            0 => RoutedPayload::Data(r.u8()?),
+            1 => RoutedPayload::Ack,
+            other => return Err(ParseError::BadValue("payload tag")),
+        };
+        Ok(RoutedPacket { payload })
+    }
+}
+
+impl LinkMessage {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            LinkMessage::Hello => w.u8(0),
+            LinkMessage::Routed(pkt) => {
+                w.u8(1);
+                pkt.write(&mut w);
+            }
+        }
+        w.finish()
+    }
+
+    fn read(r: &mut Reader) -> Result<Self, ParseError> {
+        Ok(match r.u8()? {
+            0 => LinkMessage::Hello,
+            1 => LinkMessage::Routed(RoutedPacket::read(r)?),
+            other => return Err(ParseError::BadValue("link tag")),
+        })
+    }
+}

@@ -1,0 +1,26 @@
+//! D5 fixture: every counter field has an increment or assignment site.
+
+#[derive(Default)]
+pub struct NetCounters {
+    pub delivered: u64,
+    pub unroutable: u64,
+}
+
+#[derive(Default)]
+pub struct ImpairmentCounters {
+    pub dropped: u64,
+}
+
+impl Net {
+    fn deliver(&mut self) {
+        self.counters.delivered += 1;
+    }
+
+    fn unroute(&mut self) {
+        self.counters.unroutable += 1;
+    }
+
+    fn reset(&mut self) {
+        self.impairments.dropped = 0;
+    }
+}

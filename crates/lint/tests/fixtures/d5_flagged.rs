@@ -1,0 +1,23 @@
+//! D5 fixture: `unroutable` is declared and reported but nothing ever
+//! increments it.
+
+#[derive(Default)]
+pub struct NetCounters {
+    pub delivered: u64,
+    pub unroutable: u64,
+}
+
+#[derive(Default)]
+pub struct ImpairmentCounters {
+    pub dropped: u64,
+}
+
+impl Net {
+    fn deliver(&mut self) {
+        self.counters.delivered += 1;
+    }
+
+    fn impair(&mut self) {
+        self.impairments.dropped += 1;
+    }
+}

@@ -1,0 +1,52 @@
+//! Property test for the lexer: a marker identifier is counted exactly once
+//! per *code* segment, no matter how many times it appears inside comments,
+//! strings, raw strings, or around char/lifetime syntax — i.e. the lexer's
+//! literal/comment skipping never bleeds into code or swallows it.
+
+use ipop_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// One source segment and how many MARKER identifier tokens it contributes.
+fn segment(kind: u8) -> (&'static str, usize) {
+    match kind % 7 {
+        0 => ("let a = MARKER + 1;", 1),
+        1 => ("// a comment mentioning MARKER and MARKER again", 0),
+        2 => ("/* block MARKER /* nested MARKER */ tail */", 0),
+        3 => ("let s = \"MARKER \\\" escaped MARKER\";", 0),
+        4 => ("let r = r#\"raw MARKER \"quoted\" MARKER\"#;", 0),
+        5 => ("let c = 'M'; let q = '\\''; fn f<'a>(x: &'a u8) {}", 0),
+        _ => ("let b = b\"MARKER\"; let bc = b'M';", 0),
+    }
+}
+
+proptest! {
+    #[test]
+    fn marker_count_matches_code_segments(kinds in proptest::collection::vec(0u8..7, 0..24)) {
+        let mut src = String::new();
+        let mut expected = 0usize;
+        for &k in &kinds {
+            let (text, count) = segment(k);
+            src.push_str(text);
+            src.push('\n');
+            expected += count;
+        }
+        let lexed = lex(&src);
+        let markers = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "MARKER")
+            .count();
+        prop_assert_eq!(markers, expected, "source:\n{}", src);
+
+        // Line numbers must be within the source and nondecreasing.
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        let total_lines = kinds.len() as u32 + 1;
+        prop_assert!(lines.iter().all(|&l| l >= 1 && l <= total_lines));
+        prop_assert!(lines.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn lexing_arbitrary_text_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lex(&String::from_utf8_lossy(&bytes));
+    }
+}

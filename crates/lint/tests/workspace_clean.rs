@@ -1,0 +1,38 @@
+//! Meta-test: the real workspace must be lint-clean. This is the same check
+//! CI's lint job runs via the binary, wired into `cargo test` so a violation
+//! (or an unjustified suppression) fails the ordinary test suite too.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = ipop_lint::analyze_workspace(&root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "ipop-lint found {} violation(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_workspace_actually_contains_scannable_sources() {
+    // Guards against the walker silently scanning nothing (which would make
+    // the test above pass vacuously, e.g. after a directory rename).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for must_exist in [
+        "crates/overlay/src/packets.rs",
+        "crates/netsim/src/impair.rs",
+        "crates/simcore/src/event.rs",
+    ] {
+        assert!(
+            root.join(must_exist).is_file(),
+            "{must_exist} moved — update ipop-lint's rule anchors"
+        );
+    }
+}

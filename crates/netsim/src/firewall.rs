@@ -8,7 +8,7 @@
 //! stateful firewall always admits. The model here is a standard first-match rule
 //! list plus a connection-tracking table for established flows.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use ipop_packet::ipv4::{Ipv4Packet, Protocol};
@@ -125,7 +125,7 @@ pub struct Firewall {
     rules: Vec<Rule>,
     default_outbound_allow: bool,
     default_inbound_allow: bool,
-    established: HashSet<FlowKey>,
+    established: BTreeSet<FlowKey>,
     /// Packets dropped, for diagnostics.
     pub dropped: u64,
 }
@@ -138,7 +138,7 @@ impl Firewall {
             rules: Vec::new(),
             default_outbound_allow: true,
             default_inbound_allow: false,
-            established: HashSet::new(),
+            established: BTreeSet::new(),
             dropped: 0,
         }
     }
@@ -149,7 +149,7 @@ impl Firewall {
             rules: Vec::new(),
             default_outbound_allow: true,
             default_inbound_allow: true,
-            established: HashSet::new(),
+            established: BTreeSet::new(),
             dropped: 0,
         }
     }

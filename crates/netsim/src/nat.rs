@@ -9,7 +9,7 @@
 //! This module implements all four behaviours so the overlay's traversal logic can
 //! be exercised against each.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// A transport endpoint (address, port). For ICMP the "port" is the echo
@@ -57,7 +57,7 @@ pub struct NatBox {
     /// For cone NATs: one mapping per internal endpoint.
     /// For symmetric NATs: one mapping per (internal endpoint, destination).
     mappings: Vec<Mapping>,
-    by_external_port: HashMap<u16, usize>,
+    by_external_port: BTreeMap<u16, usize>,
     /// Statistics: packets dropped by the inbound filter.
     pub inbound_filtered: u64,
 }
@@ -70,7 +70,7 @@ impl NatBox {
             public_ip,
             next_port: 20_000,
             mappings: Vec::new(),
-            by_external_port: HashMap::new(),
+            by_external_port: BTreeMap::new(),
             inbound_filtered: 0,
         }
     }

@@ -10,7 +10,7 @@
 //! [`NetworkSim`] wraps a `Network` in a [`Simulator`] and provides the run loop
 //! used by the examples, tests and the experiment harness.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ipop_packet::ipv4::{Ipv4Packet, Ipv4Payload};
@@ -135,8 +135,8 @@ pub struct Network {
     pub core: CoreParams,
     sites: Vec<Site>,
     hosts: Vec<Host>,
-    addr_to_host: HashMap<Ipv4Addr, HostId>,
-    nat_public_to_site: HashMap<Ipv4Addr, SiteId>,
+    addr_to_host: BTreeMap<Ipv4Addr, HostId>,
+    nat_public_to_site: BTreeMap<Ipv4Addr, SiteId>,
     counters: NetCounters,
     link_rng: StreamRng,
     host_rng_seed: u64,
@@ -163,8 +163,8 @@ impl Network {
             core: CoreParams::default(),
             sites: Vec::new(),
             hosts: Vec::new(),
-            addr_to_host: HashMap::new(),
-            nat_public_to_site: HashMap::new(),
+            addr_to_host: BTreeMap::new(),
+            nat_public_to_site: BTreeMap::new(),
             counters: NetCounters::default(),
             link_rng: StreamRng::new(seed, "netsim.links"),
             host_rng_seed: seed,

@@ -254,7 +254,7 @@ mod tests {
             .iter()
             .all(|h| (h.load - 10.0).abs() < f64::EPSILON));
         // Addresses are unique (checked by add_host, but assert the count matches).
-        let unique: std::collections::HashSet<_> = plab.addrs.iter().collect();
+        let unique: std::collections::BTreeSet<_> = plab.addrs.iter().collect();
         assert_eq!(unique.len(), 118);
     }
 

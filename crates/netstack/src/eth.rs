@@ -10,7 +10,7 @@
 //! and also implements ordinary dynamic ARP so tests can show the containment is a
 //! configuration choice, not a simulator shortcut.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ipop_packet::arp::{ArpOperation, ArpPacket};
@@ -20,14 +20,14 @@ use ipop_packet::ipv4::Ipv4Packet;
 /// An ARP cache with optional static entries.
 #[derive(Debug, Default)]
 pub struct ArpTable {
-    entries: HashMap<Ipv4Addr, MacAddr>,
+    entries: BTreeMap<Ipv4Addr, MacAddr>,
 }
 
 impl ArpTable {
     /// An empty table.
     pub fn new() -> Self {
         ArpTable {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

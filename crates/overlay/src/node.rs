@@ -8,7 +8,7 @@
 //! messages to hand to the physical transport and [`OverlayNode::take_delivered`]
 //! for payloads addressed to this node (IPOP picks up tunnelled IP packets there).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ipop_packet::Bytes;
 use ipop_simcore::{Duration, SimTime, StreamRng};
@@ -497,7 +497,7 @@ pub struct OverlayNode {
     /// refresh scan emits messages in a deterministic order.
     published: BTreeMap<Address, Publication>,
     /// Outstanding creates: token → claim. Never iterated, only keyed.
-    pending_creates: HashMap<u64, PendingCreate>,
+    pending_creates: BTreeMap<u64, PendingCreate>,
     /// Quorum writes this node is coordinating, keyed by ack token. `BTreeMap`
     /// because the timeout sweep iterates it while emitting failure replies.
     pending_quorum_creates: BTreeMap<u64, QuorumCreate>,
@@ -507,7 +507,7 @@ pub struct OverlayNode {
     /// Claimed leases whose renewal found a conflicting record; the embedding
     /// agent drains this and re-allocates.
     lost_leases: VecDeque<Address>,
-    pending_links: HashMap<u64, PendingLink>,
+    pending_links: BTreeMap<u64, PendingLink>,
     /// Link-monitor state per established peer. `BTreeMap` because the probe
     /// scan iterates it while emitting messages.
     edge_health: BTreeMap<Address, EdgeHealth>,
@@ -563,11 +563,11 @@ impl OverlayNode {
             dht_replies: VecDeque::new(),
             dht_create_replies: VecDeque::new(),
             published: BTreeMap::new(),
-            pending_creates: HashMap::new(),
+            pending_creates: BTreeMap::new(),
             pending_quorum_creates: BTreeMap::new(),
             pending_quorum_reads: BTreeMap::new(),
             lost_leases: VecDeque::new(),
-            pending_links: HashMap::new(),
+            pending_links: BTreeMap::new(),
             edge_health: BTreeMap::new(),
             next_sweep: None,
             ever_connected: false,
@@ -1599,10 +1599,15 @@ impl OverlayNode {
                     // only conclude via the quorum timeout (and fail).
                     return;
                 }
-                if let Some(qc) = self.pending_quorum_creates.get_mut(token) {
-                    qc.acks += 1;
-                    if qc.acks >= qc.acks_needed {
-                        let qc = self.pending_quorum_creates.remove(token).expect("present");
+                let quorum_reached = match self.pending_quorum_creates.get_mut(token) {
+                    Some(qc) => {
+                        qc.acks += 1;
+                        qc.acks >= qc.acks_needed
+                    }
+                    None => false,
+                };
+                if quorum_reached {
+                    if let Some(qc) = self.pending_quorum_creates.remove(token) {
                         // A renewal extends the local expiry only now that a
                         // majority holds the extended record — a failed one
                         // must leave the pre-renewal expiry in place.
@@ -2505,7 +2510,12 @@ impl OverlayNode {
             // as a fresh claim. An owner partitioned from its replicas
             // extending and confirming renewals alone would keep serving a
             // lease whose every replica copy has expired.
-            let rec = self.dht.get_mut(&key).expect("record present");
+            // Re-borrow mutably: the `if let` above proves the record exists.
+            // If that invariant ever drifts, failing the renewal (claimant
+            // retries via its renewal timeout) beats panicking the node.
+            let Some(rec) = self.dht.get_mut(&key) else {
+                return;
+            };
             rec.replica = false;
             let version = rec.version;
             let extends_to = now + Duration::from_millis(ttl_ms);
@@ -2711,10 +2721,12 @@ impl OverlayNode {
             return false;
         };
         if created {
-            let p = self.published.get_mut(&key).expect("publication present");
-            p.renew_inflight = None;
-            p.last_refresh = now;
-            self.stats.dht_refreshes += 1;
+            // The find above proves the publication exists; re-borrow mutably.
+            if let Some(p) = self.published.get_mut(&key) {
+                p.renew_inflight = None;
+                p.last_refresh = now;
+                self.stats.dht_refreshes += 1;
+            }
         } else if existing.is_some() {
             // A conflicting record owns the key — this lease lost (typical
             // after a healed partition). Stop renewing and tell the agent.
@@ -3190,7 +3202,7 @@ impl OverlayNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap as Map;
+    use std::collections::BTreeMap as Map;
     use std::net::Ipv4Addr;
 
     /// A tiny in-memory "physical network": endpoints map straight to nodes, every

@@ -11,6 +11,10 @@
 //! The formats are byte-exact so the simulator accounts for realistic header
 //! overhead on every physical link.
 
+// This is a wire-decode module: decoders must return typed errors, never
+// panic (PR 7 contract, machine-checked by ipop-lint rule D3).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::net::Ipv4Addr;
 
 use ipop_packet::{Bytes, ParseError};
@@ -464,39 +468,38 @@ impl<'a> Reader<'a> {
         }
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
-        if self.pos + n > self.data.len() {
-            return Err(ParseError::Truncated("overlay message"));
-        }
-        let s = &self.data[self.pos..self.pos + n];
+        // `get` makes the bounds check and the slice one total operation: no
+        // index expression below can panic, whatever the wire claims.
+        let s = self
+            .data
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(ParseError::Truncated("overlay message"))?;
         self.pos += n;
         Ok(s)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ParseError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ParseError::Truncated("overlay message"))
+    }
     fn u8(&mut self) -> Result<u8, ParseError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
     fn u16(&mut self) -> Result<u16, ParseError> {
-        let s = self.take(2)?;
-        Ok(u16::from_be_bytes([s[0], s[1]]))
+        Ok(u16::from_be_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, ParseError> {
-        let s = self.take(4)?;
-        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+        Ok(u32::from_be_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, ParseError> {
-        let s = self.take(8)?;
-        let mut b = [0u8; 8];
-        b.copy_from_slice(s);
-        Ok(u64::from_be_bytes(b))
+        Ok(u64::from_be_bytes(self.array()?))
     }
     fn addr(&mut self) -> Result<Address, ParseError> {
-        let s = self.take(20)?;
-        let mut b = [0u8; 20];
-        b.copy_from_slice(s);
-        Ok(Address(b))
+        Ok(Address(self.array()?))
     }
     fn endpoint(&mut self) -> Result<Endpoint, ParseError> {
-        let s = self.take(4)?;
-        let ip = Ipv4Addr::new(s[0], s[1], s[2], s[3]);
+        let ip = Ipv4Addr::from(self.array::<4>()?);
         let port = self.u16()?;
         Ok((ip, port))
     }

@@ -15,6 +15,10 @@
 //! subscriber-set record codec, and the fan-out planner — so they can be
 //! tested without a ring. The stateful half lives in [`crate::node`].
 
+// This is a wire-decode module: decoders must return typed errors, never
+// panic (PR 7 contract, machine-checked by ipop-lint rule D3).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use ipop_packet::{Bytes, ParseError};
 
 use crate::address::Address;
@@ -51,20 +55,22 @@ pub fn encode_subscriber_set(entries: &[(Address, u64)]) -> Bytes {
 /// wire codec's hardening.
 pub fn decode_subscriber_set(value: &Bytes) -> Result<Vec<(Address, u64)>, ParseError> {
     let data = value.as_slice();
-    if data.len() < 4 {
-        return Err(ParseError::Truncated("subscriber set"));
-    }
-    let count = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
-    if count * SUB_ENTRY_BYTES != data.len() - 4 {
+    let (count_bytes, body) = data
+        .split_first_chunk::<4>()
+        .ok_or(ParseError::Truncated("subscriber set"))?;
+    let count = u32::from_be_bytes(*count_bytes) as usize;
+    if count * SUB_ENTRY_BYTES != body.len() {
         return Err(ParseError::BadLength("subscriber set count"));
     }
     let mut out = Vec::with_capacity(count);
-    for i in 0..count {
-        let at = 4 + i * SUB_ENTRY_BYTES;
-        let mut addr = [0u8; 20];
-        addr.copy_from_slice(&data[at..at + 20]);
-        let mut ms = [0u8; 8];
-        ms.copy_from_slice(&data[at + 20..at + 28]);
+    for entry in body.chunks_exact(SUB_ENTRY_BYTES) {
+        let (addr, ms) = entry.split_at(20);
+        let addr: [u8; 20] = addr
+            .try_into()
+            .map_err(|_| ParseError::BadLength("subscriber entry"))?;
+        let ms: [u8; 8] = ms
+            .try_into()
+            .map_err(|_| ParseError::BadLength("subscriber entry"))?;
         out.push((Address(addr), u64::from_be_bytes(ms)));
     }
     Ok(out)

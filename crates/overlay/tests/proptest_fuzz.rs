@@ -58,6 +58,19 @@ fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> 
         }
         .to_bytes(),
         LinkMessage::Neighbors { from: a, neighbors }.to_bytes(),
+        LinkMessage::HelloAck {
+            from: b,
+            kind: ConnectionKind::Leaf,
+            observed: ep,
+            token,
+        }
+        .to_bytes(),
+        LinkMessage::Pong {
+            from: b,
+            nonce: token,
+        }
+        .to_bytes(),
+        LinkMessage::Close { from: a }.to_bytes(),
         routed(RoutedPayload::IpTunnel(payload.clone().into())),
         routed(RoutedPayload::ConnectRequest {
             token,
@@ -65,10 +78,60 @@ fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> 
             kind: ConnectionKind::Far,
             endpoints: vec![ep, ep],
         }),
+        routed(RoutedPayload::ConnectResponse {
+            token,
+            responder: b,
+            endpoints: vec![ep],
+        }),
         routed(RoutedPayload::DhtPut {
             key: b,
             value: Bytes::from(payload.clone()),
             ttl_ms: token,
+            version: token,
+        }),
+        routed(RoutedPayload::DhtGet { key: a, token }),
+        routed(RoutedPayload::DhtReply {
+            token,
+            value: Some(Bytes::from(payload.clone())),
+        }),
+        routed(RoutedPayload::DhtReply { token, value: None }),
+        routed(RoutedPayload::DhtCreate {
+            key: a,
+            value: Bytes::from(payload.clone()),
+            ttl_ms: token,
+            token,
+        }),
+        routed(RoutedPayload::DhtCreateReply {
+            token,
+            created: false,
+            existing: Some(Bytes::from(payload.clone())),
+        }),
+        routed(RoutedPayload::DhtCreateReply {
+            token,
+            created: true,
+            existing: None,
+        }),
+        routed(RoutedPayload::DhtReplicate {
+            key: b,
+            value: Bytes::from(payload.clone()),
+            ttl_ms: token,
+            version: token,
+            token,
+        }),
+        routed(RoutedPayload::DhtReplicateAck {
+            token,
+            stored: entries % 2 == 0,
+        }),
+        routed(RoutedPayload::DhtGetReplica { key: b, token }),
+        routed(RoutedPayload::DhtReplicaValue {
+            token,
+            copy: Some((Bytes::from(payload.clone()), token, token)),
+        }),
+        routed(RoutedPayload::DhtReplicaValue { token, copy: None }),
+        routed(RoutedPayload::DhtRemove { key: a }),
+        routed(RoutedPayload::DhtWithdraw {
+            key: a,
+            value: Bytes::from(payload.clone()),
             version: token,
         }),
         routed(RoutedPayload::DhtSyncDigest {
@@ -80,6 +143,10 @@ fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> 
             topic: a,
             subscriber: b,
             ttl_ms: token,
+        }),
+        routed(RoutedPayload::PubSubUnsubscribe {
+            topic: a,
+            subscriber: b,
         }),
         routed(RoutedPayload::PubSubPublish {
             topic: a,

@@ -9,6 +9,10 @@
 //! serializes/parses the virtual IP packet exactly as the real prototype does when
 //! it tunnels packets through the overlay (paper Fig. 3).
 
+// Wire decoders must stay total (PR 7): no unwrap/expect anywhere in this
+// crate's production code. Tests are exempt (the attribute is cfg'd out).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod arp;
 pub mod bytes;
 pub mod checksum;

@@ -12,7 +12,7 @@
 //! accounting can turn an observed virtual IP back into a name
 //! ([`NameService::lookup_ip`]).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ipop_overlay::Address;
@@ -86,9 +86,9 @@ pub struct NameService {
     /// deterministic iteration (Ipv4Addr orders by octets).
     reverse_cache: BTreeMap<Ipv4Addr, (String, SimTime)>,
     /// Outstanding lookups: token → hostname. Never iterated, only keyed.
-    pending: HashMap<u64, String>,
+    pending: BTreeMap<u64, String>,
     /// Outstanding reverse lookups: token → IP. Never iterated, only keyed.
-    pending_reverse: HashMap<u64, Ipv4Addr>,
+    pending_reverse: BTreeMap<u64, Ipv4Addr>,
     /// Lookups answered from the DHT with a mapping.
     pub resolved: u64,
     /// Lookups that found no record.
@@ -102,8 +102,8 @@ impl NameService {
             cache_ttl,
             cache: BTreeMap::new(),
             reverse_cache: BTreeMap::new(),
-            pending: HashMap::new(),
-            pending_reverse: HashMap::new(),
+            pending: BTreeMap::new(),
+            pending_reverse: BTreeMap::new(),
             resolved: 0,
             failed: 0,
         }
