@@ -1,0 +1,119 @@
+//! Virtual-stream benchmark: a ttcp-shaped WAN bulk transfer plus 1k
+//! concurrent streams on the sharded simulator, written to
+//! `BENCH_streams.json`.
+//!
+//! Usage: `streams_bench [--quick] [--out PATH]`
+
+use ipop_bench::harness::bench_cli;
+use ipop_bench::streams::{
+    run_fairness, run_ttcp_stream, FairnessConfig, TtcpStreamConfig, REFERENCE_WAN_KBPS,
+};
+
+fn main() {
+    let cli = bench_cli("BENCH_streams.json");
+    let (tcfg, fcfg) = if cli.quick {
+        (TtcpStreamConfig::quick(), FairnessConfig::quick())
+    } else {
+        (TtcpStreamConfig::full(), FairnessConfig::full())
+    };
+
+    eprintln!(
+        "streams_bench ({} mode): ttcp {} KiB over {} ms one-way, then {} streams x {} KiB on {} nodes / {} shards",
+        cli.mode(),
+        tcfg.transfer_bytes / 1024,
+        tcfg.one_way.as_nanos() / 1_000_000,
+        fcfg.streams,
+        fcfg.transfer_bytes / 1024,
+        fcfg.scale.nodes,
+        fcfg.scale.shards
+    );
+
+    let t = run_ttcp_stream(&tcfg);
+    eprintln!(
+        "  ttcp: {:.1} KB/s over {:.2}s virtual ({:.2}x of the {REFERENCE_WAN_KBPS} KB/s wan_ttcp reference), {} segments, {} retransmits",
+        t.kbps,
+        t.elapsed_s,
+        t.vs_reference(),
+        t.data_sent,
+        t.retransmits
+    );
+
+    let started = std::time::Instant::now();
+    let f = run_fairness(&fcfg);
+    let wall_s = started.elapsed().as_secs_f64();
+    let ev_s = f.events as f64 / wall_s;
+    eprintln!(
+        "  fairness: {}/{} streams completed, goodput KB/s min {:.1} mean {:.1} max {:.1} (ratio {:.2})",
+        f.completed,
+        f.streams,
+        f.min_kbps(),
+        f.mean_kbps(),
+        f.max_kbps(),
+        f.fairness_ratio()
+    );
+    eprintln!(
+        "  {} events in {:.2}s wall / {:.1}s virtual -> {:.0} ev/s, {} retransmits, {} failed",
+        f.events, wall_s, f.virtual_s, ev_s, f.retransmits, f.failed
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"streams\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", cli.mode()));
+    json.push_str(&format!(
+        "  \"ttcp\": {{ \"transfer_bytes\": {}, \"elapsed_s\": {:.3}, \"kbps\": {:.1}, \"reference_kbps\": {REFERENCE_WAN_KBPS}, \"vs_reference\": {:.3}, \"data_sent\": {}, \"retransmits\": {} }},\n",
+        t.transfer_bytes,
+        t.elapsed_s,
+        t.kbps,
+        t.vs_reference(),
+        t.data_sent,
+        t.retransmits
+    ));
+    json.push_str(&format!(
+        "  \"fairness\": {{ \"nodes\": {}, \"shards\": {}, \"streams\": {}, \"completed\": {}, \"completion_rate\": {:.6}, \"transfer_bytes\": {}, \"goodput_kbps\": {{ \"min\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}, \"ratio\": {:.3} }}, \"bytes_received\": {}, \"retransmits\": {}, \"failed\": {} }},\n",
+        f.nodes,
+        f.shards,
+        f.streams,
+        f.completed,
+        f.completion_rate(),
+        fcfg.transfer_bytes,
+        f.min_kbps(),
+        f.mean_kbps(),
+        f.max_kbps(),
+        f.fairness_ratio(),
+        f.bytes_received,
+        f.retransmits,
+        f.failed
+    ));
+    json.push_str(&format!("  \"events\": {},\n", f.events));
+    json.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    json.push_str(&format!("  \"virtual_s\": {:.1},\n", f.virtual_s));
+    json.push_str(&format!("  \"events_per_sec\": {ev_s:.1},\n"));
+    json.push_str(&format!(
+        "  \"determinism\": {{ \"drained\": {}, \"trace_hash\": \"{:#018x}\" }}\n",
+        f.drained, f.trace_hash
+    ));
+    json.push_str("}\n");
+    cli.write_artifact(&json);
+
+    assert_eq!(
+        t.bytes_received, t.transfer_bytes as u64,
+        "ttcp transfer must deliver every byte"
+    );
+    assert!(
+        t.vs_reference() >= 0.5 && t.vs_reference() <= 2.0,
+        "ttcp goodput {:.1} KB/s outside 2x of the wan_ttcp reference",
+        t.kbps
+    );
+    assert!(f.drained, "fairness run failed to drain");
+    assert_eq!(
+        f.completed, f.streams,
+        "every stream must complete on the lossless substrate"
+    );
+    assert_eq!(f.failed, 0, "no stream may exhaust its retransmit budget");
+    assert!(
+        f.fairness_ratio() <= 3.0,
+        "max/min goodput ratio {:.2} exceeds the fairness gate",
+        f.fairness_ratio()
+    );
+}

@@ -26,6 +26,7 @@ pub mod harness;
 pub mod report;
 pub mod scale;
 pub mod scenarios;
+pub mod streams;
 pub mod table1;
 pub mod table2;
 pub mod table3;

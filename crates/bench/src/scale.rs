@@ -61,6 +61,10 @@ pub struct ScaleConfig {
     /// Pub/sub relay-tree out-degree on every node (only exercised by the
     /// fan-out workload, [`crate::fanout`]).
     pub pubsub_fanout: usize,
+    /// Per-link deterministic latency jitter on top of the 1 ms slice base.
+    /// Zero gives every link exactly the base latency — the uniform substrate
+    /// the stream-fairness workload ([`crate::streams`]) measures on.
+    pub link_jitter: Duration,
 }
 
 impl ScaleConfig {
@@ -80,6 +84,7 @@ impl ScaleConfig {
             probes: nodes,
             parallel: true,
             pubsub_fanout: 4,
+            link_jitter: Duration::from_millis(9),
         }
     }
 }
@@ -281,13 +286,7 @@ pub fn build_warm_ring(cfg: &ScaleConfig) -> WarmRing {
     assert!(cfg.nodes >= 8, "ring too small to be interesting");
     assert!(cfg.seeded_shortcuts <= cfg.max_shortcuts);
     let slice = Duration::from_millis(1);
-    let net = ScaleNet::new(
-        cfg.nodes,
-        cfg.shards,
-        cfg.seed,
-        slice,
-        Duration::from_millis(9),
-    );
+    let net = ScaleNet::new(cfg.nodes, cfg.shards, cfg.seed, slice, cfg.link_jitter);
     let n = cfg.nodes as usize;
     let addrs = Arc::new(ring_addresses(cfg.nodes, cfg.seed));
     // Hop budget: greedy tail paths run a small multiple of log₂N; the wire

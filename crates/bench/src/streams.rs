@@ -1,0 +1,593 @@
+//! Virtual-stream workloads: ttcp-shaped bulk transfer and 1k-stream fairness.
+//!
+//! Two experiments over `ipop_overlay::vstream`, reported together in
+//! `BENCH_streams.json`:
+//!
+//! * **ttcp-over-stream** — one bulk transfer between two overlay nodes over
+//!   a WAN-shaped link (25 ms each way, the paper's Table III setting). The
+//!   reference point is the raw-tunnel `wan_ttcp` goodput the paper measures
+//!   for IPOP-TCP (673 KB/s): the stream layer adds handshake, ACK clocking
+//!   and window flow control on top of the same routed fabric, and the gate
+//!   is staying within 2× of that reference in either direction.
+//! * **stream fairness** — 1 000 concurrent streams between uniformly spaced
+//!   node pairs on the sharded deterministic simulator, all opened within a
+//!   few milliseconds. Every stream must complete, and per-stream goodput
+//!   must stay flat (max/min ≤ 3): with a uniform substrate (zero link
+//!   jitter) the only spread left is path length, so a skewed ratio means
+//!   the engine itself starves streams. The run is bit-deterministic
+//!   ([`FairnessReport::trace_hash`]), like every sharded workload.
+
+use std::collections::BTreeMap;
+
+use ipop_overlay::address::Address;
+use ipop_overlay::node::{OverlayConfig, OverlayNode};
+use ipop_overlay::packets::{Endpoint, LinkMessage};
+use ipop_overlay::vstream::StreamEvent;
+use ipop_packet::Bytes;
+use ipop_simcore::{
+    Duration, ShardCtl, ShardRunOutcome, ShardWorld, ShardedSim, SimTime, StreamRng,
+};
+
+use crate::scale::{build_warm_ring, ScaleConfig, WarmRing};
+
+/// The paper's Table III IPOP-TCP WAN goodput (KB/s) — the raw-tunnel
+/// `wan_ttcp` reference the stream transfer is gated against.
+pub const REFERENCE_WAN_KBPS: f64 = 673.0;
+
+// ---------------------------------------------------------------- ttcp shape
+
+/// Parameters of the two-node bulk transfer.
+#[derive(Clone, Debug)]
+pub struct TtcpStreamConfig {
+    /// Bytes pushed through the stream.
+    pub transfer_bytes: usize,
+    /// One-way link latency (25 ms ≈ the paper's WAN RTT of 50 ms).
+    pub one_way: Duration,
+}
+
+impl TtcpStreamConfig {
+    /// Full run: 4 MiB, like a ttcp bulk test.
+    pub fn full() -> Self {
+        TtcpStreamConfig {
+            transfer_bytes: 4 * 1024 * 1024,
+            one_way: Duration::from_millis(25),
+        }
+    }
+
+    /// CI-sized: 256 KiB over the same link.
+    pub fn quick() -> Self {
+        TtcpStreamConfig {
+            transfer_bytes: 256 * 1024,
+            ..Self::full()
+        }
+    }
+}
+
+/// Outcome of the two-node transfer.
+#[derive(Clone, Debug)]
+pub struct TtcpStreamReport {
+    pub transfer_bytes: usize,
+    /// Virtual seconds from stream open to the receiver's `RemoteClosed`.
+    pub elapsed_s: f64,
+    /// Transfer goodput in KB/s (KB = 1000 bytes, matching the paper's
+    /// tables).
+    pub kbps: f64,
+    /// DATA segments sent / retransmitted by the sender.
+    pub data_sent: u64,
+    pub retransmits: u64,
+    /// Bytes delivered in order at the receiver (must equal the transfer).
+    pub bytes_received: u64,
+}
+
+impl TtcpStreamReport {
+    /// Goodput over the paper's raw-tunnel WAN reference.
+    pub fn vs_reference(&self) -> f64 {
+        self.kbps / REFERENCE_WAN_KBPS
+    }
+}
+
+/// Run the ttcp-shaped transfer: two overlay nodes joined by one WAN link,
+/// one stream, `transfer_bytes` pushed end to end. Messages cross the link
+/// in FIFO order with the configured one-way latency; both nodes run their
+/// 500 ms maintenance tick (which drives the stream RTO sweep).
+pub fn run_ttcp_stream(cfg: &TtcpStreamConfig) -> TtcpStreamReport {
+    let eps: [Endpoint; 2] = [([10, 9, 0, 1].into(), 4001), ([10, 9, 0, 2].into(), 4001)];
+    let mut rng = StreamRng::new(0x77C9, "ttcp-stream");
+    let mut nodes: Vec<OverlayNode> = (0..2)
+        .map(|i| {
+            let addr = Address::random(&mut rng);
+            let bootstrap = if i == 0 { vec![] } else { vec![eps[0]] };
+            let cfg = OverlayConfig::new(addr, eps[i]).with_bootstrap(bootstrap);
+            OverlayNode::new(cfg, StreamRng::new(0x77C9, &format!("ttcp-node-{i}")))
+        })
+        .collect();
+
+    // The WAN link: a latency-ordered in-flight queue, FIFO per instant.
+    let mut queue: BTreeMap<(SimTime, u64), (usize, LinkMessage)> = BTreeMap::new();
+    let mut fifo = 0u64;
+    let mut now = SimTime::ZERO;
+    let flush = |nodes: &mut Vec<OverlayNode>,
+                 queue: &mut BTreeMap<(SimTime, u64), (usize, LinkMessage)>,
+                 fifo: &mut u64,
+                 now: SimTime,
+                 one_way: Duration| {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            for (_ep, msg) in node.take_outbox() {
+                queue.insert((now + one_way, *fifo), (1 - i, msg));
+                *fifo += 1;
+            }
+        }
+    };
+
+    for n in nodes.iter_mut() {
+        n.start(now);
+    }
+    flush(&mut nodes, &mut queue, &mut fifo, now, cfg.one_way);
+
+    let tick_interval = Duration::from_millis(500);
+    let mut next_tick = now + tick_interval;
+    let step = |nodes: &mut Vec<OverlayNode>,
+                queue: &mut BTreeMap<(SimTime, u64), (usize, LinkMessage)>,
+                fifo: &mut u64,
+                now: &mut SimTime,
+                next_tick: &mut SimTime| {
+        let due = queue.keys().next().map(|&(at, _)| at);
+        match due {
+            Some(at) if at <= *next_tick => {
+                *now = at;
+                let (key, (dst, msg)) = queue.pop_first().expect("non-empty");
+                debug_assert_eq!(key.0, at);
+                let from = eps[1 - dst];
+                nodes[dst].on_message(*now, from, msg);
+            }
+            _ => {
+                *now = *next_tick;
+                *next_tick = *now + tick_interval;
+                for n in nodes.iter_mut() {
+                    n.on_tick(*now);
+                }
+            }
+        }
+        flush(nodes, queue, fifo, *now, cfg.one_way);
+    };
+
+    // Let the two nodes link up.
+    for _ in 0..64 {
+        step(&mut nodes, &mut queue, &mut fifo, &mut now, &mut next_tick);
+        if nodes[0].is_connected() && nodes[1].is_connected() && queue.is_empty() {
+            break;
+        }
+    }
+    assert!(nodes[1].is_connected(), "bootstrap failed");
+
+    // Open, push the whole payload, close — the receiver's RemoteClosed
+    // marks every byte delivered.
+    let payload: Vec<u8> = {
+        let mut body_rng = StreamRng::new(0x77C9, "ttcp-body");
+        (0..cfg.transfer_bytes)
+            .map(|_| (body_rng.next_u64() & 0xFF) as u8)
+            .collect()
+    };
+    let dst_addr = nodes[0].address();
+    let opened_at = now;
+    let sid = nodes[1].stream_connect(now, dst_addr);
+    assert!(nodes[1].stream_send(now, dst_addr, sid, payload));
+    nodes[1].stream_close(now, dst_addr, sid);
+    flush(&mut nodes, &mut queue, &mut fifo, now, cfg.one_way);
+
+    let mut bytes_received = 0u64;
+    let mut done_at = None;
+    let limit = now + Duration::from_secs(600);
+    while done_at.is_none() && now < limit {
+        step(&mut nodes, &mut queue, &mut fifo, &mut now, &mut next_tick);
+        for (_, _, chunk) in nodes[0].take_stream_data() {
+            bytes_received += chunk.len() as u64;
+        }
+        for ev in nodes[0].take_stream_events() {
+            if matches!(ev, StreamEvent::RemoteClosed { stream_id, .. } if stream_id == sid) {
+                done_at = Some(now);
+            }
+        }
+    }
+    let done_at = done_at.expect("transfer did not complete");
+    let elapsed_s = done_at.saturating_since(opened_at).as_secs_f64();
+    let sender = nodes[1].stats();
+    TtcpStreamReport {
+        transfer_bytes: cfg.transfer_bytes,
+        elapsed_s,
+        kbps: cfg.transfer_bytes as f64 / 1000.0 / elapsed_s,
+        data_sent: sender.stream_data_sent,
+        retransmits: sender.stream_retransmits,
+        bytes_received,
+    }
+}
+
+// ------------------------------------------------------------- 1k fairness
+
+/// Parameters of the many-streams fairness run.
+#[derive(Clone, Debug)]
+pub struct FairnessConfig {
+    /// Ring substrate. Zero `link_jitter` so every link costs exactly the
+    /// base slice — fairness then measures the engine, not the dice.
+    pub scale: ScaleConfig,
+    /// Concurrent streams; stream `i` runs node `i % nodes` → `+stride`.
+    pub streams: u32,
+    /// Ring distance between each pair. Kept within the warm ring's near
+    /// set (`near_per_side`), so every pair has a direct edge and even a
+    /// trimmed edge falls back to the ±1 ring invariant: paths are 1–2 hops
+    /// by construction, and the fairness ratio measures the engine rather
+    /// than topology luck.
+    pub stride: u32,
+    /// Bytes per stream (≤ the receive window, so one window covers it).
+    pub transfer_bytes: usize,
+    /// Gap between consecutive opens (near-simultaneous).
+    pub open_spacing: Duration,
+}
+
+impl FairnessConfig {
+    /// Full run: 1k streams on a 2 048-node ring, 64 KiB each.
+    pub fn full() -> Self {
+        FairnessConfig {
+            scale: ScaleConfig {
+                maintenance_ticks: 4,
+                probes: 0,
+                link_jitter: Duration::ZERO,
+                ..ScaleConfig::ring(2_048)
+            },
+            streams: 1_000,
+            stride: 2,
+            transfer_bytes: 64 * 1024,
+            open_spacing: Duration::from_micros(10),
+        }
+    }
+
+    /// CI-sized: the same 1k streams on a 1 024-node ring, 8 KiB each.
+    pub fn quick() -> Self {
+        FairnessConfig {
+            scale: ScaleConfig {
+                shards: 4,
+                maintenance_ticks: 4,
+                probes: 0,
+                link_jitter: Duration::ZERO,
+                ..ScaleConfig::ring(1_024)
+            },
+            transfer_bytes: 8 * 1024,
+            ..Self::full()
+        }
+    }
+}
+
+/// Outcome of the fairness run.
+#[derive(Clone, Debug)]
+pub struct FairnessReport {
+    pub nodes: u32,
+    pub shards: u32,
+    pub streams: u32,
+    /// Streams whose receiver saw `RemoteClosed` (all bytes delivered).
+    pub completed: u32,
+    /// Per-stream goodput in KB/s, one entry per completed stream.
+    pub goodput_kbps: Vec<f64>,
+    /// Bytes delivered in order across all streams.
+    pub bytes_received: u64,
+    /// DATA segments retransmitted anywhere (0 on the lossless substrate).
+    pub retransmits: u64,
+    /// Streams that failed (retransmit budget) — must be 0.
+    pub failed: u64,
+    /// Simulator events executed.
+    pub events: u64,
+    /// Virtual seconds simulated.
+    pub virtual_s: f64,
+    /// FNV digest of the full execution history (determinism witness).
+    pub trace_hash: u64,
+    /// Whether the event queues drained before the time limit.
+    pub drained: bool,
+}
+
+impl FairnessReport {
+    pub fn completion_rate(&self) -> f64 {
+        if self.streams == 0 {
+            return f64::NAN;
+        }
+        self.completed as f64 / self.streams as f64
+    }
+
+    pub fn min_kbps(&self) -> f64 {
+        self.goodput_kbps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn mean_kbps(&self) -> f64 {
+        crate::harness::mean(&self.goodput_kbps)
+    }
+
+    pub fn max_kbps(&self) -> f64 {
+        crate::harness::fmax(&self.goodput_kbps)
+    }
+
+    /// Max/min per-stream goodput — the fairness gate (≤ 3).
+    pub fn fairness_ratio(&self) -> f64 {
+        let min = self.min_kbps();
+        if min <= 0.0 || min.is_nan() {
+            return f64::NAN;
+        }
+        self.max_kbps() / min
+    }
+}
+
+/// Events driving the fairness world.
+enum StreamEv {
+    /// A link message from node `src` arriving at node `dst`.
+    Deliver {
+        src: u32,
+        dst: u32,
+        msg: LinkMessage,
+    },
+    /// Maintenance tick on `dst`; reschedules itself `remaining` more times.
+    Tick { dst: u32, remaining: u32 },
+    /// Node `src` opens a stream to node `dst`, pushes the payload and
+    /// closes.
+    Open { src: u32, dst: u32 },
+}
+
+/// One shard: a contiguous block of nodes plus local measurement state.
+struct StreamShardWorld {
+    net: ipop_netsim::ScaleNet,
+    interval: Duration,
+    /// The transferred body, shared across every stream.
+    payload: Bytes,
+    /// Global node id → overlay address (for `Open` targets).
+    addrs: std::sync::Arc<Vec<Address>>,
+    lo: u32,
+    nodes: Vec<OverlayNode>,
+    /// `(sender address, stream id, open instant)` of opens in this shard.
+    opens: Vec<(Address, u64, SimTime)>,
+    /// `(sender address, stream id, completion instant)` of streams fully
+    /// delivered (RemoteClosed) at receivers in this shard.
+    completions: Vec<(Address, u64, SimTime)>,
+    /// In-order bytes delivered in this shard.
+    bytes_received: u64,
+}
+
+impl StreamShardWorld {
+    /// Flush node `idx`'s outbox into the event fabric and harvest stream
+    /// deliveries/completions.
+    fn pump(&mut self, idx: usize, now: SimTime, ctl: &mut ShardCtl<StreamEv>) {
+        let src = self.lo + idx as u32;
+        let node = &mut self.nodes[idx];
+        for (ep, msg) in node.take_outbox() {
+            let Some(dst) = self.net.node_of(&ep) else {
+                continue;
+            };
+            let at = now + self.net.latency(src, dst);
+            ctl.send(
+                self.net.shard_of(dst) as usize,
+                at,
+                StreamEv::Deliver { src, dst, msg },
+            );
+        }
+        for (_, _, chunk) in node.take_stream_data() {
+            self.bytes_received += chunk.len() as u64;
+        }
+        for ev in node.take_stream_events() {
+            if let StreamEvent::RemoteClosed { remote, stream_id } = ev {
+                self.completions.push((remote, stream_id, now));
+            }
+        }
+        node.take_stream_accepted(); // acceptance is implicit in this workload
+    }
+}
+
+impl ShardWorld for StreamShardWorld {
+    type Ev = StreamEv;
+
+    fn handle(&mut self, now: SimTime, ev: StreamEv, ctl: &mut ShardCtl<StreamEv>) {
+        match ev {
+            StreamEv::Deliver { src, dst, msg } => {
+                let idx = (dst - self.lo) as usize;
+                let from = self.net.endpoint(src);
+                self.nodes[idx].on_message(now, from, msg);
+                self.pump(idx, now, ctl);
+            }
+            StreamEv::Tick { dst, remaining } => {
+                let idx = (dst - self.lo) as usize;
+                self.nodes[idx].on_tick(now);
+                self.pump(idx, now, ctl);
+                if remaining > 0 {
+                    ctl.send_local(
+                        now + self.interval,
+                        StreamEv::Tick {
+                            dst,
+                            remaining: remaining - 1,
+                        },
+                    );
+                }
+            }
+            StreamEv::Open { src, dst } => {
+                let idx = (src - self.lo) as usize;
+                let remote = self.addrs[dst as usize];
+                let body = self.payload.clone();
+                let me = self.nodes[idx].address();
+                let sid = self.nodes[idx].stream_connect(now, remote);
+                assert!(self.nodes[idx].stream_send(now, remote, sid, body));
+                self.nodes[idx].stream_close(now, remote, sid);
+                self.opens.push((me, sid, now));
+                self.pump(idx, now, ctl);
+            }
+        }
+    }
+}
+
+/// Run the many-streams fairness experiment.
+pub fn run_fairness(cfg: &FairnessConfig) -> FairnessReport {
+    let scfg = &cfg.scale;
+    assert!(
+        cfg.transfer_bytes <= ipop_overlay::vstream::DEFAULT_WINDOW as usize,
+        "one receive window must cover the transfer"
+    );
+    let WarmRing {
+        net,
+        addrs,
+        nodes,
+        slice,
+    } = build_warm_ring(scfg);
+    let mut body_rng = StreamRng::new(scfg.seed, "stream-body");
+    let payload = Bytes::from(
+        (0..cfg.transfer_bytes)
+            .map(|_| (body_rng.next_u64() & 0xFF) as u8)
+            .collect::<Vec<u8>>(),
+    );
+    let t0 = SimTime::ZERO;
+
+    let mut worlds = Vec::with_capacity(net.shards() as usize);
+    let mut nodes = nodes.into_iter();
+    for s in 0..net.shards() {
+        let count = (net.shard_end(s) - net.shard_start(s)) as usize;
+        worlds.push(StreamShardWorld {
+            net,
+            interval: scfg.maintenance_interval,
+            payload: payload.clone(),
+            addrs: addrs.clone(),
+            lo: net.shard_start(s),
+            nodes: nodes.by_ref().take(count).collect(),
+            opens: Vec::new(),
+            completions: Vec::new(),
+            bytes_received: 0,
+        });
+    }
+    let mut sim = ShardedSim::new(worlds, slice, scfg.parallel);
+
+    // Maintenance ticks, staggered across one interval (drives RTO sweeps).
+    let interval_ns = scfg.maintenance_interval.as_nanos();
+    for i in 0..scfg.nodes {
+        let at = t0 + Duration::from_nanos(i as u64 * interval_ns / scfg.nodes as u64);
+        sim.schedule(
+            net.shard_of(i) as usize,
+            at,
+            StreamEv::Tick {
+                dst: i,
+                remaining: scfg.maintenance_ticks,
+            },
+        );
+    }
+
+    // Open every stream near-simultaneously after maintenance settles.
+    let open_start = t0 + Duration::from_nanos(interval_ns * (scfg.maintenance_ticks as u64 + 2));
+    for i in 0..cfg.streams {
+        let src = i % scfg.nodes;
+        // Streams beyond one lap shift their target so repeat sources still
+        // spread over distinct pairs.
+        let dst = (src + cfg.stride + i / scfg.nodes) % scfg.nodes;
+        sim.schedule(
+            net.shard_of(src) as usize,
+            open_start + cfg.open_spacing * i as u64,
+            StreamEv::Open { src, dst },
+        );
+    }
+
+    let limit = open_start + cfg.open_spacing * cfg.streams as u64 + Duration::from_secs(60);
+    let outcome = sim.run_until(limit);
+
+    // Harvest: match completions (at receivers) back to opens (at senders)
+    // by (sender address, stream id).
+    let mut opened_at: BTreeMap<(Address, u64), SimTime> = BTreeMap::new();
+    for w in sim.worlds() {
+        for &(src, sid, at) in &w.opens {
+            opened_at.insert((src, sid), at);
+        }
+    }
+    let mut goodput_kbps = Vec::new();
+    let mut completed = 0u32;
+    let mut bytes_received = 0u64;
+    let mut retransmits = 0u64;
+    let mut failed = 0u64;
+    for w in sim.worlds() {
+        for &(src, sid, at) in &w.completions {
+            if let Some(&open) = opened_at.get(&(src, sid)) {
+                completed += 1;
+                let secs = at.saturating_since(open).as_secs_f64();
+                if secs > 0.0 {
+                    goodput_kbps.push(cfg.transfer_bytes as f64 / 1000.0 / secs);
+                }
+            }
+        }
+        bytes_received += w.bytes_received;
+        for node in &w.nodes {
+            let s = node.stats();
+            retransmits += s.stream_retransmits;
+            failed += s.stream_failed;
+        }
+    }
+
+    FairnessReport {
+        nodes: scfg.nodes,
+        shards: net.shards(),
+        streams: cfg.streams,
+        completed,
+        goodput_kbps,
+        bytes_received,
+        retransmits,
+        failed,
+        events: sim.executed(),
+        virtual_s: sim.now().saturating_since(SimTime::ZERO).as_secs_f64(),
+        trace_hash: sim.trace_hash(),
+        drained: outcome == ShardRunOutcome::Drained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttcp_stream_goodput_is_within_2x_of_the_wan_reference() {
+        let r = run_ttcp_stream(&TtcpStreamConfig::quick());
+        assert_eq!(r.bytes_received, r.transfer_bytes as u64);
+        assert_eq!(r.retransmits, 0, "lossless link: no RTO should fire");
+        assert!(
+            r.vs_reference() >= 0.5 && r.vs_reference() <= 2.0,
+            "goodput {:.1} KB/s outside 2x of the {REFERENCE_WAN_KBPS} KB/s reference",
+            r.kbps
+        );
+    }
+
+    fn tiny() -> FairnessConfig {
+        FairnessConfig {
+            scale: ScaleConfig {
+                shards: 4,
+                maintenance_ticks: 3,
+                probes: 0,
+                link_jitter: Duration::ZERO,
+                ..ScaleConfig::ring(96)
+            },
+            streams: 64,
+            transfer_bytes: 4 * 1024,
+            ..FairnessConfig::full()
+        }
+    }
+
+    #[test]
+    fn every_stream_completes_with_flat_goodput() {
+        let r = run_fairness(&tiny());
+        assert!(r.drained, "run must drain");
+        assert_eq!(r.completed, r.streams, "every stream must complete");
+        assert_eq!(r.bytes_received, 64 * 4 * 1024);
+        assert_eq!(r.failed, 0);
+        assert!(
+            r.fairness_ratio() <= 3.0,
+            "max/min goodput ratio {:.2} exceeds the fairness gate",
+            r.fairness_ratio()
+        );
+    }
+
+    #[test]
+    fn fairness_runs_are_deterministic_and_mode_independent() {
+        let mut seq = tiny();
+        seq.scale.parallel = false;
+        let a = run_fairness(&seq);
+        let b = run_fairness(&tiny());
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.completed, b.completed);
+    }
+}

@@ -63,6 +63,7 @@ pub use app::{AppEnv, NullApp, VirtualApp};
 pub use brunet_arp::{BrunetArp, Resolution};
 pub use builder::{deploy_ipop, deploy_plain, DeployOptions, IpopMember};
 pub use config::IpopConfig;
+pub use ipop_services::vstream::{StreamFate, VirtualStream};
 pub use node::{IpopHostAgent, IpopMetrics};
 pub use plain::PlainHostAgent;
 

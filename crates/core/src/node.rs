@@ -36,6 +36,7 @@ use ipop_packet::ipv4::Ipv4Packet;
 use ipop_services::dhcp::{DhcpAllocator, DhcpConfig, DhcpState};
 use ipop_services::name::NameService;
 use ipop_services::pubsub::{PubSub, TopicMessage};
+use ipop_services::vstream::{StreamFate, VirtualStream, VirtualStreams};
 use ipop_services::Subnet;
 use ipop_simcore::{Duration, SimTime, StreamRng, TimerToken};
 
@@ -104,6 +105,11 @@ pub struct IpopHostAgent {
     /// Messages delivered on subscribed topics, drained by the application
     /// via [`IpopHostAgent::take_topic_messages`].
     topic_messages: Vec<TopicMessage>,
+    /// Virtual-stream client state (per-stream inboxes and handles).
+    vstreams: VirtualStreams,
+    /// Streams that reached a terminal state, drained by the application
+    /// via [`IpopHostAgent::take_stream_fates`].
+    stream_fates: Vec<(VirtualStream, StreamFate)>,
     name_results: Vec<(String, Option<Ipv4Addr>)>,
     reverse_results: Vec<(Ipv4Addr, Option<String>)>,
     /// Outstanding Brunet-ARP probe tokens issued via
@@ -242,6 +248,8 @@ impl IpopHostAgent {
             name_service,
             pubsub,
             topic_messages: Vec::new(),
+            vstreams: VirtualStreams::new(),
+            stream_fates: Vec::new(),
             name_results: Vec::new(),
             reverse_results: Vec::new(),
             probe_tokens: std::collections::BTreeSet::new(),
@@ -459,9 +467,28 @@ impl IpopHostAgent {
         self.pubsub.publish(&mut self.overlay, now, topic, payload)
     }
 
-    /// Messages delivered on subscribed topics since the last call.
+    /// Messages delivered on subscribed topics since the last call — the
+    /// all-topics drain, in delivery order. For one topic's share use
+    /// [`IpopHostAgent::take_topic_messages_for`].
     pub fn take_topic_messages(&mut self) -> Vec<TopicMessage> {
         std::mem::take(&mut self.topic_messages)
+    }
+
+    /// Messages delivered on one named topic since the last call, in
+    /// delivery order; other topics' messages stay queued for their own
+    /// drain (clients no longer need to re-bucket the all-topics Vec).
+    pub fn take_topic_messages_for(&mut self, topic: &str) -> Vec<TopicMessage> {
+        let mut taken = Vec::new();
+        let mut kept = Vec::new();
+        for msg in std::mem::take(&mut self.topic_messages) {
+            if msg.topic == topic {
+                taken.push(msg);
+            } else {
+                kept.push(msg);
+            }
+        }
+        self.topic_messages = kept;
+        taken
     }
 
     /// Pub/sub client counters: `(published, received, unknown-topic drops)`.
@@ -471,6 +498,56 @@ impl IpopHostAgent {
             self.pubsub.received,
             self.pubsub.unknown_topic,
         )
+    }
+
+    /// Open a virtual stream — ordered, reliable bytes over routed overlay
+    /// frames — to the node whose overlay address is `remote`. The handle
+    /// arrives immediately; data queued on it flows once the handshake
+    /// completes. Remote opens surface via [`IpopHostAgent::stream_accept`],
+    /// data via [`IpopHostAgent::take_stream_data`], and lifecycle changes
+    /// via [`IpopHostAgent::take_stream_fates`].
+    pub fn stream_connect(&mut self, now: SimTime, remote: Address) -> VirtualStream {
+        self.last_pass = None;
+        self.vstreams.connect(&mut self.overlay, now, remote)
+    }
+
+    /// Claim the next stream a remote node opened to this one, if any.
+    pub fn stream_accept(&mut self) -> Option<VirtualStream> {
+        self.vstreams.accept()
+    }
+
+    /// Queue bytes on an open stream. Returns false when the stream is
+    /// unknown, closing or already gone.
+    pub fn stream_send(
+        &mut self,
+        now: SimTime,
+        stream: VirtualStream,
+        data: impl Into<ipop_packet::Bytes>,
+    ) -> bool {
+        self.last_pass = None;
+        self.vstreams.send(&mut self.overlay, now, stream, data)
+    }
+
+    /// Drain everything received on `stream` as one contiguous buffer.
+    pub fn take_stream_data(&mut self, stream: VirtualStream) -> Vec<u8> {
+        self.vstreams.recv_all(stream)
+    }
+
+    /// Close a stream; buffered data still delivers, then the FIN tears it
+    /// down in both directions.
+    pub fn stream_close(&mut self, now: SimTime, stream: VirtualStream) {
+        self.last_pass = None;
+        self.vstreams.close(&mut self.overlay, now, stream);
+    }
+
+    /// Streams that reached a terminal state since the last call.
+    pub fn take_stream_fates(&mut self) -> Vec<(VirtualStream, StreamFate)> {
+        std::mem::take(&mut self.stream_fates)
+    }
+
+    /// True once `stream`'s handshake has completed.
+    pub fn stream_established(&self, stream: VirtualStream) -> bool {
+        self.vstreams.is_established(stream)
     }
 
     /// Gracefully leave the virtual network: release the dynamic lease and
@@ -629,6 +706,14 @@ impl IpopHostAgent {
             let topic_msgs = self.pubsub.poll(&mut self.overlay);
             if !topic_msgs.is_empty() {
                 self.topic_messages.extend(topic_msgs);
+                progress = true;
+            }
+
+            // Virtual-stream accepts/data/events → per-stream inboxes and
+            // the terminal-fate queue.
+            let finished = self.vstreams.poll(&mut self.overlay);
+            if !finished.is_empty() {
+                self.stream_fates.extend(finished);
                 progress = true;
             }
 

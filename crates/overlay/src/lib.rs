@@ -19,6 +19,9 @@
 //! * [`transport`] — UDP and TCP adapters that carry overlay traffic over the
 //!   host's physical network stack, matching the two Brunet modes the paper
 //!   compares in Tables I–III.
+//! * [`vstream`] — connection-oriented, ordered, reliable virtual streams
+//!   between overlay addresses, multiplexed over routed frames on the same
+//!   zero-copy path as the IP tunnel.
 
 pub mod address;
 pub mod dht;
@@ -27,6 +30,7 @@ pub mod packets;
 pub mod pubsub;
 pub mod table;
 pub mod transport;
+pub mod vstream;
 
 pub use address::{Address, Distance};
 pub use dht::{DhtConfig, DhtRecord, DhtStore, SoftStateStore, SyncAction, SyncDigestEntry};
@@ -36,3 +40,4 @@ pub use packets::{
 };
 pub use table::{Connection, ConnectionState, ConnectionTable};
 pub use transport::{OverlayTransport, TcpTransport, TransportMode, UdpTransport};
+pub use vstream::{StreamEvent, StreamStats, VStreams, DEFAULT_WINDOW, MAX_SEGMENT};

@@ -23,6 +23,7 @@ use crate::packets::{
 };
 use crate::pubsub::{decode_subscriber_set, encode_subscriber_set, plan_fanout};
 use crate::table::{Connection, ConnectionState, ConnectionTable};
+use crate::vstream::{StreamEvent, VStreams};
 
 /// Configuration of an overlay node.
 #[derive(Clone, Debug)]
@@ -303,6 +304,32 @@ pub struct OverlayStats {
     /// left the overlay — the rest of the chunk still gets the message, only
     /// the departed head's own copy is lost.
     pub pubsub_salvaged: u64,
+    /// Publishes this node nacked as a topic root that had no subscriber-set
+    /// record yet (re-home window): the publisher retries instead of losing
+    /// the message.
+    pub pubsub_nacks_sent: u64,
+    /// Retryable publish nacks received back from a topic root.
+    pub pubsub_nacks_received: u64,
+    /// Publishes re-routed after a retryable nack.
+    pub pubsub_publish_retries: u64,
+    /// Publishes abandoned after exhausting the nack-retry budget.
+    pub pubsub_publish_failures: u64,
+    /// Virtual streams opened from this node (`stream_connect`).
+    pub stream_opened: u64,
+    /// Virtual streams accepted from remote SYNs.
+    pub stream_accepted: u64,
+    /// Stream DATA segments sent (first transmissions).
+    pub stream_data_sent: u64,
+    /// Stream DATA segments received in order and delivered.
+    pub stream_data_received: u64,
+    /// Stream frames re-sent on RTO expiry.
+    pub stream_retransmits: u64,
+    /// Streams that exhausted their retransmit budget.
+    pub stream_failed: u64,
+    /// Streams closed cleanly (either side's FIN acknowledged).
+    pub stream_closed: u64,
+    /// Stream frames for streams this node no longer (or never) tracked.
+    pub stream_orphan_frames: u64,
 }
 
 /// A topic this node subscribes to: the soft-state TTL it asked for and when
@@ -312,6 +339,36 @@ struct PubSubSubscription {
     ttl: Duration,
     last_renew: SimTime,
 }
+
+/// A publish this node originated, retained until the retry budget would be
+/// pointless: a topic root caught mid-re-home answers a retryable
+/// [`RoutedPayload::PubSubNack`] instead of dropping the message, and the
+/// publisher re-routes it from here once the backoff elapses.
+struct PendingPublish {
+    topic: Address,
+    payload: Bytes,
+    /// Nack-triggered retries so far.
+    attempts: u32,
+    /// When the next retry fires; `None` while the publish is in flight.
+    retry_at: Option<SimTime>,
+}
+
+/// Bound on retained publishes: old entries beyond this are evicted oldest
+/// first (a fan-out is not acknowledged, so "still pending" only means "not
+/// yet nacked and not yet evicted").
+const MAX_PENDING_PUBLISHES: usize = 64;
+
+/// Nack-triggered retries before a publish is abandoned (counted in
+/// [`OverlayStats::pubsub_publish_failures`]).
+const MAX_PUBLISH_RETRIES: u32 = 8;
+
+/// Base backoff between publish retries, doubled per attempt (capped).
+const PUBLISH_RETRY_BACKOFF: Duration = Duration::from_millis(250);
+
+/// Token used by internally originated quorum creates (pub/sub topic-record
+/// rewrites): [`OverlayNode::send_create_reply`] suppresses the reply for it.
+/// Real create tokens come from `fresh_token`, which starts at 1.
+const INTERNAL_QUORUM_TOKEN: u64 = 0;
 
 struct PendingLink {
     kind: ConnectionKind,
@@ -543,6 +600,15 @@ pub struct OverlayNode {
     pubsub_topics_seen: BTreeSet<Address>,
     /// Pub/sub messages delivered to this node: `(topic key, msg id, body)`.
     pubsub_inbox: VecDeque<(Address, u64, Bytes)>,
+    /// Publishes awaiting root confirmation of fan-out, keyed by msg id; a
+    /// retryable nack from a re-homing root schedules a re-route here.
+    /// Bounded: the oldest entries are evicted past
+    /// [`MAX_PENDING_PUBLISHES`].
+    pending_publishes: BTreeMap<u64, PendingPublish>,
+    /// Insertion order of `pending_publishes` for bounded eviction.
+    publish_order: VecDeque<u64>,
+    /// The virtual-stream engine (see [`crate::vstream`]).
+    vstreams: VStreams,
     next_token: u64,
     rng: StreamRng,
     stats: OverlayStats,
@@ -578,6 +644,9 @@ impl OverlayNode {
             pubsub_subs: BTreeMap::new(),
             pubsub_topics_seen: BTreeSet::new(),
             pubsub_inbox: VecDeque::new(),
+            pending_publishes: BTreeMap::new(),
+            publish_order: VecDeque::new(),
+            vstreams: VStreams::new(),
             next_token: 1,
             rng,
             stats: OverlayStats::default(),
@@ -601,6 +670,15 @@ impl OverlayNode {
         s.dht_records = self.dht.len() as u64;
         s.dht_bytes = self.dht.stored_bytes() as u64;
         s.dht_replicas = self.dht.replicas_held() as u64;
+        let vs = &self.vstreams.stats;
+        s.stream_opened = vs.opened;
+        s.stream_accepted = vs.accepted;
+        s.stream_data_sent = vs.data_sent;
+        s.stream_data_received = vs.data_received;
+        s.stream_retransmits = vs.retransmits;
+        s.stream_failed = vs.failed;
+        s.stream_closed = vs.closed;
+        s.stream_orphan_frames = vs.orphan_frames;
         s
     }
 
@@ -956,6 +1034,34 @@ impl OverlayNode {
         payload: impl Into<Bytes>,
     ) -> u64 {
         let msg_id = self.rng.next_u64();
+        let payload = payload.into();
+        // Retain the message until the root either fans it out (no nack ever
+        // comes back; the entry ages out of the bounded table) or nacks it
+        // (re-home window: the retry re-routes to the key's current owner).
+        self.pending_publishes.insert(
+            msg_id,
+            PendingPublish {
+                topic,
+                payload: payload.clone(),
+                attempts: 0,
+                retry_at: None,
+            },
+        );
+        self.publish_order.push_back(msg_id);
+        while self.pending_publishes.len() > MAX_PENDING_PUBLISHES {
+            match self.publish_order.pop_front() {
+                Some(old) => {
+                    self.pending_publishes.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.send_publish(now, topic, msg_id, payload);
+        msg_id
+    }
+
+    /// Route one `PubSubPublish` frame towards the topic key's current owner.
+    fn send_publish(&mut self, now: SimTime, topic: Address, msg_id: u64, payload: Bytes) {
         let pkt = RoutedPacket::new(
             self.cfg.address,
             topic,
@@ -963,12 +1069,29 @@ impl OverlayNode {
             RoutedPayload::PubSubPublish {
                 topic,
                 msg_id,
-                payload: payload.into(),
+                payload,
             },
         );
         self.stats.originated += 1;
         self.route(now, pkt);
-        msg_id
+    }
+
+    /// A topic root nacked one of our publishes (it had no subscriber-set
+    /// record — typically mid-re-home). Schedule a backed-off retry; after
+    /// [`MAX_PUBLISH_RETRIES`] the publish is abandoned and counted.
+    fn on_pubsub_nack(&mut self, now: SimTime, msg_id: u64) {
+        let Some(p) = self.pending_publishes.get_mut(&msg_id) else {
+            return; // evicted, already failed, or not ours
+        };
+        self.stats.pubsub_nacks_received += 1;
+        if p.attempts >= MAX_PUBLISH_RETRIES {
+            self.pending_publishes.remove(&msg_id);
+            self.publish_order.retain(|id| *id != msg_id);
+            self.stats.pubsub_publish_failures += 1;
+            return;
+        }
+        let backoff = Duration::from_nanos(PUBLISH_RETRY_BACKOFF.as_nanos() << p.attempts.min(4));
+        p.retry_at = Some(now + backoff);
     }
 
     fn send_subscribe(&mut self, now: SimTime, topic: Address, ttl: Duration) {
@@ -1036,15 +1159,26 @@ impl OverlayNode {
             None => Self::version_for(now),
         };
         self.pubsub_topics_seen.insert(topic);
-        self.store_record(
+        let value = encode_subscriber_set(entries);
+        self.store_record(now, topic, value.clone(), ttl_ms, false, version);
+        // Push the rewrite through the quorum create path — the same conflict
+        // rules as DHCP lease claims — instead of fire-and-forget
+        // replication. During a root re-home the *old* root's replicas may
+        // hold the new root's fresher record; their `stored: false` acks
+        // starve the quorum and the stale rewrite is withdrawn (from this
+        // store and any replica that took it) rather than resurrected as a
+        // ghost subscriber set. The sentinel token suppresses the
+        // `DhtCreateReply` no caller is waiting for.
+        self.commit_create(
             now,
             topic,
-            encode_subscriber_set(entries),
+            value,
             ttl_ms,
-            false,
             version,
+            INTERNAL_QUORUM_TOKEN,
+            self.cfg.address,
+            None,
         );
-        self.replicate_key(now, topic);
     }
 
     /// Send one relay-tree level: split `recipients` into at most
@@ -1093,6 +1227,22 @@ impl OverlayNode {
             }
             self.send_subscribe(now, topic, ttl);
         }
+        // Nacked publishes whose backoff elapsed re-route to whoever owns
+        // the topic key now.
+        let retries: Vec<(u64, Address, Bytes)> = self
+            .pending_publishes
+            .iter()
+            .filter(|(_, p)| p.retry_at.is_some_and(|t| t <= now))
+            .map(|(id, p)| (*id, p.topic, p.payload.clone()))
+            .collect();
+        for (msg_id, topic, payload) in retries {
+            if let Some(p) = self.pending_publishes.get_mut(&msg_id) {
+                p.attempts += 1;
+                p.retry_at = None;
+            }
+            self.stats.pubsub_publish_retries += 1;
+            self.send_publish(now, topic, msg_id, payload);
+        }
     }
 
     /// Receipt-driven cleanup: when the link monitor declares `peer` dead,
@@ -1123,6 +1273,67 @@ impl OverlayNode {
                 self.stats.pubsub_pruned += 1;
                 self.pubsub_store_entries(now, topic, &entries);
             }
+        }
+    }
+
+    // ---------------------------------------------------------- virtual streams
+
+    /// Open a virtual stream to `remote` and return its id. The stream id
+    /// carries an address-order parity bit so simultaneous opens in both
+    /// directions can never collide in the peer's `(remote, id)` table.
+    pub fn stream_connect(&mut self, now: SimTime, remote: Address) -> u64 {
+        let parity = u64::from(self.cfg.address > remote);
+        let stream_id = (self.fresh_token() << 1) | parity;
+        self.vstreams.connect(now, remote, stream_id);
+        self.flush_streams(now);
+        stream_id
+    }
+
+    /// Queue bytes for ordered, reliable delivery on an open stream. Returns
+    /// false if the stream is unknown or already closing.
+    pub fn stream_send(
+        &mut self,
+        now: SimTime,
+        remote: Address,
+        stream_id: u64,
+        data: impl Into<Bytes>,
+    ) -> bool {
+        let ok = self.vstreams.send(now, remote, stream_id, data.into());
+        self.flush_streams(now);
+        ok
+    }
+
+    /// Close a stream: buffered data still delivers, then a FIN tears the
+    /// stream down in both directions.
+    pub fn stream_close(&mut self, now: SimTime, remote: Address, stream_id: u64) {
+        self.vstreams.close(now, remote, stream_id);
+        self.flush_streams(now);
+    }
+
+    /// Streams accepted from remote SYNs since the last call:
+    /// `(remote, stream id)`.
+    pub fn take_stream_accepted(&mut self) -> Vec<(Address, u64)> {
+        self.vstreams.take_accepted()
+    }
+
+    /// In-order stream payload since the last call: `(remote, stream id,
+    /// chunk)`. Chunks are zero-copy views of the received wire frames.
+    pub fn take_stream_data(&mut self) -> Vec<(Address, u64, Bytes)> {
+        self.vstreams.take_recv()
+    }
+
+    /// Stream lifecycle events since the last call.
+    pub fn take_stream_events(&mut self) -> Vec<StreamEvent> {
+        self.vstreams.take_events()
+    }
+
+    /// Route every frame the stream engine queued. Stream frames address a
+    /// specific node, so they ride `Exact` delivery like tunnel traffic.
+    fn flush_streams(&mut self, now: SimTime) {
+        for (remote, payload) in self.vstreams.take_outgoing() {
+            let pkt = RoutedPacket::new(self.cfg.address, remote, DeliveryMode::Exact, payload);
+            self.stats.originated += 1;
+            self.route(now, pkt);
         }
     }
 
@@ -1288,8 +1499,13 @@ impl OverlayNode {
         // 6. DHT soft-state maintenance: expiry, lease renewal, re-replication.
         self.dht_tick(now);
         // 6b. Pub/sub soft state: renew this node's subscriptions at TTL/2
-        //     (the renewal also re-homes them after a topic-root crash).
+        //     (the renewal also re-homes them after a topic-root crash) and
+        //     re-route nacked publishes whose backoff elapsed.
         self.pubsub_tick(now);
+        // 6c. Virtual streams: the RTO sweep rides the same maintenance
+        //     alarm as every other deterministic timer.
+        self.vstreams.tick(now);
+        self.flush_streams(now);
         // 7. Gossip our neighbour view to every established peer: ring
         //    neighbours on both sides plus a random sample, so knowledge of a
         //    node spreads along the ring and the near sets can converge.
@@ -1620,18 +1836,7 @@ impl OverlayNode {
                                 rec.expires_at = rec.expires_at.max(t);
                             }
                         }
-                        let reply = RoutedPacket::new(
-                            self.cfg.address,
-                            qc.origin,
-                            DeliveryMode::Exact,
-                            RoutedPayload::DhtCreateReply {
-                                token: qc.origin_token,
-                                created: true,
-                                existing: None,
-                            },
-                        );
-                        self.stats.originated += 1;
-                        self.route(now, reply);
+                        self.send_create_reply(now, qc.origin, qc.origin_token, true, None);
                     }
                 }
             }
@@ -1761,6 +1966,30 @@ impl OverlayNode {
                 // order; if this node subscribes too it takes its copy
                 // directly instead of sending itself a Deliver.
                 let (topic, msg_id, payload) = (*topic, *msg_id, payload.clone());
+                if self
+                    .dht
+                    .get(&topic)
+                    .filter(|rec| !rec.expired(now))
+                    .is_none()
+                {
+                    // No subscriber-set record here. Either the topic truly
+                    // has no subscribers, or this root is mid-re-home and the
+                    // record has not migrated yet. Dropping silently loses
+                    // the message in the second case — answer a retryable
+                    // nack so the publisher re-routes (the retry lands after
+                    // the ring repairs and reaches whoever owns the key by
+                    // then).
+                    self.stats.pubsub_nacks_sent += 1;
+                    let nack = RoutedPacket::new(
+                        self.cfg.address,
+                        pkt.src,
+                        DeliveryMode::Exact,
+                        RoutedPayload::PubSubNack { topic, msg_id },
+                    );
+                    self.stats.originated += 1;
+                    self.route(now, nack);
+                    return;
+                }
                 self.stats.pubsub_publishes += 1;
                 let mut recipients: Vec<Address> = self
                     .pubsub_live_entries(now, &topic)
@@ -1792,6 +2021,18 @@ impl OverlayNode {
                     self.stats.pubsub_relayed += 1;
                     self.pubsub_fan_out(now, topic, msg_id, &payload, &relay_to);
                 }
+            }
+            RoutedPayload::PubSubNack { msg_id, .. } => {
+                let msg_id = *msg_id;
+                self.on_pubsub_nack(now, msg_id);
+            }
+            RoutedPayload::StreamSyn { .. }
+            | RoutedPayload::StreamSynAck { .. }
+            | RoutedPayload::StreamData { .. }
+            | RoutedPayload::StreamAck { .. }
+            | RoutedPayload::StreamFin { .. } => {
+                self.vstreams.on_payload(now, pkt.src, &pkt.payload);
+                self.flush_streams(now);
             }
         }
     }
@@ -2536,6 +2777,37 @@ impl OverlayNode {
         self.commit_create(now, key, value, ttl_ms, version, token, origin, None);
     }
 
+    /// Send (or suppress) the `DhtCreateReply` concluding a create. Internal
+    /// quorum writes — pub/sub root rewrites pushed through the same conflict
+    /// rules as lease claims — carry [`INTERNAL_QUORUM_TOKEN`] with this
+    /// node's own address as origin; their outcome is visible in the store
+    /// itself, so no reply is emitted (and none could be matched: real
+    /// tokens start at 1).
+    fn send_create_reply(
+        &mut self,
+        now: SimTime,
+        origin: Address,
+        token: u64,
+        created: bool,
+        existing: Option<Bytes>,
+    ) {
+        if token == INTERNAL_QUORUM_TOKEN && origin == self.cfg.address {
+            return;
+        }
+        let reply = RoutedPacket::new(
+            self.cfg.address,
+            origin,
+            DeliveryMode::Exact,
+            RoutedPayload::DhtCreateReply {
+                token,
+                created,
+                existing,
+            },
+        );
+        self.stats.originated += 1;
+        self.route(now, reply);
+    }
+
     /// Commit a stored claim or renewal: push the record to the key's replica
     /// set with an ack token and answer `created` once a majority of the copy
     /// set holds it (immediately when the copy set is just this node).
@@ -2578,18 +2850,7 @@ impl OverlayNode {
             }
             self.stats.dht_quorum_writes += 1;
             self.stats.dht_quorum_write_timeouts += 1;
-            let reply = RoutedPacket::new(
-                self.cfg.address,
-                origin,
-                DeliveryMode::Exact,
-                RoutedPayload::DhtCreateReply {
-                    token,
-                    created: false,
-                    existing: None,
-                },
-            );
-            self.stats.originated += 1;
-            self.route(now, reply);
+            self.send_create_reply(now, origin, token, false, None);
             return;
         }
         if targets.is_empty() {
@@ -2602,18 +2863,7 @@ impl OverlayNode {
                 }
             }
             self.replicate_key(now, key);
-            let reply = RoutedPacket::new(
-                self.cfg.address,
-                origin,
-                DeliveryMode::Exact,
-                RoutedPayload::DhtCreateReply {
-                    token,
-                    created: true,
-                    existing: None,
-                },
-            );
-            self.stats.originated += 1;
-            self.route(now, reply);
+            self.send_create_reply(now, origin, token, true, None);
             return;
         }
         let op = self.fresh_token();
@@ -2688,18 +2938,7 @@ impl OverlayNode {
                 self.route(now, withdraw);
             }
         }
-        let reply = RoutedPacket::new(
-            self.cfg.address,
-            qc.origin,
-            DeliveryMode::Exact,
-            RoutedPayload::DhtCreateReply {
-                token: qc.origin_token,
-                created: false,
-                existing: None,
-            },
-        );
-        self.stats.originated += 1;
-        self.route(now, reply);
+        self.send_create_reply(now, qc.origin, qc.origin_token, false, None);
     }
 
     /// Intercept a `DhtCreateReply` belonging to a lease renewal this node
@@ -4728,5 +4967,148 @@ mod tests {
                 "live subscriber {i} lost the message to the dead chunk head"
             );
         }
+    }
+
+    #[test]
+    fn virtual_stream_transfers_bytes_across_the_ring() {
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let dst = h.nodes[6].address();
+        let now = h.now;
+        let sid = h.nodes[1].stream_connect(now, dst);
+        h.pump();
+        assert_eq!(
+            h.nodes[6].take_stream_accepted(),
+            vec![(h.nodes[1].address(), sid)]
+        );
+        let body: Vec<u8> = (0..10_000u32).map(|i| (i % 241) as u8).collect();
+        let now = h.now;
+        assert!(h.nodes[1].stream_send(now, dst, sid, body.clone()));
+        h.nodes[1].stream_close(now, dst, sid);
+        h.run(4);
+        let got: Vec<u8> = h.nodes[6]
+            .take_stream_data()
+            .into_iter()
+            .flat_map(|(_, _, c)| c.to_vec())
+            .collect();
+        assert_eq!(got, body, "stream bytes arrive complete and in order");
+        assert!(h.nodes[6]
+            .take_stream_events()
+            .iter()
+            .any(|e| matches!(e, StreamEvent::RemoteClosed { .. })));
+        assert!(h.nodes[1]
+            .take_stream_events()
+            .iter()
+            .any(|e| matches!(e, StreamEvent::Closed { .. })));
+        assert_eq!(h.nodes[1].stats().stream_opened, 1);
+        assert_eq!(h.nodes[6].stats().stream_accepted, 1);
+        assert_eq!(h.nodes[6].stats().stream_closed, 1);
+    }
+
+    #[test]
+    fn simultaneous_stream_opens_in_both_directions_do_not_collide() {
+        let mut h = Harness::new(2);
+        h.start_all();
+        let (a0, a1) = (h.nodes[0].address(), h.nodes[1].address());
+        let now = h.now;
+        // Both sides open with the same token counter value; the parity bit
+        // keeps the ids distinct in each other's (remote, id) tables.
+        let s01 = h.nodes[0].stream_connect(now, a1);
+        let s10 = h.nodes[1].stream_connect(now, a0);
+        h.pump();
+        let now = h.now;
+        assert!(h.nodes[0].stream_send(now, a1, s01, b"zero to one".to_vec()));
+        assert!(h.nodes[1].stream_send(now, a0, s10, b"one to zero".to_vec()));
+        h.pump();
+        let at1: Vec<u8> = h.nodes[1]
+            .take_stream_data()
+            .into_iter()
+            .flat_map(|(_, _, c)| c.to_vec())
+            .collect();
+        let at0: Vec<u8> = h.nodes[0]
+            .take_stream_data()
+            .into_iter()
+            .flat_map(|(_, _, c)| c.to_vec())
+            .collect();
+        assert_eq!(at1, b"zero to one");
+        assert_eq!(at0, b"one to zero");
+        assert_eq!(h.nodes[0].take_stream_accepted(), vec![(a1, s10)]);
+        assert_eq!(h.nodes[1].take_stream_accepted(), vec![(a0, s01)]);
+    }
+
+    #[test]
+    fn publish_at_recordless_root_is_nacked_and_retried_not_lost() {
+        // The re-home window in miniature: the publish lands (Closest) on a
+        // node that does not hold the topic's subscriber-set record yet —
+        // exactly what happens when a publish beats the record migration to
+        // the new root after a crash. The bare root must nack, and the
+        // publisher must re-route until the record is reachable again.
+        let mut h = Harness::new(8);
+        h.start_all();
+        h.run(20);
+        let topic = crate::pubsub::topic_key("rehome-nack");
+        let root = h.owner_of(&topic);
+        let subscribers: Vec<usize> = (0..h.nodes.len()).filter(|&i| i != root).collect();
+        let now = h.now;
+        for &i in &subscribers {
+            h.nodes[i].pubsub_subscribe(now, topic, Duration::from_secs(600));
+        }
+        h.pump();
+        // Publisher registers the publish, but the frame is steered to a
+        // node that is NOT the topic owner (Exact to a wrong address while
+        // the payload still names the topic) — the "new root without the
+        // record" of the re-home window.
+        let publisher = subscribers[0];
+        let wrong = *subscribers
+            .iter()
+            .find(|&&i| i != publisher && !h.nodes[i].owns_key(&topic))
+            .unwrap();
+        let msg_id = 0xDEAD_BEEF;
+        let payload = Bytes::from(b"risky".as_slice());
+        h.nodes[publisher].pending_publishes.insert(
+            msg_id,
+            PendingPublish {
+                topic,
+                payload: payload.clone(),
+                attempts: 0,
+                retry_at: None,
+            },
+        );
+        h.nodes[publisher].publish_order.push_back(msg_id);
+        let now = h.now;
+        let wrong_addr = h.nodes[wrong].address();
+        let src = h.nodes[publisher].address();
+        let pkt = RoutedPacket::new(
+            src,
+            wrong_addr,
+            DeliveryMode::Exact,
+            RoutedPayload::PubSubPublish {
+                topic,
+                msg_id,
+                payload,
+            },
+        );
+        h.nodes[publisher].route(now, pkt);
+        h.pump(); // nack comes back
+        assert_eq!(h.nodes[wrong].stats().pubsub_nacks_sent, 1);
+        assert_eq!(h.nodes[publisher].stats().pubsub_nacks_received, 1);
+        // The backoff elapses on the maintenance tick; the retry routes
+        // Closest and reaches the real root, which fans out.
+        h.run(4);
+        let mut delivered_to = 0;
+        for &i in &subscribers {
+            let got = h.nodes[i].take_pubsub_delivered();
+            if got.iter().any(|(t, m, _)| (*t, *m) == (topic, msg_id)) {
+                delivered_to += 1;
+            }
+        }
+        assert_eq!(
+            delivered_to,
+            subscribers.len(),
+            "the nacked publish must still reach every subscriber"
+        );
+        assert!(h.nodes[publisher].stats().pubsub_publish_retries >= 1);
+        assert_eq!(h.nodes[publisher].stats().pubsub_publish_failures, 0);
     }
 }

@@ -266,6 +266,67 @@ pub enum RoutedPayload {
         /// Message body (shared).
         payload: Bytes,
     },
+    /// A retryable refusal of a [`RoutedPayload::PubSubPublish`]: the node
+    /// that received the publish is (transiently) closest to the topic key
+    /// but holds no live subscriber-set record — typically the re-home window
+    /// after a topic-root crash, before the record migrates. The publisher
+    /// re-originates the same message (same id) after a short backoff instead
+    /// of losing it.
+    PubSubNack {
+        /// The topic's DHT key, echoed from the publish.
+        topic: Address,
+        /// Message id echoed from the publish.
+        msg_id: u64,
+    },
+    /// Open a virtual stream to the destination node: the active side of the
+    /// SYN / SYN-ACK handshake. Routed `Exact` — streams connect overlay
+    /// *nodes*, not ring regions.
+    StreamSyn {
+        /// Initiator-drawn stream id, unique per (initiator, remote) pair.
+        stream_id: u64,
+        /// The initiator's initial receive window, in bytes.
+        window: u32,
+    },
+    /// Accept a [`RoutedPayload::StreamSyn`], completing the handshake.
+    StreamSynAck {
+        /// Stream id echoed from the SYN.
+        stream_id: u64,
+        /// The acceptor's initial receive window, in bytes.
+        window: u32,
+    },
+    /// One ordered segment of stream payload. The body is encoded *last* (as
+    /// in [`RoutedPayload::PubSubDeliver`]) so forwarding hops patch the
+    /// cached wire image instead of re-encoding, and receivers slice the body
+    /// out of the shared buffer.
+    StreamData {
+        /// Stream id (scoped to the sending node).
+        stream_id: u64,
+        /// Byte offset of the first payload byte in the stream.
+        seq: u64,
+        /// The sender's current receive window (piggybacked flow control).
+        window: u32,
+        /// Segment payload (shared).
+        payload: Bytes,
+    },
+    /// Cumulative acknowledgement of stream data: everything below `ack` has
+    /// been received in order. Also the window-update vehicle — the receiver
+    /// re-opens its window here as the application drains.
+    StreamAck {
+        /// Stream id echoed from the data.
+        stream_id: u64,
+        /// Next byte offset expected (everything below it is acknowledged).
+        ack: u64,
+        /// The acker's current receive window, in bytes.
+        window: u32,
+    },
+    /// Close one direction of a stream. The FIN occupies one sequence number
+    /// (`seq`), so it is acknowledged — and retransmitted — like data.
+    StreamFin {
+        /// Stream id.
+        stream_id: u64,
+        /// Sequence number of the FIN (one past the last payload byte).
+        seq: u64,
+    },
 }
 
 /// A packet routed hop-by-hop across the overlay ring.
@@ -283,8 +344,9 @@ pub struct RoutedPacket {
     pub ttl: u8,
     /// Payload.
     pub payload: RoutedPayload,
-    /// Wire image this packet was decoded from, when it carries an IP tunnel
-    /// or a pub/sub delivery (the two payloads forwarded verbatim in bulk).
+    /// Wire image this packet was decoded from, when it carries an IP tunnel,
+    /// a pub/sub delivery or a stream segment (the payloads forwarded
+    /// verbatim in bulk).
     /// Forwarding nodes re-encode by patching the hop/TTL bytes of this image
     /// instead of re-serializing the whole tunnelled payload; validity is
     /// checked structurally in [`LinkMessage::to_wire`], so mutating header
@@ -408,6 +470,10 @@ const ROUTED_TUNNEL_OFFSET: usize = 49;
 /// routed header 44 + payload tag 1 + topic 20 + msg_id 8 + relay count 2 +
 /// body length 4. The body starts at `PUBSUB_DELIVER_FIXED + 20 × relays`.
 const PUBSUB_DELIVER_FIXED: usize = 79;
+/// Fixed bytes of an encoded `StreamData` besides the body: routed header 44 +
+/// payload tag 1 + stream_id 8 + seq 8 + window 4 + body length 4. The body
+/// starts at `STREAM_DATA_FIXED`.
+const STREAM_DATA_FIXED: usize = 69;
 
 // --------------------------------------------------------------------- encoding
 
@@ -425,6 +491,9 @@ impl Writer {
         self.buf.push(v);
     }
     fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
     fn u64(&mut self, v: u64) {
@@ -608,6 +677,19 @@ impl RoutedPacket {
                         .enumerate()
                         .all(|(i, addr)| wire[75 + 20 * i..95 + 20 * i] == addr.0)
                     && payload.same_region(&wire.slice(body_at..))
+            }
+            RoutedPayload::StreamData {
+                stream_id,
+                seq,
+                window,
+                payload,
+            } => {
+                wire.len() == STREAM_DATA_FIXED + payload.len()
+                    && wire[44] == 23
+                    && wire[45..53] == stream_id.to_be_bytes()
+                    && wire[53..61] == seq.to_be_bytes()
+                    && wire[61..65] == window.to_be_bytes()
+                    && payload.same_region(&wire.slice(STREAM_DATA_FIXED..))
             }
             _ => return None,
         };
@@ -830,6 +912,50 @@ impl RoutedPacket {
                 }
                 w.bytes32(payload);
             }
+            RoutedPayload::PubSubNack { topic, msg_id } => {
+                w.u8(20);
+                w.addr(topic);
+                w.u64(*msg_id);
+            }
+            RoutedPayload::StreamSyn { stream_id, window } => {
+                w.u8(21);
+                w.u64(*stream_id);
+                w.u32(*window);
+            }
+            RoutedPayload::StreamSynAck { stream_id, window } => {
+                w.u8(22);
+                w.u64(*stream_id);
+                w.u32(*window);
+            }
+            RoutedPayload::StreamData {
+                stream_id,
+                seq,
+                window,
+                payload,
+            } => {
+                // Body last, so a forwarding hop's patch path and the receive
+                // decode can share the buffer region (see STREAM_DATA_FIXED).
+                w.u8(23);
+                w.u64(*stream_id);
+                w.u64(*seq);
+                w.u32(*window);
+                w.bytes32(payload);
+            }
+            RoutedPayload::StreamAck {
+                stream_id,
+                ack,
+                window,
+            } => {
+                w.u8(24);
+                w.u64(*stream_id);
+                w.u64(*ack);
+                w.u32(*window);
+            }
+            RoutedPayload::StreamFin { stream_id, seq } => {
+                w.u8(25);
+                w.u64(*stream_id);
+                w.u64(*seq);
+            }
         }
     }
 
@@ -984,6 +1110,33 @@ impl RoutedPacket {
                     payload: r.bytes32()?,
                 }
             }
+            20 => RoutedPayload::PubSubNack {
+                topic: r.addr()?,
+                msg_id: r.u64()?,
+            },
+            21 => RoutedPayload::StreamSyn {
+                stream_id: r.u64()?,
+                window: r.u32()?,
+            },
+            22 => RoutedPayload::StreamSynAck {
+                stream_id: r.u64()?,
+                window: r.u32()?,
+            },
+            23 => RoutedPayload::StreamData {
+                stream_id: r.u64()?,
+                seq: r.u64()?,
+                window: r.u32()?,
+                payload: r.bytes32()?,
+            },
+            24 => RoutedPayload::StreamAck {
+                stream_id: r.u64()?,
+                ack: r.u64()?,
+                window: r.u32()?,
+            },
+            25 => RoutedPayload::StreamFin {
+                stream_id: r.u64()?,
+                seq: r.u64()?,
+            },
             _ => return Err(ParseError::Unsupported("routed payload")),
         };
         Ok(RoutedPacket {
@@ -1097,7 +1250,9 @@ impl LinkMessage {
         if let LinkMessage::Routed(pkt) = &mut msg {
             if matches!(
                 pkt.payload,
-                RoutedPayload::IpTunnel(_) | RoutedPayload::PubSubDeliver { .. }
+                RoutedPayload::IpTunnel(_)
+                    | RoutedPayload::PubSubDeliver { .. }
+                    | RoutedPayload::StreamData { .. }
             ) {
                 pkt.wire = Some(data.clone());
             }
@@ -1383,6 +1538,39 @@ mod tests {
                 relay_to: vec![],
                 payload: vec![].into(),
             },
+            RoutedPayload::PubSubNack {
+                topic: a(20),
+                msg_id: 7,
+            },
+            RoutedPayload::StreamSyn {
+                stream_id: 0x1234_5678_9ABC_DEF0,
+                window: 65_536,
+            },
+            RoutedPayload::StreamSynAck {
+                stream_id: 0x1234_5678_9ABC_DEF0,
+                window: 32_768,
+            },
+            RoutedPayload::StreamData {
+                stream_id: 3,
+                seq: 1_048_576,
+                window: 16_384,
+                payload: vec![0x66; 1200].into(),
+            },
+            RoutedPayload::StreamData {
+                stream_id: 3,
+                seq: 0,
+                window: 0,
+                payload: vec![].into(),
+            },
+            RoutedPayload::StreamAck {
+                stream_id: 3,
+                ack: 1_049_776,
+                window: 65_536,
+            },
+            RoutedPayload::StreamFin {
+                stream_id: 3,
+                seq: 1_049_776,
+            },
         ];
         for p in payloads {
             let pkt = RoutedPacket::new(a(1), a(2), DeliveryMode::Closest, p);
@@ -1560,6 +1748,75 @@ mod tests {
         assert_eq!(
             patched.as_slice(),
             LinkMessage::Routed(decoded).to_bytes().as_slice()
+        );
+    }
+
+    #[test]
+    fn stream_data_forwarding_patches_cached_wire() {
+        // A forwarding hop that bumps hops/ttl on a stream segment must
+        // produce exactly the bytes a full re-encode would, without touching
+        // the body region.
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::StreamData {
+                stream_id: 42,
+                seq: 9_000,
+                window: 65_536,
+                payload: vec![0x5A; 1400].into(),
+            },
+        );
+        let wire = LinkMessage::Routed(pkt).to_wire();
+        let LinkMessage::Routed(mut decoded) = LinkMessage::from_wire(&wire).unwrap() else {
+            panic!("expected routed")
+        };
+        // Unmutated: the cached image is reused as-is, zero copy.
+        assert!(LinkMessage::Routed(decoded.clone())
+            .to_wire()
+            .same_region(&wire));
+        // The body itself is a slice of the wire buffer, not a copy.
+        let RoutedPayload::StreamData { payload, .. } = &decoded.payload else {
+            panic!("expected stream data")
+        };
+        assert!(payload.same_region(&wire.slice(wire.len() - payload.len()..)));
+        decoded.hops += 1;
+        decoded.ttl -= 1;
+        let patched = LinkMessage::Routed(decoded.clone()).to_wire();
+        assert_eq!(
+            patched.as_slice(),
+            LinkMessage::Routed(decoded).to_bytes().as_slice()
+        );
+    }
+
+    #[test]
+    fn stream_data_patch_rejects_mutated_fields() {
+        // Any field change besides hops/ttl must fall back to a full
+        // re-encode (the cached image no longer matches structurally).
+        let pkt = RoutedPacket::new(
+            a(1),
+            a(2),
+            DeliveryMode::Exact,
+            RoutedPayload::StreamData {
+                stream_id: 7,
+                seq: 100,
+                window: 1_000,
+                payload: vec![0x11; 64].into(),
+            },
+        );
+        let wire = LinkMessage::Routed(pkt).to_wire();
+        let LinkMessage::Routed(decoded) = LinkMessage::from_wire(&wire).unwrap() else {
+            panic!("expected routed")
+        };
+        let mut mutated = decoded.clone();
+        let RoutedPayload::StreamData { seq, .. } = &mut mutated.payload else {
+            panic!("expected stream data")
+        };
+        *seq += 1;
+        let reencoded = LinkMessage::Routed(mutated.clone()).to_wire();
+        assert_eq!(
+            reencoded.as_slice(),
+            LinkMessage::Routed(mutated).to_bytes().as_slice()
         );
     }
 

@@ -157,7 +157,34 @@ fn corpus(a: Address, b: Address, token: u64, payload: Vec<u8>, entries: u8) -> 
             topic: a,
             msg_id: token,
             relay_to: (0..entries).map(|i| Address([i; 20])).collect(),
+            payload: Bytes::from(payload.clone()),
+        }),
+        routed(RoutedPayload::PubSubNack {
+            topic: a,
+            msg_id: token,
+        }),
+        routed(RoutedPayload::StreamSyn {
+            stream_id: token,
+            window: token as u32,
+        }),
+        routed(RoutedPayload::StreamSynAck {
+            stream_id: token,
+            window: token as u32,
+        }),
+        routed(RoutedPayload::StreamData {
+            stream_id: token,
+            seq: token,
+            window: token as u32,
             payload: Bytes::from(payload),
+        }),
+        routed(RoutedPayload::StreamAck {
+            stream_id: token,
+            ack: token,
+            window: token as u32,
+        }),
+        routed(RoutedPayload::StreamFin {
+            stream_id: token,
+            seq: token,
         }),
     ]
 }

@@ -199,6 +199,62 @@ proptest! {
     }
 
     #[test]
+    fn stream_messages_round_trip(src in arb_addr(), dst in arb_addr(), topic in arb_addr(),
+                                  stream_id: u64, seq: u64, ack: u64, msg_id: u64,
+                                  window: u32,
+                                  body in proptest::collection::vec(any::<u8>(), 0..1400)) {
+        for payload in [
+            RoutedPayload::PubSubNack { topic, msg_id },
+            RoutedPayload::StreamSyn { stream_id, window },
+            RoutedPayload::StreamSynAck { stream_id, window },
+            RoutedPayload::StreamData { stream_id, seq, window, payload: body.clone().into() },
+            RoutedPayload::StreamAck { stream_id, ack, window },
+            RoutedPayload::StreamFin { stream_id, seq },
+        ] {
+            let msg = LinkMessage::Routed(RoutedPacket::new(src, dst, DeliveryMode::Exact, payload));
+            let parsed = LinkMessage::from_bytes(&msg.to_bytes()).unwrap();
+            prop_assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn stream_data_patch_path_matches_full_reencode(
+        src in arb_addr(), dst in arb_addr(),
+        stream_id: u64, seq: u64, window: u32,
+        hops in 0u8..64, ttl in 1u8..64, extra_hops in 1u8..8,
+        body in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        // Mirror of `forwarding_patch_path_matches_full_reencode` for the
+        // virtual-stream data segment: an intermediate node forwarding a
+        // DATA frame patches hops/ttl into the cached wire image, and that
+        // must be byte-identical to a full re-encode.
+        let mut pkt = RoutedPacket::new(src, dst, DeliveryMode::Exact,
+            RoutedPayload::StreamData {
+                stream_id,
+                seq,
+                window,
+                payload: body.into(),
+            });
+        pkt.hops = hops;
+        pkt.ttl = ttl;
+        let origin_wire = LinkMessage::Routed(pkt).to_wire();
+
+        let via_shared = LinkMessage::from_wire(&origin_wire).unwrap();
+        let via_slice = LinkMessage::from_bytes(&origin_wire).unwrap();
+        prop_assert_eq!(&via_shared, &via_slice);
+
+        for mut msg in [via_shared, via_slice] {
+            let LinkMessage::Routed(fwd) = &mut msg else { panic!("routed") };
+            fwd.hops = fwd.hops.saturating_add(extra_hops);
+            fwd.ttl = fwd.ttl.saturating_sub(1);
+            let fast = msg.to_wire();
+            let slow = msg.to_bytes();
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
+            prop_assert_eq!(&LinkMessage::from_wire(&fast).unwrap(), &msg);
+        }
+    }
+
+    #[test]
     fn pubsub_fanout_shares_one_wire_image(
         src in arb_addr(), topic in arb_addr(), msg_id: u64,
         recipients in proptest::collection::vec(arb_addr(), 1..32),

@@ -601,6 +601,184 @@ fn pubsub_mesh_runs_are_byte_identical() {
     assert_eq!(a, b);
 }
 
+/// Per-member stream counters: `(opened, accepted, data_sent, data_received,
+/// retransmits, failed, closed, orphan_frames)`.
+type StreamCounters = (u64, u64, u64, u64, u64, u64, u64, u64);
+
+/// Outcome of a mixed stream + pub/sub run, in byte-comparable form. The
+/// `streams` tuple carries every stream counter the overlay keeps (opened,
+/// accepted, data segments sent/received, retransmits, failed, closed,
+/// orphan frames), so the stream engine's timers, ACK clocking and teardown
+/// are part of the byte-identical contract.
+#[derive(Debug, PartialEq)]
+struct StreamMeshTrace {
+    events: u64,
+    delivered: u64,
+    /// `(opened, accepted, data_sent, data_received, retransmits, failed,
+    /// closed, orphan_frames)` per member.
+    streams: Vec<StreamCounters>,
+    /// The exact byte stream each receiver drained, per stream.
+    received: Vec<Vec<u8>>,
+    /// Terminal fates harvested at the four endpoints (true = clean close).
+    fates: Vec<bool>,
+    /// `(published, received, unknown_topic)` per member.
+    pubsub: Vec<(u64, u64, u64)>,
+}
+
+/// A 16-node overlay carrying two concurrent virtual streams (1→9 and 4→12)
+/// interleaved with pub/sub traffic on one topic. Chunked sends, the
+/// handshakes, ACK clocking, FIN teardown and the fan-out all share the
+/// fabric, and the whole mix must replay byte-identically under the same
+/// seed.
+fn run_stream_mesh(seed: u64) -> StreamMeshTrace {
+    use ipop_netsim::planetlab;
+    const N: usize = 16;
+    let mut net = Network::new(seed);
+    let plab = planetlab(&mut net, N, 1.0, seed);
+    let vip_of = |i: usize| Ipv4Addr::new(172, 16, 4, (i + 1) as u8);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| IpopMember::router(h, vip_of(i)))
+        .collect();
+    ipop::deploy_ipop(&mut net, members, DeployOptions::udp());
+    let mut sim = NetworkSim::new(net);
+    sim.run_for(Duration::from_secs(30));
+
+    // Static members: the stream targets' overlay addresses are the SHA-1 of
+    // their virtual IPs.
+    use ipop_overlay::Address;
+    let pairs = [(1usize, 9usize), (4usize, 12usize)];
+    let now = sim.now();
+    sim.net_mut()
+        .agent_as_mut::<IpopHostAgent>(plab.nodes[2])
+        .unwrap()
+        .subscribe(now, "mixed");
+    let mut handles = Vec::new();
+    for &(src, dst) in &pairs {
+        let now = sim.now();
+        let agent = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(plab.nodes[src])
+            .unwrap();
+        let stream = agent.stream_connect(now, Address::from_ip(vip_of(dst)));
+        handles.push(stream);
+    }
+
+    // Three interleaved rounds: a chunk on each stream plus a publish.
+    for round in 0..3u8 {
+        for (k, &(src, _)) in pairs.iter().enumerate() {
+            let now = sim.now();
+            let chunk = vec![0xA0 + (k as u8) * 0x10 + round; 4096];
+            let agent = sim
+                .net_mut()
+                .agent_as_mut::<IpopHostAgent>(plab.nodes[src])
+                .unwrap();
+            assert!(agent.stream_send(now, handles[k], chunk));
+        }
+        let now = sim.now();
+        sim.net_mut()
+            .agent_as_mut::<IpopHostAgent>(plab.nodes[3])
+            .unwrap()
+            .publish(now, "mixed", ipop_packet::Bytes::from(vec![round, 0x5E]));
+        sim.run_for(Duration::from_secs(2));
+    }
+    for (k, &(src, _)) in pairs.iter().enumerate() {
+        let now = sim.now();
+        sim.net_mut()
+            .agent_as_mut::<IpopHostAgent>(plab.nodes[src])
+            .unwrap()
+            .stream_close(now, handles[k]);
+    }
+    sim.run_for(Duration::from_secs(15));
+
+    // Harvest: received bytes and fates at the receivers, fates at the
+    // senders, counters everywhere.
+    let mut received = Vec::new();
+    let mut fates = Vec::new();
+    for &(src, dst) in &pairs {
+        let receiver = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(plab.nodes[dst])
+            .unwrap();
+        let accepted = receiver.stream_accept().expect("stream accepted");
+        received.push(receiver.take_stream_data(accepted));
+        fates.extend(
+            receiver
+                .take_stream_fates()
+                .into_iter()
+                .map(|(_, fate)| fate == ipop::StreamFate::Closed),
+        );
+        let sender = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(plab.nodes[src])
+            .unwrap();
+        fates.extend(
+            sender
+                .take_stream_fates()
+                .into_iter()
+                .map(|(_, fate)| fate == ipop::StreamFate::Closed),
+        );
+    }
+    let mut streams = Vec::with_capacity(N);
+    let mut pubsub = Vec::with_capacity(N);
+    for &h in &plab.nodes {
+        let agent = sim
+            .net_mut()
+            .agent_as_mut::<IpopHostAgent>(h)
+            .expect("member alive");
+        let s = agent.overlay_stats();
+        streams.push((
+            s.stream_opened,
+            s.stream_accepted,
+            s.stream_data_sent,
+            s.stream_data_received,
+            s.stream_retransmits,
+            s.stream_failed,
+            s.stream_closed,
+            s.stream_orphan_frames,
+        ));
+        pubsub.push(agent.pubsub_counters());
+    }
+    StreamMeshTrace {
+        events: sim.events_executed(),
+        delivered: sim.net().counters().delivered,
+        streams,
+        received,
+        fates,
+        pubsub,
+    }
+}
+
+#[test]
+fn concurrent_stream_runs_are_byte_identical() {
+    let a = run_stream_mesh(0x57E4_77A0);
+    let b = run_stream_mesh(0x57E4_77A0);
+    // Both streams delivered their exact chunk sequence, in order...
+    assert_eq!(a.received.len(), 2);
+    for (k, bytes) in a.received.iter().enumerate() {
+        let want: Vec<u8> = (0..3u8)
+            .flat_map(|round| vec![0xA0 + (k as u8) * 0x10 + round; 4096])
+            .collect();
+        assert_eq!(bytes, &want, "stream {k} delivered byte-exact in order");
+    }
+    // ...every endpoint tore down cleanly (two fates per stream)...
+    assert_eq!(a.fates.len(), 4, "four terminal fates: {:?}", a.fates);
+    assert!(a.fates.iter().all(|&clean| clean), "all closes were clean");
+    let failed: u64 = a.streams.iter().map(|s| s.5).sum();
+    assert_eq!(failed, 0, "no stream hit its retransmit budget");
+    // ...the engine's counters balance: both opens accepted, every data
+    // segment sent was received...
+    assert_eq!(a.streams.iter().map(|s| s.0).sum::<u64>(), 2);
+    assert_eq!(a.streams.iter().map(|s| s.1).sum::<u64>(), 2);
+    // ...the interleaved pub/sub flowed too...
+    assert_eq!(a.pubsub.iter().map(|c| c.1).sum::<u64>(), 3);
+    // ...and the whole mix — handshakes, ACK clocks, FIN teardown, fan-out —
+    // replays byte-identically, stream counters included.
+    assert_eq!(a, b);
+}
+
 #[test]
 fn identical_seeds_replay_identically() {
     let a = run_fig4_ping(0x5EED);

@@ -128,3 +128,221 @@ fn topic_root_crash_loses_no_subscribers() {
         assert_eq!(unknown, 0, "no deliveries on unknown topics");
     }
 }
+
+/// A publish that reaches a root holding no topic record is answered with a
+/// retryable nack instead of vanishing: the publisher backs off, retries the
+/// same message id, and the publish lands once the record exists. Here the
+/// record is simply *not there yet* — the publish fires before anyone has
+/// subscribed — which is the same recordless-root shape a re-home window
+/// produces, minus the crash timing.
+#[test]
+fn recordless_root_nacks_and_the_publisher_retries_until_delivered() {
+    const N: usize = 16;
+    const TOPIC: &str = "early-bird";
+    let mut net = Network::new(0x9ACC_ED01);
+    let plab = planetlab(&mut net, N, 1.0, 17);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| IpopMember::router(h, vip(i)))
+        .collect();
+    let options = DeployOptions::udp().with_pubsub_ttl(Duration::from_secs(60));
+    let hosts = ipop::deploy_ipop(&mut net, members, options);
+
+    let key = topic_key(TOPIC);
+    let root = (0..N)
+        .min_by_key(|&i| Address::from_ip(vip(i)).ring_distance(&key))
+        .expect("members exist");
+    let publisher = (0..N).find(|&i| i != root).expect("publisher");
+    let subscriber = (0..N)
+        .find(|&i| i != root && i != publisher)
+        .expect("subscriber");
+
+    let mut h = FaultHarness::new(NetworkSim::new(net), hosts, FaultScenario::new());
+    h.run_until(SimTime::ZERO + Duration::from_secs(60));
+
+    // Publish before any subscription exists: the root holds no record.
+    let now = h.now();
+    h.agent_mut(publisher).expect("publisher alive").publish(
+        now,
+        TOPIC,
+        ipop_packet::Bytes::copy_from_slice(b"too-soon"),
+    );
+    h.run_for(Duration::from_secs(2));
+
+    // The root nacked rather than dropped, and the publisher is now backing
+    // off between retries of the same message.
+    let root_stats = h.agent(root).expect("root alive").overlay_stats();
+    assert!(
+        root_stats.pubsub_nacks_sent >= 1,
+        "the recordless root nacked: {}",
+        root_stats.pubsub_nacks_sent
+    );
+    let pub_stats = h.agent(publisher).expect("publisher alive").overlay_stats();
+    assert!(
+        pub_stats.pubsub_nacks_received >= 1,
+        "the publisher heard the nack"
+    );
+    assert_eq!(
+        h.agent(subscriber)
+            .expect("subscriber alive")
+            .pubsub_counters()
+            .1,
+        0,
+        "nothing delivered yet"
+    );
+
+    // Now the subscription arrives; the pending retry must deliver the
+    // original publish without the application resending anything.
+    let now = h.now();
+    h.agent_mut(subscriber)
+        .expect("subscriber alive")
+        .subscribe(now, TOPIC);
+    h.run_for(Duration::from_secs(25));
+
+    let msgs = h
+        .agent_mut(subscriber)
+        .expect("subscriber alive")
+        .take_topic_messages();
+    assert_eq!(msgs.len(), 1, "the retried publish arrived: {msgs:?}");
+    assert_eq!(msgs[0].payload.as_slice(), b"too-soon");
+    let pub_stats = h.agent(publisher).expect("publisher alive").overlay_stats();
+    assert!(
+        pub_stats.pubsub_publish_retries >= 1,
+        "delivery came from the retry path: {}",
+        pub_stats.pubsub_publish_retries
+    );
+    assert_eq!(
+        pub_stats.pubsub_publish_failures, 0,
+        "the publish never hit the retry budget"
+    );
+}
+
+/// The topic re-homes twice — away from a partitioned root and back after the
+/// heal — while one subscriber unsubscribes mid-partition. The old root comes
+/// back carrying a stale subscriber set, and its periodic rewrite now goes
+/// through the quorum create path where the fresher post-unsubscribe record
+/// wins: the unsubscribed node must never be resurrected as a ghost, and the
+/// publish after the dust settles must reach exactly the remaining
+/// subscribers.
+#[test]
+fn rehomed_topic_resurrects_no_ghost_subscribers() {
+    const N: usize = 16;
+    const TOPIC: &str = "vm-events";
+    let mut net = Network::new(0x6057_5B5C);
+    let plab = planetlab(&mut net, N, 1.0, 29);
+    let members = plab
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| IpopMember::router(h, vip(i)))
+        .collect();
+    let options = DeployOptions::udp()
+        .with_pubsub_ttl(Duration::from_secs(20))
+        .with_dht_sweep_interval(Duration::from_secs(10));
+    let hosts = ipop::deploy_ipop(&mut net, members, options);
+
+    let key = topic_key(TOPIC);
+    let root = (0..N)
+        .min_by_key(|&i| Address::from_ip(vip(i)).ring_distance(&key))
+        .expect("members exist");
+    let publisher = (0..N).find(|&i| i != root).expect("publisher");
+    let subscribers: Vec<usize> = (0..N)
+        .filter(|&i| i != root && i != publisher)
+        .take(5)
+        .collect();
+    let quitter = subscribers[0];
+    let keepers = &subscribers[1..];
+
+    // The root is cut off alone at 75 s and rejoins at 100 s — long enough
+    // for its live entries to age out and for the survivors' renewals to
+    // re-home the record on the interim owner.
+    let scenario = FaultScenario::new()
+        .at(Duration::from_secs(75), FaultEvent::Partition(root, 1))
+        .at(Duration::from_secs(100), FaultEvent::Heal);
+    let mut h = FaultHarness::new(NetworkSim::new(net), hosts, scenario);
+
+    h.run_until(SimTime::ZERO + Duration::from_secs(60));
+    for &s in &subscribers {
+        let now = h.now();
+        h.agent_mut(s)
+            .expect("subscriber alive")
+            .subscribe(now, TOPIC);
+    }
+    h.run_for(Duration::from_secs(5));
+
+    // Baseline publish through the original root.
+    let now = h.now();
+    h.agent_mut(publisher).expect("publisher alive").publish(
+        now,
+        TOPIC,
+        ipop_packet::Bytes::copy_from_slice(b"before"),
+    );
+    h.run_for(Duration::from_secs(5));
+    for &s in &subscribers {
+        let msgs = h
+            .agent_mut(s)
+            .expect("subscriber alive")
+            .take_topic_messages_for(TOPIC);
+        assert_eq!(msgs.len(), 1, "subscriber {s} got the baseline: {msgs:?}");
+    }
+
+    // 75 s: the root is partitioned away. 77 s: one subscriber quits. Its
+    // renewals stop, so whatever copy of its entry survives anywhere ages out
+    // within one TTL.
+    h.run_until(SimTime::ZERO + Duration::from_secs(77));
+    let now = h.now();
+    h.agent_mut(quitter)
+        .expect("quitter alive")
+        .unsubscribe(now, TOPIC);
+
+    // Ride through the partition, the heal, the re-home back onto the old
+    // root and the stale entries' expiry.
+    h.run_until(SimTime::ZERO + Duration::from_secs(135));
+
+    // The post-churn publish must reach exactly the remaining subscribers.
+    let now = h.now();
+    h.agent_mut(publisher).expect("publisher alive").publish(
+        now,
+        TOPIC,
+        ipop_packet::Bytes::copy_from_slice(b"after"),
+    );
+    h.run_for(Duration::from_secs(15));
+
+    for &s in keepers {
+        let msgs = h
+            .agent_mut(s)
+            .expect("subscriber alive")
+            .take_topic_messages_for(TOPIC);
+        assert_eq!(
+            msgs.len(),
+            1,
+            "subscriber {s} survived the double re-home: {msgs:?}"
+        );
+        assert_eq!(msgs[0].payload.as_slice(), b"after");
+    }
+
+    // The ghost check: the quitter saw nothing after its unsubscribe — no
+    // delivery, no unknown-topic arrival — even though the old root carried
+    // its entry into the partition.
+    let ghost_msgs = h
+        .agent_mut(quitter)
+        .expect("quitter alive")
+        .take_topic_messages_for(TOPIC);
+    assert!(
+        ghost_msgs.is_empty(),
+        "ghost delivery to the unsubscribed node: {ghost_msgs:?}"
+    );
+    let (_, received, unknown) = h.agent(quitter).expect("quitter alive").pubsub_counters();
+    assert_eq!(received, 1, "the quitter only ever saw the baseline");
+    assert_eq!(unknown, 0, "no stray deliveries on an unsubscribed topic");
+
+    // And the publish was never lost: whatever nacks the re-home produced
+    // were retried to success, not counted out.
+    let failures: u64 = (0..N)
+        .filter_map(|i| h.agent(i))
+        .map(|a| a.overlay_stats().pubsub_publish_failures)
+        .sum();
+    assert_eq!(failures, 0, "a publish exhausted its retry budget");
+}
