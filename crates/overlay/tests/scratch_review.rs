@@ -1,0 +1,62 @@
+use ipop_overlay::packets::RoutedPayload;
+use ipop_overlay::vstream::VStreams;
+use ipop_overlay::Address;
+use ipop_packet::Bytes;
+use ipop_simcore::SimTime;
+
+fn addr(n: u8) -> Address {
+    Address::from_key(&[n])
+}
+
+#[test]
+fn send_after_close_claims_success_but_drops_data() {
+    let ba = addr(2);
+    let mut a = VStreams::new();
+    let t = SimTime::ZERO;
+    a.connect(t, ba, 4);
+    a.take_outgoing();
+    a.on_payload(
+        t,
+        ba,
+        &RoutedPayload::StreamSynAck {
+            stream_id: 4,
+            window: 65536,
+        },
+    );
+    assert!(a.send(t, ba, 4, Bytes::from(vec![1u8; 10])));
+    a.close(t, ba, 4);
+    // Stream is closing: docs say this must return false.
+    let ok = a.send(t, ba, 4, Bytes::from(vec![2u8; 10]));
+    assert!(!ok, "send after close returned {ok} while dropping the data");
+}
+
+#[test]
+fn bogus_ack_beyond_snd_nxt_panics_or_wedges() {
+    let ba = addr(2);
+    let mut a = VStreams::new();
+    let t = SimTime::ZERO;
+    a.connect(t, ba, 4);
+    a.take_outgoing();
+    a.on_payload(
+        t,
+        ba,
+        &RoutedPayload::StreamSynAck {
+            stream_id: 4,
+            window: 65536,
+        },
+    );
+    assert!(a.send(t, ba, 4, Bytes::from(vec![1u8; 10])));
+    a.take_outgoing();
+    // Hostile/corrupt cumulative ack far beyond anything we sent.
+    a.on_payload(
+        t,
+        ba,
+        &RoutedPayload::StreamAck {
+            stream_id: 4,
+            ack: u64::MAX - 5,
+            window: 65536,
+        },
+    );
+    // Any later send hits in_flight() = snd_nxt - snd_una with snd_una > snd_nxt.
+    a.send(t, ba, 4, Bytes::from(vec![2u8; 10]));
+}
